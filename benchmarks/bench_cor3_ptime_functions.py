@@ -1,0 +1,71 @@
+"""COR-3: strongly safe order-2 programs express the PTIME sequence functions.
+
+Corollary 3 characterises strongly safe order-2 Transducer Datalog as
+expressing exactly the PTIME sequence functions.  The benchmark runs three
+concrete PTIME functions -- complement, echo (symbol doubling) and squaring
+-- as strongly safe programs over a length sweep and reports evaluation time
+and output length; each stays within the polynomial envelope the corollary
+promises.
+"""
+
+from conftest import print_table
+
+from repro import SequenceDatabase, TransducerDatalogProgram
+from repro.engine import evaluate_query
+from repro.transducers import TransducerCatalog, library
+
+
+def _run_function(program: TransducerDatalogProgram, word: str) -> tuple:
+    database = SequenceDatabase.single_input(word)
+    result = program.evaluate(database, require_safety=True)
+    outputs = evaluate_query(result.interpretation, "output(Y)").values("Y")
+    return outputs[0], result
+
+
+def test_corollary_3_ptime_functions(benchmark):
+    complement = TransducerDatalogProgram(
+        "output(@complement(X)) :- input(X).",
+        TransducerCatalog([library.complement_transducer("01")]),
+    )
+    echo = TransducerDatalogProgram(
+        "output(@echo(X, X)) :- input(X).",
+        TransducerCatalog([library.echo_transducer("01")]),
+    )
+    square = TransducerDatalogProgram(
+        "output(@square(X)) :- input(X).",
+        TransducerCatalog([library.square_transducer("01")]),
+    )
+    for program in (complement, echo, square):
+        assert program.is_strongly_safe()
+        assert program.order <= 2
+
+    rows = []
+    for label, program, expectation in (
+        ("complement (order 1)", complement, lambda w, out: out == "".join("1" if c == "0" else "0" for c in w)),
+        ("echo (order 1)", echo, lambda w, out: out == "".join(c * 2 for c in w)),
+        ("square (order 2)", square, lambda w, out: len(out) == len(w) ** 2),
+    ):
+        for length in (2, 4, 8):
+            word = ("01" * length)[:length]
+            output, result = _run_function(program, word)
+            rows.append(
+                (
+                    label,
+                    length,
+                    len(output),
+                    f"{result.elapsed_seconds * 1000:.1f}",
+                    "ok" if expectation(word, output) else "MISMATCH",
+                )
+            )
+            assert expectation(word, output)
+
+    print_table(
+        "Corollary 3: PTIME sequence functions as strongly safe programs",
+        ["function", "input length", "output length", "time (ms)", "status"],
+        rows,
+    )
+
+    database = SequenceDatabase.single_input("01010101")
+    benchmark.pedantic(
+        lambda: complement.evaluate(database, require_safety=True), rounds=3, iterations=1
+    )

@@ -1,0 +1,47 @@
+"""FIG-2: the computation table of the squaring transducer (Example 6.1).
+
+Figure 2 of the paper tabulates the run of ``T_square`` on the input ``abc``:
+at each step the machine consumes one input symbol and calls the ``append``
+subtransducer, so the output grows from ``abc`` to ``abcabc`` to
+``abcabcabc``.  The benchmark regenerates exactly that table and measures
+the cost of a squaring run (top-level steps plus subtransducer steps).
+"""
+
+from conftest import print_table
+
+from repro.transducers import library
+
+
+def _figure_2_rows(word: str):
+    square = library.square_transducer("abc")
+    run = square.run(word, trace=True)
+    rows = []
+    for step in run.trace:
+        rows.append(
+            (
+                step.step,
+                step.positions[0],
+                step.output_before or "(empty)",
+                step.operation,
+                step.output_after,
+            )
+        )
+    return rows, run
+
+
+def test_figure_2_square_trace(benchmark):
+    rows, run = _figure_2_rows("abc")
+    print_table(
+        "Figure 2: computation of T_square on 'abc'",
+        ["step", "input position", "output before", "operation", "new output"],
+        rows,
+    )
+    print(
+        f"  top-level steps: {run.steps}, total steps incl. subtransducer: {run.total_steps}, "
+        f"output length: {len(run.output)} (= 3^2)"
+    )
+    assert run.output.text == "abcabcabc"
+    assert [row[4] for row in rows] == ["abc", "abcabc", "abcabcabc"]
+
+    square = library.square_transducer("abc")
+    benchmark(lambda: square("abcabcabc"))

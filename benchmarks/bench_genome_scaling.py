@@ -1,0 +1,104 @@
+"""Genome-workload scaling: the Example 7.1 pipeline on growing databases.
+
+The paper's evaluation of the genome example is qualitative (the two-rule
+program "terminates for every database" and performs all restructurings
+inside transducers).  This benchmark makes the claim quantitative on
+synthetic genome databases of growing size: per pipeline stage it reports
+evaluation time and checks outputs against a plain-Python reference, so the
+shape under test is "the strongly safe, order-1 pipeline scales smoothly
+with the database" (Theorem 8's polynomial envelope for order <= 2).
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.genome import GenomeAnalyzer
+from repro.transducers.library import TRANSCRIPTION_MAP
+from repro.workloads import random_dna_strings
+
+COMPLEMENT = {"a": "t", "t": "a", "c": "g", "g": "c"}
+
+
+def _reference_transcribe(dna: str) -> str:
+    return "".join(TRANSCRIPTION_MAP[base] for base in dna)
+
+
+def _reference_reverse_complement(dna: str) -> str:
+    return "".join(COMPLEMENT[base] for base in reversed(dna))
+
+
+def test_genome_pipeline_scaling(benchmark):
+    rows = []
+    for count, length in [(2, 9), (4, 12), (6, 15), (8, 18)]:
+        strands = random_dna_strings(count, length, seed=count * 100 + length)
+        analyzer = GenomeAnalyzer(strands)
+
+        started = time.perf_counter()
+        transcripts = analyzer.transcripts()
+        transcribe_ms = (time.perf_counter() - started) * 1000
+        assert transcripts == {s: _reference_transcribe(s) for s in strands}
+
+        started = time.perf_counter()
+        proteins = analyzer.proteins()
+        translate_ms = (time.perf_counter() - started) * 1000
+        assert set(proteins) == set(strands)
+
+        started = time.perf_counter()
+        orfs = analyzer.open_reading_frames(min_codons=1)
+        orf_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        revcomp = analyzer.reverse_complements()
+        revcomp_ms = (time.perf_counter() - started) * 1000
+        assert revcomp == {s: _reference_reverse_complement(s) for s in strands}
+
+        rows.append(
+            (
+                count,
+                length,
+                f"{transcribe_ms:.1f}",
+                f"{translate_ms:.1f}",
+                f"{orf_ms:.1f}",
+                f"{revcomp_ms:.1f}",
+                len(orfs),
+            )
+        )
+
+    print_table(
+        "Genome pipeline scaling (synthetic DNA; times in ms)",
+        ["strands", "length", "transcribe", "translate", "ORF search", "rev.comp.", "ORFs found"],
+        rows,
+    )
+
+    strands = random_dna_strings(4, 12, seed=412)
+    analyzer = GenomeAnalyzer(strands)
+    benchmark.pedantic(analyzer.transcripts, rounds=3, iterations=1)
+
+
+def test_restriction_site_scaling(benchmark):
+    """Pattern matching (restriction sites) stays cheap as strands grow."""
+    rows = []
+    site = "gaattc"
+    for length in (20, 40, 60, 80):
+        strand = (
+            random_dna_strings(1, length - 12, seed=length)[0]
+            + site
+            + random_dna_strings(1, 6, seed=length + 1)[0]
+        )
+        analyzer = GenomeAnalyzer([strand])
+        started = time.perf_counter()
+        sites = analyzer.restriction_sites(site)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        assert sites[strand], "the planted site must be found"
+        rows.append((length, len(sites[strand]), f"{elapsed_ms:.1f}"))
+
+    print_table(
+        "Restriction-site search scaling (one strand, planted EcoRI site)",
+        ["strand length", "sites found", "time (ms)"],
+        rows,
+    )
+
+    strand = random_dna_strings(1, 40, seed=99)[0] + site
+    analyzer = GenomeAnalyzer([strand])
+    benchmark.pedantic(lambda: analyzer.restriction_sites(site), rounds=3, iterations=1)

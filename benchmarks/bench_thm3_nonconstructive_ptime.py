@@ -1,0 +1,55 @@
+"""THM-3: the non-constructive fragment has polynomial data complexity.
+
+Theorem 3: Non-constructive Sequence Datalog is complete for PTIME.  The
+benchmark evaluates the non-constructive pattern-matching program of
+Example 1.3 over databases of growing size and checks the polynomial shape:
+the least-fixpoint size never exceeds a fixed polynomial of the database
+size, and the extended active domain never grows at all.
+"""
+
+from conftest import print_table
+
+from repro import compute_least_fixpoint
+from repro.analysis import is_non_constructive
+from repro.core import paper_programs
+from repro.workloads import anbncn_database
+
+
+def test_theorem_3_nonconstructive_scaling(benchmark):
+    program = paper_programs.anbncn_program()
+    assert is_non_constructive(program)
+
+    rows = []
+    measurements = []
+    for max_n in (2, 4, 6):
+        database = anbncn_database(max_n, decoys=2, seed=7)
+        result = compute_least_fixpoint(program, database)
+        db_size = database.size()
+        rows.append(
+            (
+                max_n,
+                db_size,
+                result.model_size,
+                result.fact_count,
+                result.iterations,
+                f"{result.elapsed_seconds * 1000:.1f}",
+            )
+        )
+        measurements.append((db_size, result.fact_count))
+        # Theorem 3's key structural fact: the domain does not grow.
+        assert result.model_size == db_size
+
+    print_table(
+        "Theorem 3: Example 1.3 over growing databases (non-constructive)",
+        ["max n", "db size", "model size", "facts", "iterations", "time (ms)"],
+        rows,
+    )
+
+    # Polynomial shape: facts grow no faster than (db size)^2 here.
+    for db_size, facts in measurements:
+        assert facts <= db_size ** 2 + db_size
+
+    database = anbncn_database(4, decoys=2, seed=7)
+    benchmark.pedantic(
+        lambda: compute_least_fixpoint(program, database), rounds=2, iterations=1
+    )

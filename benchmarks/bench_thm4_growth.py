@@ -1,0 +1,70 @@
+"""THM-4 / EX-6.1 / THM-6: output growth of order-2 and order-3 machines.
+
+Theorem 4: an order-2 network produces output of at most polynomial length
+(quadratic for a single squaring transducer, Example 6.1), while an order-3
+network can produce hyperexponential (double-exponential) output.  The
+benchmark sweeps the input length and reports the measured output lengths
+against the paper's bounds; the recurrence ``L_i = (n + L_{i-1})^2`` from the
+proof of Theorem 4 is checked exactly for the order-3 machine.
+"""
+
+from conftest import print_table
+
+from repro.transducers import library
+
+
+def test_theorem_4_order_2_quadratic_growth(benchmark):
+    square = library.square_transducer("ab")
+    rows = []
+    for n in (1, 2, 4, 8, 16, 32):
+        word = ("ab" * n)[:n]
+        output = square(word)
+        rows.append((n, len(output), n * n))
+        assert len(output) == n * n
+    print_table(
+        "Theorem 4 / Example 6.1: order-2 squaring transducer",
+        ["input length n", "output length", "paper bound n^2"],
+        rows,
+    )
+    benchmark(lambda: square("ab" * 8))
+
+
+def test_theorem_4_order_3_hyperexponential_growth(benchmark):
+    hyper = library.hyper_transducer("ab")
+    rows = []
+    for n in (1, 2, 3):
+        word = "a" * n
+        output = hyper(word)
+        expected = 0
+        for _ in range(n):
+            expected = (n + expected) ** 2
+        rows.append((n, len(output), expected, 2 ** (2 ** n)))
+        assert len(output) == expected
+    print_table(
+        "Theorem 4 / Theorem 6: order-3 transducer (double-exponential growth)",
+        ["input length n", "output length", "recurrence (n + L)^2", "2^(2^n)"],
+        rows,
+    )
+    # The growth overtakes every polynomial already at n = 3.
+    assert rows[-1][1] > rows[-1][0] ** 4
+    benchmark.pedantic(lambda: hyper("aa"), rounds=3, iterations=1)
+
+
+def test_theorem_4_order_2_chain_is_polynomial_per_stage(benchmark):
+    """A diameter-d chain of order-2 squaring nodes: output length n^(2^d)."""
+    from repro.transducers.network import NetworkNode, TransducerNetwork
+
+    s1 = NetworkNode("s1", library.square_transducer("ab", name="sq1"), ["x"])
+    s2 = NetworkNode("s2", library.square_transducer("ab", name="sq2"), [s1])
+    network = TransducerNetwork(["x"], [s1, s2], s2)
+    rows = []
+    for n in (1, 2, 3):
+        output = network.compute_function("a" * n)
+        rows.append((n, len(output), n ** 4))
+        assert len(output) == n ** 4
+    print_table(
+        "Theorem 4: diameter-2 chain of order-2 squaring nodes",
+        ["input length n", "output length", "paper bound n^(2^d) = n^4"],
+        rows,
+    )
+    benchmark.pedantic(lambda: network.compute_function("aa"), rounds=3, iterations=1)

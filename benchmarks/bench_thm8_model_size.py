@@ -1,0 +1,67 @@
+"""THM-8 / COR-2: strongly safe order-2 programs have polynomial minimal models.
+
+Theorem 8: for a strongly safe Transducer Datalog program of order at most 2,
+the size of the minimal model (the number of sequences in its extended
+active domain, Definition 11) is polynomial in the size of the database.
+The benchmark evaluates the Example 7.1 genome program (order 1) and a
+squaring program (order 2) over databases of growing size and reports the
+measured model sizes against a fixed polynomial envelope.
+"""
+
+from conftest import print_table
+
+from repro import SequenceDatabase, TransducerDatalogProgram
+from repro.core import paper_programs
+from repro.transducers import TransducerCatalog, library
+from repro.workloads import dna_database, random_strings
+
+
+def test_theorem_8_polynomial_model_size(benchmark):
+    genome_program, genome_catalog = paper_programs.genome_program()
+    genome = TransducerDatalogProgram(genome_program, genome_catalog)
+
+    square = TransducerDatalogProgram(
+        "sq(X, @square(X)) :- r(X).",
+        TransducerCatalog([library.square_transducer("ab")]),
+    )
+
+    rows = []
+    for count in (1, 2, 4):
+        dna_db = dna_database(count, length=6, seed=3)
+        genome_result = genome.evaluate(dna_db, require_safety=True)
+        rows.append(
+            (
+                "genome (order 1)",
+                count,
+                dna_db.size(),
+                genome_result.model_size,
+                dna_db.size() ** 2,
+            )
+        )
+        assert genome_result.model_size <= dna_db.size() ** 2
+
+        square_db = SequenceDatabase.from_dict(
+            {"r": random_strings(count, 3, alphabet="ab", seed=count)}
+        )
+        square_result = square.evaluate(square_db, require_safety=True)
+        rows.append(
+            (
+                "square (order 2)",
+                count,
+                square_db.size(),
+                square_result.model_size,
+                square_db.size() ** 2,
+            )
+        )
+        assert square_result.model_size <= square_db.size() ** 2
+
+    print_table(
+        "Theorem 8: minimal model size of strongly safe order-<=2 programs",
+        ["program", "db tuples", "db size", "model size", "polynomial envelope (size^2)"],
+        rows,
+    )
+
+    database = dna_database(2, length=6, seed=3)
+    benchmark.pedantic(
+        lambda: genome.evaluate(database, require_safety=True), rounds=3, iterations=1
+    )

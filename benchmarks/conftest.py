@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a figure, an example,
+or the scaling shape predicted by a theorem) and prints the rows it
+reproduces, so the numbers recorded in ``EXPERIMENTS.md`` can be re-derived
+with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a small aligned table (the reproduced figure/table)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    header = tuple(str(cell) for cell in header)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n--- {title} ---")
+    print("  " + " | ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    print("  " + "-+-".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        print("  " + " | ".join(row[i].ljust(widths[i]) for i in range(len(header))))

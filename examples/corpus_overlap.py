@@ -1,0 +1,72 @@
+"""Corpus overlap analysis: shared substrings across text documents.
+
+The paper's abstract names text databases, next to genome databases, as the
+applications Sequence Datalog targets.  This example uses the
+:class:`repro.text.TextCorpus` facade to run three corpus-level queries --
+all pure structural recursion, hence inside the PTIME fragment of
+Theorem 3 -- over a small synthetic corpus:
+
+* shared substrings between every pair of documents (the plagiarism-style
+  overlap query) and the longest overlap per pair;
+* palindromic substrings of every document;
+* tandem repeats (``WW`` factors) and whole-document repeats
+  (Example 1.5's ``Y^n``).
+
+Run with::
+
+    python examples/corpus_overlap.py
+"""
+
+from repro.text import TextCorpus
+
+CORPUS = [
+    "the cat sat",
+    "a cat sat up",
+    "the dog sat",
+    "abcabc",
+    "noon racecar",
+]
+
+
+def overlap_report(corpus: TextCorpus) -> None:
+    print("== shared substrings (min length 4) ==")
+    longest = corpus.longest_shared_substrings(min_length=4)
+    if not longest:
+        print("  (no overlaps)")
+    for (first, second), substring in sorted(longest.items()):
+        print(f"  {first!r} ~ {second!r}: longest shared {substring!r}")
+
+
+def palindrome_report(corpus: TextCorpus) -> None:
+    print("== palindromic substrings (min length 3) ==")
+    for document, palindromes in sorted(corpus.palindromic_substrings(3).items()):
+        if palindromes:
+            print(f"  {document!r}: {sorted(palindromes, key=len, reverse=True)}")
+
+
+def repeat_report(corpus: TextCorpus) -> None:
+    print("== repeats ==")
+    tandems = corpus.tandem_repeats()
+    units = corpus.repeated_documents()
+    for document in corpus.documents:
+        parts = []
+        if tandems.get(document):
+            parts.append(f"tandem {sorted(tandems[document], key=len, reverse=True)[:3]}")
+        if document in units:
+            parts.append(f"whole-document repeat of {sorted(units[document])}")
+        if parts:
+            print(f"  {document!r}: " + "; ".join(parts))
+
+
+def main() -> None:
+    corpus = TextCorpus(CORPUS)
+    print(f"corpus: {corpus!r}\n")
+    overlap_report(corpus)
+    print()
+    palindrome_report(corpus)
+    print()
+    repeat_report(corpus)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro: a reproduction of "Sequences, Datalog, and Transducers".
+
+The library implements Sequence Datalog (a Datalog extension with interpreted
+index and constructive terms over sequences), its fixpoint and model-theoretic
+semantics based on the extended active domain, generalized sequence
+transducers and transducer networks, Transducer Datalog, the translation
+between the two languages (Theorem 7), and the strongly safe fragment whose
+order-2 programs capture PTIME and order-3 programs capture the elementary
+sequence functions.
+
+Quickstart
+----------
+>>> from repro import SequenceDatalogEngine
+>>> engine = SequenceDatalogEngine('suffix(X[N:end]) :- r(X).')
+>>> result = engine.evaluate({"r": ["abc"]})
+>>> [t[0] for t in engine.query(result, "suffix(X)").texts()]
+['', 'abc', 'bc', 'c']
+"""
+
+from repro.core.engine_api import SequenceDatalogEngine
+from repro.database.database import SequenceDatabase
+from repro.engine.fixpoint import FixpointResult, compute_least_fixpoint
+from repro.engine.limits import EvaluationLimits
+from repro.engine.query import evaluate_query
+from repro.language.parser import parse_atom, parse_clause, parse_program
+from repro.sequences.sequence import Sequence
+from repro.transducer_datalog.program import TransducerDatalogProgram
+from repro.transducer_datalog.translation import translate_to_sequence_datalog
+from repro.transducers.registry import TransducerCatalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationLimits",
+    "FixpointResult",
+    "Sequence",
+    "SequenceDatabase",
+    "SequenceDatalogEngine",
+    "TransducerCatalog",
+    "TransducerDatalogProgram",
+    "compute_least_fixpoint",
+    "evaluate_query",
+    "parse_atom",
+    "parse_clause",
+    "parse_program",
+    "translate_to_sequence_datalog",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Static analysis of Sequence Datalog and Transducer Datalog programs.
+
+This package implements the syntactic notions the paper uses to carve out
+finite, safe fragments:
+
+* :mod:`~repro.analysis.dependency_graph` -- predicate dependency graphs with
+  constructive edges (Definitions 8-9);
+* :mod:`~repro.analysis.safety` -- strong safety: no constructive cycles
+  (Definition 10), plus program order;
+* :mod:`~repro.analysis.stratification` -- stratification with respect to
+  construction (Section 5 and the proof of Theorem 8);
+* :mod:`~repro.analysis.guardedness` -- guarded programs and the guarded
+  transformation of Appendix B (Theorem 10);
+* :mod:`~repro.analysis.fragments` -- the non-constructive fragment
+  (Theorem 3) and related classifications;
+* :mod:`~repro.analysis.finiteness` -- a conservative static finiteness
+  classifier combining all of the above (the dynamic counterpart being the
+  evaluation limits of the engine, since finiteness is undecidable by
+  Theorem 2);
+* :mod:`~repro.analysis.complexity` -- the Theorem 3/8/9 complexity
+  guarantees as a static report, with model-size envelopes and the "levers"
+  that move a program into a cheaper class.
+"""
+
+from repro.analysis.complexity import (
+    ComplexityReport,
+    DataComplexityClass,
+    analyze_complexity,
+    complexity_levers,
+)
+from repro.analysis.dependency_graph import (
+    DependencyEdge,
+    DependencyGraph,
+    build_dependency_graph,
+)
+from repro.analysis.safety import SafetyReport, analyze_safety, is_strongly_safe, program_order
+from repro.analysis.stratification import (
+    ConstructionStratification,
+    is_stratified_by_construction,
+    stratify_by_construction,
+)
+from repro.analysis.guardedness import guard_program, is_guarded, unguarded_clauses
+from repro.analysis.fragments import is_non_constructive, non_constructive_subset
+from repro.analysis.finiteness import FinitenessVerdict, classify_finiteness
+
+__all__ = [
+    "ComplexityReport",
+    "ConstructionStratification",
+    "DataComplexityClass",
+    "DependencyEdge",
+    "DependencyGraph",
+    "FinitenessVerdict",
+    "SafetyReport",
+    "analyze_complexity",
+    "analyze_safety",
+    "build_dependency_graph",
+    "classify_finiteness",
+    "complexity_levers",
+    "guard_program",
+    "is_guarded",
+    "is_non_constructive",
+    "is_stratified_by_construction",
+    "is_strongly_safe",
+    "non_constructive_subset",
+    "program_order",
+    "stratify_by_construction",
+    "unguarded_clauses",
+]

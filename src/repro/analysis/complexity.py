@@ -1,0 +1,240 @@
+"""Static complexity reports: the Theorem 3/8/9 bounds as an analysis.
+
+Sections 6 and 8 of the paper present the machine order and the shape of the
+dependency graph as "levers with which users can tune the data complexity of
+the query language": no construction gives PTIME data complexity with a
+fixed domain (Theorem 3); strong safety with order <= 2 gives a polynomially
+bounded minimal model and exactly the PTIME sequence functions (Theorem 8,
+Corollary 3); order 3 gives a hyperexponentially bounded minimal model and
+exactly the elementary sequence functions (Theorem 9, Corollary 4);
+constructive cycles void every guarantee (Theorem 2: finiteness is then
+undecidable).
+
+:func:`analyze_complexity` turns those results into a static report for a
+concrete program: its order, its construction stratification, the
+per-stratum growth class, the resulting data-complexity guarantee, and a
+conservative numeric *envelope* on minimal-model size that benchmarks and
+tests can check measured models against.  :func:`complexity_levers` lists
+the concrete changes that would move a program into a cheaper class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from repro.analysis.dependency_graph import build_dependency_graph
+from repro.analysis.fragments import is_non_constructive
+from repro.analysis.safety import analyze_safety, program_order
+from repro.analysis.stratification import stratify_by_construction
+from repro.errors import SafetyError
+from repro.language.clauses import Program
+
+
+class DataComplexityClass(enum.Enum):
+    """The guarantee the paper's theorems give for a program."""
+
+    PTIME_FIXED_DOMAIN = "PTIME, domain never grows (Theorem 3)"
+    PTIME = "PTIME, polynomially bounded minimal model (Theorem 8 / Corollary 3)"
+    ELEMENTARY = "elementary, hyperexponentially bounded minimal model (Theorem 9 / Corollary 4)"
+    NO_GUARANTEE = "no guarantee: constructive recursion (Theorem 2 territory)"
+
+    def is_tractable(self) -> bool:
+        """True for the PTIME classes."""
+        return self in (
+            DataComplexityClass.PTIME_FIXED_DOMAIN,
+            DataComplexityClass.PTIME,
+        )
+
+
+#: Growth classes of one construction stratum (how much evaluating it can
+#: enlarge the extended active domain).
+GROWTH_NONE = "none"
+GROWTH_POLYNOMIAL = "polynomial"
+GROWTH_HYPEREXPONENTIAL = "hyperexponential"
+
+
+@dataclass
+class StratumGrowth:
+    """Growth contributed by one stratum of the construction stratification."""
+
+    index: int
+    predicates: List[str]
+    constructive: bool
+    order: int
+    growth: str
+
+    def __str__(self) -> str:
+        kind = f"constructive, order {self.order}" if self.constructive else "non-constructive"
+        return f"stratum {self.index} ({kind}): {', '.join(self.predicates)} -- growth {self.growth}"
+
+
+@dataclass
+class ComplexityReport:
+    """The static complexity analysis of a program."""
+
+    order: int
+    non_constructive: bool
+    strongly_safe: bool
+    data_complexity: DataComplexityClass
+    strata: List[StratumGrowth] = field(default_factory=list)
+    constructive_strata: int = 0
+    envelope_degree: Optional[int] = None
+    hyperexponential_level: Optional[int] = None
+    notes: List[str] = field(default_factory=list)
+
+    def model_size_envelope(self, database_size: int) -> Optional[int]:
+        """A conservative upper envelope on minimal-model size (Def. 11 size).
+
+        For the PTIME classes the envelope is ``max(database_size, 2) **
+        envelope_degree``; for the elementary class it is the
+        ``hyperexponential_level``-fold iterated exponential of that
+        polynomial; with no guarantee it is ``None``.  The envelope is not
+        the paper's (unstated) constant-precise bound -- it is a concrete
+        polynomial/hyperexponential that Theorems 8/9 say must exist, chosen
+        generously so measured models can be checked against it.
+        """
+        if self.data_complexity is DataComplexityClass.NO_GUARANTEE:
+            return None
+        base = max(database_size, 2) ** (self.envelope_degree or 1)
+        if self.data_complexity is DataComplexityClass.ELEMENTARY:
+            value = base
+            for _ in range(self.hyperexponential_level or 1):
+                value = 2 ** min(value, 64)  # clamp: the envelope is astronomically loose anyway
+            return value
+        return base
+
+    def describe(self) -> str:
+        lines = [
+            f"program order: {self.order}",
+            f"non-constructive: {'yes' if self.non_constructive else 'no'}",
+            f"strongly safe: {'yes' if self.strongly_safe else 'no'}",
+            f"data complexity: {self.data_complexity.value}",
+        ]
+        if self.envelope_degree is not None:
+            lines.append(f"model-size envelope degree: {self.envelope_degree}")
+        for stratum in self.strata:
+            lines.append(f"  {stratum}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def analyze_complexity(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> ComplexityReport:
+    """Classify a program's data complexity using the paper's theorems."""
+    orders = dict(transducer_orders or {})
+    order = program_order(program, orders)
+    safety = analyze_safety(program, orders)
+    non_constructive = is_non_constructive(program)
+
+    strata_growth: List[StratumGrowth] = []
+    constructive_strata = 0
+    notes: List[str] = []
+
+    if non_constructive:
+        data_complexity = DataComplexityClass.PTIME_FIXED_DOMAIN
+        envelope_degree: Optional[int] = _fixed_domain_degree(program)
+        hyper_level: Optional[int] = None
+    elif not safety.strongly_safe:
+        data_complexity = DataComplexityClass.NO_GUARANTEE
+        envelope_degree = None
+        hyper_level = None
+        cycles = "; ".join(
+            " -> ".join(cycle + [cycle[0]]) for cycle in safety.constructive_cycles
+        )
+        notes.append(f"constructive cycle(s): {cycles}")
+    else:
+        stratification = stratify_by_construction(program)
+        envelope_degree = _fixed_domain_degree(program)
+        hyper_level = 0
+        for index, stratum in enumerate(stratification.strata):
+            constructive = stratum.is_constructive()
+            stratum_order = program_order(stratum, orders) if constructive else 0
+            if not constructive:
+                growth = GROWTH_NONE
+            elif stratum_order <= 2:
+                growth = GROWTH_POLYNOMIAL
+                constructive_strata += 1
+                # An order-2 stratum can square lengths (Theorem 4), and the
+                # subsequence closure squares again: double the degree.
+                envelope_degree *= 2 if stratum_order == 2 else 1
+                envelope_degree += 2
+            else:
+                growth = GROWTH_HYPEREXPONENTIAL
+                constructive_strata += 1
+                hyper_level += 2  # Theorem 4: one order-3 machine costs hyp_2
+            strata_growth.append(
+                StratumGrowth(
+                    index=index,
+                    predicates=sorted(stratum.head_predicates()),
+                    constructive=constructive,
+                    order=stratum_order,
+                    growth=growth,
+                )
+            )
+        if hyper_level:
+            data_complexity = DataComplexityClass.ELEMENTARY
+        else:
+            data_complexity = DataComplexityClass.PTIME
+    return ComplexityReport(
+        order=order,
+        non_constructive=non_constructive,
+        strongly_safe=safety.strongly_safe,
+        data_complexity=data_complexity,
+        strata=strata_growth,
+        constructive_strata=constructive_strata,
+        envelope_degree=envelope_degree,
+        hyperexponential_level=hyper_level or None,
+        notes=notes,
+    )
+
+
+def complexity_levers(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> List[str]:
+    """Concrete changes that would move the program into a cheaper class.
+
+    This is the practical reading of the paper's "levers": break
+    constructive cycles (Definition 10), lower transducer order (Theorems 8
+    vs 9), or drop construction entirely (Theorem 3).
+    """
+    orders = dict(transducer_orders or {})
+    report = analyze_complexity(program, orders)
+    suggestions: List[str] = []
+    if report.data_complexity is DataComplexityClass.NO_GUARANTEE:
+        graph = build_dependency_graph(program)
+        for cycle in graph.constructive_cycles():
+            rendered = " -> ".join(cycle + [cycle[0]])
+            suggestions.append(
+                f"break the constructive cycle {rendered} (move the construction "
+                "inside a transducer, or make the recursion structural) to regain "
+                "a finite semantics (Definition 10 / Corollary 2)"
+            )
+    if report.data_complexity is DataComplexityClass.ELEMENTARY:
+        offenders = sorted(name for name, order in orders.items() if order >= 3)
+        listed = ", ".join(offenders) if offenders else "the order-3 transducer(s)"
+        suggestions.append(
+            f"replace {listed} by order-2 machines to drop from elementary to "
+            "PTIME (Theorem 8 vs Theorem 9)"
+        )
+    if report.data_complexity is DataComplexityClass.PTIME and report.constructive_strata:
+        suggestions.append(
+            "the program is already PTIME; removing the remaining construction "
+            "would additionally freeze the active domain (Theorem 3)"
+        )
+    if not suggestions:
+        suggestions.append("no cheaper class is available without changing the query")
+    return suggestions
+
+
+def _fixed_domain_degree(program: Program) -> int:
+    """Degree of the polynomial bounding the number of facts with a fixed
+    domain: at most ``max arity`` tuples over the domain per predicate, and
+    the subsequence closure itself is quadratic (Section 2.1)."""
+    max_arity = max((clause.head.arity for clause in program), default=1)
+    return max(2, max_arity + 1)

@@ -1,0 +1,180 @@
+"""Predicate dependency graphs (Definitions 8 and 9 of the paper).
+
+A predicate ``p`` *depends on* ``q`` in a program ``P`` when some clause has
+``p`` in the head and ``q`` in the body; the dependency is *constructive*
+when that clause is constructive (its head contains a concatenation or a
+transducer term).  The *predicate dependency graph* has the predicates as
+nodes and one edge per dependency; an edge is constructive if any clause
+witnessing it is constructive.  A *constructive cycle* is a cycle containing
+a constructive edge; strong safety (Definition 10) is the absence of such
+cycles.
+
+The graph is backed by :mod:`networkx`, which also gives us strongly
+connected components and topological sorting for the stratification used in
+the proofs of Theorems 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.language.clauses import Clause, Program
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """An edge of the predicate dependency graph."""
+
+    source: str          # the head predicate (the dependent one)
+    target: str          # the body predicate it depends on
+    constructive: bool   # True if witnessed by a constructive clause
+    transducers: FrozenSet[str] = frozenset()
+
+    def __str__(self) -> str:
+        marker = " [constructive]" if self.constructive else ""
+        return f"{self.source} -> {self.target}{marker}"
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._graph = nx.DiGraph()
+        for predicate in program.predicates():
+            self._graph.add_node(predicate)
+        for clause in program:
+            head = clause.head.predicate
+            constructive = clause.is_constructive()
+            transducers = clause.transducer_names()
+            for body_predicate in clause.body_predicates():
+                if self._graph.has_edge(head, body_predicate):
+                    data = self._graph[head][body_predicate]
+                    data["constructive"] = data["constructive"] or constructive
+                    data["transducers"] = data["transducers"] | transducers
+                else:
+                    self._graph.add_edge(
+                        head,
+                        body_predicate,
+                        constructive=constructive,
+                        transducers=frozenset(transducers),
+                    )
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._graph.nodes)
+
+    def edges(self) -> List[DependencyEdge]:
+        result = []
+        for source, target, data in self._graph.edges(data=True):
+            result.append(
+                DependencyEdge(
+                    source=source,
+                    target=target,
+                    constructive=data["constructive"],
+                    transducers=data["transducers"],
+                )
+            )
+        return sorted(result, key=lambda edge: (edge.source, edge.target))
+
+    def constructive_edges(self) -> List[DependencyEdge]:
+        return [edge for edge in self.edges() if edge.constructive]
+
+    def depends_on(self, source: str, target: str) -> bool:
+        """True if ``source`` depends (directly) on ``target``."""
+        return self._graph.has_edge(source, target)
+
+    def depends_constructively_on(self, source: str, target: str) -> bool:
+        return (
+            self._graph.has_edge(source, target)
+            and self._graph[source][target]["constructive"]
+        )
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying networkx graph."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # Cycles and components
+    # ------------------------------------------------------------------
+    def cycles(self) -> List[List[str]]:
+        """All simple cycles of the graph."""
+        return [list(cycle) for cycle in nx.simple_cycles(self._graph)]
+
+    def constructive_cycles(self) -> List[List[str]]:
+        """All simple cycles containing at least one constructive edge."""
+        offending = []
+        for cycle in nx.simple_cycles(self._graph):
+            nodes = list(cycle)
+            closed = nodes + [nodes[0]]
+            pairs = list(zip(closed, closed[1:]))
+            if any(self._graph[a][b]["constructive"] for a, b in pairs):
+                offending.append(nodes)
+        return offending
+
+    def has_constructive_cycle(self) -> bool:
+        """True iff some cycle contains a constructive edge.
+
+        Equivalent to: some strongly connected component contains a
+        constructive edge between two of its members (including self-loops).
+        This formulation avoids enumerating all simple cycles.
+        """
+        for component in nx.strongly_connected_components(self._graph):
+            for source, target, data in self._graph.edges(component, data=True):
+                if target in component and data["constructive"]:
+                    return True
+        return False
+
+    def strongly_connected_components(self) -> List[FrozenSet[str]]:
+        """The strongly connected components of the graph."""
+        return [frozenset(c) for c in nx.strongly_connected_components(self._graph)]
+
+    def linearized_components(self) -> List[FrozenSet[str]]:
+        """Components in bottom-up topological order.
+
+        The proof of Theorem 8 linearizes the components so that if there is
+        an edge from component ``i`` to component ``j`` then ``i > j`` (the
+        dependency points *down*).  This method returns the components so
+        that every component only depends on components appearing *earlier*
+        in the list -- i.e. the order in which strata must be evaluated
+        bottom-up.
+        """
+        condensation = nx.condensation(self._graph)
+        order = list(nx.topological_sort(condensation))
+        # topological_sort puts dependents before their dependencies for the
+        # condensation's edge direction (head -> body); we want bottom-up.
+        components = [
+            frozenset(condensation.nodes[node]["members"]) for node in order
+        ]
+        return list(reversed(components))
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencyGraph({self._graph.number_of_nodes()} predicates, "
+            f"{self._graph.number_of_edges()} edges, "
+            f"{len(self.constructive_edges())} constructive)"
+        )
+
+    def describe(self) -> str:
+        """A human-readable description (used by the Figure 3 benchmark)."""
+        lines = [f"predicates: {', '.join(self.nodes)}"]
+        for edge in self.edges():
+            lines.append(f"  {edge}")
+        cycles = self.constructive_cycles()
+        if cycles:
+            rendered = "; ".join(" -> ".join(cycle + [cycle[0]]) for cycle in cycles)
+            lines.append(f"constructive cycles: {rendered}")
+        else:
+            lines.append("constructive cycles: none")
+        return "\n".join(lines)
+
+
+def build_dependency_graph(program: Program) -> DependencyGraph:
+    """Build the predicate dependency graph of a program."""
+    return DependencyGraph(program)

@@ -1,0 +1,75 @@
+"""Static finiteness classification.
+
+Theorem 2 of the paper shows that deciding whether a Sequence Datalog program
+has a finite semantics is fully undecidable (outside RE), so no classifier
+can be complete.  What the paper *does* give us is a collection of sufficient
+conditions, each with a complexity guarantee:
+
+================================  ==========================================
+verdict                            guarantee (paper reference)
+================================  ==========================================
+``FINITE_NON_CONSTRUCTIVE``        domain never grows; PTIME data complexity
+                                   (Theorem 3)
+``FINITE_STRONGLY_SAFE``           no constructive cycles; finite minimal
+                                   model, polynomial for order <= 2,
+                                   hyperexponential for order 3
+                                   (Theorems 8, 9, Corollary 2)
+``POSSIBLY_INFINITE``              constructive recursion present; the
+                                   program may have an infinite least
+                                   fixpoint (e.g. Examples 1.5 ``rep2``
+                                   and 1.6 ``echo``)
+================================  ==========================================
+
+``POSSIBLY_INFINITE`` is deliberately conservative: some such programs are
+finite on every database, but proving it is in general impossible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.analysis.fragments import is_non_constructive
+from repro.analysis.safety import SafetyReport, analyze_safety
+from repro.language.clauses import Program
+
+
+class FinitenessVerdict(enum.Enum):
+    """Outcome of the static finiteness classification."""
+
+    FINITE_NON_CONSTRUCTIVE = "finite (non-constructive fragment)"
+    FINITE_STRONGLY_SAFE = "finite (strongly safe)"
+    POSSIBLY_INFINITE = "possibly infinite (constructive recursion)"
+
+    def is_finite(self) -> bool:
+        """True when the verdict guarantees a finite least fixpoint."""
+        return self is not FinitenessVerdict.POSSIBLY_INFINITE
+
+
+@dataclass
+class FinitenessReport:
+    """Classification result with the supporting safety analysis."""
+
+    verdict: FinitenessVerdict
+    safety: SafetyReport
+
+    def describe(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        lines.append(self.safety.describe())
+        return "\n".join(lines)
+
+
+def classify_finiteness(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> FinitenessReport:
+    """Classify a program using the paper's sufficient conditions."""
+    safety = analyze_safety(program, transducer_orders)
+    if is_non_constructive(program):
+        verdict = FinitenessVerdict.FINITE_NON_CONSTRUCTIVE
+    elif safety.strongly_safe:
+        verdict = FinitenessVerdict.FINITE_STRONGLY_SAFE
+    else:
+        verdict = FinitenessVerdict.POSSIBLY_INFINITE
+    return FinitenessReport(verdict=verdict, safety=safety)

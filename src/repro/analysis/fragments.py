@@ -1,0 +1,45 @@
+"""Language fragments used by the paper's complexity results.
+
+* **Non-constructive Sequence Datalog** (Section 5, Theorem 3): programs
+  without any constructive term.  Their extended active domain never grows,
+  and their data complexity is complete for PTIME.
+* **Strongly safe Transducer Datalog** (Section 8): see
+  :mod:`repro.analysis.safety`.
+
+This module provides detection of the non-constructive fragment and the
+extraction of the maximal non-constructive subset of a program (useful as a
+baseline in benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.language.clauses import Clause, Program
+
+
+def is_non_constructive(program: Program) -> bool:
+    """True iff the program contains no constructive clause (Theorem 3 fragment)."""
+    return not program.is_constructive()
+
+
+def non_constructive_subset(program: Program) -> Tuple[Program, Program]:
+    """Split a program into its non-constructive and constructive clauses.
+
+    Returns ``(non_constructive, constructive)``.  The non-constructive part
+    is itself a valid program of the Theorem 3 fragment: evaluating it alone
+    never grows the extended active domain.
+    """
+    plain: List[Clause] = []
+    constructive: List[Clause] = []
+    for clause in program:
+        if clause.is_constructive():
+            constructive.append(clause)
+        else:
+            plain.append(clause)
+    return Program(plain), Program(constructive)
+
+
+def constructive_clause_count(program: Program) -> int:
+    """Number of constructive clauses in the program."""
+    return len(program.constructive_clauses())

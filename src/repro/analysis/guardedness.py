@@ -1,0 +1,132 @@
+"""Guarded programs and the guarded transformation (Appendix B, Theorem 10).
+
+A clause is *guarded* when every sequence variable occurring in it also
+occurs in the body as a direct argument of some predicate atom; a program is
+guarded when all its clauses are.  Guarded programs are insensitive to
+growth of the extended active domain, which is why several proofs in the
+paper (Theorem 7, Section 8) assume guardedness.
+
+Theorem 10 shows the assumption is harmless: every program ``P`` has a
+guarded program ``P^G`` expressing the same queries and preserving
+finiteness.  The construction introduces a fresh ``dom`` predicate holding
+the extended active domain:
+
+* each original clause gets ``dom(X)`` subgoals for all its sequence
+  variables;
+* ``dom(X[M:N]) :- dom(X)`` closes ``dom`` under contiguous subsequences;
+* for every predicate mentioned in the program or the database schema,
+  ``dom(Xi) :- p(X1, ..., Xm)`` adds the sequences of every fact.
+
+:func:`guard_program` implements exactly this construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.language.atoms import Atom
+from repro.language.clauses import Clause, Program
+from repro.language.terms import (
+    IndexVariable,
+    IndexedTerm,
+    SequenceVariable,
+)
+
+
+def is_guarded(program: Program) -> bool:
+    """True iff every clause of the program is guarded."""
+    return program.is_guarded()
+
+
+def unguarded_clauses(program: Program) -> List[Clause]:
+    """The clauses that contain at least one unguarded sequence variable."""
+    return [clause for clause in program if not clause.is_guarded()]
+
+
+def _fresh_dom_name(program: Program, extra_predicates: Iterable[str]) -> str:
+    """Pick a name for the domain predicate that does not clash."""
+    used = set(program.predicates()) | set(extra_predicates)
+    name = "dom"
+    counter = 0
+    while name in used:
+        counter += 1
+        name = f"dom_{counter}"
+    return name
+
+
+def guard_program(
+    program: Program,
+    base_predicates: Optional[Dict[str, int]] = None,
+    dom_predicate: Optional[str] = None,
+) -> Tuple[Program, str]:
+    """The guarded transformation ``P -> P^G`` of Appendix B.
+
+    Parameters
+    ----------
+    program:
+        The program to transform.
+    base_predicates:
+        Arities of the database predicates (``{name: arity}``).  Predicates
+        already mentioned in the program are discovered automatically; pass
+        this when the database schema has relations the program never
+        mentions explicitly.
+    dom_predicate:
+        Name to use for the domain predicate; by default a non-clashing name
+        starting with ``dom`` is chosen.
+
+    Returns
+    -------
+    (guarded_program, dom_name):
+        The transformed program and the name of the domain predicate it uses.
+    """
+    base_predicates = dict(base_predicates or {})
+    arities = program.signatures()
+    for name, arity in base_predicates.items():
+        existing = arities.get(name)
+        if existing is None:
+            arities[name] = arity
+
+    dom_name = dom_predicate or _fresh_dom_name(program, base_predicates)
+
+    clauses: List[Clause] = []
+
+    # (1) Original clauses, with dom(X) subgoals for every sequence variable.
+    for clause in program:
+        guards = [
+            Atom(dom_name, [SequenceVariable(name)])
+            for name in sorted(clause.sequence_variables())
+        ]
+        clauses.append(Clause(clause.head, list(clause.body) + guards))
+
+    # (2) dom is closed under contiguous subsequences.
+    subsequence_clause = Clause(
+        Atom(
+            dom_name,
+            [
+                IndexedTerm(
+                    SequenceVariable("X"), IndexVariable("M"), IndexVariable("N")
+                )
+            ],
+        ),
+        [Atom(dom_name, [SequenceVariable("X")])],
+    )
+    clauses.append(subsequence_clause)
+
+    # (3) dom collects every sequence of every fact of every predicate
+    #     mentioned in the program or the database schema.
+    for predicate in sorted(arities):
+        if predicate == dom_name:
+            continue
+        arity = arities[predicate]
+        variables = [SequenceVariable(f"X{i + 1}") for i in range(arity)]
+        body_atom = Atom(predicate, variables)
+        for i in range(arity):
+            clauses.append(Clause(Atom(dom_name, [variables[i]]), [body_atom]))
+
+    return Program(clauses), dom_name
+
+
+def strip_dom_facts(facts: Iterable, dom_predicate: str) -> List:
+    """Filter ``dom`` facts out of a fact iterable (the ``I^-`` operation of
+    Definition 14 in Appendix B)."""
+    return [fact for fact in facts if fact[0] != dom_predicate]

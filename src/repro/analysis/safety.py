@@ -1,0 +1,119 @@
+"""Strong safety (Definition 10) and program order (Section 7.1).
+
+A Transducer Datalog (or Sequence Datalog) program is *strongly safe* when
+its predicate dependency graph contains no constructive cycle -- i.e. there
+is no recursion through sequence construction.  Strongly safe programs of
+order 2 have polynomially bounded minimal models (Theorem 8), those of order
+3 hyperexponentially bounded ones (Theorem 9); both are finite
+(Corollary 2).
+
+The *order* of a program is the maximum order of the transducers it mentions
+(a program with no transducer terms has order 0; plain concatenation counts
+as order 1 since it is the ``append`` base transducer in disguise, see
+Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.analysis.dependency_graph import DependencyGraph, build_dependency_graph
+from repro.errors import SafetyError
+from repro.language.clauses import Program
+
+
+@dataclass
+class SafetyReport:
+    """The outcome of the strong-safety analysis of a program."""
+
+    strongly_safe: bool
+    constructive_cycles: List[List[str]] = field(default_factory=list)
+    constructive_predicates: List[str] = field(default_factory=list)
+    order: int = 0
+    graph: Optional[DependencyGraph] = None
+
+    def __bool__(self) -> bool:
+        return self.strongly_safe
+
+    def describe(self) -> str:
+        lines = [
+            f"strongly safe: {'yes' if self.strongly_safe else 'no'}",
+            f"program order: {self.order}",
+        ]
+        if self.constructive_predicates:
+            lines.append(
+                "constructive predicates: " + ", ".join(self.constructive_predicates)
+            )
+        if self.constructive_cycles:
+            for cycle in self.constructive_cycles:
+                lines.append("constructive cycle: " + " -> ".join(cycle + [cycle[0]]))
+        return "\n".join(lines)
+
+
+def program_order(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> int:
+    """The order of a program (Section 7.1).
+
+    ``transducer_orders`` maps transducer names to their orders; names not in
+    the mapping default to order 1 (a base transducer).  A program using only
+    plain concatenation has order 1; a program with no constructive clause at
+    all has order 0.
+    """
+    order = 0
+    for clause in program:
+        if not clause.is_constructive():
+            continue
+        clause_order = 1  # plain concatenation == the append base transducer
+        for name in clause.transducer_names():
+            if transducer_orders is not None and name in transducer_orders:
+                clause_order = max(clause_order, transducer_orders[name])
+            else:
+                clause_order = max(clause_order, 1)
+        order = max(order, clause_order)
+    return order
+
+
+def analyze_safety(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> SafetyReport:
+    """Run the strong-safety analysis and return a full report."""
+    graph = build_dependency_graph(program)
+    cycles = graph.constructive_cycles()
+    constructive_predicates = sorted(
+        {clause.head.predicate for clause in program.constructive_clauses()}
+    )
+    return SafetyReport(
+        strongly_safe=not cycles,
+        constructive_cycles=cycles,
+        constructive_predicates=constructive_predicates,
+        order=program_order(program, transducer_orders),
+        graph=graph,
+    )
+
+
+def is_strongly_safe(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> bool:
+    """True iff the program's dependency graph has no constructive cycle."""
+    return build_dependency_graph(program).has_constructive_cycle() is False
+
+
+def require_strongly_safe(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> SafetyReport:
+    """Return the safety report, raising :class:`SafetyError` if unsafe."""
+    report = analyze_safety(program, transducer_orders)
+    if not report.strongly_safe:
+        cycles = "; ".join(
+            " -> ".join(cycle + [cycle[0]]) for cycle in report.constructive_cycles
+        )
+        raise SafetyError(
+            f"program is not strongly safe: constructive cycle(s) {cycles}"
+        )
+    return report

@@ -1,0 +1,116 @@
+"""Stratification with respect to sequence construction.
+
+Section 5 of the paper discusses *stratified construction*: requiring that
+programs be stratified with respect to construction (in analogy with
+stratified negation) guarantees a finite semantics because each new sequence
+is produced by a bounded number of concatenations.  The proof of Theorem 8
+makes the idea precise for strongly safe programs: linearize the strongly
+connected components of the dependency graph and evaluate the induced strata
+bottom-up; constructive rules never participate in recursion, so each
+constructive stratum needs to be applied only once.
+
+:func:`stratify_by_construction` computes that stratification.  It succeeds
+exactly when the program is strongly safe (no constructive cycles); for
+other programs it raises :class:`~repro.errors.SafetyError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.dependency_graph import build_dependency_graph
+from repro.errors import SafetyError
+from repro.language.clauses import Clause, Program
+
+
+@dataclass
+class ConstructionStratification:
+    """A stratification of a program with respect to construction.
+
+    Attributes
+    ----------
+    strata:
+        The sub-programs, bottom-up: the clauses of stratum ``i`` only use
+        predicates defined in strata ``<= i`` (base predicates belong to the
+        database).
+    predicate_stratum:
+        Map from defined predicate to its stratum index.
+    """
+
+    strata: List[Program] = field(default_factory=list)
+    predicate_stratum: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Number of strata."""
+        return len(self.strata)
+
+    def constructive_strata(self) -> List[int]:
+        """Indices of strata containing constructive clauses."""
+        return [
+            index
+            for index, stratum in enumerate(self.strata)
+            if stratum.is_constructive()
+        ]
+
+    def describe(self) -> str:
+        lines = []
+        for index, stratum in enumerate(self.strata):
+            marker = " (constructive)" if stratum.is_constructive() else ""
+            predicates = sorted(stratum.head_predicates())
+            lines.append(f"stratum {index}{marker}: {', '.join(predicates)}")
+        return "\n".join(lines)
+
+
+def stratify_by_construction(program: Program) -> ConstructionStratification:
+    """Stratify a strongly safe program with respect to construction.
+
+    The strata follow the linearized strongly connected components of the
+    predicate dependency graph (proof of Theorem 8): each component becomes
+    one stratum containing the clauses that define its predicates.
+    Consecutive non-constructive components feeding into each other are kept
+    as separate strata; this does not affect correctness and keeps the
+    mapping to the paper's proof transparent.
+
+    Raises
+    ------
+    SafetyError
+        If the program has a constructive cycle (not strongly safe).
+    """
+    graph = build_dependency_graph(program)
+    cycles = graph.constructive_cycles()
+    if cycles:
+        rendered = "; ".join(" -> ".join(cycle + [cycle[0]]) for cycle in cycles)
+        raise SafetyError(
+            f"cannot stratify: program has constructive cycle(s) {rendered}"
+        )
+
+    components = graph.linearized_components()
+    defined = program.head_predicates()
+    predicate_stratum: Dict[str, int] = {}
+    strata: List[Program] = []
+    for component in components:
+        component_predicates = sorted(p for p in component if p in defined)
+        if not component_predicates:
+            continue  # base predicates live in the database, not in a stratum
+        index = len(strata)
+        clauses: List[Clause] = []
+        for predicate in component_predicates:
+            predicate_stratum[predicate] = index
+            clauses.extend(program.clauses_for(predicate))
+        strata.append(Program(clauses))
+    return ConstructionStratification(strata=strata, predicate_stratum=predicate_stratum)
+
+
+def is_stratified_by_construction(program: Program) -> bool:
+    """True iff the program can be stratified with respect to construction.
+
+    This coincides with strong safety (Definition 10): recursion is allowed,
+    but never *through* a constructive clause.
+    """
+    try:
+        stratify_by_construction(program)
+    except SafetyError:
+        return False
+    return True

@@ -1,0 +1,86 @@
+"""Baselines from the related work discussed in Section 1.1 of the paper.
+
+The paper positions Sequence Datalog against three earlier proposals for
+querying sequence databases.  To make the comparisons in Section 1.1
+executable, this package implements a faithful core of each proposal:
+
+* :mod:`~repro.baselines.rs_operations` -- the pattern-based *extractors*
+  and *mergers* (rs-operations) of Ginsburg and Wang [16, 34], the basis of
+  the s-calculus / s-algebra.  Their safe fragment cannot express queries
+  whose result length depends on the database (reverse, complement).
+* :mod:`~repro.baselines.alignment` -- multi-tape, nondeterministic,
+  two-way finite automata, the computational counterpart of the alignment
+  logic of Grahne, Nykanen and Ukkonen [20].  They accept or reject tuples
+  of sequences but do not construct new ones.
+* :mod:`~repro.baselines.temporal` -- a temporal (LTL-style) list query
+  evaluator in the spirit of Richardson [27], where successive positions of
+  a sequence are successive time instants.  The paper notes it cannot
+  express properties such as "p holds at every even position" or "X contains
+  one or more copies of Y" [36].
+
+Each baseline is used by ``benchmarks/bench_baselines.py`` to regenerate the
+Section 1.1 comparison: which of the paper's motivating queries each
+formalism can express, and at what cost.
+"""
+
+from repro.baselines.alignment import (
+    AlignmentAutomaton,
+    AlignmentTransition,
+    LEFT,
+    RIGHT,
+    STAY_PUT,
+    anbncn_acceptor,
+    equal_sequences_acceptor,
+    subsequence_acceptor,
+    suffix_acceptor,
+)
+from repro.baselines.rs_operations import (
+    Extractor,
+    Merger,
+    Pattern,
+    PatternItem,
+    literal,
+    variable,
+)
+from repro.baselines.temporal import (
+    Always,
+    And,
+    Eventually,
+    Next,
+    Not,
+    Or,
+    Proposition,
+    TemporalFormula,
+    Until,
+    evaluate as evaluate_temporal,
+    holds,
+)
+
+__all__ = [
+    "AlignmentAutomaton",
+    "AlignmentTransition",
+    "Always",
+    "And",
+    "Eventually",
+    "Extractor",
+    "LEFT",
+    "Merger",
+    "Next",
+    "Not",
+    "Or",
+    "Pattern",
+    "PatternItem",
+    "Proposition",
+    "RIGHT",
+    "STAY_PUT",
+    "TemporalFormula",
+    "Until",
+    "anbncn_acceptor",
+    "equal_sequences_acceptor",
+    "evaluate_temporal",
+    "holds",
+    "literal",
+    "subsequence_acceptor",
+    "suffix_acceptor",
+    "variable",
+]

@@ -1,0 +1,338 @@
+"""Multi-tape two-way automata: the machine model behind alignment logic.
+
+Section 1.1 of the paper discusses the alignment logic of Grahne, Nykanen
+and Ukkonen [20], "an elegant and expressive first-order logic for a
+relational model with sequences" whose computational counterpart is *the
+class of multi-tape, nondeterministic, two-way, finite-state automata, which
+are used to accept or reject tuples of sequences*.  The paper's criticism is
+that the nondeterministic model makes query evaluation problematic and that
+the model accepts tuples but never constructs new sequences.
+
+This module implements that machine model so the comparison is executable:
+
+* an :class:`AlignmentAutomaton` has ``m`` read-only input tapes, each with
+  a left end marker ``⊢`` and a right end marker ``⊣``;
+* a transition maps ``(state, scanned symbols)`` to a set of
+  ``(next state, per-tape head moves)`` choices where each move is
+  :data:`LEFT`, :data:`RIGHT` or :data:`STAY_PUT`;
+* a tuple of sequences is **accepted** when some computation path reaches an
+  accepting state.
+
+Because heads can move both ways, the configuration space (state x head
+positions) is finite but computations can loop; acceptance is therefore
+decided by a breadth-first search over configurations rather than by
+simulating individual runs, which also side-steps the evaluation problem the
+paper points out (for the acceptance question only).
+
+The ready-made acceptors at the bottom (equality, suffix, scattered
+subsequence, a^n b^n c^n) are the standard textbook constructions and are
+used by tests and by ``benchmarks/bench_baselines.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+from repro.errors import TransducerDefinitionError, TransducerRuntimeError
+from repro.sequences import as_sequence
+
+#: Left end-of-tape marker (the automaton cannot move left of it).
+LEFT_MARKER = "⊢"
+
+#: Right end-of-tape marker (the automaton cannot move right of it).
+RIGHT_MARKER = "⊣"
+
+#: Head command: move one cell to the left.
+LEFT = "<"
+
+#: Head command: move one cell to the right.
+RIGHT = ">"
+
+#: Head command: stay on the current cell.
+STAY_PUT = "-"
+
+_MOVES = {LEFT: -1, RIGHT: 1, STAY_PUT: 0}
+
+
+@dataclass(frozen=True)
+class AlignmentTransition:
+    """One nondeterministic choice: the next state and one move per head."""
+
+    next_state: str
+    moves: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for move in self.moves:
+            if move not in _MOVES:
+                raise TransducerDefinitionError(
+                    f"invalid head move {move!r} (use LEFT, RIGHT or STAY_PUT)"
+                )
+
+
+class AlignmentAutomaton:
+    """A multi-tape, nondeterministic, two-way finite automaton.
+
+    Parameters
+    ----------
+    name:
+        A human-readable name.
+    num_tapes:
+        The number of input tapes (the arity of the accepted relation).
+    alphabet:
+        The finite input alphabet (end markers are added automatically).
+    initial_state / accepting_states:
+        Control states; acceptance is by reaching an accepting state.
+    transitions:
+        ``(state, scanned symbols) -> iterable of AlignmentTransition``.
+        A scanned symbol may be an ordinary symbol or an end marker.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_tapes: int,
+        alphabet: Iterable[str],
+        initial_state: str,
+        accepting_states: Iterable[str],
+        transitions: Mapping[Tuple[str, Tuple[str, ...]], Iterable[AlignmentTransition]],
+    ):
+        if num_tapes < 1:
+            raise TransducerDefinitionError("an alignment automaton needs at least one tape")
+        self.name = name
+        self.num_tapes = num_tapes
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self.initial_state = initial_state
+        self.accepting_states = frozenset(accepting_states)
+        self.transitions: Dict[Tuple[str, Tuple[str, ...]], Tuple[AlignmentTransition, ...]] = {
+            key: tuple(choices) for key, choices in transitions.items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        for (state, scanned), choices in self.transitions.items():
+            if len(scanned) != self.num_tapes:
+                raise TransducerDefinitionError(
+                    f"{self.name}: key {scanned!r} does not have {self.num_tapes} symbols"
+                )
+            for choice in choices:
+                if len(choice.moves) != self.num_tapes:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: transition from {state!r} has "
+                        f"{len(choice.moves)} moves, expected {self.num_tapes}"
+                    )
+                for symbol, move in zip(scanned, choice.moves):
+                    if symbol == LEFT_MARKER and move == LEFT:
+                        raise TransducerDefinitionError(
+                            f"{self.name}: transition from {state!r} moves a head "
+                            "left of the left end marker"
+                        )
+                    if symbol == RIGHT_MARKER and move == RIGHT:
+                        raise TransducerDefinitionError(
+                            f"{self.name}: transition from {state!r} moves a head "
+                            "right of the right end marker"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignmentAutomaton({self.name!r}, tapes={self.num_tapes}, "
+            f"states~{len({state for state, _ in self.transitions} | self.accepting_states)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Acceptance
+    # ------------------------------------------------------------------
+    def accepts(self, *inputs) -> bool:
+        """True iff some computation path accepts the tuple of sequences.
+
+        The search explores the (finite) configuration graph breadth-first,
+        so it terminates even when individual runs could loop forever -- the
+        evaluation difficulty the paper attributes to the nondeterministic
+        two-way model concerns query answering (finding *which* tuples are
+        accepted over an infinite universe), not this membership check.
+        """
+        if len(inputs) != self.num_tapes:
+            raise TransducerRuntimeError(
+                f"{self.name}: expected {self.num_tapes} sequences, got {len(inputs)}"
+            )
+        tapes = [
+            LEFT_MARKER + as_sequence(value).text + RIGHT_MARKER for value in inputs
+        ]
+        # Every head starts on the left end marker (cell 0).
+        start = (self.initial_state, (0,) * self.num_tapes)
+        if self.initial_state in self.accepting_states:
+            return True
+        seen: Set[Tuple[str, Tuple[int, ...]]] = {start}
+        frontier = deque([start])
+        while frontier:
+            state, positions = frontier.popleft()
+            scanned = tuple(
+                tape[position] for tape, position in zip(tapes, positions)
+            )
+            for choice in self.transitions.get((state, scanned), ()):
+                next_positions = tuple(
+                    position + _MOVES[move]
+                    for position, move in zip(positions, choice.moves)
+                )
+                successor = (choice.next_state, next_positions)
+                if successor in seen:
+                    continue
+                if choice.next_state in self.accepting_states:
+                    return True
+                seen.add(successor)
+                frontier.append(successor)
+        return False
+
+    def accepted_tuples(self, *relations: Iterable) -> Set[Tuple[str, ...]]:
+        """Filter the cartesian product of unary relations by acceptance.
+
+        This is how an acceptor is used as a query device over a *database*
+        (active-domain evaluation); it cannot construct sequences that are
+        not already stored, which is the limitation Section 1.1 points out.
+        """
+        from itertools import product
+
+        results: Set[Tuple[str, ...]] = set()
+        pools = [[as_sequence(value).text for value in relation] for relation in relations]
+        for combination in product(*pools):
+            if self.accepts(*combination):
+                results.add(tuple(combination))
+        return results
+
+
+class AlignmentBuilder:
+    """Incrementally build an :class:`AlignmentAutomaton`."""
+
+    def __init__(self, name: str, num_tapes: int, alphabet: Iterable[str]):
+        self.name = name
+        self.num_tapes = num_tapes
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self._transitions: Dict[Tuple[str, Tuple[str, ...]], List[AlignmentTransition]] = {}
+        self._accepting: Set[str] = set()
+
+    def add(
+        self,
+        state: str,
+        scanned: Iterable[str],
+        next_state: str,
+        moves: Iterable[str],
+    ) -> "AlignmentBuilder":
+        key = (state, tuple(scanned))
+        self._transitions.setdefault(key, []).append(
+            AlignmentTransition(next_state=next_state, moves=tuple(moves))
+        )
+        return self
+
+    def accept(self, *states: str) -> "AlignmentBuilder":
+        self._accepting.update(states)
+        return self
+
+    def build(self, initial_state: str) -> AlignmentAutomaton:
+        return AlignmentAutomaton(
+            name=self.name,
+            num_tapes=self.num_tapes,
+            alphabet=self.alphabet,
+            initial_state=initial_state,
+            accepting_states=self._accepting,
+            transitions=self._transitions,
+        )
+
+
+# ----------------------------------------------------------------------
+# Standard acceptors
+# ----------------------------------------------------------------------
+def equal_sequences_acceptor(alphabet: Iterable[str]) -> AlignmentAutomaton:
+    """Accept pairs ``(x, y)`` with ``x = y`` (symbol-by-symbol comparison)."""
+    symbols = tuple(dict.fromkeys(alphabet))
+    builder = AlignmentBuilder("equal", num_tapes=2, alphabet=symbols)
+    builder.add("scan", (LEFT_MARKER, LEFT_MARKER), "scan", (RIGHT, RIGHT))
+    for symbol in symbols:
+        builder.add("scan", (symbol, symbol), "scan", (RIGHT, RIGHT))
+    builder.add("scan", (RIGHT_MARKER, RIGHT_MARKER), "yes", (STAY_PUT, STAY_PUT))
+    builder.accept("yes")
+    return builder.build(initial_state="scan")
+
+
+def suffix_acceptor(alphabet: Iterable[str]) -> AlignmentAutomaton:
+    """Accept pairs ``(x, y)`` where ``y`` is a suffix of ``x``.
+
+    The automaton nondeterministically skips a prefix of ``x`` (this is where
+    two-way/nondeterministic power is *not* even needed) and then compares
+    the remainder against ``y``.
+    """
+    symbols = tuple(dict.fromkeys(alphabet))
+    builder = AlignmentBuilder("suffix", num_tapes=2, alphabet=symbols)
+    builder.add("skip", (LEFT_MARKER, LEFT_MARKER), "skip", (RIGHT, STAY_PUT))
+    for symbol in symbols:
+        # Either keep skipping the prefix of x, or start matching.
+        builder.add("skip", (symbol, LEFT_MARKER), "skip", (RIGHT, STAY_PUT))
+        builder.add("skip", (symbol, LEFT_MARKER), "match", (STAY_PUT, RIGHT))
+    # x exhausted while still skipping: y must be empty.
+    builder.add("skip", (RIGHT_MARKER, LEFT_MARKER), "match", (STAY_PUT, RIGHT))
+    for symbol in symbols:
+        builder.add("match", (symbol, symbol), "match", (RIGHT, RIGHT))
+    builder.add("match", (RIGHT_MARKER, RIGHT_MARKER), "yes", (STAY_PUT, STAY_PUT))
+    builder.accept("yes")
+    return builder.build(initial_state="skip")
+
+
+def subsequence_acceptor(alphabet: Iterable[str]) -> AlignmentAutomaton:
+    """Accept pairs ``(x, y)`` where ``y`` is a *scattered* subsequence of ``x``."""
+    symbols = tuple(dict.fromkeys(alphabet))
+    builder = AlignmentBuilder("scattered_subsequence", num_tapes=2, alphabet=symbols)
+    builder.add("scan", (LEFT_MARKER, LEFT_MARKER), "scan", (RIGHT, RIGHT))
+    for x_symbol in symbols:
+        for y_symbol in symbols + (RIGHT_MARKER,):
+            if x_symbol == y_symbol:
+                builder.add("scan", (x_symbol, y_symbol), "scan", (RIGHT, RIGHT))
+            # Always allowed: drop the current symbol of x.
+            builder.add("scan", (x_symbol, y_symbol), "scan", (RIGHT, STAY_PUT))
+    builder.add("scan", (RIGHT_MARKER, RIGHT_MARKER), "yes", (STAY_PUT, STAY_PUT))
+    for x_symbol in symbols:
+        builder.add("scan", (x_symbol, RIGHT_MARKER), "scan", (RIGHT, STAY_PUT))
+    builder.accept("yes")
+    return builder.build(initial_state="scan")
+
+
+def anbncn_acceptor() -> AlignmentAutomaton:
+    """Accept ``(x, x)`` pairs where ``x`` is of the form ``a^n b^n c^n``.
+
+    Alignment logic evaluates formulas over *tuples* of sequences, so
+    recognizing a unary pattern with a two-head device is done by feeding
+    the same sequence on both tapes (the benchmark and tests do exactly
+    that via :func:`accepts_anbncn`).  Head 1 compares the a-block with the
+    b-block while head 2 lags behind; then head 2 compares the b-block with
+    the c-block.  Both heads only ever move right, but across the two tapes
+    they implement the two comparison passes a single one-way head cannot do.
+    """
+    builder = AlignmentBuilder("anbncn", num_tapes=2, alphabet="abc")
+    # Initialise: move both heads onto the first symbol.
+    builder.add("init", (LEFT_MARKER, LEFT_MARKER), "count_a", (RIGHT, RIGHT))
+    # Empty word: accept.
+    builder.add("count_a", (RIGHT_MARKER, RIGHT_MARKER), "yes", (STAY_PUT, STAY_PUT))
+    # Phase 1: head 1 scans the a-block; head 2 stays on the first symbol.
+    builder.add("count_a", ("a", "a"), "count_a", (RIGHT, STAY_PUT))
+    # Head 1 reaches the first b: start matching a's (head 2) against b's
+    # (head 1) one for one.
+    builder.add("count_a", ("b", "a"), "match_ab", (STAY_PUT, STAY_PUT))
+    # Phase 2: consume one b on head 1 and one a on head 2 per step.
+    builder.add("match_ab", ("b", "a"), "match_ab", (RIGHT, RIGHT))
+    # Head 2 reaches the first b exactly when head 1 reaches the first c:
+    # blocks of a and b have equal length.
+    builder.add("match_ab", ("c", "b"), "match_bc", (STAY_PUT, STAY_PUT))
+    # Phase 3: consume one c on head 1 and one b on head 2 per step.
+    builder.add("match_bc", ("c", "b"), "match_bc", (RIGHT, RIGHT))
+    # Head 1 reaches the right end marker exactly when head 2 reaches the
+    # first c: blocks of b and c have equal length.
+    builder.add("match_bc", (RIGHT_MARKER, "c"), "tail_c", (STAY_PUT, RIGHT))
+    # Phase 4: head 2 verifies that only c's remain until the end.
+    builder.add("tail_c", (RIGHT_MARKER, "c"), "tail_c", (STAY_PUT, RIGHT))
+    builder.add("tail_c", (RIGHT_MARKER, RIGHT_MARKER), "yes", (STAY_PUT, STAY_PUT))
+    builder.accept("yes")
+    return builder.build(initial_state="init")
+
+
+def accepts_anbncn(word) -> bool:
+    """Convenience wrapper: run the two-head acceptor on ``(word, word)``."""
+    return anbncn_acceptor().accepts(word, word)

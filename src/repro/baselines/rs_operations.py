@@ -1,0 +1,312 @@
+"""rs-operations: pattern-based extractors and mergers (Ginsburg & Wang).
+
+Section 1.1 of the paper describes the sequence logic of [16, 34], built on
+*rs-operations*: every operation is either a **merger**, which uses a set of
+patterns to merge a set of sequences into a new one, or an **extractor**,
+which retrieves subsequences of a given sequence.  The s-calculus and
+s-algebra are built on these operations, and their safe fragment cannot
+express queries whose result length depends on the database (the reverse or
+the complement of a sequence) -- which is precisely the motivation the paper
+gives for Sequence Datalog's recursive construction.
+
+This module implements the operational core of that proposal so the
+comparison can be run:
+
+* a :class:`Pattern` is a finite list of items, each a literal sequence or a
+  named variable; a pattern *matches* a sequence when the sequence can be
+  split into consecutive factors, one per item, with literals matching
+  exactly and equal variables bound to equal factors;
+* an :class:`Extractor` matches an input pattern against a sequence and
+  emits, for every match, the concatenation described by an output pattern
+  over the same variables (so it can only rearrange and duplicate bounded
+  pieces of its input);
+* a :class:`Merger` matches one input pattern per input sequence and emits
+  the output-pattern concatenation of the combined bindings.
+
+Both operations are *non-recursive*: the number of concatenations they
+perform is fixed by the patterns, independent of the database -- the same
+limitation the paper points out for stratified construction (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence as TypingSequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.sequences import Sequence, as_sequence
+
+
+@dataclass(frozen=True)
+class PatternItem:
+    """One item of a pattern: a literal factor or a named variable."""
+
+    kind: str  # "literal" or "variable"
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("literal", "variable"):
+            raise ValidationError(f"unknown pattern item kind {self.kind!r}")
+        if self.kind == "variable" and not self.value:
+            raise ValidationError("pattern variables need a non-empty name")
+
+    def __str__(self) -> str:
+        return self.value if self.kind == "variable" else f'"{self.value}"'
+
+
+def literal(text: str) -> PatternItem:
+    """A literal pattern item matching exactly ``text``."""
+    return PatternItem("literal", text)
+
+
+def variable(name: str) -> PatternItem:
+    """A pattern variable; equal names must bind to equal factors."""
+    return PatternItem("variable", name)
+
+
+class Pattern:
+    """A finite concatenation pattern over literals and variables.
+
+    Examples
+    --------
+    The pattern ``(X, "b", X)`` matches ``aba`` with ``X = a`` and ``bbb``
+    with ``X = b``, but does not match ``abc``.
+    """
+
+    def __init__(self, items: Iterable[PatternItem]):
+        self.items: Tuple[PatternItem, ...] = tuple(items)
+        if not self.items:
+            raise ValidationError("a pattern needs at least one item")
+
+    def variables(self) -> List[str]:
+        """The distinct variable names, in order of first occurrence."""
+        seen: List[str] = []
+        for item in self.items:
+            if item.kind == "variable" and item.value not in seen:
+                seen.append(item.value)
+        return seen
+
+    def __str__(self) -> str:
+        return " . ".join(str(item) for item in self.items)
+
+    def __repr__(self) -> str:
+        return f"Pattern({list(self.items)!r})"
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def matches(
+        self, value, bindings: Optional[Dict[str, str]] = None
+    ) -> Iterator[Dict[str, str]]:
+        """Yield every binding of the pattern's variables against ``value``.
+
+        ``bindings`` pre-binds some variables (used by mergers so that equal
+        variables across different input patterns must agree).
+        """
+        text = as_sequence(value).text
+        initial = dict(bindings or {})
+        yield from self._match_items(0, text, initial)
+
+    def _match_items(
+        self, item_index: int, remaining: str, bindings: Dict[str, str]
+    ) -> Iterator[Dict[str, str]]:
+        if item_index == len(self.items):
+            if not remaining:
+                yield dict(bindings)
+            return
+        item = self.items[item_index]
+        if item.kind == "literal":
+            if remaining.startswith(item.value):
+                yield from self._match_items(
+                    item_index + 1, remaining[len(item.value):], bindings
+                )
+            return
+        # Variable item.
+        bound = bindings.get(item.value)
+        if bound is not None:
+            if remaining.startswith(bound):
+                yield from self._match_items(
+                    item_index + 1, remaining[len(bound):], bindings
+                )
+            return
+        for split in range(len(remaining) + 1):
+            bindings[item.value] = remaining[:split]
+            yield from self._match_items(item_index + 1, remaining[split:], bindings)
+        del bindings[item.value]
+
+    def instantiate(self, bindings: Dict[str, str]) -> Sequence:
+        """Build the sequence described by the pattern under ``bindings``."""
+        parts: List[str] = []
+        for item in self.items:
+            if item.kind == "literal":
+                parts.append(item.value)
+            else:
+                try:
+                    parts.append(bindings[item.value])
+                except KeyError:
+                    raise ValidationError(
+                        f"output pattern variable {item.value!r} is unbound"
+                    ) from None
+        return Sequence("".join(parts))
+
+
+class Extractor:
+    """An rs-operation extractor: retrieve rearrangements of factors.
+
+    Given an *input pattern* and an *output pattern* over the same variables,
+    the extractor applied to a sequence yields, for every way the input
+    pattern matches the sequence, the instantiation of the output pattern.
+
+    The canonical example from [16] is extracting the middle of a framed
+    sequence: input pattern ``("<", X, ">")`` with output pattern ``(X,)``.
+    """
+
+    def __init__(self, input_pattern: Pattern, output_pattern: Pattern, name: str = "extract"):
+        self.name = name
+        self.input_pattern = input_pattern
+        self.output_pattern = output_pattern
+        unknown = set(output_pattern.variables()) - set(input_pattern.variables())
+        if unknown:
+            raise ValidationError(
+                f"{name}: output pattern uses unbound variables {sorted(unknown)}"
+            )
+
+    def apply(self, value) -> Set[Sequence]:
+        """All extractions from a single sequence."""
+        results: Set[Sequence] = set()
+        for bindings in self.input_pattern.matches(value):
+            results.add(self.output_pattern.instantiate(bindings))
+        return results
+
+    def apply_relation(self, values: Iterable) -> Set[Sequence]:
+        """Apply the extractor to every sequence of a unary relation."""
+        results: Set[Sequence] = set()
+        for value in values:
+            results |= self.apply(value)
+        return results
+
+    def __repr__(self) -> str:
+        return f"Extractor({self.name!r}: {self.input_pattern} => {self.output_pattern})"
+
+
+class Merger:
+    """An rs-operation merger: combine several sequences by patterns.
+
+    A merger has one input pattern per input sequence and a single output
+    pattern; variables shared between input patterns must bind to equal
+    factors (this is how [16] expresses joins on sequence content).  The
+    number of concatenations performed is fixed by the output pattern, so a
+    merger -- like stratified construction in Section 5 of the paper --
+    cannot express restructurings whose length depends on the data, such as
+    reverse or complement.
+    """
+
+    def __init__(
+        self,
+        input_patterns: TypingSequence[Pattern],
+        output_pattern: Pattern,
+        name: str = "merge",
+    ):
+        self.name = name
+        self.input_patterns = tuple(input_patterns)
+        self.output_pattern = output_pattern
+        if not self.input_patterns:
+            raise ValidationError(f"{name}: a merger needs at least one input pattern")
+        available: Set[str] = set()
+        for pattern in self.input_patterns:
+            available |= set(pattern.variables())
+        unknown = set(output_pattern.variables()) - available
+        if unknown:
+            raise ValidationError(
+                f"{name}: output pattern uses unbound variables {sorted(unknown)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.input_patterns)
+
+    def apply(self, *values) -> Set[Sequence]:
+        """All merges of one tuple of input sequences."""
+        if len(values) != self.arity:
+            raise ValidationError(
+                f"{self.name}: expected {self.arity} sequences, got {len(values)}"
+            )
+        results: Set[Sequence] = set()
+        for bindings in self._joint_matches(0, {}, values):
+            results.add(self.output_pattern.instantiate(bindings))
+        return results
+
+    def _joint_matches(
+        self, index: int, bindings: Dict[str, str], values: Tuple
+    ) -> Iterator[Dict[str, str]]:
+        if index == self.arity:
+            yield dict(bindings)
+            return
+        pattern = self.input_patterns[index]
+        for extended in pattern.matches(values[index], bindings):
+            yield from self._joint_matches(index + 1, extended, values)
+
+    def apply_relation(self, *relations: Iterable) -> Set[Sequence]:
+        """Apply the merger to the cartesian product of unary relations."""
+        from itertools import product
+
+        results: Set[Sequence] = set()
+        for combination in product(*[list(relation) for relation in relations]):
+            results |= self.apply(*combination)
+        return results
+
+    def __repr__(self) -> str:
+        inputs = ", ".join(str(pattern) for pattern in self.input_patterns)
+        return f"Merger({self.name!r}: [{inputs}] => {self.output_pattern})"
+
+
+# ----------------------------------------------------------------------
+# Ready-made operations used by tests and the Section 1.1 benchmark
+# ----------------------------------------------------------------------
+def concatenation_merger() -> Merger:
+    """The merger expressing Example 1.2: concatenate two sequences."""
+    return Merger(
+        input_patterns=[Pattern([variable("X")]), Pattern([variable("Y")])],
+        output_pattern=Pattern([variable("X"), variable("Y")]),
+        name="concat",
+    )
+
+
+def prefix_extractor() -> Extractor:
+    """Extract every prefix of a sequence (a length-dependent *set*, but each
+    output is a factor of the input -- no new symbols are created)."""
+    return Extractor(
+        input_pattern=Pattern([variable("P"), variable("Rest")]),
+        output_pattern=Pattern([variable("P")]),
+        name="prefixes",
+    )
+
+
+def suffix_extractor() -> Extractor:
+    """Extract every suffix of a sequence (Example 1.1 expressed with
+    rs-operations)."""
+    return Extractor(
+        input_pattern=Pattern([variable("Front"), variable("S")]),
+        output_pattern=Pattern([variable("S")]),
+        name="suffixes",
+    )
+
+
+def square_merger() -> Merger:
+    """Merge a sequence with itself: ``X -> XX`` (Example 5.1's ``double``)."""
+    return Merger(
+        input_patterns=[Pattern([variable("X")])],
+        output_pattern=Pattern([variable("X"), variable("X")]),
+        name="double",
+    )
+
+
+def tandem_repeat_extractor() -> Extractor:
+    """Detect an adjacent repeat: matches sequences of the form ``W W Rest``
+    and extracts the repeated factor ``W`` (the non-empty ones are the
+    interesting answers)."""
+    return Extractor(
+        input_pattern=Pattern([variable("W"), variable("W"), variable("Rest")]),
+        output_pattern=Pattern([variable("W")]),
+        name="tandem_repeat",
+    )

@@ -1,0 +1,281 @@
+"""A temporal-logic list query evaluator (the Richardson [27] baseline).
+
+Section 1.1 of the paper discusses the proposal of [27], where temporal
+logic is used as the basis of a list query language: "conceptually, each
+successive position in a list is interpreted as a successive instance in
+time", so temporal predicates investigate properties of lists.  The paper
+then notes the limitation (due to Wolper [36]) that temporal logic cannot
+express simple properties such as "a certain predicate is true at every
+*even* position of a list" or "a sequence contains one or more copies of
+another sequence".
+
+This module implements propositional linear temporal logic over *finite*
+sequences (finite-trace LTL), which is the core of that proposal:
+
+* atomic propositions test the symbol at the current position
+  (:class:`Proposition`);
+* Boolean connectives :class:`Not`, :class:`And`, :class:`Or`;
+* temporal connectives :class:`Next`, :class:`Until`, and the derived
+  :class:`Eventually` and :class:`Always`.
+
+Finite-trace conventions: ``Next φ`` is false at the last position (the
+"strong next"), ``Always φ`` means φ holds from the current position to the
+end, and the empty sequence satisfies ``Always φ`` vacuously and never
+satisfies ``Eventually φ``.
+
+The evaluator is used by tests and ``benchmarks/bench_baselines.py`` to
+compare what the three Section 1.1 baselines and Sequence Datalog can say
+about the same workloads.  Being propositional LTL over a fixed alphabet,
+every formula defines a *star-free regular* language -- which is why the
+even-position and repetition properties (both non-star-free or
+non-regular) fall outside the formalism, exactly as the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from repro.errors import ValidationError
+from repro.sequences import as_sequence
+
+
+class TemporalFormula:
+    """Base class of finite-trace LTL formulas over sequence positions."""
+
+    def holds_at(self, word: str, position: int) -> bool:
+        """True iff the formula holds at 0-based ``position`` of ``word``.
+
+        ``position == len(word)`` is allowed and represents the (empty)
+        suffix past the end of the sequence.
+        """
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "TemporalFormula") -> "TemporalFormula":
+        return And(self, other)
+
+    def __or__(self, other: "TemporalFormula") -> "TemporalFormula":
+        return Or(self, other)
+
+    def __invert__(self) -> "TemporalFormula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Proposition(TemporalFormula):
+    """The current symbol is one of ``symbols``."""
+
+    symbols: FrozenSet[str]
+
+    def __init__(self, symbols: Iterable[str]):
+        cleaned = frozenset(symbols)
+        if not cleaned:
+            raise ValidationError("a proposition needs at least one symbol")
+        for symbol in cleaned:
+            if len(symbol) != 1:
+                raise ValidationError(
+                    f"propositions test single symbols, got {symbol!r}"
+                )
+        object.__setattr__(self, "symbols", cleaned)
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return position < len(word) and word[position] in self.symbols
+
+    def __str__(self) -> str:
+        return "|".join(sorted(self.symbols))
+
+
+def symbol(value: str) -> Proposition:
+    """Shorthand for the proposition "the current symbol is ``value``"."""
+    return Proposition([value])
+
+
+@dataclass(frozen=True)
+class Not(TemporalFormula):
+    operand: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return not self.operand.holds_at(word, position)
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(TemporalFormula):
+    left: TemporalFormula
+    right: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return self.left.holds_at(word, position) and self.right.holds_at(word, position)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(TemporalFormula):
+    left: TemporalFormula
+    right: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return self.left.holds_at(word, position) or self.right.holds_at(word, position)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(TemporalFormula):
+    """Strong next: there is a next position and the operand holds there."""
+
+    operand: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return position < len(word) and self.operand.holds_at(word, position + 1)
+
+    def __str__(self) -> str:
+        return f"X({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(TemporalFormula):
+    """``left U right``: right eventually holds, left holds until then."""
+
+    left: TemporalFormula
+    right: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        for future in range(position, len(word) + 1):
+            if self.right.holds_at(word, future):
+                return True
+            if not self.left.holds_at(word, future):
+                return False
+        return False
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class Eventually(TemporalFormula):
+    """``F φ``: φ holds at some position from here to the end."""
+
+    operand: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return any(
+            self.operand.holds_at(word, future)
+            for future in range(position, len(word) + 1)
+        )
+
+    def __str__(self) -> str:
+        return f"F({self.operand})"
+
+
+@dataclass(frozen=True)
+class Always(TemporalFormula):
+    """``G φ``: φ holds at every position from here to the end of the list."""
+
+    operand: TemporalFormula
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return all(
+            self.operand.holds_at(word, future)
+            for future in range(position, len(word))
+        )
+
+    def __str__(self) -> str:
+        return f"G({self.operand})"
+
+
+@dataclass(frozen=True)
+class AtEnd(TemporalFormula):
+    """True exactly at the position just past the last element."""
+
+    def holds_at(self, word: str, position: int) -> bool:
+        return position >= len(word)
+
+    def __str__(self) -> str:
+        return "end"
+
+
+# ----------------------------------------------------------------------
+# Evaluation helpers
+# ----------------------------------------------------------------------
+def holds(formula: TemporalFormula, value) -> bool:
+    """True iff the formula holds at the first position of the sequence."""
+    return formula.holds_at(as_sequence(value).text, 0)
+
+
+def evaluate(formula: TemporalFormula, relation: Iterable) -> List[str]:
+    """The sequences of a unary relation satisfying the formula.
+
+    This is the temporal list-query analogue of a Sequence Datalog
+    pattern-matching query: select the stored lists with a given temporal
+    property.  Like the alignment baseline, it can only *select* stored
+    sequences; it cannot restructure them.
+    """
+    selected = []
+    for value in relation:
+        text = as_sequence(value).text
+        if formula.holds_at(text, 0):
+            selected.append(text)
+    return sorted(selected)
+
+
+def satisfying_positions(formula: TemporalFormula, value) -> List[int]:
+    """All 1-based positions of the sequence at which the formula holds."""
+    text = as_sequence(value).text
+    return [
+        position + 1
+        for position in range(len(text))
+        if formula.holds_at(text, position)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Ready-made formulas used by tests and the Section 1.1 benchmark
+# ----------------------------------------------------------------------
+def sorted_blocks_formula(order: Tuple[str, ...] = ("a", "b", "c")) -> TemporalFormula:
+    """"The list consists of a block of a's, then b's, then c's" (the regular
+    *shape* of Example 1.3 -- but temporal logic cannot also require the
+    three blocks to have equal length, which is the point of the example)."""
+    if len(order) < 2:
+        raise ValidationError("need at least two block symbols")
+    # "every position's symbol is >= every earlier position's symbol" over
+    # the fixed order -- expressed as: G(b -> G !a) & G(c -> G !(a|b)) ...
+    # where the implication p -> q is written !p | q.
+    clauses: List[TemporalFormula] = [Always(Proposition(order))]
+    for index in range(1, len(order)):
+        later = Proposition(order[index:])
+        earlier = Proposition(order[:index])
+        # G( later -> G(not earlier) )  ==  G( !later | G(!earlier) )
+        clauses.append(Always(Or(Not(later), Always(Not(earlier)))))
+    formula = clauses[0]
+    for clause in clauses[1:]:
+        formula = And(formula, clause)
+    return formula
+
+
+def contains_symbol_formula(target: str) -> TemporalFormula:
+    """"Some position carries ``target``" (a simple Eventually)."""
+    return Eventually(symbol(target))
+
+
+def ends_with_formula(suffix: str) -> TemporalFormula:
+    """"The list ends with the word ``suffix``" (nested Next under Eventually)."""
+    tail: TemporalFormula = AtEnd()
+    for character in reversed(suffix):
+        tail = And(symbol(character), Next(tail))
+    return Eventually(tail)
+
+
+def every_even_position_reference(value, target: str) -> bool:
+    """The property the paper says temporal logic *cannot* express: ``target``
+    holds at every even position (2nd, 4th, ...).  Provided as a plain-Python
+    reference so tests and the benchmark can show Sequence Datalog expresses
+    it while no formula here does."""
+    text = as_sequence(value).text
+    return all(text[position] == target for position in range(1, len(text), 2))

@@ -1,0 +1,134 @@
+"""Command-line interface for the Sequence Datalog engine.
+
+Three subcommands cover the typical workflow::
+
+    python -m repro.cli run program.sdl --db database.json --query "answer(X)"
+    python -m repro.cli analyze program.sdl
+    python -m repro.cli parse program.sdl
+
+* ``run`` evaluates a program over a database given as a JSON object mapping
+  relation names to lists of strings (unary relations) or lists of string
+  lists (n-ary relations), then prints the answers to the query pattern.
+* ``analyze`` prints the strong-safety report and the finiteness verdict.
+* ``parse`` pretty-prints the parsed program (a syntax check).
+
+The CLI is intentionally thin: it only wires files and flags into the same
+public API the examples use, so it is fully covered by unit tests without
+any subprocess machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import classify_finiteness
+from repro.core.engine_api import SequenceDatalogEngine
+from repro.database.database import SequenceDatabase
+from repro.engine.limits import EvaluationLimits
+from repro.errors import ReproError
+from repro.language.parser import parse_program
+
+
+def _load_program(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def load_database_json(path: str) -> SequenceDatabase:
+    """Load a database from a JSON file ``{"relation": ["seq", ["a", "b"]]}``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    database = SequenceDatabase()
+    for relation, rows in raw.items():
+        for row in rows:
+            if isinstance(row, str):
+                database.add_fact(relation, row)
+            else:
+                database.add_fact(relation, *row)
+    return database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequence Datalog engine (Bonner & Mecca reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="evaluate a program and query it")
+    run_parser.add_argument("program", help="path to the Sequence Datalog program")
+    run_parser.add_argument("--db", required=True, help="path to the JSON database")
+    run_parser.add_argument("--query", required=True, help="pattern atom, e.g. answer(X)")
+    run_parser.add_argument(
+        "--max-iterations", type=int, default=EvaluationLimits().max_iterations,
+        help="iteration limit for the fixpoint computation",
+    )
+    run_parser.add_argument(
+        "--strategy", choices=["naive", "semi-naive"], default="semi-naive",
+        help="bottom-up evaluation strategy",
+    )
+
+    analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
+    analyze_parser.add_argument("program", help="path to the Sequence Datalog program")
+
+    parse_parser = subparsers.add_parser("parse", help="parse and pretty-print a program")
+    parse_parser.add_argument("program", help="path to the Sequence Datalog program")
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace, out) -> int:
+    limits = EvaluationLimits(max_iterations=args.max_iterations)
+    engine = SequenceDatalogEngine(_load_program(args.program), limits=limits)
+    database = load_database_json(args.db)
+    result = engine.evaluate(database, strategy=args.strategy)
+    answers = engine.query(result, args.query)
+    for row in answers.texts():
+        print("\t".join(row), file=out)
+    print(
+        f"% {len(answers)} answers, {result.fact_count} facts, "
+        f"{result.iterations} iterations",
+        file=out,
+    )
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace, out) -> int:
+    program = parse_program(_load_program(args.program))
+    report = classify_finiteness(program)
+    print(report.describe(), file=out)
+    return 0
+
+
+def _command_parse(args: argparse.Namespace, out) -> int:
+    program = parse_program(_load_program(args.program))
+    program.validate()
+    print(str(program), file=out)
+    print(f"% {len(program)} clauses, predicates: {', '.join(sorted(program.predicates()))}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args, out)
+        if args.command == "analyze":
+            return _command_analyze(args, out)
+        return _command_parse(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""High-level public API: engines, model theory, and the paper's programs.
+
+* :class:`~repro.core.engine_api.SequenceDatalogEngine` -- parse, analyse,
+  evaluate and query Sequence Datalog programs;
+* :class:`~repro.transducer_datalog.program.TransducerDatalogProgram`
+  (re-exported) -- the same for Transducer Datalog;
+* :mod:`~repro.core.model_theory` -- the model-theoretic semantics of
+  Appendix A and its equivalence with the fixpoint semantics;
+* :mod:`~repro.core.paper_programs` -- every worked example of the paper as a
+  ready-to-run program.
+"""
+
+from repro.core.engine_api import SequenceDatalogEngine
+from repro.core import model_theory, paper_programs
+from repro.transducer_datalog.program import TransducerDatalogProgram
+
+__all__ = [
+    "SequenceDatalogEngine",
+    "TransducerDatalogProgram",
+    "model_theory",
+    "paper_programs",
+]

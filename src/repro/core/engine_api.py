@@ -1,0 +1,111 @@
+"""The main user-facing facade for Sequence Datalog.
+
+:class:`SequenceDatalogEngine` bundles a program with the evaluation,
+analysis and query machinery so typical usage is three lines::
+
+    engine = SequenceDatalogEngine('suffix(X[N:end]) :- r(X).')
+    result = engine.evaluate({"r": ["abc"]})
+    print(engine.query(result, "suffix(X)").texts())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.analysis.finiteness import FinitenessReport, classify_finiteness
+from repro.analysis.safety import SafetyReport, analyze_safety
+from repro.database.database import SequenceDatabase
+from repro.engine.bindings import TransducerRegistry
+from repro.engine.fixpoint import (
+    FixpointResult,
+    SEMI_NAIVE,
+    compute_least_fixpoint,
+)
+from repro.engine.interpretation import Interpretation
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.query import QueryResult, evaluate_query
+from repro.language.clauses import Program
+from repro.language.parser import parse_program
+
+DatabaseLike = Union[SequenceDatabase, Mapping[str, Iterable]]
+
+
+def _as_database(database: DatabaseLike) -> SequenceDatabase:
+    if isinstance(database, SequenceDatabase):
+        return database
+    return SequenceDatabase.from_dict(dict(database))
+
+
+class SequenceDatalogEngine:
+    """Parse, analyse, evaluate and query a Sequence Datalog program."""
+
+    def __init__(
+        self,
+        program: Union[str, Program],
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        transducers: Optional[TransducerRegistry] = None,
+    ):
+        self.program = parse_program(program) if isinstance(program, str) else program
+        self.program.validate()
+        self.limits = limits
+        self.transducers = transducers
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def safety(self) -> SafetyReport:
+        """Strong-safety analysis of the program (Definition 10)."""
+        return analyze_safety(self.program)
+
+    def finiteness(self) -> FinitenessReport:
+        """Static finiteness classification (Theorems 2, 3, 8, 9)."""
+        return classify_finiteness(self.program)
+
+    # ------------------------------------------------------------------
+    # Evaluation and queries
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        database: DatabaseLike,
+        strategy: str = SEMI_NAIVE,
+        limits: Optional[EvaluationLimits] = None,
+    ) -> FixpointResult:
+        """Compute the least fixpoint of the program over a database."""
+        return compute_least_fixpoint(
+            self.program,
+            _as_database(database),
+            limits=limits or self.limits,
+            strategy=strategy,
+            transducers=self.transducers,
+        )
+
+    def query(
+        self,
+        result: Union[FixpointResult, Interpretation],
+        pattern: str,
+    ) -> QueryResult:
+        """Match a pattern atom (e.g. ``"answer(X)"``) against a result."""
+        interpretation = (
+            result.interpretation if isinstance(result, FixpointResult) else result
+        )
+        return evaluate_query(interpretation, pattern)
+
+    def run(self, database: DatabaseLike, pattern: str) -> QueryResult:
+        """Evaluate and query in one call."""
+        return self.query(self.evaluate(database), pattern)
+
+    def compute_function(self, value, output_predicate: str = "output") -> Optional[str]:
+        """Treat the program as a sequence function (Definition 5).
+
+        Evaluates over the database ``{input(value)}`` and returns the single
+        sequence in the ``output`` relation (or ``None`` if the function is
+        undefined at the input within the evaluation limits).
+        """
+        result = self.evaluate(SequenceDatabase.single_input(value))
+        rows = sorted(result.interpretation.tuples(output_predicate))
+        if not rows:
+            return None
+        return rows[0][0].text
+
+    def __repr__(self) -> str:
+        return f"SequenceDatalogEngine({len(self.program)} clauses)"

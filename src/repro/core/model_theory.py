@@ -1,0 +1,75 @@
+"""Model-theoretic semantics (Appendix A of the paper).
+
+Definition 12 restricts the classical notion of model to substitutions based
+on the extended active domain of the interpretation; Definition 13 defines
+entailment as truth in every model.  Lemma 4 shows that an interpretation is
+a model of ``P ∪ db`` exactly when it is a pre-fixpoint of ``T_{P,db}``
+(``T(I) ⊆ I``), and Corollaries 5-6 conclude that the minimal model exists,
+is unique, and coincides with the least fixpoint.
+
+The functions below implement these notions directly so the equivalence can
+be tested rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.database.database import SequenceDatabase
+from repro.engine.bindings import TransducerRegistry
+from repro.engine.fixpoint import compute_least_fixpoint
+from repro.engine.interpretation import Interpretation
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.toperator import TOperator
+from repro.language.atoms import Atom
+from repro.language.clauses import Program
+from repro.language.parser import parse_atom
+
+
+def is_model(
+    program: Program,
+    database: SequenceDatabase,
+    interpretation: Interpretation,
+    transducers: Optional[TransducerRegistry] = None,
+) -> bool:
+    """True iff the interpretation is a model of ``P ∪ db`` (Definition 12).
+
+    By Lemma 4 this is equivalent to ``T_{P,db}(I) ⊆ I``, which is how the
+    check is carried out.
+    """
+    operator = TOperator(program, database, transducers)
+    return operator.is_fixpoint(interpretation)
+
+
+def minimal_model(
+    program: Program,
+    database: SequenceDatabase,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    transducers: Optional[TransducerRegistry] = None,
+) -> Interpretation:
+    """The unique minimal model of ``P ∪ db`` (Corollary 5).
+
+    Computed as the least fixpoint ``T_{P,db} ↑ omega``; the test suite
+    verifies minimality and model-hood independently via :func:`is_model`.
+    """
+    result = compute_least_fixpoint(
+        program, database, limits=limits, transducers=transducers
+    )
+    return result.interpretation
+
+
+def entails(
+    program: Program,
+    database: SequenceDatabase,
+    atom: Union[str, Atom],
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    transducers: Optional[TransducerRegistry] = None,
+) -> bool:
+    """Entailment check ``P, db |= alpha`` (Definition 13, Corollary 6).
+
+    The atom must be ground.  By Corollary 6 entailment holds exactly when
+    the atom belongs to the least fixpoint.
+    """
+    ground = parse_atom(atom) if isinstance(atom, str) else atom
+    model = minimal_model(program, database, limits=limits, transducers=transducers)
+    return ground in model

@@ -1,0 +1,202 @@
+"""Every worked example of the paper as a ready-to-run program.
+
+Each constant below is the program text of a numbered example; the helper
+functions return parsed programs (and, for the Transducer Datalog examples,
+the catalogs of machines they need).  Tests and benchmarks import from this
+module so the correspondence between the paper and the code stays explicit
+in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.language.clauses import Program
+from repro.language.parser import parse_program
+from repro.transducers.library import (
+    square_transducer,
+    transcribe_transducer,
+    translate_transducer,
+)
+from repro.transducers.registry import TransducerCatalog
+
+# ----------------------------------------------------------------------
+# Section 1 examples
+# ----------------------------------------------------------------------
+
+#: Example 1.1 -- all suffixes of all sequences in relation ``r``.
+EXAMPLE_1_1_SUFFIXES = """
+suffix(X[N:end]) :- r(X).
+"""
+
+#: Example 1.2 -- all pairwise concatenations of sequences in ``r``.
+EXAMPLE_1_2_CONCATENATIONS = """
+answer(X ++ Y) :- r(X), r(Y).
+"""
+
+#: Example 1.3 -- retrieve the sequences of the form a^n b^n c^n in ``r``.
+EXAMPLE_1_3_ANBNCN = """
+answer(X) :- r(X), abcn(X[1:N1], X[N1+1:N2], X[N2+1:end]).
+abcn("", "", "") :- true.
+abcn(X, Y, Z) :- X[1] = "a", Y[1] = "b", Z[1] = "c",
+                 abcn(X[2:end], Y[2:end], Z[2:end]).
+"""
+
+#: Example 1.4 -- the reverse of every sequence in ``r``.
+EXAMPLE_1_4_REVERSE = """
+answer(Y) :- r(X), reverse(X, Y).
+reverse("", "") :- true.
+reverse(X[1:N+1], X[N+1] ++ Y) :- r(X), reverse(X[1:N], Y).
+"""
+
+#: Example 1.5 -- multiple repeats, structural-recursion version (finite).
+EXAMPLE_1_5_REP1 = """
+rep1(X, X) :- true.
+rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).
+"""
+
+#: Example 1.5 -- multiple repeats, constructive-recursion version (infinite).
+EXAMPLE_1_5_REP2 = """
+rep2(X, X) :- true.
+rep2(X ++ Y, Y) :- rep2(X, Y).
+"""
+
+#: Example 1.6 -- echo sequences; the least fixpoint is infinite even though
+#: the query answer is finite.  For every sequence X in the extended active
+#: domain the rules generate its echo, and each new echo sequence enlarges
+#: the domain, so the fixpoint never closes.
+EXAMPLE_1_6_ECHO = """
+answer(X, Y) :- r(X), echo(X, Y).
+echo("", "") :- true.
+echo(X, X[1] ++ X[1] ++ Z) :- echo(X[2:end], Z).
+"""
+
+# ----------------------------------------------------------------------
+# Section 5 examples
+# ----------------------------------------------------------------------
+
+#: Example 5.1 -- stratified construction: doubling and quadrupling.
+EXAMPLE_5_1_STRATIFIED = """
+double(X ++ X) :- r(X).
+quadruple(X ++ X) :- double(X).
+"""
+
+# ----------------------------------------------------------------------
+# Section 7 examples
+# ----------------------------------------------------------------------
+
+#: Example 7.1 -- from DNA to RNA to protein (Transducer Datalog).
+EXAMPLE_7_1_GENOME = """
+rnaseq(D, @transcribe(D)) :- dnaseq(D).
+proteinseq(D, @translate(R)) :- rnaseq(D, R).
+"""
+
+#: Example 7.2 -- the transcription transducer simulated in Sequence Datalog.
+EXAMPLE_7_2_TRANSCRIBE_SIMULATION = """
+rnaseq(D, R) :- dnaseq(D), transcribe(D, R).
+transcribe("", "") :- true.
+transcribe(D[1:N+1], R ++ T) :- dnaseq(D), transcribe(D[1:N], R), trans(D[N+1], T).
+trans("a", "u") :- true.
+trans("t", "a") :- true.
+trans("c", "g") :- true.
+trans("g", "c") :- true.
+"""
+
+# ----------------------------------------------------------------------
+# Section 8 examples (Figure 3)
+# ----------------------------------------------------------------------
+
+#: Example 8.1, program P1 -- recursive but strongly safe.
+EXAMPLE_8_1_P1 = """
+p(X) :- r(X, Y), q(Y).
+q(X) :- r(X, Y), p(Y).
+r(@t1(X), @t2(Y)) :- a(X, Y).
+"""
+
+#: Example 8.1, program P2 -- a constructive self-loop (not strongly safe).
+EXAMPLE_8_1_P2 = """
+p(@t(X)) :- p(X).
+"""
+
+#: Example 8.1, program P3 -- a constructive cycle through three predicates.
+EXAMPLE_8_1_P3 = """
+q(X) :- r(X).
+r(@t(X)) :- p(X).
+p(X) :- q(X).
+"""
+
+
+# ----------------------------------------------------------------------
+# Parsed accessors
+# ----------------------------------------------------------------------
+def suffixes_program() -> Program:
+    """Example 1.1."""
+    return parse_program(EXAMPLE_1_1_SUFFIXES)
+
+
+def concatenations_program() -> Program:
+    """Example 1.2."""
+    return parse_program(EXAMPLE_1_2_CONCATENATIONS)
+
+
+def anbncn_program() -> Program:
+    """Example 1.3."""
+    return parse_program(EXAMPLE_1_3_ANBNCN)
+
+
+def reverse_program() -> Program:
+    """Example 1.4."""
+    return parse_program(EXAMPLE_1_4_REVERSE)
+
+
+def rep1_program() -> Program:
+    """Example 1.5, structural recursion (finite semantics)."""
+    return parse_program(EXAMPLE_1_5_REP1)
+
+
+def rep2_program() -> Program:
+    """Example 1.5, constructive recursion (infinite semantics)."""
+    return parse_program(EXAMPLE_1_5_REP2)
+
+
+def echo_program() -> Program:
+    """Example 1.6 (infinite least fixpoint)."""
+    return parse_program(EXAMPLE_1_6_ECHO)
+
+
+def stratified_construction_program() -> Program:
+    """Example 5.1."""
+    return parse_program(EXAMPLE_5_1_STRATIFIED)
+
+
+def genome_program() -> Tuple[Program, TransducerCatalog]:
+    """Example 7.1: the program and the catalog with its two machines."""
+    catalog = TransducerCatalog([transcribe_transducer(), translate_transducer()])
+    return parse_program(EXAMPLE_7_1_GENOME), catalog
+
+
+def transcribe_simulation_program() -> Program:
+    """Example 7.2."""
+    return parse_program(EXAMPLE_7_2_TRANSCRIBE_SIMULATION)
+
+
+def figure_3_programs() -> Tuple[Program, Program, Program]:
+    """The three programs of Example 8.1 / Figure 3 (P1, P2, P3)."""
+    return (
+        parse_program(EXAMPLE_8_1_P1),
+        parse_program(EXAMPLE_8_1_P2),
+        parse_program(EXAMPLE_8_1_P3),
+    )
+
+
+def figure_3_catalog() -> TransducerCatalog:
+    """A catalog providing the generic machines ``t``, ``t1``, ``t2`` used by
+    Figure 3 (their behaviour is irrelevant to the safety analysis; squaring
+    machines are used so the programs are executable)."""
+    return TransducerCatalog(
+        [
+            square_transducer("ab", name="t"),
+            square_transducer("ab", name="t1"),
+            square_transducer("ab", name="t2"),
+        ]
+    )

@@ -1,0 +1,17 @@
+"""The extended relational model with sequences (Section 2.2 of the paper).
+
+A *relation of arity k* is a finite set of k-tuples of sequences; a
+*database* is a named collection of relations.  Databases convert to and
+from sets of ground atoms (the form used by the fixpoint semantics).
+"""
+
+from repro.database.relation import SequenceRelation
+from repro.database.schema import RelationSchema, DatabaseSchema
+from repro.database.database import SequenceDatabase
+
+__all__ = [
+    "DatabaseSchema",
+    "RelationSchema",
+    "SequenceDatabase",
+    "SequenceRelation",
+]

@@ -1,0 +1,187 @@
+"""Sequence databases: named collections of sequence relations (Section 2.2).
+
+A :class:`SequenceDatabase` is the input of a query: a tuple of relations
+over sequences.  It converts to a set of ground atoms (the representation
+used by the fixpoint semantics of Section 3.3) and back, and exposes its
+active domain and extended active domain (Definition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.database.relation import SequenceRelation
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.errors import ValidationError
+from repro.language.atoms import Atom, ground_atom
+from repro.language.clauses import Clause
+from repro.language.terms import ConstantTerm
+from repro.sequences import ExtendedDomain, Sequence, as_sequence
+
+
+class SequenceDatabase:
+    """A database over sequences: a mapping from predicate names to relations.
+
+    Examples
+    --------
+    >>> db = SequenceDatabase()
+    >>> db.add_fact("r", "abc")
+    True
+    >>> db.add_fact("r", "de")
+    True
+    >>> len(db.relation("r"))
+    2
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[SequenceRelation] = ()):
+        self._relations: Dict[str, SequenceRelation] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise ValidationError(f"duplicate relation {relation.name!r}")
+            self._relations[relation.name] = relation
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Iterable]) -> "SequenceDatabase":
+        """Build a database from ``{predicate: iterable of tuples/strings}``.
+
+        Entries may be plain strings (unary relations) or tuples of strings.
+
+        >>> db = SequenceDatabase.from_dict({"r": ["abc", "de"], "p": [("a", "b")]})
+        >>> len(db.relation("p"))
+        1
+        """
+        database = cls()
+        for name, rows in data.items():
+            for row in rows:
+                if isinstance(row, (str, Sequence)):
+                    database.add_fact(name, row)
+                else:
+                    database.add_fact(name, *row)
+        return database
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Atom]) -> "SequenceDatabase":
+        """Build a database from ground atoms."""
+        database = cls()
+        for atom in facts:
+            values = []
+            for arg in atom.args:
+                if not isinstance(arg, ConstantTerm):
+                    raise ValidationError(
+                        f"database facts must be ground, got {atom}"
+                    )
+                values.append(arg.value)
+            database.add_fact(atom.predicate, *values)
+        return database
+
+    @classmethod
+    def single_input(cls, value) -> "SequenceDatabase":
+        """The database ``{input(sigma)}`` used for sequence functions (§2.2)."""
+        database = cls()
+        database.add_fact("input", value)
+        return database
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_fact(self, predicate: str, *values) -> bool:
+        """Insert a tuple into the named relation, creating it if necessary."""
+        if not values:
+            raise ValidationError("a fact needs at least one argument")
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = SequenceRelation(predicate, len(values))
+            self._relations[predicate] = relation
+        return relation.add(values)
+
+    def add_relation(self, relation: SequenceRelation) -> None:
+        """Add a whole relation (predicate must not already exist)."""
+        if relation.name in self._relations:
+            raise ValidationError(f"duplicate relation {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def relation(self, predicate: str) -> SequenceRelation:
+        """Return the named relation; raise if it does not exist."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            raise ValidationError(f"unknown relation {predicate!r}")
+        return relation
+
+    def relation_or_none(self, predicate: str) -> Optional[SequenceRelation]:
+        return self._relations.get(predicate)
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __contains__(self, predicate: object) -> bool:
+        return predicate in self._relations
+
+    def __iter__(self) -> Iterator[SequenceRelation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        """Total number of facts in the database."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SequenceDatabase):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{relation.name}/{relation.arity}:{len(relation)}"
+            for relation in self._relations.values()
+        )
+        return f"SequenceDatabase({parts})"
+
+    # ------------------------------------------------------------------
+    # Conversions and domains
+    # ------------------------------------------------------------------
+    def schema(self) -> DatabaseSchema:
+        """The schema (base predicates and arities) of the database."""
+        return DatabaseSchema(
+            RelationSchema(relation.name, relation.arity)
+            for relation in self._relations.values()
+        )
+
+    def facts(self) -> List[Atom]:
+        """All tuples as ground atoms, in a stable order."""
+        atoms: List[Atom] = []
+        for name in sorted(self._relations):
+            relation = self._relations[name]
+            for row in relation.sorted_tuples():
+                atoms.append(ground_atom(name, *row))
+        return atoms
+
+    def fact_clauses(self) -> List[Clause]:
+        """All tuples as fact clauses (each database atom is a bodyless clause)."""
+        return [Clause(atom) for atom in self.facts()]
+
+    def active_domain(self) -> Set[Sequence]:
+        """The set of sequences occurring in the database (Definition 3)."""
+        values: Set[Sequence] = set()
+        for relation in self._relations.values():
+            values |= relation.all_sequences()
+        return values
+
+    def extended_active_domain(self) -> ExtendedDomain:
+        """The extended active domain of the database (Definition 3)."""
+        return ExtendedDomain(self.active_domain())
+
+    def size(self) -> int:
+        """The paper's notion of database size (Definition 11): the number of
+        sequences in the extended active domain."""
+        return len(self.extended_active_domain())
+
+    def copy(self) -> "SequenceDatabase":
+        """An independent copy of the database."""
+        return SequenceDatabase(relation.copy() for relation in self._relations.values())

@@ -1,0 +1,158 @@
+"""Relations over sequences (Section 2.2 of the paper).
+
+A relation of arity ``k`` over an alphabet is a finite set of ``k``-tuples of
+sequences.  :class:`SequenceRelation` stores such a set with per-column
+indexes so the evaluation engine can look tuples up by bound columns without
+scanning the whole relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.sequences import Sequence, as_sequence
+
+SequenceTuple = Tuple[Sequence, ...]
+
+
+class SequenceRelation:
+    """A finite set of tuples of sequences with per-column hash indexes."""
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable = ()):
+        if arity < 1:
+            raise ValidationError(f"relation arity must be at least 1, got {arity}")
+        self.name = name
+        self.arity = arity
+        self._tuples: Set[SequenceTuple] = set()
+        # _indexes[column][value] -> set of tuples having that value in the column
+        self._indexes: List[Dict[Sequence, Set[SequenceTuple]]] = [
+            defaultdict(set) for _ in range(arity)
+        ]
+        for row in tuples:
+            self.add(row)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Iterable) -> bool:
+        """Add a tuple (coercing strings to sequences); return True if new."""
+        normalized = tuple(as_sequence(value) for value in row)
+        if len(normalized) != self.arity:
+            raise ValidationError(
+                f"relation {self.name!r} has arity {self.arity}, "
+                f"got a tuple of length {len(normalized)}"
+            )
+        if normalized in self._tuples:
+            return False
+        self._tuples.add(normalized)
+        for column, value in enumerate(normalized):
+            self._indexes[column][value].add(normalized)
+        return True
+
+    def add_all(self, rows: Iterable[Iterable]) -> int:
+        """Add many tuples; return the number actually inserted."""
+        inserted = 0
+        for row in rows:
+            if self.add(row):
+                inserted += 1
+        return inserted
+
+    def discard(self, row: Iterable) -> bool:
+        """Remove a tuple if present; return True if it was there."""
+        normalized = tuple(as_sequence(value) for value in row)
+        if normalized not in self._tuples:
+            return False
+        self._tuples.discard(normalized)
+        for column, value in enumerate(normalized):
+            bucket = self._indexes[column].get(value)
+            if bucket is not None:
+                bucket.discard(normalized)
+                if not bucket:
+                    del self._indexes[column][value]
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, row: object) -> bool:
+        try:
+            normalized = tuple(as_sequence(value) for value in row)  # type: ignore[union-attr]
+        except TypeError:
+            return False
+        return normalized in self._tuples
+
+    def __iter__(self) -> Iterator[SequenceTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SequenceRelation):
+            return NotImplemented
+        return (
+            other.name == self.name
+            and other.arity == self.arity
+            and other._tuples == self._tuples
+        )
+
+    def __repr__(self) -> str:
+        return f"SequenceRelation({self.name!r}/{self.arity}, {len(self._tuples)} tuples)"
+
+    def tuples(self) -> FrozenSet[SequenceTuple]:
+        """A frozen snapshot of the tuples."""
+        return frozenset(self._tuples)
+
+    def sorted_tuples(self) -> List[SequenceTuple]:
+        """Tuples ordered lexicographically (useful for stable output)."""
+        return sorted(self._tuples, key=lambda row: tuple(value.text for value in row))
+
+    def lookup(self, bindings: Dict[int, Sequence]) -> Iterator[SequenceTuple]:
+        """Iterate tuples whose columns match the given ``{column: value}`` map.
+
+        Columns are 0-based.  With an empty binding map this iterates the
+        whole relation.  The smallest index bucket among the bound columns is
+        scanned, so lookups with at least one bound column never touch more
+        tuples than the most selective column admits.
+        """
+        if not bindings:
+            yield from list(self._tuples)
+            return
+        smallest: Optional[Set[SequenceTuple]] = None
+        for column, value in bindings.items():
+            if column < 0 or column >= self.arity:
+                raise ValidationError(
+                    f"column {column} out of range for relation {self.name!r}"
+                )
+            bucket = self._indexes[column].get(as_sequence(value), set())
+            if smallest is None or len(bucket) < len(smallest):
+                smallest = bucket
+            if not bucket:
+                return
+        assert smallest is not None
+        for row in list(smallest):
+            if all(row[column] == as_sequence(value) for column, value in bindings.items()):
+                yield row
+
+    def column_values(self, column: int) -> Set[Sequence]:
+        """The distinct values appearing in a column."""
+        if column < 0 or column >= self.arity:
+            raise ValidationError(
+                f"column {column} out of range for relation {self.name!r}"
+            )
+        return set(self._indexes[column])
+
+    def all_sequences(self) -> Set[Sequence]:
+        """Every sequence appearing anywhere in the relation."""
+        values: Set[Sequence] = set()
+        for row in self._tuples:
+            values.update(row)
+        return values
+
+    def copy(self) -> "SequenceRelation":
+        """An independent copy of the relation."""
+        return SequenceRelation(self.name, self.arity, self._tuples)

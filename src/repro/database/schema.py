@@ -1,0 +1,101 @@
+"""Database schemas: named base predicates with fixed arities (Section 2.2).
+
+The paper assigns a distinct predicate symbol of appropriate arity to each
+relation of a database; these *base predicates* together form the database
+schema.  The schema is what the finiteness notion of Definition 6 quantifies
+over ("a finite least fixpoint for all instances of the schema").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import ValidationError
+
+
+class RelationSchema:
+    """The schema of a single relation: a predicate name and an arity."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int):
+        if not name or not (name[0].islower() or name[0] == "_"):
+            raise ValidationError(
+                f"relation names must start with a lower-case letter, got {name!r}"
+            )
+        if arity < 1:
+            raise ValidationError(f"relation arity must be at least 1, got {arity}")
+        self.name = name
+        self.arity = arity
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and other.name == self.name
+            and other.arity == self.arity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class DatabaseSchema:
+    """A collection of relation schemas keyed by predicate name."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> None:
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise ValidationError(
+                f"conflicting arities for relation {relation.name!r}: "
+                f"{existing.arity} and {relation.arity}"
+            )
+        self._relations[relation.name] = relation
+
+    def declare(self, name: str, arity: int) -> RelationSchema:
+        """Declare (or re-declare consistently) a relation and return its schema."""
+        relation = RelationSchema(name, arity)
+        self.add(relation)
+        return relation
+
+    def get(self, name: str) -> Optional[RelationSchema]:
+        return self._relations.get(name)
+
+    def arity_of(self, name: str) -> int:
+        relation = self._relations.get(name)
+        if relation is None:
+            raise ValidationError(f"unknown relation {name!r}")
+        return relation.arity
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(str(relation) for relation in self)
+        return f"DatabaseSchema({parts})"

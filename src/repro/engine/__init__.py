@@ -1,0 +1,32 @@
+"""Fixpoint evaluation engine for Sequence Datalog (Section 3.2-3.3).
+
+The engine implements:
+
+* :class:`~repro.engine.bindings.Substitution` -- substitutions based on a
+  domain, extended to interpreted terms exactly as in Section 3.2;
+* :class:`~repro.engine.interpretation.Interpretation` -- sets of ground
+  atoms with their extended active domain;
+* :class:`~repro.engine.toperator.TOperator` -- the operator ``T_{P,db}`` of
+  Definition 4 (monotonic, continuous);
+* :mod:`~repro.engine.fixpoint` -- naive and semi-naive bottom-up computation
+  of the least fixpoint ``T_{P,db} ^ omega`` with resource limits;
+* :mod:`~repro.engine.query` -- pattern queries over interpretations.
+"""
+
+from repro.engine.bindings import Substitution
+from repro.engine.interpretation import Interpretation
+from repro.engine.limits import EvaluationLimits
+from repro.engine.toperator import TOperator
+from repro.engine.fixpoint import FixpointResult, compute_least_fixpoint
+from repro.engine.query import QueryResult, evaluate_query
+
+__all__ = [
+    "EvaluationLimits",
+    "FixpointResult",
+    "Interpretation",
+    "QueryResult",
+    "Substitution",
+    "TOperator",
+    "compute_least_fixpoint",
+    "evaluate_query",
+]

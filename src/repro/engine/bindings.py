@@ -1,0 +1,243 @@
+"""Substitutions based on a domain (Section 3.2 of the paper).
+
+A substitution maps sequence variables to sequences and index variables to
+integers.  Extended to terms it becomes a *partial* function: an indexed term
+``s[n1:n2]`` whose indexes fall outside ``1 <= n1 <= n2+1 <= len(s)+1`` is
+*undefined*, and an atom or clause containing an undefined term is itself
+undefined -- the substitution simply does not contribute to the fixpoint.
+
+This module also evaluates transducer terms (Section 7.1) given a registry of
+transducer implementations, so the same machinery serves both Sequence
+Datalog and Transducer Datalog.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.errors import EvaluationError
+from repro.language.atoms import Atom, Comparison
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexTerm,
+    IndexVariable,
+    IndexedTerm,
+    SequenceTerm,
+    SequenceVariable,
+    TransducerTerm,
+)
+from repro.sequences import EMPTY, Sequence
+
+#: A transducer registry maps a transducer name to a callable taking
+#: ``Sequence`` arguments and returning a ``Sequence``.
+TransducerRegistry = Mapping[str, Callable[..., Sequence]]
+
+
+class UnboundVariableError(EvaluationError):
+    """A term was evaluated under a substitution that does not bind all its
+    variables.  This is an internal signal used by the matcher, not a user
+    error."""
+
+    def __init__(self, name: str, kind: str):
+        super().__init__(f"unbound {kind} variable {name!r}")
+        self.name = name
+        self.kind = kind
+
+
+class Substitution:
+    """An immutable mapping from variables to domain elements.
+
+    Sequence variables map to :class:`~repro.sequences.Sequence` objects and
+    index variables map to integers.  ``bind_sequence`` / ``bind_index``
+    return extended copies, leaving the original untouched, which makes the
+    backtracking search of the clause evaluator straightforward.
+    """
+
+    __slots__ = ("_sequences", "_indexes")
+
+    def __init__(
+        self,
+        sequences: Optional[Dict[str, Sequence]] = None,
+        indexes: Optional[Dict[str, int]] = None,
+    ):
+        self._sequences: Dict[str, Sequence] = dict(sequences or {})
+        self._indexes: Dict[str, int] = dict(indexes or {})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sequence_bindings(self) -> Dict[str, Sequence]:
+        return dict(self._sequences)
+
+    @property
+    def index_bindings(self) -> Dict[str, int]:
+        return dict(self._indexes)
+
+    def binds_sequence(self, name: str) -> bool:
+        return name in self._sequences
+
+    def binds_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def sequence(self, name: str) -> Sequence:
+        try:
+            return self._sequences[name]
+        except KeyError:
+            raise UnboundVariableError(name, "sequence") from None
+
+    def index(self, name: str) -> int:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise UnboundVariableError(name, "index") from None
+
+    def covers(self, sequence_vars: Iterable[str], index_vars: Iterable[str]) -> bool:
+        """True if every listed variable is bound."""
+        return all(name in self._sequences for name in sequence_vars) and all(
+            name in self._indexes for name in index_vars
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return (
+            other._sequences == self._sequences and other._indexes == self._indexes
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._sequences.items()),
+                frozenset(self._indexes.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        sequences = ", ".join(
+            f"{name}={value.text!r}" for name, value in sorted(self._sequences.items())
+        )
+        indexes = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._indexes.items())
+        )
+        inner = "; ".join(part for part in (sequences, indexes) if part)
+        return f"Substitution({inner})"
+
+    # ------------------------------------------------------------------
+    # Extension
+    # ------------------------------------------------------------------
+    def bind_sequence(self, name: str, value: Sequence) -> "Substitution":
+        """Return a copy with ``name`` bound to ``value``."""
+        extended = Substitution(self._sequences, self._indexes)
+        extended._sequences[name] = value
+        return extended
+
+    def bind_index(self, name: str, value: int) -> "Substitution":
+        """Return a copy with ``name`` bound to integer ``value``."""
+        extended = Substitution(self._sequences, self._indexes)
+        extended._indexes[name] = value
+        return extended
+
+    # ------------------------------------------------------------------
+    # Term evaluation (Section 3.2)
+    # ------------------------------------------------------------------
+    def evaluate_index(self, term: IndexTerm, end_value: Optional[int]) -> int:
+        """Evaluate an index term.
+
+        ``end_value`` is the length of the enclosing sequence: the paper
+        defines ``theta(end) = len(theta(S))`` in the context of the indexed
+        term ``S[n:end]``.  Raises :class:`UnboundVariableError` if an index
+        variable is unbound.
+        """
+        if isinstance(term, IndexConstant):
+            return term.value
+        if isinstance(term, IndexVariable):
+            return self.index(term.name)
+        if isinstance(term, End):
+            if end_value is None:
+                raise EvaluationError("'end' used outside of an indexed term")
+            return end_value
+        if isinstance(term, IndexSum):
+            left = self.evaluate_index(term.left, end_value)
+            right = self.evaluate_index(term.right, end_value)
+            return left + right if term.operator == "+" else left - right
+        raise EvaluationError(f"unknown index term {term!r}")
+
+    def evaluate_sequence(
+        self,
+        term: SequenceTerm,
+        transducers: Optional[TransducerRegistry] = None,
+    ) -> Optional[Sequence]:
+        """Evaluate a sequence term.
+
+        Returns the resulting :class:`Sequence`, or ``None`` when the term is
+        *undefined* under this substitution (an indexed term out of range).
+        Raises :class:`UnboundVariableError` when a variable is unbound and
+        :class:`EvaluationError` when a transducer term is used without a
+        registry entry.
+        """
+        if isinstance(term, ConstantTerm):
+            return term.value
+        if isinstance(term, SequenceVariable):
+            return self.sequence(term.name)
+        if isinstance(term, IndexedTerm):
+            base = self.evaluate_sequence(term.base, transducers)
+            if base is None:
+                return None
+            end_value = len(base)
+            lo = self.evaluate_index(term.lo, end_value)
+            hi = self.evaluate_index(term.hi, end_value)
+            return base.subsequence(lo, hi)
+        if isinstance(term, ConcatTerm):
+            parts = []
+            for part in term.parts:
+                value = self.evaluate_sequence(part, transducers)
+                if value is None:
+                    return None
+                parts.append(value.text)
+            return Sequence("".join(parts))
+        if isinstance(term, TransducerTerm):
+            if transducers is None or term.name not in transducers:
+                raise EvaluationError(
+                    f"no transducer registered under the name {term.name!r}"
+                )
+            args = []
+            for arg in term.args:
+                value = self.evaluate_sequence(arg, transducers)
+                if value is None:
+                    return None
+                args.append(value)
+            return transducers[term.name](*args)
+        raise EvaluationError(f"unknown sequence term {term!r}")
+
+    def evaluate_atom(
+        self,
+        atom: Atom,
+        transducers: Optional[TransducerRegistry] = None,
+    ) -> Optional[Tuple[str, Tuple[Sequence, ...]]]:
+        """Evaluate an atom to a ground ``(predicate, values)`` pair.
+
+        Returns ``None`` if the substitution is undefined at the atom.
+        """
+        values = []
+        for arg in atom.args:
+            value = self.evaluate_sequence(arg, transducers)
+            if value is None:
+                return None
+            values.append(value)
+        return (atom.predicate, tuple(values))
+
+    def evaluate_comparison(self, comparison: Comparison) -> Optional[bool]:
+        """Evaluate a comparison; ``None`` means the substitution is undefined
+        at one of its terms (the comparison then does not hold)."""
+        left = self.evaluate_sequence(comparison.left)
+        right = self.evaluate_sequence(comparison.right)
+        if left is None or right is None:
+            return None
+        if comparison.is_equality():
+            return left == right
+        return left != right

@@ -1,0 +1,202 @@
+"""Interpretations: sets of ground atoms with their extended active domain.
+
+An interpretation (Section 3.3) is a subset of the Herbrand base.  During
+fixpoint evaluation the engine needs three things from an interpretation:
+
+* fast membership / lookup of facts by predicate and by bound argument
+  positions (for joins),
+* the extended active domain ``Dext_I`` over which substitutions range,
+* cheap detection of growth (new facts, new domain elements).
+
+:class:`Interpretation` provides all three.  Facts are stored per predicate
+in :class:`~repro.database.relation.SequenceRelation` objects, which already
+maintain per-column indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.database.relation import SequenceRelation
+from repro.database.database import SequenceDatabase
+from repro.errors import ValidationError
+from repro.language.atoms import Atom, ground_atom
+from repro.sequences import ExtendedDomain, Sequence, as_sequence
+
+Fact = Tuple[str, Tuple[Sequence, ...]]
+
+
+class Interpretation:
+    """A mutable set of ground atoms together with its extended domain."""
+
+    __slots__ = ("_relations", "_domain", "_fact_count")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._relations: Dict[str, SequenceRelation] = {}
+        self._domain = ExtendedDomain()
+        self._fact_count = 0
+        for predicate, values in facts:
+            self.add(predicate, values)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_database(cls, database: SequenceDatabase) -> "Interpretation":
+        """The interpretation containing exactly the database facts."""
+        interpretation = cls()
+        for relation in database:
+            for row in relation:
+                interpretation.add(relation.name, row)
+        return interpretation
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, predicate: str, values: Iterable) -> bool:
+        """Add a ground fact; update the extended domain; return True if new."""
+        row = tuple(as_sequence(value) for value in values)
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = SequenceRelation(predicate, len(row))
+            self._relations[predicate] = relation
+        elif relation.arity != len(row):
+            raise ValidationError(
+                f"predicate {predicate!r} used with arities {relation.arity} "
+                f"and {len(row)}"
+            )
+        if relation.add(row):
+            self._fact_count += 1
+            for value in row:
+                self._domain.add(value)
+            return True
+        return False
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Add a ground atom (its arguments must all be constants)."""
+        from repro.language.terms import ConstantTerm
+
+        values = []
+        for arg in atom.args:
+            if not isinstance(arg, ConstantTerm):
+                raise ValidationError(f"cannot add non-ground atom {atom}")
+            values.append(arg.value)
+        return self.add(atom.predicate, values)
+
+    def add_fact(self, fact: Fact) -> bool:
+        predicate, values = fact
+        return self.add(predicate, values)
+
+    def merge(self, other: "Interpretation") -> int:
+        """Add every fact of ``other``; return the number of new facts."""
+        added = 0
+        for predicate, values in other.facts():
+            if self.add(predicate, values):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def contains(self, predicate: str, values: Iterable) -> bool:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return False
+        return tuple(as_sequence(value) for value in values) in relation
+
+    def contains_fact(self, fact: Fact) -> bool:
+        predicate, values = fact
+        return self.contains(predicate, values)
+
+    def relation(self, predicate: str) -> Optional[SequenceRelation]:
+        """The relation for a predicate, or ``None`` if it has no facts."""
+        return self._relations.get(predicate)
+
+    def tuples(self, predicate: str) -> Set[Tuple[Sequence, ...]]:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return set()
+        return set(relation.tuples())
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate all facts as ``(predicate, values)`` pairs."""
+        for predicate in sorted(self._relations):
+            for row in self._relations[predicate].sorted_tuples():
+                yield (predicate, row)
+
+    def atoms(self) -> List[Atom]:
+        """All facts as ground atoms (stable order)."""
+        return [ground_atom(predicate, *row) for predicate, row in self.facts()]
+
+    @property
+    def domain(self) -> ExtendedDomain:
+        """The extended active domain ``Dext_I`` of the interpretation."""
+        return self._domain
+
+    def fact_count(self) -> int:
+        return self._fact_count
+
+    def size(self) -> int:
+        """The paper's size measure (Definition 11): number of sequences in
+        the extended active domain."""
+        return len(self._domain)
+
+    def __len__(self) -> int:
+        return self._fact_count
+
+    def __contains__(self, fact: object) -> bool:
+        if isinstance(fact, Atom):
+            from repro.language.terms import ConstantTerm
+
+            values = []
+            for arg in fact.args:
+                if not isinstance(arg, ConstantTerm):
+                    return False
+                values.append(arg.value)
+            return self.contains(fact.predicate, values)
+        if isinstance(fact, tuple) and len(fact) == 2:
+            predicate, values = fact
+            return self.contains(predicate, values)
+        return False
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interpretation):
+            return NotImplemented
+        return set(self.facts()) == set(other.facts())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(relation)}" for name, relation in sorted(self._relations.items())
+        )
+        return f"Interpretation({self._fact_count} facts; {parts})"
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def copy(self) -> "Interpretation":
+        clone = Interpretation()
+        for predicate, relation in self._relations.items():
+            clone._relations[predicate] = relation.copy()
+        clone._domain = self._domain.copy()
+        clone._fact_count = self._fact_count
+        return clone
+
+    def to_database(self) -> SequenceDatabase:
+        """Convert to a :class:`SequenceDatabase` (e.g. to feed another query)."""
+        database = SequenceDatabase()
+        for predicate, relation in self._relations.items():
+            for row in relation:
+                database.add_fact(predicate, *row)
+        return database
+
+    def restrict(self, predicates: Iterable[str]) -> "Interpretation":
+        """The sub-interpretation containing only the given predicates."""
+        wanted = set(predicates)
+        restricted = Interpretation()
+        for predicate, values in self.facts():
+            if predicate in wanted:
+                restricted.add(predicate, values)
+        return restricted

@@ -1,0 +1,85 @@
+"""Resource limits for fixpoint evaluation.
+
+Theorem 2 of the paper shows that it is undecidable whether a Sequence
+Datalog program has a finite least fixpoint, and Examples 1.5/1.6 exhibit
+natural programs whose fixpoint is infinite.  The engine therefore evaluates
+under explicit limits; hitting a limit raises
+:class:`~repro.errors.FixpointNotReached` carrying the partial
+interpretation, so callers (and tests) can distinguish "reached the least
+fixpoint" from "gave up".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FixpointNotReached
+
+
+@dataclass(frozen=True)
+class EvaluationLimits:
+    """Limits applied during bottom-up evaluation.
+
+    Attributes
+    ----------
+    max_iterations:
+        Maximum number of applications of the ``T`` operator.
+    max_facts:
+        Maximum number of facts in the interpretation.
+    max_domain_size:
+        Maximum number of sequences in the extended active domain.
+    max_sequence_length:
+        Maximum length of any sequence created during evaluation; ``None``
+        disables the check.  This is the most effective guard against
+        constructive recursion that grows sequences without bound
+        (Example 1.6).
+    """
+
+    max_iterations: int = 200
+    max_facts: int = 2_000_000
+    max_domain_size: int = 1_000_000
+    max_sequence_length: Optional[int] = 100_000
+
+    def check_iteration(self, iteration: int, partial=None) -> None:
+        if iteration > self.max_iterations:
+            raise FixpointNotReached(
+                f"fixpoint not reached after {self.max_iterations} iterations",
+                partial=partial,
+                iterations=iteration,
+            )
+
+    def check_interpretation(self, interpretation, iteration: int) -> None:
+        if interpretation.fact_count() > self.max_facts:
+            raise FixpointNotReached(
+                f"interpretation exceeded {self.max_facts} facts",
+                partial=interpretation,
+                iterations=iteration,
+            )
+        if len(interpretation.domain) > self.max_domain_size:
+            raise FixpointNotReached(
+                f"extended active domain exceeded {self.max_domain_size} sequences",
+                partial=interpretation,
+                iterations=iteration,
+            )
+
+    def check_sequence_length(self, length: int, interpretation=None, iteration: int = 0) -> None:
+        if self.max_sequence_length is not None and length > self.max_sequence_length:
+            raise FixpointNotReached(
+                f"a derived sequence exceeded the length limit "
+                f"({length} > {self.max_sequence_length})",
+                partial=interpretation,
+                iterations=iteration,
+            )
+
+
+#: Limits suitable for unit tests: small and fast to trip.
+STRICT_LIMITS = EvaluationLimits(
+    max_iterations=50,
+    max_facts=50_000,
+    max_domain_size=50_000,
+    max_sequence_length=2_000,
+)
+
+#: Default limits used by the public engines.
+DEFAULT_LIMITS = EvaluationLimits()

@@ -1,0 +1,118 @@
+"""Pattern queries over interpretations.
+
+Definition 5 of the paper says a program expresses a query through a
+distinguished ``output`` predicate.  In practice one also wants to query an
+interpretation with a *pattern atom* containing variables (and even indexed
+terms), e.g. ``answer(X)`` or ``proteinseq(D, P)``.  This module matches such
+patterns against a computed interpretation and returns the bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.engine.bindings import Substitution
+from repro.engine.evaluation import ClauseEvaluator
+from repro.engine.interpretation import Interpretation
+from repro.errors import UnknownPredicateError
+from repro.language.atoms import Atom
+from repro.language.clauses import Clause
+from repro.language.parser import parse_atom
+from repro.sequences import Sequence
+
+
+@dataclass
+class QueryResult:
+    """The answers to a pattern query.
+
+    ``substitutions`` holds one substitution per answer; ``rows`` holds the
+    matched fact tuples.  Helper accessors return plain strings for
+    convenience in examples and tests.
+    """
+
+    pattern: Atom
+    substitutions: List[Substitution]
+    rows: List[Tuple[Sequence, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __contains__(self, row) -> bool:
+        if isinstance(row, (str, Sequence)):
+            target = (Sequence(str(row)),)
+        else:
+            target = tuple(Sequence(str(value)) for value in row)
+        return target in set(self.rows)
+
+    def texts(self) -> List[Tuple[str, ...]]:
+        """All answer rows as tuples of plain strings, sorted."""
+        return sorted(tuple(value.text for value in row) for row in self.rows)
+
+    def values(self, variable: str) -> List[str]:
+        """The distinct bindings of one variable, as sorted strings."""
+        seen = set()
+        for substitution in self.substitutions:
+            if substitution.binds_sequence(variable):
+                seen.add(substitution.sequence(variable).text)
+        return sorted(seen)
+
+    def is_empty(self) -> bool:
+        return not self.rows
+
+
+def evaluate_query(
+    interpretation: Interpretation,
+    pattern: Union[str, Atom],
+    strict: bool = False,
+) -> QueryResult:
+    """Match a pattern atom against an interpretation.
+
+    Parameters
+    ----------
+    interpretation:
+        A computed interpretation (typically a least fixpoint).
+    pattern:
+        An atom such as ``answer(X)`` / ``proteinseq(D, P)`` -- either an
+        :class:`Atom` or its textual form.
+    strict:
+        When True, querying a predicate with no facts raises
+        :class:`UnknownPredicateError` instead of returning an empty result.
+    """
+    atom = parse_atom(pattern) if isinstance(pattern, str) else pattern
+    relation = interpretation.relation(atom.predicate)
+    if relation is None:
+        if strict:
+            raise UnknownPredicateError(
+                f"predicate {atom.predicate!r} has no facts in the interpretation"
+            )
+        return QueryResult(pattern=atom, substitutions=[], rows=[])
+
+    # Reuse the clause evaluator's matching machinery by evaluating the
+    # pattern as if it were the single body atom of a clause.
+    dummy_clause = Clause(Atom("query_result", atom.args), [atom])
+    evaluator = ClauseEvaluator(dummy_clause)
+    substitutions: List[Substitution] = []
+    rows: List[Tuple[Sequence, ...]] = []
+    seen = set()
+    for substitution in evaluator._body_solutions(interpretation, None, -1):
+        values = substitution.evaluate_atom(atom)
+        if values is None:
+            continue
+        _, row = values
+        key = (row, frozenset(substitution.sequence_bindings.items()),
+               frozenset(substitution.index_bindings.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        substitutions.append(substitution)
+        rows.append(row)
+    return QueryResult(pattern=atom, substitutions=substitutions, rows=rows)
+
+
+def output_relation(interpretation: Interpretation, predicate: str = "output") -> List[str]:
+    """The unary ``output`` relation as plain strings (Definition 5 queries)."""
+    return sorted(row[0].text for row in interpretation.tuples(predicate))

@@ -1,0 +1,104 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish parse errors, semantic errors, evaluation-limit
+violations and machine-model errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A symbol outside the declared alphabet was used."""
+
+
+class SequenceIndexError(ReproError):
+    """An index term evaluated outside the valid range of a sequence.
+
+    Note that during rule evaluation an out-of-range index does not raise:
+    the substitution is simply *undefined* at the term (Section 3.2 of the
+    paper) and the rule does not fire.  This exception is raised only by the
+    direct ``Sequence`` slicing API when the caller asks for an impossible
+    subsequence.
+    """
+
+
+class ParseError(ReproError):
+    """The textual program or query could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(ReproError):
+    """A syntactically well-formed object violates a language restriction.
+
+    Examples: a constructive term appearing in a rule body, nested indexed
+    terms such as ``X[1:N][2:end]``, or a transducer term whose arity does
+    not match the registered transducer.
+    """
+
+
+class SafetyError(ReproError):
+    """A program violates the safety restriction required by the caller.
+
+    Raised, for instance, when a strongly-safe engine is given a program
+    whose predicate dependency graph contains a constructive cycle
+    (Definition 10 of the paper).
+    """
+
+
+class EvaluationError(ReproError):
+    """A runtime failure inside the fixpoint evaluation engine."""
+
+
+class FixpointNotReached(EvaluationError):
+    """Evaluation hit a resource limit before reaching the least fixpoint.
+
+    Programs with an infinite least fixpoint (e.g. ``rep2`` in Example 1.5 or
+    the ``echo`` program in Example 1.6) can only be stopped by limits; this
+    exception carries the partial interpretation computed so far.
+    """
+
+    def __init__(self, message: str, partial=None, iterations: int = 0):
+        super().__init__(message)
+        self.partial = partial
+        self.iterations = iterations
+
+
+class UnknownPredicateError(EvaluationError):
+    """A query referenced a predicate that no rule or fact defines."""
+
+
+class TransducerError(ReproError):
+    """Base class for errors in the generalized transducer machine model."""
+
+
+class TransducerDefinitionError(TransducerError):
+    """The transducer definition violates Definition 7 of the paper.
+
+    Covers: a transition that consumes no input symbol, a transition that
+    moves a head past the end-of-tape marker, or a subtransducer whose arity
+    is not ``m + 1`` or whose order is not strictly smaller.
+    """
+
+
+class TransducerRuntimeError(TransducerError):
+    """The transducer got stuck: no transition is defined for the current
+    state and scanned symbols before all input was consumed."""
+
+
+class NetworkError(TransducerError):
+    """An invalid transducer network (cyclic, dangling wires, bad arity)."""
+
+
+class TuringMachineError(ReproError):
+    """Errors in the Turing machine substrate (bad definition or runtime)."""

@@ -1,0 +1,52 @@
+"""Genome-database application layer built on the public query API.
+
+Genome databases are the paper's motivating application (Section 1,
+Example 7.1): long sequences over the DNA alphabet that need pattern
+matching *and* restructuring -- transcription, translation, splicing,
+reverse complements, and operations "that cannot be anticipated in advance".
+This package builds those operations on top of Sequence Datalog, Transducer
+Datalog and the generalized-transducer library, exactly the way a downstream
+genome application would:
+
+* :mod:`~repro.genome.machines` -- additional base transducers for genome
+  work: DNA complementation, intron splicing over marked transcripts, and
+  sequence cleaning (footnote 6 of the paper notes splicing "can be encoded
+  in Transducer Datalog without difficulty"; this is that encoding).
+* :mod:`~repro.genome.programs` -- Sequence Datalog / Transducer Datalog
+  programs for reverse complements, open reading frames (ORFs), reading
+  frames, and restriction-site search (footnote 8's reading frames and stop
+  codons made explicit).
+* :mod:`~repro.genome.pipeline` -- :class:`~repro.genome.pipeline.GenomeAnalyzer`,
+  a facade bundling the programs and machines over a DNA sequence database.
+"""
+
+from repro.genome.machines import (
+    complement_dna_transducer,
+    splice_transducer,
+    DONOR_MARK,
+    ACCEPTOR_MARK,
+)
+from repro.genome.pipeline import GenomeAnalyzer, OpenReadingFrame
+from repro.genome.programs import (
+    START_CODON,
+    STOP_CODONS,
+    orf_program,
+    reading_frame_program,
+    restriction_site_program,
+    reverse_complement_program,
+)
+
+__all__ = [
+    "ACCEPTOR_MARK",
+    "DONOR_MARK",
+    "GenomeAnalyzer",
+    "OpenReadingFrame",
+    "START_CODON",
+    "STOP_CODONS",
+    "complement_dna_transducer",
+    "orf_program",
+    "reading_frame_program",
+    "restriction_site_program",
+    "reverse_complement_program",
+    "splice_transducer",
+]

@@ -1,0 +1,90 @@
+"""Genome-specific generalized transducers (all order 1).
+
+Example 7.1 of the paper builds a DNA -> RNA -> protein pipeline out of two
+base transducers and notes in footnotes 6 and 8 that the biological
+complications it elides -- intron splicing, reading frames, stop codons --
+"can be encoded in Transducer Datalog without difficulty".  The machines
+here provide those encodings:
+
+* :func:`complement_dna_transducer` -- the Watson-Crick complement of a DNA
+  strand (a per-symbol map, hence an ordinary transducer);
+* :func:`splice_transducer` -- remove introns from a marked pre-mRNA-style
+  transcript: everything between a donor mark and the following acceptor
+  mark is deleted, everything else is copied.  Being a two-state per-symbol
+  machine it is an ordinary (order-1) transducer, which is exactly why the
+  paper can claim splicing adds no difficulty;
+* :func:`clean_transducer` -- drop any non-alphabet "noise" symbols from a
+  read (ambiguity codes collapsed to nothing), used to sanitise synthetic
+  workloads.
+
+Reverse complementation needs *reversal*, which no one-way transducer can
+do; it is therefore provided as a Sequence Datalog program in
+:mod:`repro.genome.programs` (structural recursion plus construction, the
+Example 1.4 pattern), not as a machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sequences.alphabet import DNA_ALPHABET, RNA_ALPHABET
+from repro.transducers.builder import TransducerBuilder
+from repro.transducers.library import mapping_transducer
+from repro.transducers.machine import CONSUME, GeneralizedTransducer
+
+#: Marks the start of an intron in a marked transcript (donor site).
+DONOR_MARK = "<"
+
+#: Marks the end of an intron in a marked transcript (acceptor site).
+ACCEPTOR_MARK = ">"
+
+#: The Watson-Crick complement map over the DNA alphabet.
+DNA_COMPLEMENT = {"a": "t", "t": "a", "c": "g", "g": "c"}
+
+
+def complement_dna_transducer(name: str = "complement_dna") -> GeneralizedTransducer:
+    """The per-symbol Watson-Crick complement of a DNA strand."""
+    return mapping_transducer(name, DNA_COMPLEMENT, alphabet=DNA_ALPHABET)
+
+
+def splice_transducer(
+    alphabet: Iterable[str] = RNA_ALPHABET,
+    donor: str = DONOR_MARK,
+    acceptor: str = ACCEPTOR_MARK,
+    name: str = "splice",
+) -> GeneralizedTransducer:
+    """Remove introns from a transcript with marked splice sites.
+
+    The input alphabet is the base alphabet plus the two marks.  The machine
+    has two states: in ``exon`` it copies every base and drops the donor
+    mark while switching to ``intron``; in ``intron`` it drops every base
+    and drops the acceptor mark while switching back to ``exon``.  Unmatched
+    marks are simply dropped (the machine never gets stuck), so the machine
+    is total on its alphabet.
+
+    Example: ``aug<ggg>cau`` splices to ``augcau``.
+    """
+    bases = tuple(dict.fromkeys(alphabet))
+    builder = TransducerBuilder(name, num_inputs=1, alphabet=bases + (donor, acceptor))
+    for base in bases:
+        builder.add("exon", (base,), "exon", (CONSUME,), base)
+        builder.add("intron", (base,), "intron", (CONSUME,), "")
+    builder.add("exon", (donor,), "intron", (CONSUME,), "")
+    builder.add("intron", (acceptor,), "exon", (CONSUME,), "")
+    # Tolerate stray marks: an acceptor while in an exon and a donor while
+    # already inside an intron are ignored.
+    builder.add("exon", (acceptor,), "exon", (CONSUME,), "")
+    builder.add("intron", (donor,), "intron", (CONSUME,), "")
+    return builder.build(initial_state="exon")
+
+
+def clean_transducer(
+    keep: Iterable[str] = DNA_ALPHABET,
+    noise: Iterable[str] = "n-",
+    name: str = "clean",
+) -> GeneralizedTransducer:
+    """Drop noise symbols (ambiguity codes, gaps) and keep everything else."""
+    kept = tuple(dict.fromkeys(keep))
+    dropped = tuple(dict.fromkeys(noise))
+    mapping = {symbol: "" for symbol in dropped}
+    return mapping_transducer(name, mapping, alphabet=kept + dropped)

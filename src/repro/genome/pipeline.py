@@ -1,0 +1,292 @@
+"""A genome-analysis facade over the query engine (the Example 7.1 pipeline,
+grown into the application the paper's introduction describes).
+
+:class:`GenomeAnalyzer` owns a database of DNA strands and exposes the
+operations a genome database needs (Section 1): transcription and
+translation (Example 7.1, via Transducer Datalog), splicing of marked
+transcripts (footnote 6, via an order-1 transducer), reverse complements
+(Sequence Datalog construction), open reading frames and reading-frame
+codons (footnote 8, structural recursion), and restriction-site search
+(pattern matching).  Every method runs a real program or machine from
+:mod:`repro.genome.programs` / :mod:`repro.genome.machines`; nothing is
+computed by shortcutting to plain Python except the position bookkeeping
+that the sequence-only data model cannot express (documented per method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.database.database import SequenceDatabase
+from repro.engine.fixpoint import compute_least_fixpoint
+from repro.engine.limits import EvaluationLimits
+from repro.engine.query import evaluate_query
+from repro.errors import ValidationError
+from repro.genome.machines import (
+    ACCEPTOR_MARK,
+    DONOR_MARK,
+    complement_dna_transducer,
+    splice_transducer,
+)
+from repro.genome.programs import (
+    START_CODON,
+    STOP_CODONS,
+    orf_program,
+    reading_frame_program,
+    restriction_site_program,
+    reverse_complement_program,
+)
+from repro.sequences import as_sequence
+from repro.sequences.alphabet import DNA_ALPHABET
+from repro.transducer_datalog.program import TransducerDatalogProgram
+from repro.transducers.library import transcribe_transducer, translate_transducer
+from repro.transducers.registry import TransducerCatalog
+
+#: Generous limits: genome programs are strongly guarded by the stored
+#: strands, but ORF search on many strands derives many intermediate facts.
+_GENOME_LIMITS = EvaluationLimits(
+    max_iterations=10_000,
+    max_facts=2_000_000,
+    max_domain_size=2_000_000,
+    max_sequence_length=100_000,
+)
+
+
+@dataclass(frozen=True)
+class OpenReadingFrame:
+    """One open reading frame found in an RNA strand.
+
+    ``start`` and ``stop`` are 1-based positions of the first symbol of the
+    start codon and the first symbol of the stop codon; ``sequence`` is the
+    spanned subsequence including the stop codon; ``protein`` is its
+    translation (stop codon rendered as ``*``).
+    """
+
+    strand: str
+    start: int
+    stop: int
+    sequence: str
+    protein: str
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+
+class GenomeAnalyzer:
+    """Analyse a database of DNA strands with the paper's query languages."""
+
+    def __init__(self, strands: Iterable[str], limits: EvaluationLimits = _GENOME_LIMITS):
+        self.strands: List[str] = [as_sequence(strand).text for strand in strands]
+        for strand in self.strands:
+            DNA_ALPHABET.validate_word(strand)
+        self.limits = limits
+        self._transcribe = transcribe_transducer()
+        self._translate = translate_transducer()
+        self._complement = complement_dna_transducer()
+        self._catalog = TransducerCatalog([self._transcribe, self._translate])
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+    def dna_database(self) -> SequenceDatabase:
+        """The ``dnaseq`` relation holding the stored strands."""
+        return SequenceDatabase.from_dict({"dnaseq": self.strands})
+
+    def rna_database(self) -> SequenceDatabase:
+        """The ``rnaseq`` relation holding the transcribed strands."""
+        return SequenceDatabase.from_dict({"rnaseq": list(self.transcripts().values())})
+
+    # ------------------------------------------------------------------
+    # Example 7.1: transcription and translation
+    # ------------------------------------------------------------------
+    def transcripts(self) -> Dict[str, str]:
+        """DNA strand -> RNA transcript, via the Example 7.1 program."""
+        program = TransducerDatalogProgram(
+            'rnaseq(D, @transcribe(D)) :- dnaseq(D).', catalog=self._catalog
+        )
+        result = program.evaluate(self.dna_database(), limits=self.limits)
+        rows = evaluate_query(result.interpretation, "rnaseq(D, R)")
+        return {d: r for d, r in rows.texts()}
+
+    def proteins(self) -> Dict[str, str]:
+        """DNA strand -> protein, via the full two-rule Example 7.1 program."""
+        program = TransducerDatalogProgram(
+            """
+            rnaseq(D, @transcribe(D)) :- dnaseq(D).
+            proteinseq(D, @translate(R)) :- rnaseq(D, R).
+            """,
+            catalog=self._catalog,
+        )
+        result = program.evaluate(self.dna_database(), limits=self.limits)
+        rows = evaluate_query(result.interpretation, "proteinseq(D, P)")
+        return {d: p for d, p in rows.texts()}
+
+    # ------------------------------------------------------------------
+    # Restructurings
+    # ------------------------------------------------------------------
+    def reverse_complements(self) -> Dict[str, str]:
+        """DNA strand -> reverse complement, via Sequence Datalog."""
+        result = compute_least_fixpoint(
+            reverse_complement_program(), self.dna_database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "revcomp(X, Y)")
+        return {x: y for x, y in rows.texts()}
+
+    def complements(self) -> Dict[str, str]:
+        """DNA strand -> Watson-Crick complement (not reversed), via the
+        order-1 complement transducer."""
+        return {strand: self._complement(strand).text for strand in self.strands}
+
+    def splice(self, marked_transcripts: Iterable[str]) -> List[str]:
+        """Remove introns from transcripts with ``<`` ... ``>`` markers.
+
+        Footnote 6: intron splicing "can be encoded in Transducer Datalog
+        without difficulty" -- the encoding is the order-1
+        :func:`~repro.genome.machines.splice_transducer` invoked through a
+        one-rule Transducer Datalog program.
+        """
+        transcripts = [as_sequence(value).text for value in marked_transcripts]
+        machine = splice_transducer()
+        program = TransducerDatalogProgram(
+            "spliced(X, @splice(X)) :- marked(X).", transducers=[machine]
+        )
+        database = SequenceDatabase.from_dict({"marked": transcripts})
+        result = program.evaluate(database, limits=self.limits)
+        rows = dict(evaluate_query(result.interpretation, "spliced(X, Y)").texts())
+        return [rows[transcript] for transcript in transcripts]
+
+    # ------------------------------------------------------------------
+    # Footnote 8: reading frames, stop codons, ORFs
+    # ------------------------------------------------------------------
+    def reading_frame(self, frame: int = 1) -> Dict[str, List[str]]:
+        """RNA transcript -> its non-overlapping codons in the given frame.
+
+        Relations are sets, so the ``codon`` relation alone loses order and
+        duplicates; the in-order codon list is rebuilt from the
+        ``frame_suffix`` relation instead (one suffix per codon boundary,
+        ordered by decreasing length), which is faithful to what the program
+        derived.
+        """
+        result = compute_least_fixpoint(
+            reading_frame_program(frame), self.rna_database(), limits=self.limits
+        )
+        suffixes = evaluate_query(result.interpretation, "frame_suffix(R, S)")
+        by_strand: Dict[str, List[str]] = {}
+        for strand, suffix in suffixes.texts():
+            by_strand.setdefault(strand, []).append(suffix)
+        ordered: Dict[str, List[str]] = {}
+        for strand, found in by_strand.items():
+            found.sort(key=len, reverse=True)
+            ordered[strand] = [suffix[:3] for suffix in found if len(suffix) >= 3]
+        return ordered
+
+    def open_reading_frames(
+        self, min_codons: int = 2, minimal_only: bool = True
+    ) -> List[OpenReadingFrame]:
+        """All ORFs of all transcripts, as :class:`OpenReadingFrame` records.
+
+        The Datalog program derives every in-frame (start, stop) span;
+        ``minimal_only=True`` keeps, per start codon, only the span ending at
+        the *first* in-frame stop codon (the biological ORF), a filter that
+        needs negation and is therefore applied here rather than in the
+        positive program.  ``min_codons`` drops spans shorter than that many
+        codons (including the stop codon).
+        """
+        if min_codons < 1:
+            raise ValidationError("min_codons must be at least 1")
+        result = compute_least_fixpoint(
+            orf_program(), self.rna_database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "orf(R, O)")
+        spans: List[OpenReadingFrame] = []
+        for strand, found in rows.texts():
+            for start in _occurrences(strand, found):
+                stop = start + len(found) - 3
+                spans.append(
+                    OpenReadingFrame(
+                        strand=strand,
+                        start=start,
+                        stop=stop,
+                        sequence=found,
+                        protein=self._translate(found).text,
+                    )
+                )
+        spans = [span for span in spans if len(span.sequence) >= 3 * min_codons]
+        if minimal_only:
+            shortest: Dict[Tuple[str, int], OpenReadingFrame] = {}
+            for span in spans:
+                key = (span.strand, span.start)
+                if key not in shortest or span.length < shortest[key].length:
+                    shortest[key] = span
+            spans = list(shortest.values())
+        return sorted(spans, key=lambda span: (span.strand, span.start, span.stop))
+
+    # ------------------------------------------------------------------
+    # Restriction analysis
+    # ------------------------------------------------------------------
+    def restriction_sites(self, site: str = "gaattc") -> Dict[str, List[int]]:
+        """DNA strand -> 1-based positions of every occurrence of ``site``.
+
+        The Datalog query returns the suffix starting at each occurrence
+        (relations hold sequences, not integers); positions are recovered as
+        ``len(strand) - len(suffix) + 1``.  Repeated occurrences of the same
+        suffix text cannot happen (a suffix is determined by its length), so
+        the conversion is exact.
+        """
+        result = compute_least_fixpoint(
+            restriction_site_program(site), self.dna_database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "site_at(R, S)")
+        positions: Dict[str, List[int]] = {strand: [] for strand in self.strands}
+        for strand, suffix in rows.texts():
+            positions[strand].append(len(strand) - len(suffix) + 1)
+        return {strand: sorted(found) for strand, found in positions.items()}
+
+    def digest(self, site: str = "gaattc", cut_offset: int = 1) -> Dict[str, List[str]]:
+        """Cut every strand at every occurrence of ``site``.
+
+        ``cut_offset`` is the 0-based offset within the site at which the
+        enzyme cuts (EcoRI cuts between the g and the first a, offset 1).
+        Fragment assembly from the cut positions is plain bookkeeping on top
+        of the Datalog site query.
+        """
+        fragments: Dict[str, List[str]] = {}
+        for strand, positions in self.restriction_sites(site).items():
+            cuts = [position - 1 + cut_offset for position in positions]
+            pieces, previous = [], 0
+            for cut in cuts:
+                pieces.append(strand[previous:cut])
+                previous = cut
+            pieces.append(strand[previous:])
+            fragments[strand] = [piece for piece in pieces if piece]
+        return fragments
+
+    # ------------------------------------------------------------------
+    # Simple composition statistics (no query machinery needed)
+    # ------------------------------------------------------------------
+    def gc_content(self) -> Dict[str, float]:
+        """DNA strand -> fraction of g/c bases (0.0 for the empty strand)."""
+        return {
+            strand: (
+                (strand.count("g") + strand.count("c")) / len(strand) if strand else 0.0
+            )
+            for strand in self.strands
+        }
+
+    def __repr__(self) -> str:
+        total = sum(len(strand) for strand in self.strands)
+        return f"GenomeAnalyzer({len(self.strands)} strands, {total} bases)"
+
+
+def _occurrences(haystack: str, needle: str) -> List[int]:
+    """1-based start positions of every occurrence of ``needle``."""
+    positions = []
+    start = 0
+    while True:
+        index = haystack.find(needle, start)
+        if index < 0:
+            return positions
+        positions.append(index + 1)
+        start = index + 1

@@ -1,0 +1,133 @@
+"""Sequence Datalog programs for genome-database queries.
+
+These programs implement the restructurings and pattern-matching queries the
+paper's introduction motivates (Section 1, Example 7.1 and its footnotes) on
+top of the core language only -- structural recursion with indexed terms and
+constructive terms -- so they double as non-trivial end-to-end exercises of
+the engine:
+
+* :func:`reverse_complement_program` -- the reverse complement of every
+  stored DNA strand (the Example 1.4 reverse pattern plus a per-symbol
+  complement table);
+* :func:`orf_program` -- open reading frames: every in-frame (start codon,
+  stop codon) span of every stored RNA strand.  Positive Datalog cannot say
+  "and no earlier in-frame stop codon" (that needs negation), so the program
+  derives all spans and :class:`repro.genome.pipeline.GenomeAnalyzer`
+  post-filters to minimal ORFs;
+* :func:`reading_frame_program` -- the codons of reading frame 1/2/3 of
+  every stored RNA strand;
+* :func:`restriction_site_program` -- all occurrences of a fixed recognition
+  site (e.g. EcoRI ``gaattc``) in every stored DNA strand.
+
+Because relations in the extended relational model hold *sequences* (never
+integers), queries that conceptually return positions return the suffix of
+the strand starting at that position instead; the pipeline converts suffixes
+back to 1-based positions.  All programs use the relation names ``dnaseq``
+(DNA strands) or ``rnaseq`` (RNA strands) so they compose with the
+Example 7.1 pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.language.clauses import Program
+from repro.language.parser import parse_program
+
+#: The start codon recognised by :func:`orf_program`.
+START_CODON = "aug"
+
+#: The three stop codons of the standard genetic code.
+STOP_CODONS = ("uaa", "uag", "uga")
+
+
+def reverse_complement_program() -> Program:
+    """The reverse complement of every strand in ``dnaseq``.
+
+    ``revcomp(X, Y)`` holds when ``Y`` is the reverse complement of the
+    stored strand ``X``.  The recursion follows Example 1.4: scan the strand
+    left to right while prepending the complement of each base to the
+    output, so the output ends up reversed and complemented at once.
+    """
+    return parse_program(
+        """
+        revcomp(X, Y) :- dnaseq(X), rc(X, Y).
+        rc("", "") :- true.
+        rc(X[1:N+1], C ++ Y) :- dnaseq(X), rc(X[1:N], Y), basecomp(X[N+1], C).
+        basecomp("a", "t") :- true.
+        basecomp("t", "a") :- true.
+        basecomp("c", "g") :- true.
+        basecomp("g", "c") :- true.
+        """
+    )
+
+
+def orf_program() -> Program:
+    """All in-frame (start, stop) spans of every strand in ``rnaseq``.
+
+    ``orf(R, O)`` holds when ``O`` is a contiguous subsequence of ``R`` that
+    starts with the start codon, ends with a stop codon, and whose length is
+    a multiple of three (so the stop codon lies in the reading frame opened
+    by the start codon).  The divisibility test is the structural recursion
+    ``mult3``: a sequence has length divisible by three exactly when
+    chopping three symbols off its front eventually reaches the empty
+    sequence.
+    """
+    stop_facts = "\n".join(f'stopcodon("{codon}") :- true.' for codon in STOP_CODONS)
+    return parse_program(
+        f"""
+        orf(R, R[N:M+2]) :- rnaseq(R), R[N:N+2] = "{START_CODON}",
+                            stopcodon(R[M:M+2]), mult3(R[N:M-1]).
+        mult3("") :- true.
+        mult3(X) :- mult3(X[4:end]).
+        {stop_facts}
+        """
+    )
+
+
+def reading_frame_program(frame: int = 1) -> Program:
+    """The codons of reading frame ``frame`` (1, 2 or 3) of every RNA strand.
+
+    ``codon(R, C)`` holds when ``C`` is one of the non-overlapping codons of
+    strand ``R`` read from offset ``frame``.  ``frame_suffix(R, S)`` holds
+    when ``S`` is a suffix of ``R`` starting at a codon boundary of that
+    frame; each recursion step chops one complete codon off the front.
+    """
+    if frame not in (1, 2, 3):
+        raise ValidationError(f"reading frame must be 1, 2 or 3, got {frame}")
+    return parse_program(
+        f"""
+        codon(R, S[1:3]) :- frame_suffix(R, S), S[3] = S[3].
+        frame_suffix(R, R[{frame}:end]) :- rnaseq(R).
+        frame_suffix(R, S[4:end]) :- frame_suffix(R, S), S[3] = S[3].
+        """
+    )
+
+
+def restriction_site_program(site: str = "gaattc") -> Program:
+    """All occurrences of the recognition ``site`` in every DNA strand.
+
+    ``site_at(R, S)`` holds when ``S`` is the suffix of strand ``R`` whose
+    first ``len(site)`` symbols are the recognition site; the 1-based
+    position of the occurrence is ``len(R) - len(S) + 1`` (computed by the
+    pipeline).  This is the simplest kind of pattern-matching query the
+    paper's introduction mentions: a single non-recursive rule with indexed
+    terms.
+    """
+    if not site:
+        raise ValidationError("the recognition site must be non-empty")
+    return parse_program(
+        f"""
+        site_at(R, R[N:end]) :- dnaseq(R), R[N:N+{len(site) - 1}] = "{site}".
+        """
+    )
+
+
+def transcription_program() -> Program:
+    """DNA -> RNA transcription as plain Sequence Datalog (Example 7.2).
+
+    Re-exported here so genome code has a single import point; the program
+    text is the paper's Example 7.2.
+    """
+    from repro.core import paper_programs
+
+    return paper_programs.transcribe_simulation_program()

@@ -1,0 +1,72 @@
+"""Abstract syntax and concrete syntax of Sequence Datalog and Transducer Datalog.
+
+The module hierarchy mirrors Section 3.1 (terms, atoms, clauses) and
+Section 7.1 (transducer terms) of the paper:
+
+* :mod:`repro.language.terms` -- index terms and sequence terms.
+* :mod:`repro.language.atoms` -- predicate atoms and (in)equality atoms.
+* :mod:`repro.language.clauses` -- clauses (rules/facts) and programs.
+* :mod:`repro.language.parser` -- a text parser for both languages.
+
+Concrete syntax accepted by the parser (summary)::
+
+    suffix(X[N:end]) :- r(X).
+    answer(X ++ Y)   :- r(X), r(Y).
+    abcn("", "", "") :- true.
+    p(X)             :- q(X), X[1] = "a", X != "".
+    rnaseq(D, @transcribe(D)) :- dnaseq(D).      % transducer term
+
+``++`` is the paper's concatenation operator (written as a bullet in the
+paper), ``@name(...)`` is a transducer term, quoted strings are constant
+sequences, ``""`` is the empty sequence, upper-case identifiers are
+variables, ``end`` is the end-of-sequence index keyword.
+"""
+
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexedTerm,
+    IndexSum,
+    IndexTerm,
+    IndexVariable,
+    SequenceTerm,
+    SequenceVariable,
+    TransducerTerm,
+    constant,
+    index_var,
+    seq_var,
+)
+from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
+from repro.language.clauses import Clause, Program, fact, rule
+from repro.language.parser import parse_atom, parse_clause, parse_program, parse_term
+
+__all__ = [
+    "Atom",
+    "BodyLiteral",
+    "Clause",
+    "Comparison",
+    "ConcatTerm",
+    "ConstantTerm",
+    "End",
+    "IndexConstant",
+    "IndexSum",
+    "IndexTerm",
+    "IndexVariable",
+    "IndexedTerm",
+    "Program",
+    "SequenceTerm",
+    "SequenceVariable",
+    "TransducerTerm",
+    "TrueLiteral",
+    "constant",
+    "fact",
+    "index_var",
+    "parse_atom",
+    "parse_clause",
+    "parse_program",
+    "parse_term",
+    "rule",
+    "seq_var",
+]

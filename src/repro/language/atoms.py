@@ -1,0 +1,201 @@
+"""Atoms and body literals of Sequence Datalog (Section 3.1).
+
+If ``p`` is a predicate symbol of arity ``n`` and ``s1 ... sn`` are sequence
+terms then ``p(s1, ..., sn)`` is an atom.  Additionally ``s1 = s2`` and
+``s1 != s2`` are (comparison) atoms.  The constant body literal ``true`` is
+used by the paper for facts written as rules (e.g. ``rep1(X, X) <- true``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.errors import ValidationError
+from repro.language.terms import ConstantTerm, SequenceTerm
+
+
+class BodyLiteral:
+    """Base class for anything that may appear in a clause body."""
+
+    __slots__ = ()
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def index_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def is_constructive(self) -> bool:
+        raise NotImplementedError
+
+    def transducer_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+class Atom(BodyLiteral):
+    """A predicate atom ``p(s1, ..., sn)``.
+
+    Atoms may appear both in heads and bodies.  The paper's restriction that
+    constructive terms appear only in heads is enforced at the
+    :class:`~repro.language.clauses.Clause` level because an `Atom` does not
+    know where it sits.
+    """
+
+    __slots__ = ("predicate", "args")
+
+    def __init__(self, predicate: str, args: Iterable[SequenceTerm] = ()):
+        if not predicate:
+            raise ValidationError("an atom needs a predicate symbol")
+        if not (predicate[0].islower() or predicate[0] == "_"):
+            raise ValidationError(
+                f"predicate symbols must start with a lower-case letter, got {predicate!r}"
+            )
+        args = tuple(args)
+        for arg in args:
+            if not isinstance(arg, SequenceTerm):
+                raise ValidationError(
+                    f"atom arguments must be sequence terms, got {arg!r}"
+                )
+        self.predicate = predicate
+        self.args: Tuple[SequenceTerm, ...] = args
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """The (predicate, arity) pair identifying the relation."""
+        return (self.predicate, len(self.args))
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            names |= arg.sequence_variables()
+        return names
+
+    def index_variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            names |= arg.index_variables()
+        return names
+
+    def is_constructive(self) -> bool:
+        return any(arg.is_constructive() for arg in self.args)
+
+    def transducer_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            names |= arg.transducer_names()
+        return names
+
+    def is_ground(self) -> bool:
+        """True if the atom contains no variables at all."""
+        return not self.sequence_variables() and not self.index_variables()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and other.predicate == self.predicate
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Atom", self.predicate, self.args))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {list(self.args)!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        args = ", ".join(str(arg) for arg in self.args)
+        return f"{self.predicate}({args})"
+
+
+class Comparison(BodyLiteral):
+    """An equality ``s1 = s2`` or inequality ``s1 != s2`` between sequence terms.
+
+    Comparisons may appear only in rule bodies.  They never contain
+    constructive terms (those are restricted to heads).
+    """
+
+    EQ = "="
+    NE = "!="
+
+    __slots__ = ("left", "right", "operator")
+
+    def __init__(self, left: SequenceTerm, right: SequenceTerm, operator: str = "="):
+        if operator not in (self.EQ, self.NE):
+            raise ValidationError(f"comparison operator must be '=' or '!=', got {operator!r}")
+        for side in (left, right):
+            if not isinstance(side, SequenceTerm):
+                raise ValidationError("comparison operands must be sequence terms")
+            if side.is_constructive():
+                raise ValidationError(
+                    "constructive terms may not appear in comparisons (rule bodies)"
+                )
+        self.left = left
+        self.right = right
+        self.operator = operator
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        return self.left.sequence_variables() | self.right.sequence_variables()
+
+    def index_variables(self) -> FrozenSet[str]:
+        return self.left.index_variables() | self.right.index_variables()
+
+    def is_constructive(self) -> bool:
+        return False
+
+    def is_equality(self) -> bool:
+        return self.operator == self.EQ
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.left == self.left
+            and other.right == self.right
+            and other.operator == self.operator
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.left, self.right, self.operator))
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.left!r}, {self.operator!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.operator} {self.right}"
+
+
+class TrueLiteral(BodyLiteral):
+    """The constant body literal ``true`` used for facts written as rules."""
+
+    __slots__ = ()
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def index_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def is_constructive(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TrueLiteral)
+
+    def __hash__(self) -> int:
+        return hash("TrueLiteral")
+
+    def __repr__(self) -> str:
+        return "TrueLiteral()"
+
+    def __str__(self) -> str:
+        return "true"
+
+
+def ground_atom(predicate: str, *values) -> Atom:
+    """Build a ground atom from plain strings/Sequences (a database fact)."""
+    return Atom(predicate, [ConstantTerm(value) for value in values])

@@ -1,0 +1,276 @@
+"""Clauses and programs of Sequence Datalog / Transducer Datalog (Section 3.1).
+
+A *clause* (rule) has a head atom and a body of literals.  The paper's two
+syntactic restrictions are enforced here:
+
+* constructive terms (concatenations and transducer terms) may appear only in
+  the head of a clause, never in the body;
+* indexed terms may not be nested (enforced by the term constructors).
+
+A clause whose head contains a constructive term is a *constructive clause*.
+A *program* is a set of clauses; :class:`Program` also exposes the structural
+information needed by the analyses of Sections 5 and 8 (predicates defined,
+base predicates, constructive clauses, transducers mentioned, guardedness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
+from repro.language.terms import SequenceTerm
+
+
+class Clause:
+    """A Sequence Datalog / Transducer Datalog clause ``head :- body``.
+
+    A clause with an empty body (or a body consisting only of ``true``) whose
+    head is ground is a *fact*.
+    """
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Atom, body: Iterable[BodyLiteral] = ()):
+        if not isinstance(head, Atom):
+            raise ValidationError("the head of a clause must be an atom")
+        body = tuple(body)
+        for literal in body:
+            if not isinstance(literal, BodyLiteral):
+                raise ValidationError(
+                    f"clause bodies may contain only atoms, comparisons and 'true', got {literal!r}"
+                )
+            if literal.is_constructive():
+                raise ValidationError(
+                    "constructive terms may appear only in the head of a clause "
+                    f"(offending literal: {literal})"
+                )
+        # Drop redundant `true` literals when other literals are present so
+        # the evaluation engine never has to consider them.
+        meaningful = tuple(lit for lit in body if not isinstance(lit, TrueLiteral))
+        self.head = head
+        self.body: Tuple[BodyLiteral, ...] = meaningful
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def is_fact(self) -> bool:
+        """True if the clause has an empty body and a ground head."""
+        return not self.body and self.head.is_ground()
+
+    def is_constructive(self) -> bool:
+        """True if the head contains a concatenation or transducer term."""
+        return self.head.is_constructive()
+
+    def body_atoms(self) -> List[Atom]:
+        """The predicate atoms (not comparisons) of the body."""
+        return [literal for literal in self.body if isinstance(literal, Atom)]
+
+    def body_comparisons(self) -> List[Comparison]:
+        """The comparison literals of the body."""
+        return [literal for literal in self.body if isinstance(literal, Comparison)]
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        names = self.head.sequence_variables()
+        for literal in self.body:
+            names |= literal.sequence_variables()
+        return names
+
+    def index_variables(self) -> FrozenSet[str]:
+        names = self.head.index_variables()
+        for literal in self.body:
+            names |= literal.index_variables()
+        return names
+
+    def guarded_sequence_variables(self) -> FrozenSet[str]:
+        """Sequence variables appearing in the body as a *direct* argument.
+
+        The paper (Section 3.1 and Appendix B) calls a variable *guarded* in
+        a clause when it occurs in the body as an argument of some predicate
+        -- i.e. as a bare variable, not buried inside an indexed term.  For
+        example ``X`` is guarded in ``p(X[1]) :- q(X)`` but unguarded in
+        ``p(X) :- q(X[1])``.
+        """
+        guarded: Set[str] = set()
+        for atom in self.body_atoms():
+            for arg in atom.args:
+                from repro.language.terms import SequenceVariable
+
+                if isinstance(arg, SequenceVariable):
+                    guarded.add(arg.name)
+        return frozenset(guarded)
+
+    def unguarded_sequence_variables(self) -> FrozenSet[str]:
+        """Sequence variables of the clause that are not guarded."""
+        return self.sequence_variables() - self.guarded_sequence_variables()
+
+    def is_guarded(self) -> bool:
+        """True if every sequence variable of the clause is guarded."""
+        return not self.unguarded_sequence_variables()
+
+    def transducer_names(self) -> FrozenSet[str]:
+        """Transducers mentioned in the clause (head only, by construction)."""
+        return self.head.transducer_names()
+
+    def body_predicates(self) -> FrozenSet[str]:
+        """Predicate symbols used in the body."""
+        return frozenset(atom.predicate for atom in self.body_atoms())
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Clause)
+            and other.head == self.head
+            and other.body == self.body
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Clause", self.head, self.body))
+
+    def __repr__(self) -> str:
+        return f"Clause({self.head!r}, {list(self.body)!r})"
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(literal) for literal in self.body)
+        return f"{self.head} :- {body}."
+
+
+class Program:
+    """An ordered collection of clauses.
+
+    The order of clauses is irrelevant to the semantics (the fixpoint is the
+    same) but is preserved for readable pretty-printing and deterministic
+    evaluation traces.
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        clause_list: List[Clause] = []
+        for clause in clauses:
+            if not isinstance(clause, Clause):
+                raise ValidationError(f"programs contain clauses, got {clause!r}")
+            clause_list.append(clause)
+        self.clauses: Tuple[Clause, ...] = tuple(clause_list)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return set(self.clauses) == set(other.clauses)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.clauses))
+
+    def __add__(self, other: "Program") -> "Program":
+        return Program(self.clauses + tuple(other.clauses))
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.clauses)} clauses)"
+
+    def __str__(self) -> str:
+        return "\n".join(str(clause) for clause in self.clauses)
+
+    # ------------------------------------------------------------------
+    # Predicate-level queries
+    # ------------------------------------------------------------------
+    def head_predicates(self) -> FrozenSet[str]:
+        """Predicates defined (appearing in some head) by the program (IDB)."""
+        return frozenset(clause.head.predicate for clause in self.clauses)
+
+    def body_predicates(self) -> FrozenSet[str]:
+        """Predicates used in some body."""
+        names: Set[str] = set()
+        for clause in self.clauses:
+            names |= clause.body_predicates()
+        return frozenset(names)
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicate symbols mentioned anywhere in the program."""
+        return self.head_predicates() | self.body_predicates()
+
+    def base_predicates(self) -> FrozenSet[str]:
+        """Predicates used in bodies but never defined: the database schema."""
+        return self.body_predicates() - self.head_predicates()
+
+    def clauses_for(self, predicate: str) -> List[Clause]:
+        """The clauses whose head predicate is ``predicate``."""
+        return [clause for clause in self.clauses if clause.head.predicate == predicate]
+
+    def constructive_clauses(self) -> List[Clause]:
+        """All constructive clauses of the program."""
+        return [clause for clause in self.clauses if clause.is_constructive()]
+
+    def is_constructive(self) -> bool:
+        """True if any clause is constructive."""
+        return any(clause.is_constructive() for clause in self.clauses)
+
+    def is_guarded(self) -> bool:
+        """True if every clause is guarded (Appendix B)."""
+        return all(clause.is_guarded() for clause in self.clauses)
+
+    def transducer_names(self) -> FrozenSet[str]:
+        """All transducer names mentioned by the program."""
+        names: Set[str] = set()
+        for clause in self.clauses:
+            names |= clause.transducer_names()
+        return frozenset(names)
+
+    def uses_transducers(self) -> bool:
+        """True if the program is a Transducer Datalog program."""
+        return bool(self.transducer_names())
+
+    def signatures(self) -> Dict[str, int]:
+        """Map each predicate to its arity; raise on inconsistent arities."""
+        arities: Dict[str, int] = {}
+        for clause in self.clauses:
+            atoms = [clause.head] + clause.body_atoms()
+            for atom in atoms:
+                existing = arities.get(atom.predicate)
+                if existing is None:
+                    arities[atom.predicate] = atom.arity
+                elif existing != atom.arity:
+                    raise ValidationError(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{existing} and {atom.arity}"
+                    )
+        return arities
+
+    def validate(self) -> None:
+        """Run all structural checks; raise :class:`ValidationError` on failure."""
+        self.signatures()
+
+    def facts(self) -> List[Clause]:
+        """The clauses that are facts."""
+        return [clause for clause in self.clauses if clause.is_fact()]
+
+    def rules(self) -> List[Clause]:
+        """The clauses that are proper rules (non-facts)."""
+        return [clause for clause in self.clauses if not clause.is_fact()]
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def rule(head: Atom, *body: BodyLiteral) -> Clause:
+    """Build a clause from a head atom and body literals."""
+    return Clause(head, body)
+
+
+def fact(predicate: str, *values) -> Clause:
+    """Build a ground fact clause ``predicate(values...).``"""
+    from repro.language.atoms import ground_atom
+
+    return Clause(ground_atom(predicate, *values))

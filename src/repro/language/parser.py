@@ -1,0 +1,352 @@
+"""Text parser for Sequence Datalog and Transducer Datalog programs.
+
+Concrete syntax
+---------------
+::
+
+    % comments run to the end of the line ('#' also works)
+    suffix(X[N:end]) :- r(X).
+    answer(X ++ Y)   :- r(X), r(Y).
+    abcn("", "", "") :- true.
+    abcn(X, Y, Z)    :- X[1] = "a", Y[1] = "b", Z[1] = "c",
+                        abcn(X[2:end], Y[2:end], Z[2:end]).
+    rnaseq(D, @transcribe(D)) :- dnaseq(D).
+
+* predicates and transducer names: identifiers starting with a lower-case
+  letter;
+* sequence variables and index variables: identifiers starting with an
+  upper-case letter (or ``_``); the role (sequence vs index) is inferred from
+  position -- inside ``[...]`` a variable is an index variable;
+* constant sequences: double-quoted strings (``""`` is the empty sequence;
+  the keyword ``eps`` is an alias);
+* concatenation: ``++`` (the paper's bullet operator);
+* transducer terms: ``@name(arg, ...)``;
+* indexed terms: ``X[n1:n2]`` or the single-position shorthand ``X[n]``;
+* index expressions: integers, index variables, ``end``, ``+`` and ``-``;
+* rules use ``:-`` or ``<-``; every clause ends with a period.
+
+The parser is a hand-written recursive-descent parser over a small tokenizer;
+it reports 1-based line/column positions in :class:`~repro.errors.ParseError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence as TypingSequence
+
+from repro.errors import ParseError
+from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
+from repro.language.clauses import Clause, Program
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexTerm,
+    IndexVariable,
+    IndexedTerm,
+    SequenceTerm,
+    SequenceVariable,
+    TransducerTerm,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_PUNCTUATION = [
+    (":-", "ARROW"),
+    ("<-", "ARROW"),
+    ("!=", "NEQ"),
+    ("++", "CONCAT"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    (",", "COMMA"),
+    (".", "PERIOD"),
+    (":", "COLON"),
+    ("=", "EQ"),
+    ("+", "PLUS"),
+    ("-", "MINUS"),
+    ("@", "AT"),
+]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split program text into tokens, stripping comments and whitespace."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char in "%#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char == '"':
+            end = text.find('"', index + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal", line, column)
+            value = text[index + 1:end]
+            if "\n" in value:
+                raise ParseError("string literals may not span lines", line, column)
+            tokens.append(Token("STRING", value, line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+            tokens.append(Token("INTEGER", text[start:index], line, column))
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            if word == "end":
+                kind = "END"
+            elif word == "true":
+                kind = "TRUE"
+            elif word == "eps":
+                kind = "EPS"
+            elif word[0].isupper() or word[0] == "_":
+                kind = "VARIABLE"
+            else:
+                kind = "IDENT"
+            tokens.append(Token(kind, word, line, column))
+            column += index - start
+            continue
+        matched = False
+        for literal, kind in _PUNCTUATION:
+            if text.startswith(literal, index):
+                tokens.append(Token(kind, literal, line, column))
+                index += len(literal)
+                column += len(literal)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: TypingSequence[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.kind} ({token.value!r})",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._peek().kind == kind:
+            return self._advance()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek().kind == "EOF"
+
+    # ------------------------------------------------------------------
+    # Grammar rules
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        clauses = []
+        while not self.at_end():
+            clauses.append(self.parse_clause())
+        return Program(clauses)
+
+    def parse_clause(self) -> Clause:
+        head = self.parse_atom()
+        body: List[BodyLiteral] = []
+        if self._accept("ARROW"):
+            body.append(self.parse_body_literal())
+            while self._accept("COMMA"):
+                body.append(self.parse_body_literal())
+        self._expect("PERIOD")
+        return Clause(head, body)
+
+    def parse_body_literal(self) -> BodyLiteral:
+        token = self._peek()
+        if token.kind == "TRUE":
+            self._advance()
+            return TrueLiteral()
+        if token.kind == "IDENT":
+            return self.parse_atom()
+        left = self.parse_sequence_term()
+        operator_token = self._peek()
+        if operator_token.kind == "EQ":
+            self._advance()
+            right = self.parse_sequence_term()
+            return Comparison(left, right, Comparison.EQ)
+        if operator_token.kind == "NEQ":
+            self._advance()
+            right = self.parse_sequence_term()
+            return Comparison(left, right, Comparison.NE)
+        raise ParseError(
+            "expected a comparison operator ('=' or '!=') after a term literal",
+            operator_token.line,
+            operator_token.column,
+        )
+
+    def parse_atom(self) -> Atom:
+        name = self._expect("IDENT")
+        args: List[SequenceTerm] = []
+        if self._accept("LPAREN"):
+            if self._peek().kind != "RPAREN":
+                args.append(self.parse_sequence_term())
+                while self._accept("COMMA"):
+                    args.append(self.parse_sequence_term())
+            self._expect("RPAREN")
+        return Atom(name.value, args)
+
+    def parse_sequence_term(self) -> SequenceTerm:
+        parts = [self.parse_concat_part()]
+        while self._accept("CONCAT"):
+            parts.append(self.parse_concat_part())
+        if len(parts) == 1:
+            return parts[0]
+        return ConcatTerm(parts)
+
+    def parse_concat_part(self) -> SequenceTerm:
+        token = self._peek()
+        if token.kind == "STRING":
+            self._advance()
+            base: SequenceTerm = ConstantTerm(token.value)
+            return self._maybe_indexed(base)
+        if token.kind == "EPS":
+            self._advance()
+            return ConstantTerm("")
+        if token.kind == "VARIABLE":
+            self._advance()
+            return self._maybe_indexed(SequenceVariable(token.value))
+        if token.kind == "AT":
+            self._advance()
+            name = self._expect("IDENT")
+            self._expect("LPAREN")
+            args = [self.parse_sequence_term()]
+            while self._accept("COMMA"):
+                args.append(self.parse_sequence_term())
+            self._expect("RPAREN")
+            return TransducerTerm(name.value, args)
+        raise ParseError(
+            f"expected a sequence term but found {token.kind} ({token.value!r})",
+            token.line,
+            token.column,
+        )
+
+    def _maybe_indexed(self, base: SequenceTerm) -> SequenceTerm:
+        if not self._accept("LBRACKET"):
+            return base
+        lo = self.parse_index_term()
+        hi: Optional[IndexTerm] = None
+        if self._accept("COLON"):
+            hi = self.parse_index_term()
+        self._expect("RBRACKET")
+        return IndexedTerm(base, lo, hi)  # type: ignore[arg-type]
+
+    def parse_index_term(self) -> IndexTerm:
+        term = self.parse_index_atom()
+        while True:
+            if self._accept("PLUS"):
+                term = IndexSum(term, self.parse_index_atom(), "+")
+            elif self._accept("MINUS"):
+                term = IndexSum(term, self.parse_index_atom(), "-")
+            else:
+                return term
+
+    def parse_index_atom(self) -> IndexTerm:
+        token = self._peek()
+        if token.kind == "INTEGER":
+            self._advance()
+            return IndexConstant(int(token.value))
+        if token.kind == "VARIABLE":
+            self._advance()
+            return IndexVariable(token.value)
+        if token.kind == "END":
+            self._advance()
+            return End()
+        raise ParseError(
+            f"expected an index term but found {token.kind} ({token.value!r})",
+            token.line,
+            token.column,
+        )
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def parse_program(text: str) -> Program:
+    """Parse a whole program (a sequence of clauses)."""
+    parser = _Parser(tokenize(text))
+    return parser.parse_program()
+
+
+def parse_clause(text: str) -> Clause:
+    """Parse a single clause (must end with a period)."""
+    parser = _Parser(tokenize(text))
+    clause = parser.parse_clause()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError("trailing input after clause", token.line, token.column)
+    return clause
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. for queries: ``answer(X)``."""
+    parser = _Parser(tokenize(text))
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError("trailing input after atom", token.line, token.column)
+    return atom
+
+
+def parse_term(text: str) -> SequenceTerm:
+    """Parse a single sequence term, e.g. ``X[2:end] ++ "a"``."""
+    parser = _Parser(tokenize(text))
+    term = parser.parse_sequence_term()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError("trailing input after term", token.line, token.column)
+    return term

@@ -1,0 +1,487 @@
+"""Terms of Sequence Datalog and Transducer Datalog (Sections 3.1 and 7.1).
+
+The language of terms has two layers:
+
+*Index terms* are built from non-negative integers, index variables and the
+keyword ``end`` combined with ``+`` and ``-``:
+
+    ``3``, ``N + 3``, ``N - M``, ``end - 5``, ``end - 5 + M``
+
+*Sequence terms* are built from constant sequences, sequence variables and
+index terms:
+
+* an *indexed term* ``s[n1 : n2]`` extracts a contiguous subsequence; its
+  base ``s`` must be a variable or a constant (the paper explicitly excludes
+  nested forms such as ``(S1 . S2)[1:N]`` and ``S[1:N][M:end]``);
+* a *constructive term* ``s1 ++ s2`` concatenates sequences and may appear
+  only in rule heads;
+* a *transducer term* ``@T(s1, ..., sm)`` (Section 7.1) denotes the output of
+  generalized transducer ``T`` on the given inputs and may also appear only
+  in rule heads.  Transducer terms are closed under composition.
+
+All term classes are immutable and hashable so they can be used as keys in
+indexes built by the evaluation engine.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.sequences import Sequence, as_sequence
+
+
+# ----------------------------------------------------------------------
+# Index terms
+# ----------------------------------------------------------------------
+class IndexTerm:
+    """Base class of index terms (integers, index variables, ``end``, sums)."""
+
+    __slots__ = ()
+
+    def index_variables(self) -> FrozenSet[str]:
+        """Names of the index variables occurring in the term."""
+        raise NotImplementedError
+
+    def uses_end(self) -> bool:
+        """True if the keyword ``end`` occurs in the term."""
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class IndexConstant(IndexTerm):
+    """A non-negative integer literal used as an index."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if value < 0:
+            raise ValidationError(f"index constants must be non-negative, got {value}")
+        self.value = int(value)
+
+    def index_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def uses_end(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IndexConstant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("IndexConstant", self.value))
+
+    def __repr__(self) -> str:
+        return f"IndexConstant({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class IndexVariable(IndexTerm):
+    """An index variable (ranges over the integers of the extended domain)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not name[0].isupper() and name[0] != "_":
+            raise ValidationError(
+                f"index variable names must start with an upper-case letter, got {name!r}"
+            )
+        self.name = name
+
+    def index_variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def uses_end(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IndexVariable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("IndexVariable", self.name))
+
+    def __repr__(self) -> str:
+        return f"IndexVariable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class End(IndexTerm):
+    """The keyword ``end``: the last position of the enclosing sequence."""
+
+    __slots__ = ()
+
+    def index_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def uses_end(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, End)
+
+    def __hash__(self) -> int:
+        return hash("End")
+
+    def __repr__(self) -> str:
+        return "End()"
+
+    def __str__(self) -> str:
+        return "end"
+
+
+class IndexSum(IndexTerm):
+    """A sum or difference of two index terms (``n1 + n2`` or ``n1 - n2``)."""
+
+    __slots__ = ("left", "right", "operator")
+
+    def __init__(self, left: IndexTerm, right: IndexTerm, operator: str = "+"):
+        if operator not in ("+", "-"):
+            raise ValidationError(f"index operator must be '+' or '-', got {operator!r}")
+        if not isinstance(left, IndexTerm) or not isinstance(right, IndexTerm):
+            raise ValidationError("IndexSum operands must be index terms")
+        self.left = left
+        self.right = right
+        self.operator = operator
+
+    def index_variables(self) -> FrozenSet[str]:
+        return self.left.index_variables() | self.right.index_variables()
+
+    def uses_end(self) -> bool:
+        return self.left.uses_end() or self.right.uses_end()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, IndexSum)
+            and other.left == self.left
+            and other.right == self.right
+            and other.operator == self.operator
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IndexSum", self.left, self.right, self.operator))
+
+    def __repr__(self) -> str:
+        return f"IndexSum({self.left!r}, {self.right!r}, {self.operator!r})"
+
+    def __str__(self) -> str:
+        return f"{self.left}{self.operator}{self.right}"
+
+
+# ----------------------------------------------------------------------
+# Sequence terms
+# ----------------------------------------------------------------------
+class SequenceTerm:
+    """Base class of sequence terms."""
+
+    __slots__ = ()
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        """Names of the sequence variables occurring in the term."""
+        raise NotImplementedError
+
+    def index_variables(self) -> FrozenSet[str]:
+        """Names of the index variables occurring in the term."""
+        raise NotImplementedError
+
+    def is_constructive(self) -> bool:
+        """True if the term creates new sequences (concatenation/transducer)."""
+        raise NotImplementedError
+
+    def transducer_names(self) -> FrozenSet[str]:
+        """Names of transducers mentioned in the term."""
+        return frozenset()
+
+
+class ConstantTerm(SequenceTerm):
+    """A constant sequence, e.g. ``"acgt"`` or the empty sequence ``""``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value: Sequence = as_sequence(value)
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def index_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def is_constructive(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstantTerm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ConstantTerm", self.value))
+
+    def __repr__(self) -> str:
+        return f"ConstantTerm({self.value.text!r})"
+
+    def __str__(self) -> str:
+        return f'"{self.value.text}"'
+
+
+class SequenceVariable(SequenceTerm):
+    """A sequence variable (ranges over sequences of the extended domain)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not (name[0].isupper() or name[0] == "_"):
+            raise ValidationError(
+                f"sequence variable names must start with an upper-case letter, got {name!r}"
+            )
+        self.name = name
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def index_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def is_constructive(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SequenceVariable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("SequenceVariable", self.name))
+
+    def __repr__(self) -> str:
+        return f"SequenceVariable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class IndexedTerm(SequenceTerm):
+    """An indexed term ``s[n1 : n2]`` extracting a contiguous subsequence.
+
+    The base must be a variable or a constant: the paper forbids nested
+    indexed terms and indexing of constructive terms, which keeps the
+    distinction between structural and constructive recursion sharp.
+
+    The shorthand ``s[n]`` of the paper corresponds to ``lo == hi`` and is
+    produced by passing ``hi=None``.
+    """
+
+    __slots__ = ("base", "lo", "hi")
+
+    def __init__(
+        self,
+        base: Union[ConstantTerm, SequenceVariable],
+        lo: IndexTerm,
+        hi: IndexTerm = None,
+    ):
+        if not isinstance(base, (ConstantTerm, SequenceVariable)):
+            raise ValidationError(
+                "the base of an indexed term must be a sequence variable or a "
+                f"constant sequence, got {type(base).__name__}"
+            )
+        if not isinstance(lo, IndexTerm):
+            raise ValidationError("the lower index must be an index term")
+        if hi is None:
+            hi = lo
+        if not isinstance(hi, IndexTerm):
+            raise ValidationError("the upper index must be an index term")
+        self.base = base
+        self.lo = lo
+        self.hi = hi
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        return self.base.sequence_variables()
+
+    def index_variables(self) -> FrozenSet[str]:
+        return self.lo.index_variables() | self.hi.index_variables()
+
+    def is_constructive(self) -> bool:
+        return False
+
+    def is_single_position(self) -> bool:
+        """True for the shorthand form ``s[n]`` (equal index terms)."""
+        return self.lo == self.hi
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, IndexedTerm)
+            and other.base == self.base
+            and other.lo == self.lo
+            and other.hi == self.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IndexedTerm", self.base, self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"IndexedTerm({self.base!r}, {self.lo!r}, {self.hi!r})"
+
+    def __str__(self) -> str:
+        if self.is_single_position():
+            return f"{self.base}[{self.lo}]"
+        return f"{self.base}[{self.lo}:{self.hi}]"
+
+
+class ConcatTerm(SequenceTerm):
+    """A constructive term ``s1 ++ s2 ++ ... ++ sk`` (concatenation).
+
+    The parts may be constants, variables, indexed terms, or (in Transducer
+    Datalog) transducer terms; they may not themselves be ``ConcatTerm``
+    objects — nested concatenations are flattened at construction so that
+    ``(a ++ b) ++ c`` and ``a ++ (b ++ c)`` are the same term, reflecting the
+    associativity of concatenation.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[SequenceTerm]):
+        flattened = []
+        for part in parts:
+            if isinstance(part, ConcatTerm):
+                flattened.extend(part.parts)
+            elif isinstance(part, SequenceTerm):
+                flattened.append(part)
+            else:
+                raise ValidationError(
+                    f"concatenation parts must be sequence terms, got {part!r}"
+                )
+        if len(flattened) < 2:
+            raise ValidationError("a constructive term needs at least two parts")
+        self.parts: Tuple[SequenceTerm, ...] = tuple(flattened)
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            names |= part.sequence_variables()
+        return names
+
+    def index_variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            names |= part.index_variables()
+        return names
+
+    def is_constructive(self) -> bool:
+        return True
+
+    def transducer_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            names |= part.transducer_names()
+        return names
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConcatTerm) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("ConcatTerm", self.parts))
+
+    def __repr__(self) -> str:
+        return f"ConcatTerm({list(self.parts)!r})"
+
+    def __str__(self) -> str:
+        return " ++ ".join(str(part) for part in self.parts)
+
+
+class TransducerTerm(SequenceTerm):
+    """A transducer term ``@T(s1, ..., sm)`` (Section 7.1).
+
+    The term denotes the output of the generalized transducer registered
+    under ``name`` on the given argument sequences.  Transducer terms are
+    closed under composition: an argument may itself be a transducer term.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Iterable[SequenceTerm]):
+        if not name:
+            raise ValidationError("a transducer term needs a transducer name")
+        args = tuple(args)
+        if not args:
+            raise ValidationError("a transducer term needs at least one argument")
+        for arg in args:
+            if not isinstance(arg, SequenceTerm):
+                raise ValidationError(
+                    f"transducer arguments must be sequence terms, got {arg!r}"
+                )
+            if isinstance(arg, ConcatTerm):
+                raise ValidationError(
+                    "concatenation inside transducer arguments is not allowed; "
+                    "use the append transducer instead"
+                )
+        self.name = name
+        self.args: Tuple[SequenceTerm, ...] = args
+
+    def sequence_variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            names |= arg.sequence_variables()
+        return names
+
+    def index_variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            names |= arg.index_variables()
+        return names
+
+    def is_constructive(self) -> bool:
+        return True
+
+    def transducer_names(self) -> FrozenSet[str]:
+        names = frozenset({self.name})
+        for arg in self.args:
+            names |= arg.transducer_names()
+        return names
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TransducerTerm)
+            and other.name == self.name
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TransducerTerm", self.name, self.args))
+
+    def __repr__(self) -> str:
+        return f"TransducerTerm({self.name!r}, {list(self.args)!r})"
+
+    def __str__(self) -> str:
+        args = ", ".join(str(arg) for arg in self.args)
+        return f"@{self.name}({args})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def constant(value) -> ConstantTerm:
+    """Build a constant sequence term from a string or Sequence."""
+    return ConstantTerm(value)
+
+
+def seq_var(name: str) -> SequenceVariable:
+    """Build a sequence variable term."""
+    return SequenceVariable(name)
+
+
+def index_var(name: str) -> IndexVariable:
+    """Build an index variable term."""
+    return IndexVariable(name)
+
+
+def index_const(value: int) -> IndexConstant:
+    """Build an index constant term."""
+    return IndexConstant(value)
+
+
+END = End()

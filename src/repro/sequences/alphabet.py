@@ -1,0 +1,110 @@
+"""Finite alphabets of symbols (Section 2.1 of the paper).
+
+The paper works with sequences over a countable alphabet ``Sigma`` but all
+expressibility results assume a *finite* alphabet.  An :class:`Alphabet` is a
+finite, ordered collection of single-character symbols.  Symbols are plain
+Python strings of length one; keeping them as characters makes conversion
+between :class:`~repro.sequences.sequence.Sequence` objects and Python
+strings trivial and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.errors import AlphabetError
+
+
+class Alphabet:
+    """A finite set of single-character symbols with a stable order.
+
+    Parameters
+    ----------
+    symbols:
+        An iterable of single-character strings.  Duplicates are removed
+        while preserving first-occurrence order.
+
+    Examples
+    --------
+    >>> dna = Alphabet("acgt")
+    >>> "a" in dna
+    True
+    >>> len(dna)
+    4
+    """
+
+    __slots__ = ("_symbols", "_index")
+
+    def __init__(self, symbols: Iterable[str]):
+        ordered = []
+        seen = set()
+        for symbol in symbols:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise AlphabetError(
+                    f"alphabet symbols must be single characters, got {symbol!r}"
+                )
+            if symbol not in seen:
+                seen.add(symbol)
+                ordered.append(symbol)
+        if not ordered:
+            raise AlphabetError("an alphabet must contain at least one symbol")
+        self._symbols: Tuple[str, ...] = tuple(ordered)
+        self._index = {symbol: i for i, symbol in enumerate(self._symbols)}
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        """The symbols of the alphabet in declaration order."""
+        return self._symbols
+
+    def index(self, symbol: str) -> int:
+        """Return the position of ``symbol`` in the alphabet order."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise AlphabetError(f"symbol {symbol!r} is not in the alphabet") from None
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(self._symbols)!r})"
+
+    def validate_word(self, word: Iterable[str]) -> None:
+        """Raise :class:`AlphabetError` if any symbol of ``word`` is unknown."""
+        for symbol in word:
+            if symbol not in self._index:
+                raise AlphabetError(
+                    f"symbol {symbol!r} is not in the alphabet {self!r}"
+                )
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        """Return the alphabet containing the symbols of both alphabets."""
+        return Alphabet(tuple(self._symbols) + tuple(other._symbols))
+
+
+#: The four-letter DNA alphabet used in Example 7.1 of the paper.
+DNA_ALPHABET = Alphabet("acgt")
+
+#: The four-letter RNA alphabet used in Example 7.1 of the paper.
+RNA_ALPHABET = Alphabet("acgu")
+
+#: The twenty-letter amino-acid alphabet used in Example 7.1 of the paper,
+#: extended with ``*`` for stop codons so that translation is total.
+PROTEIN_ALPHABET = Alphabet("ARNDCQEGHILKMFPSTWYV*")
+
+#: Binary alphabet used by restructuring examples (Example 1.4).
+BINARY_ALPHABET = Alphabet("01")

@@ -1,0 +1,142 @@
+"""Extended active domains (Definitions 2 and 3, Lemma 1 of the paper).
+
+The semantics of Sequence Datalog is *active-domain* based: substitutions do
+not range over the infinite universe ``Sigma*`` but over the *extended active
+domain* of the current interpretation, which contains
+
+1. every sequence occurring in the interpretation,
+2. every contiguous subsequence of those sequences, and
+3. the integers ``0, 1, ..., lmax + 1`` where ``lmax`` is the maximum length
+   of a sequence in the interpretation.
+
+:class:`ExtendedDomain` maintains this set incrementally: adding a sequence
+adds all of its subsequences and, if needed, enlarges the integer range.
+This incremental behaviour is what makes the fixpoint computation practical:
+each application of the ``T`` operator only has to extend the domain with
+the sequences it created.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set
+
+from repro.sequences.sequence import Sequence, as_sequence
+
+
+class ExtendedDomain:
+    """The extension ``dom_ext`` of a set of sequences.
+
+    The domain is mutable (sequences can be added) but never shrinks, which
+    mirrors Lemma 1 of the paper: if ``I1 ⊆ I2`` then
+    ``Dext(I1) ⊆ Dext(I2)``.
+
+    Examples
+    --------
+    >>> dom = ExtendedDomain(["abc"])
+    >>> Sequence("bc") in dom
+    True
+    >>> dom.max_length
+    3
+    >>> sorted(dom.integers())[-1]
+    4
+    """
+
+    __slots__ = ("_sequences", "_max_length")
+
+    def __init__(self, sequences: Iterable = ()):  # type: ignore[assignment]
+        self._sequences: Set[Sequence] = set()
+        self._max_length = 0
+        self.add_all(sequences)
+        # The empty sequence is a subsequence of every sequence; for the
+        # empty domain the integer range is {0, 1} and epsilon is present so
+        # that rules such as ``p(=, =) <- true`` can fire on any database.
+        self._sequences.add(Sequence(""))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, value) -> bool:
+        """Add a sequence and all its contiguous subsequences.
+
+        Returns ``True`` if the domain grew (the sequence was new).
+        """
+        sequence = as_sequence(value)
+        if sequence in self._sequences:
+            return False
+        text = sequence.text
+        self._sequences.add(sequence)
+        if len(text) > self._max_length:
+            self._max_length = len(text)
+        # Add every distinct contiguous subsequence.  Using raw strings here
+        # keeps the inner loop cheap; Sequence construction is deferred to
+        # the final insert.
+        for start in range(len(text)):
+            for stop in range(start + 1, len(text) + 1):
+                fragment = text[start:stop]
+                candidate = Sequence(fragment)
+                if candidate not in self._sequences:
+                    self._sequences.add(candidate)
+        self._sequences.add(Sequence(""))
+        return True
+
+    def add_all(self, values: Iterable) -> bool:
+        """Add every sequence in ``values``; return True if any was new."""
+        grew = False
+        for value in values:
+            if self.add(value):
+                grew = True
+        return grew
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def max_length(self) -> int:
+        """Length ``lmax`` of the longest sequence in the domain."""
+        return self._max_length
+
+    def sequences(self) -> Set[Sequence]:
+        """The set of sequences in the domain (a live copy is NOT returned)."""
+        return self._sequences
+
+    def integers(self) -> range:
+        """The integer part of the extension: ``0 .. lmax + 1`` inclusive."""
+        return range(0, self._max_length + 2)
+
+    def __contains__(self, value) -> bool:
+        if isinstance(value, int):
+            return 0 <= value <= self._max_length + 1
+        return as_sequence(value) in self._sequences
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self._sequences)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedDomain):
+            return NotImplemented
+        return self._sequences == other._sequences
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendedDomain({len(self._sequences)} sequences, "
+            f"lmax={self._max_length})"
+        )
+
+    def copy(self) -> "ExtendedDomain":
+        """An independent copy of the domain."""
+        clone = ExtendedDomain()
+        clone._sequences = set(self._sequences)
+        clone._max_length = self._max_length
+        return clone
+
+    def sorted_sequences(self) -> List[Sequence]:
+        """The sequences ordered by (length, text) — useful for stable output."""
+        return sorted(self._sequences, key=lambda s: (len(s), s.text))
+
+
+def extension_of(sequences: Iterable) -> ExtendedDomain:
+    """Build the extension ``dom_ext`` of an iterable of sequences."""
+    return ExtendedDomain(sequences)

@@ -1,0 +1,214 @@
+"""Immutable sequences of symbols with the paper's 1-based slicing semantics.
+
+Section 2.1 of the paper defines sequences over an alphabet, their length,
+their ``i``-th element (1-based), concatenation, and *contiguous
+subsequences*.  Section 3.2 defines the interpretation of an indexed term
+``s[n1 : n2]``:
+
+* it is the contiguous subsequence of ``s`` from position ``n1`` to ``n2``
+  when ``1 <= n1 <= n2 <= len(s)``;
+* it is the empty sequence when ``n1 == n2 + 1`` (and the bounds are within
+  range);
+* it is *undefined* otherwise.
+
+:meth:`Sequence.subsequence` implements exactly this partial function,
+returning ``None`` for the undefined case so that the evaluation engine can
+treat undefined substitutions as non-firing rules rather than errors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import SequenceIndexError
+
+SymbolLike = Union[str, "Sequence", Iterable[str]]
+
+
+class Sequence:
+    """An immutable sequence of single-character symbols.
+
+    A :class:`Sequence` wraps a Python string internally (each character is
+    one symbol) which makes hashing, slicing and concatenation cheap.  All
+    public position arguments are **1-based**, matching the paper.
+
+    Examples
+    --------
+    >>> s = Sequence("uvwxy")
+    >>> s.subsequence(3, 5)
+    Sequence('wxy')
+    >>> s.subsequence(3, 2)
+    Sequence('')
+    >>> s.subsequence(3, 6) is None
+    True
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, symbols: SymbolLike = ""):
+        if isinstance(symbols, Sequence):
+            self._data = symbols._data
+        elif isinstance(symbols, str):
+            self._data = symbols
+        else:
+            self._data = "".join(symbols)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Sequence):
+            return self._data == other._data
+        if isinstance(other, str):
+            return self._data == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._data)
+
+    def __repr__(self) -> str:
+        return f"Sequence({self._data!r})"
+
+    def __str__(self) -> str:
+        return self._data
+
+    def __lt__(self, other: "Sequence") -> bool:
+        return self._data < as_sequence(other)._data
+
+    def __le__(self, other: "Sequence") -> bool:
+        return self._data <= as_sequence(other)._data
+
+    def __add__(self, other: SymbolLike) -> "Sequence":
+        """Concatenation (the paper's ``s1 . s2`` constructive operation)."""
+        return Sequence(self._data + as_sequence(other)._data)
+
+    def __radd__(self, other: SymbolLike) -> "Sequence":
+        return Sequence(as_sequence(other)._data + self._data)
+
+    def __mul__(self, count: int) -> "Sequence":
+        return Sequence(self._data * count)
+
+    # ------------------------------------------------------------------
+    # Paper-level operations
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """The sequence as a plain Python string."""
+        return self._data
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        """The sequence as a tuple of single-character symbols."""
+        return tuple(self._data)
+
+    def element(self, position: int) -> str:
+        """Return the 1-based ``position``-th symbol of the sequence."""
+        if position < 1 or position > len(self._data):
+            raise SequenceIndexError(
+                f"position {position} out of range for sequence of length {len(self._data)}"
+            )
+        return self._data[position - 1]
+
+    def subsequence(self, start: int, stop: int) -> Optional["Sequence"]:
+        """Interpret the indexed term ``self[start : stop]`` (Section 3.2).
+
+        Returns the contiguous subsequence from position ``start`` to
+        position ``stop`` (both 1-based, inclusive), the empty sequence when
+        ``start == stop + 1`` and the bounds lie in range, and ``None`` when
+        the term is undefined.
+        """
+        length = len(self._data)
+        if not (1 <= start and start <= stop + 1 and stop + 1 <= length + 1):
+            return None
+        if start == stop + 1:
+            return EMPTY
+        return Sequence(self._data[start - 1:stop])
+
+    def prefix(self, length: int) -> Optional["Sequence"]:
+        """The prefix of the given ``length`` (``self[1 : length]``)."""
+        return self.subsequence(1, length)
+
+    def suffix(self, start: int) -> Optional["Sequence"]:
+        """The suffix starting at ``start`` (``self[start : end]``)."""
+        return self.subsequence(start, len(self._data))
+
+    def reverse(self) -> "Sequence":
+        """The reversal of the sequence (Example 1.4)."""
+        return Sequence(self._data[::-1])
+
+    def is_subsequence_of(self, other: "Sequence") -> bool:
+        """True if ``self`` is a *contiguous* subsequence of ``other``."""
+        return self._data in as_sequence(other)._data
+
+    def count_occurrences(self, pattern: SymbolLike) -> int:
+        """Number of (possibly overlapping) occurrences of ``pattern``."""
+        pattern = as_sequence(pattern)._data
+        if not pattern:
+            return len(self._data) + 1
+        count = 0
+        start = 0
+        while True:
+            index = self._data.find(pattern, start)
+            if index < 0:
+                return count
+            count += 1
+            start = index + 1
+
+    def occurrence_positions(self, pattern: SymbolLike) -> List[int]:
+        """1-based start positions of every occurrence of ``pattern``."""
+        pattern = as_sequence(pattern)._data
+        positions = []
+        if not pattern:
+            return list(range(1, len(self._data) + 2))
+        start = 0
+        while True:
+            index = self._data.find(pattern, start)
+            if index < 0:
+                return positions
+            positions.append(index + 1)
+            start = index + 1
+
+
+#: The empty sequence, written ``=`` (epsilon) in the paper.
+EMPTY = Sequence("")
+
+
+def as_sequence(value: SymbolLike) -> Sequence:
+    """Coerce a string, iterable of symbols, or Sequence into a Sequence."""
+    if isinstance(value, Sequence):
+        return value
+    return Sequence(value)
+
+
+def subsequences(value: SymbolLike) -> List[Sequence]:
+    """All contiguous subsequences of ``value``, including the empty one.
+
+    Section 2.1: a sequence of length ``k`` has at most ``k(k+1)/2 + 1``
+    distinct contiguous subsequences.  The returned list contains each
+    distinct subsequence exactly once, ordered by (length, text).
+
+    >>> [str(s) for s in subsequences("abc")]
+    ['', 'a', 'b', 'c', 'ab', 'bc', 'abc']
+    """
+    sequence = as_sequence(value)
+    text = sequence.text
+    found = {""}
+    for start in range(len(text)):
+        for stop in range(start + 1, len(text) + 1):
+            found.add(text[start:stop])
+    ordered = sorted(found, key=lambda item: (len(item), item))
+    return [Sequence(item) for item in ordered]
+
+
+def max_subsequence_count(length: int) -> int:
+    """Upper bound ``k(k+1)/2 + 1`` on distinct contiguous subsequences."""
+    return length * (length + 1) // 2 + 1

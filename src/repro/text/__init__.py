@@ -1,0 +1,31 @@
+"""Text-database application layer (the paper's second motivating domain).
+
+The abstract names text databases alongside genome databases as the target
+applications of Sequence Datalog.  This package provides the classic text
+queries as Sequence Datalog programs plus a corpus-level facade:
+
+* :mod:`~repro.text.programs` -- motif occurrences, shared substrings
+  across documents, palindromic substrings, tandem repeats and full-document
+  repeats (Example 1.5), all expressed with structural recursion and indexed
+  terms (no construction, hence inside the PTIME fragment of Theorem 3);
+* :mod:`~repro.text.api` -- :class:`~repro.text.api.TextCorpus`, which owns
+  a set of documents and runs the programs with convenient result shapes.
+"""
+
+from repro.text.api import TextCorpus
+from repro.text.programs import (
+    motif_program,
+    palindrome_program,
+    repeat_program,
+    shared_substring_program,
+    tandem_repeat_program,
+)
+
+__all__ = [
+    "TextCorpus",
+    "motif_program",
+    "palindrome_program",
+    "repeat_program",
+    "shared_substring_program",
+    "tandem_repeat_program",
+]

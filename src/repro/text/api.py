@@ -1,0 +1,134 @@
+"""A corpus-level facade over the text-database programs.
+
+:class:`TextCorpus` owns a set of documents (the ``doc`` relation) and runs
+the programs of :mod:`repro.text.programs`, reshaping the relational answers
+into the dictionaries a text application wants.  Every query goes through
+the real fixpoint engine; the only plain-Python work is converting the
+suffix-shaped position answers back into integers (the extended relational
+model stores sequences, not numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.database.database import SequenceDatabase
+from repro.engine.fixpoint import compute_least_fixpoint
+from repro.engine.limits import EvaluationLimits
+from repro.engine.query import evaluate_query
+from repro.sequences import as_sequence
+from repro.text.programs import (
+    motif_program,
+    palindrome_program,
+    repeat_program,
+    shared_substring_program,
+    tandem_repeat_program,
+)
+
+#: Text queries are non-constructive, so the domain never grows; the limits
+#: only guard against very large corpora fed to the quadratic-ish programs.
+_TEXT_LIMITS = EvaluationLimits(
+    max_iterations=5_000,
+    max_facts=5_000_000,
+    max_domain_size=5_000_000,
+    max_sequence_length=None,
+)
+
+
+class TextCorpus:
+    """A set of documents queried with Sequence Datalog programs."""
+
+    def __init__(self, documents: Iterable[str], limits: EvaluationLimits = _TEXT_LIMITS):
+        self.documents: List[str] = [as_sequence(document).text for document in documents]
+        self.limits = limits
+
+    def database(self, **extra_relations: Iterable[str]) -> SequenceDatabase:
+        """The ``doc`` relation plus any extra relations (e.g. ``motif``)."""
+        relations = {"doc": self.documents}
+        for name, values in extra_relations.items():
+            relations[name] = [as_sequence(value).text for value in values]
+        return SequenceDatabase.from_dict(relations)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def motif_occurrences(self, motifs: Iterable[str]) -> Dict[str, Dict[str, List[int]]]:
+        """motif -> document -> 1-based occurrence positions."""
+        motifs = [as_sequence(motif).text for motif in motifs]
+        result = compute_least_fixpoint(
+            motif_program(), self.database(motif=motifs), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "occurs_at(D, M, S)")
+        occurrences: Dict[str, Dict[str, List[int]]] = {motif: {} for motif in motifs}
+        for document, motif, suffix in rows.texts():
+            position = len(document) - len(suffix) + 1
+            occurrences[motif].setdefault(document, []).append(position)
+        return {
+            motif: {document: sorted(found) for document, found in per_doc.items()}
+            for motif, per_doc in occurrences.items()
+        }
+
+    def shared_substrings(self, min_length: int = 2) -> Dict[Tuple[str, str], Set[str]]:
+        """(document, document) -> substrings of at least ``min_length`` they share."""
+        result = compute_least_fixpoint(
+            shared_substring_program(min_length), self.database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "shared_by(X, Y, S)")
+        shared: Dict[Tuple[str, str], Set[str]] = {}
+        for first, second, substring in rows.texts():
+            key = (first, second) if first <= second else (second, first)
+            shared.setdefault(key, set()).add(substring)
+        return shared
+
+    def longest_shared_substrings(self, min_length: int = 2) -> Dict[Tuple[str, str], str]:
+        """(document, document) -> one longest shared substring."""
+        return {
+            pair: max(sorted(substrings), key=len)
+            for pair, substrings in self.shared_substrings(min_length).items()
+        }
+
+    def palindromic_substrings(self, min_length: int = 2) -> Dict[str, Set[str]]:
+        """document -> its palindromic substrings of at least ``min_length``."""
+        result = compute_least_fixpoint(
+            palindrome_program(), self.database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "palindrome_in(D, S)")
+        palindromes: Dict[str, Set[str]] = {document: set() for document in self.documents}
+        for document, substring in rows.texts():
+            if len(substring) >= min_length:
+                palindromes[document].add(substring)
+        return palindromes
+
+    def palindromic_documents(self) -> List[str]:
+        """The documents that are palindromes themselves."""
+        return sorted(
+            document
+            for document, substrings in self.palindromic_substrings(min_length=0).items()
+            if document in substrings
+        )
+
+    def tandem_repeats(self) -> Dict[str, Set[str]]:
+        """document -> non-empty words ``W`` such that ``WW`` occurs in it."""
+        result = compute_least_fixpoint(
+            tandem_repeat_program(), self.database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "tandem(D, W)")
+        repeats: Dict[str, Set[str]] = {document: set() for document in self.documents}
+        for document, word in rows.texts():
+            repeats[document].add(word)
+        return repeats
+
+    def repeated_documents(self) -> Dict[str, Set[str]]:
+        """document -> the proper units ``Y`` with ``document = Y^n`` (n >= 2)."""
+        result = compute_least_fixpoint(
+            repeat_program(), self.database(), limits=self.limits
+        )
+        rows = evaluate_query(result.interpretation, "unit(D, Y)")
+        units: Dict[str, Set[str]] = {}
+        for document, unit in rows.texts():
+            units.setdefault(document, set()).add(unit)
+        return units
+
+    def __repr__(self) -> str:
+        total = sum(len(document) for document in self.documents)
+        return f"TextCorpus({len(self.documents)} documents, {total} symbols)"

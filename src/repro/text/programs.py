@@ -1,0 +1,98 @@
+"""Sequence Datalog programs for text-database queries.
+
+Every program here is *non-constructive* (no ``++`` anywhere), so by
+Theorem 3 each one runs within PTIME data complexity and its least fixpoint
+lives inside the extended active domain of the corpus.  The programs expect
+the corpus in a unary relation ``doc`` (and, where applicable, the query
+motifs in a unary relation ``motif``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.language.clauses import Program
+from repro.language.parser import parse_program
+
+
+def motif_program() -> Program:
+    """Occurrences of stored motifs in stored documents.
+
+    ``occurs(D, M)`` holds when motif ``M`` occurs (contiguously) in
+    document ``D``; ``occurs_at(D, M, S)`` additionally carries the suffix
+    of ``D`` starting at the occurrence, from which 1-based positions are
+    recovered (relations store sequences, not integers).
+    """
+    return parse_program(
+        """
+        occurs(D, M) :- doc(D), motif(M), D[N1:N2] = M.
+        occurs_at(D, M, D[N1:end]) :- doc(D), motif(M), D[N1:N2] = M.
+        """
+    )
+
+
+def shared_substring_program(min_length: int = 2) -> Program:
+    """Substrings shared by two *different* documents.
+
+    ``shared(S)`` holds when ``S`` is a contiguous substring, of length at
+    least ``min_length``, of two distinct documents; ``shared_by(X, Y, S)``
+    records the witnessing pair.  This is the plagiarism-style query used by
+    ``examples/corpus_overlap.py``.
+    """
+    if min_length < 1:
+        raise ValidationError("min_length must be at least 1")
+    return parse_program(
+        f"""
+        shared_by(X, Y, X[N1:N1+{min_length - 1}+K]) :-
+            doc(X), doc(Y), X != Y,
+            X[N1:N1+{min_length - 1}+K] = Y[M1:M2].
+        shared(S) :- shared_by(X, Y, S).
+        """
+    )
+
+
+def palindrome_program() -> Program:
+    """Palindromic substrings of every document.
+
+    ``palin(S)`` holds for every palindromic sequence in the extended active
+    domain (structural recursion peeling matching end symbols);
+    ``palindrome_in(D, S)`` restricts to substrings of document ``D``.
+    """
+    return parse_program(
+        """
+        palin("") :- true.
+        palin(D[N]) :- doc(D).
+        palin(S) :- S[1] = S[end], palin(S[2:end-1]).
+        palindrome_in(D, D[N:M]) :- doc(D), palin(D[N:M]).
+        """
+    )
+
+
+def tandem_repeat_program() -> Program:
+    """Adjacent (tandem) repeats inside documents.
+
+    ``tandem(D, W)`` holds when ``W W`` occurs contiguously in document
+    ``D`` with ``W`` non-empty: the rule matches two adjacent equal factors
+    (sequence equality forces equal lengths, so no arithmetic is needed, and
+    writing the first factor as ``D[N : N+K]`` makes it non-empty by
+    construction).
+    """
+    return parse_program(
+        """
+        tandem(D, D[N:N+K]) :- doc(D), D[N:N+K] = D[N+K+1:M].
+        """
+    )
+
+
+def repeat_program() -> Program:
+    """Whole-document repeats ``Y^n`` (Example 1.5, the safe ``rep1`` form).
+
+    ``unit(D, Y)`` holds when document ``D`` is ``Y`` repeated at least
+    twice (the trivial unit ``Y = D`` is excluded with ``!=``).
+    """
+    return parse_program(
+        """
+        rep(X, X) :- true.
+        rep(X, X[1:N]) :- rep(X[N+1:end], X[1:N]).
+        unit(D, Y) :- doc(D), rep(D, Y), Y != D.
+        """
+    )

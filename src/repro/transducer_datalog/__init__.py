@@ -1,0 +1,24 @@
+"""Transducer Datalog: Sequence Datalog with transducer terms (Section 7).
+
+* :mod:`~repro.transducer_datalog.program` -- Transducer Datalog programs: a
+  Sequence Datalog program whose rule heads may contain transducer terms,
+  together with the catalog of machines those terms refer to.  Programs are
+  evaluated natively (the engine calls the machines) and analysed for strong
+  safety (Section 8).
+* :mod:`~repro.transducer_datalog.translation` -- the Theorem 7 translation
+  of a Transducer Datalog program into an equivalent plain Sequence Datalog
+  program that *simulates* every transducer with ``comp``/``input``/``delta``
+  rules.
+* :mod:`~repro.transducer_datalog.rewrite` -- the converse direction used by
+  Corollary 1: rewrite plain concatenation into ``@append`` transducer terms.
+"""
+
+from repro.transducer_datalog.program import TransducerDatalogProgram
+from repro.transducer_datalog.translation import translate_to_sequence_datalog
+from repro.transducer_datalog.rewrite import concatenation_to_transducers
+
+__all__ = [
+    "TransducerDatalogProgram",
+    "concatenation_to_transducers",
+    "translate_to_sequence_datalog",
+]

@@ -1,0 +1,142 @@
+"""Transducer Datalog programs (Section 7.1).
+
+A Transducer Datalog program is a Sequence Datalog program whose rule heads
+may contain transducer terms ``@T(s1, ..., sm)``, together with a catalog
+resolving the transducer names to generalized transducer machines.  The
+*order* of the program is the maximum order of the machines it uses.
+
+Evaluation is native: the engine interprets a transducer term by running the
+machine on the argument sequences (Section 7.1's extension of substitutions).
+Theorem 7 guarantees this is equivalent to translating the program into plain
+Sequence Datalog and evaluating that; :mod:`repro.transducer_datalog.translation`
+implements the translation and the test suite checks the equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.analysis.finiteness import FinitenessReport, classify_finiteness
+from repro.analysis.safety import SafetyReport, analyze_safety, require_strongly_safe
+from repro.database.database import SequenceDatabase
+from repro.engine.fixpoint import (
+    FixpointResult,
+    SEMI_NAIVE,
+    compute_least_fixpoint,
+)
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.errors import TransducerError, ValidationError
+from repro.language.clauses import Program
+from repro.language.parser import parse_program
+from repro.transducers.machine import GeneralizedTransducer
+from repro.transducers.registry import TransducerCatalog
+
+
+class TransducerDatalogProgram:
+    """A Transducer Datalog program together with its transducer catalog."""
+
+    def __init__(
+        self,
+        program: Union[str, Program],
+        catalog: Optional[TransducerCatalog] = None,
+        transducers: Iterable[GeneralizedTransducer] = (),
+    ):
+        self.program = parse_program(program) if isinstance(program, str) else program
+        self.catalog = catalog.copy() if catalog is not None else TransducerCatalog()
+        for machine in transducers:
+            self.catalog.register(machine)
+        self._validate()
+
+    def _validate(self) -> None:
+        self.program.validate()
+        missing = [
+            name for name in sorted(self.program.transducer_names())
+            if name not in self.catalog
+        ]
+        if missing:
+            raise TransducerError(
+                f"program uses unregistered transducers: {', '.join(missing)}"
+            )
+        # Arity check: each transducer term must match its machine's inputs.
+        for clause in self.program:
+            for name in clause.transducer_names():
+                machine = self.catalog.get(name)
+                for term in _transducer_terms_of(clause):
+                    if term.name == name and len(term.args) != machine.num_inputs:
+                        raise ValidationError(
+                            f"transducer {name!r} takes {machine.num_inputs} inputs "
+                            f"but is used with {len(term.args)} in clause: {clause}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Static properties
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """The order of the program (Section 7.1)."""
+        from repro.analysis.safety import program_order
+
+        return program_order(self.program, self.catalog.orders())
+
+    def safety(self) -> SafetyReport:
+        """Strong-safety analysis (Definition 10)."""
+        return analyze_safety(self.program, self.catalog.orders())
+
+    def is_strongly_safe(self) -> bool:
+        return self.safety().strongly_safe
+
+    def finiteness(self) -> FinitenessReport:
+        return classify_finiteness(self.program, self.catalog.orders())
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        database: SequenceDatabase,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        strategy: str = SEMI_NAIVE,
+        require_safety: bool = False,
+    ) -> FixpointResult:
+        """Compute the least fixpoint over a database.
+
+        With ``require_safety=True`` the program must be strongly safe
+        (Definition 10); this is the *strongly safe Transducer Datalog*
+        language of Section 8, whose termination is guaranteed by
+        Corollary 2.
+        """
+        if require_safety:
+            require_strongly_safe(self.program, self.catalog.orders())
+        return compute_least_fixpoint(
+            self.program,
+            database,
+            limits=limits,
+            strategy=strategy,
+            transducers=self.catalog.callables(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TransducerDatalogProgram({len(self.program)} clauses, "
+            f"{len(self.catalog)} transducers, order={self.order})"
+        )
+
+
+def _transducer_terms_of(clause):
+    """All transducer terms occurring (at any depth) in a clause head."""
+    from repro.language.terms import ConcatTerm, TransducerTerm
+
+    found = []
+
+    def visit(term):
+        if isinstance(term, TransducerTerm):
+            found.append(term)
+            for arg in term.args:
+                visit(arg)
+        elif isinstance(term, ConcatTerm):
+            for part in term.parts:
+                visit(part)
+
+    for arg in clause.head.args:
+        visit(arg)
+    return found

@@ -1,0 +1,56 @@
+"""Rewriting concatenation into transducer terms (Corollary 1, converse direction).
+
+The proof of Corollary 1 observes that any Sequence Datalog program can be
+turned into an equivalent Transducer Datalog program by replacing each
+constructive term ``s1 ++ s2`` with the transducer term ``@append(s1, s2)``.
+This module implements the rewriting; the required ``append`` machine is
+built over the alphabet supplied by the caller (it must cover every symbol
+that can occur in the database and in program constants).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.language.atoms import Atom
+from repro.language.clauses import Clause, Program
+from repro.language.terms import (
+    ConcatTerm,
+    SequenceTerm,
+    TransducerTerm,
+)
+from repro.transducers.library import append_transducer
+from repro.transducers.registry import TransducerCatalog
+
+APPEND_NAME = "append"
+
+
+def _rewrite_term(term: SequenceTerm) -> SequenceTerm:
+    if isinstance(term, ConcatTerm):
+        parts = [_rewrite_term(part) for part in term.parts]
+        # Fold the n-ary concatenation into nested binary appends,
+        # right-associatively: append(s1, append(s2, ... )).
+        result = parts[-1]
+        for part in reversed(parts[:-1]):
+            result = TransducerTerm(APPEND_NAME, [part, result])
+        return result
+    if isinstance(term, TransducerTerm):
+        return TransducerTerm(term.name, [_rewrite_term(arg) for arg in term.args])
+    return term
+
+
+def concatenation_to_transducers(
+    program: Program,
+    alphabet: Iterable[str],
+) -> Tuple[Program, TransducerCatalog]:
+    """Replace every ``++`` in rule heads with ``@append`` transducer terms.
+
+    Returns the rewritten program and a catalog containing the binary
+    ``append`` machine over the given alphabet.
+    """
+    clauses: List[Clause] = []
+    for clause in program:
+        new_args = [_rewrite_term(arg) for arg in clause.head.args]
+        clauses.append(Clause(Atom(clause.head.predicate, new_args), clause.body))
+    catalog = TransducerCatalog([append_transducer(alphabet, 2, name=APPEND_NAME)])
+    return Program(clauses), catalog

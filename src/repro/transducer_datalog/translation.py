@@ -1,0 +1,378 @@
+"""The Theorem 7 translation: Transducer Datalog -> Sequence Datalog.
+
+Given a Transducer Datalog program ``P_td`` and the catalog of machines it
+uses, this module constructs a plain Sequence Datalog program ``P_sd`` that
+expresses the same queries (Theorem 7): for every database and every
+predicate mentioned in ``P_td``, the two least fixpoints agree.
+
+The construction follows the proof of Theorem 7:
+
+1. every rule containing transducer terms is rewritten: each term
+   ``@T(s1, ..., sm)`` becomes a fresh variable ``Zk`` constrained by a body
+   atom ``p_T(s1, ..., sm, Zk)``, and an ``input_T`` rule records that the
+   program invokes ``T`` on these arguments (with end-of-tape markers
+   appended);
+2. for every machine (and, recursively, every subtransducer) a set of
+   simulation rules defines ``p_T`` via a ``comp_T`` predicate describing
+   partial computations, driven by the machine's transition function encoded
+   as ground facts.
+
+One presentational deviation from the paper: the transition function is
+encoded in *two* fact predicates, ``delta_emit_T`` for transitions whose
+output action is a symbol (or nothing) and ``delta_call_T`` for transitions
+that invoke a subtransducer.  The paper uses a single ``delta_T`` predicate
+whose last column holds either a symbol or a subtransducer token; splitting
+it avoids accidentally concatenating a subtransducer *name* onto an output
+tape and changes nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence as TypingSequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.language.atoms import Atom, BodyLiteral
+from repro.language.clauses import Clause, Program
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexVariable,
+    IndexedTerm,
+    SequenceTerm,
+    SequenceVariable,
+    TransducerTerm,
+)
+from repro.transducers.machine import CONSUME, END_MARKER, GeneralizedTransducer
+from repro.transducers.registry import TransducerCatalog
+
+# Constants used in the delta fact encoding.
+_MOVE_CONSUME = CONSUME  # ">"
+_MOVE_STAY = "-"
+
+
+# ----------------------------------------------------------------------
+# Naming helpers
+# ----------------------------------------------------------------------
+def _pred(prefix: str, machine_name: str) -> str:
+    return f"{prefix}_{machine_name}".lower()
+
+
+def _check_no_clashes(program: Program, machines: TypingSequence[GeneralizedTransducer]) -> None:
+    reserved: Set[str] = set()
+    for machine in machines:
+        for prefix in ("p", "comp", "input", "delta_emit", "delta_call"):
+            reserved.add(_pred(prefix, machine.name))
+    clashes = reserved & set(program.predicates())
+    if clashes:
+        raise ValidationError(
+            "translation would clash with program predicates: "
+            + ", ".join(sorted(clashes))
+        )
+
+
+# ----------------------------------------------------------------------
+# Rule rewriting (step 1 of the construction)
+# ----------------------------------------------------------------------
+class _RuleRewriter:
+    """Rewrites one clause, flattening its transducer terms."""
+
+    def __init__(self, clause: Clause, catalog: TransducerCatalog):
+        self.clause = clause
+        self.catalog = catalog
+        self.extra_atoms: List[Atom] = []
+        self.input_rules: List[Clause] = []
+        self._fresh_counter = 0
+        self._used_variables = set(clause.sequence_variables())
+
+    def _fresh_variable(self) -> SequenceVariable:
+        while True:
+            self._fresh_counter += 1
+            name = f"Zout{self._fresh_counter}"
+            if name not in self._used_variables:
+                self._used_variables.add(name)
+                return SequenceVariable(name)
+
+    def rewrite(self) -> Tuple[Clause, List[Clause]]:
+        new_args = [self._rewrite_term(arg) for arg in self.clause.head.args]
+        new_head = Atom(self.clause.head.predicate, new_args)
+        new_body = list(self.clause.body) + self.extra_atoms
+        return Clause(new_head, new_body), self.input_rules
+
+    def _rewrite_term(self, term: SequenceTerm) -> SequenceTerm:
+        if isinstance(term, TransducerTerm):
+            rewritten_args = [self._rewrite_term(arg) for arg in term.args]
+            machine = self.catalog.get(term.name)
+            if machine.num_inputs != len(rewritten_args):
+                raise ValidationError(
+                    f"transducer {term.name!r} takes {machine.num_inputs} inputs, "
+                    f"got {len(rewritten_args)}"
+                )
+            # Record the invocation: input_T gets the marked argument tuples.
+            marked = [
+                ConcatTerm([arg, ConstantTerm(END_MARKER)])
+                for arg in rewritten_args
+            ]
+            input_head = Atom(_pred("input", machine.name), marked)
+            input_body = list(self.clause.body) + list(self.extra_atoms)
+            self.input_rules.append(Clause(input_head, input_body))
+            # Constrain a fresh variable to be the transducer output.
+            output_variable = self._fresh_variable()
+            self.extra_atoms.append(
+                Atom(
+                    _pred("p", machine.name),
+                    list(rewritten_args) + [output_variable],
+                )
+            )
+            return output_variable
+        if isinstance(term, ConcatTerm):
+            return ConcatTerm([self._rewrite_term(part) for part in term.parts])
+        return term
+
+
+# ----------------------------------------------------------------------
+# Machine simulation rules (step 2 of the construction)
+# ----------------------------------------------------------------------
+def _delta_fact_clauses(machine: GeneralizedTransducer) -> List[Clause]:
+    """Ground facts encoding the transition function of a machine."""
+    emit_predicate = _pred("delta_emit", machine.name)
+    call_predicate = _pred("delta_call", machine.name)
+    clauses: List[Clause] = []
+    for state, scanned, transition in machine.transition_items():
+        moves = [
+            _MOVE_CONSUME if move == CONSUME else _MOVE_STAY
+            for move in transition.moves
+        ]
+        shared = (
+            [ConstantTerm(state)]
+            + [ConstantTerm(symbol) for symbol in scanned]
+            + [ConstantTerm(transition.next_state)]
+            + [ConstantTerm(move) for move in moves]
+        )
+        if isinstance(transition.output, GeneralizedTransducer):
+            args = shared + [ConstantTerm(transition.output.name)]
+            clauses.append(Clause(Atom(call_predicate, args)))
+        else:
+            args = shared + [ConstantTerm(transition.output)]
+            clauses.append(Clause(Atom(emit_predicate, args)))
+    return clauses
+
+
+def _move_combinations(num_inputs: int) -> List[Tuple[bool, ...]]:
+    """All non-empty subsets of heads that may move in one step."""
+    combos = []
+    for mask in range(1, 2 ** num_inputs):
+        combos.append(tuple(bool(mask & (1 << i)) for i in range(num_inputs)))
+    return combos
+
+
+def _simulation_clauses(machine: GeneralizedTransducer) -> List[Clause]:
+    """The ``p_T`` / ``comp_T`` rules simulating one machine (proof of Thm. 7)."""
+    m = machine.num_inputs
+    p_predicate = _pred("p", machine.name)
+    comp_predicate = _pred("comp", machine.name)
+    input_predicate = _pred("input", machine.name)
+    emit_predicate = _pred("delta_emit", machine.name)
+    call_predicate = _pred("delta_call", machine.name)
+
+    input_vars = [SequenceVariable(f"X{i + 1}") for i in range(m)]
+    position_vars = [IndexVariable(f"N{i + 1}") for i in range(m)]
+    output_var = SequenceVariable("Zacc")
+    new_output_var = SequenceVariable("Znew")
+    state_var = SequenceVariable("Qs")
+    next_state_var = SequenceVariable("Qn")
+    symbol_var = SequenceVariable("Osym")
+
+    def consumed_prefix(i: int) -> IndexedTerm:
+        """``Xi[1 : Ni]`` -- the portion of tape ``i`` consumed so far."""
+        return IndexedTerm(input_vars[i], IndexConstant(1), position_vars[i])
+
+    def advanced_prefix(i: int) -> IndexedTerm:
+        """``Xi[1 : Ni + 1]`` -- the portion after consuming one more symbol."""
+        return IndexedTerm(
+            input_vars[i],
+            IndexConstant(1),
+            IndexSum(position_vars[i], IndexConstant(1), "+"),
+        )
+
+    def scanned_symbol(i: int) -> IndexedTerm:
+        """``Xi[Ni + 1]`` -- the symbol below head ``i``."""
+        position = IndexSum(position_vars[i], IndexConstant(1), "+")
+        return IndexedTerm(input_vars[i], position, position)
+
+    def unmarked_input(i: int) -> IndexedTerm:
+        """``Xi[1 : end - 1]`` -- the input without its end marker."""
+        return IndexedTerm(
+            input_vars[i],
+            IndexConstant(1),
+            IndexSum(End(), IndexConstant(1), "-"),
+        )
+
+    clauses: List[Clause] = []
+
+    # gamma_1: the machine's result once every tape is fully consumed.
+    clauses.append(
+        Clause(
+            Atom(
+                p_predicate,
+                [unmarked_input(i) for i in range(m)] + [output_var],
+            ),
+            [
+                Atom(input_predicate, list(input_vars)),
+                Atom(
+                    comp_predicate,
+                    [unmarked_input(i) for i in range(m)] + [output_var, state_var],
+                ),
+            ],
+        )
+    )
+
+    # gamma_2: the initial configuration (nothing consumed, empty output).
+    clauses.append(
+        Clause(
+            Atom(
+                comp_predicate,
+                [ConstantTerm("") for _ in range(m)]
+                + [ConstantTerm(""), ConstantTerm(machine.initial_state)],
+            )
+        )
+    )
+
+    # gamma_3 family: one rule per combination of advancing heads, for
+    # transitions that emit a symbol (or nothing).
+    for combo in _move_combinations(m):
+        move_constants = [
+            ConstantTerm(_MOVE_CONSUME if moves else _MOVE_STAY) for moves in combo
+        ]
+        head_args: List[SequenceTerm] = [
+            advanced_prefix(i) if combo[i] else consumed_prefix(i) for i in range(m)
+        ]
+        clauses.append(
+            Clause(
+                Atom(
+                    comp_predicate,
+                    head_args
+                    + [ConcatTerm([output_var, symbol_var]), next_state_var],
+                ),
+                [
+                    Atom(input_predicate, list(input_vars)),
+                    Atom(
+                        comp_predicate,
+                        [consumed_prefix(i) for i in range(m)]
+                        + [output_var, state_var],
+                    ),
+                    Atom(
+                        emit_predicate,
+                        [state_var]
+                        + [scanned_symbol(i) for i in range(m)]
+                        + [next_state_var]
+                        + move_constants
+                        + [symbol_var],
+                    ),
+                ],
+            )
+        )
+
+    # gamma_4 / gamma_5 families: transitions that call a subtransducer.
+    for subtransducer in machine.subtransducers():
+        sub_p_predicate = _pred("p", subtransducer.name)
+        sub_input_predicate = _pred("input", subtransducer.name)
+        sub_name_constant = ConstantTerm(subtransducer.name)
+        for combo in _move_combinations(m):
+            move_constants = [
+                ConstantTerm(_MOVE_CONSUME if moves else _MOVE_STAY) for moves in combo
+            ]
+            head_args = [
+                advanced_prefix(i) if combo[i] else consumed_prefix(i) for i in range(m)
+            ]
+            call_atom = Atom(
+                call_predicate,
+                [state_var]
+                + [scanned_symbol(i) for i in range(m)]
+                + [next_state_var]
+                + move_constants
+                + [sub_name_constant],
+            )
+            shared_body: List[BodyLiteral] = [
+                Atom(input_predicate, list(input_vars)),
+                Atom(
+                    comp_predicate,
+                    [consumed_prefix(i) for i in range(m)] + [output_var, state_var],
+                ),
+                call_atom,
+            ]
+            # gamma_4: the subtransducer's output overwrites the output tape.
+            clauses.append(
+                Clause(
+                    Atom(
+                        comp_predicate,
+                        head_args + [new_output_var, next_state_var],
+                    ),
+                    shared_body
+                    + [
+                        Atom(
+                            sub_p_predicate,
+                            [unmarked_input(i) for i in range(m)]
+                            + [output_var, new_output_var],
+                        )
+                    ],
+                )
+            )
+            # gamma_5: record the subtransducer invocation (marked inputs).
+            clauses.append(
+                Clause(
+                    Atom(
+                        sub_input_predicate,
+                        list(input_vars)
+                        + [ConcatTerm([output_var, ConstantTerm(END_MARKER)])],
+                    ),
+                    shared_body,
+                )
+            )
+
+    return clauses
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def translate_to_sequence_datalog(
+    program: Program,
+    catalog: TransducerCatalog,
+) -> Program:
+    """Translate a Transducer Datalog program into plain Sequence Datalog.
+
+    The result contains no transducer terms; concatenation is used only in
+    the simulation rules and in the end-marker bookkeeping, exactly as in the
+    proof of Theorem 7.  Evaluating the result over any database yields the
+    same facts for every predicate of the original program (the simulation
+    predicates ``p_T`` / ``comp_T`` / ``input_T`` / ``delta_*_T`` are extra).
+    """
+    # Collect every machine used, including subtransducers, transitively.
+    machines: Dict[str, GeneralizedTransducer] = {}
+    for name in sorted(program.transducer_names()):
+        for machine in catalog.get(name).all_transducers():
+            machines.setdefault(machine.name, machine)
+    machine_list = [machines[name] for name in sorted(machines)]
+    _check_no_clashes(program, machine_list)
+
+    clauses: List[Clause] = []
+
+    # Step 1: rewrite the program rules.
+    for clause in program:
+        if not clause.transducer_names():
+            clauses.append(clause)
+            continue
+        rewriter = _RuleRewriter(clause, catalog)
+        rewritten, input_rules = rewriter.rewrite()
+        clauses.extend(input_rules)
+        clauses.append(rewritten)
+
+    # Step 2: simulation rules and transition-function facts per machine.
+    for machine in machine_list:
+        clauses.extend(_delta_fact_clauses(machine))
+        clauses.extend(_simulation_clauses(machine))
+
+    return Program(clauses)

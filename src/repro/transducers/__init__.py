@@ -1,0 +1,54 @@
+"""Generalized sequence transducers and transducer networks (Section 6).
+
+* :mod:`~repro.transducers.machine` -- the order-``k`` machine model of
+  Definition 7, with deterministic execution and full step accounting;
+* :mod:`~repro.transducers.builder` -- a small DSL for defining machines;
+* :mod:`~repro.transducers.library` -- the machines used throughout the paper
+  (append, per-symbol maps such as DNA transcription, codon translation,
+  the squaring transducer of Example 6.1, hyperexponential growth for
+  Theorem 4, ...);
+* :mod:`~repro.transducers.network` -- acyclic transducer networks with
+  diameter and order accounting (Section 6.2);
+* :mod:`~repro.transducers.nondeterministic` -- the nondeterministic
+  generalization mentioned after Definition 7 (relations instead of
+  functions, acceptor view);
+* :mod:`~repro.transducers.registry` -- named collections of transducers
+  shared by Transducer Datalog programs and the evaluation engine.
+"""
+
+from repro.transducers.machine import (
+    CONSUME,
+    END_MARKER,
+    EPSILON_OUTPUT,
+    GeneralizedTransducer,
+    Transition,
+    TransducerRun,
+)
+from repro.transducers.builder import TransducerBuilder
+from repro.transducers.network import NetworkNode, TransducerNetwork
+from repro.transducers.nondeterministic import (
+    NondeterministicBuilder,
+    NondeterministicTransducer,
+    NTransition,
+    from_deterministic,
+)
+from repro.transducers.registry import TransducerCatalog
+from repro.transducers import library
+
+__all__ = [
+    "CONSUME",
+    "END_MARKER",
+    "EPSILON_OUTPUT",
+    "GeneralizedTransducer",
+    "NTransition",
+    "NetworkNode",
+    "NondeterministicBuilder",
+    "NondeterministicTransducer",
+    "TransducerBuilder",
+    "TransducerCatalog",
+    "TransducerNetwork",
+    "TransducerRun",
+    "Transition",
+    "from_deterministic",
+    "library",
+]

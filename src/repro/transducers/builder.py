@@ -1,0 +1,143 @@
+"""A small construction DSL for generalized transducers.
+
+Writing the transition function of Definition 7 by hand is verbose because
+every (state, scanned-symbols) pair needs an entry.  The builder lets
+machine definitions enumerate the relevant symbol combinations
+programmatically while keeping the result an explicit, enumerable transition
+table -- which the Theorem 7 translation to Sequence Datalog requires.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence as TypingSequence, Tuple, Union
+
+from repro.errors import TransducerDefinitionError
+from repro.transducers.machine import (
+    CONSUME,
+    END_MARKER,
+    EPSILON_OUTPUT,
+    GeneralizedTransducer,
+    STAY,
+    Transition,
+)
+
+
+class TransducerBuilder:
+    """Incrementally build a :class:`GeneralizedTransducer`.
+
+    Example
+    -------
+    Building the one-input identity (copy) machine over ``{a, b}``::
+
+        builder = TransducerBuilder("copy", num_inputs=1, alphabet="ab")
+        for symbol in "ab":
+            builder.add(state="q0", scanned=(symbol,), next_state="q0",
+                        moves=(CONSUME,), output=symbol)
+        copy = builder.build(initial_state="q0")
+    """
+
+    def __init__(self, name: str, num_inputs: int, alphabet: Iterable[str]):
+        self.name = name
+        self.num_inputs = num_inputs
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self._transitions: Dict[Tuple[str, Tuple[str, ...]], Transition] = {}
+        self._wildcards: List[Tuple[str, Tuple[object, ...], Transition]] = []
+
+    # ------------------------------------------------------------------
+    # Adding transitions
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        state: str,
+        scanned: TypingSequence[str],
+        next_state: str,
+        moves: TypingSequence[str],
+        output: Union[str, GeneralizedTransducer] = EPSILON_OUTPUT,
+    ) -> "TransducerBuilder":
+        """Add a single transition; duplicate keys are rejected."""
+        key = (state, tuple(scanned))
+        if key in self._transitions:
+            raise TransducerDefinitionError(
+                f"{self.name}: duplicate transition for {key!r}"
+            )
+        self._transitions[key] = Transition(
+            next_state=next_state, moves=tuple(moves), output=output
+        )
+        return self
+
+    def add_for_symbols(
+        self,
+        state: str,
+        head: int,
+        next_state: str,
+        output_of,
+        symbols: Optional[Iterable[str]] = None,
+        other_heads: str = "any",
+    ) -> "TransducerBuilder":
+        """Add transitions that consume one symbol on a designated head.
+
+        For every symbol ``a`` of ``symbols`` (default: the alphabet) and
+        every combination of symbols scanned by the other heads (including
+        the end marker, unless ``other_heads='ignore'`` in which case only a
+        single wildcard combination per other-symbol is generated -- not
+        normally needed), a transition is added that consumes ``a`` on head
+        ``head`` and leaves the other heads alone.  ``output_of`` is a
+        callable mapping the consumed symbol to the output action.
+        """
+        symbols = tuple(symbols) if symbols is not None else self.alphabet
+        other_symbol_space = self.alphabet + (END_MARKER,)
+        other_positions = [i for i in range(self.num_inputs) if i != head]
+        for symbol in symbols:
+            for other_combo in product(other_symbol_space, repeat=len(other_positions)):
+                scanned = [""] * self.num_inputs
+                scanned[head] = symbol
+                for position, other_symbol in zip(other_positions, other_combo):
+                    scanned[position] = other_symbol
+                moves = [STAY] * self.num_inputs
+                moves[head] = CONSUME
+                key = (state, tuple(scanned))
+                if key in self._transitions:
+                    continue
+                self._transitions[key] = Transition(
+                    next_state=next_state,
+                    moves=tuple(moves),
+                    output=output_of(symbol),
+                )
+        return self
+
+    def add_wildcard(
+        self,
+        state: str,
+        pattern: TypingSequence[object],
+        next_state: str,
+        moves: TypingSequence[str],
+        output: Union[str, GeneralizedTransducer] = EPSILON_OUTPUT,
+    ) -> "TransducerBuilder":
+        """Add a compact wildcard transition (see ``machine.WILDCARD``).
+
+        Wildcard entries are tried after exact entries, in the order they
+        were added; an entry that would consume a head scanning the end
+        marker never applies.
+        """
+        self._wildcards.append(
+            (
+                state,
+                tuple(pattern),
+                Transition(next_state=next_state, moves=tuple(moves), output=output),
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def build(self, initial_state: str) -> GeneralizedTransducer:
+        return GeneralizedTransducer(
+            name=self.name,
+            num_inputs=self.num_inputs,
+            alphabet=self.alphabet,
+            initial_state=initial_state,
+            transitions=self._transitions,
+            wildcard_transitions=self._wildcards,
+        )

@@ -1,0 +1,380 @@
+"""A library of generalized transducers used throughout the paper.
+
+Base (order-1) machines
+    * :func:`copy_transducer` -- the identity.
+    * :func:`mapping_transducer` -- apply a per-symbol map (drop symbols by
+      mapping them to ``""``).
+    * :func:`transcribe_transducer` -- DNA -> RNA transcription
+      (Example 7.1).
+    * :func:`translate_transducer` -- RNA -> protein translation by codons
+      (Example 7.1).
+    * :func:`complement_transducer` -- complement each symbol (binary or DNA).
+    * :func:`erase_transducer` -- delete selected symbols.
+    * :func:`append_transducer` -- concatenate ``m`` inputs.
+    * :func:`echo_transducer` -- duplicate every symbol of a sequence fed to
+      both inputs (Example 1.6 computed safely).
+
+Higher-order machines
+    * :func:`square_transducer` -- order 2; output length is quadratic in the
+      input length (Example 6.1 / Figure 2).
+    * :func:`pair_square_transducer` -- order 2, two inputs; output length is
+      quadratic in the total input length (the worst case in the proof of
+      Theorem 4).
+    * :func:`hyper_transducer` -- order 3; output length is double
+      exponential in the input length (Theorem 4, order-3 bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.errors import TransducerDefinitionError
+from repro.sequences.alphabet import Alphabet, DNA_ALPHABET, RNA_ALPHABET
+from repro.transducers.builder import TransducerBuilder
+from repro.transducers.machine import (
+    CONSUME,
+    END_MARKER,
+    EPSILON_OUTPUT,
+    GeneralizedTransducer,
+    STAY,
+    Transition,
+)
+
+
+def _symbols(alphabet: Iterable[str]) -> tuple:
+    if isinstance(alphabet, Alphabet):
+        return tuple(alphabet.symbols)
+    return tuple(dict.fromkeys(alphabet))
+
+
+# ----------------------------------------------------------------------
+# Base transducers
+# ----------------------------------------------------------------------
+def mapping_transducer(
+    name: str,
+    mapping: Mapping[str, str],
+    alphabet: Optional[Iterable[str]] = None,
+) -> GeneralizedTransducer:
+    """A one-input machine applying a per-symbol mapping.
+
+    Symbols absent from ``mapping`` are copied unchanged; mapping a symbol to
+    ``""`` deletes it.
+    """
+    symbols = _symbols(alphabet) if alphabet is not None else tuple(mapping)
+    builder = TransducerBuilder(name, num_inputs=1, alphabet=symbols)
+    for symbol in symbols:
+        output = mapping.get(symbol, symbol)
+        if len(output) > 1:
+            raise TransducerDefinitionError(
+                f"{name}: per-symbol maps must produce single symbols, "
+                f"got {symbol!r} -> {output!r}"
+            )
+        builder.add(
+            state="q0",
+            scanned=(symbol,),
+            next_state="q0",
+            moves=(CONSUME,),
+            output=output,
+        )
+    return builder.build(initial_state="q0")
+
+
+def copy_transducer(alphabet: Iterable[str], name: str = "copy") -> GeneralizedTransducer:
+    """The identity machine over the given alphabet."""
+    return mapping_transducer(name, {}, alphabet=alphabet)
+
+
+def erase_transducer(
+    alphabet: Iterable[str],
+    erase: Iterable[str],
+    name: str = "erase",
+) -> GeneralizedTransducer:
+    """Delete every occurrence of the symbols in ``erase``."""
+    mapping = {symbol: "" for symbol in erase}
+    return mapping_transducer(name, mapping, alphabet=alphabet)
+
+
+def complement_transducer(
+    alphabet: str = "01", name: str = "complement"
+) -> GeneralizedTransducer:
+    """Complement each symbol.
+
+    For the binary alphabet this swaps ``0`` and ``1``; for the DNA alphabet
+    it produces the Watson-Crick complement (a<->t, c<->g).
+    """
+    symbols = _symbols(alphabet)
+    if set(symbols) == {"0", "1"}:
+        mapping = {"0": "1", "1": "0"}
+    elif set(symbols) == set("acgt"):
+        mapping = {"a": "t", "t": "a", "c": "g", "g": "c"}
+    else:
+        raise TransducerDefinitionError(
+            f"no standard complement defined for alphabet {symbols!r}"
+        )
+    return mapping_transducer(name, mapping, alphabet=symbols)
+
+
+#: DNA -> RNA transcription rules of Example 7.1.
+TRANSCRIPTION_MAP = {"a": "u", "c": "g", "g": "c", "t": "a"}
+
+
+def transcribe_transducer(name: str = "transcribe") -> GeneralizedTransducer:
+    """DNA -> RNA transcription (Example 7.1)."""
+    return mapping_transducer(name, TRANSCRIPTION_MAP, alphabet=DNA_ALPHABET)
+
+
+#: The standard RNA codon table (stop codons map to ``*``), Example 7.1.
+CODON_TABLE: Dict[str, str] = {
+    "uuu": "F", "uuc": "F", "uua": "L", "uug": "L",
+    "cuu": "L", "cuc": "L", "cua": "L", "cug": "L",
+    "auu": "I", "auc": "I", "aua": "I", "aug": "M",
+    "guu": "V", "guc": "V", "gua": "V", "gug": "V",
+    "ucu": "S", "ucc": "S", "uca": "S", "ucg": "S",
+    "ccu": "P", "ccc": "P", "cca": "P", "ccg": "P",
+    "acu": "T", "acc": "T", "aca": "T", "acg": "T",
+    "gcu": "A", "gcc": "A", "gca": "A", "gcg": "A",
+    "uau": "Y", "uac": "Y", "uaa": "*", "uag": "*",
+    "cau": "H", "cac": "H", "caa": "Q", "cag": "Q",
+    "aau": "N", "aac": "N", "aaa": "K", "aag": "K",
+    "gau": "D", "gac": "D", "gaa": "E", "gag": "E",
+    "ugu": "C", "ugc": "C", "uga": "*", "ugg": "W",
+    "cgu": "R", "cgc": "R", "cga": "R", "cgg": "R",
+    "agu": "S", "agc": "S", "aga": "R", "agg": "R",
+    "ggu": "G", "ggc": "G", "gga": "G", "ggg": "G",
+}
+
+
+def translate_transducer(name: str = "translate") -> GeneralizedTransducer:
+    """RNA -> protein translation by codons (Example 7.1).
+
+    The machine's state records the (at most two) ribonucleotides of the
+    current partial codon; on reading the third it emits the amino acid and
+    returns to the empty-codon state.  Trailing bases that do not complete a
+    codon are ignored.
+    """
+    rna = tuple(RNA_ALPHABET.symbols)
+    builder = TransducerBuilder(name, num_inputs=1, alphabet=rna)
+    # States are named after the pending partial codon: "", "a", "au", ...
+    partials = [""] + [x for x in rna] + [x + y for x in rna for y in rna]
+    for partial in partials:
+        for symbol in rna:
+            if len(partial) < 2:
+                builder.add(
+                    state=f"codon_{partial}",
+                    scanned=(symbol,),
+                    next_state=f"codon_{partial + symbol}",
+                    moves=(CONSUME,),
+                    output=EPSILON_OUTPUT,
+                )
+            else:
+                codon = partial + symbol
+                builder.add(
+                    state=f"codon_{partial}",
+                    scanned=(symbol,),
+                    next_state="codon_",
+                    moves=(CONSUME,),
+                    output=CODON_TABLE[codon],
+                )
+    return builder.build(initial_state="codon_")
+
+
+def append_transducer(
+    alphabet: Iterable[str],
+    num_inputs: int = 2,
+    name: Optional[str] = None,
+) -> GeneralizedTransducer:
+    """Concatenate ``num_inputs`` input sequences, left to right.
+
+    This is the paper's ``T_append`` (Section 7.1): plain concatenation as a
+    base transducer.  The machine copies tape 1 to the output, then tape 2,
+    and so on; in state ``copy_i`` every tape ``j < i`` has already been
+    consumed (its head scans the end marker).
+    """
+    symbols = _symbols(alphabet)
+    if name is None:
+        name = f"append{num_inputs}" if num_inputs != 2 else "append"
+    if num_inputs < 2:
+        raise TransducerDefinitionError("append needs at least two inputs")
+    builder = TransducerBuilder(name, num_inputs=num_inputs, alphabet=symbols)
+    extended = symbols + (END_MARKER,)
+
+    def later_combos(start: int):
+        """All combinations of scanned symbols for heads > start."""
+        from itertools import product as _product
+
+        count = num_inputs - start - 1
+        return _product(extended, repeat=count)
+
+    for current in range(num_inputs):
+        state = f"copy_{current}"
+        for later in later_combos(current):
+            # Case 1: the current tape still has symbols -- copy one.
+            for symbol in symbols:
+                scanned = (
+                    (END_MARKER,) * current + (symbol,) + tuple(later)
+                )
+                moves = [STAY] * num_inputs
+                moves[current] = CONSUME
+                builder.add(
+                    state=state,
+                    scanned=scanned,
+                    next_state=state,
+                    moves=tuple(moves),
+                    output=symbol,
+                )
+            # Case 2: the current tape is exhausted -- start copying the
+            # first later tape that still has symbols.
+            scanned_prefix = (END_MARKER,) * (current + 1)
+            later = tuple(later)
+            scanned = scanned_prefix + later
+            next_head = None
+            for offset, symbol in enumerate(later):
+                if symbol != END_MARKER:
+                    next_head = current + 1 + offset
+                    break
+            if next_head is None:
+                continue  # everything consumed: the machine stops here
+            moves = [STAY] * num_inputs
+            moves[next_head] = CONSUME
+            builder.add(
+                state=state,
+                scanned=scanned,
+                next_state=f"copy_{next_head}",
+                moves=tuple(moves),
+                output=scanned[next_head],
+            )
+    return builder.build(initial_state="copy_0")
+
+
+def echo_transducer(alphabet: Iterable[str], name: str = "echo") -> GeneralizedTransducer:
+    """Duplicate every symbol (``abcd -> aabbccdd``) -- Example 1.6, safely.
+
+    The machine has two inputs; feeding it the *same* sequence on both tapes
+    and alternating between them yields the echo sequence with one emitted
+    symbol per step, which an ordinary (order-1) transducer can do.
+    """
+    symbols = _symbols(alphabet)
+    builder = TransducerBuilder(name, num_inputs=2, alphabet=symbols)
+    extended = symbols + (END_MARKER,)
+    for a in extended:
+        for b in extended:
+            if a == END_MARKER and b == END_MARKER:
+                continue
+            # State "first": emit from tape 1 (falling back to tape 2).
+            if a != END_MARKER:
+                builder.add(
+                    state="first",
+                    scanned=(a, b),
+                    next_state="second",
+                    moves=(CONSUME, STAY),
+                    output=a,
+                )
+            else:
+                builder.add(
+                    state="first",
+                    scanned=(a, b),
+                    next_state="first",
+                    moves=(STAY, CONSUME),
+                    output=b,
+                )
+            # State "second": emit from tape 2 (falling back to tape 1).
+            if b != END_MARKER:
+                builder.add(
+                    state="second",
+                    scanned=(a, b),
+                    next_state="first",
+                    moves=(STAY, CONSUME),
+                    output=b,
+                )
+            else:
+                builder.add(
+                    state="second",
+                    scanned=(a, b),
+                    next_state="second",
+                    moves=(CONSUME, STAY),
+                    output=a,
+                )
+    return builder.build(initial_state="first")
+
+
+# ----------------------------------------------------------------------
+# Higher-order transducers
+# ----------------------------------------------------------------------
+def square_transducer(
+    alphabet: Iterable[str], name: str = "square"
+) -> GeneralizedTransducer:
+    """The order-2 machine of Example 6.1 / Figure 2.
+
+    At every step it consumes one input symbol and calls an ``append``
+    subtransducer on *(input, current output)*, so after ``n`` steps the
+    output consists of ``n`` copies of the input -- length ``n^2``.
+    """
+    symbols = _symbols(alphabet)
+    subtransducer = append_transducer(symbols, num_inputs=2, name=f"{name}_append")
+    builder = TransducerBuilder(name, num_inputs=1, alphabet=symbols)
+    for symbol in symbols:
+        builder.add(
+            state="q0",
+            scanned=(symbol,),
+            next_state="q0",
+            moves=(CONSUME,),
+            output=subtransducer,
+        )
+    return builder.build(initial_state="q0")
+
+
+def pair_square_transducer(
+    alphabet: Iterable[str], name: str = "pair_square"
+) -> GeneralizedTransducer:
+    """An order-2, two-input machine whose output length is quadratic in the
+    *total* input length -- the worst case used in the proof of Theorem 4.
+
+    At every step it consumes one symbol (from tape 1 while it lasts, then
+    from tape 2) and calls a three-input ``append`` on *(input1, input2,
+    current output)*; after all ``n1 + n2`` steps the output is
+    ``(input1 input2)`` repeated ``n1 + n2`` times.
+    """
+    symbols = _symbols(alphabet)
+    subtransducer = append_transducer(symbols, num_inputs=3, name=f"{name}_append")
+    builder = TransducerBuilder(name, num_inputs=2, alphabet=symbols)
+    extended = symbols + (END_MARKER,)
+    for a in extended:
+        for b in extended:
+            if a == END_MARKER and b == END_MARKER:
+                continue
+            if a != END_MARKER:
+                moves = (CONSUME, STAY)
+            else:
+                moves = (STAY, CONSUME)
+            builder.add(
+                state="q0",
+                scanned=(a, b),
+                next_state="q0",
+                moves=moves,
+                output=subtransducer,
+            )
+    return builder.build(initial_state="q0")
+
+
+def hyper_transducer(
+    alphabet: Iterable[str], name: str = "hyper"
+) -> GeneralizedTransducer:
+    """An order-3 machine with double-exponential output growth (Theorem 4).
+
+    At every step it consumes one input symbol and calls the order-2
+    :func:`pair_square_transducer` on *(input, current output)*, so the
+    output length follows the recurrence ``L_i = (n + L_{i-1})^2`` of the
+    Theorem 4 proof and reaches roughly ``n^(2^n)`` after ``n`` steps.
+    """
+    symbols = _symbols(alphabet)
+    subtransducer = pair_square_transducer(symbols, name=f"{name}_square")
+    builder = TransducerBuilder(name, num_inputs=1, alphabet=symbols)
+    for symbol in symbols:
+        builder.add(
+            state="q0",
+            scanned=(symbol,),
+            next_state="q0",
+            moves=(CONSUME,),
+            output=subtransducer,
+        )
+    return builder.build(initial_state="q0")

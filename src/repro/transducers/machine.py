@@ -1,0 +1,377 @@
+"""The generalized sequence transducer machine model (Definition 7).
+
+A generalized ``m``-input sequence transducer of order ``k`` is a tuple
+``(K, q0, Sigma, delta)`` where ``delta`` is a partial map
+
+    K x (Sigma ∪ {END})^m  ->  K x {STAY, CONSUME}^m x (Sigma ∪ {eps} ∪ T^{k-1})
+
+subject to three restrictions (item 5 of Definition 7):
+
+1. every transition consumes at least one input symbol;
+2. a head scanning the end-of-tape marker cannot be told to consume;
+3. a subtransducer used as an output action must have ``m + 1`` inputs (and,
+   being drawn from ``T^{k-1}``, strictly smaller order).
+
+Execution (Section 6.1): the machine starts in ``q0`` with all heads on the
+first symbols and an empty output.  At each step the scanned symbols select
+a transition; the output action either appends a symbol (or nothing) to the
+output tape or runs a subtransducer on *(copies of the machine's inputs,
+current output)* whose output then **overwrites** the output tape; finally
+the designated heads advance.  The machine stops when every head scans the
+end marker; it is *stuck* (an error) if no transition is defined earlier.
+Cost is the number of transitions performed by the machine and all of its
+subcalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence as TypingSequence, Tuple, Union
+
+from repro.errors import TransducerDefinitionError, TransducerRuntimeError
+from repro.sequences import Sequence, as_sequence
+
+#: End-of-tape marker appended (conceptually) to every input tape.
+END_MARKER = "⊣"
+
+#: Head command: consume one symbol (move right).
+CONSUME = ">"
+
+#: Head command: stay put.
+STAY = "-"
+
+#: Output action meaning "append nothing".
+EPSILON_OUTPUT = ""
+
+
+class _Wildcard:
+    """Matches any scanned symbol in a wildcard transition pattern."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "WILDCARD"
+
+
+#: Wildcard marker for compactly-specified transitions.  A wildcard entry is
+#: pure shorthand for the family of exact entries obtained by substituting
+#: every possible symbol; Definition 7 is unchanged.
+WILDCARD = _Wildcard()
+
+OutputAction = Union[str, "GeneralizedTransducer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One entry of the transition function.
+
+    ``moves`` has one command per input head (:data:`CONSUME` or
+    :data:`STAY`); ``output`` is a single symbol, :data:`EPSILON_OUTPUT`, or
+    a subtransducer.
+    """
+
+    next_state: str
+    moves: Tuple[str, ...]
+    output: OutputAction = EPSILON_OUTPUT
+
+    def calls_subtransducer(self) -> bool:
+        return isinstance(self.output, GeneralizedTransducer)
+
+
+@dataclass
+class TraceStep:
+    """One step of a transducer run (used by the Figure 2 reproduction)."""
+
+    step: int
+    state: str
+    scanned: Tuple[str, ...]
+    positions: Tuple[int, ...]
+    output_before: str
+    output_after: str
+    operation: str
+
+
+@dataclass
+class TransducerRun:
+    """The result of running a transducer.
+
+    ``steps`` counts only the top-level machine's transitions; ``total_steps``
+    also counts every subtransducer transition (the paper's cost measure).
+    """
+
+    output: Sequence
+    steps: int
+    total_steps: int
+    trace: List[TraceStep] = field(default_factory=list)
+
+
+class GeneralizedTransducer:
+    """A deterministic generalized sequence transducer (Definition 7)."""
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        alphabet: Iterable[str],
+        initial_state: str,
+        transitions: Mapping[Tuple[str, Tuple[str, ...]], Transition],
+        states: Optional[Iterable[str]] = None,
+        wildcard_transitions: Optional[
+            Iterable[Tuple[str, Tuple[object, ...], Transition]]
+        ] = None,
+    ):
+        if num_inputs < 1:
+            raise TransducerDefinitionError("a transducer needs at least one input")
+        self.name = name
+        self.num_inputs = num_inputs
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self.initial_state = initial_state
+        self.transitions: Dict[Tuple[str, Tuple[str, ...]], Transition] = dict(transitions)
+        # Wildcard entries, grouped by state and kept in declaration order.
+        # They are a compact shorthand for families of exact entries; a
+        # wildcard entry does not apply when it would consume a head that
+        # currently scans the end marker (restriction (ii) stays intact).
+        self.wildcard_transitions: Dict[str, List[Tuple[Tuple[object, ...], Transition]]] = {}
+        for state, pattern, transition in wildcard_transitions or ():
+            self.wildcard_transitions.setdefault(state, []).append(
+                (tuple(pattern), transition)
+            )
+        declared_states = set(states) if states is not None else set()
+        declared_states.add(initial_state)
+        for (state, _), transition in self.transitions.items():
+            declared_states.add(state)
+            declared_states.add(transition.next_state)
+        for state, entries in self.wildcard_transitions.items():
+            declared_states.add(state)
+            for _, transition in entries:
+                declared_states.add(transition.next_state)
+        self.states = tuple(sorted(declared_states))
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation and static properties
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for (state, scanned), transition in self.transitions.items():
+            if len(scanned) != self.num_inputs:
+                raise TransducerDefinitionError(
+                    f"{self.name}: transition key {scanned!r} does not have "
+                    f"{self.num_inputs} scanned symbols"
+                )
+            if len(transition.moves) != self.num_inputs:
+                raise TransducerDefinitionError(
+                    f"{self.name}: transition from {state!r} has "
+                    f"{len(transition.moves)} head commands, expected {self.num_inputs}"
+                )
+            if not any(move == CONSUME for move in transition.moves):
+                raise TransducerDefinitionError(
+                    f"{self.name}: transition from {state!r} on {scanned!r} "
+                    "consumes no input symbol (restriction (i) of Definition 7)"
+                )
+            for symbol, move in zip(scanned, transition.moves):
+                if symbol == END_MARKER and move == CONSUME:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: transition from {state!r} moves a head "
+                        "past the end-of-tape marker (restriction (ii))"
+                    )
+            output = transition.output
+            if isinstance(output, GeneralizedTransducer):
+                if output.num_inputs != self.num_inputs + 1:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: subtransducer {output.name!r} has "
+                        f"{output.num_inputs} inputs, expected {self.num_inputs + 1} "
+                        "(restriction (iii))"
+                    )
+            elif not isinstance(output, str) or len(output) > 1:
+                raise TransducerDefinitionError(
+                    f"{self.name}: output action must be a single symbol, the "
+                    f"empty string or a subtransducer, got {output!r}"
+                )
+        for state, entries in self.wildcard_transitions.items():
+            for pattern, transition in entries:
+                if len(pattern) != self.num_inputs or len(transition.moves) != self.num_inputs:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: wildcard transition in state {state!r} has "
+                        f"the wrong number of symbols or head commands"
+                    )
+                if not any(move == CONSUME for move in transition.moves):
+                    raise TransducerDefinitionError(
+                        f"{self.name}: wildcard transition in state {state!r} "
+                        "consumes no input symbol"
+                    )
+                output = transition.output
+                if isinstance(output, GeneralizedTransducer):
+                    if output.num_inputs != self.num_inputs + 1:
+                        raise TransducerDefinitionError(
+                            f"{self.name}: subtransducer {output.name!r} has "
+                            f"{output.num_inputs} inputs, expected {self.num_inputs + 1}"
+                        )
+                elif not isinstance(output, str) or len(output) > 1:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: invalid output action {output!r} in a "
+                        "wildcard transition"
+                    )
+
+    def _all_transitions(self) -> Iterable[Transition]:
+        for transition in self.transitions.values():
+            yield transition
+        for entries in self.wildcard_transitions.values():
+            for _, transition in entries:
+                yield transition
+
+    @property
+    def order(self) -> int:
+        """The order ``k``: 1 + the maximum order of any subtransducer used."""
+        sub_orders = [
+            transition.output.order
+            for transition in self._all_transitions()
+            if isinstance(transition.output, GeneralizedTransducer)
+        ]
+        return 1 + max(sub_orders, default=0)
+
+    def subtransducers(self) -> List["GeneralizedTransducer"]:
+        """The distinct subtransducers invoked by this machine (direct only)."""
+        seen: Dict[str, GeneralizedTransducer] = {}
+        for transition in self._all_transitions():
+            if isinstance(transition.output, GeneralizedTransducer):
+                seen.setdefault(transition.output.name, transition.output)
+        return list(seen.values())
+
+    def all_transducers(self) -> List["GeneralizedTransducer"]:
+        """This machine and every machine reachable through subcalls."""
+        collected: Dict[str, GeneralizedTransducer] = {}
+
+        def visit(machine: "GeneralizedTransducer") -> None:
+            if machine.name in collected:
+                return
+            collected[machine.name] = machine
+            for sub in machine.subtransducers():
+                visit(sub)
+
+        visit(self)
+        return list(collected.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedTransducer({self.name!r}, inputs={self.num_inputs}, "
+            f"order={self.order}, states={len(self.states)}, "
+            f"transitions={len(self.transitions)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def __call__(self, *inputs) -> Sequence:
+        """Run the machine and return only its output sequence."""
+        return self.run(*inputs).output
+
+    def run(self, *inputs, trace: bool = False) -> TransducerRun:
+        """Run the machine on the given input sequences.
+
+        Raises :class:`TransducerRuntimeError` if the machine gets stuck
+        before consuming all of its input.
+        """
+        if len(inputs) != self.num_inputs:
+            raise TransducerRuntimeError(
+                f"{self.name}: expected {self.num_inputs} inputs, got {len(inputs)}"
+            )
+        tapes = [as_sequence(value).text + END_MARKER for value in inputs]
+        positions = [0] * self.num_inputs
+        state = self.initial_state
+        output: List[str] = []
+        steps = 0
+        total_steps = 0
+        trace_steps: List[TraceStep] = []
+
+        while True:
+            scanned = tuple(tape[position] for tape, position in zip(tapes, positions))
+            if all(symbol == END_MARKER for symbol in scanned):
+                break
+            transition = self.transitions.get((state, scanned))
+            if transition is None:
+                transition = self._match_wildcard(state, scanned)
+            if transition is None:
+                raise TransducerRuntimeError(
+                    f"{self.name}: stuck in state {state!r} scanning {scanned!r}"
+                )
+            steps += 1
+            total_steps += 1
+            output_before = "".join(output)
+
+            if isinstance(transition.output, GeneralizedTransducer):
+                sub_inputs = [tape[:-1] for tape in tapes] + [output_before]
+                sub_run = transition.output.run(*sub_inputs, trace=False)
+                output = list(sub_run.output.text)
+                total_steps += sub_run.total_steps
+                operation = f"call {transition.output.name}"
+            elif transition.output:
+                output.append(transition.output)
+                operation = f"emit {transition.output!r}"
+            else:
+                operation = "emit nothing"
+
+            if trace:
+                trace_steps.append(
+                    TraceStep(
+                        step=steps,
+                        state=state,
+                        scanned=scanned,
+                        positions=tuple(position + 1 for position in positions),
+                        output_before=output_before,
+                        output_after="".join(output),
+                        operation=operation,
+                    )
+                )
+
+            for head, move in enumerate(transition.moves):
+                if move == CONSUME:
+                    positions[head] += 1
+            state = transition.next_state
+
+        return TransducerRun(
+            output=Sequence("".join(output)),
+            steps=steps,
+            total_steps=total_steps,
+            trace=trace_steps,
+        )
+
+    def _match_wildcard(
+        self, state: str, scanned: Tuple[str, ...]
+    ) -> Optional[Transition]:
+        """Find the first wildcard entry matching the scanned symbols.
+
+        A wildcard entry is skipped when it would consume a head that is
+        scanning the end marker, so restriction (ii) of Definition 7 is
+        preserved even for compactly-specified machines.
+        """
+        for pattern, transition in self.wildcard_transitions.get(state, ()):
+            matches = True
+            for expected, actual, move in zip(pattern, scanned, transition.moves):
+                if expected is not WILDCARD and expected != actual:
+                    matches = False
+                    break
+                if actual == END_MARKER and move == CONSUME:
+                    matches = False
+                    break
+            if matches:
+                return transition
+        return None
+
+    # ------------------------------------------------------------------
+    # Conversion helpers
+    # ------------------------------------------------------------------
+    def transition_items(self) -> List[Tuple[str, Tuple[str, ...], Transition]]:
+        """The transition function as a sorted list (used by the Theorem 7
+        translation to emit ``delta`` facts).
+
+        Machines specified with wildcard entries cannot be exported this way;
+        the Theorem 7 translation requires a fully explicit table.
+        """
+        if self.wildcard_transitions:
+            raise TransducerDefinitionError(
+                f"{self.name}: transition_items() requires an explicit "
+                "transition table (this machine uses wildcard entries)"
+            )
+        items = [
+            (state, scanned, transition)
+            for (state, scanned), transition in self.transitions.items()
+        ]
+        return sorted(items, key=lambda item: (item[0], item[1]))

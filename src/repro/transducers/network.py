@@ -1,0 +1,194 @@
+"""Acyclic transducer networks (Section 6.2 of the paper).
+
+A network connects transducers so that the output of one machine feeds
+inputs of others.  Only acyclic networks are considered (the paper restricts
+to them to keep computations finite).  Two parameters govern the complexity
+of the function a network computes (Theorem 4):
+
+* the **diameter**: the maximum length of a path through the network, and
+* the **order**: the maximum order of any transducer in it.
+
+Order-2 networks compute exactly the PTIME sequence functions (Theorem 5);
+order-3 networks compute exactly the elementary sequence functions
+(Theorem 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence as TypingSequence, Tuple, Union
+
+import networkx as nx
+
+from repro.errors import NetworkError
+from repro.sequences import Sequence, as_sequence
+from repro.transducers.machine import GeneralizedTransducer
+
+#: A wire source: either a network input (by name) or a node's output.
+WireSource = Union[str, "NetworkNode"]
+
+
+@dataclass
+class NetworkNode:
+    """One transducer instance inside a network.
+
+    ``inputs`` lists, for each input tape of the transducer, where its
+    content comes from: the name of a network input or another node.
+    """
+
+    name: str
+    transducer: GeneralizedTransducer
+    inputs: List[WireSource]
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.transducer.num_inputs:
+            raise NetworkError(
+                f"node {self.name!r}: transducer {self.transducer.name!r} has "
+                f"{self.transducer.num_inputs} inputs but {len(self.inputs)} wires were given"
+            )
+
+
+class TransducerNetwork:
+    """An acyclic network of generalized transducers.
+
+    Parameters
+    ----------
+    input_names:
+        Names of the network inputs.
+    output:
+        The node whose output is the network output (single-output networks
+        compute sequence functions, the case analysed by Theorems 5 and 6).
+    nodes:
+        All nodes of the network (the output node may be included or not).
+    """
+
+    def __init__(
+        self,
+        input_names: TypingSequence[str],
+        nodes: Iterable[NetworkNode],
+        output: NetworkNode,
+    ):
+        self.input_names = tuple(input_names)
+        node_list = list(nodes)
+        if output not in node_list:
+            node_list.append(output)
+        names = [node.name for node in node_list]
+        if len(set(names)) != len(names):
+            raise NetworkError("duplicate node names in network")
+        self.nodes: Dict[str, NetworkNode] = {node.name: node for node in node_list}
+        self.output_node = output
+        self._graph = self._build_graph()
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise NetworkError("transducer networks must be acyclic")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _build_graph(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        for name in self.input_names:
+            graph.add_node(("input", name))
+        for node in self.nodes.values():
+            graph.add_node(("node", node.name))
+        for node in self.nodes.values():
+            for source in node.inputs:
+                if isinstance(source, str):
+                    if source not in self.input_names:
+                        raise NetworkError(
+                            f"node {node.name!r} reads unknown network input {source!r}"
+                        )
+                    graph.add_edge(("input", source), ("node", node.name))
+                elif isinstance(source, NetworkNode):
+                    if source.name not in self.nodes:
+                        raise NetworkError(
+                            f"node {node.name!r} reads output of unknown node {source.name!r}"
+                        )
+                    graph.add_edge(("node", source.name), ("node", node.name))
+                else:
+                    raise NetworkError(f"invalid wire source {source!r}")
+        return graph
+
+    @property
+    def order(self) -> int:
+        """The maximum order of any transducer in the network."""
+        return max(node.transducer.order for node in self.nodes.values())
+
+    @property
+    def diameter(self) -> int:
+        """The maximum number of transducer nodes on any path."""
+        # Longest path in a DAG, counted in transducer nodes.
+        longest = 0
+        lengths: Dict[Tuple[str, str], int] = {}
+        for vertex in nx.topological_sort(self._graph):
+            kind, _ = vertex
+            base = 1 if kind == "node" else 0
+            best_predecessor = 0
+            for predecessor in self._graph.predecessors(vertex):
+                best_predecessor = max(best_predecessor, lengths[predecessor])
+            lengths[vertex] = base + best_predecessor
+            longest = max(longest, lengths[vertex])
+        return longest
+
+    def __repr__(self) -> str:
+        return (
+            f"TransducerNetwork(inputs={list(self.input_names)}, "
+            f"nodes={len(self.nodes)}, order={self.order}, diameter={self.diameter})"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def compute(self, **inputs) -> Sequence:
+        """Run the network on named inputs and return the output sequence."""
+        missing = [name for name in self.input_names if name not in inputs]
+        if missing:
+            raise NetworkError(f"missing network inputs: {missing}")
+        values: Dict[Tuple[str, str], Sequence] = {
+            ("input", name): as_sequence(inputs[name]) for name in self.input_names
+        }
+        for vertex in nx.topological_sort(self._graph):
+            kind, name = vertex
+            if kind == "input":
+                continue
+            node = self.nodes[name]
+            argument_values = []
+            for source in node.inputs:
+                if isinstance(source, str):
+                    argument_values.append(values[("input", source)])
+                else:
+                    argument_values.append(values[("node", source.name)])
+            values[vertex] = node.transducer(*argument_values)
+        return values[("node", self.output_node.name)]
+
+    def compute_function(self, value) -> Sequence:
+        """Run a single-input network as a sequence function."""
+        if len(self.input_names) != 1:
+            raise NetworkError(
+                "compute_function requires a network with exactly one input"
+            )
+        return self.compute(**{self.input_names[0]: value})
+
+
+def chain(
+    transducers: TypingSequence[GeneralizedTransducer],
+    input_name: str = "x",
+) -> TransducerNetwork:
+    """Build a simple serial network: each machine feeds the next.
+
+    Every machine in the chain must have exactly one input; the diameter of
+    the resulting network equals the number of machines.
+    """
+    if not transducers:
+        raise NetworkError("a chain needs at least one transducer")
+    nodes: List[NetworkNode] = []
+    previous: Optional[NetworkNode] = None
+    for index, transducer in enumerate(transducers):
+        if transducer.num_inputs != 1:
+            raise NetworkError("chain() only supports one-input transducers")
+        source: WireSource = input_name if previous is None else previous
+        node = NetworkNode(
+            name=f"stage_{index}", transducer=transducer, inputs=[source]
+        )
+        nodes.append(node)
+        previous = node
+    return TransducerNetwork([input_name], nodes, nodes[-1])

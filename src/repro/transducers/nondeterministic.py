@@ -1,0 +1,463 @@
+"""Nondeterministic generalized sequence transducers.
+
+Definition 7 of the paper defines *deterministic* generalized transducers
+and then remarks that the definition "can easily be generalized to allow
+nondeterministic computations", which is how it subsumes earlier transducer
+models such as the generic a-transducers of Ginsburg and Wang [16] and the
+multi-tape automata of alignment logic [20].  This module implements that
+generalization.
+
+A nondeterministic generalized transducer differs from the deterministic
+machine of :mod:`repro.transducers.machine` in one way only: the transition
+function maps a ``(state, scanned symbols)`` pair to a *set* of transitions
+instead of at most one.  Every individual transition still obeys the three
+restrictions of Definition 7 (consume at least one symbol, never move past
+an end marker, subtransducers take ``m + 1`` inputs), so every computation
+branch terminates and the machine defines a *relation* between input tuples
+and output sequences rather than a function.
+
+The run semantics enumerates all computation branches (breadth-first over a
+work list); :meth:`NondeterministicTransducer.outputs` returns the set of
+output sequences, and :meth:`accepts` treats the machine as an acceptor
+(some branch consumes all input).  Deterministic machines embed trivially
+(:func:`from_deterministic`), and a nondeterministic machine whose
+transition relation happens to be single-valued can be lowered back to a
+deterministic one (:meth:`NondeterministicTransducer.determinize_trivially`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.errors import TransducerDefinitionError, TransducerRuntimeError
+from repro.sequences import Sequence, as_sequence
+from repro.transducers.machine import (
+    CONSUME,
+    END_MARKER,
+    EPSILON_OUTPUT,
+    GeneralizedTransducer,
+    STAY,
+    Transition,
+)
+
+#: Sub-machines callable from a nondeterministic transition: either another
+#: nondeterministic machine or a deterministic one.
+SubMachine = Union["NondeterministicTransducer", GeneralizedTransducer]
+
+
+@dataclass(frozen=True)
+class NTransition:
+    """One nondeterministic transition choice.
+
+    Identical in shape to :class:`repro.transducers.machine.Transition`; the
+    output action may additionally be a nondeterministic subtransducer, in
+    which case every output of the subtransducer spawns its own branch.
+    """
+
+    next_state: str
+    moves: Tuple[str, ...]
+    output: Union[str, SubMachine] = EPSILON_OUTPUT
+
+    def calls_subtransducer(self) -> bool:
+        return not isinstance(self.output, str)
+
+
+@dataclass(frozen=True)
+class _Configuration:
+    """A machine configuration: state, head positions, current output."""
+
+    state: str
+    positions: Tuple[int, ...]
+    output: str
+
+
+class NondeterministicTransducer:
+    """A nondeterministic generalized sequence transducer.
+
+    Parameters
+    ----------
+    name:
+        A human-readable machine name.
+    num_inputs:
+        Number of input tapes (``m`` in Definition 7).
+    alphabet:
+        The finite tape alphabet.
+    initial_state:
+        The machine's initial control state.
+    transitions:
+        A mapping from ``(state, scanned symbols)`` to an iterable of
+        :class:`NTransition` choices.
+    max_branches:
+        A safety valve on the number of simultaneously live configurations;
+        the machine model itself always terminates (every branch consumes
+        one symbol per step) but the number of branches can be exponential.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        alphabet: Iterable[str],
+        initial_state: str,
+        transitions: Mapping[Tuple[str, Tuple[str, ...]], Iterable[NTransition]],
+        max_branches: int = 100_000,
+    ):
+        if num_inputs < 1:
+            raise TransducerDefinitionError("a transducer needs at least one input")
+        self.name = name
+        self.num_inputs = num_inputs
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self.initial_state = initial_state
+        self.max_branches = max_branches
+        self.transitions: Dict[Tuple[str, Tuple[str, ...]], Tuple[NTransition, ...]] = {
+            key: tuple(choices) for key, choices in transitions.items()
+        }
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation and static properties
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for (state, scanned), choices in self.transitions.items():
+            if len(scanned) != self.num_inputs:
+                raise TransducerDefinitionError(
+                    f"{self.name}: transition key {scanned!r} does not have "
+                    f"{self.num_inputs} scanned symbols"
+                )
+            for choice in choices:
+                if len(choice.moves) != self.num_inputs:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: transition from {state!r} has "
+                        f"{len(choice.moves)} head commands, expected {self.num_inputs}"
+                    )
+                if not any(move == CONSUME for move in choice.moves):
+                    raise TransducerDefinitionError(
+                        f"{self.name}: transition from {state!r} on {scanned!r} "
+                        "consumes no input symbol (restriction (i))"
+                    )
+                for symbol, move in zip(scanned, choice.moves):
+                    if symbol == END_MARKER and move == CONSUME:
+                        raise TransducerDefinitionError(
+                            f"{self.name}: transition from {state!r} moves a head "
+                            "past the end-of-tape marker (restriction (ii))"
+                        )
+                output = choice.output
+                if isinstance(output, (NondeterministicTransducer, GeneralizedTransducer)):
+                    if output.num_inputs != self.num_inputs + 1:
+                        raise TransducerDefinitionError(
+                            f"{self.name}: subtransducer {output.name!r} has "
+                            f"{output.num_inputs} inputs, expected {self.num_inputs + 1} "
+                            "(restriction (iii))"
+                        )
+                elif not isinstance(output, str) or len(output) > 1:
+                    raise TransducerDefinitionError(
+                        f"{self.name}: output action must be a single symbol, the "
+                        f"empty string or a subtransducer, got {output!r}"
+                    )
+
+    @property
+    def order(self) -> int:
+        """The order ``k``: 1 + the maximum order of any subtransducer used."""
+        sub_orders = [
+            choice.output.order
+            for choices in self.transitions.values()
+            for choice in choices
+            if not isinstance(choice.output, str)
+        ]
+        return 1 + max(sub_orders, default=0)
+
+    def is_deterministic(self) -> bool:
+        """True when every transition key admits at most one choice."""
+        return all(len(choices) <= 1 for choices in self.transitions.values())
+
+    def __repr__(self) -> str:
+        total_choices = sum(len(choices) for choices in self.transitions.values())
+        return (
+            f"NondeterministicTransducer({self.name!r}, inputs={self.num_inputs}, "
+            f"order={self.order}, keys={len(self.transitions)}, choices={total_choices})"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def outputs(self, *inputs) -> FrozenSet[Sequence]:
+        """All output sequences over every accepting computation branch.
+
+        A branch is accepting when it consumes all of its input (every head
+        scans the end marker).  Branches that get stuck are dropped; if no
+        branch accepts, the result is the empty set.
+        """
+        return frozenset(Sequence(text) for text in self._accepting_outputs(inputs))
+
+    def accepts(self, *inputs) -> bool:
+        """Treat the machine as an acceptor of input tuples.
+
+        This is the usage of multi-tape automata in alignment logic [20]: a
+        tuple of sequences is accepted when some computation branch consumes
+        all of its input.
+        """
+        for _ in self._accepting_outputs(inputs):
+            return True
+        return False
+
+    def __call__(self, *inputs) -> Sequence:
+        """Run the machine as a function; requires exactly one output.
+
+        Raises :class:`TransducerRuntimeError` when the machine is being
+        used as a function but the input admits zero or several outputs.
+        """
+        results = sorted(self.outputs(*inputs))
+        if len(results) != 1:
+            raise TransducerRuntimeError(
+                f"{self.name}: expected exactly one output, got {len(results)}"
+            )
+        return results[0]
+
+    def _accepting_outputs(self, inputs: Tuple[object, ...]) -> Iterable[str]:
+        if len(inputs) != self.num_inputs:
+            raise TransducerRuntimeError(
+                f"{self.name}: expected {self.num_inputs} inputs, got {len(inputs)}"
+            )
+        tapes = [as_sequence(value).text + END_MARKER for value in inputs]
+        start = _Configuration(
+            state=self.initial_state,
+            positions=(0,) * self.num_inputs,
+            output="",
+        )
+        frontier: List[_Configuration] = [start]
+        seen: Set[_Configuration] = {start}
+        emitted: Set[str] = set()
+
+        while frontier:
+            if len(frontier) > self.max_branches:
+                raise TransducerRuntimeError(
+                    f"{self.name}: more than {self.max_branches} live branches"
+                )
+            configuration = frontier.pop()
+            scanned = tuple(
+                tape[position]
+                for tape, position in zip(tapes, configuration.positions)
+            )
+            if all(symbol == END_MARKER for symbol in scanned):
+                if configuration.output not in emitted:
+                    emitted.add(configuration.output)
+                    yield configuration.output
+                continue
+            for choice in self.transitions.get((configuration.state, scanned), ()):
+                for output in self._apply_output(choice, tapes, configuration.output):
+                    positions = tuple(
+                        position + (1 if move == CONSUME else 0)
+                        for position, move in zip(configuration.positions, choice.moves)
+                    )
+                    successor = _Configuration(
+                        state=choice.next_state, positions=positions, output=output
+                    )
+                    if successor not in seen:
+                        seen.add(successor)
+                        frontier.append(successor)
+
+    def _apply_output(
+        self, choice: NTransition, tapes: List[str], output: str
+    ) -> Iterable[str]:
+        """The possible output tapes after applying one transition choice."""
+        action = choice.output
+        if isinstance(action, str):
+            yield output + action
+            return
+        sub_inputs = [tape[:-1] for tape in tapes] + [output]
+        if isinstance(action, GeneralizedTransducer):
+            yield action.run(*sub_inputs).output.text
+            return
+        for result in action.outputs(*sub_inputs):
+            yield as_sequence(result).text
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def determinize_trivially(self) -> GeneralizedTransducer:
+        """Lower a single-valued machine back to a deterministic one.
+
+        Only possible when every transition key has exactly one choice and
+        every subtransducer is itself deterministic; otherwise a
+        :class:`TransducerDefinitionError` is raised.  (General
+        determinization of transducers is impossible: a nondeterministic
+        transducer can define a relation that is not a function.)
+        """
+        lowered: Dict[Tuple[str, Tuple[str, ...]], Transition] = {}
+        for key, choices in self.transitions.items():
+            if len(choices) != 1:
+                raise TransducerDefinitionError(
+                    f"{self.name}: key {key!r} has {len(choices)} choices; "
+                    "only single-valued machines can be lowered"
+                )
+            choice = choices[0]
+            output = choice.output
+            if isinstance(output, NondeterministicTransducer):
+                output = output.determinize_trivially()
+            lowered[key] = Transition(
+                next_state=choice.next_state, moves=choice.moves, output=output
+            )
+        return GeneralizedTransducer(
+            name=self.name,
+            num_inputs=self.num_inputs,
+            alphabet=self.alphabet,
+            initial_state=self.initial_state,
+            transitions=lowered,
+        )
+
+
+def from_deterministic(machine: GeneralizedTransducer) -> NondeterministicTransducer:
+    """Embed a deterministic generalized transducer into the nondeterministic
+    model (every transition becomes a singleton choice set).
+
+    Machines that use wildcard entries are expanded to an explicit table
+    first, so the embedding requires a finite alphabet (which Definition 7
+    assumes anyway).
+    """
+    transitions: Dict[Tuple[str, Tuple[str, ...]], List[NTransition]] = {}
+    for (state, scanned), transition in machine.transitions.items():
+        transitions.setdefault((state, scanned), []).append(
+            NTransition(
+                next_state=transition.next_state,
+                moves=transition.moves,
+                output=transition.output,
+            )
+        )
+    # Expand wildcard entries over the explicit symbol space.
+    if machine.wildcard_transitions:
+        from itertools import product
+
+        symbol_space = tuple(machine.alphabet) + (END_MARKER,)
+        for state, entries in machine.wildcard_transitions.items():
+            for pattern, transition in entries:
+                for scanned in product(symbol_space, repeat=machine.num_inputs):
+                    if (state, scanned) in transitions:
+                        continue
+                    matches = True
+                    for expected, actual, move in zip(pattern, scanned, transition.moves):
+                        wildcard = type(expected).__name__ == "_Wildcard"
+                        if not wildcard and expected != actual:
+                            matches = False
+                            break
+                        if actual == END_MARKER and move == CONSUME:
+                            matches = False
+                            break
+                    if matches:
+                        transitions[(state, scanned)] = [
+                            NTransition(
+                                next_state=transition.next_state,
+                                moves=transition.moves,
+                                output=transition.output,
+                            )
+                        ]
+    return NondeterministicTransducer(
+        name=machine.name,
+        num_inputs=machine.num_inputs,
+        alphabet=machine.alphabet,
+        initial_state=machine.initial_state,
+        transitions=transitions,
+    )
+
+
+class NondeterministicBuilder:
+    """Incrementally build a :class:`NondeterministicTransducer`.
+
+    Unlike :class:`repro.transducers.builder.TransducerBuilder`, adding a
+    second transition for the same ``(state, scanned)`` key is not an error:
+    it simply adds another nondeterministic choice.
+    """
+
+    def __init__(self, name: str, num_inputs: int, alphabet: Iterable[str]):
+        self.name = name
+        self.num_inputs = num_inputs
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self._transitions: Dict[Tuple[str, Tuple[str, ...]], List[NTransition]] = {}
+
+    def add(
+        self,
+        state: str,
+        scanned: Iterable[str],
+        next_state: str,
+        moves: Iterable[str],
+        output: Union[str, SubMachine] = EPSILON_OUTPUT,
+    ) -> "NondeterministicBuilder":
+        """Add one transition choice for the given key."""
+        key = (state, tuple(scanned))
+        self._transitions.setdefault(key, []).append(
+            NTransition(next_state=next_state, moves=tuple(moves), output=output)
+        )
+        return self
+
+    def build(
+        self, initial_state: str, max_branches: int = 100_000
+    ) -> NondeterministicTransducer:
+        return NondeterministicTransducer(
+            name=self.name,
+            num_inputs=self.num_inputs,
+            alphabet=self.alphabet,
+            initial_state=initial_state,
+            transitions=self._transitions,
+            max_branches=max_branches,
+        )
+
+
+# ----------------------------------------------------------------------
+# Small library of nondeterministic machines
+# ----------------------------------------------------------------------
+def guess_subsequence_transducer(
+    alphabet: Iterable[str], name: str = "guess_subsequence"
+) -> NondeterministicTransducer:
+    """Nondeterministically erase symbols: the outputs on input ``s`` are all
+    (not necessarily contiguous) subsequences of ``s``.
+
+    Every step either copies or drops the scanned symbol, so the machine has
+    exactly ``2^n`` branches on an input of length ``n`` (with duplicate
+    outputs merged).
+    """
+    symbols = tuple(dict.fromkeys(alphabet))
+    builder = NondeterministicBuilder(name, num_inputs=1, alphabet=symbols)
+    for symbol in symbols:
+        builder.add("q0", (symbol,), "q0", (CONSUME,), symbol)
+        builder.add("q0", (symbol,), "q0", (CONSUME,), EPSILON_OUTPUT)
+    return builder.build(initial_state="q0")
+
+
+def shuffle_transducer(
+    alphabet: Iterable[str], name: str = "shuffle"
+) -> NondeterministicTransducer:
+    """Two inputs; the outputs are all interleavings (shuffles) of the inputs.
+
+    At each step the machine nondeterministically consumes from tape 1 or
+    tape 2 and copies the consumed symbol to the output.
+    """
+    symbols = tuple(dict.fromkeys(alphabet))
+    builder = NondeterministicBuilder(name, num_inputs=2, alphabet=symbols)
+    extended = symbols + (END_MARKER,)
+    for a in extended:
+        for b in extended:
+            if a == END_MARKER and b == END_MARKER:
+                continue
+            if a != END_MARKER:
+                builder.add("q0", (a, b), "q0", (CONSUME, STAY), a)
+            if b != END_MARKER:
+                builder.add("q0", (a, b), "q0", (STAY, CONSUME), b)
+    return builder.build(initial_state="q0")
+
+
+def equal_length_acceptor(
+    alphabet: Iterable[str], name: str = "equal_length"
+) -> NondeterministicTransducer:
+    """A two-input acceptor for pairs of sequences of equal length.
+
+    Used in tests as the simplest example of the acceptor view
+    (:meth:`NondeterministicTransducer.accepts`): the machine consumes one
+    symbol from each tape per step, so it can consume all its input exactly
+    when the two sequences have the same length.
+    """
+    symbols = tuple(dict.fromkeys(alphabet))
+    builder = NondeterministicBuilder(name, num_inputs=2, alphabet=symbols)
+    for a in symbols:
+        for b in symbols:
+            builder.add("q0", (a, b), "q0", (CONSUME, CONSUME), EPSILON_OUTPUT)
+    return builder.build(initial_state="q0")

@@ -1,0 +1,83 @@
+"""Named collections of transducers.
+
+Transducer Datalog programs refer to transducers by name (``@append(X, Y)``);
+a :class:`TransducerCatalog` resolves those names to machines.  It also
+produces the two derived views the rest of the library needs:
+
+* ``callables()`` -- the ``{name: callable}`` registry consumed by the
+  evaluation engine when it interprets transducer terms natively;
+* ``orders()`` -- the ``{name: order}`` map consumed by the safety analysis
+  (program order, Theorems 8/9 bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.errors import TransducerError
+from repro.sequences import Sequence
+from repro.transducers.machine import GeneralizedTransducer
+
+
+class TransducerCatalog:
+    """A mutable mapping from names to generalized transducers."""
+
+    def __init__(self, transducers: Iterable[GeneralizedTransducer] = ()):
+        self._machines: Dict[str, GeneralizedTransducer] = {}
+        for machine in transducers:
+            self.register(machine)
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def register(
+        self, machine: GeneralizedTransducer, name: Optional[str] = None
+    ) -> "TransducerCatalog":
+        """Register a machine (optionally under an alias)."""
+        key = name or machine.name
+        existing = self._machines.get(key)
+        if existing is not None and existing is not machine:
+            raise TransducerError(f"a different transducer is already registered as {key!r}")
+        self._machines[key] = machine
+        return self
+
+    def get(self, name: str) -> GeneralizedTransducer:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise TransducerError(f"no transducer registered under {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._machines
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._machines))
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._machines)
+
+    def machines(self) -> Iterable[GeneralizedTransducer]:
+        return [self._machines[name] for name in sorted(self._machines)]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def callables(self) -> Dict[str, Callable[..., Sequence]]:
+        """The ``{name: callable}`` view used by the evaluation engine."""
+        return {name: machine for name, machine in self._machines.items()}
+
+    def orders(self) -> Dict[str, int]:
+        """The ``{name: order}`` view used by the safety analysis."""
+        return {name: machine.order for name, machine in self._machines.items()}
+
+    def max_order(self) -> int:
+        """The maximum order among the registered machines (0 when empty)."""
+        return max((machine.order for machine in self._machines.values()), default=0)
+
+    def copy(self) -> "TransducerCatalog":
+        clone = TransducerCatalog()
+        clone._machines = dict(self._machines)
+        return clone

@@ -1,0 +1,42 @@
+"""Turing machine substrate (Sections 4 and 6.2 of the paper).
+
+The paper uses single-tape Turing machines twice:
+
+* Theorem 1 compiles an arbitrary TM into a Sequence Datalog program whose
+  least fixpoint contains ``output(f(x))`` for the database ``{input(x)}`` --
+  proving that Sequence Datalog expresses every computable sequence function.
+* Theorem 5 simulates a polynomial-time TM with an acyclic order-2 transducer
+  network -- proving that such networks express exactly the PTIME sequence
+  functions.
+
+This package provides the machine model, both compilers, and a small library
+of example machines used by tests and benchmarks.
+"""
+
+from repro.turing.machine import (
+    BLANK,
+    LEFT,
+    LEFT_END,
+    RIGHT,
+    STAY_PUT,
+    TuringMachine,
+    TuringRun,
+    TuringTransition,
+)
+from repro.turing.compile_to_datalog import compile_tm_to_sequence_datalog
+from repro.turing.compile_to_network import compile_tm_to_network
+from repro.turing import machines
+
+__all__ = [
+    "BLANK",
+    "LEFT",
+    "LEFT_END",
+    "RIGHT",
+    "STAY_PUT",
+    "TuringMachine",
+    "TuringRun",
+    "TuringTransition",
+    "compile_tm_to_network",
+    "compile_tm_to_sequence_datalog",
+    "machines",
+]

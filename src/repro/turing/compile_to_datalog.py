@@ -1,0 +1,181 @@
+"""The Theorem 1 compiler: Turing machine -> Sequence Datalog program.
+
+Given a Turing machine ``M`` computing a sequence function ``f``, the
+construction produces a Sequence Datalog program ``P_f`` such that for every
+database of the form ``{input(x)}``, the least fixpoint contains
+``output(y)`` exactly when ``M`` halts on ``x`` with output ``y``.
+
+Machine configurations are represented by a 4-ary predicate
+``conf(state, left, scanned, right)`` where ``left`` is the tape content to
+the left of the head, ``scanned`` the symbol under the head, and ``right``
+the content to its right.  One rule per machine transition rewrites a
+reachable configuration into its successor; a final rule extracts the tape
+content when a halting state is reached.
+
+Two presentational notes relative to the paper's proof:
+
+* the initial-configuration rule appends one blank to the right part
+  (``conf(q0, "", "⊢", X ++ "_")``) so that the "move right" rule, which
+  needs to inspect ``Xr[1]``, is applicable even for the empty input;
+* an extra output rule handles the corner case of a machine halting with the
+  head still on the left-end marker.
+
+Both changes only add trailing blanks to the extracted output, which the
+comparison helpers strip (the machine's own output convention also strips
+trailing blanks).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.language.atoms import Atom
+from repro.language.clauses import Clause, Program
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexedTerm,
+    SequenceVariable,
+)
+from repro.turing.machine import LEFT, RIGHT, STAY_PUT, TuringMachine
+
+
+def _left_var() -> SequenceVariable:
+    return SequenceVariable("Xl")
+
+
+def _right_var() -> SequenceVariable:
+    return SequenceVariable("Xr")
+
+
+def compile_tm_to_sequence_datalog(
+    machine: TuringMachine,
+    input_predicate: str = "input",
+    output_predicate: str = "output",
+    conf_predicate: str = "conf",
+) -> Program:
+    """Build the Sequence Datalog program simulating a Turing machine."""
+    clauses: List[Clause] = []
+    left = _left_var()
+    right = _right_var()
+    input_var = SequenceVariable("X")
+
+    # Initial configuration: head on the left-end marker, input to its right
+    # (padded with one blank so the move-right rule is always applicable).
+    clauses.append(
+        Clause(
+            Atom(
+                conf_predicate,
+                [
+                    ConstantTerm(machine.initial_state),
+                    ConstantTerm(""),
+                    ConstantTerm(machine.left_end),
+                    ConcatTerm([input_var, ConstantTerm(machine.blank)]),
+                ],
+            ),
+            [Atom(input_predicate, [input_var])],
+        )
+    )
+
+    # One rule per transition.
+    for (state, symbol), transition in sorted(machine.transitions.items()):
+        body = [
+            Atom(
+                conf_predicate,
+                [ConstantTerm(state), left, ConstantTerm(symbol), right],
+            )
+        ]
+        if transition.move == STAY_PUT:
+            head = Atom(
+                conf_predicate,
+                [
+                    ConstantTerm(transition.next_state),
+                    left,
+                    ConstantTerm(transition.write),
+                    right,
+                ],
+            )
+        elif transition.move == LEFT:
+            # conf(q', Xl[1:end-1], Xl[end], write ++ Xr) :- conf(q, Xl, a, Xr).
+            head = Atom(
+                conf_predicate,
+                [
+                    ConstantTerm(transition.next_state),
+                    IndexedTerm(
+                        left, IndexConstant(1), IndexSum(End(), IndexConstant(1), "-")
+                    ),
+                    IndexedTerm(left, End(), End()),
+                    ConcatTerm([ConstantTerm(transition.write), right]),
+                ],
+            )
+        else:  # RIGHT
+            # conf(q', Xl ++ write, Xr[1], Xr[2:end] ++ blank) :- conf(q, Xl, a, Xr).
+            head = Atom(
+                conf_predicate,
+                [
+                    ConstantTerm(transition.next_state),
+                    ConcatTerm([left, ConstantTerm(transition.write)]),
+                    IndexedTerm(right, IndexConstant(1), IndexConstant(1)),
+                    ConcatTerm(
+                        [
+                            IndexedTerm(right, IndexConstant(2), End()),
+                            ConstantTerm(machine.blank),
+                        ]
+                    ),
+                ],
+            )
+        clauses.append(Clause(head, body))
+
+    # Output extraction for every halting state.
+    scanned = SequenceVariable("S")
+    for halting_state in sorted(machine.halting_states):
+        # General case: the head sits on some tape cell right of the marker.
+        clauses.append(
+            Clause(
+                Atom(
+                    output_predicate,
+                    [
+                        ConcatTerm(
+                            [
+                                IndexedTerm(left, IndexConstant(2), End()),
+                                scanned,
+                                right,
+                            ]
+                        )
+                    ],
+                ),
+                [
+                    Atom(
+                        conf_predicate,
+                        [ConstantTerm(halting_state), left, scanned, right],
+                    )
+                ],
+            )
+        )
+        # Corner case: the machine halted with the head on the left-end marker.
+        clauses.append(
+            Clause(
+                Atom(output_predicate, [right]),
+                [
+                    Atom(
+                        conf_predicate,
+                        [
+                            ConstantTerm(halting_state),
+                            ConstantTerm(""),
+                            ConstantTerm(machine.left_end),
+                            right,
+                        ],
+                    )
+                ],
+            )
+        )
+
+    return Program(clauses)
+
+
+def strip_blanks(text: str, machine: TuringMachine) -> str:
+    """Strip trailing blanks from an extracted output (comparison helper)."""
+    return text.rstrip(machine.blank)

@@ -1,0 +1,382 @@
+"""The Theorem 5 compiler: polynomial-time Turing machine -> order-2 network.
+
+Theorem 5 shows that acyclic transducer networks of order 2 express exactly
+the PTIME sequence functions.  The constructive direction simulates a
+polynomial-time machine ``M`` (running in time ``n^k``) with a network of
+four stages:
+
+1. a **counter chain** of order-2 squaring transducers turns the input of
+   length ``n`` into a sequence of length at least ``n^k`` used to count
+   simulation steps;
+2. an **initial-configuration** transducer builds the string encoding of
+   ``M``'s starting configuration, padded with one blank cell per counter
+   symbol so the simulated tape never has to grow mid-pass;
+3. a **simulation** transducer of order 2 copies the initial configuration
+   to its output and then, once per counter symbol, calls a base
+   **step** subtransducer that rewrites the configuration string into its
+   successor (configurations of halted machines are fixed points);
+4. a **decoder** strips the head/state markers and blanks, leaving ``M``'s
+   output.
+
+Configuration encoding: the tape content with the cell under the head
+replaced by a fresh *composite* symbol standing for the (state, symbol)
+pair.  The step transducer makes a single left-to-right pass with one-symbol
+lookbehind, which is what lets it be an ordinary (order-1) machine.
+
+Engineering notes (documented deviations, none affecting the theorem's
+content):
+
+* inputs must have length at least 2 -- a base transducer cannot emit the
+  ``state + marker`` prefix for shorter inputs without more machinery, and
+  Theorem 5 is an asymptotic statement;
+* the step machine is specified with wildcard transitions (a compact
+  shorthand for the explicit table of Definition 7) because it must ignore
+  the two tapes it only drains.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import TuringMachineError
+from repro.sequences import Sequence
+from repro.transducers.builder import TransducerBuilder
+from repro.transducers.library import mapping_transducer, square_transducer
+from repro.transducers.machine import (
+    CONSUME,
+    END_MARKER,
+    GeneralizedTransducer,
+    STAY,
+    WILDCARD,
+)
+from repro.transducers.network import NetworkNode, TransducerNetwork
+from repro.turing.machine import LEFT, RIGHT, TuringMachine
+
+#: Pool of characters used for state and composite (state, symbol) markers.
+_MARKER_POOL = (
+    "αβγδεζηθικλμνξοπρστυφχψω"
+    "ΑΒΓΔΕΖΗΘΙΚΛΜΝΞΟΠΡΣΤΥΦΧΨΩ"
+    "⊕⊖⊗⊘⊙⊚⊛⊜⊝♠♣♥♦"
+)
+
+
+class _Encoding:
+    """Symbol encoding shared by the network stages."""
+
+    def __init__(self, machine: TuringMachine):
+        self.machine = machine
+        self.tape_symbols: Tuple[str, ...] = machine.tape_alphabet
+        used = set(self.tape_symbols) | set(machine.input_alphabet)
+        pool = [char for char in _MARKER_POOL if char not in used]
+        needed = len(machine.states) * len(self.tape_symbols)
+        if needed > len(pool):
+            raise TuringMachineError(
+                "not enough marker characters to encode the machine's "
+                "(state, symbol) pairs"
+            )
+        self.composite: Dict[Tuple[str, str], str] = {}
+        index = 0
+        for state in machine.states:
+            for symbol in self.tape_symbols:
+                self.composite[(state, symbol)] = pool[index]
+                index += 1
+        self.composite_inverse = {
+            char: pair for pair, char in self.composite.items()
+        }
+
+    @property
+    def config_alphabet(self) -> Tuple[str, ...]:
+        return tuple(self.tape_symbols) + tuple(sorted(self.composite_inverse))
+
+    def initial_head_symbol(self) -> str:
+        return self.composite[(self.machine.initial_state, self.machine.left_end)]
+
+
+# ----------------------------------------------------------------------
+# Stage 2: initial configuration
+# ----------------------------------------------------------------------
+def _initial_config_transducer(
+    machine: TuringMachine, encoding: _Encoding
+) -> GeneralizedTransducer:
+    """Two inputs (input word, counter) -> padded initial configuration.
+
+    Output: ``composite(q0, ⊢)`` followed by the input word followed by one
+    blank per counter symbol but one (the budget of a base transducer is one
+    emission per consumed symbol).
+    """
+    symbols = tuple(machine.input_alphabet)
+    counter_symbols = symbols  # the counter is built from the input word
+    alphabet = tuple(dict.fromkeys(symbols + counter_symbols)) + (
+        machine.blank,
+        encoding.initial_head_symbol(),
+    )
+    builder = TransducerBuilder("tm_init", num_inputs=2, alphabet=alphabet)
+    head_symbol = encoding.initial_head_symbol()
+    blank = machine.blank
+
+    # State "s0": consume the first input symbol, emit the head marker and
+    # remember the symbol in the state.
+    for a in symbols:
+        builder.add_wildcard(
+            state="s0",
+            pattern=(a, WILDCARD),
+            next_state=f"carry_{a}",
+            moves=(CONSUME, STAY),
+            output=head_symbol,
+        )
+    # States "carry_a": emit the remembered symbol while consuming the next
+    # input symbol; when the input runs out, consume a counter symbol instead
+    # and move on to blank padding.
+    for a in symbols:
+        for c in symbols:
+            builder.add_wildcard(
+                state=f"carry_{a}",
+                pattern=(c, WILDCARD),
+                next_state=f"carry_{c}",
+                moves=(CONSUME, STAY),
+                output=a,
+            )
+        builder.add_wildcard(
+            state=f"carry_{a}",
+            pattern=(END_MARKER, WILDCARD),
+            next_state="pad",
+            moves=(STAY, CONSUME),
+            output=a,
+        )
+    # State "pad": one blank per remaining counter symbol.
+    builder.add_wildcard(
+        state="pad",
+        pattern=(WILDCARD, WILDCARD),
+        next_state="pad",
+        moves=(STAY, CONSUME),
+        output=blank,
+    )
+    return builder.build(initial_state="s0")
+
+
+# ----------------------------------------------------------------------
+# Stage 3a: the configuration-step subtransducer
+# ----------------------------------------------------------------------
+def _step_transducer(machine: TuringMachine, encoding: _Encoding) -> GeneralizedTransducer:
+    """Three inputs (counter, initial config, current config) -> next config.
+
+    One left-to-right pass over the current configuration (tape 3) with a
+    one-symbol lookbehind; tapes 1 and 2 are drained silently (their symbols
+    also provide the consumption budget for the final flush).
+    """
+    config_symbols = encoding.config_alphabet
+    plain_symbols = tuple(encoding.tape_symbols)
+    builder = TransducerBuilder(
+        "tm_step", num_inputs=3, alphabet=tuple(machine.input_alphabet) + config_symbols
+    )
+
+    def consume_config(state: str, symbol: str, next_state: str, output: str) -> None:
+        builder.add_wildcard(
+            state=state,
+            pattern=(WILDCARD, WILDCARD, symbol),
+            next_state=next_state,
+            moves=(STAY, STAY, CONSUME),
+            output=output,
+        )
+
+    def finish(state: str, output: str, next_state: str) -> None:
+        """At end of tape 3: emit by consuming tape 2 first, then tape 1."""
+        builder.add_wildcard(
+            state=state,
+            pattern=(WILDCARD, WILDCARD, END_MARKER),
+            next_state=next_state,
+            moves=(STAY, CONSUME, STAY),
+            output=output,
+        )
+        builder.add_wildcard(
+            state=state,
+            pattern=(WILDCARD, WILDCARD, END_MARKER),
+            next_state=next_state,
+            moves=(CONSUME, STAY, STAY),
+            output=output,
+        )
+
+    def process(symbol: str, pending: str) -> Tuple[str, str]:
+        """Handle reading ``symbol`` with ``pending`` not yet emitted.
+
+        Returns ``(emitted, next_state)``; ``pending`` may be the empty
+        string in the start state.
+        """
+        pair = encoding.composite_inverse.get(symbol)
+        if pair is None or pair[0] in machine.halting_states or (
+            pair not in ()
+            and (pair[0], pair[1]) not in machine.transitions
+        ):
+            # Plain symbol, halted head, or undefined transition: copy as-is.
+            return pending, f"pend_{symbol}"
+        state, scanned = pair
+        transition = machine.transitions[(state, scanned)]
+        write = transition.write
+        next_state = transition.next_state
+        if transition.move == RIGHT:
+            # ... pending  write  composite(next, <next cell>) ...
+            return pending, f"attach_{next_state}_{write}"
+        if transition.move == LEFT:
+            # pending must exist (machines never move left off the marker).
+            composite = encoding.composite[(next_state, pending)]
+            return composite, f"pend_{write}"
+        # STAY
+        composite = encoding.composite[(next_state, write)]
+        return pending, f"pend_{composite}"
+
+    # Start state: nothing pending yet.
+    for symbol in config_symbols:
+        emitted, next_state = process(symbol, "")
+        consume_config("start3", symbol, next_state, emitted)
+    finish("start3", "", "drain2")
+
+    # Pending states.
+    for pending in config_symbols:
+        state = f"pend_{pending}"
+        for symbol in config_symbols:
+            emitted, next_state = process(symbol, pending)
+            consume_config(state, symbol, next_state, emitted)
+        finish(state, pending, "drain2")
+
+    # Attach states: the next cell read becomes a composite with this state.
+    for tm_state in machine.states:
+        for write in plain_symbols:
+            state = f"attach_{tm_state}_{write}"
+            for symbol in plain_symbols:
+                composite = encoding.composite[(tm_state, symbol)]
+                emitted, next_state = process(composite, write)
+                consume_config(state, symbol, next_state, emitted)
+            # Dangling attach at the end of the configuration: the head moved
+            # onto a new cell.  Emit the written symbol, then a composite on
+            # a fresh blank cell, then drain.
+            dangling = encoding.composite[(tm_state, machine.blank)]
+            finish(state, write, f"flush_{tm_state}")
+            finish(f"flush_{tm_state}", dangling, "drain2")
+
+    # Drain the remaining symbols of tapes 2 and 1 without emitting.
+    builder.add_wildcard(
+        state="drain2",
+        pattern=(WILDCARD, WILDCARD, WILDCARD),
+        next_state="drain2",
+        moves=(STAY, CONSUME, STAY),
+        output="",
+    )
+    builder.add_wildcard(
+        state="drain2",
+        pattern=(WILDCARD, WILDCARD, WILDCARD),
+        next_state="drain2",
+        moves=(CONSUME, STAY, STAY),
+        output="",
+    )
+    return builder.build(initial_state="start3")
+
+
+# ----------------------------------------------------------------------
+# Stage 3b: the simulation driver
+# ----------------------------------------------------------------------
+def _simulation_transducer(
+    machine: TuringMachine, encoding: _Encoding, step: GeneralizedTransducer
+) -> GeneralizedTransducer:
+    """Two inputs (counter, initial config), order 2.
+
+    First copies the initial configuration to the output, then performs one
+    ``step`` subtransducer call per counter symbol.
+    """
+    builder = TransducerBuilder(
+        "tm_sim",
+        num_inputs=2,
+        alphabet=tuple(machine.input_alphabet) + encoding.config_alphabet,
+    )
+    for symbol in encoding.config_alphabet:
+        builder.add_wildcard(
+            state="copy",
+            pattern=(WILDCARD, symbol),
+            next_state="copy",
+            moves=(STAY, CONSUME),
+            output=symbol,
+        )
+    builder.add_wildcard(
+        state="copy",
+        pattern=(WILDCARD, END_MARKER),
+        next_state="run",
+        moves=(CONSUME, STAY),
+        output=step,
+    )
+    builder.add_wildcard(
+        state="run",
+        pattern=(WILDCARD, WILDCARD),
+        next_state="run",
+        moves=(CONSUME, STAY),
+        output=step,
+    )
+    return builder.build(initial_state="copy")
+
+
+# ----------------------------------------------------------------------
+# Stage 4: decoding
+# ----------------------------------------------------------------------
+def _decode_transducer(machine: TuringMachine, encoding: _Encoding) -> GeneralizedTransducer:
+    """Strip markers, state composites and blanks from the final configuration."""
+    mapping: Dict[str, str] = {machine.left_end: "", machine.blank: ""}
+    for (state, symbol), char in encoding.composite.items():
+        if symbol in (machine.left_end, machine.blank):
+            mapping[char] = ""
+        else:
+            mapping[char] = symbol
+    return mapping_transducer("tm_decode", mapping, alphabet=encoding.config_alphabet)
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def compile_tm_to_network(
+    machine: TuringMachine,
+    time_exponent: int = 1,
+) -> TransducerNetwork:
+    """Build an order-2 transducer network simulating a PTIME Turing machine.
+
+    ``time_exponent`` is the ``k`` such that the machine halts within
+    ``n^k`` steps on inputs of length ``n >= 2`` (the counter chain squares
+    the input ``ceil(log2(k)) + 1`` times, guaranteeing at least ``n^(2k)``
+    counter symbols, which also covers the constant factors of short inputs).
+    """
+    if time_exponent < 1:
+        raise TuringMachineError("time_exponent must be at least 1")
+    encoding = _Encoding(machine)
+
+    squarings = max(1, ceil(log2(time_exponent))) + 1
+    counter_nodes: List[NetworkNode] = []
+    previous_source = "x"
+    for index in range(squarings):
+        node = NetworkNode(
+            name=f"counter_{index}",
+            transducer=square_transducer(
+                machine.input_alphabet, name=f"tm_counter_{index}"
+            ),
+            inputs=[previous_source if index == 0 else counter_nodes[-1]],
+        )
+        counter_nodes.append(node)
+    counter = counter_nodes[-1]
+
+    init_node = NetworkNode(
+        name="init",
+        transducer=_initial_config_transducer(machine, encoding),
+        inputs=["x", counter],
+    )
+    step = _step_transducer(machine, encoding)
+    sim_node = NetworkNode(
+        name="sim",
+        transducer=_simulation_transducer(machine, encoding, step),
+        inputs=[counter, init_node],
+    )
+    decode_node = NetworkNode(
+        name="decode",
+        transducer=_decode_transducer(machine, encoding),
+        inputs=[sim_node],
+    )
+    return TransducerNetwork(
+        input_names=["x"],
+        nodes=counter_nodes + [init_node, sim_node, decode_node],
+        output=decode_node,
+    )

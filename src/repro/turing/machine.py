@@ -1,0 +1,187 @@
+"""Single-tape Turing machines, as used in the proofs of Theorems 1 and 5.
+
+The machine model follows the conventions of the Theorem 1 proof:
+
+* a single one-way-infinite tape whose first cell holds the left-end marker
+  ``⊢``; the machine never overwrites it and never moves left of it;
+* the initial configuration has the head on the left-end marker and the
+  input written immediately to its right;
+* the machine halts when it enters a halting state; the *output* is the tape
+  content to the right of the marker, with trailing blanks stripped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import TuringMachineError
+from repro.sequences import Sequence, as_sequence
+
+#: The blank tape symbol.
+BLANK = "_"
+
+#: The left-end marker written on the first tape cell.
+LEFT_END = "⊢"
+
+#: Head movements.
+LEFT = "L"
+RIGHT = "R"
+STAY_PUT = "S"
+
+
+@dataclass(frozen=True)
+class TuringTransition:
+    """``delta(state, symbol) = (next_state, write, move)``."""
+
+    next_state: str
+    write: str
+    move: str
+
+
+@dataclass
+class TuringRun:
+    """The result of running a Turing machine."""
+
+    halted: bool
+    output: Sequence
+    steps: int
+    final_state: str
+    final_tape: str
+
+    @property
+    def accepted(self) -> bool:
+        return self.halted
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine with a left-end marker."""
+
+    def __init__(
+        self,
+        name: str,
+        input_alphabet: Iterable[str],
+        initial_state: str,
+        halting_states: Iterable[str],
+        transitions: Mapping[Tuple[str, str], Tuple[str, str, str]],
+        tape_alphabet: Optional[Iterable[str]] = None,
+        blank: str = BLANK,
+        left_end: str = LEFT_END,
+    ):
+        self.name = name
+        self.input_alphabet = tuple(dict.fromkeys(input_alphabet))
+        self.blank = blank
+        self.left_end = left_end
+        if tape_alphabet is None:
+            tape_alphabet = self.input_alphabet
+        self.tape_alphabet = tuple(
+            dict.fromkeys(tuple(tape_alphabet) + (blank, left_end))
+        )
+        self.initial_state = initial_state
+        self.halting_states: Set[str] = set(halting_states)
+        self.transitions: Dict[Tuple[str, str], TuringTransition] = {}
+        for (state, symbol), action in transitions.items():
+            next_state, write, move = action
+            self.transitions[(state, symbol)] = TuringTransition(next_state, write, move)
+        self.states = self._collect_states()
+        self._validate()
+
+    def _collect_states(self) -> Tuple[str, ...]:
+        states = {self.initial_state} | set(self.halting_states)
+        for (state, _), transition in self.transitions.items():
+            states.add(state)
+            states.add(transition.next_state)
+        return tuple(sorted(states))
+
+    def _validate(self) -> None:
+        for (state, symbol), transition in self.transitions.items():
+            if transition.move not in (LEFT, RIGHT, STAY_PUT):
+                raise TuringMachineError(
+                    f"{self.name}: invalid move {transition.move!r} in transition "
+                    f"({state!r}, {symbol!r})"
+                )
+            if symbol == self.left_end and transition.write != self.left_end:
+                raise TuringMachineError(
+                    f"{self.name}: transition ({state!r}, {symbol!r}) overwrites "
+                    "the left-end marker"
+                )
+            if symbol == self.left_end and transition.move == LEFT:
+                raise TuringMachineError(
+                    f"{self.name}: transition ({state!r}, {symbol!r}) moves left "
+                    "of the left-end marker"
+                )
+            if state in self.halting_states:
+                raise TuringMachineError(
+                    f"{self.name}: halting state {state!r} has an outgoing transition"
+                )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, value, max_steps: int = 100_000) -> TuringRun:
+        """Run the machine on an input sequence.
+
+        Raises :class:`TuringMachineError` if ``max_steps`` is exceeded (the
+        machine may genuinely diverge: Theorem 2 relies on that).
+        """
+        word = as_sequence(value).text
+        for symbol in word:
+            if symbol not in self.input_alphabet:
+                raise TuringMachineError(
+                    f"{self.name}: input symbol {symbol!r} is not in the input alphabet"
+                )
+        tape: List[str] = [self.left_end] + list(word)
+        position = 0
+        state = self.initial_state
+        steps = 0
+        while state not in self.halting_states:
+            if steps >= max_steps:
+                raise TuringMachineError(
+                    f"{self.name}: exceeded {max_steps} steps without halting"
+                )
+            symbol = tape[position]
+            transition = self.transitions.get((state, symbol))
+            if transition is None:
+                raise TuringMachineError(
+                    f"{self.name}: no transition from state {state!r} on symbol "
+                    f"{symbol!r}"
+                )
+            tape[position] = transition.write
+            if transition.move == RIGHT:
+                position += 1
+                if position == len(tape):
+                    tape.append(self.blank)
+            elif transition.move == LEFT:
+                if position == 0:
+                    raise TuringMachineError(
+                        f"{self.name}: attempted to move left of the left-end marker"
+                    )
+                position -= 1
+            state = transition.next_state
+            steps += 1
+        content = "".join(tape[1:]).rstrip(self.blank)
+        return TuringRun(
+            halted=True,
+            output=Sequence(content),
+            steps=steps,
+            final_state=state,
+            final_tape="".join(tape),
+        )
+
+    def compute(self, value, max_steps: int = 100_000) -> Sequence:
+        """The sequence function computed by the machine (output only)."""
+        return self.run(value, max_steps=max_steps).output
+
+    def halts_on(self, value, max_steps: int = 100_000) -> bool:
+        """True if the machine halts within ``max_steps`` on the given input."""
+        try:
+            self.run(value, max_steps=max_steps)
+        except TuringMachineError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TuringMachine({self.name!r}, states={len(self.states)}, "
+            f"transitions={len(self.transitions)})"
+        )

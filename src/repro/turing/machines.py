@@ -1,0 +1,119 @@
+"""A small library of example Turing machines.
+
+These machines exercise the two compilers of this package (Theorem 1 and
+Theorem 5) and the finiteness results of Section 5:
+
+* :func:`identity_machine` -- copies its input (one left-to-right pass);
+* :func:`complement_machine` -- flips every bit of a binary input in place;
+* :func:`increment_machine` -- adds one to a binary number written
+  least-significant-bit first;
+* :func:`erase_machine` -- erases its input (computes the empty sequence);
+* :func:`looping_machine` -- never halts on any input (used to exhibit the
+  infinite least fixpoints behind Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.turing.machine import BLANK, LEFT, LEFT_END, RIGHT, STAY_PUT, TuringMachine
+
+TransitionTable = Dict[Tuple[str, str], Tuple[str, str, str]]
+
+
+def identity_machine(alphabet: Iterable[str] = "01") -> TuringMachine:
+    """Scan to the end of the input and halt, leaving the tape unchanged."""
+    symbols = tuple(dict.fromkeys(alphabet))
+    transitions: TransitionTable = {
+        ("scan", LEFT_END): ("scan", LEFT_END, RIGHT),
+    }
+    for symbol in symbols:
+        transitions[("scan", symbol)] = ("scan", symbol, RIGHT)
+    transitions[("scan", BLANK)] = ("halt", BLANK, STAY_PUT)
+    return TuringMachine(
+        name="identity",
+        input_alphabet=symbols,
+        initial_state="scan",
+        halting_states={"halt"},
+        transitions=transitions,
+    )
+
+
+def complement_machine() -> TuringMachine:
+    """Flip every ``0`` to ``1`` and vice versa (binary complement, in place)."""
+    transitions: TransitionTable = {
+        ("scan", LEFT_END): ("scan", LEFT_END, RIGHT),
+        ("scan", "0"): ("scan", "1", RIGHT),
+        ("scan", "1"): ("scan", "0", RIGHT),
+        ("scan", BLANK): ("halt", BLANK, STAY_PUT),
+    }
+    return TuringMachine(
+        name="complement",
+        input_alphabet="01",
+        initial_state="scan",
+        halting_states={"halt"},
+        transitions=transitions,
+    )
+
+
+def increment_machine() -> TuringMachine:
+    """Add one to a binary number written least-significant-bit first.
+
+    Scanning from the left, ``1``\\ s carry (become ``0``) until the first
+    ``0`` (or a blank, when the number is all ones) absorbs the carry.
+    Example: ``110`` (= 3, LSB first) becomes ``001`` (= 4, LSB first).
+    """
+    transitions: TransitionTable = {
+        ("carry", LEFT_END): ("carry", LEFT_END, RIGHT),
+        ("carry", "1"): ("carry", "0", RIGHT),
+        ("carry", "0"): ("halt", "1", STAY_PUT),
+        ("carry", BLANK): ("halt", "1", STAY_PUT),
+    }
+    return TuringMachine(
+        name="increment",
+        input_alphabet="01",
+        initial_state="carry",
+        halting_states={"halt"},
+        transitions=transitions,
+    )
+
+
+def erase_machine(alphabet: Iterable[str] = "01") -> TuringMachine:
+    """Erase the input: the computed sequence function is constantly empty."""
+    symbols = tuple(dict.fromkeys(alphabet))
+    transitions: TransitionTable = {
+        ("wipe", LEFT_END): ("wipe", LEFT_END, RIGHT),
+        ("wipe", BLANK): ("halt", BLANK, STAY_PUT),
+    }
+    for symbol in symbols:
+        transitions[("wipe", symbol)] = ("wipe", BLANK, RIGHT)
+    return TuringMachine(
+        name="erase",
+        input_alphabet=symbols,
+        initial_state="wipe",
+        halting_states={"halt"},
+        transitions=transitions,
+    )
+
+
+def looping_machine(alphabet: Iterable[str] = "01") -> TuringMachine:
+    """A machine that never halts: it bounces right forever.
+
+    Used to demonstrate Theorem 2: compiling this machine with the Theorem 1
+    construction yields a Sequence Datalog program whose least fixpoint is
+    infinite for every database instance.
+    """
+    symbols = tuple(dict.fromkeys(alphabet))
+    transitions: TransitionTable = {
+        ("bounce", LEFT_END): ("bounce", LEFT_END, RIGHT),
+        ("bounce", BLANK): ("bounce", BLANK, RIGHT),
+    }
+    for symbol in symbols:
+        transitions[("bounce", symbol)] = ("bounce", symbol, RIGHT)
+    return TuringMachine(
+        name="looping",
+        input_alphabet=symbols,
+        initial_state="bounce",
+        halting_states={"halt"},
+        transitions=transitions,
+    )

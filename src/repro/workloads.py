@@ -1,0 +1,162 @@
+"""Synthetic workload generators for examples, tests and benchmarks.
+
+The paper has no distributed datasets; its motivating workloads are genome
+databases (long DNA strings) and text databases.  The generators here
+produce deterministic, seeded synthetic equivalents: random strings over an
+alphabet, random DNA, instances of the ``a^n b^n c^n`` language with decoys,
+repeated patterns, and parameter sweeps of databases of growing size, which
+is what the benchmark harness feeds to the engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence as TypingSequence, Tuple
+
+from repro.database.database import SequenceDatabase
+from repro.sequences.alphabet import Alphabet, DNA_ALPHABET
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed if seed is not None else 0xC0FFEE)
+
+
+def random_string(
+    length: int, alphabet: TypingSequence[str] = "ab", seed: Optional[int] = None
+) -> str:
+    """A random string of the given length over the alphabet."""
+    generator = _rng(seed)
+    symbols = list(alphabet)
+    return "".join(generator.choice(symbols) for _ in range(length))
+
+
+def random_strings(
+    count: int,
+    length: int,
+    alphabet: TypingSequence[str] = "ab",
+    seed: Optional[int] = None,
+) -> List[str]:
+    """``count`` random strings of the given length."""
+    generator = _rng(seed)
+    symbols = list(alphabet)
+    return [
+        "".join(generator.choice(symbols) for _ in range(length)) for _ in range(count)
+    ]
+
+
+def random_dna(length: int, seed: Optional[int] = None) -> str:
+    """A random DNA string (Example 7.1's workload, synthesised)."""
+    return random_string(length, alphabet=DNA_ALPHABET.symbols, seed=seed)
+
+
+def random_dna_strings(count: int, length: int, seed: Optional[int] = None) -> List[str]:
+    """``count`` random DNA strings."""
+    return random_strings(count, length, alphabet=DNA_ALPHABET.symbols, seed=seed)
+
+
+def anbncn(n: int) -> str:
+    """The sequence ``a^n b^n c^n`` (Example 1.3)."""
+    return "a" * n + "b" * n + "c" * n
+
+
+def anbncn_database(
+    max_n: int, decoys: int = 5, seed: Optional[int] = None
+) -> SequenceDatabase:
+    """A database mixing genuine ``a^n b^n c^n`` strings with decoys.
+
+    The decoys are random strings over ``{a, b, c}`` that are *not* of the
+    target form, so pattern-matching programs have something to reject.
+    """
+    generator = _rng(seed)
+    rows: List[str] = [anbncn(n) for n in range(0, max_n + 1)]
+    while len(rows) < max_n + 1 + decoys:
+        length = generator.randint(1, max(3, 3 * max_n))
+        candidate = "".join(generator.choice("abc") for _ in range(length))
+        if not _is_anbncn(candidate):
+            rows.append(candidate)
+    return SequenceDatabase.from_dict({"r": rows})
+
+
+def _is_anbncn(word: str) -> bool:
+    n, remainder = divmod(len(word), 3)
+    if remainder:
+        return False
+    return word == "a" * n + "b" * n + "c" * n
+
+
+def repeats_database(
+    pattern_lengths: Iterable[int] = (1, 2, 3),
+    copies: Iterable[int] = (1, 2, 3),
+    alphabet: TypingSequence[str] = "ab",
+    seed: Optional[int] = None,
+) -> SequenceDatabase:
+    """Sequences of the form ``Y^n`` (Example 1.5's workload)."""
+    generator = _rng(seed)
+    symbols = list(alphabet)
+    rows = []
+    for length in pattern_lengths:
+        pattern = "".join(generator.choice(symbols) for _ in range(length))
+        for count in copies:
+            rows.append(pattern * count)
+    return SequenceDatabase.from_dict({"r": rows})
+
+
+def string_database(
+    count: int,
+    length: int,
+    alphabet: TypingSequence[str] = "ab",
+    relation: str = "r",
+    seed: Optional[int] = None,
+) -> SequenceDatabase:
+    """A unary relation of ``count`` *distinct* random strings of the given length.
+
+    Relations are sets, so duplicates would silently shrink the database and
+    distort size sweeps; distinctness is enforced up to the number of strings
+    the alphabet admits at that length.
+    """
+    generator = _rng(seed)
+    symbols = list(alphabet)
+    capacity = len(symbols) ** length
+    rows: List[str] = []
+    seen = set()
+    while len(rows) < min(count, capacity):
+        candidate = "".join(generator.choice(symbols) for _ in range(length))
+        if candidate not in seen:
+            seen.add(candidate)
+            rows.append(candidate)
+    return SequenceDatabase.from_dict({relation: rows})
+
+
+def dna_database(count: int, length: int, seed: Optional[int] = None) -> SequenceDatabase:
+    """A ``dnaseq`` relation of random DNA strings (Example 7.1)."""
+    return SequenceDatabase.from_dict(
+        {"dnaseq": random_dna_strings(count, length, seed)}
+    )
+
+
+def size_sweep(
+    sizes: Iterable[int],
+    length: int = 6,
+    alphabet: TypingSequence[str] = "ab",
+    relation: str = "r",
+    seed: Optional[int] = None,
+) -> List[Tuple[int, SequenceDatabase]]:
+    """Databases of growing cardinality (used by the Theorem 3/8 benchmarks)."""
+    return [
+        (size, string_database(size, length, alphabet, relation, seed))
+        for size in sizes
+    ]
+
+
+def length_sweep(
+    lengths: Iterable[int],
+    count: int = 4,
+    alphabet: TypingSequence[str] = "ab",
+    relation: str = "r",
+    seed: Optional[int] = None,
+) -> List[Tuple[int, SequenceDatabase]]:
+    """Databases of growing string length (used by the growth benchmarks)."""
+    return [
+        (length, string_database(count, length, alphabet, relation, seed))
+        for length in lengths
+    ]

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+All databases used in tests are tiny: the engine implements active-domain
+semantics faithfully, which is polynomial but not fast, and the point of the
+tests is semantic correctness, not throughput (throughput is measured by the
+benchmark harness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import SequenceDatabase
+from repro.engine.limits import EvaluationLimits
+from repro.transducers import TransducerCatalog, library
+
+
+@pytest.fixture
+def small_string_db() -> SequenceDatabase:
+    """A unary relation ``r`` with a handful of short strings."""
+    return SequenceDatabase.from_dict({"r": ["abc", "ab", ""]})
+
+
+@pytest.fixture
+def binary_db() -> SequenceDatabase:
+    """A unary relation ``r`` of short binary strings (Example 1.4 workload)."""
+    return SequenceDatabase.from_dict({"r": ["110", "01", "1"]})
+
+
+@pytest.fixture
+def dna_db() -> SequenceDatabase:
+    """A ``dnaseq`` relation with two short DNA strings (Example 7.1)."""
+    return SequenceDatabase.from_dict({"dnaseq": ["acgtac", "ttagga"]})
+
+
+@pytest.fixture
+def test_limits() -> EvaluationLimits:
+    """Limits small enough to terminate quickly on infinite programs."""
+    return EvaluationLimits(
+        max_iterations=60,
+        max_facts=60_000,
+        max_domain_size=60_000,
+        max_sequence_length=400,
+    )
+
+
+@pytest.fixture
+def genome_catalog() -> TransducerCatalog:
+    """The catalog used by the Example 7.1 program."""
+    return TransducerCatalog(
+        [library.transcribe_transducer(), library.translate_transducer()]
+    )

@@ -1,0 +1,149 @@
+"""Tests for dependency graphs, strong safety and stratification (Sections 5, 8)."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_safety,
+    build_dependency_graph,
+    is_non_constructive,
+    is_stratified_by_construction,
+    is_strongly_safe,
+    non_constructive_subset,
+    program_order,
+    stratify_by_construction,
+)
+from repro.analysis.safety import require_strongly_safe
+from repro.core import paper_programs
+from repro.errors import SafetyError
+from repro.language.parser import parse_program
+
+
+@pytest.fixture
+def figure_3():
+    return paper_programs.figure_3_programs()
+
+
+class TestDependencyGraph:
+    def test_nodes_and_edges_of_p1(self, figure_3):
+        p1, _, _ = figure_3
+        graph = build_dependency_graph(p1)
+        assert set(graph.nodes) == {"p", "q", "r", "a"}
+        assert graph.depends_on("p", "r")
+        assert graph.depends_on("p", "q")
+        assert graph.depends_constructively_on("r", "a")
+        assert not graph.depends_constructively_on("p", "q")
+
+    def test_p1_has_cycles_but_no_constructive_ones(self, figure_3):
+        p1, _, _ = figure_3
+        graph = build_dependency_graph(p1)
+        assert graph.cycles()  # p <-> q
+        assert graph.constructive_cycles() == []
+        assert not graph.has_constructive_cycle()
+
+    def test_p2_has_a_constructive_self_loop(self, figure_3):
+        _, p2, _ = figure_3
+        graph = build_dependency_graph(p2)
+        assert graph.constructive_cycles() == [["p"]]
+        assert graph.has_constructive_cycle()
+
+    def test_p3_has_a_constructive_three_cycle(self, figure_3):
+        _, _, p3 = figure_3
+        graph = build_dependency_graph(p3)
+        cycles = graph.constructive_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"p", "q", "r"}
+
+    def test_linearized_components_are_bottom_up(self, figure_3):
+        p1, _, _ = figure_3
+        graph = build_dependency_graph(p1)
+        components = graph.linearized_components()
+        positions = {
+            predicate: index
+            for index, component in enumerate(components)
+            for predicate in component
+        }
+        # "a" and "r" must come before the p/q component they feed.
+        assert positions["a"] < positions["p"]
+        assert positions["r"] < positions["p"]
+        assert positions["p"] == positions["q"]  # same SCC
+
+    def test_describe_mentions_constructive_cycles(self, figure_3):
+        _, p2, _ = figure_3
+        text = build_dependency_graph(p2).describe()
+        assert "constructive cycles" in text
+        assert "p -> p" in text
+
+
+class TestStrongSafety:
+    def test_figure_3_verdicts(self, figure_3):
+        p1, p2, p3 = figure_3
+        assert is_strongly_safe(p1)
+        assert not is_strongly_safe(p2)
+        assert not is_strongly_safe(p3)
+
+    def test_safety_report_details(self, figure_3):
+        _, p2, _ = figure_3
+        report = analyze_safety(p2)
+        assert not report.strongly_safe
+        assert report.constructive_predicates == ["p"]
+        assert "no" in report.describe()
+
+    def test_require_strongly_safe_raises(self, figure_3):
+        _, p2, _ = figure_3
+        with pytest.raises(SafetyError):
+            require_strongly_safe(p2)
+
+    def test_paper_programs_classification(self):
+        assert is_strongly_safe(paper_programs.stratified_construction_program())
+        assert is_strongly_safe(paper_programs.suffixes_program())
+        assert not is_strongly_safe(paper_programs.rep2_program())
+        genome, _ = paper_programs.genome_program()
+        assert is_strongly_safe(genome)
+
+    def test_program_order(self):
+        genome, catalog = paper_programs.genome_program()
+        assert program_order(genome, catalog.orders()) == 1
+        assert program_order(paper_programs.suffixes_program()) == 0
+        assert program_order(paper_programs.rep2_program()) == 1
+        figure3 = paper_programs.figure_3_programs()[0]
+        assert program_order(figure3, paper_programs.figure_3_catalog().orders()) == 2
+
+
+class TestStratification:
+    def test_example_5_1_strata(self):
+        stratification = stratify_by_construction(
+            paper_programs.stratified_construction_program()
+        )
+        assert stratification.depth == 2
+        assert stratification.predicate_stratum["double"] < stratification.predicate_stratum["quadruple"]
+        assert stratification.constructive_strata() == [0, 1]
+
+    def test_recursive_but_safe_program_stratifies(self):
+        p1 = paper_programs.figure_3_programs()[0]
+        stratification = stratify_by_construction(p1)
+        # r is constructed below the p/q recursion.
+        assert stratification.predicate_stratum["r"] < stratification.predicate_stratum["p"]
+        assert stratification.predicate_stratum["p"] == stratification.predicate_stratum["q"]
+
+    def test_unsafe_program_cannot_be_stratified(self):
+        with pytest.raises(SafetyError):
+            stratify_by_construction(paper_programs.rep2_program())
+        assert not is_stratified_by_construction(paper_programs.rep2_program())
+
+    def test_describe_lists_strata(self):
+        text = stratify_by_construction(
+            paper_programs.stratified_construction_program()
+        ).describe()
+        assert "stratum 0" in text and "double" in text
+
+
+class TestFragments:
+    def test_non_constructive_detection(self):
+        assert is_non_constructive(paper_programs.anbncn_program())
+        assert not is_non_constructive(paper_programs.reverse_program())
+
+    def test_non_constructive_subset_split(self):
+        plain, constructive = non_constructive_subset(paper_programs.reverse_program())
+        assert len(constructive) == 1
+        assert len(plain) == 2
+        assert is_non_constructive(plain)

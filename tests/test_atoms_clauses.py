@@ -1,0 +1,151 @@
+"""Tests for atoms, comparisons, clauses and programs (Section 3.1)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.language.atoms import Atom, Comparison, TrueLiteral, ground_atom
+from repro.language.clauses import Clause, Program, fact, rule
+from repro.language.parser import parse_clause, parse_program
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    IndexConstant,
+    IndexedTerm,
+    SequenceVariable,
+    TransducerTerm,
+    constant,
+    seq_var,
+)
+
+
+class TestAtoms:
+    def test_signature(self):
+        atom = Atom("p", [seq_var("X"), constant("a")])
+        assert atom.signature == ("p", 2)
+        assert atom.arity == 2
+
+    def test_predicate_naming_convention(self):
+        with pytest.raises(ValidationError):
+            Atom("P", [seq_var("X")])
+
+    def test_variable_collection(self):
+        atom = Atom("p", [IndexedTerm(seq_var("X"), IndexConstant(1))])
+        assert atom.sequence_variables() == {"X"}
+
+    def test_is_ground(self):
+        assert ground_atom("p", "a", "b").is_ground()
+        assert not Atom("p", [seq_var("X")]).is_ground()
+
+    def test_constructive_detection(self):
+        assert Atom("p", [ConcatTerm([seq_var("X"), seq_var("Y")])]).is_constructive()
+        assert not Atom("p", [seq_var("X")]).is_constructive()
+
+    def test_transducer_names(self):
+        atom = Atom("p", [TransducerTerm("t", [seq_var("X")])])
+        assert atom.transducer_names() == {"t"}
+
+
+class TestComparisons:
+    def test_equality_and_inequality(self):
+        eq = Comparison(seq_var("X"), constant("a"), "=")
+        ne = Comparison(seq_var("X"), constant("a"), "!=")
+        assert eq.is_equality() and not ne.is_equality()
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValidationError):
+            Comparison(seq_var("X"), seq_var("Y"), "<")
+
+    def test_constructive_operands_rejected(self):
+        with pytest.raises(ValidationError):
+            Comparison(ConcatTerm([seq_var("X"), seq_var("Y")]), seq_var("Z"))
+
+
+class TestClauses:
+    def test_fact_detection(self):
+        assert fact("r", "abc").is_fact()
+        assert not parse_clause("p(X) :- q(X).").is_fact()
+
+    def test_true_literal_is_dropped(self):
+        clause = Clause(ground_atom("p", "a"), [TrueLiteral()])
+        assert clause.body == ()
+        assert clause.is_fact()
+
+    def test_constructive_terms_forbidden_in_bodies(self):
+        head = Atom("p", [seq_var("X")])
+        body_atom = Atom("q", [ConcatTerm([seq_var("X"), seq_var("Y")])])
+        with pytest.raises(ValidationError):
+            Clause(head, [body_atom])
+
+    def test_transducer_terms_forbidden_in_bodies(self):
+        head = Atom("p", [seq_var("X")])
+        body_atom = Atom("q", [TransducerTerm("t", [seq_var("X")])])
+        with pytest.raises(ValidationError):
+            Clause(head, [body_atom])
+
+    def test_constructive_clause_detection(self):
+        clause = parse_clause('p(X ++ Y) :- q(X), q(Y).')
+        assert clause.is_constructive()
+        assert not parse_clause("p(X) :- q(X).").is_constructive()
+
+    def test_guardedness_examples_from_the_paper(self):
+        """X is guarded in p(X[1]) :- q(X) but not in p(X) :- q(X[1])."""
+        guarded = parse_clause("p(X[1]) :- q(X).")
+        unguarded = parse_clause("p(X) :- q(X[1]).")
+        assert guarded.is_guarded()
+        assert not unguarded.is_guarded()
+        assert unguarded.unguarded_sequence_variables() == {"X"}
+
+    def test_body_atom_and_comparison_partition(self):
+        clause = parse_clause('p(X) :- q(X), X[1] = "a", r(X).')
+        assert len(clause.body_atoms()) == 2
+        assert len(clause.body_comparisons()) == 1
+
+    def test_string_round_trip(self):
+        clause = parse_clause("suffix(X[N:end]) :- r(X).")
+        assert parse_clause(str(clause)) == clause
+
+
+class TestPrograms:
+    def test_head_body_and_base_predicates(self):
+        program = parse_program(
+            """
+            p(X) :- q(X), r(X).
+            q(X) :- r(X).
+            """
+        )
+        assert program.head_predicates() == {"p", "q"}
+        assert program.base_predicates() == {"r"}
+
+    def test_clauses_for(self):
+        program = parse_program("p(X) :- q(X). p(X) :- r(X). q(X) :- r(X).")
+        assert len(program.clauses_for("p")) == 2
+
+    def test_signatures_detect_arity_conflicts(self):
+        program = parse_program("p(X) :- q(X). p(X, Y) :- q(X), q(Y).")
+        with pytest.raises(ValidationError):
+            program.signatures()
+
+    def test_constructive_clause_listing(self):
+        program = parse_program("p(X ++ X) :- q(X). q(X) :- r(X).")
+        assert len(program.constructive_clauses()) == 1
+        assert program.is_constructive()
+
+    def test_program_concatenation(self):
+        left = parse_program("p(X) :- q(X).")
+        right = parse_program("q(X) :- r(X).")
+        assert len(left + right) == 2
+
+    def test_program_equality_ignores_order(self):
+        one = parse_program("p(X) :- q(X). q(X) :- r(X).")
+        two = parse_program("q(X) :- r(X). p(X) :- q(X).")
+        assert one == two
+
+    def test_uses_transducers(self):
+        program = parse_program("p(@t(X)) :- q(X).")
+        assert program.uses_transducers()
+        assert program.transducer_names() == {"t"}
+
+    def test_facts_and_rules_partition(self):
+        program = parse_program('r("abc"). p(X) :- r(X).')
+        assert len(program.facts()) == 1
+        assert len(program.rules()) == 1

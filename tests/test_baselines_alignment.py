@@ -1,0 +1,188 @@
+"""Tests for the alignment-logic baseline: multi-tape two-way NFA acceptors.
+
+Section 1.1 of the paper describes the computational counterpart of
+alignment logic [20] as multi-tape, nondeterministic, two-way finite-state
+automata that accept or reject tuples of sequences.  These tests check the
+machine model (end-marker discipline, configuration-graph acceptance) and
+the standard acceptors, including the two-head acceptor for the
+non-context-free language a^n b^n c^n of Example 1.3.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.alignment import (
+    LEFT,
+    LEFT_MARKER,
+    RIGHT,
+    RIGHT_MARKER,
+    STAY_PUT,
+    AlignmentAutomaton,
+    AlignmentBuilder,
+    AlignmentTransition,
+    accepts_anbncn,
+    anbncn_acceptor,
+    equal_sequences_acceptor,
+    subsequence_acceptor,
+    suffix_acceptor,
+)
+from repro.errors import TransducerDefinitionError, TransducerRuntimeError
+from repro.workloads import anbncn
+
+
+def is_scattered_subsequence(needle: str, haystack: str) -> bool:
+    iterator = iter(haystack)
+    return all(symbol in iterator for symbol in needle)
+
+
+# ----------------------------------------------------------------------
+# Machine model
+# ----------------------------------------------------------------------
+class TestMachineModel:
+    def test_needs_at_least_one_tape(self):
+        with pytest.raises(TransducerDefinitionError):
+            AlignmentAutomaton("bad", 0, "ab", "q0", ["q0"], {})
+
+    def test_invalid_move_symbol_rejected(self):
+        with pytest.raises(TransducerDefinitionError):
+            AlignmentTransition("q0", ("x",))
+
+    def test_cannot_walk_left_of_left_marker(self):
+        with pytest.raises(TransducerDefinitionError):
+            AlignmentAutomaton(
+                "bad", 1, "ab", "q0", [],
+                {("q0", (LEFT_MARKER,)): [AlignmentTransition("q0", (LEFT,))]},
+            )
+
+    def test_cannot_walk_right_of_right_marker(self):
+        with pytest.raises(TransducerDefinitionError):
+            AlignmentAutomaton(
+                "bad", 1, "ab", "q0", [],
+                {("q0", (RIGHT_MARKER,)): [AlignmentTransition("q0", (RIGHT,))]},
+            )
+
+    def test_key_arity_must_match_tapes(self):
+        with pytest.raises(TransducerDefinitionError):
+            AlignmentAutomaton(
+                "bad", 2, "ab", "q0", [],
+                {("q0", ("a",)): [AlignmentTransition("q0", (RIGHT, RIGHT))]},
+            )
+
+    def test_moves_arity_must_match_tapes(self):
+        with pytest.raises(TransducerDefinitionError):
+            AlignmentAutomaton(
+                "bad", 2, "ab", "q0", [],
+                {("q0", ("a", "a")): [AlignmentTransition("q0", (RIGHT,))]},
+            )
+
+    def test_wrong_input_arity_raises_at_runtime(self):
+        acceptor = equal_sequences_acceptor("ab")
+        with pytest.raises(TransducerRuntimeError):
+            acceptor.accepts("ab")
+
+    def test_initial_accepting_state_accepts_everything(self):
+        trivial = AlignmentAutomaton("trivial", 1, "ab", "q0", ["q0"], {})
+        assert trivial.accepts("abba")
+        assert trivial.accepts("")
+
+    def test_two_way_loop_terminates(self):
+        """A machine that bounces forever between two cells still yields a
+        decision because acceptance explores the finite configuration graph."""
+        builder = AlignmentBuilder("bounce", num_tapes=1, alphabet="a")
+        builder.add("q0", (LEFT_MARKER,), "q0", (RIGHT,))
+        builder.add("q0", ("a",), "q1", (RIGHT,))
+        builder.add("q1", ("a",), "q0", (LEFT,))
+        builder.add("q1", (RIGHT_MARKER,), "q1", (LEFT,))
+        machine = builder.build(initial_state="q0")
+        assert machine.accepts("aaa") is False
+
+
+# ----------------------------------------------------------------------
+# Standard acceptors
+# ----------------------------------------------------------------------
+class TestEqualityAcceptor:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6), st.text(alphabet="ab", max_size=6))
+    def test_accepts_iff_equal(self, first, second):
+        acceptor = equal_sequences_acceptor("ab")
+        assert acceptor.accepts(first, second) == (first == second)
+
+    def test_accepted_tuples_filters_a_relation(self):
+        acceptor = equal_sequences_acceptor("ab")
+        pairs = acceptor.accepted_tuples(["a", "ab", "b"], ["ab", "b", "ba"])
+        assert pairs == {("ab", "ab"), ("b", "b")}
+
+
+class TestSuffixAcceptor:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6), st.text(alphabet="ab", max_size=6))
+    def test_accepts_iff_suffix(self, word, candidate):
+        acceptor = suffix_acceptor("ab")
+        assert acceptor.accepts(word, candidate) == word.endswith(candidate)
+
+    def test_empty_suffix_always_accepted(self):
+        acceptor = suffix_acceptor("ab")
+        assert acceptor.accepts("abab", "")
+        assert acceptor.accepts("", "")
+
+
+class TestSubsequenceAcceptor:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6), st.text(alphabet="ab", max_size=4))
+    def test_accepts_iff_scattered_subsequence(self, haystack, needle):
+        acceptor = subsequence_acceptor("ab")
+        assert acceptor.accepts(haystack, needle) == is_scattered_subsequence(
+            needle, haystack
+        )
+
+
+class TestAnbncnAcceptor:
+    def test_accepts_members_of_the_language(self):
+        for n in range(0, 6):
+            assert accepts_anbncn(anbncn(n))
+
+    @pytest.mark.parametrize(
+        "word",
+        ["a", "b", "c", "ab", "abcc", "aabbc", "aabbbcc", "abcabc", "cba", "ba"],
+    )
+    def test_rejects_non_members(self, word):
+        assert not accepts_anbncn(word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abc", max_size=9))
+    def test_agreement_with_reference_predicate(self, word):
+        n, remainder = divmod(len(word), 3)
+        reference = remainder == 0 and word == "a" * n + "b" * n + "c" * n
+        assert accepts_anbncn(word) == reference
+
+    def test_acceptor_properties(self):
+        acceptor = anbncn_acceptor()
+        assert acceptor.num_tapes == 2
+        assert "anbncn" in repr(acceptor)
+
+
+# ----------------------------------------------------------------------
+# Comparison with Sequence Datalog (the Section 1.1 point)
+# ----------------------------------------------------------------------
+class TestComparisonWithSequenceDatalog:
+    def test_alignment_acceptor_and_datalog_agree_on_example_1_3(self):
+        from repro import SequenceDatalogEngine
+        from repro.core import paper_programs
+
+        words = ["", "abc", "aabbcc", "aabbc", "abcabc", "ab"]
+        engine = SequenceDatalogEngine(paper_programs.anbncn_program())
+        accepted_by_datalog = {
+            t[0] for t in engine.run({"r": words}, "answer(X)").texts()
+        }
+        accepted_by_automaton = {word for word in words if accepts_anbncn(word)}
+        assert accepted_by_datalog == accepted_by_automaton == {"", "abc", "aabbcc"}
+
+    def test_acceptors_select_but_never_construct(self):
+        """accepted_tuples only ever returns stored sequences -- the
+        limitation Section 1.1 contrasts with Sequence Datalog's
+        constructive terms."""
+        acceptor = suffix_acceptor("ab")
+        stored = ["ab", "b", "ba"]
+        tuples = acceptor.accepted_tuples(stored, stored)
+        flattened = {element for pair in tuples for element in pair}
+        assert flattened <= set(stored)

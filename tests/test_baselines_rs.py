@@ -1,0 +1,210 @@
+"""Tests for the rs-operations baseline (extractors and mergers, Section 1.1).
+
+These check that the implemented operations behave as the proposal of [16]
+intends -- pattern matching with shared variables, fixed-size merging -- and
+that the limitation the paper emphasises is visible: no rs-operation here
+can compute the reverse or the complement of a sequence, because the output
+of an extractor or merger is a concatenation of *factors of its inputs* (and
+literals), never a symbol-by-symbol recoding.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.rs_operations import (
+    Extractor,
+    Merger,
+    Pattern,
+    concatenation_merger,
+    literal,
+    prefix_extractor,
+    square_merger,
+    suffix_extractor,
+    tandem_repeat_extractor,
+    variable,
+)
+from repro.errors import ValidationError
+from repro.sequences import Sequence
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+class TestPattern:
+    def test_empty_pattern_is_rejected(self):
+        with pytest.raises(ValidationError):
+            Pattern([])
+
+    def test_literal_pattern_matches_exactly(self):
+        pattern = Pattern([literal("ab")])
+        assert list(pattern.matches("ab")) == [{}]
+        assert list(pattern.matches("abc")) == []
+
+    def test_single_variable_matches_whole_sequence(self):
+        pattern = Pattern([variable("X")])
+        assert list(pattern.matches("abc")) == [{"X": "abc"}]
+
+    def test_shared_variable_forces_equal_factors(self):
+        pattern = Pattern([variable("X"), literal("b"), variable("X")])
+        assert {frozenset(b.items()) for b in pattern.matches("aba")} == {
+            frozenset({("X", "a")})
+        }
+        assert list(pattern.matches("abc")) == []
+
+    def test_two_variables_enumerate_all_splits(self):
+        pattern = Pattern([variable("X"), variable("Y")])
+        bindings = list(pattern.matches("ab"))
+        assert {(b["X"], b["Y"]) for b in bindings} == {
+            ("", "ab"), ("a", "b"), ("ab", ""),
+        }
+
+    def test_prebound_variable_is_respected(self):
+        pattern = Pattern([variable("X"), variable("Y")])
+        bindings = list(pattern.matches("ab", {"X": "a"}))
+        assert bindings == [{"X": "a", "Y": "b"}]
+
+    def test_instantiate_requires_all_variables(self):
+        pattern = Pattern([variable("X"), literal("-"), variable("Y")])
+        assert pattern.instantiate({"X": "a", "Y": "b"}) == Sequence("a-b")
+        with pytest.raises(ValidationError):
+            pattern.instantiate({"X": "a"})
+
+    def test_variables_listed_in_first_occurrence_order(self):
+        pattern = Pattern([variable("B"), variable("A"), variable("B")])
+        assert pattern.variables() == ["B", "A"]
+
+    def test_str_round_trips_the_shape(self):
+        pattern = Pattern([variable("X"), literal("ab")])
+        assert str(pattern) == 'X . "ab"'
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_every_match_reassembles_the_input(self, word):
+        pattern = Pattern([variable("X"), variable("Y"), variable("Z")])
+        for bindings in pattern.matches(word):
+            assert bindings["X"] + bindings["Y"] + bindings["Z"] == word
+
+
+# ----------------------------------------------------------------------
+# Extractors
+# ----------------------------------------------------------------------
+class TestExtractor:
+    def test_output_variables_must_be_bound(self):
+        with pytest.raises(ValidationError):
+            Extractor(Pattern([variable("X")]), Pattern([variable("Y")]))
+
+    def test_framed_middle_extraction(self):
+        framed = Extractor(
+            Pattern([literal("<"), variable("X"), literal(">")]),
+            Pattern([variable("X")]),
+        )
+        assert framed.apply("<abc>") == {Sequence("abc")}
+        assert framed.apply("abc") == set()
+
+    def test_suffix_extractor_matches_example_1_1(self):
+        extractor = suffix_extractor()
+        assert {s.text for s in extractor.apply("abc")} == {"", "c", "bc", "abc"}
+
+    def test_prefix_extractor(self):
+        extractor = prefix_extractor()
+        assert {s.text for s in extractor.apply("ab")} == {"", "a", "ab"}
+
+    def test_apply_relation_unions_results(self):
+        extractor = suffix_extractor()
+        results = extractor.apply_relation(["ab", "c"])
+        assert {s.text for s in results} == {"", "b", "ab", "c"}
+
+    def test_tandem_repeat_detection(self):
+        extractor = tandem_repeat_extractor()
+        repeats = {s.text for s in extractor.apply("abab")} - {""}
+        assert repeats == {"ab"}
+        assert {s.text for s in extractor.apply("abc")} - {""} == set()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", max_size=7))
+    def test_extracted_suffixes_are_real_suffixes(self, word):
+        extractor = suffix_extractor()
+        for result in extractor.apply(word):
+            assert word.endswith(result.text)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_no_extractor_output_contains_new_symbols(self, word):
+        """Every output symbol comes from the input or a pattern literal --
+        the structural reason the safe fragment of [16] cannot express
+        complementation."""
+        extractor = suffix_extractor()
+        for result in extractor.apply(word):
+            assert set(result.text) <= set(word)
+
+
+# ----------------------------------------------------------------------
+# Mergers
+# ----------------------------------------------------------------------
+class TestMerger:
+    def test_arity_is_checked(self):
+        merger = concatenation_merger()
+        with pytest.raises(ValidationError):
+            merger.apply("a")
+
+    def test_concatenation_merger_matches_example_1_2(self):
+        merger = concatenation_merger()
+        assert merger.apply("ab", "c") == {Sequence("abc")}
+
+    def test_apply_relation_builds_all_pairs(self):
+        merger = concatenation_merger()
+        results = {s.text for s in merger.apply_relation(["a", "b"], ["x"])}
+        assert results == {"ax", "bx"}
+
+    def test_square_merger_doubles(self):
+        merger = square_merger()
+        assert merger.apply("ab") == {Sequence("abab")}
+
+    def test_shared_variables_across_inputs_join(self):
+        # Merge pairs (X, X ++ Y) into Y: "difference" by shared prefix.
+        merger = Merger(
+            input_patterns=[
+                Pattern([variable("X")]),
+                Pattern([variable("X"), variable("Y")]),
+            ],
+            output_pattern=Pattern([variable("Y")]),
+            name="strip_prefix",
+        )
+        assert merger.apply("ab", "abcd") == {Sequence("cd")}
+        assert merger.apply("zz", "abcd") == set()
+
+    def test_output_variables_must_come_from_some_input(self):
+        with pytest.raises(ValidationError):
+            Merger(
+                input_patterns=[Pattern([variable("X")])],
+                output_pattern=Pattern([variable("Z")]),
+            )
+
+    def test_merger_needs_at_least_one_input_pattern(self):
+        with pytest.raises(ValidationError):
+            Merger(input_patterns=[], output_pattern=Pattern([literal("a")]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", max_size=5), st.text(alphabet="ab", max_size=5))
+    def test_concatenation_merger_agrees_with_python(self, first, second):
+        merger = concatenation_merger()
+        assert merger.apply(first, second) == {Sequence(first + second)}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="01", min_size=1, max_size=6))
+    def test_no_merger_here_computes_the_complement(self, word):
+        """The paper's point: rs-operations rearrange factors, so the binary
+        complement (which rewrites every symbol) is not produced by any of
+        the ready-made operations on any non-degenerate input."""
+        complement = word.translate(str.maketrans("01", "10"))
+        for operation in (concatenation_merger(), square_merger()):
+            outputs = (
+                operation.apply(word, word)
+                if operation.arity == 2
+                else operation.apply(word)
+            )
+            if complement != word and complement not in {o.text for o in outputs}:
+                continue
+            # The only way the complement can appear is the degenerate case
+            # where it equals a concatenation of copies of the input.
+            assert set(complement) <= set(word)

@@ -1,0 +1,198 @@
+"""Tests for the temporal-logic list query baseline (Section 1.1, [27]).
+
+The evaluator implements finite-trace LTL over sequences.  The tests check
+the connective semantics, the ready-made formulas, and the comparison the
+paper makes: the temporal baseline captures the *regular shape* of
+Example 1.3 (a-block then b-block then c-block) but not the equal-length
+requirement, and it cannot express the "every even position" property --
+whereas Sequence Datalog expresses both.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.temporal import (
+    Always,
+    And,
+    AtEnd,
+    Eventually,
+    Next,
+    Not,
+    Or,
+    Proposition,
+    Until,
+    contains_symbol_formula,
+    ends_with_formula,
+    evaluate,
+    every_even_position_reference,
+    holds,
+    satisfying_positions,
+    sorted_blocks_formula,
+    symbol,
+)
+from repro.errors import ValidationError
+from repro.workloads import anbncn
+
+
+# ----------------------------------------------------------------------
+# Connectives
+# ----------------------------------------------------------------------
+class TestConnectives:
+    def test_proposition_requires_single_symbols(self):
+        with pytest.raises(ValidationError):
+            Proposition(["ab"])
+        with pytest.raises(ValidationError):
+            Proposition([])
+
+    def test_proposition_tests_current_symbol(self):
+        assert holds(symbol("a"), "abc")
+        assert not holds(symbol("b"), "abc")
+        assert not holds(symbol("a"), "")
+
+    def test_boolean_connectives(self):
+        a, b = symbol("a"), symbol("b")
+        assert holds(Or(a, b), "b")
+        assert not holds(And(a, b), "a")
+        assert holds(Not(b), "a")
+        # Operator sugar.
+        assert holds(a | b, "b")
+        assert holds(~b, "a")
+        assert not holds(a & b, "a")
+
+    def test_next_is_strong(self):
+        assert holds(Next(symbol("b")), "ab")
+        assert not holds(Next(symbol("b")), "a")
+        assert not holds(Next(symbol("b")), "")
+
+    def test_eventually_and_always(self):
+        assert holds(Eventually(symbol("c")), "abc")
+        assert not holds(Eventually(symbol("z")), "abc")
+        assert holds(Always(symbol("a")), "aaa")
+        assert not holds(Always(symbol("a")), "aba")
+        # Vacuous truth on the empty list, and Eventually needs a witness.
+        assert holds(Always(symbol("a")), "")
+        assert not holds(Eventually(symbol("a")), "")
+
+    def test_until(self):
+        formula = Until(symbol("a"), symbol("b"))
+        assert holds(formula, "aaab")
+        assert holds(formula, "b")
+        assert not holds(formula, "aaac")
+        assert not holds(formula, "aaa")
+
+    def test_at_end_marks_the_position_past_the_list(self):
+        assert AtEnd().holds_at("ab", 2)
+        assert not AtEnd().holds_at("ab", 1)
+        assert holds(AtEnd(), "")
+
+    def test_str_forms_are_readable(self):
+        formula = Until(symbol("a"), And(symbol("b"), Next(AtEnd())))
+        assert "U" in str(formula) and "X" in str(formula)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="ab", max_size=8))
+    def test_eventually_equals_not_always_not(self, word):
+        phi = symbol("a")
+        assert holds(Eventually(phi), word) == (not holds(Always(Not(phi)), word)) or (
+            # The two differ only past the end of the list: Eventually also
+            # inspects the empty suffix, where no proposition holds.
+            holds(Always(Not(phi)), word)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="ab", max_size=8))
+    def test_always_distributes_over_and(self, word):
+        a, b = symbol("a"), symbol("b")
+        left = holds(Always(And(a, b)), word)
+        right = holds(And(Always(a), Always(b)), word)
+        assert left == right
+
+
+# ----------------------------------------------------------------------
+# Ready-made formulas
+# ----------------------------------------------------------------------
+class TestReadyMadeFormulas:
+    def test_contains_symbol(self):
+        formula = contains_symbol_formula("g")
+        assert holds(formula, "acgt")
+        assert not holds(formula, "acat")
+
+    def test_ends_with(self):
+        formula = ends_with_formula("ba")
+        assert holds(formula, "aba")
+        assert holds(formula, "ba")
+        assert not holds(formula, "ab")
+        assert not holds(formula, "")
+
+    def test_sorted_blocks_accepts_the_regular_shape(self):
+        formula = sorted_blocks_formula(("a", "b", "c"))
+        for word in ("", "abc", "aabbcc", "ac", "aaabc", "bbc", "c"):
+            assert holds(formula, word), word
+
+    def test_sorted_blocks_rejects_out_of_order_symbols(self):
+        formula = sorted_blocks_formula(("a", "b", "c"))
+        for word in ("ba", "cb", "abca", "cab", "bca"):
+            assert not holds(formula, word), word
+
+    def test_sorted_blocks_needs_at_least_two_symbols(self):
+        with pytest.raises(ValidationError):
+            sorted_blocks_formula(("a",))
+
+    def test_evaluate_selects_from_a_relation(self):
+        formula = contains_symbol_formula("b")
+        assert evaluate(formula, ["ab", "aa", "ba", "ccc"]) == ["ab", "ba"]
+
+    def test_satisfying_positions_are_one_based(self):
+        assert satisfying_positions(symbol("a"), "aba") == [1, 3]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abc", max_size=8))
+    def test_sorted_blocks_equals_sortedness(self, word):
+        formula = sorted_blocks_formula(("a", "b", "c"))
+        assert holds(formula, word) == (list(word) == sorted(word))
+
+
+# ----------------------------------------------------------------------
+# The Section 1.1 comparison
+# ----------------------------------------------------------------------
+class TestComparisonWithSequenceDatalog:
+    def test_shape_formula_overapproximates_example_1_3(self):
+        """The temporal formula accepts every a^n b^n c^n word but also
+        unequal-block words; Sequence Datalog accepts exactly the language."""
+        formula = sorted_blocks_formula(("a", "b", "c"))
+        members = [anbncn(n) for n in range(4)]
+        non_members_with_shape = ["aab", "abcc", "aabbccc"]
+        for word in members:
+            assert holds(formula, word)
+        for word in non_members_with_shape:
+            assert holds(formula, word)  # temporal logic cannot tell them apart
+
+        from repro import SequenceDatalogEngine
+        from repro.core import paper_programs
+
+        engine = SequenceDatalogEngine(paper_programs.anbncn_program())
+        answers = {
+            t[0]
+            for t in engine.run(
+                {"r": members + non_members_with_shape}, "answer(X)"
+            ).texts()
+        }
+        assert answers == set(members)
+
+    def test_even_position_property_expressed_in_sequence_datalog(self):
+        """The property temporal logic cannot express (every even position
+        carries 'a') is a two-line structural-recursion program in Sequence
+        Datalog; both are compared against the plain-Python reference."""
+        from repro import SequenceDatalogEngine
+
+        program = """
+        even_ok(X) :- r(X), check(X).
+        check("") :- true.
+        check(X) :- X[2:end] = "".
+        check(X) :- X[2] = "a", check(X[3:end]).
+        """
+        words = ["", "b", "ba", "bab", "baba", "bb", "babb", "ab", "aa", "abab"]
+        engine = SequenceDatalogEngine(program)
+        answers = {t[0] for t in engine.run({"r": words}, "even_ok(X)").texts()}
+        expected = {w for w in words if every_even_position_reference(w, "a")}
+        assert answers == expected

@@ -1,0 +1,80 @@
+"""Tests for the transducer builder DSL and the transducer catalog."""
+
+import pytest
+
+from repro.errors import TransducerError
+from repro.sequences import Sequence
+from repro.transducers import CONSUME, TransducerBuilder, TransducerCatalog, library
+from repro.transducers.machine import STAY
+
+
+class TestBuilder:
+    def test_add_for_symbols_generates_per_symbol_transitions(self):
+        builder = TransducerBuilder("upper", num_inputs=1, alphabet="ab")
+        builder.add_for_symbols(
+            state="q0", head=0, next_state="q0",
+            output_of=lambda symbol: symbol.upper() if symbol == "a" else symbol,
+        )
+        machine = builder.build("q0")
+        assert machine("aba").text == "AbA"
+
+    def test_add_for_symbols_on_two_input_machines(self):
+        builder = TransducerBuilder("first_only", num_inputs=2, alphabet="ab")
+        # Copy tape 1 regardless of what tape 2 scans, then stop caring.
+        builder.add_for_symbols(
+            state="q0", head=0, next_state="q0", output_of=lambda symbol: symbol
+        )
+        machine = builder.build("q0")
+        assert machine("ab", "").text == "ab"
+
+    def test_fluent_interface_returns_the_builder(self):
+        builder = TransducerBuilder("t", num_inputs=1, alphabet="a")
+        assert builder.add("q0", ("a",), "q0", (CONSUME,), "a") is builder
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = TransducerCatalog([library.copy_transducer("ab")])
+        assert "copy" in catalog
+        assert catalog.get("copy")("ab") == Sequence("ab")
+
+    def test_alias_registration(self):
+        catalog = TransducerCatalog()
+        catalog.register(library.copy_transducer("ab"), name="identity")
+        assert "identity" in catalog
+        assert "copy" not in catalog
+
+    def test_conflicting_registration_rejected(self):
+        catalog = TransducerCatalog([library.copy_transducer("ab")])
+        with pytest.raises(TransducerError):
+            catalog.register(library.copy_transducer("abc"), name="copy")
+
+    def test_re_registering_the_same_machine_is_idempotent(self):
+        machine = library.copy_transducer("ab")
+        catalog = TransducerCatalog([machine])
+        catalog.register(machine)
+        assert len(catalog) == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TransducerError):
+            TransducerCatalog().get("missing")
+
+    def test_orders_and_max_order(self):
+        catalog = TransducerCatalog(
+            [library.copy_transducer("ab"), library.square_transducer("ab")]
+        )
+        assert catalog.orders() == {"copy": 1, "square": 2}
+        assert catalog.max_order() == 2
+        assert TransducerCatalog().max_order() == 0
+
+    def test_callables_view_runs_the_machines(self):
+        catalog = TransducerCatalog([library.complement_transducer("01")])
+        callables = catalog.callables()
+        assert callables["complement"](Sequence("01")).text == "10"
+
+    def test_copy_is_independent(self):
+        catalog = TransducerCatalog([library.copy_transducer("ab")])
+        clone = catalog.copy()
+        clone.register(library.square_transducer("ab"))
+        assert "square" not in catalog
+        assert sorted(clone.names()) == ["copy", "square"]

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import load_database_json, main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "suffixes.sdl"
+    path.write_text("suffix(X[N:end]) :- r(X).\n")
+    return str(path)
+
+
+@pytest.fixture
+def database_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps({"r": ["abc"], "pairs": [["a", "b"]]}))
+    return str(path)
+
+
+class TestDatabaseLoading:
+    def test_strings_and_tuples(self, database_file):
+        database = load_database_json(database_file)
+        assert ("abc",) in database.relation("r")
+        assert ("a", "b") in database.relation("pairs")
+
+
+class TestCommands:
+    def test_run_prints_answers_and_summary(self, program_file, database_file):
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", database_file, "--query", "suffix(X)"],
+            out=out,
+        )
+        assert code == 0
+        lines = out.getvalue().strip().splitlines()
+        assert "abc" in lines
+        assert lines[-1].startswith("% 4 answers")
+
+    def test_run_with_naive_strategy(self, program_file, database_file):
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", database_file, "--query", "suffix(X)",
+             "--strategy", "naive"],
+            out=out,
+        )
+        assert code == 0
+
+    def test_analyze_reports_finiteness(self, program_file):
+        out = io.StringIO()
+        code = main(["analyze", program_file], out=out)
+        assert code == 0
+        assert "non-constructive" in out.getvalue()
+
+    def test_parse_pretty_prints(self, program_file):
+        out = io.StringIO()
+        code = main(["parse", program_file], out=out)
+        assert code == 0
+        assert "suffix(X[N:end]) :- r(X)." in out.getvalue()
+
+    def test_parse_error_yields_exit_code_1(self, tmp_path):
+        bad = tmp_path / "bad.sdl"
+        bad.write_text("p(X :- q(X).")
+        out = io.StringIO()
+        assert main(["parse", str(bad)], out=out) == 1
+        assert "error:" in out.getvalue()
+
+    def test_missing_file_yields_exit_code_1(self):
+        out = io.StringIO()
+        assert main(["parse", "/nonexistent/prog.sdl"], out=out) == 1

@@ -1,0 +1,151 @@
+"""Tests for the static complexity analysis (Theorems 3, 8, 9 as a report).
+
+The analysis classifies a program into the paper's guarantee classes
+(PTIME with fixed domain, PTIME, elementary, or no guarantee), reports the
+per-stratum growth, and produces a numeric model-size envelope; the tests
+check the classification of every paper program and verify that measured
+minimal-model sizes stay inside the envelope on small databases.
+"""
+
+import pytest
+
+from repro import compute_least_fixpoint
+from repro.analysis.complexity import (
+    DataComplexityClass,
+    GROWTH_HYPEREXPONENTIAL,
+    GROWTH_POLYNOMIAL,
+    analyze_complexity,
+    complexity_levers,
+)
+from repro.core import paper_programs
+from repro.language.parser import parse_program
+from repro.workloads import string_database
+
+
+# ----------------------------------------------------------------------
+# Classification of the paper's programs
+# ----------------------------------------------------------------------
+class TestClassification:
+    def test_non_constructive_programs_get_the_theorem_3_class(self):
+        for program in (
+            paper_programs.suffixes_program(),
+            paper_programs.anbncn_program(),
+            paper_programs.rep1_program(),
+        ):
+            report = analyze_complexity(program)
+            assert report.data_complexity is DataComplexityClass.PTIME_FIXED_DOMAIN
+            assert report.non_constructive
+            assert report.data_complexity.is_tractable()
+
+    def test_stratified_construction_is_ptime(self):
+        report = analyze_complexity(paper_programs.stratified_construction_program())
+        assert report.data_complexity is DataComplexityClass.PTIME
+        assert report.strongly_safe
+        assert not report.non_constructive
+        assert report.constructive_strata == 2
+
+    def test_genome_program_is_ptime(self):
+        program, catalog = paper_programs.genome_program()
+        report = analyze_complexity(program, catalog.orders())
+        assert report.data_complexity is DataComplexityClass.PTIME
+        assert report.order == 1
+
+    def test_unsafe_programs_have_no_guarantee(self):
+        for program in (
+            paper_programs.rep2_program(),
+            paper_programs.echo_program(),
+            paper_programs.reverse_program(),
+        ):
+            report = analyze_complexity(program)
+            assert report.data_complexity is DataComplexityClass.NO_GUARANTEE
+            assert report.model_size_envelope(5) is None
+            assert report.notes
+
+    def test_figure_3_programs(self):
+        p1, p2, p3 = paper_programs.figure_3_programs()
+        orders = paper_programs.figure_3_catalog().orders()
+        assert analyze_complexity(p1, orders).data_complexity is DataComplexityClass.PTIME
+        assert (
+            analyze_complexity(p2, orders).data_complexity
+            is DataComplexityClass.NO_GUARANTEE
+        )
+        assert (
+            analyze_complexity(p3, orders).data_complexity
+            is DataComplexityClass.NO_GUARANTEE
+        )
+
+    def test_order_3_program_is_elementary(self):
+        program = parse_program("big(@hyper(X)) :- r(X).")
+        orders = {"hyper": 3}
+        report = analyze_complexity(program, orders)
+        assert report.data_complexity is DataComplexityClass.ELEMENTARY
+        assert not report.data_complexity.is_tractable()
+        assert report.hyperexponential_level
+        assert any(s.growth == GROWTH_HYPEREXPONENTIAL for s in report.strata)
+
+    def test_order_2_program_is_ptime_with_higher_degree(self):
+        program = parse_program("sq(@square(X)) :- r(X).")
+        report = analyze_complexity(program, {"square": 2})
+        assert report.data_complexity is DataComplexityClass.PTIME
+        assert any(s.growth == GROWTH_POLYNOMIAL for s in report.strata)
+        baseline = analyze_complexity(parse_program("p(X) :- r(X)."))
+        assert report.envelope_degree > baseline.envelope_degree
+
+    def test_describe_mentions_the_class_and_strata(self):
+        report = analyze_complexity(paper_programs.stratified_construction_program())
+        text = report.describe()
+        assert "PTIME" in text
+        assert "stratum" in text
+
+
+# ----------------------------------------------------------------------
+# Envelopes against measured model sizes
+# ----------------------------------------------------------------------
+class TestEnvelopes:
+    @pytest.mark.parametrize("size", [2, 4, 6])
+    def test_non_constructive_model_stays_inside_the_envelope(self, size):
+        program = paper_programs.anbncn_program()
+        report = analyze_complexity(program)
+        database = string_database(size, length=4, alphabet="abc", seed=size)
+        result = compute_least_fixpoint(program, database)
+        envelope = report.model_size_envelope(database.size())
+        assert result.interpretation.size() <= envelope
+
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_stratified_construction_model_stays_inside_the_envelope(self, size):
+        program = paper_programs.stratified_construction_program()
+        report = analyze_complexity(program)
+        database = string_database(size, length=3, seed=size)
+        result = compute_least_fixpoint(program, database)
+        envelope = report.model_size_envelope(database.size())
+        assert result.interpretation.size() <= envelope
+
+    def test_elementary_envelope_is_finite_and_enormous(self):
+        program = parse_program("big(@hyper(X)) :- r(X).")
+        report = analyze_complexity(program, {"hyper": 3})
+        envelope = report.model_size_envelope(3)
+        assert envelope is not None
+        assert envelope > 10**9
+
+
+# ----------------------------------------------------------------------
+# Levers
+# ----------------------------------------------------------------------
+class TestLevers:
+    def test_unsafe_program_gets_a_cycle_breaking_suggestion(self):
+        suggestions = complexity_levers(paper_programs.rep2_program())
+        assert any("constructive cycle" in s for s in suggestions)
+
+    def test_order_3_program_gets_an_order_lowering_suggestion(self):
+        program = parse_program("big(@hyper(X)) :- r(X).")
+        suggestions = complexity_levers(program, {"hyper": 3})
+        assert any("order-2" in s for s in suggestions)
+        assert any("hyper" in s for s in suggestions)
+
+    def test_ptime_constructive_program_gets_the_theorem_3_note(self):
+        suggestions = complexity_levers(paper_programs.stratified_construction_program())
+        assert any("Theorem 3" in s for s in suggestions)
+
+    def test_non_constructive_program_needs_no_change(self):
+        suggestions = complexity_levers(paper_programs.suffixes_program())
+        assert suggestions == ["no cheaper class is available without changing the query"]

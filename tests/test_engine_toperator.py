@@ -1,0 +1,81 @@
+"""Tests for the T operator (Definition 4, Lemmas 2-3) and its fixpoint."""
+
+from repro.core import paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import Interpretation, TOperator, compute_least_fixpoint
+from repro.language.parser import parse_program
+from repro.sequences import Sequence
+
+
+def _subset(smaller: Interpretation, larger: Interpretation) -> bool:
+    return all(larger.contains_fact(fact) for fact in smaller.facts())
+
+
+class TestTOperator:
+    def test_database_atoms_are_always_derived(self, small_string_db):
+        operator = TOperator(paper_programs.suffixes_program(), small_string_db)
+        image = operator.apply(Interpretation())
+        assert image.contains("r", ["abc"])
+
+    def test_one_application_from_the_database(self, small_string_db):
+        operator = TOperator(paper_programs.suffixes_program(), small_string_db)
+        first = operator.apply(Interpretation())
+        second = operator.apply(first)
+        # After the database is available, suffixes appear.
+        assert second.contains("suffix", ["bc"])
+        assert not first.contains("suffix", ["bc"])
+
+    def test_monotonicity_lemma_2(self, small_string_db):
+        """I1 ⊆ I2 implies T(I1) ⊆ T(I2)."""
+        operator = TOperator(paper_programs.suffixes_program(), small_string_db)
+        empty = Interpretation()
+        bigger = Interpretation([("r", (Sequence("zz"),))])  # extra fact beyond the db
+        image_small = operator.apply(empty)
+        image_big = operator.apply(bigger)
+        assert _subset(image_small, image_big)
+
+    def test_iterating_t_reaches_the_least_fixpoint(self, small_string_db):
+        program = paper_programs.suffixes_program()
+        operator = TOperator(program, small_string_db)
+        current = Interpretation()
+        for _ in range(10):
+            nxt = operator.apply(current)
+            if nxt == current:
+                break
+            current = nxt
+        reference = compute_least_fixpoint(program, small_string_db).interpretation
+        assert current == reference
+
+    def test_least_fixpoint_is_a_fixpoint(self, small_string_db):
+        program = paper_programs.suffixes_program()
+        operator = TOperator(program, small_string_db)
+        lfp = compute_least_fixpoint(program, small_string_db).interpretation
+        assert operator.is_fixpoint(lfp)
+        image = operator.apply(lfp)
+        assert image == lfp
+
+    def test_non_models_are_not_fixpoints(self, small_string_db):
+        program = paper_programs.suffixes_program()
+        operator = TOperator(program, small_string_db)
+        assert not operator.is_fixpoint(Interpretation())
+
+    def test_accumulating_apply_matches_apply(self, small_string_db):
+        program = paper_programs.suffixes_program()
+        operator = TOperator(program, small_string_db)
+        accumulated = Interpretation()
+        for _ in range(10):
+            delta = operator.apply_accumulating(accumulated)
+            if delta.fact_count() == 0:
+                break
+        reference = compute_least_fixpoint(program, small_string_db).interpretation
+        assert accumulated == reference
+
+    def test_operator_with_constructive_program(self):
+        program = parse_program("answer(X ++ Y) :- r(X), r(Y).")
+        db = SequenceDatabase.from_dict({"r": ["a", "b"]})
+        operator = TOperator(program, db)
+        first = operator.apply(Interpretation())
+        second = operator.apply(first)
+        assert second.contains("answer", ["ab"])
+        # The new sequences enlarge the extended active domain of the result.
+        assert len(second.domain) > len(first.domain)

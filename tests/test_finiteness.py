@@ -1,0 +1,142 @@
+"""Tests for finiteness: Examples 1.5/1.6, Section 5, Theorem 2 machinery."""
+
+import pytest
+
+from repro.analysis import FinitenessVerdict, classify_finiteness
+from repro.core import paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import compute_least_fixpoint, evaluate_query
+from repro.engine.limits import EvaluationLimits
+from repro.errors import FixpointNotReached
+from repro.turing import machines
+from repro.turing.compile_to_datalog import compile_tm_to_sequence_datalog
+
+
+class TestFiniteExamples:
+    def test_rep1_terminates(self, test_limits):
+        db = SequenceDatabase.from_dict({"r": ["ababab"]})
+        result = compute_least_fixpoint(
+            paper_programs.rep1_program(), db, limits=test_limits
+        )
+        assert result.new_facts_per_iteration[-1] == 0
+
+    def test_non_constructive_fragment_never_grows_the_domain(self, test_limits):
+        db = SequenceDatabase.from_dict({"r": ["aabbcc", "abc"]})
+        result = compute_least_fixpoint(
+            paper_programs.anbncn_program(), db, limits=test_limits
+        )
+        assert result.model_size == db.size()
+
+
+class TestInfiniteExamples:
+    def test_rep2_hits_the_limits(self, test_limits):
+        """Example 1.5: constructive recursion makes the fixpoint infinite."""
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        with pytest.raises(FixpointNotReached) as excinfo:
+            compute_least_fixpoint(paper_programs.rep2_program(), db, limits=test_limits)
+        assert excinfo.value.partial is not None
+
+    def test_echo_hits_the_limits(self, test_limits):
+        """Example 1.6: the answer is finite but the least fixpoint is not."""
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        with pytest.raises(FixpointNotReached):
+            compute_least_fixpoint(paper_programs.echo_program(), db, limits=test_limits)
+
+    def test_echo_partial_fixpoint_contains_the_intended_answer(self):
+        """Even though evaluation is cut off, the echo of the stored sequence
+        is derived before the limits trigger (the answer itself is finite)."""
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        limits = EvaluationLimits(
+            max_iterations=6, max_facts=100_000, max_domain_size=100_000,
+            max_sequence_length=64,
+        )
+        try:
+            result = compute_least_fixpoint(
+                paper_programs.echo_program(), db, limits=limits
+            )
+            interpretation = result.interpretation
+        except FixpointNotReached as error:
+            interpretation = error.partial
+        answers = evaluate_query(interpretation, "answer(X, Y)").texts()
+        assert ("ab", "aabb") in answers
+
+
+class TestStaticClassifier:
+    def test_rep1_is_classified_finite(self):
+        report = classify_finiteness(paper_programs.rep1_program())
+        assert report.verdict is FinitenessVerdict.FINITE_NON_CONSTRUCTIVE
+        assert report.verdict.is_finite()
+
+    def test_rep2_is_classified_possibly_infinite(self):
+        report = classify_finiteness(paper_programs.rep2_program())
+        assert report.verdict is FinitenessVerdict.POSSIBLY_INFINITE
+        assert not report.verdict.is_finite()
+
+    def test_echo_is_classified_possibly_infinite(self):
+        report = classify_finiteness(paper_programs.echo_program())
+        assert report.verdict is FinitenessVerdict.POSSIBLY_INFINITE
+
+    def test_stratified_construction_is_classified_finite(self):
+        report = classify_finiteness(paper_programs.stratified_construction_program())
+        assert report.verdict is FinitenessVerdict.FINITE_STRONGLY_SAFE
+
+    def test_genome_program_is_classified_finite(self):
+        program, catalog = paper_programs.genome_program()
+        report = classify_finiteness(program, catalog.orders())
+        assert report.verdict is FinitenessVerdict.FINITE_STRONGLY_SAFE
+
+
+class TestTheorem2Machinery:
+    """Theorem 2 reduces halting to finiteness via the Theorem 1 compiler:
+    the compiled program has a finite fixpoint iff the machine halts."""
+
+    def test_halting_machine_gives_finite_fixpoint(self, test_limits):
+        program = compile_tm_to_sequence_datalog(machines.increment_machine())
+        db = SequenceDatabase.single_input("101")
+        result = compute_least_fixpoint(program, db, limits=test_limits)
+        assert result.new_facts_per_iteration[-1] == 0
+
+    def test_looping_machine_gives_infinite_fixpoint(self):
+        program = compile_tm_to_sequence_datalog(machines.looping_machine())
+        db = SequenceDatabase.single_input("10")
+        limits = EvaluationLimits(
+            max_iterations=40, max_facts=20_000, max_domain_size=20_000,
+            max_sequence_length=60,
+        )
+        with pytest.raises(FixpointNotReached):
+            compute_least_fixpoint(program, db, limits=limits)
+
+    def test_looping_machine_generates_ever_longer_sequences(self):
+        """The proof of Theorem 2: a diverging machine moves its head right
+        forever, so the compiled program derives longer and longer tapes."""
+        program = compile_tm_to_sequence_datalog(machines.looping_machine())
+        db = SequenceDatabase.single_input("1")
+        limits = EvaluationLimits(
+            max_iterations=15, max_facts=50_000, max_domain_size=50_000,
+            max_sequence_length=None,
+        )
+        with pytest.raises(FixpointNotReached) as excinfo:
+            compute_least_fixpoint(program, db, limits=limits)
+        partial = excinfo.value.partial
+        longest = max(len(s) for s in partial.domain.sequences())
+        assert longest > len("1") + 2
+
+
+class TestLimitsBehaviour:
+    def test_iteration_limit(self):
+        limits = EvaluationLimits(max_iterations=1)
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        with pytest.raises(FixpointNotReached):
+            compute_least_fixpoint(paper_programs.reverse_program(), db, limits=limits)
+
+    def test_sequence_length_limit(self):
+        limits = EvaluationLimits(max_sequence_length=3, max_iterations=100)
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        with pytest.raises(FixpointNotReached):
+            compute_least_fixpoint(paper_programs.rep2_program(), db, limits=limits)
+
+    def test_exception_reports_iterations(self, test_limits):
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        with pytest.raises(FixpointNotReached) as excinfo:
+            compute_least_fixpoint(paper_programs.rep2_program(), db, limits=test_limits)
+        assert excinfo.value.iterations >= 1

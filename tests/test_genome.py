@@ -1,0 +1,284 @@
+"""Tests for the genome application layer (machines, programs, pipeline).
+
+The genome package is the paper's motivating application built on the public
+API: Example 7.1's transcription/translation, footnote 6's intron splicing,
+footnote 8's reading frames and stop codons (as ORF search), reverse
+complements, and restriction-site pattern matching.  Each behaviour is
+checked against a plain-Python reference on the paper's own strings and on
+small synthetic strands.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.genome.machines import (
+    ACCEPTOR_MARK,
+    DONOR_MARK,
+    clean_transducer,
+    complement_dna_transducer,
+    splice_transducer,
+)
+from repro.genome.pipeline import GenomeAnalyzer
+from repro.genome.programs import (
+    STOP_CODONS,
+    orf_program,
+    reading_frame_program,
+    restriction_site_program,
+    reverse_complement_program,
+)
+from repro.transducers.library import CODON_TABLE, TRANSCRIPTION_MAP
+
+dna_words = st.text(alphabet="acgt", max_size=10)
+
+COMPLEMENT = {"a": "t", "t": "a", "c": "g", "g": "c"}
+
+
+def reference_transcribe(dna: str) -> str:
+    return "".join(TRANSCRIPTION_MAP[base] for base in dna)
+
+
+def reference_reverse_complement(dna: str) -> str:
+    return "".join(COMPLEMENT[base] for base in reversed(dna))
+
+
+def reference_splice(marked: str) -> str:
+    output, inside_intron = [], False
+    for symbol in marked:
+        if symbol == DONOR_MARK:
+            inside_intron = True
+        elif symbol == ACCEPTOR_MARK:
+            inside_intron = False
+        elif not inside_intron:
+            output.append(symbol)
+    return "".join(output)
+
+
+def reference_orfs(rna: str):
+    """All minimal in-frame (start, stop) spans, as (start, stop, sequence)."""
+    spans = []
+    for start in range(len(rna) - 2):
+        if rna[start:start + 3] != "aug":
+            continue
+        for stop in range(start + 3, len(rna) - 2, 3):
+            if rna[stop:stop + 3] in STOP_CODONS:
+                spans.append((start + 1, stop + 1, rna[start:stop + 3]))
+                break
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Machines
+# ----------------------------------------------------------------------
+class TestGenomeMachines:
+    def test_complement_transducer(self):
+        machine = complement_dna_transducer()
+        assert machine("acgt").text == "tgca"
+        assert machine("").text == ""
+        assert machine.order == 1
+
+    def test_splice_removes_marked_introns(self):
+        machine = splice_transducer()
+        assert machine("aug<ggg>cau").text == "augcau"
+        assert machine("<ggg>aug").text == "aug"
+        assert machine("aug").text == "aug"
+
+    def test_splice_handles_multiple_introns(self):
+        machine = splice_transducer()
+        assert machine("aa<cc>gg<uu>aa").text == "aaggaa"
+
+    def test_splice_tolerates_stray_markers(self):
+        machine = splice_transducer()
+        assert machine(">aug<").text == "aug"
+        assert machine("a<<c>>g").text == "ag"
+
+    def test_clean_transducer_drops_noise(self):
+        machine = clean_transducer()
+        assert machine("ac-gn-t").text == "acgt"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="acgu<>", max_size=12))
+    def test_splice_matches_reference(self, marked):
+        machine = splice_transducer()
+        assert machine(marked).text == reference_splice(marked)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna_words)
+    def test_complement_matches_reference(self, dna):
+        machine = complement_dna_transducer()
+        assert machine(dna).text == "".join(COMPLEMENT[b] for b in dna)
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+class TestGenomePrograms:
+    def test_reverse_complement_program_on_paper_string(self):
+        from repro import SequenceDatabase, compute_least_fixpoint
+        from repro.engine import evaluate_query
+
+        db = SequenceDatabase.from_dict({"dnaseq": ["acgtacgt"]})
+        result = compute_least_fixpoint(reverse_complement_program(), db)
+        rows = dict(evaluate_query(result.interpretation, "revcomp(X, Y)").texts())
+        assert rows["acgtacgt"] == reference_reverse_complement("acgtacgt")
+
+    def test_restriction_site_program_requires_a_site(self):
+        with pytest.raises(ValidationError):
+            restriction_site_program("")
+
+    def test_reading_frame_program_rejects_bad_frames(self):
+        with pytest.raises(ValidationError):
+            reading_frame_program(0)
+        with pytest.raises(ValidationError):
+            reading_frame_program(4)
+
+    def test_orf_program_is_not_constructive(self):
+        """The ORF search is pure structural recursion: no constructive
+        clauses, hence it runs in the non-constructive (PTIME, Theorem 3)
+        fragment."""
+        program = orf_program()
+        assert not any(clause.is_constructive() for clause in program)
+
+    def test_reverse_complement_program_safety_shape(self):
+        """Reverse complement uses constructive recursion (the Example 1.4
+        pattern), so it is *not* strongly safe -- matching the paper's
+        discussion that some natural restructurings need recursion through
+        construction."""
+        from repro.analysis.safety import analyze_safety
+
+        report = analyze_safety(reverse_complement_program())
+        assert not report.strongly_safe
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+class TestGenomeAnalyzer:
+    def test_rejects_non_dna_strands(self):
+        with pytest.raises(Exception):
+            GenomeAnalyzer(["acgx"])
+
+    def test_transcripts_match_example_7_1(self):
+        analyzer = GenomeAnalyzer(["acgtacgt"])
+        assert analyzer.transcripts() == {"acgtacgt": "ugcaugca"}
+
+    def test_proteins_follow_the_codon_table(self):
+        analyzer = GenomeAnalyzer(["acgtacgt"])
+        proteins = analyzer.proteins()
+        rna = reference_transcribe("acgtacgt")
+        expected = "".join(
+            CODON_TABLE[rna[i:i + 3]] for i in range(0, len(rna) - 2, 3)
+        )
+        assert proteins["acgtacgt"] == expected
+
+    def test_reverse_complements(self):
+        strands = ["acgt", "ttagga"]
+        analyzer = GenomeAnalyzer(strands)
+        result = analyzer.reverse_complements()
+        assert result == {s: reference_reverse_complement(s) for s in strands}
+
+    def test_complements_are_not_reversed(self):
+        analyzer = GenomeAnalyzer(["aacg"])
+        assert analyzer.complements() == {"aacg": "ttgc"}
+
+    def test_splice_pipeline(self):
+        analyzer = GenomeAnalyzer(["acgt"])
+        spliced = analyzer.splice(["aug<ggg>cau", "augcau"])
+        assert spliced == ["augcau", "augcau"]
+
+    def test_reading_frames(self):
+        # DNA "tacuxx"?  Use a strand whose transcript is easy to read off:
+        # transcript of "tacatt" is "auguaa".
+        analyzer = GenomeAnalyzer(["tacatt"])
+        frames = analyzer.reading_frame(1)
+        assert frames == {"auguaa": ["aug", "uaa"]}
+        frames2 = analyzer.reading_frame(2)
+        assert frames2 == {"auguaa": ["ugu"]}
+
+    def test_open_reading_frames_on_a_designed_strand(self):
+        # Transcript: aug gcu uaa  ("tac cga att" complemented per base).
+        dna = "taccgaatt"
+        analyzer = GenomeAnalyzer([dna])
+        transcript = analyzer.transcripts()[dna]
+        assert transcript == "auggcuuaa"
+        orfs = analyzer.open_reading_frames()
+        assert len(orfs) == 1
+        orf = orfs[0]
+        assert (orf.start, orf.stop) == (1, 7)
+        assert orf.sequence == "auggcuuaa"
+        assert orf.protein == "MA*"
+
+    def test_open_reading_frames_minimal_vs_all(self):
+        # Transcript with two in-frame stops: aug uaa uag
+        dna = "tacattatc"
+        analyzer = GenomeAnalyzer([dna])
+        assert analyzer.transcripts()[dna] == "auguaauag"
+        minimal = analyzer.open_reading_frames(min_codons=1)
+        everything = analyzer.open_reading_frames(min_codons=1, minimal_only=False)
+        assert len(minimal) == 1
+        assert minimal[0].sequence == "auguaa"
+        assert {orf.sequence for orf in everything} == {"auguaa", "auguaauag"}
+
+    def test_open_reading_frames_min_codons_filter(self):
+        dna = "tacatt"  # transcript auguaa: a 2-codon ORF
+        analyzer = GenomeAnalyzer([dna])
+        assert analyzer.open_reading_frames(min_codons=2)
+        assert not analyzer.open_reading_frames(min_codons=3)
+        with pytest.raises(ValidationError):
+            analyzer.open_reading_frames(min_codons=0)
+
+    def test_orfs_agree_with_reference_on_synthetic_strands(self):
+        from repro.workloads import random_dna_strings
+
+        strands = random_dna_strings(3, 18, seed=7)
+        analyzer = GenomeAnalyzer(strands)
+        transcripts = analyzer.transcripts()
+        expected = {
+            (transcripts[strand], start, stop, sequence)
+            for strand in strands
+            for (start, stop, sequence) in reference_orfs(transcripts[strand])
+        }
+        found = {
+            (orf.strand, orf.start, orf.stop, orf.sequence)
+            for orf in analyzer.open_reading_frames(min_codons=1)
+        }
+        assert found == expected
+
+    def test_restriction_sites_and_digest(self):
+        strand = "ggaattcaagaattcc"
+        analyzer = GenomeAnalyzer([strand])
+        sites = analyzer.restriction_sites("gaattc")
+        assert sites == {strand: [2, 10]}
+        fragments = analyzer.digest("gaattc", cut_offset=1)
+        assert fragments[strand] == ["gg", "aattcaag", "aattcc"]
+        assert "".join(fragments[strand]) == strand
+
+    def test_restriction_sites_absent(self):
+        analyzer = GenomeAnalyzer(["acgtacgt"])
+        assert analyzer.restriction_sites("gaattc") == {"acgtacgt": []}
+
+    def test_gc_content(self):
+        analyzer = GenomeAnalyzer(["ggcc", "at", ""])
+        content = analyzer.gc_content()
+        assert content["ggcc"] == 1.0
+        assert content["at"] == 0.0
+        assert content[""] == 0.0
+
+    def test_repr_summarises_the_database(self):
+        analyzer = GenomeAnalyzer(["acgt", "gg"])
+        assert "2 strands" in repr(analyzer)
+        assert "6 bases" in repr(analyzer)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.text(alphabet="acgt", min_size=1, max_size=8), min_size=1, max_size=3))
+    def test_transcription_matches_reference_on_random_strands(self, strands):
+        analyzer = GenomeAnalyzer(strands)
+        transcripts = analyzer.transcripts()
+        for strand in strands:
+            assert transcripts[strand] == reference_transcribe(strand)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.text(alphabet="acgt", min_size=1, max_size=7))
+    def test_reverse_complement_matches_reference_on_random_strands(self, strand):
+        analyzer = GenomeAnalyzer([strand])
+        assert analyzer.reverse_complements()[strand] == reference_reverse_complement(strand)

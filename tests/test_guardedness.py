@@ -1,0 +1,98 @@
+"""Tests for guarded programs and the guarded transformation (Appendix B)."""
+
+import pytest
+
+from repro.analysis import guard_program, is_guarded, unguarded_clauses
+from repro.analysis.guardedness import strip_dom_facts
+from repro.core import paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import compute_least_fixpoint, evaluate_query
+from repro.language.parser import parse_program
+
+
+class TestGuardednessDetection:
+    def test_paper_examples(self):
+        assert is_guarded(parse_program("p(X[1]) :- q(X)."))
+        assert not is_guarded(parse_program("p(X) :- q(X[1])."))
+
+    def test_unguarded_clause_listing(self):
+        program = parse_program("p(X[1]) :- q(X). p(X) :- q(X[1]).")
+        assert len(unguarded_clauses(program)) == 1
+
+    def test_head_only_variables_are_unguarded(self):
+        # Example 1.5 rep1: the first clause has X guarded... but the second
+        # clause's X appears only inside indexed terms in the body.
+        program = paper_programs.rep1_program()
+        assert not is_guarded(program)
+
+
+class TestGuardedTransformation:
+    def test_result_is_guarded(self):
+        program = parse_program("p(X) :- q(X[1]).")
+        guarded, dom = guard_program(program)
+        assert is_guarded(guarded)
+        assert dom == "dom"
+
+    def test_dom_predicate_name_avoids_clashes(self):
+        program = parse_program("dom(X) :- q(X). p(X) :- q(X[1]).")
+        guarded, dom = guard_program(program)
+        assert dom != "dom"
+        assert is_guarded(guarded)
+
+    def test_dom_rules_cover_subsequences_and_all_predicates(self):
+        program = parse_program("p(X) :- q(X[1]).")
+        guarded, dom = guard_program(program)
+        rendered = str(guarded)
+        assert f"{dom}(X[M:N]) :- {dom}(X)." in rendered
+        assert f"{dom}(X1) :- q(X1)." in rendered
+        assert f"{dom}(X1) :- p(X1)." in rendered
+
+    def test_extra_base_predicates_are_included(self):
+        program = parse_program("p(X) :- q(X).")
+        guarded, dom = guard_program(program, base_predicates={"extra": 2})
+        assert f"{dom}(X2) :- extra(X1, X2)." in str(guarded)
+
+
+class TestTheorem10Equivalence:
+    """The guarded program expresses the same queries (Theorem 10)."""
+
+    @pytest.mark.parametrize(
+        "source, data, query",
+        [
+            (paper_programs.EXAMPLE_1_1_SUFFIXES, {"r": ["abc"]}, "suffix(X)"),
+            (paper_programs.EXAMPLE_1_4_REVERSE, {"r": ["1100"]}, "answer(Y)"),
+            (paper_programs.EXAMPLE_1_5_REP1, {"r": ["abab"]}, "rep1(X, Y)"),
+            (
+                paper_programs.EXAMPLE_1_3_ANBNCN,
+                {"r": ["abc", "ab", "aabbcc"]},
+                "answer(X)",
+            ),
+        ],
+    )
+    def test_same_answers_for_program_predicates(self, source, data, query, test_limits):
+        program = parse_program(source)
+        db = SequenceDatabase.from_dict(data)
+        original = compute_least_fixpoint(program, db, limits=test_limits)
+
+        # The construction needs the database schema: dom must collect the
+        # sequences of every base relation, including ones the program never
+        # mentions explicitly (Appendix B assumes a fixed, finite schema).
+        schema_arities = {
+            relation.name: relation.arity for relation in db.schema()
+        }
+        guarded, dom = guard_program(program, base_predicates=schema_arities)
+        transformed = compute_least_fixpoint(guarded, db, limits=test_limits)
+
+        assert (
+            evaluate_query(original.interpretation, query).texts()
+            == evaluate_query(transformed.interpretation, query).texts()
+        )
+
+    def test_strip_dom_facts_removes_only_dom(self):
+        program = parse_program("p(X) :- q(X[1]).")
+        guarded, dom = guard_program(program)
+        db = SequenceDatabase.from_dict({"q": ["ab", "a"]})
+        result = compute_least_fixpoint(guarded, db)
+        remaining = strip_dom_facts(list(result.interpretation.facts()), dom)
+        assert all(fact[0] != dom for fact in remaining)
+        assert any(fact[0] == "p" for fact in remaining)

@@ -1,0 +1,118 @@
+"""Tests for interpretations, evaluation limits and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.database import SequenceDatabase
+from repro.engine import Interpretation
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits, STRICT_LIMITS
+from repro.errors import FixpointNotReached, ValidationError
+from repro.language.atoms import ground_atom
+from repro.language.parser import parse_atom
+from repro.sequences import Sequence
+
+
+class TestInterpretation:
+    def test_add_and_contains(self):
+        interpretation = Interpretation()
+        assert interpretation.add("p", ["ab", "c"]) is True
+        assert interpretation.add("p", ["ab", "c"]) is False
+        assert interpretation.contains("p", ["ab", "c"])
+        assert not interpretation.contains("p", ["ab", "d"])
+
+    def test_domain_tracks_added_sequences(self):
+        interpretation = Interpretation()
+        interpretation.add("p", ["abc"])
+        assert Sequence("bc") in interpretation.domain
+        assert interpretation.size() == 7
+
+    def test_arity_conflicts_rejected(self):
+        interpretation = Interpretation()
+        interpretation.add("p", ["a"])
+        with pytest.raises(ValidationError):
+            interpretation.add("p", ["a", "b"])
+
+    def test_from_database_round_trip(self):
+        database = SequenceDatabase.from_dict({"r": ["ab"], "p": [("a", "b")]})
+        interpretation = Interpretation.from_database(database)
+        assert interpretation.to_database() == database
+
+    def test_add_atom_and_atom_membership(self):
+        interpretation = Interpretation()
+        interpretation.add_atom(ground_atom("p", "ab"))
+        assert parse_atom('p("ab")') in interpretation
+        assert parse_atom('p("xy")') not in interpretation
+        with pytest.raises(ValidationError):
+            interpretation.add_atom(parse_atom("p(X)"))
+
+    def test_merge_and_restrict(self):
+        first = Interpretation([("p", (Sequence("a"),))])
+        second = Interpretation([("q", (Sequence("b"),)), ("p", (Sequence("a"),))])
+        added = first.merge(second)
+        assert added == 1
+        restricted = first.restrict(["q"])
+        assert restricted.predicates() == ("q",)
+
+    def test_copy_is_independent(self):
+        original = Interpretation([("p", (Sequence("a"),))])
+        clone = original.copy()
+        clone.add("p", ["b"])
+        assert not original.contains("p", ["b"])
+
+    def test_equality_is_fact_based(self):
+        a = Interpretation([("p", (Sequence("a"),))])
+        b = Interpretation([("p", (Sequence("a"),))])
+        assert a == b
+        b.add("p", ["c"])
+        assert a != b
+
+    def test_facts_iteration_is_sorted(self):
+        interpretation = Interpretation()
+        interpretation.add("q", ["b"])
+        interpretation.add("p", ["a"])
+        assert [predicate for predicate, _ in interpretation.facts()] == ["p", "q"]
+
+
+class TestEvaluationLimits:
+    def test_iteration_check(self):
+        limits = EvaluationLimits(max_iterations=5)
+        limits.check_iteration(5)
+        with pytest.raises(FixpointNotReached):
+            limits.check_iteration(6)
+
+    def test_fact_and_domain_checks(self):
+        limits = EvaluationLimits(max_facts=1, max_domain_size=10_000)
+        interpretation = Interpretation([("p", (Sequence("a"),)), ("q", (Sequence("b"),))])
+        with pytest.raises(FixpointNotReached):
+            limits.check_interpretation(interpretation, iteration=1)
+
+    def test_sequence_length_check_can_be_disabled(self):
+        limits = EvaluationLimits(max_sequence_length=None)
+        limits.check_sequence_length(10**6)
+        strict = EvaluationLimits(max_sequence_length=5)
+        with pytest.raises(FixpointNotReached):
+            strict.check_sequence_length(6)
+
+    def test_preset_limit_objects(self):
+        assert STRICT_LIMITS.max_iterations < DEFAULT_LIMITS.max_iterations
+        assert STRICT_LIMITS.max_sequence_length is not None
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            attribute = getattr(errors, name)
+            if isinstance(attribute, type) and issubclass(attribute, Exception):
+                if attribute is not errors.ReproError:
+                    assert issubclass(attribute, errors.ReproError)
+
+    def test_parse_error_carries_location(self):
+        error = errors.ParseError("boom", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_fixpoint_not_reached_carries_partial_state(self):
+        partial = Interpretation()
+        error = errors.FixpointNotReached("stopped", partial=partial, iterations=4)
+        assert error.partial is partial
+        assert error.iterations == 4

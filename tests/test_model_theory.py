@@ -1,0 +1,93 @@
+"""Tests for the model-theoretic semantics (Appendix A)."""
+
+import pytest
+
+from repro.core import model_theory, paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import Interpretation, compute_least_fixpoint
+from repro.language.parser import parse_program
+from repro.sequences import Sequence
+
+
+@pytest.fixture
+def program():
+    return paper_programs.suffixes_program()
+
+
+@pytest.fixture
+def database():
+    return SequenceDatabase.from_dict({"r": ["ab"]})
+
+
+class TestModels:
+    def test_least_fixpoint_is_a_model(self, program, database):
+        lfp = model_theory.minimal_model(program, database)
+        assert model_theory.is_model(program, database, lfp)
+
+    def test_empty_interpretation_is_not_a_model(self, program, database):
+        assert not model_theory.is_model(program, database, Interpretation())
+
+    def test_supersets_of_the_least_fixpoint_are_models(self, program, database):
+        lfp = model_theory.minimal_model(program, database)
+        bigger = lfp.copy()
+        bigger.add("suffix", [Sequence("zzz")])
+        assert model_theory.is_model(program, database, bigger)
+
+    def test_dropping_a_derived_fact_breaks_modelhood(self, program, database):
+        lfp = model_theory.minimal_model(program, database)
+        smaller = Interpretation(
+            fact for fact in lfp.facts() if fact != ("suffix", (Sequence("b"),))
+        )
+        assert not model_theory.is_model(program, database, smaller)
+
+    def test_minimal_model_is_minimal(self, program, database):
+        """Corollary 5: the least fixpoint is contained in every model.
+
+        Checked against a family of candidate models obtained by adding
+        arbitrary facts: each still contains the least fixpoint."""
+        lfp = model_theory.minimal_model(program, database)
+        for extra in ["x", "yy", "zzz"]:
+            candidate = lfp.copy()
+            candidate.add("suffix", [Sequence(extra)])
+            assert model_theory.is_model(program, database, candidate)
+            assert all(candidate.contains_fact(fact) for fact in lfp.facts())
+
+
+class TestEntailment:
+    def test_entailed_atoms(self, program, database):
+        assert model_theory.entails(program, database, 'suffix("b")')
+        assert model_theory.entails(program, database, 'suffix("")')
+        assert model_theory.entails(program, database, 'r("ab")')
+
+    def test_non_entailed_atoms(self, program, database):
+        assert not model_theory.entails(program, database, 'suffix("a")')
+        assert not model_theory.entails(program, database, 'r("b")')
+
+    def test_entailment_matches_the_fixpoint(self, program, database):
+        """Corollary 6: P, db |= alpha iff alpha is in the least fixpoint."""
+        lfp = compute_least_fixpoint(program, database).interpretation
+        for predicate, values in lfp.facts():
+            rendered = f'{predicate}({", ".join(chr(34) + v.text + chr(34) for v in values)})'
+            assert model_theory.entails(program, database, rendered)
+
+
+class TestConstructivePrograms:
+    def test_model_check_with_constructive_clauses(self):
+        program = parse_program("answer(X ++ Y) :- r(X), r(Y).")
+        database = SequenceDatabase.from_dict({"r": ["a", "b"]})
+        lfp = model_theory.minimal_model(program, database)
+        assert model_theory.is_model(program, database, lfp)
+        assert model_theory.entails(program, database, 'answer("ab")')
+        assert not model_theory.entails(program, database, 'answer("ba!")')
+
+    def test_model_check_with_transducers(self):
+        from repro.transducers import library
+
+        program = parse_program("out(@complement(X)) :- r(X).")
+        database = SequenceDatabase.from_dict({"r": ["01"]})
+        registry = {"complement": library.complement_transducer("01")}
+        lfp = model_theory.minimal_model(program, database, transducers=registry)
+        assert model_theory.is_model(program, database, lfp, transducers=registry)
+        assert model_theory.entails(
+            program, database, 'out("10")', transducers=registry
+        )

@@ -1,0 +1,309 @@
+"""Tests for nondeterministic generalized transducers.
+
+The paper remarks (after Definition 7) that the deterministic machine model
+"can easily be generalized to allow nondeterministic computations"; this is
+the generalization that subsumes the generic a-transducers of [16] and the
+multi-tape automata of alignment logic [20].  These tests exercise:
+
+* the restrictions of Definition 7 carried over to the nondeterministic
+  model;
+* the relation semantics (``outputs``) and the acceptor view (``accepts``);
+* the embedding of deterministic machines and the trivial lowering back;
+* termination (every branch consumes one symbol per step).
+"""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransducerDefinitionError, TransducerRuntimeError
+from repro.sequences import Sequence
+from repro.transducers import library
+from repro.transducers.machine import CONSUME, END_MARKER, STAY
+from repro.transducers.nondeterministic import (
+    NondeterministicBuilder,
+    NondeterministicTransducer,
+    NTransition,
+    equal_length_acceptor,
+    from_deterministic,
+    guess_subsequence_transducer,
+    shuffle_transducer,
+)
+
+
+def all_scattered_subsequences(word):
+    """All (not necessarily contiguous) subsequences of ``word``."""
+    found = set()
+    for size in range(len(word) + 1):
+        for positions in combinations(range(len(word)), size):
+            found.add("".join(word[i] for i in positions))
+    return found
+
+
+def all_shuffles(first, second):
+    """All interleavings of two words (reference implementation)."""
+    if not first:
+        return {second}
+    if not second:
+        return {first}
+    return {first[0] + rest for rest in all_shuffles(first[1:], second)} | {
+        second[0] + rest for rest in all_shuffles(first, second[1:])
+    }
+
+
+# ----------------------------------------------------------------------
+# Definition 7 restrictions
+# ----------------------------------------------------------------------
+class TestDefinitionRestrictions:
+    def test_needs_at_least_one_input(self):
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer("bad", 0, "ab", "q0", {})
+
+    def test_every_choice_must_consume(self):
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer(
+                "bad",
+                1,
+                "ab",
+                "q0",
+                {("q0", ("a",)): [NTransition("q0", (STAY,), "a")]},
+            )
+
+    def test_cannot_consume_past_end_marker(self):
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer(
+                "bad",
+                1,
+                "ab",
+                "q0",
+                {("q0", (END_MARKER,)): [NTransition("q0", (CONSUME,), "a")]},
+            )
+
+    def test_subtransducer_arity_must_be_m_plus_one(self):
+        append = library.append_transducer("ab")  # two inputs
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer(
+                "bad",
+                2,
+                "ab",
+                "q0",
+                {("q0", ("a", "a")): [NTransition("q0", (CONSUME, STAY), append)]},
+            )
+
+    def test_output_action_must_be_single_symbol(self):
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer(
+                "bad",
+                1,
+                "ab",
+                "q0",
+                {("q0", ("a",)): [NTransition("q0", (CONSUME,), "ab")]},
+            )
+
+    def test_wrong_scanned_arity_rejected(self):
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer(
+                "bad",
+                2,
+                "ab",
+                "q0",
+                {("q0", ("a",)): [NTransition("q0", (CONSUME, STAY), "a")]},
+            )
+
+    def test_wrong_moves_arity_rejected(self):
+        with pytest.raises(TransducerDefinitionError):
+            NondeterministicTransducer(
+                "bad",
+                1,
+                "ab",
+                "q0",
+                {("q0", ("a",)): [NTransition("q0", (CONSUME, STAY), "a")]},
+            )
+
+
+# ----------------------------------------------------------------------
+# Relation semantics
+# ----------------------------------------------------------------------
+class TestGuessSubsequence:
+    def test_outputs_are_all_scattered_subsequences(self):
+        machine = guess_subsequence_transducer("ab")
+        outputs = {seq.text for seq in machine.outputs("aba")}
+        assert outputs == all_scattered_subsequences("aba")
+
+    def test_empty_input_has_single_empty_output(self):
+        machine = guess_subsequence_transducer("ab")
+        assert machine.outputs("") == frozenset({Sequence("")})
+
+    def test_machine_is_not_deterministic(self):
+        machine = guess_subsequence_transducer("ab")
+        assert not machine.is_deterministic()
+        assert machine.order == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_output_count_matches_reference(self, word):
+        machine = guess_subsequence_transducer("ab")
+        outputs = {seq.text for seq in machine.outputs(word)}
+        assert outputs == all_scattered_subsequences(word)
+
+    def test_calling_as_function_fails_when_ambiguous(self):
+        machine = guess_subsequence_transducer("ab")
+        with pytest.raises(TransducerRuntimeError):
+            machine("ab")
+
+    def test_wrong_input_arity_raises(self):
+        machine = guess_subsequence_transducer("ab")
+        with pytest.raises(TransducerRuntimeError):
+            machine.outputs("a", "b")
+
+
+class TestShuffle:
+    def test_shuffles_of_short_words(self):
+        machine = shuffle_transducer("ab")
+        outputs = {seq.text for seq in machine.outputs("aa", "b")}
+        assert outputs == all_shuffles("aa", "b") == {"aab", "aba", "baa"}
+
+    def test_shuffle_with_empty_word_is_identity(self):
+        machine = shuffle_transducer("ab")
+        assert {seq.text for seq in machine.outputs("abab", "")} == {"abab"}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=4), st.text(alphabet="ab", max_size=4))
+    def test_shuffle_matches_reference(self, first, second):
+        machine = shuffle_transducer("ab")
+        outputs = {seq.text for seq in machine.outputs(first, second)}
+        assert outputs == all_shuffles(first, second)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=4), st.text(alphabet="ab", max_size=4))
+    def test_every_shuffle_preserves_length_and_multiset(self, first, second):
+        machine = shuffle_transducer("ab")
+        for output in machine.outputs(first, second):
+            assert len(output) == len(first) + len(second)
+            assert sorted(output.text) == sorted(first + second)
+
+
+# ----------------------------------------------------------------------
+# Acceptor view
+# ----------------------------------------------------------------------
+class TestAcceptor:
+    def test_equal_length_pairs_are_accepted(self):
+        acceptor = equal_length_acceptor("ab")
+        assert acceptor.accepts("ab", "ba")
+        assert acceptor.accepts("", "")
+
+    def test_unequal_length_pairs_are_rejected(self):
+        acceptor = equal_length_acceptor("ab")
+        assert not acceptor.accepts("ab", "a")
+        assert not acceptor.accepts("", "a")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", max_size=5), st.text(alphabet="ab", max_size=5))
+    def test_acceptance_iff_equal_length(self, first, second):
+        acceptor = equal_length_acceptor("ab")
+        assert acceptor.accepts(first, second) == (len(first) == len(second))
+
+
+# ----------------------------------------------------------------------
+# Embedding deterministic machines
+# ----------------------------------------------------------------------
+class TestDeterministicEmbedding:
+    def test_embedded_machine_is_deterministic_and_agrees(self):
+        copy = library.copy_transducer("ab")
+        embedded = from_deterministic(copy)
+        assert embedded.is_deterministic()
+        assert embedded.outputs("abba") == frozenset({Sequence("abba")})
+        assert embedded("abba") == Sequence("abba")
+
+    def test_embedded_square_transducer_agrees(self):
+        square = library.square_transducer("ab")
+        embedded = from_deterministic(square)
+        assert {seq.text for seq in embedded.outputs("ab")} == {"abab"}
+        assert embedded.order == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="acgt", min_size=0, max_size=6))
+    def test_embedded_transcription_agrees_with_original(self, dna):
+        machine = library.transcribe_transducer()
+        embedded = from_deterministic(machine)
+        assert embedded(dna) == machine(dna)
+
+    def test_lowering_round_trip(self):
+        copy = library.copy_transducer("ab")
+        lowered = from_deterministic(copy).determinize_trivially()
+        assert lowered("abab") == Sequence("abab")
+
+    def test_lowering_ambiguous_machine_fails(self):
+        machine = guess_subsequence_transducer("ab")
+        with pytest.raises(TransducerDefinitionError):
+            machine.determinize_trivially()
+
+
+# ----------------------------------------------------------------------
+# Builder and misc behaviour
+# ----------------------------------------------------------------------
+class TestBuilderAndLimits:
+    def test_builder_accumulates_choices(self):
+        builder = NondeterministicBuilder("toy", num_inputs=1, alphabet="ab")
+        builder.add("q0", ("a",), "q0", (CONSUME,), "x")
+        builder.add("q0", ("a",), "q0", (CONSUME,), "y")
+        builder.add("q0", ("b",), "q0", (CONSUME,), "z")
+        machine = builder.build(initial_state="q0")
+        assert {seq.text for seq in machine.outputs("ab")} == {"xz", "yz"}
+
+    def test_branch_limit_is_enforced(self):
+        machine = guess_subsequence_transducer("ab")
+        tight = NondeterministicTransducer(
+            name=machine.name,
+            num_inputs=machine.num_inputs,
+            alphabet=machine.alphabet,
+            initial_state=machine.initial_state,
+            transitions=machine.transitions,
+            max_branches=2,
+        )
+        with pytest.raises(TransducerRuntimeError):
+            tight.outputs("abababababab")
+
+    def test_stuck_branches_produce_no_output(self):
+        # A machine that only consumes 'a': on input containing 'b' every
+        # branch gets stuck, so the output relation is empty and the
+        # acceptor rejects.
+        builder = NondeterministicBuilder("only_a", num_inputs=1, alphabet="ab")
+        builder.add("q0", ("a",), "q0", (CONSUME,), "a")
+        machine = builder.build(initial_state="q0")
+        assert machine.outputs("ab") == frozenset()
+        assert not machine.accepts("ab")
+        assert machine.accepts("aaa")
+
+    def test_repr_mentions_choice_count(self):
+        machine = guess_subsequence_transducer("ab")
+        assert "choices=4" in repr(machine)
+
+    def test_nondeterministic_subtransducer_call(self):
+        # An order-2 machine that, at each step, replaces its output by a
+        # nondeterministically chosen scattered subsequence of (input, output).
+        sub = guess_subsequence_transducer("ab", name="sub_guess")
+        # Subtransducer must have 2 inputs for a 1-input caller: build one.
+        builder_sub = NondeterministicBuilder("pick2", num_inputs=2, alphabet="ab")
+        for a in ("a", "b", END_MARKER):
+            for b in ("a", "b", END_MARKER):
+                if a == END_MARKER and b == END_MARKER:
+                    continue
+                if a != END_MARKER:
+                    builder_sub.add("q0", (a, b), "q0", (CONSUME, STAY), a)
+                    builder_sub.add("q0", (a, b), "q0", (CONSUME, STAY), "")
+                else:
+                    builder_sub.add("q0", (a, b), "q0", (STAY, CONSUME), b)
+        picker = builder_sub.build(initial_state="q0")
+
+        builder = NondeterministicBuilder("outer", num_inputs=1, alphabet="ab")
+        for symbol in "ab":
+            builder.add("q0", (symbol,), "q0", (CONSUME,), picker)
+        outer = builder.build(initial_state="q0")
+        assert outer.order == 2
+        outputs = {seq.text for seq in outer.outputs("ab")}
+        # Every output is built from symbols of the input.
+        assert outputs
+        assert all(set(text) <= {"a", "b"} for text in outputs)
+        del sub  # the simple helper above was illustrative only

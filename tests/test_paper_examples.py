@@ -1,0 +1,143 @@
+"""End-to-end checks: every numbered example of the paper, in one place.
+
+Each test states the paper's own expected outcome and checks it against the
+library.  Detailed per-module behaviour is covered elsewhere; this module is
+the executable index of Section-by-Section claims (the per-experiment index
+of DESIGN.md points here and to the benchmarks).
+"""
+
+import pytest
+
+from repro import SequenceDatabase, TransducerDatalogProgram, compute_least_fixpoint
+from repro.analysis import classify_finiteness, is_strongly_safe
+from repro.core import paper_programs
+from repro.engine import evaluate_query
+from repro.engine.limits import EvaluationLimits
+from repro.errors import FixpointNotReached
+from repro.transducers import library
+
+
+class TestSection1Examples:
+    def test_example_1_1(self):
+        """Suffixes of every sequence in r."""
+        result = compute_least_fixpoint(
+            paper_programs.suffixes_program(), SequenceDatabase.from_dict({"r": ["abc"]})
+        )
+        assert evaluate_query(result.interpretation, "suffix(X)").values("X") == [
+            "", "abc", "bc", "c",
+        ]
+
+    def test_example_1_2(self):
+        """All concatenations of pairs of sequences in r."""
+        result = compute_least_fixpoint(
+            paper_programs.concatenations_program(),
+            SequenceDatabase.from_dict({"r": ["x", "yz"]}),
+        )
+        assert evaluate_query(result.interpretation, "answer(X)").values("X") == [
+            "xx", "xyz", "yzx", "yzyz",
+        ]
+
+    def test_example_1_3(self):
+        """answer(X) retrieves exactly the sequences of the form a^n b^n c^n."""
+        database = SequenceDatabase.from_dict({"r": ["aabbcc", "aabcc", "abc", ""]})
+        result = compute_least_fixpoint(paper_programs.anbncn_program(), database)
+        assert evaluate_query(result.interpretation, "answer(X)").values("X") == [
+            "", "aabbcc", "abc",
+        ]
+
+    def test_example_1_4(self):
+        """The reverse of 110000 is 000011."""
+        database = SequenceDatabase.from_dict({"r": ["110000"]})
+        result = compute_least_fixpoint(paper_programs.reverse_program(), database)
+        assert evaluate_query(result.interpretation, "answer(Y)").values("Y") == ["000011"]
+
+    def test_example_1_5_rep1_is_finite_rep2_is_not(self, test_limits):
+        """rep1 has a finite semantics, rep2 an infinite one."""
+        database = SequenceDatabase.from_dict({"r": ["abcdabcdabcd"]})
+        result = compute_least_fixpoint(
+            paper_programs.rep1_program(), database, limits=test_limits
+        )
+        repeats = {
+            y for x, y in evaluate_query(result.interpretation, "rep1(X, Y)").texts()
+            if x == "abcdabcdabcd"
+        }
+        assert repeats == {"abcd", "abcdabcdabcd"}
+
+        with pytest.raises(FixpointNotReached):
+            compute_least_fixpoint(
+                paper_programs.rep2_program(),
+                SequenceDatabase.from_dict({"r": ["ab"]}),
+                limits=test_limits,
+            )
+
+    def test_example_1_6_echo(self, test_limits):
+        """Given abcd the echo sequence is aabbccdd; the fixpoint is infinite."""
+        with pytest.raises(FixpointNotReached) as excinfo:
+            compute_least_fixpoint(
+                paper_programs.echo_program(),
+                SequenceDatabase.from_dict({"r": ["abcd"]}),
+                limits=test_limits,
+            )
+        echoes = dict(
+            (x, y)
+            for x, y in evaluate_query(excinfo.value.partial, "answer(X, Y)").texts()
+        )
+        assert echoes.get("abcd") == "aabbccdd"
+
+
+class TestSection5And8Examples:
+    def test_example_5_1_each_double_is_two_concatenations(self):
+        database = SequenceDatabase.from_dict({"r": ["ab"]})
+        result = compute_least_fixpoint(
+            paper_programs.stratified_construction_program(), database
+        )
+        assert evaluate_query(result.interpretation, "double(X)").values("X") == ["abab"]
+        assert evaluate_query(result.interpretation, "quadruple(X)").values("X") == [
+            "abababab"
+        ]
+
+    def test_example_8_1_safety_verdicts(self):
+        p1, p2, p3 = paper_programs.figure_3_programs()
+        assert is_strongly_safe(p1)
+        assert not is_strongly_safe(p2)
+        assert not is_strongly_safe(p3)
+
+    def test_finiteness_classification_matches_the_paper(self):
+        assert classify_finiteness(paper_programs.rep1_program()).verdict.is_finite()
+        assert not classify_finiteness(paper_programs.rep2_program()).verdict.is_finite()
+        assert not classify_finiteness(paper_programs.echo_program()).verdict.is_finite()
+
+
+class TestSection7Examples:
+    def test_example_7_1_transcription_of_the_paper_string(self):
+        """The DNA sequence acgtacgt is transcribed into ugcaugca."""
+        program, catalog = paper_programs.genome_program()
+        tdp = TransducerDatalogProgram(program, catalog)
+        database = SequenceDatabase.from_dict({"dnaseq": ["acgtacgt"]})
+        result = tdp.evaluate(database, require_safety=True)
+        rna = evaluate_query(result.interpretation, "rnaseq(D, R)").texts()
+        assert rna == [("acgtacgt", "ugcaugca")]
+
+    def test_example_7_1_translation_of_the_paper_string(self):
+        """The RNA sequence gaugacuuacac translates to DDLH."""
+        assert library.translate_transducer()("gaugacuuacac").text == "DDLH"
+
+    def test_example_7_2_simulation_matches_example_7_1(self):
+        database = SequenceDatabase.from_dict({"dnaseq": ["acgtacgt"]})
+        result = compute_least_fixpoint(
+            paper_programs.transcribe_simulation_program(), database
+        )
+        rna = [
+            (d, r)
+            for d, r in evaluate_query(result.interpretation, "rnaseq(D, R)").texts()
+        ]
+        assert rna == [("acgtacgt", "ugcaugca")]
+
+
+class TestSection6Examples:
+    def test_example_6_1_square_on_abc(self):
+        run = library.square_transducer("abc").run("abc", trace=True)
+        assert run.output.text == "abcabcabc"
+        assert [step.output_after for step in run.trace] == [
+            "abc", "abcabc", "abcabcabc",
+        ]

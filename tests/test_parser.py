@@ -1,0 +1,172 @@
+"""Tests for the concrete syntax parser."""
+
+import pytest
+
+from repro.core import paper_programs
+from repro.errors import ParseError
+from repro.language.atoms import Atom, Comparison
+from repro.language.parser import parse_atom, parse_clause, parse_program, parse_term
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexVariable,
+    IndexedTerm,
+    SequenceVariable,
+    TransducerTerm,
+)
+
+
+class TestTermParsing:
+    def test_constant(self):
+        assert parse_term('"acgt"') == ConstantTerm("acgt")
+
+    def test_empty_sequence_and_eps(self):
+        assert parse_term('""') == ConstantTerm("")
+        assert parse_term("eps") == ConstantTerm("")
+
+    def test_variable(self):
+        assert parse_term("X") == SequenceVariable("X")
+
+    def test_indexed_range(self):
+        term = parse_term("X[N:end]")
+        assert term == IndexedTerm(SequenceVariable("X"), IndexVariable("N"), End())
+
+    def test_indexed_single_position(self):
+        term = parse_term("X[3]")
+        assert term == IndexedTerm(SequenceVariable("X"), IndexConstant(3), IndexConstant(3))
+
+    def test_index_arithmetic(self):
+        term = parse_term("X[N+1:end-2]")
+        assert isinstance(term, IndexedTerm)
+        assert term.lo == IndexSum(IndexVariable("N"), IndexConstant(1), "+")
+        assert term.hi == IndexSum(End(), IndexConstant(2), "-")
+
+    def test_left_associative_index_arithmetic(self):
+        term = parse_term("X[end-5+M]")
+        assert isinstance(term, IndexedTerm)
+        assert term.lo == IndexSum(
+            IndexSum(End(), IndexConstant(5), "-"), IndexVariable("M"), "+"
+        )
+
+    def test_concatenation(self):
+        term = parse_term('X ++ "a" ++ Y[1]')
+        assert isinstance(term, ConcatTerm)
+        assert len(term.parts) == 3
+
+    def test_indexed_constant(self):
+        term = parse_term('"ccgt"[1:2]')
+        assert term == IndexedTerm(ConstantTerm("ccgt"), IndexConstant(1), IndexConstant(2))
+
+    def test_transducer_term(self):
+        term = parse_term("@append(X, Y)")
+        assert term == TransducerTerm("append", [SequenceVariable("X"), SequenceVariable("Y")])
+
+    def test_nested_transducer_terms(self):
+        term = parse_term("@t1(X, @t2(Y, Z))")
+        assert isinstance(term, TransducerTerm)
+        assert isinstance(term.args[1], TransducerTerm)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("X Y")
+
+
+class TestAtomAndClauseParsing:
+    def test_atom(self):
+        atom = parse_atom("p(X, Y)")
+        assert atom == Atom("p", [SequenceVariable("X"), SequenceVariable("Y")])
+
+    def test_zero_arity_atom(self):
+        assert parse_atom("p") == Atom("p", [])
+
+    def test_fact_clause(self):
+        clause = parse_clause('r("abc").')
+        assert clause.is_fact()
+
+    def test_rule_with_true_body(self):
+        clause = parse_clause('abcn("", "", "") :- true.')
+        assert clause.is_fact()
+
+    def test_rule_with_comparisons(self):
+        clause = parse_clause('p(X) :- q(X), X[1] = "a", X != "".')
+        comparisons = clause.body_comparisons()
+        assert len(comparisons) == 2
+        assert comparisons[0].is_equality()
+        assert not comparisons[1].is_equality()
+
+    def test_alternative_arrow(self):
+        assert parse_clause("p(X) <- q(X).") == parse_clause("p(X) :- q(X).")
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(X) :- q(X)")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause('p("ab) :- q(X).')
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(X) :- q(X) & r(X).")
+
+    def test_error_location_is_reported(self):
+        try:
+            parse_program("p(X) :- q(X).\np(Y) :- ??.")
+        except ParseError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a ParseError")
+
+
+class TestProgramParsing:
+    def test_comments_and_blank_lines(self):
+        program = parse_program(
+            """
+            % a comment
+            p(X) :- q(X).   # another comment
+            """
+        )
+        assert len(program) == 1
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            paper_programs.EXAMPLE_1_1_SUFFIXES,
+            paper_programs.EXAMPLE_1_2_CONCATENATIONS,
+            paper_programs.EXAMPLE_1_3_ANBNCN,
+            paper_programs.EXAMPLE_1_4_REVERSE,
+            paper_programs.EXAMPLE_1_5_REP1,
+            paper_programs.EXAMPLE_1_5_REP2,
+            paper_programs.EXAMPLE_1_6_ECHO,
+            paper_programs.EXAMPLE_5_1_STRATIFIED,
+            paper_programs.EXAMPLE_7_1_GENOME,
+            paper_programs.EXAMPLE_7_2_TRANSCRIBE_SIMULATION,
+            paper_programs.EXAMPLE_8_1_P1,
+            paper_programs.EXAMPLE_8_1_P2,
+            paper_programs.EXAMPLE_8_1_P3,
+        ],
+    )
+    def test_every_paper_program_parses(self, source):
+        program = parse_program(source)
+        assert len(program) >= 1
+        program.validate()
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            paper_programs.EXAMPLE_1_3_ANBNCN,
+            paper_programs.EXAMPLE_1_4_REVERSE,
+            paper_programs.EXAMPLE_7_1_GENOME,
+            paper_programs.EXAMPLE_8_1_P1,
+        ],
+    )
+    def test_pretty_print_round_trip(self, source):
+        program = parse_program(source)
+        assert parse_program(str(program)) == program
+
+    def test_constructive_terms_rejected_in_bodies_by_parser_pipeline(self):
+        with pytest.raises(Exception):
+            parse_program("p(X) :- q(X ++ Y).")

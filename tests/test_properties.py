@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These target the data structures and semantic invariants that underpin the
+paper's results: subsequence counting (Section 2.1), extended-domain
+monotonicity (Lemma 1), the correctness of the paper's restructuring
+programs (reverse, repeats), transducer semantics (append, complement,
+square), and the agreement between the Theorem 1 compiler and direct machine
+execution.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import compute_least_fixpoint, evaluate_query
+from repro.engine.limits import EvaluationLimits
+from repro.sequences import ExtendedDomain, Sequence, subsequences
+from repro.sequences.sequence import max_subsequence_count
+from repro.transducers import library
+from repro.turing import machines
+from repro.turing.compile_to_datalog import compile_tm_to_sequence_datalog, strip_blanks
+from repro.turing.compile_to_network import compile_tm_to_network
+
+SLOW = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+FAST = settings(max_examples=100, deadline=None)
+
+binary_words = st.text(alphabet="01", max_size=6)
+ab_words = st.text(alphabet="ab", max_size=6)
+dna_words = st.text(alphabet="acgt", max_size=8)
+
+
+# ----------------------------------------------------------------------
+# Sequence substrate
+# ----------------------------------------------------------------------
+@FAST
+@given(st.text(alphabet="abc", max_size=12))
+def test_subsequence_count_bound(word):
+    """A sequence of length k has at most k(k+1)/2 + 1 contiguous subsequences."""
+    assert 1 <= len(subsequences(word)) <= max_subsequence_count(len(word))
+
+
+@FAST
+@given(st.text(alphabet="abc", max_size=10))
+def test_every_subsequence_is_contained(word):
+    sequence = Sequence(word)
+    for fragment in subsequences(word):
+        assert fragment.is_subsequence_of(sequence)
+
+
+@FAST
+@given(st.text(alphabet="ab", max_size=8), st.text(alphabet="ab", max_size=8))
+def test_domain_monotonicity_lemma_1(first, second):
+    """Dext({x}) ⊆ Dext({x, y}) for all x, y."""
+    small = ExtendedDomain([first])
+    large = ExtendedDomain([first, second])
+    assert set(small.sequences()) <= set(large.sequences())
+    assert small.max_length <= large.max_length
+
+
+@FAST
+@given(st.text(alphabet="abc", max_size=8), st.integers(0, 10), st.integers(0, 10))
+def test_subsequence_definedness_matches_the_paper(word, lo, hi):
+    """s[n1:n2] is defined iff 1 <= n1 <= n2+1 <= len(s)+1 (Section 3.2)."""
+    value = Sequence(word).subsequence(lo, hi)
+    should_be_defined = 1 <= lo <= hi + 1 <= len(word) + 1
+    assert (value is not None) == should_be_defined
+    if value is not None and lo <= hi:
+        assert value.text == word[lo - 1:hi]
+
+
+# ----------------------------------------------------------------------
+# Restructuring programs from Section 1
+# ----------------------------------------------------------------------
+@SLOW
+@given(binary_words)
+def test_reverse_program_matches_python_reverse(word):
+    db = SequenceDatabase.from_dict({"r": [word]})
+    result = compute_least_fixpoint(paper_programs.reverse_program(), db)
+    answers = evaluate_query(result.interpretation, "answer(Y)").values("Y")
+    assert answers == [word[::-1]]
+
+
+@SLOW
+@given(ab_words, st.integers(min_value=1, max_value=3))
+def test_rep1_recognises_true_repeats(pattern, copies):
+    word = pattern * copies
+    db = SequenceDatabase.from_dict({"r": [word]})
+    result = compute_least_fixpoint(paper_programs.rep1_program(), db)
+    pairs = evaluate_query(result.interpretation, "rep1(X, Y)").texts()
+    if word:
+        assert (word, pattern) in pairs or pattern == ""
+    # Soundness: every derived (X, Y) pair with Y non-empty satisfies X = Y^n.
+    for x, y in pairs:
+        if y:
+            assert set(x.split(y)) <= {""}
+
+
+@SLOW
+@given(st.lists(st.text(alphabet="ab", max_size=3), min_size=1, max_size=3))
+def test_concatenation_program_is_sound_and_complete(words):
+    db = SequenceDatabase.from_dict({"r": words})
+    result = compute_least_fixpoint(paper_programs.concatenations_program(), db)
+    answers = set(evaluate_query(result.interpretation, "answer(X)").values("X"))
+    expected = {x + y for x in words for y in words}
+    assert answers == expected
+
+
+# ----------------------------------------------------------------------
+# Transducer semantics
+# ----------------------------------------------------------------------
+@FAST
+@given(ab_words, ab_words)
+def test_append_transducer_is_concatenation(left, right):
+    machine = library.append_transducer("ab", 2)
+    assert machine(left, right).text == left + right
+
+
+@FAST
+@given(binary_words)
+def test_complement_is_an_involution(word):
+    machine = library.complement_transducer("01")
+    assert machine(machine(word)).text == word
+
+
+@FAST
+@given(ab_words)
+def test_square_transducer_length_is_quadratic(word):
+    machine = library.square_transducer("ab")
+    assert len(machine(word)) == len(word) ** 2
+
+
+@FAST
+@given(dna_words)
+def test_transcription_matches_the_symbol_map(word):
+    machine = library.transcribe_transducer()
+    expected = "".join(library.TRANSCRIPTION_MAP[symbol] for symbol in word)
+    assert machine(word).text == expected
+
+
+@FAST
+@given(ab_words)
+def test_echo_transducer_doubles_each_symbol(word):
+    machine = library.echo_transducer("ab")
+    expected = "".join(symbol * 2 for symbol in word)
+    assert machine(word, word).text == expected
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: compiled programs agree with direct machine execution
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.text(alphabet="01", min_size=0, max_size=4))
+def test_theorem_1_compiler_agrees_with_the_machine(word):
+    machine = machines.increment_machine()
+    program = compile_tm_to_sequence_datalog(machine)
+    database = SequenceDatabase.single_input(word)
+    limits = EvaluationLimits(max_iterations=200, max_sequence_length=200)
+    result = compute_least_fixpoint(program, database, limits=limits)
+    outputs = {
+        strip_blanks(row[0].text, machine)
+        for row in result.interpretation.tuples("output")
+    }
+    assert outputs == {machine.compute(word).text}
+
+
+# ----------------------------------------------------------------------
+# Theorem 5: compiled networks agree with direct machine execution
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.text(alphabet="01", min_size=2, max_size=8))
+def test_theorem_5_network_agrees_with_the_machine(word):
+    machine = machines.complement_machine()
+    network = compile_tm_to_network(machine, time_exponent=1)
+    assert network.compute_function(word) == machine.compute(word)

@@ -1,0 +1,85 @@
+"""Tests for the query layer and the high-level engine facade."""
+
+import pytest
+
+from repro import SequenceDatalogEngine, SequenceDatabase
+from repro.core import paper_programs
+from repro.engine import compute_least_fixpoint, evaluate_query
+from repro.engine.query import output_relation
+from repro.errors import UnknownPredicateError
+
+
+class TestPatternQueries:
+    @pytest.fixture
+    def suffix_result(self, small_string_db):
+        return compute_least_fixpoint(paper_programs.suffixes_program(), small_string_db)
+
+    def test_unary_pattern(self, suffix_result):
+        result = evaluate_query(suffix_result.interpretation, "suffix(X)")
+        assert ("abc",) in result.texts()
+        assert len(result) == len(result.texts())
+
+    def test_ground_pattern(self, suffix_result):
+        assert len(evaluate_query(suffix_result.interpretation, 'suffix("bc")')) == 1
+        assert evaluate_query(suffix_result.interpretation, 'suffix("zz")').is_empty()
+
+    def test_pattern_with_indexed_term(self, suffix_result):
+        # Suffixes whose first symbol is "b".
+        result = evaluate_query(suffix_result.interpretation, 'suffix(X[1:end])')
+        assert ("abc",) in result.texts()
+
+    def test_binary_pattern_with_repeated_variable(self):
+        db = SequenceDatabase.from_dict({"r": ["abab", "ab"]})
+        result = compute_least_fixpoint(paper_programs.rep1_program(), db)
+        same = evaluate_query(result.interpretation, "rep1(X, X)")
+        assert ("ab", "ab") in same.texts()
+        assert all(x == y for x, y in same.texts())
+
+    def test_unknown_predicate_behaviour(self, suffix_result):
+        assert evaluate_query(suffix_result.interpretation, "nothing(X)").is_empty()
+        with pytest.raises(UnknownPredicateError):
+            evaluate_query(suffix_result.interpretation, "nothing(X)", strict=True)
+
+    def test_values_accessor(self, suffix_result):
+        values = evaluate_query(suffix_result.interpretation, "suffix(X)").values("X")
+        assert values == sorted(set(values))
+
+    def test_membership_helper(self, suffix_result):
+        result = evaluate_query(suffix_result.interpretation, "suffix(X)")
+        assert "abc" in result
+        assert ("abc",) in result
+
+    def test_output_relation_helper(self):
+        engine = SequenceDatalogEngine("output(X[1:2]) :- input(X).")
+        result = engine.evaluate(SequenceDatabase.single_input("abc"))
+        assert output_relation(result.interpretation) == ["ab"]
+
+
+class TestEngineFacade:
+    def test_run_combines_evaluate_and_query(self):
+        engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_1_SUFFIXES)
+        result = engine.run({"r": ["ab"]}, "suffix(X)")
+        assert result.values("X") == ["", "ab", "b"]
+
+    def test_accepts_prebuilt_databases(self, small_string_db):
+        engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_1_SUFFIXES)
+        assert not engine.run(small_string_db, "suffix(X)").is_empty()
+
+    def test_compute_function_definition_5(self):
+        engine = SequenceDatalogEngine(
+            """
+            output(Y) :- input(X), reverse(X, Y).
+            reverse("", "") :- true.
+            reverse(X[1:N+1], X[N+1] ++ Y) :- input(X), reverse(X[1:N], Y).
+            """
+        )
+        assert engine.compute_function("1100") == "0011"
+
+    def test_compute_function_undefined_returns_none(self):
+        engine = SequenceDatalogEngine("output(X) :- input(X), never(X).")
+        assert engine.compute_function("ab") is None
+
+    def test_safety_and_finiteness_accessors(self):
+        engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_5_REP2)
+        assert not engine.safety().strongly_safe
+        assert not engine.finiteness().verdict.is_finite()

@@ -1,0 +1,125 @@
+"""Tests for the extended relational model (Section 2.2)."""
+
+import pytest
+
+from repro.database import DatabaseSchema, RelationSchema, SequenceDatabase, SequenceRelation
+from repro.errors import ValidationError
+from repro.sequences import Sequence
+
+
+class TestSequenceRelation:
+    def test_add_and_contains(self):
+        relation = SequenceRelation("r", 2)
+        assert relation.add(("ab", "cd")) is True
+        assert relation.add(("ab", "cd")) is False
+        assert ("ab", "cd") in relation
+        assert ("ab", "xx") not in relation
+
+    def test_arity_enforced(self):
+        relation = SequenceRelation("r", 2)
+        with pytest.raises(ValidationError):
+            relation.add(("ab",))
+
+    def test_lookup_by_column(self):
+        relation = SequenceRelation("r", 2, [("a", "x"), ("a", "y"), ("b", "x")])
+        rows = list(relation.lookup({0: Sequence("a")}))
+        assert len(rows) == 2
+        rows = list(relation.lookup({0: Sequence("a"), 1: Sequence("y")}))
+        assert rows == [(Sequence("a"), Sequence("y"))]
+
+    def test_lookup_unbound_iterates_everything(self):
+        relation = SequenceRelation("r", 1, [("a",), ("b",)])
+        assert len(list(relation.lookup({}))) == 2
+
+    def test_lookup_out_of_range_column(self):
+        relation = SequenceRelation("r", 1, [("a",)])
+        with pytest.raises(ValidationError):
+            list(relation.lookup({3: Sequence("a")}))
+
+    def test_discard(self):
+        relation = SequenceRelation("r", 1, [("a",), ("b",)])
+        assert relation.discard(("a",)) is True
+        assert relation.discard(("a",)) is False
+        assert len(relation) == 1
+        assert list(relation.lookup({0: Sequence("a")})) == []
+
+    def test_column_values_and_all_sequences(self):
+        relation = SequenceRelation("r", 2, [("a", "x"), ("b", "x")])
+        assert relation.column_values(1) == {Sequence("x")}
+        assert relation.all_sequences() == {Sequence("a"), Sequence("b"), Sequence("x")}
+
+    def test_sorted_tuples_is_deterministic(self):
+        relation = SequenceRelation("r", 1, [("b",), ("a",)])
+        assert [row[0].text for row in relation.sorted_tuples()] == ["a", "b"]
+
+    def test_copy_is_independent(self):
+        relation = SequenceRelation("r", 1, [("a",)])
+        clone = relation.copy()
+        clone.add(("b",))
+        assert len(relation) == 1
+
+
+class TestSchemas:
+    def test_relation_schema_validation(self):
+        with pytest.raises(ValidationError):
+            RelationSchema("R", 1)
+        with pytest.raises(ValidationError):
+            RelationSchema("r", 0)
+
+    def test_database_schema_conflicts(self):
+        schema = DatabaseSchema()
+        schema.declare("r", 2)
+        schema.declare("r", 2)
+        with pytest.raises(ValidationError):
+            schema.declare("r", 3)
+
+    def test_arity_lookup(self):
+        schema = DatabaseSchema([RelationSchema("r", 2)])
+        assert schema.arity_of("r") == 2
+        with pytest.raises(ValidationError):
+            schema.arity_of("unknown")
+
+
+class TestSequenceDatabase:
+    def test_from_dict_accepts_strings_and_tuples(self):
+        db = SequenceDatabase.from_dict({"r": ["ab"], "p": [("a", "b")]})
+        assert len(db.relation("r")) == 1
+        assert db.relation("p").arity == 2
+
+    def test_single_input_database(self):
+        db = SequenceDatabase.single_input("acgt")
+        assert ("acgt",) in db.relation("input")
+
+    def test_facts_round_trip(self):
+        db = SequenceDatabase.from_dict({"r": ["ab", "cd"], "p": [("a", "b")]})
+        rebuilt = SequenceDatabase.from_facts(db.facts())
+        assert rebuilt == db
+
+    def test_active_domain(self):
+        db = SequenceDatabase.from_dict({"r": ["ab"], "p": [("c", "d")]})
+        assert db.active_domain() == {Sequence("ab"), Sequence("c"), Sequence("d")}
+
+    def test_extended_active_domain_and_size(self):
+        db = SequenceDatabase.from_dict({"r": ["abc"]})
+        # "abc" has 7 distinct contiguous subsequences (Definition 11 size).
+        assert db.size() == 7
+
+    def test_schema_extraction(self):
+        db = SequenceDatabase.from_dict({"r": ["ab"], "p": [("a", "b")]})
+        schema = db.schema()
+        assert schema.arity_of("p") == 2
+
+    def test_duplicate_relation_rejected(self):
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        with pytest.raises(ValidationError):
+            db.add_relation(SequenceRelation("r", 1))
+
+    def test_copy_is_independent(self):
+        db = SequenceDatabase.from_dict({"r": ["ab"]})
+        clone = db.copy()
+        clone.add_fact("r", "xy")
+        assert len(db.relation("r")) == 1
+
+    def test_len_counts_all_facts(self):
+        db = SequenceDatabase.from_dict({"r": ["ab", "cd"], "p": [("a", "b")]})
+        assert len(db) == 3

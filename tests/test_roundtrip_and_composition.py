@@ -1,0 +1,209 @@
+"""Round-trip and cross-subsystem composition properties.
+
+Two families of invariants that cut across modules:
+
+* **printer/parser round-trip** -- the textual form produced by the clause
+  and program printers parses back to an equal object, for every paper
+  program, every genome/text program, and hypothesis-generated clauses built
+  directly from the term constructors;
+* **composition agreement** -- independent implementations of the same
+  genome/text operation (Sequence Datalog program vs generalized transducer
+  vs plain Python) agree on random inputs, e.g. reverse-complement =
+  reverse o complement, and splice-then-transcribe = transcribe-then-splice
+  (after mapping the intron marks).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import paper_programs
+from repro.genome import GenomeAnalyzer
+from repro.genome.machines import complement_dna_transducer, splice_transducer
+from repro.genome.programs import (
+    orf_program,
+    reading_frame_program,
+    restriction_site_program,
+    reverse_complement_program,
+)
+from repro.language.atoms import Atom, Comparison
+from repro.language.clauses import Clause, Program
+from repro.language.parser import parse_clause, parse_program
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexVariable,
+    IndexedTerm,
+    SequenceVariable,
+)
+from repro.text.programs import (
+    motif_program,
+    palindrome_program,
+    repeat_program,
+    shared_substring_program,
+    tandem_repeat_program,
+)
+from repro.transducers.library import transcribe_transducer
+
+SLOW = settings(max_examples=10, deadline=None)
+FAST = settings(max_examples=50, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Printer / parser round-trips
+# ----------------------------------------------------------------------
+ALL_PAPER_PROGRAMS = [
+    paper_programs.suffixes_program,
+    paper_programs.concatenations_program,
+    paper_programs.anbncn_program,
+    paper_programs.reverse_program,
+    paper_programs.rep1_program,
+    paper_programs.rep2_program,
+    paper_programs.echo_program,
+    paper_programs.stratified_construction_program,
+    paper_programs.transcribe_simulation_program,
+]
+
+APPLICATION_PROGRAMS = [
+    reverse_complement_program,
+    orf_program,
+    lambda: reading_frame_program(2),
+    lambda: restriction_site_program("gaattc"),
+    motif_program,
+    lambda: shared_substring_program(3),
+    palindrome_program,
+    tandem_repeat_program,
+    repeat_program,
+]
+
+
+def test_every_paper_program_round_trips_through_the_parser():
+    for factory in ALL_PAPER_PROGRAMS:
+        program = factory()
+        assert parse_program(str(program)) == program
+
+
+def test_every_application_program_round_trips_through_the_parser():
+    for factory in APPLICATION_PROGRAMS:
+        program = factory()
+        assert parse_program(str(program)) == program
+
+
+def test_transducer_datalog_programs_round_trip():
+    program, _ = paper_programs.genome_program()
+    assert parse_program(str(program)) == program
+    for figure_program in paper_programs.figure_3_programs():
+        assert parse_program(str(figure_program)) == figure_program
+
+
+# Hypothesis strategies building terms directly from the constructors, so the
+# round-trip is exercised on shapes no hand-written program happens to use.
+# Index sums are kept one level deep: the concrete syntax is left-
+# associative, so a right-nested ``0 + (end + end)`` prints as
+# ``0+end+end`` and re-parses left-nested -- semantically equal but not
+# structurally, which is all this round-trip checks.
+_index_leaves = st.one_of(
+    st.integers(0, 9).map(IndexConstant),
+    st.sampled_from(["N", "M", "K"]).map(IndexVariable),
+    st.just(End()),
+)
+index_terms = st.one_of(
+    _index_leaves,
+    st.builds(IndexSum, _index_leaves, _index_leaves, st.sampled_from(["+", "-"])),
+)
+
+base_sequence_terms = st.one_of(
+    st.text(alphabet="ab", max_size=3).map(ConstantTerm),
+    st.sampled_from(["X", "Y", "Z"]).map(SequenceVariable),
+)
+
+indexed_terms = st.builds(
+    IndexedTerm,
+    st.sampled_from(["X", "Y", "Z"]).map(SequenceVariable),
+    index_terms,
+    st.one_of(st.none(), index_terms),
+)
+
+body_sequence_terms = st.one_of(base_sequence_terms, indexed_terms)
+
+head_sequence_terms = st.one_of(
+    body_sequence_terms,
+    st.lists(body_sequence_terms, min_size=2, max_size=3).map(ConcatTerm),
+)
+
+
+@FAST
+@given(
+    st.sampled_from(["p", "q", "edge"]),
+    st.lists(head_sequence_terms, min_size=1, max_size=3),
+    st.lists(
+        st.tuples(st.sampled_from(["r", "s"]), st.lists(body_sequence_terms, min_size=1, max_size=2)),
+        min_size=1,
+        max_size=2,
+    ),
+)
+def test_generated_clauses_round_trip(head_predicate, head_args, body_spec):
+    head = Atom(head_predicate, head_args)
+    body = [Atom(predicate, args) for predicate, args in body_spec]
+    clause = Clause(head, body)
+    assert parse_clause(str(clause)) == clause
+
+
+@FAST
+@given(body_sequence_terms, body_sequence_terms, st.sampled_from(["=", "!="]))
+def test_generated_comparisons_round_trip(left, right, operator):
+    clause = Clause(Atom("p", [SequenceVariable("X")]),
+                    [Atom("r", [SequenceVariable("X")]), Comparison(left, right, operator)])
+    assert parse_clause(str(clause)) == clause
+
+
+# ----------------------------------------------------------------------
+# Cross-subsystem composition agreement
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.text(alphabet="acgt", min_size=1, max_size=6))
+def test_reverse_complement_equals_reverse_of_complement(dna):
+    """The Sequence Datalog reverse-complement equals composing the order-1
+    complement transducer with plain reversal."""
+    analyzer = GenomeAnalyzer([dna])
+    via_program = analyzer.reverse_complements()[dna]
+    via_machine = complement_dna_transducer()(dna).text[::-1]
+    assert via_program == via_machine
+
+
+@SLOW
+@given(st.text(alphabet="acgu", max_size=8))
+def test_splice_of_unmarked_transcript_is_identity(rna):
+    machine = splice_transducer()
+    assert machine(rna).text == rna
+
+
+@FAST
+@given(st.text(alphabet="acgt", max_size=8))
+def test_transcribing_twice_is_not_needed_complement_relation(dna):
+    """Transcription is the complement map onto the RNA alphabet: composing
+    it with the DNA complement per-symbol map gives the identity up to the
+    t/u renaming."""
+    transcribed = transcribe_transducer()(dna).text
+    complemented = complement_dna_transducer()(dna).text
+    assert transcribed == complemented.replace("t", "u")
+
+
+def test_example_7_1_strings_through_every_route():
+    """The paper's own strings: acgtacgt -> ugcaugca (Example 7.1), via the
+    Transducer Datalog pipeline, the Example 7.2 simulation, and the machine
+    directly."""
+    from repro import SequenceDatabase, compute_least_fixpoint
+    from repro.engine import evaluate_query
+
+    dna = "acgtacgt"
+    analyzer = GenomeAnalyzer([dna])
+    assert analyzer.transcripts()[dna] == "ugcaugca"
+
+    db = SequenceDatabase.from_dict({"dnaseq": [dna]})
+    result = compute_least_fixpoint(paper_programs.transcribe_simulation_program(), db)
+    simulated = dict(evaluate_query(result.interpretation, "rnaseq(D, R)").texts())
+    assert simulated[dna] == "ugcaugca"
+
+    assert transcribe_transducer()(dna).text == "ugcaugca"

@@ -1,0 +1,129 @@
+"""Tests for the sequence substrate (Section 2.1 and Section 3.2 semantics)."""
+
+import pytest
+
+from repro.errors import SequenceIndexError
+from repro.sequences import EMPTY, Sequence, as_sequence, subsequences
+from repro.sequences.sequence import max_subsequence_count
+
+
+class TestSequenceBasics:
+    def test_construction_from_string(self):
+        assert Sequence("abc").text == "abc"
+
+    def test_construction_from_iterable(self):
+        assert Sequence(["a", "b"]).text == "ab"
+
+    def test_construction_from_sequence(self):
+        original = Sequence("xy")
+        assert Sequence(original) == original
+
+    def test_empty_sequence_is_falsy(self):
+        assert not Sequence("")
+        assert Sequence("a")
+
+    def test_equality_with_string(self):
+        assert Sequence("abc") == "abc"
+        assert Sequence("abc") != "abd"
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Sequence("a"), Sequence("a"), Sequence("b")}) == 2
+
+    def test_len_and_iteration(self):
+        assert len(Sequence("abcd")) == 4
+        assert list(Sequence("ab")) == ["a", "b"]
+
+    def test_concatenation_operator(self):
+        assert (Sequence("ab") + Sequence("cd")).text == "abcd"
+        assert (Sequence("ab") + "cd").text == "abcd"
+        assert ("xy" + Sequence("z")).text == "xyz"
+
+    def test_repetition(self):
+        assert (Sequence("ab") * 3).text == "ababab"
+
+    def test_element_is_one_based(self):
+        assert Sequence("abc").element(1) == "a"
+        assert Sequence("abc").element(3) == "c"
+
+    def test_element_out_of_range_raises(self):
+        with pytest.raises(SequenceIndexError):
+            Sequence("abc").element(0)
+        with pytest.raises(SequenceIndexError):
+            Sequence("abc").element(4)
+
+    def test_reverse(self):
+        assert Sequence("110000").reverse().text == "000011"
+
+    def test_ordering(self):
+        assert Sequence("ab") < Sequence("b")
+
+
+class TestSubsequenceSemantics:
+    """The interpretation of indexed terms from Section 3.2 (the uvwxy table)."""
+
+    @pytest.mark.parametrize(
+        "start, stop, expected",
+        [
+            (3, 6, None),      # beyond the end: undefined
+            (3, 5, "wxy"),
+            (3, 4, "wx"),
+            (3, 3, "w"),
+            (3, 2, ""),        # n1 == n2 + 1: the empty sequence
+            (3, 1, None),      # n1 > n2 + 1: undefined
+        ],
+    )
+    def test_uvwxy_table(self, start, stop, expected):
+        value = Sequence("uvwxy").subsequence(start, stop)
+        if expected is None:
+            assert value is None
+        else:
+            assert value is not None and value.text == expected
+
+    def test_zero_start_is_undefined(self):
+        assert Sequence("abc").subsequence(0, 2) is None
+
+    def test_full_range(self):
+        assert Sequence("abc").subsequence(1, 3) == Sequence("abc")
+
+    def test_empty_sequence_only_has_empty_subsequence(self):
+        assert Sequence("").subsequence(1, 0) == EMPTY
+        assert Sequence("").subsequence(1, 1) is None
+
+    def test_prefix_and_suffix_helpers(self):
+        s = Sequence("abcde")
+        assert s.prefix(2) == Sequence("ab")
+        assert s.suffix(4) == Sequence("de")
+        assert s.prefix(0) == EMPTY
+        assert s.suffix(6) == EMPTY
+
+    def test_is_subsequence_of_is_contiguous(self):
+        assert Sequence("bc").is_subsequence_of(Sequence("abcd"))
+        assert not Sequence("bd").is_subsequence_of(Sequence("abcd"))
+
+    def test_count_occurrences_overlapping(self):
+        assert Sequence("aaaa").count_occurrences("aa") == 3
+
+    def test_occurrence_positions(self):
+        assert Sequence("abab").occurrence_positions("ab") == [1, 3]
+
+
+class TestSubsequencesEnumeration:
+    def test_abc_example_from_section_2_1(self):
+        assert [s.text for s in subsequences("abc")] == [
+            "", "a", "b", "c", "ab", "bc", "abc",
+        ]
+
+    def test_count_bound_from_section_2_1(self):
+        # At most k(k+1)/2 + 1 distinct contiguous subsequences.
+        for word in ["", "a", "ab", "abc", "aaaa", "abab"]:
+            assert len(subsequences(word)) <= max_subsequence_count(len(word))
+
+    def test_distinct_symbols_reach_the_bound(self):
+        assert len(subsequences("abcd")) == max_subsequence_count(4)
+
+    def test_repeated_symbols_fall_below_the_bound(self):
+        assert len(subsequences("aaa")) == 4  # "", a, aa, aaa
+
+    def test_as_sequence_coercion(self):
+        assert as_sequence("ab") == Sequence("ab")
+        assert as_sequence(Sequence("ab")) == Sequence("ab")

@@ -1,0 +1,127 @@
+"""Tests for substitutions and interpreted-term evaluation (Section 3.2)."""
+
+import pytest
+
+from repro.engine.bindings import Substitution, UnboundVariableError
+from repro.errors import EvaluationError
+from repro.language.parser import parse_atom, parse_term
+from repro.language.terms import IndexConstant, IndexSum, IndexVariable, End
+from repro.sequences import Sequence
+
+
+@pytest.fixture
+def theta() -> Substitution:
+    return Substitution({"S": Sequence("uvwxy"), "X": Sequence("ab")}, {"N": 3, "M": 2})
+
+
+class TestBindingBasics:
+    def test_bindings_are_immutable_extensions(self, theta):
+        extended = theta.bind_sequence("Y", Sequence("zz"))
+        assert extended.binds_sequence("Y")
+        assert not theta.binds_sequence("Y")
+
+    def test_unbound_lookup_raises(self, theta):
+        with pytest.raises(UnboundVariableError):
+            theta.sequence("Missing")
+        with pytest.raises(UnboundVariableError):
+            theta.index("Missing")
+
+    def test_covers(self, theta):
+        assert theta.covers({"S"}, {"N"})
+        assert not theta.covers({"S", "Q"}, set())
+
+    def test_equality_and_hash(self, theta):
+        other = Substitution({"S": Sequence("uvwxy"), "X": Sequence("ab")}, {"N": 3, "M": 2})
+        assert theta == other
+        assert hash(theta) == hash(other)
+
+
+class TestIndexEvaluation:
+    def test_constants_variables_and_end(self, theta):
+        assert theta.evaluate_index(IndexConstant(7), end_value=5) == 7
+        assert theta.evaluate_index(IndexVariable("N"), end_value=5) == 3
+        assert theta.evaluate_index(End(), end_value=5) == 5
+
+    def test_arithmetic(self, theta):
+        term = IndexSum(IndexSum(End(), IndexConstant(5), "-"), IndexVariable("M"), "+")
+        assert theta.evaluate_index(term, end_value=10) == 7
+
+    def test_end_outside_indexed_term_raises(self, theta):
+        with pytest.raises(EvaluationError):
+            theta.evaluate_index(End(), end_value=None)
+
+
+class TestSequenceEvaluation:
+    """The uvwxy table of Section 3.2, evaluated through terms."""
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("S[3:6]", None),
+            ("S[3:5]", "wxy"),
+            ("S[3:4]", "wx"),
+            ("S[3:3]", "w"),
+            ("S[3:2]", ""),
+            ("S[3:1]", None),
+            ("S[N:end]", "wxy"),
+            ("S[1:end-1]", "uvwx"),
+            ("S[M+2:end]", "xy"),
+            ("S[end]", "y"),
+        ],
+    )
+    def test_indexed_terms(self, theta, text, expected):
+        value = theta.evaluate_sequence(parse_term(text))
+        if expected is None:
+            assert value is None
+        else:
+            assert value == Sequence(expected)
+
+    def test_constants_and_variables(self, theta):
+        assert theta.evaluate_sequence(parse_term('"acgt"')) == Sequence("acgt")
+        assert theta.evaluate_sequence(parse_term("X")) == Sequence("ab")
+
+    def test_concatenation(self, theta):
+        value = theta.evaluate_sequence(parse_term('X ++ "c" ++ S[3:3]'))
+        assert value == Sequence("abcw")
+
+    def test_concatenation_with_undefined_part_is_undefined(self, theta):
+        assert theta.evaluate_sequence(parse_term("X ++ S[3:9]")) is None
+
+    def test_unbound_variable_raises(self, theta):
+        with pytest.raises(UnboundVariableError):
+            theta.evaluate_sequence(parse_term("Q"))
+
+    def test_transducer_terms_need_a_registry(self, theta):
+        with pytest.raises(EvaluationError):
+            theta.evaluate_sequence(parse_term("@t(X)"))
+
+    def test_transducer_terms_with_registry(self, theta):
+        registry = {"rev": lambda s: s.reverse()}
+        value = theta.evaluate_sequence(parse_term("@rev(X)"), registry)
+        assert value == Sequence("ba")
+
+
+class TestAtomAndComparisonEvaluation:
+    def test_atom_evaluation(self, theta):
+        ground = theta.evaluate_atom(parse_atom("p(X, S[1:2])"))
+        assert ground == ("p", (Sequence("ab"), Sequence("uv")))
+
+    def test_atom_with_undefined_argument(self, theta):
+        assert theta.evaluate_atom(parse_atom("p(S[3:9])")) is None
+
+    def test_comparison_evaluation(self, theta):
+        from repro.language.atoms import Comparison
+
+        assert theta.evaluate_comparison(Comparison(parse_term("X[1]"), parse_term('"a"')))
+        assert not theta.evaluate_comparison(
+            Comparison(parse_term("X[1]"), parse_term('"b"'))
+        )
+        assert theta.evaluate_comparison(
+            Comparison(parse_term("X[1]"), parse_term('"b"'), "!=")
+        )
+
+    def test_comparison_with_undefined_term_is_none(self, theta):
+        from repro.language.atoms import Comparison
+
+        comparison = Comparison(parse_term("S[3:9]"), parse_term('"a"'))
+        assert theta.evaluate_comparison(comparison) is None

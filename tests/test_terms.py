@@ -1,0 +1,130 @@
+"""Tests for the term language (Section 3.1, Section 7.1)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.language.terms import (
+    ConcatTerm,
+    ConstantTerm,
+    End,
+    IndexConstant,
+    IndexSum,
+    IndexVariable,
+    IndexedTerm,
+    SequenceVariable,
+    TransducerTerm,
+    constant,
+    index_var,
+    seq_var,
+)
+
+
+class TestIndexTerms:
+    def test_constant_value(self):
+        assert IndexConstant(3).value == 3
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexConstant(-1)
+
+    def test_variable_naming_convention(self):
+        assert IndexVariable("N").name == "N"
+        with pytest.raises(ValidationError):
+            IndexVariable("n")
+
+    def test_sum_and_difference(self):
+        term = IndexSum(IndexVariable("N"), IndexConstant(1), "+")
+        assert str(term) == "N+1"
+        assert term.index_variables() == frozenset({"N"})
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexSum(IndexConstant(1), IndexConstant(2), "*")
+
+    def test_end_marker(self):
+        assert End().uses_end()
+        assert IndexSum(End(), IndexConstant(5), "-").uses_end()
+        assert not IndexConstant(1).uses_end()
+
+    def test_equality_and_hash(self):
+        assert IndexSum(IndexVariable("N"), IndexConstant(1), "+") == IndexSum(
+            IndexVariable("N"), IndexConstant(1), "+"
+        )
+        assert End() == End()
+        assert hash(IndexConstant(2)) == hash(IndexConstant(2))
+
+
+class TestSequenceTerms:
+    def test_constant_term(self):
+        term = constant("acgt")
+        assert term.value.text == "acgt"
+        assert not term.is_constructive()
+        assert str(term) == '"acgt"'
+
+    def test_sequence_variable(self):
+        variable = seq_var("X")
+        assert variable.sequence_variables() == frozenset({"X"})
+        with pytest.raises(ValidationError):
+            SequenceVariable("x")
+
+    def test_indexed_term_collects_variables(self):
+        term = IndexedTerm(seq_var("X"), IndexVariable("N"), End())
+        assert term.sequence_variables() == frozenset({"X"})
+        assert term.index_variables() == frozenset({"N"})
+        assert not term.is_constructive()
+
+    def test_indexed_term_single_position_shorthand(self):
+        term = IndexedTerm(seq_var("X"), IndexConstant(1))
+        assert term.is_single_position()
+        assert str(term) == "X[1]"
+
+    def test_nested_indexed_terms_rejected(self):
+        """The paper excludes terms such as S[1:N][M:end]."""
+        inner = IndexedTerm(seq_var("S"), IndexConstant(1), IndexVariable("N"))
+        with pytest.raises(ValidationError):
+            IndexedTerm(inner, IndexVariable("M"), End())
+
+    def test_indexing_constructive_terms_rejected(self):
+        """The paper excludes terms such as (S1 ++ S2)[1:N]."""
+        concatenation = ConcatTerm([seq_var("S1"), seq_var("S2")])
+        with pytest.raises(ValidationError):
+            IndexedTerm(concatenation, IndexConstant(1), IndexVariable("N"))
+
+    def test_concatenation_is_constructive_and_flattens(self):
+        term = ConcatTerm([seq_var("X"), ConcatTerm([seq_var("Y"), constant("a")])])
+        assert term.is_constructive()
+        assert len(term.parts) == 3
+        assert term.sequence_variables() == frozenset({"X", "Y"})
+
+    def test_concatenation_associativity_via_flattening(self):
+        left = ConcatTerm([ConcatTerm([seq_var("A"), seq_var("B")]), seq_var("C")])
+        right = ConcatTerm([seq_var("A"), ConcatTerm([seq_var("B"), seq_var("C")])])
+        assert left == right
+
+    def test_concatenation_needs_two_parts(self):
+        with pytest.raises(ValidationError):
+            ConcatTerm([seq_var("X")])
+
+    def test_transducer_term(self):
+        term = TransducerTerm("append", [seq_var("X"), seq_var("Y")])
+        assert term.is_constructive()
+        assert term.transducer_names() == frozenset({"append"})
+        assert str(term) == "@append(X, Y)"
+
+    def test_transducer_terms_compose(self):
+        inner = TransducerTerm("t2", [seq_var("Y")])
+        outer = TransducerTerm("t1", [seq_var("X"), inner])
+        assert outer.transducer_names() == frozenset({"t1", "t2"})
+        assert outer.sequence_variables() == frozenset({"X", "Y"})
+
+    def test_transducer_term_rejects_concatenation_arguments(self):
+        with pytest.raises(ValidationError):
+            TransducerTerm("t", [ConcatTerm([seq_var("X"), seq_var("Y")])])
+
+    def test_transducer_term_needs_arguments(self):
+        with pytest.raises(ValidationError):
+            TransducerTerm("t", [])
+
+    def test_string_rendering_of_ranges(self):
+        term = IndexedTerm(seq_var("X"), IndexVariable("N"), End())
+        assert str(term) == "X[N:end]"

@@ -1,0 +1,191 @@
+"""Tests for the text-database application layer.
+
+Text databases are the paper's second motivating domain.  All programs in
+``repro.text`` are non-constructive (Theorem 3 fragment); the tests check
+each query against a plain-Python reference on small corpora, plus the
+facade's position bookkeeping.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.text import TextCorpus
+from repro.text.programs import (
+    motif_program,
+    palindrome_program,
+    repeat_program,
+    shared_substring_program,
+    tandem_repeat_program,
+)
+
+
+def reference_occurrences(document: str, motif: str):
+    positions, start = [], 0
+    while True:
+        index = document.find(motif, start)
+        if index < 0:
+            return positions
+        positions.append(index + 1)
+        start = index + 1
+
+
+def reference_shared_substrings(first: str, second: str, min_length: int):
+    substrings = {
+        first[i:j]
+        for i in range(len(first))
+        for j in range(i + min_length, len(first) + 1)
+    }
+    return {s for s in substrings if s in second}
+
+
+def reference_palindromic_substrings(document: str, min_length: int):
+    found = set()
+    for i in range(len(document)):
+        for j in range(i + min_length, len(document) + 1):
+            candidate = document[i:j]
+            if candidate == candidate[::-1]:
+                found.add(candidate)
+    return found
+
+
+def reference_tandem_repeats(document: str):
+    found = set()
+    for i in range(len(document)):
+        for half in range(1, (len(document) - i) // 2 + 1):
+            if document[i:i + half] == document[i + half:i + 2 * half]:
+                found.add(document[i:i + half])
+    return found
+
+
+# ----------------------------------------------------------------------
+# Programs are all non-constructive
+# ----------------------------------------------------------------------
+def test_every_text_program_is_non_constructive():
+    programs = [
+        motif_program(),
+        shared_substring_program(),
+        palindrome_program(),
+        tandem_repeat_program(),
+        repeat_program(),
+    ]
+    for program in programs:
+        assert not any(clause.is_constructive() for clause in program)
+
+
+def test_shared_substring_program_validates_min_length():
+    with pytest.raises(ValidationError):
+        shared_substring_program(0)
+
+
+# ----------------------------------------------------------------------
+# Motif occurrences
+# ----------------------------------------------------------------------
+class TestMotifOccurrences:
+    def test_positions_match_reference(self):
+        corpus = TextCorpus(["banana", "bandana"])
+        occurrences = corpus.motif_occurrences(["ana", "ban"])
+        assert occurrences["ana"]["banana"] == reference_occurrences("banana", "ana")
+        assert occurrences["ana"]["bandana"] == reference_occurrences("bandana", "ana")
+        assert occurrences["ban"]["banana"] == [1]
+        assert occurrences["ban"]["bandana"] == [1]
+
+    def test_absent_motif_has_no_entries(self):
+        corpus = TextCorpus(["abc"])
+        occurrences = corpus.motif_occurrences(["zzz"])
+        assert occurrences == {"zzz": {}}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=8), st.text(alphabet="ab", min_size=1, max_size=3))
+    def test_random_documents_match_reference(self, document, motif):
+        corpus = TextCorpus([document])
+        occurrences = corpus.motif_occurrences([motif])
+        expected = reference_occurrences(document, motif)
+        assert occurrences[motif].get(document, []) == expected
+
+
+# ----------------------------------------------------------------------
+# Shared substrings (the corpus-overlap query)
+# ----------------------------------------------------------------------
+class TestSharedSubstrings:
+    def test_shared_substrings_of_two_documents(self):
+        corpus = TextCorpus(["abcde", "xbcdy"])
+        shared = corpus.shared_substrings(min_length=2)
+        assert shared[("abcde", "xbcdy")] == reference_shared_substrings(
+            "abcde", "xbcdy", 2
+        )
+
+    def test_documents_without_overlap_share_nothing(self):
+        corpus = TextCorpus(["aaa", "bbb"])
+        assert corpus.shared_substrings(min_length=2) == {}
+
+    def test_longest_shared_substring(self):
+        corpus = TextCorpus(["the quick fox", "a quick dog"])
+        longest = corpus.longest_shared_substrings(min_length=2)
+        assert longest[("a quick dog", "the quick fox")] == " quick "
+
+    def test_min_length_filters_short_overlaps(self):
+        corpus = TextCorpus(["ab", "ba"])
+        assert corpus.shared_substrings(min_length=2) == {}
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.text(alphabet="ab", min_size=2, max_size=6), st.text(alphabet="ab", min_size=2, max_size=6))
+    def test_random_pairs_match_reference(self, first, second):
+        if first == second:
+            return
+        corpus = TextCorpus([first, second])
+        shared = corpus.shared_substrings(min_length=2)
+        key = (first, second) if first <= second else (second, first)
+        expected = reference_shared_substrings(first, second, 2)
+        assert shared.get(key, set()) == expected
+
+
+# ----------------------------------------------------------------------
+# Palindromes
+# ----------------------------------------------------------------------
+class TestPalindromes:
+    def test_palindromic_substrings_match_reference(self):
+        corpus = TextCorpus(["racecar", "noon"])
+        palindromes = corpus.palindromic_substrings(min_length=2)
+        assert palindromes["racecar"] == reference_palindromic_substrings("racecar", 2)
+        assert palindromes["noon"] == reference_palindromic_substrings("noon", 2)
+
+    def test_palindromic_documents(self):
+        corpus = TextCorpus(["racecar", "noon", "banana", "a", ""])
+        assert corpus.palindromic_documents() == ["", "a", "noon", "racecar"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="ab", max_size=7))
+    def test_random_documents_match_reference(self, document):
+        corpus = TextCorpus([document])
+        palindromes = corpus.palindromic_substrings(min_length=2)
+        assert palindromes[document] == reference_palindromic_substrings(document, 2)
+
+
+# ----------------------------------------------------------------------
+# Repeats
+# ----------------------------------------------------------------------
+class TestRepeats:
+    def test_tandem_repeats_match_reference(self):
+        corpus = TextCorpus(["abab", "banana", "abc"])
+        repeats = corpus.tandem_repeats()
+        for document in ("abab", "banana", "abc"):
+            assert repeats[document] == reference_tandem_repeats(document)
+
+    def test_repeated_documents_example_1_5(self):
+        corpus = TextCorpus(["abcabcabc", "abab", "banana"])
+        units = corpus.repeated_documents()
+        assert units["abcabcabc"] == {"abc"}
+        assert units["abab"] == {"ab"}
+        assert "banana" not in units
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=6))
+    def test_random_tandem_repeats_match_reference(self, document):
+        corpus = TextCorpus([document])
+        assert corpus.tandem_repeats()[document] == reference_tandem_repeats(document)
+
+    def test_repr(self):
+        corpus = TextCorpus(["ab", "cde"])
+        assert "2 documents" in repr(corpus)
+        assert "5 symbols" in repr(corpus)

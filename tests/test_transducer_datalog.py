@@ -1,0 +1,133 @@
+"""Tests for Transducer Datalog programs (Section 7.1, Section 8)."""
+
+import pytest
+
+from repro.core import paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import evaluate_query
+from repro.errors import SafetyError, TransducerError, ValidationError
+from repro.transducer_datalog import TransducerDatalogProgram
+from repro.transducers import TransducerCatalog, library
+
+
+class TestProgramConstruction:
+    def test_missing_transducers_rejected(self):
+        with pytest.raises(TransducerError):
+            TransducerDatalogProgram("p(@missing(X)) :- q(X).")
+
+    def test_arity_mismatch_rejected(self):
+        catalog = TransducerCatalog([library.append_transducer("ab", 2)])
+        with pytest.raises(ValidationError):
+            TransducerDatalogProgram("p(@append(X)) :- q(X).", catalog)
+
+    def test_catalog_can_be_passed_as_transducers_iterable(self):
+        program = TransducerDatalogProgram(
+            "p(@copy(X)) :- q(X).", transducers=[library.copy_transducer("ab")]
+        )
+        assert "copy" in program.catalog
+
+    def test_order_reflects_the_catalog(self):
+        program = TransducerDatalogProgram(
+            "p(@square(X)) :- q(X).", transducers=[library.square_transducer("ab")]
+        )
+        assert program.order == 2
+
+    def test_plain_programs_have_order_zero(self):
+        program = TransducerDatalogProgram("p(X) :- q(X).")
+        assert program.order == 0
+
+
+class TestExample71Genome:
+    def test_dna_to_protein_pipeline(self, dna_db, genome_catalog):
+        program = TransducerDatalogProgram(
+            paper_programs.EXAMPLE_7_1_GENOME, genome_catalog
+        )
+        result = program.evaluate(dna_db, require_safety=True)
+        rna = dict(evaluate_query(result.interpretation, "rnaseq(D, R)").texts())
+        protein = dict(evaluate_query(result.interpretation, "proteinseq(D, P)").texts())
+        assert rna["acgtac"] == "ugcaug"
+        assert rna["ttagga"] == "aauccu"
+        assert protein["acgtac"] == "CM"
+        assert protein["ttagga"] == "NP"
+
+    def test_program_is_strongly_safe_and_order_1(self, genome_catalog):
+        program = TransducerDatalogProgram(
+            paper_programs.EXAMPLE_7_1_GENOME, genome_catalog
+        )
+        assert program.is_strongly_safe()
+        assert program.order == 1
+        assert program.finiteness().verdict.is_finite()
+
+    def test_example_7_2_simulation_agrees_with_the_transducer(self, dna_db, genome_catalog):
+        """Example 7.2: the Sequence Datalog simulation of the transcription
+        transducer produces the same rnaseq relation."""
+        native = TransducerDatalogProgram(
+            paper_programs.EXAMPLE_7_1_GENOME, genome_catalog
+        ).evaluate(dna_db)
+        from repro.engine import compute_least_fixpoint
+
+        simulated = compute_least_fixpoint(
+            paper_programs.transcribe_simulation_program(), dna_db
+        )
+        assert (
+            evaluate_query(native.interpretation, "rnaseq(D, R)").texts()
+            == evaluate_query(simulated.interpretation, "rnaseq(D, R)").texts()
+        )
+
+
+class TestStrongSafetyEnforcement:
+    def test_figure_3_p2_is_rejected_when_safety_required(self):
+        program = TransducerDatalogProgram(
+            paper_programs.EXAMPLE_8_1_P2, paper_programs.figure_3_catalog()
+        )
+        assert not program.is_strongly_safe()
+        with pytest.raises(SafetyError):
+            program.evaluate(SequenceDatabase.from_dict({"p": ["a"]}), require_safety=True)
+
+    def test_figure_3_p1_is_accepted(self, test_limits):
+        program = TransducerDatalogProgram(
+            paper_programs.EXAMPLE_8_1_P1, paper_programs.figure_3_catalog()
+        )
+        assert program.is_strongly_safe()
+        db = SequenceDatabase.from_dict({"a": [("ab", "ba")]})
+        result = program.evaluate(db, require_safety=True, limits=test_limits)
+        assert evaluate_query(result.interpretation, "r(X, Y)").texts() == [
+            ("abab", "baba")
+        ]
+
+    def test_safety_report_names_the_order(self):
+        program = TransducerDatalogProgram(
+            paper_programs.EXAMPLE_8_1_P2, paper_programs.figure_3_catalog()
+        )
+        assert program.safety().order == 2
+
+
+class TestCorollary3PtimeFunctions:
+    """Strongly safe order-<=2 programs computing PTIME sequence functions."""
+
+    def test_complement_as_strongly_safe_program(self):
+        program = TransducerDatalogProgram(
+            "output(@complement(X)) :- input(X).",
+            transducers=[library.complement_transducer("01")],
+        )
+        assert program.is_strongly_safe()
+        result = program.evaluate(SequenceDatabase.single_input("1100"))
+        assert evaluate_query(result.interpretation, "output(Y)").values("Y") == ["0011"]
+
+    def test_squaring_as_strongly_safe_order_2_program(self):
+        program = TransducerDatalogProgram(
+            "output(@square(X)) :- input(X).",
+            transducers=[library.square_transducer("ab")],
+        )
+        assert program.order == 2
+        assert program.is_strongly_safe()
+        result = program.evaluate(SequenceDatabase.single_input("ab"))
+        assert evaluate_query(result.interpretation, "output(Y)").values("Y") == ["abab"]
+
+    def test_composed_transducer_terms(self):
+        program = TransducerDatalogProgram(
+            "output(@complement(@complement(X))) :- input(X).",
+            transducers=[library.complement_transducer("01")],
+        )
+        result = program.evaluate(SequenceDatabase.single_input("0101"))
+        assert evaluate_query(result.interpretation, "output(Y)").values("Y") == ["0101"]

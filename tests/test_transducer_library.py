@@ -1,0 +1,128 @@
+"""Tests for the transducer library, including the Figure 2 reproduction."""
+
+import pytest
+
+from repro.errors import TransducerDefinitionError
+from repro.transducers import library
+
+
+class TestBaseMachines:
+    def test_copy(self):
+        assert library.copy_transducer("abc")("cab").text == "cab"
+
+    def test_mapping_drops_symbols_mapped_to_empty(self):
+        machine = library.mapping_transducer("drop_b", {"b": ""}, alphabet="ab")
+        assert machine("abba").text == "aa"
+
+    def test_mapping_rejects_multi_symbol_outputs(self):
+        with pytest.raises(TransducerDefinitionError):
+            library.mapping_transducer("bad", {"a": "xy"}, alphabet="a")
+
+    def test_erase(self):
+        machine = library.erase_transducer("ab_", erase="_")
+        assert machine("a_b_").text == "ab"
+
+    def test_binary_complement(self):
+        assert library.complement_transducer("01")("110010").text == "001101"
+
+    def test_dna_complement(self):
+        assert library.complement_transducer("acgt")("acgt").text == "tgca"
+
+    def test_complement_of_unknown_alphabet_rejected(self):
+        with pytest.raises(TransducerDefinitionError):
+            library.complement_transducer("xyz")
+
+    def test_transcription_example_7_1(self):
+        """acgtacgt is transcribed into ugcaugca."""
+        assert library.transcribe_transducer()("acgtacgt").text == "ugcaugca"
+
+    def test_translation_example_7_1(self):
+        """gaugacuuacac translates to the four amino acids DDLH."""
+        assert library.translate_transducer()("gaugacuuacac").text == "DDLH"
+
+    def test_translation_ignores_incomplete_trailing_codon(self):
+        assert library.translate_transducer()("gauga").text == "D"
+
+    def test_translation_of_stop_codons(self):
+        assert library.translate_transducer()("uaa").text == "*"
+
+    def test_append_two_inputs(self):
+        machine = library.append_transducer("abcde", 2)
+        assert machine("abc", "de").text == "abcde"
+        assert machine("", "de").text == "de"
+        assert machine("abc", "").text == "abc"
+        assert machine("", "").text == ""
+
+    def test_append_three_inputs(self):
+        machine = library.append_transducer("ab", 3)
+        assert machine("a", "bb", "ab").text == "abbab"
+        assert machine("", "b", "").text == "b"
+
+    def test_echo_duplicates_each_symbol(self):
+        machine = library.echo_transducer("abcd")
+        assert machine("abcd", "abcd").text == "aabbccdd"
+        assert machine("", "").text == ""
+
+
+class TestFigure2SquareTransducer:
+    """Example 6.1 / Figure 2: squaring the input length."""
+
+    def test_output_is_n_copies_of_the_input(self):
+        square = library.square_transducer("abc")
+        assert square("abc").text == "abcabcabc"
+
+    def test_output_length_is_quadratic(self):
+        square = library.square_transducer("ab")
+        for n in (1, 2, 4, 7):
+            assert len(square("ab" * (n // 2) + "a" * (n % 2))) == n * n
+
+    def test_figure_2_trace(self):
+        """The step-by-step table of Figure 2 for input abc."""
+        square = library.square_transducer("abc")
+        run = square.run("abc", trace=True)
+        table = [
+            (step.step, step.positions[0], step.output_before, step.output_after)
+            for step in run.trace
+        ]
+        assert table == [
+            (1, 1, "", "abc"),
+            (2, 2, "abc", "abcabc"),
+            (3, 3, "abcabc", "abcabcabc"),
+        ]
+        assert all("call" in step.operation for step in run.trace)
+
+    def test_empty_input(self):
+        assert library.square_transducer("ab")("").text == ""
+
+
+class TestHigherOrderGrowth:
+    """Theorem 4: output-length bounds by order."""
+
+    def test_pair_square_is_quadratic_in_total_input(self):
+        machine = library.pair_square_transducer("ab")
+        for left, right in [("ab", "b"), ("a", ""), ("abab", "bb")]:
+            total = len(left) + len(right)
+            assert len(machine(left, right)) == total * total
+
+    def test_order_2_output_is_polynomially_bounded(self):
+        square = library.square_transducer("ab")
+        for n in (1, 2, 3, 5, 8):
+            word = "a" * n
+            assert len(square(word)) <= n ** 2
+
+    def test_hyper_transducer_has_order_3(self):
+        assert library.hyper_transducer("ab").order == 3
+
+    def test_order_3_growth_follows_the_theorem_4_recurrence(self):
+        """L_i = (n + L_{i-1})^2 with L_0 = 0, for n steps."""
+        machine = library.hyper_transducer("ab")
+        for n in (1, 2, 3):
+            word = "ab"[:1] * n
+            expected = 0
+            for _ in range(n):
+                expected = (n + expected) ** 2
+            assert len(machine(word)) == expected
+
+    def test_order_3_output_exceeds_any_fixed_polynomial_eventually(self):
+        machine = library.hyper_transducer("ab")
+        assert len(machine("aaa")) > 3 ** 4  # already super-quartic at n = 3

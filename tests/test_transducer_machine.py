@@ -1,0 +1,155 @@
+"""Tests for the generalized transducer machine model (Definition 7)."""
+
+import pytest
+
+from repro.errors import TransducerDefinitionError, TransducerRuntimeError
+from repro.transducers import (
+    CONSUME,
+    END_MARKER,
+    GeneralizedTransducer,
+    TransducerBuilder,
+    Transition,
+)
+from repro.transducers.machine import STAY, WILDCARD
+from repro.transducers.library import append_transducer, copy_transducer, square_transducer
+
+
+def _single_symbol_copier() -> GeneralizedTransducer:
+    builder = TransducerBuilder("copy_ab", num_inputs=1, alphabet="ab")
+    for symbol in "ab":
+        builder.add("q0", (symbol,), "q0", (CONSUME,), symbol)
+    return builder.build("q0")
+
+
+class TestDefinitionRestrictions:
+    def test_every_transition_must_consume(self):
+        builder = TransducerBuilder("bad", num_inputs=1, alphabet="a")
+        builder._transitions[("q0", ("a",))] = Transition("q0", (STAY,), "a")
+        with pytest.raises(TransducerDefinitionError):
+            builder.build("q0")
+
+    def test_heads_cannot_consume_the_end_marker(self):
+        builder = TransducerBuilder("bad", num_inputs=1, alphabet="a")
+        builder.add("q0", (END_MARKER,), "q0", (CONSUME,), "a")
+        with pytest.raises(TransducerDefinitionError):
+            builder.build("q0")
+
+    def test_subtransducer_arity_must_be_m_plus_one(self):
+        sub = _single_symbol_copier()  # 1 input
+        builder = TransducerBuilder("bad", num_inputs=1, alphabet="ab")
+        builder.add("q0", ("a",), "q0", (CONSUME,), sub)
+        with pytest.raises(TransducerDefinitionError):
+            builder.build("q0")
+
+    def test_output_must_be_single_symbol(self):
+        builder = TransducerBuilder("bad", num_inputs=1, alphabet="a")
+        builder.add("q0", ("a",), "q0", (CONSUME,), "too-long")
+        with pytest.raises(TransducerDefinitionError):
+            builder.build("q0")
+
+    def test_duplicate_transitions_rejected(self):
+        builder = TransducerBuilder("dup", num_inputs=1, alphabet="a")
+        builder.add("q0", ("a",), "q0", (CONSUME,), "a")
+        with pytest.raises(TransducerDefinitionError):
+            builder.add("q0", ("a",), "q0", (CONSUME,), "a")
+
+    def test_at_least_one_input_required(self):
+        with pytest.raises(TransducerDefinitionError):
+            GeneralizedTransducer("none", 0, "a", "q0", {})
+
+
+class TestExecution:
+    def test_copy_machine(self):
+        machine = _single_symbol_copier()
+        assert machine("abba").text == "abba"
+
+    def test_empty_input_stops_immediately(self):
+        machine = _single_symbol_copier()
+        run = machine.run("")
+        assert run.output.text == ""
+        assert run.steps == 0
+
+    def test_stuck_machine_raises(self):
+        machine = _single_symbol_copier()
+        with pytest.raises(TransducerRuntimeError):
+            machine.run("abc")  # 'c' has no transition
+
+    def test_wrong_number_of_inputs(self):
+        machine = _single_symbol_copier()
+        with pytest.raises(TransducerRuntimeError):
+            machine.run("a", "b")
+
+    def test_step_counting_includes_subcalls(self):
+        square = square_transducer("ab")
+        run = square.run("ab")
+        assert run.steps == 2
+        assert run.total_steps > run.steps
+
+    def test_trace_records_each_step(self):
+        machine = _single_symbol_copier()
+        run = machine.run("ab", trace=True)
+        assert [step.operation for step in run.trace] == ["emit 'a'", "emit 'b'"]
+        assert run.trace[0].output_before == ""
+        assert run.trace[-1].output_after == "ab"
+
+    def test_termination_always_holds_for_library_machines(self):
+        # Generalized transducers always terminate (Section 6.1).
+        machine = append_transducer("ab", 2)
+        run = machine.run("a" * 30, "b" * 30)
+        assert run.output.text == "a" * 30 + "b" * 30
+
+
+class TestOrders:
+    def test_base_machines_have_order_1(self):
+        assert copy_transducer("ab").order == 1
+        assert append_transducer("ab", 2).order == 1
+
+    def test_square_has_order_2(self):
+        assert square_transducer("ab").order == 2
+
+    def test_all_transducers_collects_subcalls(self):
+        square = square_transducer("ab")
+        names = {machine.name for machine in square.all_transducers()}
+        assert names == {"square", "square_append"}
+
+    def test_subtransducers_direct_only(self):
+        square = square_transducer("ab")
+        assert [m.name for m in square.subtransducers()] == ["square_append"]
+
+
+class TestWildcards:
+    def _wildcard_machine(self) -> GeneralizedTransducer:
+        builder = TransducerBuilder("wild", num_inputs=2, alphabet="ab")
+        # Copy tape 1; once exhausted, drain tape 2 silently.
+        builder.add_wildcard("q0", ("a", WILDCARD), "q0", (CONSUME, STAY), "a")
+        builder.add_wildcard("q0", ("b", WILDCARD), "q0", (CONSUME, STAY), "b")
+        builder.add_wildcard("q0", (END_MARKER, WILDCARD), "q0", (STAY, CONSUME), "")
+        return builder.build("q0")
+
+    def test_wildcard_matching(self):
+        machine = self._wildcard_machine()
+        assert machine("ab", "bb").text == "ab"
+
+    def test_wildcards_never_consume_the_end_marker(self):
+        machine = self._wildcard_machine()
+        # Tape 2 empty: the drain entry would consume its end marker, so it
+        # is skipped and the machine still terminates correctly.
+        assert machine("ab", "").text == "ab"
+
+    def test_exact_transitions_take_precedence(self):
+        builder = TransducerBuilder("mix", num_inputs=1, alphabet="ab")
+        builder.add("q0", ("a",), "q0", (CONSUME,), "x")
+        builder.add_wildcard("q0", (WILDCARD,), "q0", (CONSUME,), "y")
+        machine = builder.build("q0")
+        assert machine("ab").text == "xy"
+
+    def test_transition_items_rejects_wildcard_machines(self):
+        machine = self._wildcard_machine()
+        with pytest.raises(TransducerDefinitionError):
+            machine.transition_items()
+
+    def test_explicit_machines_export_their_table(self):
+        machine = _single_symbol_copier()
+        items = machine.transition_items()
+        assert len(items) == 2
+        assert items[0][0] == "q0"

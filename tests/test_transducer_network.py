@@ -1,0 +1,101 @@
+"""Tests for acyclic transducer networks (Section 6.2)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.transducers import NetworkNode, TransducerNetwork, library
+from repro.transducers.network import chain
+
+
+class TestNetworkConstruction:
+    def test_wire_arity_is_checked(self):
+        with pytest.raises(NetworkError):
+            NetworkNode("n", library.append_transducer("ab", 2), inputs=["x"])
+
+    def test_unknown_input_rejected(self):
+        node = NetworkNode("n", library.copy_transducer("ab"), inputs=["y"])
+        with pytest.raises(NetworkError):
+            TransducerNetwork(["x"], [node], node)
+
+    def test_duplicate_node_names_rejected(self):
+        a = NetworkNode("n", library.copy_transducer("ab"), inputs=["x"])
+        b = NetworkNode("n", library.copy_transducer("ab", name="copy2"), inputs=["x"])
+        with pytest.raises(NetworkError):
+            TransducerNetwork(["x"], [a, b], a)
+
+    def test_cycles_rejected(self):
+        first = NetworkNode("first", library.copy_transducer("ab"), inputs=["x"])
+        second = NetworkNode("second", library.copy_transducer("ab", name="c2"), inputs=[first])
+        # Introduce a cycle by rewiring the first node to read the second.
+        first.inputs[0] = second
+        with pytest.raises(NetworkError):
+            TransducerNetwork(["x"], [first, second], second)
+
+    def test_missing_input_value_at_compute_time(self):
+        node = NetworkNode("n", library.copy_transducer("ab"), inputs=["x"])
+        network = TransducerNetwork(["x"], [node], node)
+        with pytest.raises(NetworkError):
+            network.compute(y="ab")
+
+
+class TestNetworkExecution:
+    def test_serial_genome_pipeline(self):
+        """Example 7.1 as a network: DNA -> RNA -> protein."""
+        transcribe = NetworkNode("transcribe", library.transcribe_transducer(), ["dna"])
+        translate = NetworkNode("translate", library.translate_transducer(), [transcribe])
+        network = TransducerNetwork(["dna"], [transcribe, translate], translate)
+        assert network.compute(dna="gatgattta").text == "LLN"
+        assert network.diameter == 2
+        assert network.order == 1
+
+    def test_fan_in_network(self):
+        """Two copies of the input concatenated by an append node."""
+        append = NetworkNode("append", library.append_transducer("ab", 2), ["x", "x"])
+        network = TransducerNetwork(["x"], [append], append)
+        assert network.compute(x="ab").text == "abab"
+
+    def test_same_input_to_echo(self):
+        echo = NetworkNode("echo", library.echo_transducer("ab"), ["x", "x"])
+        network = TransducerNetwork(["x"], [echo], echo)
+        assert network.compute_function("abab").text == "aabbaabb"
+
+    def test_compute_function_requires_single_input(self):
+        append = NetworkNode("append", library.append_transducer("ab", 2), ["x", "y"])
+        network = TransducerNetwork(["x", "y"], [append], append)
+        with pytest.raises(NetworkError):
+            network.compute_function("ab")
+
+    def test_chain_helper(self):
+        network = chain(
+            [library.complement_transducer("01", name="c1"),
+             library.complement_transducer("01", name="c2")]
+        )
+        assert network.compute_function("0110").text == "0110"
+        assert network.diameter == 2
+
+    def test_chain_rejects_multi_input_machines(self):
+        with pytest.raises(NetworkError):
+            chain([library.append_transducer("ab", 2)])
+
+
+class TestNetworkComplexityParameters:
+    def test_order_is_max_over_nodes(self):
+        square = NetworkNode("square", library.square_transducer("ab"), ["x"])
+        network = TransducerNetwork(["x"], [square], square)
+        assert network.order == 2
+
+    def test_diameter_counts_longest_path(self):
+        s1 = NetworkNode("s1", library.square_transducer("ab", name="sq1"), ["x"])
+        s2 = NetworkNode("s2", library.square_transducer("ab", name="sq2"), [s1])
+        s3 = NetworkNode("s3", library.copy_transducer("ab"), [s2])
+        network = TransducerNetwork(["x"], [s1, s2, s3], s3)
+        assert network.diameter == 3
+
+    def test_order_2_chain_grows_polynomially(self):
+        """Theorem 4 (order-2 networks): output length n^(2^d) for a chain of
+        d squaring nodes -- polynomial for fixed diameter."""
+        s1 = NetworkNode("s1", library.square_transducer("ab", name="sq1"), ["x"])
+        s2 = NetworkNode("s2", library.square_transducer("ab", name="sq2"), [s1])
+        network = TransducerNetwork(["x"], [s1, s2], s2)
+        for n in (1, 2, 3):
+            assert len(network.compute_function("a" * n)) == n ** 4

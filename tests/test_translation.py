@@ -1,0 +1,164 @@
+"""Tests for the Theorem 7 translation and the Corollary 1 rewriting."""
+
+import pytest
+
+from repro.core import paper_programs
+from repro.database import SequenceDatabase
+from repro.engine import compute_least_fixpoint, evaluate_query
+from repro.engine.limits import EvaluationLimits
+from repro.errors import ValidationError
+from repro.language.parser import parse_program
+from repro.transducer_datalog import (
+    TransducerDatalogProgram,
+    concatenation_to_transducers,
+    translate_to_sequence_datalog,
+)
+from repro.transducers import TransducerCatalog, library
+
+TRANSLATION_LIMITS = EvaluationLimits(
+    max_iterations=300, max_facts=200_000, max_domain_size=200_000,
+    max_sequence_length=2_000,
+)
+
+
+def _translated_equals_native(program_text, catalog, data, queries):
+    program = parse_program(program_text)
+    database = SequenceDatabase.from_dict(data)
+
+    native = TransducerDatalogProgram(program, catalog).evaluate(
+        database, limits=TRANSLATION_LIMITS
+    )
+    translated_program = translate_to_sequence_datalog(program, catalog)
+    assert not translated_program.uses_transducers()
+    translated = compute_least_fixpoint(
+        translated_program, database, limits=TRANSLATION_LIMITS
+    )
+    for query in queries:
+        assert (
+            evaluate_query(native.interpretation, query).texts()
+            == evaluate_query(translated.interpretation, query).texts()
+        ), f"mismatch for query {query}"
+
+
+class TestTheorem7Translation:
+    def test_transcription_program(self):
+        """Example 7.2 is exactly what the translation automates."""
+        catalog = TransducerCatalog([library.transcribe_transducer()])
+        _translated_equals_native(
+            "rnaseq(D, @transcribe(D)) :- dnaseq(D).",
+            catalog,
+            {"dnaseq": ["acgt", "tt"]},
+            ["rnaseq(D, R)"],
+        )
+
+    def test_append_program(self):
+        catalog = TransducerCatalog([library.append_transducer("ab", 2)])
+        _translated_equals_native(
+            "answer(@append(X, Y)) :- r(X), s(Y).",
+            catalog,
+            {"r": ["a", "ab"], "s": ["b"]},
+            ["answer(Z)"],
+        )
+
+    def test_order_2_subtransducer_simulation(self):
+        """Simulating an order-2 machine exercises the gamma_4/gamma_5 rules."""
+        catalog = TransducerCatalog([library.square_transducer("ab")])
+        _translated_equals_native(
+            "sq(X, @square(X)) :- r(X).",
+            catalog,
+            {"r": ["ab"]},
+            ["sq(X, Y)"],
+        )
+
+    def test_translation_preserves_program_predicates_only(self):
+        catalog = TransducerCatalog([library.transcribe_transducer()])
+        program = parse_program("rnaseq(D, @transcribe(D)) :- dnaseq(D).")
+        translated = translate_to_sequence_datalog(program, catalog)
+        predicates = translated.predicates()
+        assert "rnaseq" in predicates
+        assert "p_transcribe" in predicates
+        assert "comp_transcribe" in predicates
+        assert "input_transcribe" in predicates
+        assert "delta_emit_transcribe" in predicates
+
+    def test_delta_facts_encode_the_transition_function(self):
+        catalog = TransducerCatalog([library.transcribe_transducer()])
+        program = parse_program("rnaseq(D, @transcribe(D)) :- dnaseq(D).")
+        translated = translate_to_sequence_datalog(program, catalog)
+        delta_facts = [
+            clause for clause in translated
+            if clause.head.predicate == "delta_emit_transcribe"
+        ]
+        # One fact per (state, symbol) pair of the 4-symbol mapping machine.
+        assert len(delta_facts) == 4
+        assert all(clause.is_fact() for clause in delta_facts)
+
+    def test_predicate_clash_is_detected(self):
+        catalog = TransducerCatalog([library.transcribe_transducer()])
+        program = parse_program(
+            """
+            rnaseq(D, @transcribe(D)) :- dnaseq(D).
+            p_transcribe(X) :- dnaseq(X).
+            """
+        )
+        with pytest.raises(ValidationError):
+            translate_to_sequence_datalog(program, catalog)
+
+    def test_rules_without_transducer_terms_are_copied_verbatim(self):
+        catalog = TransducerCatalog([library.transcribe_transducer()])
+        program = parse_program(
+            """
+            rnaseq(D, @transcribe(D)) :- dnaseq(D).
+            plain(X) :- dnaseq(X).
+            """
+        )
+        translated = translate_to_sequence_datalog(program, catalog)
+        assert any(str(clause) == "plain(X) :- dnaseq(X)." for clause in translated)
+
+    def test_translation_of_composed_terms_flattens_them(self):
+        catalog = TransducerCatalog([library.complement_transducer("01")])
+        program = parse_program("out(@complement(@complement(X))) :- r(X).")
+        translated = translate_to_sequence_datalog(program, catalog)
+        # Two p_complement subgoals are introduced for the nested call.
+        rewritten = [c for c in translated if c.head.predicate == "out"]
+        assert len(rewritten) == 1
+        assert sum(
+            1 for atom in rewritten[0].body_atoms() if atom.predicate == "p_complement"
+        ) == 2
+
+
+class TestCorollary1Rewriting:
+    def test_concatenation_becomes_append_terms(self):
+        program = parse_program("answer(X ++ Y ++ Z) :- r(X), r(Y), r(Z).")
+        rewritten, catalog = concatenation_to_transducers(program, "ab")
+        assert "append" in catalog
+        assert not any(clause.is_constructive() and "++" in str(clause) for clause in rewritten)
+        assert "@append" in str(rewritten)
+
+    def test_rewriting_preserves_semantics(self, test_limits):
+        program = parse_program("answer(X ++ Y) :- r(X), r(Y).")
+        database = SequenceDatabase.from_dict({"r": ["a", "b"]})
+        original = compute_least_fixpoint(program, database, limits=test_limits)
+
+        rewritten, catalog = concatenation_to_transducers(program, "ab")
+        native = TransducerDatalogProgram(rewritten, catalog).evaluate(
+            database, limits=test_limits
+        )
+        assert (
+            evaluate_query(original.interpretation, "answer(X)").texts()
+            == evaluate_query(native.interpretation, "answer(X)").texts()
+        )
+
+    def test_rewriting_reverse_program_preserves_semantics(self, test_limits):
+        program = paper_programs.reverse_program()
+        database = SequenceDatabase.from_dict({"r": ["110"]})
+        original = compute_least_fixpoint(program, database, limits=test_limits)
+
+        rewritten, catalog = concatenation_to_transducers(program, "01")
+        native = TransducerDatalogProgram(rewritten, catalog).evaluate(
+            database, limits=test_limits
+        )
+        assert (
+            evaluate_query(original.interpretation, "answer(Y)").texts()
+            == evaluate_query(native.interpretation, "answer(Y)").texts()
+        )

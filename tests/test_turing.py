@@ -1,0 +1,165 @@
+"""Tests for the Turing machine substrate and both compilers (Theorems 1, 5)."""
+
+import pytest
+
+from repro.database import SequenceDatabase
+from repro.engine import compute_least_fixpoint
+from repro.engine.limits import EvaluationLimits
+from repro.engine.query import output_relation
+from repro.errors import TuringMachineError
+from repro.turing import TuringMachine, machines
+from repro.turing.compile_to_datalog import compile_tm_to_sequence_datalog, strip_blanks
+from repro.turing.compile_to_network import compile_tm_to_network
+from repro.turing.machine import BLANK, LEFT, LEFT_END, RIGHT, STAY_PUT
+
+TM_LIMITS = EvaluationLimits(
+    max_iterations=400, max_facts=100_000, max_domain_size=100_000,
+    max_sequence_length=500,
+)
+
+
+class TestTuringMachineModel:
+    def test_identity(self):
+        machine = machines.identity_machine()
+        assert machine.compute("0101").text == "0101"
+
+    def test_complement(self):
+        machine = machines.complement_machine()
+        assert machine.compute("0110").text == "1001"
+
+    def test_increment_lsb_first(self):
+        machine = machines.increment_machine()
+        assert machine.compute("110").text == "001"   # 3 -> 4
+        assert machine.compute("111").text == "0001"  # 7 -> 8
+        assert machine.compute("").text == "1"        # 0 -> 1
+
+    def test_erase(self):
+        machine = machines.erase_machine()
+        assert machine.compute("0101").text == ""
+
+    def test_looping_machine_exceeds_step_limit(self):
+        machine = machines.looping_machine()
+        with pytest.raises(TuringMachineError):
+            machine.run("01", max_steps=100)
+        assert not machine.halts_on("01", max_steps=100)
+
+    def test_unknown_input_symbol_rejected(self):
+        with pytest.raises(TuringMachineError):
+            machines.complement_machine().run("012")
+
+    def test_validation_rejects_overwriting_the_left_marker(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine(
+                name="bad",
+                input_alphabet="0",
+                initial_state="q",
+                halting_states={"h"},
+                transitions={("q", LEFT_END): ("h", "0", RIGHT)},
+            )
+
+    def test_validation_rejects_moving_left_of_the_marker(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine(
+                name="bad",
+                input_alphabet="0",
+                initial_state="q",
+                halting_states={"h"},
+                transitions={("q", LEFT_END): ("h", LEFT_END, LEFT)},
+            )
+
+    def test_validation_rejects_transitions_out_of_halting_states(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine(
+                name="bad",
+                input_alphabet="0",
+                initial_state="q",
+                halting_states={"q"},
+                transitions={("q", "0"): ("q", "0", RIGHT)},
+            )
+
+    def test_run_metadata(self):
+        run = machines.identity_machine().run("01")
+        assert run.halted
+        assert run.steps == 4  # marker + two symbols + blank
+        assert run.final_tape.startswith(LEFT_END)
+
+
+class TestTheorem1Compiler:
+    """Sequence Datalog expresses every computable sequence function."""
+
+    @pytest.mark.parametrize(
+        "factory, word",
+        [
+            (machines.increment_machine, "110"),
+            (machines.increment_machine, ""),
+            (machines.complement_machine, "010"),
+            (machines.identity_machine, "01"),
+            (machines.erase_machine, "01"),
+        ],
+    )
+    def test_compiled_program_computes_the_machine_function(self, factory, word):
+        machine = factory()
+        program = compile_tm_to_sequence_datalog(machine)
+        database = SequenceDatabase.single_input(word)
+        result = compute_least_fixpoint(program, database, limits=TM_LIMITS)
+        outputs = {strip_blanks(o, machine) for o in output_relation(result.interpretation)}
+        assert outputs == {machine.compute(word).text}
+
+    def test_configurations_are_derived_as_conf_facts(self):
+        machine = machines.identity_machine()
+        program = compile_tm_to_sequence_datalog(machine)
+        result = compute_least_fixpoint(
+            program, SequenceDatabase.single_input("0"), limits=TM_LIMITS
+        )
+        assert result.interpretation.tuples("conf")
+
+    def test_custom_predicate_names(self):
+        machine = machines.complement_machine()
+        program = compile_tm_to_sequence_datalog(
+            machine, input_predicate="word", output_predicate="result",
+            conf_predicate="cfg",
+        )
+        db = SequenceDatabase.from_dict({"word": ["01"]})
+        result = compute_least_fixpoint(program, db, limits=TM_LIMITS)
+        outputs = {strip_blanks(o, machine) for o in output_relation(result.interpretation, "result")}
+        assert outputs == {"10"}
+
+    def test_one_rule_per_transition_plus_bookkeeping(self):
+        machine = machines.complement_machine()
+        program = compile_tm_to_sequence_datalog(machine)
+        # 1 initial rule + 4 transitions + 2 output rules.
+        assert len(program) == 1 + len(machine.transitions) + 2
+
+
+class TestTheorem5Compiler:
+    """Order-2 networks express the PTIME sequence functions."""
+
+    @pytest.mark.parametrize(
+        "factory, words",
+        [
+            (machines.complement_machine, ["01", "1100", "000111"]),
+            (machines.identity_machine, ["01", "0101"]),
+            (machines.increment_machine, ["11", "010"]),
+            (machines.erase_machine, ["0101"]),
+        ],
+    )
+    def test_network_computes_the_machine_function(self, factory, words):
+        machine = factory()
+        network = compile_tm_to_network(machine, time_exponent=1)
+        for word in words:
+            assert network.compute_function(word) == machine.compute(word)
+
+    def test_network_has_order_2(self):
+        network = compile_tm_to_network(machines.complement_machine())
+        assert network.order == 2
+
+    def test_network_structure(self):
+        network = compile_tm_to_network(machines.complement_machine())
+        names = set(network.nodes)
+        assert {"init", "sim", "decode"} <= names
+        assert any(name.startswith("counter") for name in names)
+        assert network.diameter >= 3
+
+    def test_invalid_time_exponent_rejected(self):
+        with pytest.raises(TuringMachineError):
+            compile_tm_to_network(machines.complement_machine(), time_exponent=0)

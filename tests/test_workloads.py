@@ -1,0 +1,54 @@
+"""Tests for the synthetic workload generators."""
+
+from repro import workloads
+from repro.sequences.alphabet import DNA_ALPHABET
+
+
+class TestGenerators:
+    def test_random_string_length_and_alphabet(self):
+        word = workloads.random_string(50, alphabet="xyz", seed=7)
+        assert len(word) == 50
+        assert set(word) <= set("xyz")
+
+    def test_seeding_is_deterministic(self):
+        assert workloads.random_string(20, seed=1) == workloads.random_string(20, seed=1)
+        assert workloads.random_strings(3, 10, seed=2) == workloads.random_strings(3, 10, seed=2)
+
+    def test_random_dna_uses_the_dna_alphabet(self):
+        word = workloads.random_dna(100, seed=3)
+        assert set(word) <= set(DNA_ALPHABET.symbols)
+
+    def test_anbncn_construction(self):
+        assert workloads.anbncn(0) == ""
+        assert workloads.anbncn(3) == "aaabbbccc"
+
+    def test_anbncn_database_mixes_targets_and_decoys(self):
+        db = workloads.anbncn_database(3, decoys=4, seed=5)
+        rows = {row[0].text for row in db.relation("r")}
+        assert "aabbcc" in rows
+        decoys = [row for row in rows if not workloads._is_anbncn(row)]
+        assert len(decoys) >= 1
+
+    def test_repeats_database(self):
+        db = workloads.repeats_database(pattern_lengths=(2,), copies=(1, 3), seed=9)
+        rows = sorted(row[0].text for row in db.relation("r"))
+        assert len(rows[1]) == 3 * len(rows[0])
+
+    def test_string_database_shape(self):
+        db = workloads.string_database(5, 7, relation="docs", seed=11)
+        assert len(db.relation("docs")) == 5
+        assert all(len(row[0]) == 7 for row in db.relation("docs"))
+
+    def test_dna_database_shape(self):
+        db = workloads.dna_database(3, 9, seed=13)
+        assert len(db.relation("dnaseq")) == 3
+
+    def test_size_sweep(self):
+        sweep = workloads.size_sweep([1, 2, 4], length=5, seed=17)
+        assert [size for size, _ in sweep] == [1, 2, 4]
+        assert all(len(db.relation("r")) == size for size, db in sweep)
+
+    def test_length_sweep(self):
+        sweep = workloads.length_sweep([2, 4], count=3, seed=19)
+        for length, db in sweep:
+            assert all(len(row[0]) == length for row in db.relation("r"))

@@ -1,15 +1,20 @@
 """Command-line interface for the Sequence Datalog engine.
 
-Three subcommands cover the typical workflow::
+Four subcommands cover the typical workflow::
 
     python -m repro.cli run program.sdl --db database.json --query "answer(X)"
     python -m repro.cli analyze program.sdl
+    python -m repro.cli explain program.sdl
     python -m repro.cli parse program.sdl
 
 * ``run`` evaluates a program over a database given as a JSON object mapping
   relation names to lists of strings (unary relations) or lists of string
   lists (n-ary relations), then prints the answers to the query pattern.
+  ``--strategy`` selects the evaluation core (``compiled`` by default;
+  ``naive`` and ``semi-naive`` are the interpreted references).
 * ``analyze`` prints the strong-safety report and the finiteness verdict.
+* ``explain`` prints the compiled evaluation plan: the dependency strata,
+  each clause's join order and the index columns every scan uses.
 * ``parse`` pretty-prints the parsed program (a syntax check).
 
 The CLI is intentionally thin: it only wires files and flags into the same
@@ -27,7 +32,9 @@ from typing import List, Optional, Sequence
 from repro.analysis import classify_finiteness
 from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
+from repro.engine.fixpoint import DEFAULT_STRATEGY, STRATEGIES
 from repro.engine.limits import EvaluationLimits
+from repro.engine.planner import compile_program
 from repro.errors import ReproError
 from repro.language.parser import parse_program
 
@@ -67,12 +74,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="iteration limit for the fixpoint computation",
     )
     run_parser.add_argument(
-        "--strategy", choices=["naive", "semi-naive"], default="semi-naive",
+        "--strategy", choices=list(STRATEGIES), default=DEFAULT_STRATEGY,
         help="bottom-up evaluation strategy",
     )
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
     analyze_parser.add_argument("program", help="path to the Sequence Datalog program")
+
+    explain_parser = subparsers.add_parser(
+        "explain", help="print the compiled evaluation plan"
+    )
+    explain_parser.add_argument("program", help="path to the Sequence Datalog program")
 
     parse_parser = subparsers.add_parser("parse", help="parse and pretty-print a program")
     parse_parser.add_argument("program", help="path to the Sequence Datalog program")
@@ -103,6 +115,13 @@ def _command_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_explain(args: argparse.Namespace, out) -> int:
+    program = parse_program(_load_program(args.program))
+    program.validate()
+    print(compile_program(program).explain(), file=out)
+    return 0
+
+
 def _command_parse(args: argparse.Namespace, out) -> int:
     program = parse_program(_load_program(args.program))
     program.validate()
@@ -121,6 +140,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_run(args, out)
         if args.command == "analyze":
             return _command_analyze(args, out)
+        if args.command == "explain":
+            return _command_explain(args, out)
         return _command_parse(args, out)
     except ReproError as error:
         print(f"error: {error}", file=out)

@@ -17,10 +17,11 @@ from repro.analysis.safety import SafetyReport, analyze_safety
 from repro.database.database import SequenceDatabase
 from repro.engine.bindings import TransducerRegistry
 from repro.engine.fixpoint import (
+    DEFAULT_STRATEGY,
     FixpointResult,
-    SEMI_NAIVE,
     compute_least_fixpoint,
 )
+from repro.engine.planner import compile_program
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import QueryResult, evaluate_query
@@ -61,13 +62,17 @@ class SequenceDatalogEngine:
         """Static finiteness classification (Theorems 2, 3, 8, 9)."""
         return classify_finiteness(self.program)
 
+    def explain(self) -> str:
+        """The compiled evaluation plan: strata, join orders, index columns."""
+        return compile_program(self.program).explain()
+
     # ------------------------------------------------------------------
     # Evaluation and queries
     # ------------------------------------------------------------------
     def evaluate(
         self,
         database: DatabaseLike,
-        strategy: str = SEMI_NAIVE,
+        strategy: str = DEFAULT_STRATEGY,
         limits: Optional[EvaluationLimits] = None,
     ) -> FixpointResult:
         """Compute the least fixpoint of the program over a database."""

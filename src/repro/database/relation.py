@@ -1,37 +1,59 @@
 """Relations over sequences (Section 2.2 of the paper).
 
 A relation of arity ``k`` over an alphabet is a finite set of ``k``-tuples of
-sequences.  :class:`SequenceRelation` stores such a set with per-column
-indexes so the evaluation engine can look tuples up by bound columns without
-scanning the whole relation.
+sequences.  :class:`SequenceRelation` stores such a set in an interned
+columnar layout:
+
+* every :class:`~repro.sequences.Sequence` is interned process-wide, so a
+  row is represented internally as a tuple of small integer *intern ids* —
+  membership tests hash a few ints instead of re-hashing strings;
+* rows are also kept in an append-only insertion-order list, which gives
+  iteration a **zero-copy snapshot**: capturing ``len(rows)`` before
+  iterating makes concurrent inserts (the fixpoint engine inserts while a
+  later clause still scans) invisible without copying the store;
+* hash indexes over any *combination* of columns are built on demand the
+  first time a lookup binds that column set, then maintained incrementally.
+
+The append-only layout also yields cheap *delta views*
+(:class:`RelationDelta`): a view of the rows inserted after a version mark,
+which is what predicate-level semi-naive evaluation iterates instead of a
+materialised delta relation.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.sequences import Sequence, as_sequence
 
 SequenceTuple = Tuple[Sequence, ...]
+IdTuple = Tuple[int, ...]
 
 
 class SequenceRelation:
-    """A finite set of tuples of sequences with per-column hash indexes."""
+    """A finite set of tuples of sequences with on-demand composite indexes."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = (
+        "name", "arity", "_keys", "_rows", "_version", "_indexes",
+        "_snapshot", "_sorted",
+    )
 
     def __init__(self, name: str, arity: int, tuples: Iterable = ()):
         if arity < 1:
             raise ValidationError(f"relation arity must be at least 1, got {arity}")
         self.name = name
         self.arity = arity
-        self._tuples: Set[SequenceTuple] = set()
-        # _indexes[column][value] -> set of tuples having that value in the column
-        self._indexes: List[Dict[Sequence, Set[SequenceTuple]]] = [
-            defaultdict(set) for _ in range(arity)
-        ]
+        # Membership set of interned-id tuples.
+        self._keys: Set[IdTuple] = set()
+        # Append-only insertion-order row store (decoded Sequence tuples).
+        self._rows: List[SequenceTuple] = []
+        # Monotonic mutation counter; never decremented, even by discard.
+        self._version = 0
+        # _indexes[(c1, c2, ...)][(id1, id2, ...)] -> list of rows, built lazily.
+        self._indexes: Dict[Tuple[int, ...], Dict[IdTuple, List[SequenceTuple]]] = {}
+        self._snapshot: Optional[FrozenSet[SequenceTuple]] = None
+        self._sorted: Optional[List[SequenceTuple]] = None
         for row in tuples:
             self.add(row)
 
@@ -46,11 +68,21 @@ class SequenceRelation:
                 f"relation {self.name!r} has arity {self.arity}, "
                 f"got a tuple of length {len(normalized)}"
             )
-        if normalized in self._tuples:
+        key = tuple(value.intern_id for value in normalized)
+        if key in self._keys:
             return False
-        self._tuples.add(normalized)
-        for column, value in enumerate(normalized):
-            self._indexes[column][value].add(normalized)
+        self._keys.add(key)
+        self._rows.append(normalized)
+        self._version += 1
+        for columns, index in self._indexes.items():
+            index_key = tuple(key[column] for column in columns)
+            bucket = index.get(index_key)
+            if bucket is None:
+                index[index_key] = [normalized]
+            else:
+                bucket.append(normalized)
+        self._snapshot = None
+        self._sorted = None
         return True
 
     def add_all(self, rows: Iterable[Iterable]) -> int:
@@ -62,17 +94,25 @@ class SequenceRelation:
         return inserted
 
     def discard(self, row: Iterable) -> bool:
-        """Remove a tuple if present; return True if it was there."""
+        """Remove a tuple if present; return True if it was there.
+
+        Removal is rare (the fixpoint engine only ever inserts), so it pays
+        the cost of rebuilding the append-only row list and dropping the
+        lazily-built indexes rather than complicating every lookup with
+        tombstones.
+        """
         normalized = tuple(as_sequence(value) for value in row)
-        if normalized not in self._tuples:
+        key = tuple(value.intern_id for value in normalized)
+        if key not in self._keys:
             return False
-        self._tuples.discard(normalized)
-        for column, value in enumerate(normalized):
-            bucket = self._indexes[column].get(value)
-            if bucket is not None:
-                bucket.discard(normalized)
-                if not bucket:
-                    del self._indexes[column][value]
+        self._keys.discard(key)
+        self._rows = [existing for existing in self._rows if existing != normalized]
+        # A removal is still a change: the counter must keep moving forward
+        # so version-gated consumers re-examine the relation.
+        self._version += 1
+        self._indexes = {}
+        self._snapshot = None
+        self._sorted = None
         return True
 
     # ------------------------------------------------------------------
@@ -80,16 +120,16 @@ class SequenceRelation:
     # ------------------------------------------------------------------
     def __contains__(self, row: object) -> bool:
         try:
-            normalized = tuple(as_sequence(value) for value in row)  # type: ignore[union-attr]
+            key = tuple(as_sequence(value).intern_id for value in row)  # type: ignore[union-attr]
         except TypeError:
             return False
-        return normalized in self._tuples
+        return key in self._keys
 
     def __iter__(self) -> Iterator[SequenceTuple]:
-        return iter(self._tuples)
+        return self._snapshot_iter()
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._rows)
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, SequenceRelation):
@@ -97,62 +137,183 @@ class SequenceRelation:
         return (
             other.name == self.name
             and other.arity == self.arity
-            and other._tuples == self._tuples
+            and other._keys == self._keys
         )
 
     def __repr__(self) -> str:
-        return f"SequenceRelation({self.name!r}/{self.arity}, {len(self._tuples)} tuples)"
+        return f"SequenceRelation({self.name!r}/{self.arity}, {len(self._rows)} tuples)"
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (adds and discards both advance it).
+
+        While the relation is insert-only — the fixpoint engine's case —
+        the counter equals the row count, so a version doubles as a
+        position in the append-only row list.  After a discard the two
+        drift apart; :meth:`delta_view` compensates conservatively.
+        """
+        return self._version
+
+    def _snapshot_iter(self, start: int = 0, stop: Optional[int] = None) -> Iterator[SequenceTuple]:
+        """Iterate rows [start, stop) of the append-only store without copying.
+
+        The bound is captured before iteration begins, so inserts performed
+        while the iterator is live are simply not seen.
+        """
+        rows = self._rows
+        if stop is None:
+            stop = len(rows)
+        for position in range(start, stop):
+            yield rows[position]
 
     def tuples(self) -> FrozenSet[SequenceTuple]:
-        """A frozen snapshot of the tuples."""
-        return frozenset(self._tuples)
+        """A frozen snapshot of the tuples (cached between mutations)."""
+        if self._snapshot is None:
+            self._snapshot = frozenset(self._rows)
+        return self._snapshot
 
     def sorted_tuples(self) -> List[SequenceTuple]:
-        """Tuples ordered lexicographically (useful for stable output)."""
-        return sorted(self._tuples, key=lambda row: tuple(value.text for value in row))
+        """Tuples ordered lexicographically (cached between mutations).
+
+        A copy is returned so callers cannot corrupt the cache.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._rows, key=lambda row: tuple(value.text for value in row)
+            )
+        return list(self._sorted)
+
+    def ensure_index(self, columns: Tuple[int, ...]) -> Dict[IdTuple, List[SequenceTuple]]:
+        """Build (once) and return the composite hash index for ``columns``."""
+        index = self._indexes.get(columns)
+        if index is None:
+            for column in columns:
+                if column < 0 or column >= self.arity:
+                    raise ValidationError(
+                        f"column {column} out of range for relation {self.name!r}"
+                    )
+            index = {}
+            for row in self._rows:
+                index_key = tuple(row[column].intern_id for column in columns)
+                bucket = index.get(index_key)
+                if bucket is None:
+                    index[index_key] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[columns] = index
+        return index
 
     def lookup(self, bindings: Dict[int, Sequence]) -> Iterator[SequenceTuple]:
         """Iterate tuples whose columns match the given ``{column: value}`` map.
 
-        Columns are 0-based.  With an empty binding map this iterates the
-        whole relation.  The smallest index bucket among the bound columns is
-        scanned, so lookups with at least one bound column never touch more
-        tuples than the most selective column admits.
+        Columns are 0-based.  With an empty binding map this iterates a
+        zero-copy snapshot of the whole relation.  Otherwise the composite
+        index over exactly the bound columns is consulted (built on first
+        use), so no post-filtering and no bucket copying is needed.
         """
         if not bindings:
-            yield from list(self._tuples)
+            yield from self._snapshot_iter()
             return
-        smallest: Optional[Set[SequenceTuple]] = None
-        for column, value in bindings.items():
-            if column < 0 or column >= self.arity:
-                raise ValidationError(
-                    f"column {column} out of range for relation {self.name!r}"
-                )
-            bucket = self._indexes[column].get(as_sequence(value), set())
-            if smallest is None or len(bucket) < len(smallest):
-                smallest = bucket
-            if not bucket:
-                return
-        assert smallest is not None
-        for row in list(smallest):
-            if all(row[column] == as_sequence(value) for column, value in bindings.items()):
-                yield row
+        columns = tuple(sorted(bindings))
+        index = self.ensure_index(columns)
+        index_key = tuple(as_sequence(bindings[column]).intern_id for column in columns)
+        bucket = index.get(index_key)
+        if not bucket:
+            return
+        # Snapshot bound: appends during iteration are not seen.
+        stop = len(bucket)
+        for position in range(stop):
+            yield bucket[position]
+
+    def delta_view(self, start_version: int) -> "RelationDelta":
+        """A live view of the rows inserted at or after ``start_version``.
+
+        Versions double as row positions only while the relation is
+        insert-only.  If discards have made the version counter run ahead
+        of the row count, the window start is shifted back by the
+        difference — a safe over-approximation (the view may replay some
+        older rows, which semi-naive evaluation deduplicates, but it can
+        never miss a new one).
+        """
+        drift = self._version - len(self._rows)
+        start = max(0, start_version - drift)
+        return RelationDelta(self, start, len(self._rows))
 
     def column_values(self, column: int) -> Set[Sequence]:
         """The distinct values appearing in a column."""
-        if column < 0 or column >= self.arity:
-            raise ValidationError(
-                f"column {column} out of range for relation {self.name!r}"
-            )
-        return set(self._indexes[column])
+        index = self.ensure_index((column,))
+        return {bucket[0][column] for bucket in index.values() if bucket}
 
     def all_sequences(self) -> Set[Sequence]:
         """Every sequence appearing anywhere in the relation."""
         values: Set[Sequence] = set()
-        for row in self._tuples:
+        for row in self._rows:
             values.update(row)
         return values
 
     def copy(self) -> "SequenceRelation":
         """An independent copy of the relation."""
-        return SequenceRelation(self.name, self.arity, self._tuples)
+        return SequenceRelation(self.name, self.arity, self._rows)
+
+
+class RelationDelta:
+    """The rows of a relation appended within a version window.
+
+    Used by predicate-level semi-naive evaluation: a clause that last ran at
+    relation version ``v`` only needs to join against the rows appended
+    since ``v``.  The view shares the relation's append-only row list, so it
+    is zero-copy; when a lookup binds columns, a window-local hash index is
+    built once per column set (the view lives for a single clause firing, so
+    the index stays small and is never maintained incrementally).
+    """
+
+    __slots__ = ("relation", "start", "stop", "_indexes")
+
+    def __init__(self, relation: SequenceRelation, start: int, stop: int):
+        self.relation = relation
+        self.start = max(0, start)
+        self.stop = stop
+        self._indexes: Dict[Tuple[int, ...], Dict[IdTuple, List[SequenceTuple]]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    @property
+    def arity(self) -> int:
+        return self.relation.arity
+
+    def __len__(self) -> int:
+        return max(0, self.stop - self.start)
+
+    def __bool__(self) -> bool:
+        return self.stop > self.start
+
+    def __iter__(self) -> Iterator[SequenceTuple]:
+        return self.relation._snapshot_iter(self.start, self.stop)
+
+    def lookup(self, bindings: Dict[int, Sequence]) -> Iterator[SequenceTuple]:
+        """Iterate the window's rows matching the ``{column: value}`` map."""
+        if not bindings:
+            yield from self.relation._snapshot_iter(self.start, self.stop)
+            return
+        columns = tuple(sorted(bindings))
+        index = self._indexes.get(columns)
+        if index is None:
+            for column in columns:
+                if column < 0 or column >= self.relation.arity:
+                    raise ValidationError(
+                        f"column {column} out of range for relation "
+                        f"{self.relation.name!r}"
+                    )
+            index = {}
+            for row in self.relation._snapshot_iter(self.start, self.stop):
+                index_key = tuple(row[column].intern_id for column in columns)
+                bucket = index.get(index_key)
+                if bucket is None:
+                    index[index_key] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[columns] = index
+        index_key = tuple(as_sequence(bindings[column]).intern_id for column in columns)
+        yield from index.get(index_key, ())

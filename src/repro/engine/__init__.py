@@ -8,25 +8,47 @@ The engine implements:
   atoms with their extended active domain;
 * :class:`~repro.engine.toperator.TOperator` -- the operator ``T_{P,db}`` of
   Definition 4 (monotonic, continuous);
-* :mod:`~repro.engine.fixpoint` -- naive and semi-naive bottom-up computation
-  of the least fixpoint ``T_{P,db} ^ omega`` with resource limits;
+* :mod:`~repro.engine.plan` / :mod:`~repro.engine.planner` -- compiled
+  clause plans: static join ordering, per-scan index column selection and
+  the plan executor;
+* :mod:`~repro.engine.fixpoint` -- naive, semi-naive and compiled
+  (dependency-scheduled) bottom-up computation of the least fixpoint
+  ``T_{P,db} ^ omega`` with resource limits;
 * :mod:`~repro.engine.query` -- pattern queries over interpretations.
 """
 
 from repro.engine.bindings import Substitution
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import EvaluationLimits
+from repro.engine.plan import ClausePlan, ProgramPlan
+from repro.engine.planner import PlanExecutor, compile_clause, compile_program
 from repro.engine.toperator import TOperator
-from repro.engine.fixpoint import FixpointResult, compute_least_fixpoint
+from repro.engine.fixpoint import (
+    COMPILED,
+    DEFAULT_STRATEGY,
+    FixpointResult,
+    NAIVE,
+    SEMI_NAIVE,
+    compute_least_fixpoint,
+)
 from repro.engine.query import QueryResult, evaluate_query
 
 __all__ = [
+    "COMPILED",
+    "ClausePlan",
+    "DEFAULT_STRATEGY",
     "EvaluationLimits",
     "FixpointResult",
     "Interpretation",
+    "NAIVE",
+    "PlanExecutor",
+    "ProgramPlan",
     "QueryResult",
+    "SEMI_NAIVE",
     "Substitution",
     "TOperator",
+    "compile_clause",
+    "compile_program",
     "compute_least_fixpoint",
     "evaluate_query",
 ]

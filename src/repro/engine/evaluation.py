@@ -30,7 +30,7 @@ without materialising the full substitution space.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence as TypingSequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.bindings import Substitution, TransducerRegistry, UnboundVariableError
 from repro.engine.interpretation import Fact, Interpretation
@@ -55,6 +55,181 @@ def _literal_is_evaluable(literal: BodyLiteral, substitution: Substitution) -> b
     return substitution.covers(
         literal.sequence_variables(), literal.index_variables()
     )
+
+
+# ----------------------------------------------------------------------
+# Shared matching machinery
+#
+# These module-level functions implement the semantics of matching a term of
+# a body atom against a fact value (Section 3.2).  They are used both by the
+# backtracking :class:`ClauseEvaluator` below (the naive reference) and by
+# the compiled plan executor in :mod:`repro.engine.planner`, so the two
+# evaluation paths cannot drift apart semantically.
+# ----------------------------------------------------------------------
+def match_args(
+    args: Tuple[SequenceTerm, ...],
+    row: Tuple[Sequence, ...],
+    position: int,
+    substitution: Substitution,
+    domain: ExtendedDomain,
+) -> Iterator[Substitution]:
+    """Yield extensions of ``substitution`` matching each arg to each value."""
+    if position == len(args):
+        yield substitution
+        return
+    for extended in match_term(args[position], row[position], substitution, domain):
+        yield from match_args(args, row, position + 1, extended, domain)
+
+
+def match_term(
+    term: SequenceTerm,
+    value: Sequence,
+    substitution: Substitution,
+    domain: ExtendedDomain,
+) -> Iterator[Substitution]:
+    """Yield extensions of ``substitution`` under which ``term`` equals ``value``."""
+    if isinstance(term, ConstantTerm):
+        if term.value == value:
+            yield substitution
+        return
+    if isinstance(term, SequenceVariable):
+        if substitution.binds_sequence(term.name):
+            if substitution.sequence(term.name) == value:
+                yield substitution
+        elif value in domain:
+            yield substitution.bind_sequence(term.name, value)
+        return
+    if isinstance(term, IndexedTerm):
+        yield from match_indexed(term, value, substitution, domain)
+        return
+    raise EvaluationError(
+        f"constructive term {term} found in a rule body; this should have "
+        "been rejected at clause construction"
+    )
+
+
+def match_indexed(
+    term: IndexedTerm,
+    value: Sequence,
+    substitution: Substitution,
+    domain: ExtendedDomain,
+) -> Iterator[Substitution]:
+    # Candidate values for the base of the indexed term.
+    base = term.base
+    if isinstance(base, ConstantTerm):
+        base_candidates: Iterable[Tuple[Sequence, Substitution]] = [
+            (base.value, substitution)
+        ]
+    else:
+        assert isinstance(base, SequenceVariable)
+        if substitution.binds_sequence(base.name):
+            base_candidates = [(substitution.sequence(base.name), substitution)]
+        else:
+            # The base is unbound: it must be a domain sequence having
+            # `value` as a contiguous subsequence.
+            base_candidates = (
+                (candidate, substitution.bind_sequence(base.name, candidate))
+                for candidate in domain.sequences()
+                if value.is_subsequence_of(candidate)
+            )
+
+    for base_value, base_substitution in base_candidates:
+        yield from match_indexes(term, base_value, value, base_substitution, domain)
+
+
+def match_indexes(
+    term: IndexedTerm,
+    base_value: Sequence,
+    value: Sequence,
+    substitution: Substitution,
+    domain: ExtendedDomain,
+) -> Iterator[Substitution]:
+    unbound = sorted(
+        name
+        for name in (term.lo.index_variables() | term.hi.index_variables())
+        if not substitution.binds_index(name)
+    )
+    end_value = len(base_value)
+    if not unbound:
+        try:
+            lo = substitution.evaluate_index(term.lo, end_value)
+            hi = substitution.evaluate_index(term.hi, end_value)
+        except UnboundVariableError:
+            return
+        if base_value.subsequence(lo, hi) == value:
+            yield substitution
+        return
+
+    # Enumerate assignments to the unbound index variables.  Semantically
+    # they range over the integer part of the extended domain, but any
+    # value beyond len(base) + 1 makes this indexed term undefined (and
+    # hence the whole substitution undefined at the clause), so the
+    # enumeration can safely be clipped to the base sequence.
+    integer_range = range(0, min(len(base_value) + 2, domain.max_length + 2))
+    for assignment in product(integer_range, repeat=len(unbound)):
+        candidate = substitution
+        for name, integer in zip(unbound, assignment):
+            candidate = candidate.bind_index(name, integer)
+        lo = candidate.evaluate_index(term.lo, end_value)
+        hi = candidate.evaluate_index(term.hi, end_value)
+        if base_value.subsequence(lo, hi) == value:
+            yield candidate
+
+
+def emit_heads(
+    head: "Atom",
+    head_sequence_vars: Iterable[str],
+    head_index_vars: Iterable[str],
+    substitution: Substitution,
+    domain: ExtendedDomain,
+    transducers: Optional[TransducerRegistry],
+) -> Iterator[Fact]:
+    """Enumerate unbound head variables over the domain and evaluate the head.
+
+    Only variables occurring in the head can influence the derived fact;
+    enumerating unbound body-only variables would merely produce duplicate
+    heads (the domain is never empty, so a witness always exists).
+    """
+    unbound_sequences = sorted(
+        name for name in head_sequence_vars if not substitution.binds_sequence(name)
+    )
+    unbound_indexes = sorted(
+        name for name in head_index_vars if not substitution.binds_index(name)
+    )
+
+    if not unbound_sequences and not unbound_indexes:
+        fact = evaluate_head(head, substitution, transducers)
+        if fact is not None:
+            yield fact
+        return
+
+    sequences = list(domain.sequences())
+    integers = list(domain.integers())
+    sequence_choices = [sequences] * len(unbound_sequences)
+    integer_choices = [integers] * len(unbound_indexes)
+    for sequence_assignment in product(*sequence_choices) if sequence_choices else [()]:
+        candidate = substitution
+        for name, value in zip(unbound_sequences, sequence_assignment):
+            candidate = candidate.bind_sequence(name, value)
+        for integer_assignment in product(*integer_choices) if integer_choices else [()]:
+            final = candidate
+            for name, value in zip(unbound_indexes, integer_assignment):
+                final = final.bind_index(name, value)
+            fact = evaluate_head(head, final, transducers)
+            if fact is not None:
+                yield fact
+
+
+def evaluate_head(
+    head: "Atom",
+    substitution: Substitution,
+    transducers: Optional[TransducerRegistry],
+) -> Optional[Fact]:
+    try:
+        return substitution.evaluate_atom(head, transducers)
+    except UnboundVariableError:
+        # Should not happen: all clause variables are bound at this point.
+        return None
 
 
 class ClauseEvaluator:
@@ -281,118 +456,7 @@ class ClauseEvaluator:
                 column_bindings[column] = value
 
         for row in relation.lookup(column_bindings):
-            yield from self._match_args(atom.args, row, 0, substitution, domain)
-
-    def _match_args(
-        self,
-        args: Tuple[SequenceTerm, ...],
-        row: Tuple[Sequence, ...],
-        position: int,
-        substitution: Substitution,
-        domain: ExtendedDomain,
-    ) -> Iterator[Substitution]:
-        if position == len(args):
-            yield substitution
-            return
-        for extended in self._match_term(args[position], row[position], substitution, domain):
-            yield from self._match_args(args, row, position + 1, extended, domain)
-
-    def _match_term(
-        self,
-        term: SequenceTerm,
-        value: Sequence,
-        substitution: Substitution,
-        domain: ExtendedDomain,
-    ) -> Iterator[Substitution]:
-        """Yield extensions of ``substitution`` under which ``term`` equals ``value``."""
-        if isinstance(term, ConstantTerm):
-            if term.value == value:
-                yield substitution
-            return
-        if isinstance(term, SequenceVariable):
-            if substitution.binds_sequence(term.name):
-                if substitution.sequence(term.name) == value:
-                    yield substitution
-            elif value in domain:
-                yield substitution.bind_sequence(term.name, value)
-            return
-        if isinstance(term, IndexedTerm):
-            yield from self._match_indexed(term, value, substitution, domain)
-            return
-        raise EvaluationError(
-            f"constructive term {term} found in a rule body; this should have "
-            "been rejected at clause construction"
-        )
-
-    def _match_indexed(
-        self,
-        term: IndexedTerm,
-        value: Sequence,
-        substitution: Substitution,
-        domain: ExtendedDomain,
-    ) -> Iterator[Substitution]:
-        # Candidate values for the base of the indexed term.
-        base = term.base
-        if isinstance(base, ConstantTerm):
-            base_candidates: Iterable[Tuple[Sequence, Substitution]] = [
-                (base.value, substitution)
-            ]
-        else:
-            assert isinstance(base, SequenceVariable)
-            if substitution.binds_sequence(base.name):
-                base_candidates = [(substitution.sequence(base.name), substitution)]
-            else:
-                # The base is unbound: it must be a domain sequence having
-                # `value` as a contiguous subsequence.
-                base_candidates = (
-                    (candidate, substitution.bind_sequence(base.name, candidate))
-                    for candidate in domain.sequences()
-                    if value.is_subsequence_of(candidate)
-                )
-
-        for base_value, base_substitution in base_candidates:
-            yield from self._match_indexes(
-                term, base_value, value, base_substitution, domain
-            )
-
-    def _match_indexes(
-        self,
-        term: IndexedTerm,
-        base_value: Sequence,
-        value: Sequence,
-        substitution: Substitution,
-        domain: ExtendedDomain,
-    ) -> Iterator[Substitution]:
-        unbound = sorted(
-            name
-            for name in (term.lo.index_variables() | term.hi.index_variables())
-            if not substitution.binds_index(name)
-        )
-        end_value = len(base_value)
-        if not unbound:
-            try:
-                lo = substitution.evaluate_index(term.lo, end_value)
-                hi = substitution.evaluate_index(term.hi, end_value)
-            except UnboundVariableError:
-                return
-            if base_value.subsequence(lo, hi) == value:
-                yield substitution
-            return
-
-        # Enumerate assignments to the unbound index variables.  Semantically
-        # they range over the integer part of the extended domain, but any
-        # value beyond len(base) + 1 makes this indexed term undefined (and
-        # hence the whole substitution undefined at the clause), so the
-        # enumeration can safely be clipped to the base sequence.
-        integer_range = range(0, min(len(base_value) + 2, domain.max_length + 2))
-        for assignment in product(integer_range, repeat=len(unbound)):
-            candidate = substitution
-            for name, integer in zip(unbound, assignment):
-                candidate = candidate.bind_index(name, integer)
-            lo = candidate.evaluate_index(term.lo, end_value)
-            hi = candidate.evaluate_index(term.hi, end_value)
-            if base_value.subsequence(lo, hi) == value:
-                yield candidate
+            yield from match_args(atom.args, row, 0, substitution, domain)
 
     # ------------------------------------------------------------------
     # Head emission
@@ -401,46 +465,11 @@ class ClauseEvaluator:
         self, substitution: Substitution, domain: ExtendedDomain
     ) -> Iterator[Fact]:
         """Enumerate unbound clause variables over the domain and evaluate the head."""
-        # Only variables occurring in the head can influence the derived
-        # fact; enumerating unbound body-only variables would merely produce
-        # duplicate heads (the domain is never empty, so a witness always
-        # exists).
-        unbound_sequences = sorted(
-            name
-            for name in self._head_sequence_vars
-            if not substitution.binds_sequence(name)
+        yield from emit_heads(
+            self.clause.head,
+            self._head_sequence_vars,
+            self._head_index_vars,
+            substitution,
+            domain,
+            self.transducers,
         )
-        unbound_indexes = sorted(
-            name
-            for name in self._head_index_vars
-            if not substitution.binds_index(name)
-        )
-
-        if not unbound_sequences and not unbound_indexes:
-            fact = self._evaluate_head(substitution)
-            if fact is not None:
-                yield fact
-            return
-
-        sequences = list(domain.sequences())
-        integers = list(domain.integers())
-        sequence_choices = [sequences] * len(unbound_sequences)
-        integer_choices = [integers] * len(unbound_indexes)
-        for sequence_assignment in product(*sequence_choices) if sequence_choices else [()]:
-            candidate = substitution
-            for name, value in zip(unbound_sequences, sequence_assignment):
-                candidate = candidate.bind_sequence(name, value)
-            for integer_assignment in product(*integer_choices) if integer_choices else [()]:
-                final = candidate
-                for name, value in zip(unbound_indexes, integer_assignment):
-                    final = final.bind_index(name, value)
-                fact = self._evaluate_head(final)
-                if fact is not None:
-                    yield fact
-
-    def _evaluate_head(self, substitution: Substitution) -> Optional[Fact]:
-        try:
-            return substitution.evaluate_atom(self.clause.head, self.transducers)
-        except UnboundVariableError:
-            # Should not happen: all clause variables are bound at this point.
-            return None

@@ -15,7 +15,7 @@ maintain per-column indexes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.database.relation import SequenceRelation
 from repro.database.database import SequenceDatabase
@@ -112,11 +112,27 @@ class Interpretation:
         """The relation for a predicate, or ``None`` if it has no facts."""
         return self._relations.get(predicate)
 
-    def tuples(self, predicate: str) -> Set[Tuple[Sequence, ...]]:
+    def tuples(self, predicate: str) -> FrozenSet[Tuple[Sequence, ...]]:
+        """The facts of one predicate as a frozen snapshot.
+
+        The snapshot is cached by the underlying relation and only rebuilt
+        after a mutation, so repeated calls (query helpers, benchmarks) do
+        not copy the fact store.
+        """
         relation = self._relations.get(predicate)
         if relation is None:
-            return set()
-        return set(relation.tuples())
+            return frozenset()
+        return relation.tuples()
+
+    def relation_version(self, predicate: str) -> int:
+        """Monotonic insertion counter of a predicate's relation (0 if absent)."""
+        relation = self._relations.get(predicate)
+        return 0 if relation is None else relation.version
+
+    @property
+    def domain_version(self) -> int:
+        """Monotonic counter that grows exactly when the domain grows."""
+        return len(self._domain)
 
     def predicates(self) -> Tuple[str, ...]:
         return tuple(sorted(self._relations))
@@ -193,10 +209,19 @@ class Interpretation:
         return database
 
     def restrict(self, predicates: Iterable[str]) -> "Interpretation":
-        """The sub-interpretation containing only the given predicates."""
+        """The sub-interpretation containing only the given predicates.
+
+        Relations are copied wholesale (reusing their snapshots) instead of
+        re-inserting fact by fact; only the extended domain is rebuilt,
+        since it depends on which sequences survive the restriction.
+        """
         wanted = set(predicates)
         restricted = Interpretation()
-        for predicate, values in self.facts():
-            if predicate in wanted:
-                restricted.add(predicate, values)
+        for predicate, relation in self._relations.items():
+            if predicate not in wanted:
+                continue
+            clone = relation.copy()
+            restricted._relations[predicate] = clone
+            restricted._fact_count += len(clone)
+            restricted._domain.add_all(relation.all_sequences())
         return restricted

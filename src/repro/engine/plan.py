@@ -1,0 +1,185 @@
+"""Compiled clause plans: the static join-order IR of the evaluation core.
+
+The backtracking reference evaluator (:mod:`repro.engine.evaluation`)
+re-derives its literal order at every search node with
+``ClauseEvaluator._choose_literal``.  That choice depends only on *which*
+variables are bound — never on their values — so the entire decision tree
+collapses to a single static order that can be computed once per clause.
+
+A :class:`ClausePlan` is that order, expressed as a sequence of steps:
+
+* :class:`AtomScan` — match one body atom against the fact store, using the
+  composite hash index over the columns that are bound when the step runs
+  (``bound_columns`` is known statically);
+* :class:`CompareFilter` — a comparison whose variables are all bound: a
+  pure filter;
+* :class:`BindEquality` — an equality with one evaluable side and one bare
+  unbound variable: evaluates the side and binds the variable;
+* :class:`EnumerateComparison` — the active-domain fallback for a
+  comparison that can neither filter nor bind (its unbound variables are
+  enumerated over the extended domain).
+
+After the steps, the :class:`HeadPlan` lists the head variables that are
+still unbound (they are enumerated over the domain, exactly as the
+declarative semantics prescribes) and the plan records whether the clause
+is *delta-safe*, i.e. whether predicate-level semi-naive evaluation may
+restrict it to delta facts.
+
+Plans are built by :func:`repro.engine.planner.compile_clause` and executed
+by :class:`repro.engine.planner.PlanExecutor`; :meth:`ClausePlan.explain`
+renders the plan for the CLI ``explain`` subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.language.atoms import Atom, Comparison
+from repro.language.clauses import Clause
+from repro.language.terms import SequenceTerm
+
+
+@dataclass(frozen=True)
+class AtomScan:
+    """Match a body atom against its relation (or a delta view of it).
+
+    ``atom_position`` is the index of the atom among the clause's body atoms
+    in source order; the semi-naive driver uses it to direct one firing's
+    delta restriction at this atom.  ``bound_columns`` are the argument
+    positions whose terms are fully evaluable when the step runs — they are
+    turned into a composite index lookup.
+    """
+
+    atom: Atom
+    atom_position: int
+    bound_columns: Tuple[int, ...]
+
+    def describe(self) -> str:
+        if self.bound_columns:
+            columns = ",".join(str(column) for column in self.bound_columns)
+            access = f"index scan on columns [{columns}]"
+        else:
+            access = "full scan"
+        return f"scan {self.atom} ({access})"
+
+
+@dataclass(frozen=True)
+class CompareFilter:
+    """Evaluate a fully-bound comparison as a filter."""
+
+    comparison: Comparison
+
+    def describe(self) -> str:
+        return f"filter {self.comparison}"
+
+
+@dataclass(frozen=True)
+class BindEquality:
+    """Bind a bare variable from the evaluable side of an equality."""
+
+    variable: str
+    term: SequenceTerm
+    comparison: Comparison
+
+    def describe(self) -> str:
+        return f"bind {self.variable} := {self.term}"
+
+
+@dataclass(frozen=True)
+class EnumerateComparison:
+    """Active-domain enumeration fallback for an unbindable comparison."""
+
+    comparison: Comparison
+    sequence_vars: Tuple[str, ...]
+    index_vars: Tuple[str, ...]
+
+    def describe(self) -> str:
+        names = ", ".join(self.sequence_vars + self.index_vars)
+        return f"enumerate {{{names}}} over domain, check {self.comparison}"
+
+
+PlanStep = Union[AtomScan, CompareFilter, BindEquality, EnumerateComparison]
+
+
+@dataclass(frozen=True)
+class HeadPlan:
+    """How the head is produced once the body is satisfied."""
+
+    head: Atom
+    unbound_sequence_vars: Tuple[str, ...]
+    unbound_index_vars: Tuple[str, ...]
+
+    @property
+    def needs_enumeration(self) -> bool:
+        return bool(self.unbound_sequence_vars or self.unbound_index_vars)
+
+    def describe(self) -> str:
+        if not self.needs_enumeration:
+            return f"emit {self.head}"
+        names = ", ".join(self.unbound_sequence_vars + self.unbound_index_vars)
+        return f"emit {self.head} enumerating {{{names}}} over domain"
+
+
+@dataclass(frozen=True)
+class ClausePlan:
+    """The compiled evaluation plan of one clause."""
+
+    clause: Clause
+    steps: Tuple[PlanStep, ...]
+    head_plan: HeadPlan
+    delta_safe: bool
+    atom_count: int
+
+    @property
+    def head_predicate(self) -> str:
+        return self.clause.head.predicate
+
+    def body_predicates(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted({step.atom.predicate for step in self.steps if isinstance(step, AtomScan)})
+        )
+
+    def explain(self) -> str:
+        """A human-readable rendering of the plan."""
+        lines = [f"clause: {self.clause}"]
+        mode = "semi-naive (delta-restricted)" if self.delta_safe else "full re-evaluation"
+        lines.append(f"  firing mode: {mode}")
+        for number, step in enumerate(self.steps, start=1):
+            lines.append(f"  {number}. {step.describe()}")
+        lines.append(f"  {len(self.steps) + 1}. {self.head_plan.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ProgramPlan:
+    """All clause plans of a program plus the evaluation schedule.
+
+    ``strata`` lists the strongly connected components of the predicate
+    dependency graph in bottom-up order; ``schedule`` assigns each clause
+    plan to the stratum of its head predicate; ``recursive`` marks the
+    strata whose predicates depend on themselves (these are the ones that
+    need repeated sweeps to converge).
+    """
+
+    program_plans: Tuple[ClausePlan, ...]
+    strata: Tuple[Tuple[str, ...], ...]
+    schedule: Tuple[Tuple[int, ...], ...]  # per stratum: indexes into program_plans
+    recursive: Tuple[bool, ...]            # per stratum
+
+    def explain(self) -> str:
+        """Render the whole program's plan and schedule."""
+        lines: List[str] = []
+        for number, (stratum, plan_indexes, is_recursive) in enumerate(
+            zip(self.strata, self.schedule, self.recursive), start=1
+        ):
+            kind = "recursive" if is_recursive else "non-recursive"
+            predicates = ", ".join(stratum)
+            lines.append(f"stratum {number} ({kind}): {{{predicates}}}")
+            if not plan_indexes:
+                lines.append("  (no rules: base predicate)")
+            for plan_index in plan_indexes:
+                plan = self.program_plans[plan_index]
+                for line in plan.explain().splitlines():
+                    lines.append(f"  {line}")
+        return "\n".join(lines)

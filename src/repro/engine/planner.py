@@ -1,0 +1,412 @@
+"""Clause compilation: from clauses to executable join plans.
+
+:func:`compile_clause` performs at compile time exactly the search-node
+decision that ``ClauseEvaluator._choose_literal`` performs at run time.
+This is possible because the runtime choice depends only on *which*
+variables are bound, and every kind of step binds a fixed set of variables
+on every surviving branch:
+
+* matching an atom binds all of its sequence and index variables (bare
+  variables directly, indexed-term bases and index variables by the finite
+  enumerations of the matcher);
+* a binding equality binds its one bare variable;
+* a filter comparison binds nothing;
+* the enumeration fallback binds every variable of its comparison.
+
+Simulating the greedy choice over this abstract "bound set" therefore
+yields the same literal order the backtracking evaluator would discover at
+every node, collapsed into a single static plan with the index columns for
+each scan chosen up front.
+
+:class:`PlanExecutor` runs a plan against an interpretation.  It reuses
+the shared matching helpers of :mod:`repro.engine.evaluation`, so the
+compiled path and the naive reference share one implementation of the
+paper's matching semantics (Section 3.2) and cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.analysis.dependency_graph import build_dependency_graph
+from repro.engine.bindings import Substitution, TransducerRegistry
+from repro.engine.evaluation import emit_heads, match_args
+from repro.engine.interpretation import Fact, Interpretation
+from repro.engine.plan import (
+    AtomScan,
+    BindEquality,
+    ClausePlan,
+    CompareFilter,
+    EnumerateComparison,
+    HeadPlan,
+    PlanStep,
+    ProgramPlan,
+)
+from repro.database.relation import RelationDelta, SequenceRelation
+from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
+from repro.language.clauses import Clause, Program
+from repro.language.terms import SequenceTerm, SequenceVariable
+
+
+def clause_is_delta_safe(clause: Clause) -> bool:
+    """True if the semi-naive delta restriction is complete for the clause.
+
+    A clause is delta-safe when it has at least one body atom, all of its
+    sequence variables are guarded and all of its index variables occur in
+    body atoms; for such clauses new derivations can only arise from new
+    facts, never from mere growth of the extended active domain.
+    """
+    atoms = clause.body_atoms()
+    if not atoms:
+        return False
+    if not clause.is_guarded():
+        return False
+    atom_index_vars: Set[str] = set()
+    for atom in atoms:
+        atom_index_vars |= atom.index_variables()
+    return clause.index_variables() <= atom_index_vars
+
+
+class _BoundSet:
+    """The statically-known set of bound variables during compilation."""
+
+    __slots__ = ("sequences", "indexes")
+
+    def __init__(self) -> None:
+        self.sequences: Set[str] = set()
+        self.indexes: Set[str] = set()
+
+    def covers_term(self, term: SequenceTerm) -> bool:
+        return (
+            term.sequence_variables() <= self.sequences
+            and term.index_variables() <= self.indexes
+        )
+
+    def covers_literal(self, literal: BodyLiteral) -> bool:
+        return (
+            literal.sequence_variables() <= self.sequences
+            and literal.index_variables() <= self.indexes
+        )
+
+
+def _binding_side(
+    comparison: Comparison, bound: _BoundSet
+) -> Optional[Tuple[str, SequenceTerm]]:
+    """Mirror of ``ClauseEvaluator._binding_side`` over the static bound set."""
+    if not comparison.is_equality():
+        return None
+    left, right = comparison.left, comparison.right
+    if (
+        isinstance(left, SequenceVariable)
+        and left.name not in bound.sequences
+        and bound.covers_term(right)
+    ):
+        return (left.name, right)
+    if (
+        isinstance(right, SequenceVariable)
+        and right.name not in bound.sequences
+        and bound.covers_term(left)
+    ):
+        return (right.name, left)
+    return None
+
+
+def _choose(
+    pending: List[Tuple[BodyLiteral, int]], bound: _BoundSet
+) -> int:
+    """Static mirror of ``ClauseEvaluator._choose_literal``."""
+    best_atom = -1
+    best_atom_score = -1
+    binder = -1
+    for position, (literal, _) in enumerate(pending):
+        if bound.covers_literal(literal):
+            return position
+        if isinstance(literal, Comparison) and binder < 0:
+            if _binding_side(literal, bound) is not None:
+                binder = position
+        if isinstance(literal, Atom):
+            score = sum(1 for arg in literal.args if bound.covers_term(arg))
+            if score > best_atom_score:
+                best_atom_score = score
+                best_atom = position
+    if best_atom >= 0:
+        return best_atom
+    if binder >= 0:
+        return binder
+    return 0
+
+
+def compile_clause(clause: Clause) -> ClausePlan:
+    """Compile one clause into a static join plan."""
+    pending: List[Tuple[BodyLiteral, int]] = []
+    atom_position = 0
+    for literal in clause.body:
+        if isinstance(literal, TrueLiteral):
+            continue
+        position = -1
+        if isinstance(literal, Atom):
+            position = atom_position
+            atom_position += 1
+        pending.append((literal, position))
+
+    bound = _BoundSet()
+    steps: List[PlanStep] = []
+    while pending:
+        index = _choose(pending, bound)
+        literal, position = pending.pop(index)
+        if isinstance(literal, Atom):
+            bound_columns = tuple(
+                column
+                for column, arg in enumerate(literal.args)
+                if bound.covers_term(arg)
+            )
+            steps.append(AtomScan(literal, position, bound_columns))
+            bound.sequences |= literal.sequence_variables()
+            bound.indexes |= literal.index_variables()
+            continue
+        assert isinstance(literal, Comparison)
+        if bound.covers_literal(literal):
+            steps.append(CompareFilter(literal))
+            continue
+        binding = _binding_side(literal, bound)
+        if binding is not None:
+            variable, term = binding
+            steps.append(BindEquality(variable, term, literal))
+            bound.sequences.add(variable)
+            continue
+        sequence_vars = tuple(
+            sorted(literal.sequence_variables() - bound.sequences)
+        )
+        index_vars = tuple(sorted(literal.index_variables() - bound.indexes))
+        steps.append(EnumerateComparison(literal, sequence_vars, index_vars))
+        bound.sequences |= literal.sequence_variables()
+        bound.indexes |= literal.index_variables()
+
+    head = clause.head
+    head_plan = HeadPlan(
+        head=head,
+        unbound_sequence_vars=tuple(
+            sorted(head.sequence_variables() - bound.sequences)
+        ),
+        unbound_index_vars=tuple(sorted(head.index_variables() - bound.indexes)),
+    )
+    return ClausePlan(
+        clause=clause,
+        steps=tuple(steps),
+        head_plan=head_plan,
+        delta_safe=clause_is_delta_safe(clause),
+        atom_count=atom_position,
+    )
+
+
+def compile_program(program: Program) -> ProgramPlan:
+    """Compile every clause and schedule the plans over dependency strata."""
+    plans = tuple(compile_clause(clause) for clause in program)
+    graph = build_dependency_graph(program)
+    components = graph.linearized_components()
+
+    # Predicates mentioned nowhere in the graph (empty program) still need a
+    # schedule entry; linearized_components already covers every predicate
+    # of the program, so only the assignment below is needed.
+    stratum_of: Dict[str, int] = {}
+    for number, component in enumerate(components):
+        for predicate in component:
+            stratum_of[predicate] = number
+
+    schedule: List[List[int]] = [[] for _ in components]
+    for plan_index, plan in enumerate(plans):
+        predicate = plan.head_predicate
+        stratum = stratum_of.get(predicate)
+        if stratum is None:
+            # Head predicate absent from the graph (cannot happen for
+            # programs built through Program, but stay defensive).
+            components = components + [frozenset({predicate})]
+            stratum_of[predicate] = len(components) - 1
+            schedule.append([])
+            stratum = len(components) - 1
+        schedule[stratum].append(plan_index)
+
+    recursive: List[bool] = []
+    for component, plan_indexes in zip(components, schedule):
+        is_recursive = len(component) > 1
+        if not is_recursive:
+            for plan_index in plan_indexes:
+                plan = plans[plan_index]
+                if set(plan.clause.body_predicates()) & set(component):
+                    is_recursive = True
+                    break
+        recursive.append(is_recursive)
+
+    return ProgramPlan(
+        program_plans=plans,
+        strata=tuple(tuple(sorted(component)) for component in components),
+        schedule=tuple(tuple(indexes) for indexes in schedule),
+        recursive=tuple(recursive),
+    )
+
+
+#: Anything an AtomScan can read rows from.
+ScanSource = Union[SequenceRelation, RelationDelta]
+
+
+class PlanExecutor:
+    """Executes a compiled clause plan against an interpretation.
+
+    ``derive`` (full firing) and ``derive_semi_naive`` (delta-restricted
+    firing) yield ground head facts exactly like
+    :meth:`ClauseEvaluator.derive`; duplicates may be yielded and are
+    deduplicated by the caller on insertion.
+    """
+
+    __slots__ = ("plan", "transducers", "_steps", "_head_sequence_vars", "_head_index_vars")
+
+    def __init__(self, plan: ClausePlan, transducers: Optional[TransducerRegistry] = None):
+        self.plan = plan
+        self.transducers = transducers
+        self._steps = plan.steps
+        self._head_sequence_vars = plan.clause.head.sequence_variables()
+        self._head_index_vars = plan.clause.head.index_variables()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def derive(self, interpretation: Interpretation) -> Iterator[Fact]:
+        """Yield every ground head fact derivable from the interpretation."""
+        yield from self._run(0, Substitution(), interpretation, -1, None)
+
+    def derive_semi_naive(
+        self,
+        interpretation: Interpretation,
+        delta_views: Mapping[str, ScanSource],
+    ) -> Iterator[Fact]:
+        """Yield the derivations in which some atom matches a delta row.
+
+        For each body atom whose predicate has a (non-empty) entry in
+        ``delta_views``, the plan is fired once with that atom restricted to
+        the delta view and all other atoms joined against the full store.
+        The union over positions covers every derivation that uses at least
+        one new fact.  The same derivation can be produced for several
+        positions; deduplication happens on insertion.
+        """
+        for step in self._steps:
+            if not isinstance(step, AtomScan):
+                continue
+            view = delta_views.get(step.atom.predicate)
+            if view is None or not len(view):
+                continue
+            yield from self._run(
+                0, Substitution(), interpretation, step.atom_position, delta_views
+            )
+
+    # ------------------------------------------------------------------
+    # Step execution
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        step_index: int,
+        substitution: Substitution,
+        interpretation: Interpretation,
+        delta_position: int,
+        delta_views: Optional[Mapping[str, ScanSource]],
+    ) -> Iterator[Fact]:
+        if step_index == len(self._steps):
+            yield from emit_heads(
+                self.plan.clause.head,
+                self._head_sequence_vars,
+                self._head_index_vars,
+                substitution,
+                interpretation.domain,
+                self.transducers,
+            )
+            return
+
+        step = self._steps[step_index]
+        if isinstance(step, AtomScan):
+            yield from self._run_scan(
+                step, step_index, substitution, interpretation, delta_position, delta_views
+            )
+        elif isinstance(step, CompareFilter):
+            if substitution.evaluate_comparison(step.comparison):
+                yield from self._run(
+                    step_index + 1, substitution, interpretation, delta_position, delta_views
+                )
+        elif isinstance(step, BindEquality):
+            value = substitution.evaluate_sequence(step.term)
+            if value is not None and value in interpretation.domain:
+                extended = substitution.bind_sequence(step.variable, value)
+                yield from self._run(
+                    step_index + 1, extended, interpretation, delta_position, delta_views
+                )
+        else:
+            assert isinstance(step, EnumerateComparison)
+            yield from self._run_enumerate(
+                step, step_index, substitution, interpretation, delta_position, delta_views
+            )
+
+    def _run_scan(
+        self,
+        step: AtomScan,
+        step_index: int,
+        substitution: Substitution,
+        interpretation: Interpretation,
+        delta_position: int,
+        delta_views: Optional[Mapping[str, ScanSource]],
+    ) -> Iterator[Fact]:
+        atom = step.atom
+        source: Optional[ScanSource]
+        if delta_views is not None and step.atom_position == delta_position:
+            source = delta_views.get(atom.predicate)
+        else:
+            source = interpretation.relation(atom.predicate)
+        if source is None or source.arity != atom.arity:
+            return
+
+        bindings = {}
+        for column in step.bound_columns:
+            value = substitution.evaluate_sequence(atom.args[column])
+            if value is None:
+                return  # undefined term: no extension can satisfy the atom
+            bindings[column] = value
+
+        domain = interpretation.domain
+        for row in source.lookup(bindings):
+            for extended in match_args(atom.args, row, 0, substitution, domain):
+                yield from self._run(
+                    step_index + 1, extended, interpretation, delta_position, delta_views
+                )
+
+    def _run_enumerate(
+        self,
+        step: EnumerateComparison,
+        step_index: int,
+        substitution: Substitution,
+        interpretation: Interpretation,
+        delta_position: int,
+        delta_views: Optional[Mapping[str, ScanSource]],
+    ) -> Iterator[Fact]:
+        domain = interpretation.domain
+        sequence_names = [
+            name for name in step.sequence_vars if not substitution.binds_sequence(name)
+        ]
+        index_names = [
+            name for name in step.index_vars if not substitution.binds_index(name)
+        ]
+        sequences = list(domain.sequences())
+        integers = list(domain.integers())
+        for sequence_assignment in (
+            product(sequences, repeat=len(sequence_names)) if sequence_names else [()]
+        ):
+            candidate = substitution
+            for name, value in zip(sequence_names, sequence_assignment):
+                candidate = candidate.bind_sequence(name, value)
+            for integer_assignment in (
+                product(integers, repeat=len(index_names)) if index_names else [()]
+            ):
+                final = candidate
+                for name, value in zip(index_names, integer_assignment):
+                    final = final.bind_index(name, value)
+                if final.evaluate_comparison(step.comparison):
+                    yield from self._run(
+                        step_index + 1, final, interpretation, delta_position, delta_views
+                    )

@@ -18,7 +18,7 @@ treat undefined substitutions as non-firing rules rather than errors.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SequenceIndexError
 
@@ -26,11 +26,18 @@ SymbolLike = Union[str, "Sequence", Iterable[str]]
 
 
 class Sequence:
-    """An immutable sequence of single-character symbols.
+    """An immutable, *interned* sequence of single-character symbols.
 
     A :class:`Sequence` wraps a Python string internally (each character is
     one symbol) which makes hashing, slicing and concatenation cheap.  All
     public position arguments are **1-based**, matching the paper.
+
+    Sequences are interned in a process-wide table: constructing the same
+    text twice yields the *same* object, so equality between two sequences
+    is identity and each sequence carries a small integer :attr:`intern_id`
+    that the fact store uses as a compact column value.  The table only ever
+    grows (sequences are immutable and shared), which trades memory for the
+    join-heavy access pattern of bottom-up evaluation.
 
     Examples
     --------
@@ -41,17 +48,55 @@ class Sequence:
     Sequence('')
     >>> s.subsequence(3, 6) is None
     True
+    >>> Sequence("uvwxy") is s
+    True
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_id")
+
+    _intern_table: Dict[str, "Sequence"] = {}
+    _by_id: List["Sequence"] = []
+
+    def __new__(cls, symbols: SymbolLike = ""):
+        if isinstance(symbols, Sequence):
+            return symbols
+        if isinstance(symbols, str):
+            data = symbols
+        else:
+            data = "".join(symbols)
+        self = cls._intern_table.get(data)
+        if self is None:
+            self = super().__new__(cls)
+            self._data = data
+            self._id = len(cls._by_id)
+            cls._intern_table[data] = self
+            cls._by_id.append(self)
+        return self
 
     def __init__(self, symbols: SymbolLike = ""):
-        if isinstance(symbols, Sequence):
-            self._data = symbols._data
-        elif isinstance(symbols, str):
-            self._data = symbols
-        else:
-            self._data = "".join(symbols)
+        # All state is set in __new__; __init__ may run again when an
+        # already-interned instance is returned and must not touch it.
+        pass
+
+    def __reduce__(self):
+        # Re-intern on unpickle/deepcopy instead of materialising a twin
+        # object that would break the identity-equality invariant.
+        return (Sequence, (self._data,))
+
+    @property
+    def intern_id(self) -> int:
+        """The process-wide intern table id of this sequence."""
+        return self._id
+
+    @classmethod
+    def from_intern_id(cls, intern_id: int) -> "Sequence":
+        """The interned sequence with the given id."""
+        return cls._by_id[intern_id]
+
+    @classmethod
+    def intern_table_size(cls) -> int:
+        """Number of distinct sequences interned so far (diagnostics)."""
+        return len(cls._by_id)
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -66,6 +111,8 @@ class Sequence:
         return bool(self._data)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if isinstance(other, Sequence):
             return self._data == other._data
         if isinstance(other, str):

@@ -21,7 +21,7 @@ from repro.analysis.safety import SafetyReport, analyze_safety, require_strongly
 from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import (
     FixpointResult,
-    SEMI_NAIVE,
+    DEFAULT_STRATEGY,
     compute_least_fixpoint,
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
@@ -95,7 +95,7 @@ class TransducerDatalogProgram:
         self,
         database: SequenceDatabase,
         limits: EvaluationLimits = DEFAULT_LIMITS,
-        strategy: str = SEMI_NAIVE,
+        strategy: str = DEFAULT_STRATEGY,
         require_safety: bool = False,
     ) -> FixpointResult:
         """Compute the least fixpoint over a database.

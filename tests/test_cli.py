@@ -50,6 +50,25 @@ class TestCommands:
         )
         assert code == 0
 
+    def test_run_with_compiled_strategy(self, program_file, database_file):
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", database_file, "--query", "suffix(X)",
+             "--strategy", "compiled"],
+            out=out,
+        )
+        assert code == 0
+        assert "% 4 answers" in out.getvalue()
+
+    def test_explain_prints_plans_and_strata(self, program_file):
+        out = io.StringIO()
+        code = main(["explain", program_file], out=out)
+        assert code == 0
+        report = out.getvalue()
+        assert "stratum 1" in report
+        assert "clause: suffix(X[N:end]) :- r(X)." in report
+        assert "scan r(X)" in report
+
     def test_analyze_reports_finiteness(self, program_file):
         out = io.StringIO()
         code = main(["analyze", program_file], out=out)

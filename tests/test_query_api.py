@@ -83,3 +83,21 @@ class TestEngineFacade:
         engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_5_REP2)
         assert not engine.safety().strongly_safe
         assert not engine.finiteness().verdict.is_finite()
+
+    def test_explain_renders_the_compiled_plan(self):
+        engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_1_SUFFIXES)
+        report = engine.explain()
+        assert "stratum" in report
+        assert "scan r(X)" in report
+
+    def test_evaluate_accepts_every_strategy(self, small_string_db):
+        engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_1_SUFFIXES)
+        results = {
+            strategy: engine.evaluate(small_string_db, strategy=strategy)
+            for strategy in ("naive", "semi-naive", "compiled")
+        }
+        assert (
+            results["naive"].interpretation
+            == results["semi-naive"].interpretation
+            == results["compiled"].interpretation
+        )

@@ -58,6 +58,40 @@ class TestSequenceRelation:
         clone.add(("b",))
         assert len(relation) == 1
 
+    def test_version_is_monotonic_across_discard(self):
+        relation = SequenceRelation("r", 1, [("a",), ("b",)])
+        version = relation.version
+        relation.discard(("a",))
+        assert relation.version > version
+        relation.add(("c",))
+        # A consumer that recorded the pre-discard version must still see
+        # the post-discard insert as a change.
+        assert relation.version > version + 1
+
+    def test_delta_view_after_discard_never_misses_new_rows(self):
+        relation = SequenceRelation("r", 1, [("a",), ("b",)])
+        seen = relation.version
+        relation.discard(("a",))
+        relation.add(("c",))
+        window = {row[0].text for row in relation.delta_view(seen)}
+        assert "c" in window  # may over-approximate, must not miss
+
+    def test_delta_view_windows_and_indexed_lookup(self):
+        relation = SequenceRelation("r", 2, [("a", "x")])
+        mark = relation.version
+        relation.add(("b", "y"))
+        relation.add(("b", "z"))
+        view = relation.delta_view(mark)
+        assert len(view) == 2
+        assert {row[1].text for row in view.lookup({0: Sequence("b")})} == {"y", "z"}
+        assert list(view.lookup({0: Sequence("a")})) == []
+
+    def test_sorted_tuples_returns_a_safe_copy(self):
+        relation = SequenceRelation("r", 1, [("b",), ("a",)])
+        rows = relation.sorted_tuples()
+        rows.reverse()
+        assert [row[0].text for row in relation.sorted_tuples()] == ["a", "b"]
+
 
 class TestSchemas:
     def test_relation_schema_validation(self):

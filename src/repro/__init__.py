@@ -21,7 +21,8 @@ from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import FixpointResult, compute_least_fixpoint
 from repro.engine.limits import EvaluationLimits
-from repro.engine.query import evaluate_query
+from repro.engine.query import PreparedQuery, evaluate_query
+from repro.engine.session import DatalogSession
 from repro.language.parser import parse_atom, parse_clause, parse_program
 from repro.sequences.sequence import Sequence
 from repro.transducer_datalog.program import TransducerDatalogProgram
@@ -31,8 +32,10 @@ from repro.transducers.registry import TransducerCatalog
 __version__ = "1.0.0"
 
 __all__ = [
+    "DatalogSession",
     "EvaluationLimits",
     "FixpointResult",
+    "PreparedQuery",
     "Sequence",
     "SequenceDatabase",
     "SequenceDatalogEngine",

@@ -1,8 +1,9 @@
 """Command-line interface for the Sequence Datalog engine.
 
-Four subcommands cover the typical workflow::
+Five subcommands cover the typical workflow::
 
     python -m repro.cli run program.sdl --db database.json --query "answer(X)"
+    python -m repro.cli serve program.sdl --db database.json --script cmds.txt
     python -m repro.cli analyze program.sdl
     python -m repro.cli explain program.sdl
     python -m repro.cli parse program.sdl
@@ -12,6 +13,12 @@ Four subcommands cover the typical workflow::
   lists (n-ary relations), then prints the answers to the query pattern.
   ``--strategy`` selects the evaluation core (``compiled`` by default;
   ``naive`` and ``semi-naive`` are the interpreted references).
+* ``serve`` opens an incremental :class:`~repro.engine.session.DatalogSession`
+  over the program, then executes commands from ``--script`` (or stdin), one
+  per line: ``query <pattern>`` (alias ``?``), ``add <relation> <values...>``
+  (alias ``+``, incrementally maintained — no recomputation from scratch),
+  ``stats``, and ``quit``.  Errors in a command are reported and the session
+  keeps serving.
 * ``analyze`` prints the strong-safety report and the finiteness verdict.
 * ``explain`` prints the compiled evaluation plan: the dependency strata,
   each clause's join order and the index columns every scan uses.
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shlex
 import sys
 from typing import List, Optional, Sequence
 
@@ -35,6 +43,7 @@ from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import DEFAULT_STRATEGY, STRATEGIES
 from repro.engine.limits import EvaluationLimits
 from repro.engine.planner import compile_program
+from repro.engine.session import DatalogSession
 from repro.errors import ReproError
 from repro.language.parser import parse_program
 
@@ -45,17 +54,15 @@ def _load_program(path: str) -> str:
 
 
 def load_database_json(path: str) -> SequenceDatabase:
-    """Load a database from a JSON file ``{"relation": ["seq", ["a", "b"]]}``."""
+    """Load a database from a JSON file ``{"relation": ["seq", ["a", "b"]]}``.
+
+    Malformed rows (empty lists, JSON numbers, nested lists) are rejected
+    with the offending relation and row named, via
+    :meth:`SequenceDatabase.from_json_dict`.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         raw = json.load(handle)
-    database = SequenceDatabase()
-    for relation, rows in raw.items():
-        for row in rows:
-            if isinstance(row, str):
-                database.add_fact(relation, row)
-            else:
-                database.add_fact(relation, *row)
-    return database
+    return SequenceDatabase.from_json_dict(raw)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--strategy", choices=list(STRATEGIES), default=DEFAULT_STRATEGY,
         help="bottom-up evaluation strategy",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="incremental query-serving session (batch or stdin)"
+    )
+    serve_parser.add_argument("program", help="path to the Sequence Datalog program")
+    serve_parser.add_argument("--db", help="optional JSON database loaded at startup")
+    serve_parser.add_argument(
+        "--script",
+        help="command file (one command per line); reads stdin when omitted",
+    )
+    serve_parser.add_argument(
+        "--max-iterations", type=int, default=EvaluationLimits().max_iterations,
+        help="iteration limit for each maintenance run",
     )
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
@@ -105,6 +126,63 @@ def _command_run(args: argparse.Namespace, out) -> int:
         f"{result.iterations} iterations",
         file=out,
     )
+    return 0
+
+
+def _serve_one(session: DatalogSession, command: str, rest: str, out) -> bool:
+    """Execute one serve command; return False when the session should end."""
+    if command in ("query", "?"):
+        result = session.query(rest.strip())
+        for row in result.texts():
+            print("\t".join(row), file=out)
+        print(f"% {len(result)} answers", file=out)
+    elif command in ("add", "+"):
+        # shlex honours the quoted-constant syntax of query patterns:
+        # ``add r "a b"`` stores the single two-symbol-with-space sequence.
+        try:
+            parts = shlex.split(rest)
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return True
+        if len(parts) < 2:
+            print("error: add needs a relation name and at least one value", file=out)
+            return True
+        report = session.add_facts([(parts[0], tuple(parts[1:]))])
+        print(
+            f"% +{report.facts_added} facts ({report.base_facts_added} base) "
+            f"in {report.sweeps} sweeps",
+            file=out,
+        )
+    elif command == "stats":
+        print(json.dumps(session.stats(), sort_keys=True), file=out)
+    elif command in ("quit", "exit"):
+        return False
+    else:
+        print(f"error: unknown command {command!r}", file=out)
+    return True
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    limits = EvaluationLimits(max_iterations=args.max_iterations)
+    database = load_database_json(args.db) if args.db else None
+    session = DatalogSession(_load_program(args.program), database, limits=limits)
+    print(f"% serving {session.fact_count()} facts", file=out)
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        command, _, rest = line.partition(" ")
+        try:
+            if not _serve_one(session, command, rest, out):
+                break
+        except ReproError as error:
+            # One bad command must not take the whole session down.
+            print(f"error: {error}", file=out)
     return 0
 
 
@@ -138,6 +216,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         if args.command == "run":
             return _command_run(args, out)
+        if args.command == "serve":
+            return _command_serve(args, out)
         if args.command == "analyze":
             return _command_analyze(args, out)
         if args.command == "explain":

@@ -24,7 +24,9 @@ from repro.engine.fixpoint import (
 from repro.engine.planner import compile_program
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
-from repro.engine.query import QueryResult, evaluate_query
+from repro.engine.query import QueryResult, evaluate_query, known_predicates
+from repro.engine.session import DatalogSession
+from repro.errors import MultiValuedOutputError
 from repro.language.clauses import Program
 from repro.language.parser import parse_program
 
@@ -50,6 +52,7 @@ class SequenceDatalogEngine:
         self.program.validate()
         self.limits = limits
         self.transducers = transducers
+        self._program_predicates = frozenset(self.program.predicates())
 
     # ------------------------------------------------------------------
     # Analysis
@@ -88,28 +91,72 @@ class SequenceDatalogEngine:
         self,
         result: Union[FixpointResult, Interpretation],
         pattern: str,
+        strict: bool = False,
     ) -> QueryResult:
-        """Match a pattern atom (e.g. ``"answer(X)"``) against a result."""
+        """Match a pattern atom (e.g. ``"answer(X)"``) against a result.
+
+        With ``strict=True``, a predicate that neither the program defines
+        nor the result contains raises
+        :class:`~repro.errors.UnknownPredicateError` (a likely typo), while
+        a known predicate that legitimately derived nothing returns an
+        empty result.
+        """
         interpretation = (
             result.interpretation if isinstance(result, FixpointResult) else result
         )
-        return evaluate_query(interpretation, pattern)
+        known = None
+        if strict:
+            known = known_predicates(self._program_predicates, interpretation)
+        return evaluate_query(
+            interpretation, pattern, strict=strict, known_predicates=known
+        )
 
     def run(self, database: DatabaseLike, pattern: str) -> QueryResult:
         """Evaluate and query in one call."""
         return self.query(self.evaluate(database), pattern)
 
+    def session(
+        self,
+        database: Optional[DatabaseLike] = None,
+        limits: Optional[EvaluationLimits] = None,
+        prepared_cache_size: int = 128,
+    ) -> DatalogSession:
+        """Open an incremental query-serving session over this program.
+
+        The session keeps its fixpoint resident, maintains it incrementally
+        under :meth:`DatalogSession.add_facts` and serves prepared,
+        index-backed pattern queries (see :mod:`repro.engine.session`).
+        """
+        return DatalogSession(
+            self.program,
+            database=None if database is None else _as_database(database),
+            limits=limits or self.limits,
+            transducers=self.transducers,
+            prepared_cache_size=prepared_cache_size,
+        )
+
     def compute_function(self, value, output_predicate: str = "output") -> Optional[str]:
         """Treat the program as a sequence function (Definition 5).
 
         Evaluates over the database ``{input(value)}`` and returns the single
-        sequence in the ``output`` relation (or ``None`` if the function is
-        undefined at the input within the evaluation limits).
+        sequence in the ``output`` relation, or ``None`` if no output is
+        derived within the evaluation limits.  Definition 5 defines the
+        function only when the output relation is single-valued; if the
+        program derives several distinct ``output`` facts the function is
+        undefined at the input and
+        :class:`~repro.errors.MultiValuedOutputError` is raised.
         """
         result = self.evaluate(SequenceDatabase.single_input(value))
         rows = sorted(result.interpretation.tuples(output_predicate))
         if not rows:
             return None
+        if len(rows) > 1:
+            preview = ", ".join(repr(row[0].text) for row in rows[:5])
+            raise MultiValuedOutputError(
+                f"program derived {len(rows)} distinct {output_predicate!r} "
+                f"facts at input {str(value)!r} ({preview}{', ...' if len(rows) > 5 else ''}); "
+                "a sequence function (Definition 5) must be single-valued"
+            )
         return rows[0][0].text
 
     def __repr__(self) -> str:

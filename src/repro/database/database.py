@@ -65,6 +65,52 @@ class SequenceDatabase:
         return database
 
     @classmethod
+    def from_json_dict(cls, data) -> "SequenceDatabase":
+        """Build a database from decoded JSON, validating shape and types.
+
+        The expected shape is ``{"relation": ["seq", ["a", "b"], ...]}``: a
+        row is either a string (unary relation) or a non-empty list of
+        strings.  Unlike :meth:`from_dict` (a trusting programmatic helper),
+        this constructor reports malformed input — an empty row, a JSON
+        number, a nested list — with the offending relation and row named,
+        so CLI users get an actionable error instead of an opaque crash.
+        """
+        if not isinstance(data, dict):
+            raise ValidationError(
+                "database JSON must be an object mapping relation names to "
+                f"lists of rows, got {type(data).__name__}"
+            )
+        database = cls()
+        for relation, rows in data.items():
+            if isinstance(rows, str) or not isinstance(rows, (list, tuple)):
+                raise ValidationError(
+                    f"relation {relation!r}: expected a list of rows, got "
+                    f"{rows!r}"
+                )
+            for row in rows:
+                if isinstance(row, str):
+                    database.add_fact(relation, row)
+                    continue
+                if not isinstance(row, (list, tuple)):
+                    raise ValidationError(
+                        f"relation {relation!r}: row {row!r} must be a string "
+                        "or a list of strings"
+                    )
+                if not row:
+                    raise ValidationError(
+                        f"relation {relation!r}: empty row (a fact needs at "
+                        "least one value)"
+                    )
+                for value in row:
+                    if not isinstance(value, str):
+                        raise ValidationError(
+                            f"relation {relation!r}: row {list(row)!r} "
+                            f"contains non-string value {value!r}"
+                        )
+                database.add_fact(relation, *row)
+        return database
+
+    @classmethod
     def from_facts(cls, facts: Iterable[Atom]) -> "SequenceDatabase":
         """Build a database from ground atoms."""
         database = cls()

@@ -14,7 +14,10 @@ The engine implements:
 * :mod:`~repro.engine.fixpoint` -- naive, semi-naive and compiled
   (dependency-scheduled) bottom-up computation of the least fixpoint
   ``T_{P,db} ^ omega`` with resource limits;
-* :mod:`~repro.engine.query` -- pattern queries over interpretations.
+* :mod:`~repro.engine.query` -- pattern queries over interpretations,
+  compiled once into index-aware plans (:class:`~repro.engine.query.PreparedQuery`);
+* :mod:`~repro.engine.session` -- :class:`~repro.engine.session.DatalogSession`,
+  the incremental query-serving layer over a resident fixpoint.
 """
 
 from repro.engine.bindings import Substitution
@@ -25,23 +28,29 @@ from repro.engine.planner import PlanExecutor, compile_clause, compile_program
 from repro.engine.toperator import TOperator
 from repro.engine.fixpoint import (
     COMPILED,
+    CompiledFixpoint,
     DEFAULT_STRATEGY,
     FixpointResult,
     NAIVE,
     SEMI_NAIVE,
     compute_least_fixpoint,
 )
-from repro.engine.query import QueryResult, evaluate_query
+from repro.engine.query import PreparedQuery, QueryResult, evaluate_query
+from repro.engine.session import DatalogSession, MaintenanceReport
 
 __all__ = [
     "COMPILED",
     "ClausePlan",
+    "CompiledFixpoint",
     "DEFAULT_STRATEGY",
+    "DatalogSession",
     "EvaluationLimits",
     "FixpointResult",
     "Interpretation",
+    "MaintenanceReport",
     "NAIVE",
     "PlanExecutor",
+    "PreparedQuery",
     "ProgramPlan",
     "QueryResult",
     "SEMI_NAIVE",

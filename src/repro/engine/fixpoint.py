@@ -208,33 +208,58 @@ def _compute_interpreted(
 # ----------------------------------------------------------------------
 # Compiled strategy (dependency-scheduled, predicate-level semi-naive)
 # ----------------------------------------------------------------------
-def _compute_compiled(
-    program: Program,
-    database: SequenceDatabase,
-    limits: EvaluationLimits,
-    transducers: Optional[TransducerRegistry],
-) -> Tuple[Interpretation, int, List[int]]:
-    program_plan = compile_program(program)
-    plans = program_plan.program_plans
-    executors = [PlanExecutor(plan, transducers) for plan in plans]
+class CompiledFixpoint:
+    """Resident state of the compiled strategy: model plus firing bookkeeping.
 
-    interpretation = Interpretation()
-    new_facts_history: List[int] = [_load_database(database, interpretation)]
+    The one-shot evaluation path creates an instance, loads the database,
+    runs to the fixpoint and discards it.  The long-lived
+    :class:`~repro.engine.session.DatalogSession` keeps the instance around:
+    because the per-plan version bookkeeping survives between :meth:`run`
+    calls, loading a *delta* of base facts and running again re-fires only
+    the plans whose body relations actually gained rows (delta-restricted
+    for delta-safe clauses), i.e. incremental semi-naive maintenance.  This
+    is exact for Sequence Datalog because evaluation is monotone: resuming
+    semi-naive iteration from the old fixpoint with the new base facts
+    inserted computes precisely the least fixpoint of the enlarged database.
+    """
 
-    # Per-plan firing bookkeeping: the relation versions of the body
-    # predicates and the domain version observed just before the last
-    # firing.  ``None`` means the plan has never fired.
-    last_versions: List[Optional[Dict[str, int]]] = [None] * len(plans)
-    last_domain: List[int] = [0] * len(plans)
+    __slots__ = (
+        "program_plan", "plans", "executors", "interpretation", "sweeps",
+        "_last_versions", "_last_domain",
+    )
 
-    iteration = 1
+    def __init__(
+        self,
+        program: Program,
+        transducers: Optional[TransducerRegistry] = None,
+    ):
+        self.program_plan = compile_program(program)
+        self.plans = self.program_plan.program_plans
+        self.executors = [PlanExecutor(plan, transducers) for plan in self.plans]
+        self.interpretation = Interpretation()
+        #: Total sweeps performed over this instance's lifetime.
+        self.sweeps = 0
+        # Per-plan firing bookkeeping: the relation versions of the body
+        # predicates and the domain version observed just before the last
+        # firing.  ``None`` means the plan has never fired.
+        self._last_versions: List[Optional[Dict[str, int]]] = [None] * len(self.plans)
+        self._last_domain: List[int] = [0] * len(self.plans)
 
-    def fire(plan_index: int) -> int:
+    def add_fact(self, predicate: str, values) -> bool:
+        """Insert one base fact; return True if it is new."""
+        return self.interpretation.add(predicate, values)
+
+    def load_database(self, database: SequenceDatabase) -> int:
+        """Insert the database facts; return the number inserted."""
+        return _load_database(database, self.interpretation)
+
+    def _fire(self, plan_index: int, limits: EvaluationLimits, iteration: int) -> int:
         """Fire one plan (full or delta-restricted); return new-fact count."""
-        plan = plans[plan_index]
-        executor = executors[plan_index]
+        interpretation = self.interpretation
+        plan = self.plans[plan_index]
+        executor = self.executors[plan_index]
         body_predicates = plan.body_predicates()
-        seen = last_versions[plan_index]
+        seen = self._last_versions[plan_index]
 
         if seen is None:
             mode = "full"
@@ -249,7 +274,7 @@ def _compute_compiled(
                     return 0
                 mode = "delta"
             else:
-                domain_grew = interpretation.domain_version > last_domain[plan_index]
+                domain_grew = interpretation.domain_version > self._last_domain[plan_index]
                 if not changed and not domain_grew:
                     return 0
                 mode = "full"
@@ -268,11 +293,11 @@ def _compute_compiled(
 
         # Record the observation point *before* consuming the generator so
         # facts the firing itself derives count as delta for the next round.
-        last_versions[plan_index] = {
+        self._last_versions[plan_index] = {
             predicate: interpretation.relation_version(predicate)
             for predicate in body_predicates
         }
-        last_domain[plan_index] = interpretation.domain_version
+        self._last_domain[plan_index] = interpretation.domain_version
 
         added = 0
         # Materialise before inserting: inserting while the generator is
@@ -286,31 +311,53 @@ def _compute_compiled(
             limits.check_interpretation(interpretation, iteration)
         return added
 
-    # Global sweeps in bottom-up stratum order.  Every sweep visits each
-    # plan, but the version gating inside ``fire`` makes visits to
-    # up-to-date plans O(1): a plan only re-fires when one of its body
-    # relations gained rows since its last firing (joined through delta
-    # views) or, for domain-sensitive plans, when the domain grew.  The
-    # bottom-up order makes facts derived low in the dependency graph
-    # visible to higher strata within the same sweep, so the number of
-    # sweeps is bounded by the naive iteration count; interleaving all
-    # strata in one sweep (instead of iterating each stratum to a local
-    # fixpoint) keeps the partial interpretation of an aborted evaluation
-    # representative of every predicate, matching the reference strategies
-    # on the paper's infinite-fixpoint programs.
-    while True:
-        limits.check_iteration(iteration, partial=interpretation)
-        limits.check_interpretation(interpretation, iteration)
-        sweep_added = 0
-        for plan_indexes in program_plan.schedule:
-            for plan_index in plan_indexes:
-                sweep_added += fire(plan_index)
-        iteration += 1
-        new_facts_history.append(sweep_added)
-        if sweep_added == 0:
-            break
+    def run(self, limits: EvaluationLimits = DEFAULT_LIMITS) -> List[int]:
+        """Sweep until no plan derives anything new; return per-sweep counts.
 
-    return interpretation, iteration, new_facts_history
+        Global sweeps in bottom-up stratum order.  Every sweep visits each
+        plan, but the version gating inside ``_fire`` makes visits to
+        up-to-date plans O(1): a plan only re-fires when one of its body
+        relations gained rows since its last firing (joined through delta
+        views) or, for domain-sensitive plans, when the domain grew.  The
+        bottom-up order makes facts derived low in the dependency graph
+        visible to higher strata within the same sweep, so the number of
+        sweeps is bounded by the naive iteration count; interleaving all
+        strata in one sweep (instead of iterating each stratum to a local
+        fixpoint) keeps the partial interpretation of an aborted evaluation
+        representative of every predicate, matching the reference strategies
+        on the paper's infinite-fixpoint programs.
+
+        The iteration limit applies per call, so a session performing many
+        small maintenance runs is not eventually starved by its own history.
+        """
+        interpretation = self.interpretation
+        history: List[int] = []
+        iteration = 1
+        while True:
+            limits.check_iteration(iteration, partial=interpretation)
+            limits.check_interpretation(interpretation, iteration)
+            sweep_added = 0
+            for plan_indexes in self.program_plan.schedule:
+                for plan_index in plan_indexes:
+                    sweep_added += self._fire(plan_index, limits, iteration)
+            iteration += 1
+            self.sweeps += 1
+            history.append(sweep_added)
+            if sweep_added == 0:
+                break
+        return history
+
+
+def _compute_compiled(
+    program: Program,
+    database: SequenceDatabase,
+    limits: EvaluationLimits,
+    transducers: Optional[TransducerRegistry],
+) -> Tuple[Interpretation, int, List[int]]:
+    engine = CompiledFixpoint(program, transducers)
+    new_facts_history = [engine.load_database(database)]
+    new_facts_history.extend(engine.run(limits))
+    return engine.interpretation, engine.sweeps + 1, new_facts_history
 
 
 def compute_both_strategies(

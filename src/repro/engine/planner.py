@@ -273,7 +273,8 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     def derive(self, interpretation: Interpretation) -> Iterator[Fact]:
         """Yield every ground head fact derivable from the interpretation."""
-        yield from self._run(0, Substitution(), interpretation, -1, None)
+        for substitution in self.solutions(interpretation):
+            yield from self._emit(substitution, interpretation)
 
     def derive_semi_naive(
         self,
@@ -295,9 +296,32 @@ class PlanExecutor:
             view = delta_views.get(step.atom.predicate)
             if view is None or not len(view):
                 continue
-            yield from self._run(
+            for substitution in self._run(
                 0, Substitution(), interpretation, step.atom_position, delta_views
-            )
+            ):
+                yield from self._emit(substitution, interpretation)
+
+    def solutions(self, interpretation: Interpretation) -> Iterator[Substitution]:
+        """Yield every substitution satisfying the body of the plan.
+
+        This is the step pipeline without head emission; the prepared
+        pattern queries of :mod:`repro.engine.query` execute a single-atom
+        plan this way, so constant-bound argument positions go through the
+        same composite-index ``AtomScan`` machinery as clause bodies.
+        """
+        yield from self._run(0, Substitution(), interpretation, -1, None)
+
+    def _emit(
+        self, substitution: Substitution, interpretation: Interpretation
+    ) -> Iterator[Fact]:
+        yield from emit_heads(
+            self.plan.clause.head,
+            self._head_sequence_vars,
+            self._head_index_vars,
+            substitution,
+            interpretation.domain,
+            self.transducers,
+        )
 
     # ------------------------------------------------------------------
     # Step execution
@@ -309,16 +333,9 @@ class PlanExecutor:
         interpretation: Interpretation,
         delta_position: int,
         delta_views: Optional[Mapping[str, ScanSource]],
-    ) -> Iterator[Fact]:
+    ) -> Iterator[Substitution]:
         if step_index == len(self._steps):
-            yield from emit_heads(
-                self.plan.clause.head,
-                self._head_sequence_vars,
-                self._head_index_vars,
-                substitution,
-                interpretation.domain,
-                self.transducers,
-            )
+            yield substitution
             return
 
         step = self._steps[step_index]
@@ -352,7 +369,7 @@ class PlanExecutor:
         interpretation: Interpretation,
         delta_position: int,
         delta_views: Optional[Mapping[str, ScanSource]],
-    ) -> Iterator[Fact]:
+    ) -> Iterator[Substitution]:
         atom = step.atom
         source: Optional[ScanSource]
         if delta_views is not None and step.atom_position == delta_position:
@@ -384,7 +401,7 @@ class PlanExecutor:
         interpretation: Interpretation,
         delta_position: int,
         delta_views: Optional[Mapping[str, ScanSource]],
-    ) -> Iterator[Fact]:
+    ) -> Iterator[Substitution]:
         domain = interpretation.domain
         sequence_names = [
             name for name in step.sequence_vars if not substitution.binds_sequence(name)

@@ -5,16 +5,31 @@ distinguished ``output`` predicate.  In practice one also wants to query an
 interpretation with a *pattern atom* containing variables (and even indexed
 terms), e.g. ``answer(X)`` or ``proteinseq(D, P)``.  This module matches such
 patterns against a computed interpretation and returns the bindings.
+
+Patterns are served by :class:`PreparedQuery`: the pattern atom is compiled
+once into a single-atom join plan through :mod:`repro.engine.planner`, so
+argument positions bound by constants become index lookups against the
+relation's composite hash indexes instead of full scans, and the parse and
+compile work is amortised over repeated executions (the serving layer in
+:mod:`repro.engine.session` keeps prepared patterns in an LRU cache).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import (
+    Collection,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.engine.bindings import Substitution
-from repro.engine.evaluation import ClauseEvaluator
 from repro.engine.interpretation import Interpretation
+from repro.engine.planner import PlanExecutor, compile_clause
 from repro.errors import UnknownPredicateError
 from repro.language.atoms import Atom
 from repro.language.clauses import Clause
@@ -26,14 +41,25 @@ from repro.sequences import Sequence
 class QueryResult:
     """The answers to a pattern query.
 
-    ``substitutions`` holds one substitution per answer; ``rows`` holds the
-    matched fact tuples.  Helper accessors return plain strings for
-    convenience in examples and tests.
+    ``rows`` holds one tuple per *distinct* answer (matched fact tuple);
+    ``substitutions`` holds every distinct witness substitution.  A row can
+    have several witnesses (e.g. the pattern ``suffix(X[N:end])`` matches
+    one suffix fact for many ``(X, N)`` pairs), so the two lists are not
+    parallel: ``len(result)`` counts answers, never witnesses.  Helper
+    accessors return plain strings for convenience in examples and tests.
     """
 
     pattern: Atom
     substitutions: List[Substitution]
     rows: List[Tuple[Sequence, ...]]
+    # Lazily-built membership set so repeated ``in`` checks are O(1)
+    # amortised instead of rebuilding a set per call.  The cache remembers
+    # how many rows it covers; results are not meant to be mutated, but an
+    # appended row is still picked up on the next check.
+    _row_set: Optional[FrozenSet[Tuple[Sequence, ...]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _row_set_count: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -46,10 +72,13 @@ class QueryResult:
             target = (Sequence(str(row)),)
         else:
             target = tuple(Sequence(str(value)) for value in row)
-        return target in set(self.rows)
+        if self._row_set is None or self._row_set_count != len(self.rows):
+            self._row_set = frozenset(self.rows)
+            self._row_set_count = len(self.rows)
+        return target in self._row_set
 
     def texts(self) -> List[Tuple[str, ...]]:
-        """All answer rows as tuples of plain strings, sorted."""
+        """All distinct answer rows as tuples of plain strings, sorted."""
         return sorted(tuple(value.text for value in row) for row in self.rows)
 
     def values(self, variable: str) -> List[str]:
@@ -64,10 +93,80 @@ class QueryResult:
         return not self.rows
 
 
+class PreparedQuery:
+    """A pattern atom compiled once into an index-aware scan plan.
+
+    The pattern is wrapped into the single-body-atom clause
+    ``query_result(args) :- pattern.`` and compiled with
+    :func:`repro.engine.planner.compile_clause`; executing the plan with
+    :meth:`PlanExecutor.solutions` then shares the exact matching semantics
+    of clause evaluation (Section 3.2).  Argument positions whose terms are
+    constants are statically bound, so every execution consults the
+    relation's composite hash index over those columns instead of scanning
+    all rows — the point of preparing a query once and serving it many
+    times.
+    """
+
+    __slots__ = ("atom", "plan", "_executor")
+
+    def __init__(self, pattern: Union[str, Atom]):
+        self.atom = parse_atom(pattern) if isinstance(pattern, str) else pattern
+        clause = Clause(Atom("query_result", self.atom.args), [self.atom])
+        self.plan = compile_clause(clause)
+        self._executor = PlanExecutor(self.plan)
+
+    def run(
+        self,
+        interpretation: Interpretation,
+        strict: bool = False,
+        known_predicates: Optional[Collection[str]] = None,
+    ) -> QueryResult:
+        """Execute the prepared pattern against an interpretation.
+
+        See :func:`evaluate_query` for the meaning of ``strict`` and
+        ``known_predicates``.
+        """
+        atom = self.atom
+        if interpretation.relation(atom.predicate) is None:
+            if strict and (
+                known_predicates is None or atom.predicate not in known_predicates
+            ):
+                raise UnknownPredicateError(
+                    f"predicate {atom.predicate!r} is not defined by any rule "
+                    "or fact (unknown predicate; pass strict=False to treat "
+                    "it as empty)"
+                )
+            return QueryResult(pattern=atom, substitutions=[], rows=[])
+
+        substitutions: List[Substitution] = []
+        rows: List[Tuple[Sequence, ...]] = []
+        row_seen: Set[Tuple[Sequence, ...]] = set()
+        witness_seen = set()
+        for substitution in self._executor.solutions(interpretation):
+            values = substitution.evaluate_atom(atom)
+            if values is None:
+                continue
+            _, row = values
+            # Rows are deduplicated by the matched fact alone: witnesses
+            # differing only in their variable bindings are the same answer.
+            if row not in row_seen:
+                row_seen.add(row)
+                rows.append(row)
+            witness_key = (
+                frozenset(substitution.sequence_bindings.items()),
+                frozenset(substitution.index_bindings.items()),
+            )
+            if witness_key not in witness_seen:
+                witness_seen.add(witness_key)
+                substitutions.append(substitution)
+        return QueryResult(pattern=atom, substitutions=substitutions, rows=rows)
+
+
 def evaluate_query(
     interpretation: Interpretation,
     pattern: Union[str, Atom],
     strict: bool = False,
+    known_predicates: Optional[Collection[str]] = None,
 ) -> QueryResult:
     """Match a pattern atom against an interpretation.
 
@@ -79,38 +178,39 @@ def evaluate_query(
         An atom such as ``answer(X)`` / ``proteinseq(D, P)`` -- either an
         :class:`Atom` or its textual form.
     strict:
-        When True, querying a predicate with no facts raises
+        When True, querying a predicate that is *unknown* — no facts in the
+        interpretation and not listed in ``known_predicates`` — raises
         :class:`UnknownPredicateError` instead of returning an empty result.
-    """
-    atom = parse_atom(pattern) if isinstance(pattern, str) else pattern
-    relation = interpretation.relation(atom.predicate)
-    if relation is None:
-        if strict:
-            raise UnknownPredicateError(
-                f"predicate {atom.predicate!r} has no facts in the interpretation"
-            )
-        return QueryResult(pattern=atom, substitutions=[], rows=[])
+    known_predicates:
+        The predicates the caller knows to exist (typically the program's
+        predicates plus the base relations).  A known predicate that simply
+        derived no facts yields an empty result even under ``strict``; only
+        a predicate outside this set (a likely typo) raises.  ``None``
+        preserves the historical behaviour of treating every factless
+        predicate as unknown.
 
-    # Reuse the clause evaluator's matching machinery by evaluating the
-    # pattern as if it were the single body atom of a clause.
-    dummy_clause = Clause(Atom("query_result", atom.args), [atom])
-    evaluator = ClauseEvaluator(dummy_clause)
-    substitutions: List[Substitution] = []
-    rows: List[Tuple[Sequence, ...]] = []
-    seen = set()
-    for substitution in evaluator._body_solutions(interpretation, None, -1):
-        values = substitution.evaluate_atom(atom)
-        if values is None:
-            continue
-        _, row = values
-        key = (row, frozenset(substitution.sequence_bindings.items()),
-               frozenset(substitution.index_bindings.items()))
-        if key in seen:
-            continue
-        seen.add(key)
-        substitutions.append(substitution)
-        rows.append(row)
-    return QueryResult(pattern=atom, substitutions=substitutions, rows=rows)
+    One-shot callers get a freshly prepared plan per call; repeated callers
+    should prepare once (:class:`PreparedQuery`) or go through a
+    :class:`~repro.engine.session.DatalogSession`, which caches prepared
+    patterns.
+    """
+    return PreparedQuery(pattern).run(
+        interpretation, strict=strict, known_predicates=known_predicates
+    )
+
+
+def known_predicates(
+    program_predicates: Collection[str], interpretation: Interpretation
+) -> Set[str]:
+    """The predicates strict queries treat as *known*.
+
+    A predicate is known when the program mentions it (even if it derived
+    nothing) or when the interpretation holds facts for it (base relations
+    the program never names).  Anything else is presumed a typo.
+    """
+    known = set(program_predicates)
+    known.update(interpretation.predicates())
+    return known
 
 
 def output_relation(interpretation: Interpretation, predicate: str = "output") -> List[str]:

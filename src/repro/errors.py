@@ -78,6 +78,16 @@ class UnknownPredicateError(EvaluationError):
     """A query referenced a predicate that no rule or fact defines."""
 
 
+class MultiValuedOutputError(EvaluationError):
+    """A program used as a sequence function derived several ``output`` facts.
+
+    Definition 5 of the paper defines the expressed function only when the
+    ``output`` relation of the least fixpoint holds a *single* sequence; a
+    multi-valued result means the function is undefined at the input, which
+    is an error distinct from deriving no output at all (``None``).
+    """
+
+
 class TransducerError(ReproError):
     """Base class for errors in the generalized transducer machine model."""
 

@@ -18,6 +18,7 @@ treat undefined substitutions as non-firing rules rather than errors.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SequenceIndexError
@@ -56,6 +57,13 @@ class Sequence:
 
     _intern_table: Dict[str, "Sequence"] = {}
     _by_id: List["Sequence"] = []
+    #: Guards the check-then-insert of the intern table.  A long-lived
+    #: serving session may intern from several threads; without the lock two
+    #: threads could both miss the table and materialise twin objects,
+    #: breaking the identity-equality invariant the fact store relies on.
+    _lock = threading.Lock()
+    #: Total symbols held by the table (grows with every distinct sequence).
+    _total_symbols: int = 0
 
     def __new__(cls, symbols: SymbolLike = ""):
         if isinstance(symbols, Sequence):
@@ -64,13 +72,21 @@ class Sequence:
             data = symbols
         else:
             data = "".join(symbols)
+        # Lock-free fast path: dict reads are atomic under the GIL, and an
+        # entry, once published, is never replaced.
         self = cls._intern_table.get(data)
         if self is None:
-            self = super().__new__(cls)
-            self._data = data
-            self._id = len(cls._by_id)
-            cls._intern_table[data] = self
-            cls._by_id.append(self)
+            with cls._lock:
+                self = cls._intern_table.get(data)
+                if self is None:
+                    self = super().__new__(cls)
+                    self._data = data
+                    self._id = len(cls._by_id)
+                    cls._by_id.append(self)
+                    cls._total_symbols += len(data)
+                    # Publish last: a concurrent fast-path reader must never
+                    # observe a half-initialised entry.
+                    cls._intern_table[data] = self
         return self
 
     def __init__(self, symbols: SymbolLike = ""):
@@ -97,6 +113,38 @@ class Sequence:
     def intern_table_size(cls) -> int:
         """Number of distinct sequences interned so far (diagnostics)."""
         return len(cls._by_id)
+
+    @classmethod
+    def intern_stats(cls) -> Dict[str, int]:
+        """Growth diagnostics of the process-wide intern table.
+
+        The table only ever grows (sequences are immutable and shared), so a
+        long-running serving session should watch these numbers: ``size`` is
+        the number of distinct sequences and ``total_symbols`` the sum of
+        their lengths — together a proxy for the table's memory footprint.
+        """
+        return {"size": len(cls._by_id), "total_symbols": cls._total_symbols}
+
+    @classmethod
+    def _reset_intern_table_for_tests(cls) -> int:
+        """Test-only hook: drop every interned sequence except the empty one.
+
+        Returns the previous table size.  This breaks the identity-equality
+        invariant for ``Sequence`` objects created *before* the reset (their
+        ``intern_id`` may collide with newly assigned ids), so it must only
+        be called from tests that rebuild all of their state afterwards —
+        typically through a fixture that snapshots and restores the table.
+        """
+        with cls._lock:
+            previous = len(cls._by_id)
+            cls._intern_table.clear()
+            cls._by_id.clear()
+            cls._total_symbols = 0
+            # Keep the module-level EMPTY singleton valid across the reset.
+            EMPTY._id = 0
+            cls._by_id.append(EMPTY)
+            cls._intern_table[EMPTY._data] = EMPTY
+        return previous
 
     # ------------------------------------------------------------------
     # Basic protocol

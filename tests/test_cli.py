@@ -28,6 +28,36 @@ class TestDatabaseLoading:
         assert ("abc",) in database.relation("r")
         assert ("a", "b") in database.relation("pairs")
 
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"r": [[]]}, "empty row"),
+            ({"r": [5]}, "row 5"),
+            ({"r": [["a", 7]]}, "non-string value 7"),
+            ({"r": "abc"}, "expected a list of rows"),
+            ([1, 2], "must be an object"),
+        ],
+    )
+    def test_malformed_json_reports_relation_and_row(self, tmp_path, payload, fragment):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError) as excinfo:
+            load_database_json(str(path))
+        assert fragment in str(excinfo.value)
+
+    def test_malformed_json_yields_exit_code_1(self, tmp_path, program_file):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"r": [[]]}))
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", str(path), "--query", "suffix(X)"],
+            out=out,
+        )
+        assert code == 1
+        assert "error: relation 'r'" in out.getvalue()
+
 
 class TestCommands:
     def test_run_prints_answers_and_summary(self, program_file, database_file):
@@ -91,3 +121,90 @@ class TestCommands:
     def test_missing_file_yields_exit_code_1(self):
         out = io.StringIO()
         assert main(["parse", "/nonexistent/prog.sdl"], out=out) == 1
+
+
+class TestServeCommand:
+    def _serve(self, program_file, database_file, tmp_path, script):
+        path = tmp_path / "commands.txt"
+        path.write_text(script)
+        out = io.StringIO()
+        code = main(
+            ["serve", program_file, "--db", database_file, "--script", str(path)],
+            out=out,
+        )
+        return code, out.getvalue()
+
+    def test_query_and_summary(self, program_file, database_file, tmp_path):
+        code, output = self._serve(
+            program_file, database_file, tmp_path, "? suffix(X)\nquit\n"
+        )
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert "abc" in lines
+        assert "% 4 answers" in lines
+
+    def test_incremental_add_is_served_by_later_queries(
+        self, program_file, database_file, tmp_path
+    ):
+        script = (
+            "# add a strand, then query a suffix only it has\n"
+            "add r xyz\n"
+            'query suffix("yz")\n'
+        )
+        code, output = self._serve(program_file, database_file, tmp_path, script)
+        assert code == 0
+        assert "% +4 facts (1 base)" in output
+        assert "yz" in output.splitlines()
+
+    def test_add_accepts_quoted_values(self, program_file, database_file, tmp_path):
+        # Quoted values mirror the query syntax: the stored sequence must
+        # not contain the quote marks.
+        script = 'add r "qv"\nquery suffix("v")\nquery r(X)\n'
+        code, output = self._serve(program_file, database_file, tmp_path, script)
+        assert code == 0
+        lines = output.splitlines()
+        assert "v" in lines
+        assert "qv" in lines
+        assert '"qv"' not in lines
+
+    def test_add_quoted_value_with_space_stays_one_value(
+        self, program_file, database_file, tmp_path
+    ):
+        script = 'add r "a b"\nquery r("a b")\nadd r nospace\nquery r(X)\n'
+        code, output = self._serve(program_file, database_file, tmp_path, script)
+        assert code == 0
+        lines = output.splitlines()
+        assert "a b" in lines  # stored as a single arity-1 fact
+        # The relation's arity was not poisoned: a later plain add works.
+        assert "nospace" in lines
+        assert "error:" not in output
+
+    def test_add_with_unbalanced_quote_reports_and_continues(
+        self, program_file, database_file, tmp_path
+    ):
+        script = 'add r "broken\nquery r(X)\n'
+        code, output = self._serve(program_file, database_file, tmp_path, script)
+        assert code == 0
+        assert "error:" in output
+        assert "% 1 answers" in output  # the session kept serving
+
+    def test_stats_reports_model_and_cache(self, program_file, database_file, tmp_path):
+        code, output = self._serve(
+            program_file, database_file, tmp_path, "stats\n"
+        )
+        assert code == 0
+        stats = json.loads(output.strip().splitlines()[-1])
+        assert stats["facts"] > 0
+        assert stats["prepared_cache"]["capacity"] == 128
+
+    def test_errors_do_not_end_the_session(
+        self, program_file, database_file, tmp_path
+    ):
+        script = "bogus\nadd r\nquery suffix(\nquery r(X)\n"
+        code, output = self._serve(program_file, database_file, tmp_path, script)
+        assert code == 0
+        assert "error: unknown command 'bogus'" in output
+        assert "error: add needs a relation" in output
+        # The parse error is reported, then the next command still runs.
+        assert output.count("error:") == 3
+        assert "% 1 answers" in output

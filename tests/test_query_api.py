@@ -5,8 +5,8 @@ import pytest
 from repro import SequenceDatalogEngine, SequenceDatabase
 from repro.core import paper_programs
 from repro.engine import compute_least_fixpoint, evaluate_query
-from repro.engine.query import output_relation
-from repro.errors import UnknownPredicateError
+from repro.engine.query import PreparedQuery, output_relation
+from repro.errors import MultiValuedOutputError, UnknownPredicateError
 
 
 class TestPatternQueries:
@@ -39,6 +39,61 @@ class TestPatternQueries:
         assert evaluate_query(suffix_result.interpretation, "nothing(X)").is_empty()
         with pytest.raises(UnknownPredicateError):
             evaluate_query(suffix_result.interpretation, "nothing(X)", strict=True)
+
+    def test_strict_accepts_known_but_empty_predicates(self, suffix_result):
+        # A predicate the program defines but that derived nothing must not
+        # be confused with a typo.
+        result = evaluate_query(
+            suffix_result.interpretation,
+            "empty(X)",
+            strict=True,
+            known_predicates={"empty", "suffix", "r"},
+        )
+        assert result.is_empty()
+        with pytest.raises(UnknownPredicateError):
+            evaluate_query(
+                suffix_result.interpretation,
+                "sufix(X)",  # typo: not in the known set
+                strict=True,
+                known_predicates={"empty", "suffix", "r"},
+            )
+
+    def test_engine_query_strict_uses_program_predicates(self, small_string_db):
+        engine = SequenceDatalogEngine("both(X) :- r(X), never(X).")
+        result = engine.evaluate(small_string_db)
+        # `both` and `never` derived nothing but belong to the program.
+        assert engine.query(result, "both(X)", strict=True).is_empty()
+        assert engine.query(result, "never(X)", strict=True).is_empty()
+        with pytest.raises(UnknownPredicateError):
+            engine.query(result, "bot(X)", strict=True)
+
+    def test_indexed_patterns_do_not_duplicate_rows(self, suffix_result):
+        # Each suffix fact is matched by many (X, N) witnesses; the rows
+        # must still appear exactly once.
+        result = evaluate_query(suffix_result.interpretation, "suffix(X[N:end])")
+        assert len(result) == len(set(result.rows))
+        assert result.texts() == sorted(set(result.texts()))
+        # Witness substitutions are all kept (there are more than rows here).
+        assert len(result.substitutions) > len(result.rows)
+
+    def test_prepared_query_matches_one_shot_evaluation(self, suffix_result):
+        prepared = PreparedQuery("suffix(X)")
+        once = prepared.run(suffix_result.interpretation)
+        again = prepared.run(suffix_result.interpretation)
+        assert once.texts() == again.texts()
+        assert once.texts() == evaluate_query(
+            suffix_result.interpretation, "suffix(X)"
+        ).texts()
+
+    def test_contains_is_cached_across_calls(self, suffix_result):
+        result = evaluate_query(suffix_result.interpretation, "suffix(X)")
+        assert "abc" in result
+        cached = result._row_set
+        assert cached is not None
+        assert "bc" in result
+        assert result._row_set is cached  # no per-call set rebuild
+        result.rows.append((result.rows[0]))  # mutation invalidates the cache
+        assert result.rows[-1] in result
 
     def test_values_accessor(self, suffix_result):
         values = evaluate_query(suffix_result.interpretation, "suffix(X)").values("X")
@@ -78,6 +133,18 @@ class TestEngineFacade:
     def test_compute_function_undefined_returns_none(self):
         engine = SequenceDatalogEngine("output(X) :- input(X), never(X).")
         assert engine.compute_function("ab") is None
+
+    def test_compute_function_multi_valued_raises(self):
+        # Definition 5: several derived outputs mean the program does not
+        # express a function at this input — not "the smallest one wins".
+        engine = SequenceDatalogEngine("output(X[N:end]) :- input(X).")
+        with pytest.raises(MultiValuedOutputError) as excinfo:
+            engine.compute_function("ab")
+        assert "output" in str(excinfo.value)
+
+    def test_compute_function_single_valued_still_works(self):
+        engine = SequenceDatalogEngine("output(X[1:2]) :- input(X).")
+        assert engine.compute_function("abc") == "ab"
 
     def test_safety_and_finiteness_accessors(self):
         engine = SequenceDatalogEngine(paper_programs.EXAMPLE_1_5_REP2)

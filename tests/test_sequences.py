@@ -127,3 +127,46 @@ class TestSubsequencesEnumeration:
     def test_as_sequence_coercion(self):
         assert as_sequence("ab") == Sequence("ab")
         assert as_sequence(Sequence("ab")) == Sequence("ab")
+
+
+class TestInternTable:
+    def test_interning_is_identity(self):
+        assert Sequence("intern-me") is Sequence("intern-me")
+
+    def test_stats_grow_with_distinct_sequences(self):
+        before = Sequence.intern_stats()
+        Sequence("a-sequence-surely-not-seen-before")
+        after = Sequence.intern_stats()
+        assert after["size"] == before["size"] + 1
+        assert (
+            after["total_symbols"]
+            == before["total_symbols"] + len("a-sequence-surely-not-seen-before")
+        )
+        # Re-interning the same text changes nothing.
+        Sequence("a-sequence-surely-not-seen-before")
+        assert Sequence.intern_stats() == after
+
+    def test_concurrent_interning_yields_one_object_per_text(self):
+        import threading
+
+        texts = [f"threaded-{i % 25}" for i in range(200)]
+        results = [[] for _ in range(8)]
+        barrier = threading.Barrier(8)
+
+        def work(bucket):
+            barrier.wait()  # maximise overlap on the check-then-insert
+            for text in texts:
+                bucket.append(Sequence(text))
+
+        threads = [
+            threading.Thread(target=work, args=(results[i],)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        canonical = {text: Sequence(text) for text in texts}
+        for bucket in results:
+            for text, sequence in zip(texts, bucket):
+                assert sequence is canonical[text]
+                assert sequence.intern_id == canonical[text].intern_id

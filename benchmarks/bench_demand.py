@@ -1,0 +1,242 @@
+"""Demand-driven evaluation benchmark: per-query slices vs full fixpoints.
+
+Measures the tentpole claim of the demand subsystem
+(:mod:`repro.engine.demand`) and emits a JSON record: for selective
+queries, demand-mode evaluation — relevance-restricted subprograms with the
+pattern's constants pushed into defining-clause plans — must materialise
+**strictly fewer facts** than the full least fixpoint and answer **at least
+2x faster**, with answers fact-for-fact identical.
+
+Two workload families:
+
+* **genome** — a composed analysis program (Example 7.2 transcription +
+  Example 1.4-style reverse complement + restriction-site search) over
+  random DNA strands.  A constant-bound ``rnaseq("<strand>", R)`` query
+  needs only the transcription slice; full evaluation also pays for the
+  reverse-complement recursion and site scan it never reads.
+* **turing** — two Theorem 1 Turing-machine compilations (increment and
+  complement) sharing one program, each with its own ``input``/``conf``/
+  ``output`` predicates.  Querying one machine's output prunes the other
+  machine's whole simulation.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_demand.py            # JSON on stdout
+    PYTHONPATH=src python benchmarks/bench_demand.py --smoke    # tiny + shape check
+    pytest benchmarks/bench_demand.py --benchmark-only -s       # harness run
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro import EvaluationLimits, SequenceDatabase, compute_least_fixpoint
+from repro.engine.demand import compile_demand
+from repro.engine.query import evaluate_query
+from repro.language.parser import parse_program
+from repro.turing import machines
+from repro.turing.compile_to_datalog import compile_tm_to_sequence_datalog
+from repro.workloads import random_dna
+
+LIMITS = EvaluationLimits(max_iterations=2_000, max_sequence_length=2_000)
+
+GENOME_PROGRAM = """
+% transcription (Example 7.2)
+rnaseq(D, R) :- dnaseq(D), transcribe(D, R).
+transcribe("", "") :- true.
+transcribe(D[1:N+1], R ++ T) :- dnaseq(D), transcribe(D[1:N], R), trans(D[N+1], T).
+trans("a", "u") :- true.
+trans("t", "a") :- true.
+trans("c", "g") :- true.
+trans("g", "c") :- true.
+% reverse complement (Example 1.4 recursion + complement table)
+revcomp(X, Y) :- dnaseq(X), rc(X, Y).
+rc("", "") :- true.
+rc(X[1:N+1], C ++ Y) :- dnaseq(X), rc(X[1:N], Y), basecomp(X[N+1], C).
+basecomp("a", "t") :- true.
+basecomp("t", "a") :- true.
+basecomp("c", "g") :- true.
+basecomp("g", "c") :- true.
+% restriction-site search (EcoRI)
+site_at(R, R[N:end]) :- dnaseq(R), R[N:N+5] = "gaattc".
+% in-silico bisulfite conversion (c -> t)
+bisulfite(D, B) :- dnaseq(D), bis(D, B).
+bis("", "") :- true.
+bis(D[1:N+1], B ++ T) :- dnaseq(D), bis(D[1:N], B), bischar(D[N+1], T).
+bischar("a", "a") :- true.
+bischar("c", "t") :- true.
+bischar("g", "g") :- true.
+bischar("t", "t") :- true.
+% suffix index of every strand
+dnasuffix(X, X[N:end]) :- dnaseq(X).
+"""
+
+
+def _bench_case(label, program, database, pattern, repeats=1):
+    """Time demand vs full for one pattern; verify identical answers."""
+    started = time.perf_counter()
+    full = compute_least_fixpoint(program, database, limits=LIMITS)
+    for _ in range(repeats - 1):
+        compute_least_fixpoint(program, database, limits=LIMITS)
+    full_answers = evaluate_query(full.interpretation, pattern)
+    full_seconds = (time.perf_counter() - started) / repeats
+
+    compiled = compile_demand(program, pattern)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        demand_result = compiled.materialize(database, LIMITS)
+        demand_answers = compiled.query(demand_result)
+    demand_seconds = (time.perf_counter() - started) / repeats
+
+    assert sorted(demand_answers.texts()) == sorted(full_answers.texts()), (
+        f"{label}: demand and full answers differ for {pattern}"
+    )
+    return {
+        "case": label,
+        "pattern": pattern,
+        "restricted": compiled.profile.restricted,
+        "relevant_predicates": len(compiled.profile.relevant),
+        "seeds": len(compiled.profile.seeds),
+        "full_facts": full.fact_count,
+        "demand_facts": demand_result.fact_count,
+        "full_seconds": round(full_seconds, 4),
+        "demand_seconds": round(demand_seconds, 4),
+        "speedup_demand_vs_full": round(
+            full_seconds / max(demand_seconds, 1e-9), 2
+        ),
+        "answers": len(demand_answers),
+    }
+
+
+def bench_genome(strands=10, strand_length=12):
+    program = parse_program(GENOME_PROGRAM)
+    dna = [random_dna(strand_length, seed=900 + i) for i in range(strands)]
+    database = SequenceDatabase.from_dict({"dnaseq": dna})
+    return [
+        _bench_case(
+            f"genome-{strands}x{strand_length}-constant-bound",
+            program,
+            database,
+            f'rnaseq("{dna[0]}", R)',
+        ),
+        _bench_case(
+            f"genome-{strands}x{strand_length}-free",
+            program,
+            database,
+            "rnaseq(D, R)",
+        ),
+    ]
+
+
+def bench_turing(word="1101"):
+    increment = compile_tm_to_sequence_datalog(
+        machines.increment_machine(),
+        input_predicate="input_inc",
+        output_predicate="output_inc",
+        conf_predicate="conf_inc",
+    )
+    complement = compile_tm_to_sequence_datalog(
+        machines.complement_machine(),
+        input_predicate="input_com",
+        output_predicate="output_com",
+        conf_predicate="conf_com",
+    )
+    program = increment + complement
+    database = SequenceDatabase.from_dict(
+        {"input_inc": [word], "input_com": [word]}
+    )
+    return [
+        _bench_case(
+            f"turing-two-machines-{word}",
+            program,
+            database,
+            "output_inc(X)",
+        )
+    ]
+
+
+def run_benchmarks(smoke=False):
+    """Run both workload families and return the JSON record."""
+    if smoke:
+        cases = bench_genome(strands=3, strand_length=6) + bench_turing(word="10")
+    else:
+        cases = bench_genome() + bench_turing()
+    report = {
+        "benchmark": "demand",
+        "unit": "seconds",
+        "smoke": smoke,
+        "cases": cases,
+    }
+    validate_report(report)
+    for case in cases:
+        assert case["restricted"], f"{case['case']}: expected a restricted slice"
+        assert case["demand_facts"] < case["full_facts"], (
+            f"{case['case']}: the demand slice must be strictly smaller than "
+            f"the full fixpoint ({case['demand_facts']} vs {case['full_facts']})"
+        )
+    if not smoke:
+        selective = cases[0]
+        assert selective["speedup_demand_vs_full"] >= 2.0, (
+            "a constant-bound selective query must be >=2x faster demand-driven, "
+            f"got {selective['speedup_demand_vs_full']}x"
+        )
+    return report
+
+
+def validate_report(report):
+    """Check the JSON output shape (used by scripts/check.sh --smoke runs)."""
+    assert report["benchmark"] == "demand" and report["unit"] == "seconds"
+    assert isinstance(report["cases"], list) and report["cases"]
+    required = {
+        "case": str,
+        "pattern": str,
+        "restricted": bool,
+        "relevant_predicates": int,
+        "seeds": int,
+        "full_facts": int,
+        "demand_facts": int,
+        "full_seconds": float,
+        "demand_seconds": float,
+        "speedup_demand_vs_full": float,
+        "answers": int,
+    }
+    for case in report["cases"]:
+        for key, kind in required.items():
+            assert key in case, f"benchmark case missing key {key!r}"
+            assert isinstance(case[key], kind), (
+                f"benchmark case key {key!r} should be {kind.__name__}, "
+                f"got {type(case[key]).__name__}"
+            )
+    json.dumps(report)  # must be serialisable as-is
+
+
+def test_demand_benchmark(benchmark):
+    report = run_benchmarks()
+    print()
+    print(json.dumps(report, indent=2))
+
+    program = parse_program(GENOME_PROGRAM)
+    dna = [random_dna(12, seed=900 + i) for i in range(10)]
+    database = SequenceDatabase.from_dict({"dnaseq": dna})
+    compiled = compile_demand(program, f'rnaseq("{dna[0]}", R)')
+    benchmark.pedantic(
+        lambda: compiled.materialize(database, LIMITS), rounds=3, iterations=1
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: validate behaviour and JSON shape, skip the "
+        "speedup assertion",
+    )
+    args = parser.parse_args(argv)
+    print(json.dumps(run_benchmarks(smoke=args.smoke), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a benchmark smoke run, so the benchmark harness
+# cannot silently rot: the demand benchmark is executed on tiny workloads
+# and its JSON output shape is validated (bench_demand.validate_report).
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
+
+echo "== benchmark smoke (bench_demand --smoke) =="
+python benchmarks/bench_demand.py --smoke > /tmp/bench_demand_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_demand import validate_report
+
+with open("/tmp/bench_demand_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+print(f"ok: {len(report['cases'])} cases, shape valid")
+EOF
+
+echo "== all checks passed =="

@@ -19,6 +19,7 @@ Quickstart
 
 from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
+from repro.engine.demand import DemandQuery, compile_demand, demand_query
 from repro.engine.fixpoint import FixpointResult, compute_least_fixpoint
 from repro.engine.limits import EvaluationLimits
 from repro.engine.query import PreparedQuery, evaluate_query
@@ -33,6 +34,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DatalogSession",
+    "DemandQuery",
     "EvaluationLimits",
     "FixpointResult",
     "PreparedQuery",
@@ -41,7 +43,9 @@ __all__ = [
     "SequenceDatalogEngine",
     "TransducerCatalog",
     "TransducerDatalogProgram",
+    "compile_demand",
     "compute_least_fixpoint",
+    "demand_query",
     "evaluate_query",
     "parse_atom",
     "parse_clause",

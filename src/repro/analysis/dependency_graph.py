@@ -90,6 +90,37 @@ class DependencyGraph:
         """True if ``source`` depends (directly) on ``target``."""
         return self._graph.has_edge(source, target)
 
+    def dependencies_of(self, predicate: str) -> FrozenSet[str]:
+        """Every predicate reachable from ``predicate``, including itself.
+
+        This is the *relevant* predicate set of a query on ``predicate``:
+        the only predicates whose clauses (and base facts) can influence its
+        extension, which demand-driven evaluation
+        (:mod:`repro.engine.demand`) restricts the fixpoint sweep to.  A
+        predicate the graph does not know is its own sole dependency.
+        """
+        if predicate not in self._graph:
+            return frozenset({predicate})
+        return frozenset(nx.descendants(self._graph, predicate)) | {predicate}
+
+    def is_self_reachable(self, predicate: str) -> bool:
+        """True if ``predicate`` transitively depends on itself.
+
+        Demand-driven evaluation may push query constants into the heads of
+        a predicate's defining clauses only when the restricted facts feed
+        nothing but the query — i.e. exactly when the predicate is *not*
+        self-reachable.
+        """
+        if predicate not in self._graph:
+            return False
+        # nx.descendants never includes the source, even through a cycle, so
+        # check for a dependent of ``predicate`` among its own dependencies.
+        reachable = nx.descendants(self._graph, predicate) | {predicate}
+        return any(
+            dependent in reachable
+            for dependent in self._graph.predecessors(predicate)
+        )
+
     def depends_constructively_on(self, source: str, target: str) -> bool:
         return (
             self._graph.has_edge(source, target)

@@ -13,12 +13,20 @@ Five subcommands cover the typical workflow::
   lists (n-ary relations), then prints the answers to the query pattern.
   ``--strategy`` selects the evaluation core (``compiled`` by default;
   ``naive`` and ``semi-naive`` are the interpreted references).
+  ``--demand`` answers the query demand-driven: instead of materialising
+  the full least fixpoint, only the slice of the model the query pattern
+  transitively depends on is computed, with the pattern's constants pushed
+  into the defining clauses (magic-set-style relevance restriction).
 * ``serve`` opens an incremental :class:`~repro.engine.session.DatalogSession`
   over the program, then executes commands from ``--script`` (or stdin), one
   per line: ``query <pattern>`` (alias ``?``), ``add <relation> <values...>``
   (alias ``+``, incrementally maintained — no recomputation from scratch),
   ``stats``, and ``quit``.  Errors in a command are reported and the session
-  keeps serving.
+  keeps serving — except after a maintenance run fails on a resource limit,
+  which leaves the resident model a partial fixpoint: the session is then
+  poisoned and every later ``query`` is refused with a clear error.
+  ``--demand`` serves queries from lazy, per-query demand slices without
+  ever materialising the full model.
 * ``analyze`` prints the strong-safety report and the finiteness verdict.
 * ``explain`` prints the compiled evaluation plan: the dependency strata,
   each clause's join order and the index columns every scan uses.
@@ -84,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=list(STRATEGIES), default=DEFAULT_STRATEGY,
         help="bottom-up evaluation strategy",
     )
+    run_parser.add_argument(
+        "--demand", action="store_true",
+        help="demand-driven evaluation: materialize only the slice of the "
+             "model the query pattern can observe (magic-set-style relevance "
+             "restriction with constant pushing) instead of the full fixpoint",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="incremental query-serving session (batch or stdin)"
@@ -97,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-iterations", type=int, default=EvaluationLimits().max_iterations,
         help="iteration limit for each maintenance run",
+    )
+    serve_parser.add_argument(
+        "--demand", action="store_true",
+        help="serve queries from lazy, cached per-query demand slices; the "
+             "full model is never materialized up front",
     )
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
@@ -117,6 +136,23 @@ def _command_run(args: argparse.Namespace, out) -> int:
     limits = EvaluationLimits(max_iterations=args.max_iterations)
     engine = SequenceDatalogEngine(_load_program(args.program), limits=limits)
     database = load_database_json(args.db)
+    if args.demand:
+        compiled = engine.compile_demand(args.query)
+        slice_result = compiled.materialize(database, limits)
+        answers = compiled.query(slice_result)
+        for row in answers.texts():
+            print("\t".join(row), file=out)
+        mode = (
+            f"slice of {len(slice_result.profile.relevant)} relevant predicates"
+            if slice_result.profile.restricted
+            else "full model (demand fallback)"
+        )
+        print(
+            f"% {len(answers)} answers, {slice_result.fact_count} facts "
+            f"materialized ({mode}), {slice_result.sweeps} sweeps",
+            file=out,
+        )
+        return 0
     result = engine.evaluate(database, strategy=args.strategy)
     answers = engine.query(result, args.query)
     for row in answers.texts():
@@ -129,10 +165,12 @@ def _command_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _serve_one(session: DatalogSession, command: str, rest: str, out) -> bool:
+def _serve_one(
+    session: DatalogSession, command: str, rest: str, out, demand: bool = False
+) -> bool:
     """Execute one serve command; return False when the session should end."""
     if command in ("query", "?"):
-        result = session.query(rest.strip())
+        result = session.query(rest.strip(), demand=demand)
         for row in result.texts():
             print("\t".join(row), file=out)
         print(f"% {len(result)} answers", file=out)
@@ -165,8 +203,11 @@ def _serve_one(session: DatalogSession, command: str, rest: str, out) -> bool:
 def _command_serve(args: argparse.Namespace, out) -> int:
     limits = EvaluationLimits(max_iterations=args.max_iterations)
     database = load_database_json(args.db) if args.db else None
-    session = DatalogSession(_load_program(args.program), database, limits=limits)
-    print(f"% serving {session.fact_count()} facts", file=out)
+    session = DatalogSession(
+        _load_program(args.program), database, limits=limits, lazy=args.demand
+    )
+    mode = " (demand mode: lazy per-query slices)" if args.demand else ""
+    print(f"% serving {session.fact_count()} facts{mode}", file=out)
     if args.script:
         with open(args.script, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
@@ -178,10 +219,12 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             continue
         command, _, rest = line.partition(" ")
         try:
-            if not _serve_one(session, command, rest, out):
+            if not _serve_one(session, command, rest, out, demand=args.demand):
                 break
         except ReproError as error:
-            # One bad command must not take the whole session down.
+            # One bad command must not take the whole session down.  A
+            # poisoned session (failed maintenance run) keeps refusing
+            # queries through SessionPoisonedError, reported the same way.
             print(f"error: {error}", file=out)
     return 0
 

@@ -16,6 +16,7 @@ from repro.analysis.finiteness import FinitenessReport, classify_finiteness
 from repro.analysis.safety import SafetyReport, analyze_safety
 from repro.database.database import SequenceDatabase
 from repro.engine.bindings import TransducerRegistry
+from repro.engine.demand import DemandQuery
 from repro.engine.fixpoint import (
     DEFAULT_STRATEGY,
     FixpointResult,
@@ -26,7 +27,7 @@ from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import QueryResult, evaluate_query, known_predicates
 from repro.engine.session import DatalogSession
-from repro.errors import MultiValuedOutputError
+from repro.errors import MultiValuedOutputError, ValidationError
 from repro.language.clauses import Program
 from repro.language.parser import parse_program
 
@@ -89,9 +90,10 @@ class SequenceDatalogEngine:
 
     def query(
         self,
-        result: Union[FixpointResult, Interpretation],
+        result: Union[FixpointResult, Interpretation, DatabaseLike],
         pattern: str,
         strict: bool = False,
+        demand: bool = False,
     ) -> QueryResult:
         """Match a pattern atom (e.g. ``"answer(X)"``) against a result.
 
@@ -100,7 +102,32 @@ class SequenceDatalogEngine:
         :class:`~repro.errors.UnknownPredicateError` (a likely typo), while
         a known predicate that legitimately derived nothing returns an
         empty result.
+
+        With ``demand=True``, ``result`` is the *database* (not a computed
+        fixpoint) and the pattern is answered demand-driven
+        (:mod:`repro.engine.demand`): only the slice of the model the
+        pattern transitively depends on is materialised, with the pattern's
+        constants pushed into the defining clauses.  Answers are identical
+        to evaluating fully and querying.
         """
+        if demand:
+            if isinstance(result, (FixpointResult, Interpretation)):
+                raise ValidationError(
+                    "query(demand=True) evaluates on demand and therefore "
+                    "needs the database, not an already-computed fixpoint; "
+                    "query the fixpoint directly instead"
+                )
+            # Strict mode defaults to the slice's own known-predicate
+            # universe (program predicates + every database relation).
+            return self.compile_demand(pattern).run(
+                _as_database(result), self.limits, strict=strict
+            )
+        if not isinstance(result, (FixpointResult, Interpretation)):
+            raise ValidationError(
+                "query() without demand=True matches against a computed "
+                "result; pass the FixpointResult/Interpretation, or set "
+                "demand=True to evaluate from the database on demand"
+            )
         interpretation = (
             result.interpretation if isinstance(result, FixpointResult) else result
         )
@@ -111,8 +138,21 @@ class SequenceDatalogEngine:
             interpretation, pattern, strict=strict, known_predicates=known
         )
 
-    def run(self, database: DatabaseLike, pattern: str) -> QueryResult:
-        """Evaluate and query in one call."""
+    def compile_demand(self, pattern: str) -> DemandQuery:
+        """Compile a pattern for demand-driven evaluation over this program.
+
+        The returned :class:`~repro.engine.demand.DemandQuery` exposes the
+        compilation profile (relevant predicates, adornment seeds, fallback
+        reason) and can be materialised against many databases.
+        """
+        return DemandQuery(self.program, pattern, self.transducers)
+
+    def run(
+        self, database: DatabaseLike, pattern: str, demand: bool = False
+    ) -> QueryResult:
+        """Evaluate and query in one call (demand-driven when asked)."""
+        if demand:
+            return self.query(database, pattern, demand=True)
         return self.query(self.evaluate(database), pattern)
 
     def session(
@@ -120,12 +160,17 @@ class SequenceDatalogEngine:
         database: Optional[DatabaseLike] = None,
         limits: Optional[EvaluationLimits] = None,
         prepared_cache_size: int = 128,
+        demand_cache_size: int = 32,
+        lazy: bool = False,
     ) -> DatalogSession:
         """Open an incremental query-serving session over this program.
 
         The session keeps its fixpoint resident, maintains it incrementally
         under :meth:`DatalogSession.add_facts` and serves prepared,
         index-backed pattern queries (see :mod:`repro.engine.session`).
+        With ``lazy=True`` the full fixpoint is only computed when a
+        non-demand query needs it; ``query(..., demand=True)`` serves
+        cached per-query slices either way.
         """
         return DatalogSession(
             self.program,
@@ -133,6 +178,8 @@ class SequenceDatalogEngine:
             limits=limits or self.limits,
             transducers=self.transducers,
             prepared_cache_size=prepared_cache_size,
+            demand_cache_size=demand_cache_size,
+            lazy=lazy,
         )
 
     def compute_function(self, value, output_predicate: str = "output") -> Optional[str]:

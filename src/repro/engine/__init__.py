@@ -16,11 +16,22 @@ The engine implements:
   ``T_{P,db} ^ omega`` with resource limits;
 * :mod:`~repro.engine.query` -- pattern queries over interpretations,
   compiled once into index-aware plans (:class:`~repro.engine.query.PreparedQuery`);
+* :mod:`~repro.engine.demand` -- demand-driven (magic-set-style) query
+  evaluation: relevance-restricted subprograms with the pattern's constants
+  pushed sideways into clause plans;
 * :mod:`~repro.engine.session` -- :class:`~repro.engine.session.DatalogSession`,
   the incremental query-serving layer over a resident fixpoint.
 """
 
 from repro.engine.bindings import Substitution
+from repro.engine.demand import (
+    DemandProfile,
+    DemandQuery,
+    DemandResult,
+    adornment_of,
+    compile_demand,
+    demand_query,
+)
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import EvaluationLimits
 from repro.engine.plan import ClausePlan, ProgramPlan
@@ -44,6 +55,9 @@ __all__ = [
     "CompiledFixpoint",
     "DEFAULT_STRATEGY",
     "DatalogSession",
+    "DemandProfile",
+    "DemandQuery",
+    "DemandResult",
     "EvaluationLimits",
     "FixpointResult",
     "Interpretation",
@@ -56,8 +70,11 @@ __all__ = [
     "SEMI_NAIVE",
     "Substitution",
     "TOperator",
+    "adornment_of",
     "compile_clause",
+    "compile_demand",
     "compile_program",
     "compute_least_fixpoint",
+    "demand_query",
     "evaluate_query",
 ]

@@ -1,0 +1,471 @@
+"""Demand-driven (magic-set-style) query evaluation.
+
+Definition 5 of the paper frames every program as a *query*, yet bottom-up
+evaluation materialises the **entire** least fixpoint before a pattern is
+matched — and Theorem 2 (finiteness of the fixpoint is undecidable) means
+full materialisation can blow resource limits even when the asked query
+only needs a tiny, finite slice of the model.  This module computes only
+what the query can observe:
+
+* **Adornment** — each argument position of the query pattern is classified
+  ``b`` (bound: the term is ground) or ``f`` (free).  The bound positions'
+  constant values are the demand the query pushes into the program.
+* **Relevance restriction** — only clauses defining predicates the pattern
+  transitively depends on (through the predicate dependency graph,
+  Definitions 8–9) are evaluated; base facts of irrelevant relations are
+  not even loaded.
+* **Sideways constant propagation** — when the queried predicate is not
+  recursive, the pattern's constants are pushed into the plans of its
+  defining clauses: a bare head variable at a bound position is pre-bound
+  (:func:`~repro.engine.planner.compile_clause` compiles with it in the
+  initial bound set, so body scans over it become composite-index lookups
+  instead of full scans), and defining clauses whose head *constant*
+  contradicts the pattern are pruned outright.
+
+Exactness.  Sequence Datalog substitutions range over the extended active
+domain of the whole interpretation (Definition 4), so a clause whose
+derivations observe the domain itself — head-variable enumeration,
+sequence-variable comparison fallbacks, unbound indexed-term bases,
+constant-rooted domain checks — can derive *different* facts under a
+restricted model.  :func:`~repro.engine.planner.compile_clause` flags such
+plans (``ClausePlan.domain_sensitive``); when any relevant plan (or the
+query pattern's own plan) is sensitive, demand evaluation **falls back** to
+sweeping the full program, so answers are always fact-for-fact identical to
+full evaluation (the randomized properties in ``tests/test_properties.py``
+check this).  For the insensitive case — which covers guarded structural
+recursion, the genome programs and the Theorem 1 Turing compilations — the
+restricted fixpoint provably agrees with the full one on every relevant
+predicate, because each kept derivation depends only on the contents of
+relevant relations, which coincide by induction.
+
+Entry points: :func:`compile_demand` / :class:`DemandQuery` (compile once,
+evaluate per database), :func:`demand_query` (one shot), surfaced through
+``SequenceDatalogEngine.query(demand=True)``, ``DatalogSession.query(...,
+demand=True)`` and ``python -m repro.cli run/serve --demand``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.dependency_graph import build_dependency_graph
+from repro.database.database import SequenceDatabase
+from repro.engine.bindings import Substitution, TransducerRegistry
+from repro.engine.fixpoint import CompiledFixpoint
+from repro.engine.interpretation import Fact, Interpretation
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.planner import compile_program
+from repro.engine.query import PreparedQuery, QueryResult
+from repro.language.atoms import Atom
+from repro.language.clauses import Clause, Program
+from repro.language.parser import parse_atom, parse_program
+from repro.language.terms import ConstantTerm, SequenceVariable
+from repro.sequences import Sequence
+
+BOUND = "b"
+FREE = "f"
+
+#: Anything demand evaluation can read base facts from.
+FactsLike = Union[SequenceDatabase, Interpretation, Iterable[Fact]]
+
+
+def adornment_of(pattern: Union[str, Atom]) -> str:
+    """The adornment string of a pattern: ``b`` per ground argument, else ``f``.
+
+    >>> adornment_of('rnaseq("acgt", R)')
+    'bf'
+    """
+    atom = parse_atom(pattern) if isinstance(pattern, str) else pattern
+    return "".join(
+        BOUND if not (arg.sequence_variables() or arg.index_variables()) else FREE
+        for arg in atom.args
+    )
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """What the demand compiler decided for one pattern over one program.
+
+    ``relevant`` is the set of predicates whose clauses are swept (and whose
+    base facts are loaded); ``restricted`` is False when a domain-sensitive
+    relevant plan forced the fall-back to full evaluation
+    (``fallback_reason`` says why); ``seeds`` lists the
+    ``(variable, constant)`` pairs pushed into defining-clause plans;
+    ``pruned_clauses`` counts defining clauses dropped because their head
+    constants contradict the pattern; ``unsatisfiable`` marks patterns with
+    a statically undefined ground argument (e.g. ``p("ab"[9])``), which
+    cannot match anything.
+    """
+
+    pattern: Atom
+    adornment: str
+    relevant: FrozenSet[str]
+    restricted: bool
+    seeds: Tuple[Tuple[str, str], ...]
+    pruned_clauses: int
+    clause_count: int
+    fallback_reason: Optional[str]
+    unsatisfiable: bool
+
+    def describe(self) -> str:
+        lines = [f"pattern: {self.pattern}  (adornment: {self.adornment or '-'})"]
+        if self.unsatisfiable:
+            lines.append("  unsatisfiable: a ground argument is undefined")
+            return "\n".join(lines)
+        if not self.restricted:
+            lines.append(f"  mode: full evaluation ({self.fallback_reason})")
+            return "\n".join(lines)
+        lines.append(
+            f"  mode: restricted to {len(self.relevant)} relevant predicates "
+            f"({', '.join(sorted(self.relevant))})"
+        )
+        lines.append(f"  clauses swept: {self.clause_count}")
+        if self.seeds:
+            seeded = ", ".join(f"{name}={text!r}" for name, text in self.seeds)
+            lines.append(f"  constants pushed into defining clauses: {seeded}")
+        if self.pruned_clauses:
+            lines.append(
+                f"  defining clauses pruned by head constants: {self.pruned_clauses}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class DemandResult:
+    """The materialised per-query slice of the model.
+
+    ``interpretation`` holds exactly the facts of the relevant predicates
+    (the full least fixpoint when the profile fell back); match the pattern
+    against it with :meth:`DemandQuery.query`.  ``known_predicates`` is the
+    strict-mode universe: the program's predicates plus every base relation
+    the source database named (even empty or irrelevant ones), so a strict
+    query distinguishes typos from predicates that derived nothing.
+    """
+
+    interpretation: Interpretation
+    profile: DemandProfile
+    known_predicates: FrozenSet[str]
+    base_facts_loaded: int
+    sweeps: int
+    elapsed_seconds: float
+
+    @property
+    def fact_count(self) -> int:
+        return self.interpretation.fact_count()
+
+
+class DemandQuery:
+    """A pattern compiled for demand-driven evaluation over one program.
+
+    Compilation (adornment, relevance closure, pruning, seeding, exactness
+    check) happens once in the constructor; :meth:`materialize` then
+    evaluates the restricted subprogram over a database and
+    :meth:`query` matches the pattern against the slice.
+    """
+
+    def __init__(
+        self,
+        program: Union[str, Program],
+        pattern: Union[str, Atom],
+        transducers: Optional[TransducerRegistry] = None,
+    ):
+        self.program = (
+            parse_program(program) if isinstance(program, str) else program
+        )
+        self.program.validate()
+        self.transducers = transducers
+        self.pattern = parse_atom(pattern) if isinstance(pattern, str) else pattern
+        self.prepared = PreparedQuery(self.pattern)
+
+        # ---- adornment: ground positions and their constant values ----
+        bound_values: Dict[int, Sequence] = {}
+        unsatisfiable = False
+        for position, arg in enumerate(self.pattern.args):
+            if arg.sequence_variables() or arg.index_variables():
+                continue
+            value = Substitution().evaluate_sequence(arg)
+            if value is None:
+                unsatisfiable = True
+            else:
+                bound_values[position] = value
+        adornment = adornment_of(self.pattern)
+        predicate = self.pattern.predicate
+
+        clauses = list(self.program)
+        clauses_by_head: Dict[str, List[Tuple[int, Clause]]] = {}
+        for index, clause in enumerate(clauses):
+            clauses_by_head.setdefault(clause.head.predicate, []).append(
+                (index, clause)
+            )
+
+        def closure(skip: Set[int]) -> Set[str]:
+            """Clause-level relevance closure, skipping pruned clauses."""
+            relevant = {predicate}
+            frontier = [predicate]
+            while frontier:
+                current = frontier.pop()
+                for index, clause in clauses_by_head.get(current, ()):
+                    if index in skip:
+                        continue
+                    for body_predicate in clause.body_predicates():
+                        if body_predicate not in relevant:
+                            relevant.add(body_predicate)
+                            frontier.append(body_predicate)
+            return relevant
+
+        # The queried predicate is *recursive-in-relevant* when some swept
+        # clause consumes it: its restricted facts would then feed further
+        # derivations, so constants may not be pushed into its heads.  Both
+        # facts fall out of the predicate dependency graph (Definitions
+        # 8-9): relevance is reachability, recursion is self-reachability.
+        graph = build_dependency_graph(self.program)
+        recursive = graph.is_self_reachable(predicate)
+
+        # ---- sideways constant propagation into the defining clauses ----
+        pruned: Set[int] = set()
+        clause_seeds: Dict[int, Dict[str, Sequence]] = {}
+        if bound_values and not recursive and not unsatisfiable:
+            for index, clause in clauses_by_head.get(predicate, ()):
+                head = clause.head
+                if head.arity != self.pattern.arity:
+                    continue
+                seeds: Dict[str, Sequence] = {}
+                contradicted = False
+                for position, value in bound_values.items():
+                    head_arg = head.args[position]
+                    if isinstance(head_arg, ConstantTerm):
+                        if head_arg.value != value:
+                            contradicted = True
+                            break
+                    elif isinstance(head_arg, SequenceVariable):
+                        previous = seeds.get(head_arg.name)
+                        if previous is not None and previous != value:
+                            contradicted = True
+                            break
+                        seeds[head_arg.name] = value
+                    # Indexed or constructive head terms cannot be inverted
+                    # statically; the position stays free and the final
+                    # pattern match filters.
+                if contradicted:
+                    pruned.add(index)
+                elif seeds:
+                    clause_seeds[index] = seeds
+
+        # Relevance is reachability in the dependency graph; pruning removes
+        # individual clauses, which the graph cannot express, so the pruned
+        # case re-walks the clause level.
+        relevant = (
+            closure(pruned) if pruned else set(graph.dependencies_of(predicate))
+        )
+        kept = [
+            (index, clause)
+            for index, clause in enumerate(clauses)
+            if clause.head.predicate in relevant and index not in pruned
+        ]
+        subprogram = Program(clause for _, clause in kept)
+        compile_seeds = {
+            position: tuple(sorted(clause_seeds[index]))
+            for position, (index, _) in enumerate(kept)
+            if index in clause_seeds
+        }
+        program_plan = compile_program(subprogram, seeds=compile_seeds)
+
+        # ---- exactness: fall back to full evaluation when the restricted
+        # model could diverge from the full one (domain sensitivity) ----
+        fallback_reason = None
+        if not unsatisfiable:
+            if self.prepared.plan.domain_sensitive:
+                fallback_reason = "the query pattern itself observes the extended domain"
+            else:
+                for plan in program_plan.program_plans:
+                    if plan.domain_sensitive:
+                        fallback_reason = (
+                            f"relevant clause `{plan.clause}` observes the "
+                            "extended domain"
+                        )
+                        break
+        restricted = fallback_reason is None
+
+        if not restricted:
+            subprogram = self.program
+            program_plan = compile_program(self.program)
+            relevant = set(self.program.predicates())
+            clause_seeds = {}
+            compile_seeds = {}
+
+        executor_seeds: Dict[int, Substitution] = {}
+        for position, (index, _) in enumerate(kept):
+            values = clause_seeds.get(index)
+            if not values or not restricted:
+                continue
+            substitution = Substitution()
+            for name, value in sorted(values.items()):
+                substitution = substitution.bind_sequence(name, value)
+            executor_seeds[position] = substitution
+
+        self.profile = DemandProfile(
+            pattern=self.pattern,
+            adornment=adornment,
+            relevant=frozenset(relevant),
+            restricted=restricted,
+            seeds=tuple(
+                sorted(
+                    {
+                        (name, value.text)
+                        for values in clause_seeds.values()
+                        for name, value in values.items()
+                    }
+                )
+            ),
+            pruned_clauses=len(pruned) if restricted else 0,
+            clause_count=len(subprogram),
+            fallback_reason=fallback_reason,
+            unsatisfiable=unsatisfiable,
+        )
+        self._subprogram = subprogram
+        self._program_plan = program_plan
+        self._executor_seeds = executor_seeds
+        self._pattern_constants = tuple(bound_values.values())
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def materialize(
+        self, facts: FactsLike, limits: EvaluationLimits = DEFAULT_LIMITS
+    ) -> DemandResult:
+        """Evaluate the relevant subprogram over the given base facts.
+
+        In restricted mode only facts of relevant predicates are loaded and
+        only relevant clause plans are swept; the result is the full least
+        fixpoint *restricted to the relevant predicates* (plus the pattern's
+        seeding restriction on the queried predicate itself).
+        """
+        started = time.perf_counter()
+        core = CompiledFixpoint(
+            self._subprogram,
+            self.transducers,
+            program_plan=self._program_plan,
+            seeds=self._executor_seeds,
+        )
+        loaded = 0
+        known = set(self.program.predicates())
+        if isinstance(facts, SequenceDatabase):
+            known.update(relation.name for relation in facts)
+        if not self.profile.unsatisfiable:
+            for predicate, values in _iter_fact_pairs(facts):
+                known.add(predicate)
+                if self.profile.restricted and predicate not in self.profile.relevant:
+                    continue
+                if core.add_fact(predicate, values):
+                    loaded += 1
+            if self._executor_seeds:
+                # Seed constants may lie outside the slice's fact-derived
+                # domain; adding them keeps index clipping over seeded
+                # variables identical to full evaluation.  Only seeded
+                # (hence restricted, hence domain-insensitive) plans run
+                # here, so the extra domain elements cannot create
+                # derivations — in fallback mode the plans may be
+                # domain-sensitive and the domain must stay untouched.
+                for value in self._pattern_constants:
+                    core.interpretation.domain.add(value)
+            core.run(limits)
+        return DemandResult(
+            interpretation=core.interpretation,
+            profile=self.profile,
+            known_predicates=frozenset(known),
+            base_facts_loaded=loaded,
+            sweeps=core.sweeps,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def query(
+        self,
+        result: DemandResult,
+        strict: bool = False,
+        known_predicates: Optional[Iterable[str]] = None,
+    ) -> QueryResult:
+        """Match the pattern against a previously materialised slice.
+
+        Under ``strict=True`` the known-predicate universe defaults to the
+        slice's own (:attr:`DemandResult.known_predicates`), so a
+        program-defined predicate that derived nothing yields an empty
+        result instead of :class:`~repro.errors.UnknownPredicateError`.
+        """
+        known = (
+            result.known_predicates
+            if known_predicates is None
+            else set(known_predicates)
+        )
+        return self.prepared.run(
+            result.interpretation, strict=strict, known_predicates=known
+        )
+
+    def run(
+        self,
+        facts: FactsLike,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        strict: bool = False,
+        known_predicates: Optional[Iterable[str]] = None,
+    ) -> QueryResult:
+        """Materialise the slice and match the pattern in one call."""
+        return self.query(
+            self.materialize(facts, limits),
+            strict=strict,
+            known_predicates=known_predicates,
+        )
+
+    def __repr__(self) -> str:
+        mode = "restricted" if self.profile.restricted else "full"
+        return (
+            f"DemandQuery({self.pattern}, {mode}, "
+            f"{len(self.profile.relevant)} relevant predicates)"
+        )
+
+
+def compile_demand(
+    program: Union[str, Program],
+    pattern: Union[str, Atom],
+    transducers: Optional[TransducerRegistry] = None,
+) -> DemandQuery:
+    """Compile a pattern for demand-driven evaluation over a program."""
+    return DemandQuery(program, pattern, transducers)
+
+
+def demand_query(
+    program: Union[str, Program],
+    facts: FactsLike,
+    pattern: Union[str, Atom],
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    transducers: Optional[TransducerRegistry] = None,
+    strict: bool = False,
+    known_predicates: Optional[Iterable[str]] = None,
+) -> QueryResult:
+    """One-shot demand-driven evaluation: compile, materialise, match."""
+    return compile_demand(program, pattern, transducers).run(
+        facts, limits, strict=strict, known_predicates=known_predicates
+    )
+
+
+def _iter_fact_pairs(facts: FactsLike) -> Iterator[Fact]:
+    if isinstance(facts, SequenceDatabase):
+        for relation in facts:
+            for row in relation:
+                yield (relation.name, row)
+        return
+    if isinstance(facts, Interpretation):
+        yield from facts.facts()
+        return
+    for predicate, values in facts:
+        yield (predicate, values)

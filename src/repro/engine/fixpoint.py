@@ -39,10 +39,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.database.database import SequenceDatabase
-from repro.engine.bindings import TransducerRegistry
+from repro.engine.bindings import Substitution, TransducerRegistry
 from repro.engine.evaluation import ClauseEvaluator
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.plan import ProgramPlan
 from repro.engine.planner import PlanExecutor, clause_is_delta_safe, compile_program
 from repro.errors import EvaluationError
 from repro.language.clauses import Program
@@ -163,15 +164,20 @@ def _compute_interpreted(
     delta = Interpretation()
     new_facts_history: List[int] = []
 
-    # Iteration 1: load the database (bodyless clauses are always derivable).
+    # Round 1: load the database (bodyless clauses are always derivable).
     for atom in database.facts():
         values = tuple(arg.value for arg in atom.args)  # type: ignore[attr-defined]
         if interpretation.add(atom.predicate, values):
             delta.add(atom.predicate, values)
     new_facts_history.append(delta.fact_count())
 
+    # The database load above is round 1, so the first sweep is round 2 and
+    # ``max_iterations = N`` permits exactly N rounds in total — matching
+    # the ``iterations`` the result reports.
     iteration = 1
+    limits.check_interpretation(interpretation, iteration)
     while True:
+        iteration += 1
         limits.check_iteration(iteration, partial=interpretation)
         limits.check_interpretation(interpretation, iteration)
 
@@ -195,7 +201,6 @@ def _compute_interpreted(
                     new_delta.add_fact(fact)
                 limits.check_interpretation(interpretation, iteration)
 
-        iteration += 1
         added = new_delta.fact_count()
         new_facts_history.append(added)
         if added == 0:
@@ -232,10 +237,23 @@ class CompiledFixpoint:
         self,
         program: Program,
         transducers: Optional[TransducerRegistry] = None,
+        program_plan: Optional[ProgramPlan] = None,
+        seeds: Optional[Dict[int, Substitution]] = None,
     ):
-        self.program_plan = compile_program(program)
+        """``program_plan`` lets a caller supply an already-compiled (and
+        possibly restricted or adornment-seeded) plan set instead of
+        compiling ``program`` afresh; ``seeds`` maps plan indexes to the
+        initial substitutions their executors start from (demand-driven
+        evaluation pushes query constants into clause plans this way)."""
+        self.program_plan = (
+            program_plan if program_plan is not None else compile_program(program)
+        )
         self.plans = self.program_plan.program_plans
-        self.executors = [PlanExecutor(plan, transducers) for plan in self.plans]
+        seeds = seeds or {}
+        self.executors = [
+            PlanExecutor(plan, transducers, seed=seeds.get(index))
+            for index, plan in enumerate(self.plans)
+        ]
         self.interpretation = Interpretation()
         #: Total sweeps performed over this instance's lifetime.
         self.sweeps = 0
@@ -329,18 +347,23 @@ class CompiledFixpoint:
 
         The iteration limit applies per call, so a session performing many
         small maintenance runs is not eventually starved by its own history.
+        The insertion of the base (or delta) facts preceding the call counts
+        as round 1 and every sweep as one further round, so
+        ``max_iterations = N`` permits exactly N rounds — the same count a
+        :class:`FixpointResult` reports as ``iterations``.
         """
         interpretation = self.interpretation
         history: List[int] = []
         iteration = 1
+        limits.check_interpretation(interpretation, iteration)
         while True:
+            iteration += 1
             limits.check_iteration(iteration, partial=interpretation)
             limits.check_interpretation(interpretation, iteration)
             sweep_added = 0
             for plan_indexes in self.program_plan.schedule:
                 for plan_index in plan_indexes:
                     sweep_added += self._fire(plan_index, limits, iteration)
-            iteration += 1
             self.sweeps += 1
             history.append(sweep_added)
             if sweep_added == 0:

@@ -24,7 +24,12 @@ class EvaluationLimits:
     Attributes
     ----------
     max_iterations:
-        Maximum number of applications of the ``T`` operator.
+        Maximum number of evaluation rounds per run.  The initial database
+        (or delta) load counts as round 1 and every subsequent sweep /
+        ``T``-operator application as one further round, so a converging
+        run's reported ``iterations`` never exceeds this bound.  (An earlier
+        version checked only the sweep counter, silently permitting
+        ``max_iterations + 1`` rounds.)
     max_facts:
         Maximum number of facts in the interpretation.
     max_domain_size:

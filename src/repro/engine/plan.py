@@ -123,13 +123,30 @@ class HeadPlan:
 
 @dataclass(frozen=True)
 class ClausePlan:
-    """The compiled evaluation plan of one clause."""
+    """The compiled evaluation plan of one clause.
+
+    ``domain_sensitive`` records whether the clause's derivations can depend
+    on the extended active domain *beyond* the contents of its body
+    relations: head-variable enumeration, sequence-variable
+    ``EnumerateComparison`` fallbacks, unbound indexed-term bases (which
+    enumerate domain sequences) and constant-rooted terms whose domain
+    membership or index clipping varies with the domain.  Demand-driven
+    evaluation (:mod:`repro.engine.demand`) may restrict the swept plan set
+    only when every relevant plan is domain-insensitive.
+
+    ``seed_sequences`` lists sequence variables assumed bound *before* the
+    body runs (adornment-aware compilation): the executor is given their
+    values as an initial substitution, so scans over them become index
+    lookups.
+    """
 
     clause: Clause
     steps: Tuple[PlanStep, ...]
     head_plan: HeadPlan
     delta_safe: bool
     atom_count: int
+    domain_sensitive: bool = False
+    seed_sequences: Tuple[str, ...] = ()
 
     @property
     def head_predicate(self) -> str:
@@ -145,6 +162,9 @@ class ClausePlan:
         lines = [f"clause: {self.clause}"]
         mode = "semi-naive (delta-restricted)" if self.delta_safe else "full re-evaluation"
         lines.append(f"  firing mode: {mode}")
+        if self.seed_sequences:
+            names = ", ".join(self.seed_sequences)
+            lines.append(f"  given (adornment seed): {{{names}}}")
         for number, step in enumerate(self.steps, start=1):
             lines.append(f"  {number}. {step.describe()}")
         lines.append(f"  {len(self.steps) + 1}. {self.head_plan.describe()}")

@@ -27,7 +27,7 @@ paper's matching semantics (Section 3.2) and cannot drift apart.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.analysis.dependency_graph import build_dependency_graph
 from repro.engine.bindings import Substitution, TransducerRegistry
@@ -46,7 +46,13 @@ from repro.engine.plan import (
 from repro.database.relation import RelationDelta, SequenceRelation
 from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
 from repro.language.clauses import Clause, Program
-from repro.language.terms import SequenceTerm, SequenceVariable
+from repro.language.terms import (
+    IndexSum,
+    IndexVariable,
+    IndexedTerm,
+    SequenceTerm,
+    SequenceVariable,
+)
 
 
 def clause_is_delta_safe(clause: Clause) -> bool:
@@ -137,8 +143,135 @@ def _choose(
     return 0
 
 
-def compile_clause(clause: Clause) -> ClausePlan:
-    """Compile one clause into a static join plan."""
+def _term_domain_rooted(term: SequenceTerm) -> bool:
+    """True if the term's value is guaranteed to lie in the extended domain.
+
+    A bare variable carries a domain value by construction; an indexed term
+    over a variable base extracts a contiguous subsequence of one, and the
+    extended domain is closed under contiguous subsequences (Definition 2).
+    Constant-rooted terms (a constant, or an indexed term over a constant
+    base) evaluate to values that may or may not be in a given domain, so
+    operations involving them observe the domain itself.
+    """
+    if isinstance(term, SequenceVariable):
+        return True
+    if isinstance(term, IndexedTerm):
+        return isinstance(term.base, SequenceVariable)
+    return False
+
+
+def _indexed_subterms(atom: Atom) -> Iterator[IndexedTerm]:
+    """Every indexed term occurring (possibly nested) in an atom's arguments."""
+    pending: List[SequenceTerm] = list(atom.args)
+    while pending:
+        term = pending.pop()
+        if isinstance(term, IndexedTerm):
+            yield term
+        for attribute in ("parts", "args"):
+            nested = getattr(term, attribute, None)
+            if nested is not None:
+                pending.extend(nested)
+
+
+def _index_expression_clips(expression, unbound: Set[str]) -> bool:
+    """True if defined assignments to the expression's unbound variables are
+    bounded by the base sequence's length.
+
+    ``N`` and ``N + c`` are monotone and at least ``N``, so an assignment
+    beyond ``len(base) + 1`` makes the indexed term undefined — the
+    domain-wide integer enumeration self-clips.  Subtractions (``N - c``)
+    admit defined assignments *above* that bound, so the enumeration range
+    itself matters; expressions not involving an unbound variable are
+    irrelevant here.
+    """
+    if not expression.index_variables() & unbound:
+        return True
+    if isinstance(expression, IndexVariable):
+        return True
+    if isinstance(expression, IndexSum) and expression.operator == "+":
+        return all(
+            _index_expression_clips(side, unbound)
+            for side in (expression.left, expression.right)
+        )
+    return False
+
+
+def _head_enumeration_sensitive(head: Atom, head_plan: HeadPlan) -> bool:
+    """Whether enumerating the head's unbound variables observes the domain.
+
+    Unbound *sequence* variables range over the whole domain: always
+    sensitive.  Unbound *index* variables range over the domain's integer
+    part, but when every use sits in an additive index expression over a
+    variable base, assignments beyond the base's length are undefined and
+    emit nothing — the enumeration self-clips and the emitted facts do not
+    depend on the ambient domain.  A constant base (whose length the
+    restricted domain may not cover) or a subtractive expression (defined
+    above the base-length bound) breaks that argument.
+    """
+    if head_plan.unbound_sequence_vars:
+        return True
+    unbound = set(head_plan.unbound_index_vars)
+    if not unbound:
+        return False
+    for term in _indexed_subterms(head):
+        uses_unbound = (
+            term.lo.index_variables() | term.hi.index_variables()
+        ) & unbound
+        if not uses_unbound:
+            continue
+        if not isinstance(term.base, SequenceVariable):
+            return True
+        if not (
+            _index_expression_clips(term.lo, unbound)
+            and _index_expression_clips(term.hi, unbound)
+        ):
+            return True
+    return False
+
+
+def _comparison_enumeration_sensitive(
+    comparison: Comparison, index_vars: Iterable[str]
+) -> bool:
+    """Whether index-only enumeration of the comparison observes the domain.
+
+    The enumeration ranges over the domain's integer part, which is bounded
+    by the longest *domain* sequence.  Solutions are unaffected by that
+    bound only when every use of an enumerated variable sits in an additive
+    index expression over a variable base: assignments beyond the base's
+    length leave the term undefined, so the enumeration self-clips (the
+    mirror of :func:`_head_enumeration_sensitive`).  A constant base can be
+    longer than any domain sequence, and a subtractive expression admits
+    defined assignments above the bound — both make the solution set depend
+    on the ambient domain.
+    """
+    unbound = set(index_vars)
+    for side in (comparison.left, comparison.right):
+        if not isinstance(side, IndexedTerm):
+            continue
+        if not (side.lo.index_variables() | side.hi.index_variables()) & unbound:
+            continue
+        if not isinstance(side.base, SequenceVariable):
+            return True
+        if not (
+            _index_expression_clips(side.lo, unbound)
+            and _index_expression_clips(side.hi, unbound)
+        ):
+            return True
+    return False
+
+
+def compile_clause(
+    clause: Clause, bound_sequences: Iterable[str] = ()
+) -> ClausePlan:
+    """Compile one clause into a static join plan.
+
+    ``bound_sequences`` names sequence variables assumed bound *before* the
+    body runs (adornment-aware compilation for demand-driven evaluation):
+    the planner treats them as covered from step one, so atoms over them are
+    scanned with those columns as index lookups, and the resulting plan must
+    be executed with an initial substitution supplying their values
+    (:class:`PlanExecutor`'s ``seed``).
+    """
     pending: List[Tuple[BodyLiteral, int]] = []
     atom_position = 0
     for literal in clause.body:
@@ -151,7 +284,10 @@ def compile_clause(clause: Clause) -> ClausePlan:
         pending.append((literal, position))
 
     bound = _BoundSet()
+    seeds = tuple(sorted(set(bound_sequences) & clause.sequence_variables()))
+    bound.sequences |= set(seeds)
     steps: List[PlanStep] = []
+    domain_sensitive = False
     while pending:
         index = _choose(pending, bound)
         literal, position = pending.pop(index)
@@ -161,6 +297,16 @@ def compile_clause(clause: Clause) -> ClausePlan:
                 for column, arg in enumerate(literal.args)
                 if bound.covers_term(arg)
             )
+            for arg in literal.args:
+                if not isinstance(arg, IndexedTerm):
+                    continue
+                base = arg.base
+                if not isinstance(base, SequenceVariable):
+                    # Constant base: index clipping varies with the domain.
+                    domain_sensitive = True
+                elif base.name not in bound.sequences:
+                    # Unbound base: matching enumerates domain sequences.
+                    domain_sensitive = True
             steps.append(AtomScan(literal, position, bound_columns))
             bound.sequences |= literal.sequence_variables()
             bound.indexes |= literal.index_variables()
@@ -172,6 +318,11 @@ def compile_clause(clause: Clause) -> ClausePlan:
         binding = _binding_side(literal, bound)
         if binding is not None:
             variable, term = binding
+            if not _term_domain_rooted(term):
+                # The bound value's domain-membership check observes the
+                # ambient domain (a constant may be in one domain, not
+                # another).
+                domain_sensitive = True
             steps.append(BindEquality(variable, term, literal))
             bound.sequences.add(variable)
             continue
@@ -179,6 +330,11 @@ def compile_clause(clause: Clause) -> ClausePlan:
             sorted(literal.sequence_variables() - bound.sequences)
         )
         index_vars = tuple(sorted(literal.index_variables() - bound.indexes))
+        if sequence_vars or _comparison_enumeration_sensitive(literal, index_vars):
+            # Sequence variables range over the whole domain; index-only
+            # enumeration self-clips unless a constant base or subtractive
+            # index expression lets solutions escape the domain's bound.
+            domain_sensitive = True
         steps.append(EnumerateComparison(literal, sequence_vars, index_vars))
         bound.sequences |= literal.sequence_variables()
         bound.indexes |= literal.index_variables()
@@ -191,18 +347,43 @@ def compile_clause(clause: Clause) -> ClausePlan:
         ),
         unbound_index_vars=tuple(sorted(head.index_variables() - bound.indexes)),
     )
+    if _head_enumeration_sensitive(head, head_plan):
+        domain_sensitive = True
+    if seeds:
+        # ``domain_sensitive`` must describe the *clause*, not the seeded
+        # plan: pre-binding a variable the body never binds would otherwise
+        # mask head-enumeration (or constant-equality) sensitivity, and the
+        # demand compiler would skip the fallback that keeps it exact —
+        # seeding is a pure filter only on clauses whose unseeded
+        # derivations are body-driven.
+        domain_sensitive = compile_clause(clause).domain_sensitive
     return ClausePlan(
         clause=clause,
         steps=tuple(steps),
         head_plan=head_plan,
         delta_safe=clause_is_delta_safe(clause),
         atom_count=atom_position,
+        domain_sensitive=domain_sensitive,
+        seed_sequences=seeds,
     )
 
 
-def compile_program(program: Program) -> ProgramPlan:
-    """Compile every clause and schedule the plans over dependency strata."""
-    plans = tuple(compile_clause(clause) for clause in program)
+def compile_program(
+    program: Program,
+    seeds: Optional[Mapping[int, Iterable[str]]] = None,
+) -> ProgramPlan:
+    """Compile every clause and schedule the plans over dependency strata.
+
+    ``seeds`` optionally maps a clause's position in the program to the
+    sequence variables pre-bound by an adornment (see :func:`compile_clause`);
+    demand-driven evaluation uses it to push query constants into the plans
+    of the clauses defining the queried predicate.
+    """
+    seeds = seeds or {}
+    plans = tuple(
+        compile_clause(clause, seeds.get(position, ()))
+        for position, clause in enumerate(program)
+    )
     graph = build_dependency_graph(program)
     components = graph.linearized_components()
 
@@ -257,16 +438,31 @@ class PlanExecutor:
     firing) yield ground head facts exactly like
     :meth:`ClauseEvaluator.derive`; duplicates may be yielded and are
     deduplicated by the caller on insertion.
+
+    ``seed`` supplies the values of the plan's pre-bound variables (a plan
+    compiled with ``bound_sequences`` must be executed with a seed binding
+    exactly those variables): every firing starts from that substitution
+    instead of the empty one, which is how demand-driven evaluation pushes
+    query constants into clause bodies.
     """
 
-    __slots__ = ("plan", "transducers", "_steps", "_head_sequence_vars", "_head_index_vars")
+    __slots__ = (
+        "plan", "transducers", "_steps", "_head_sequence_vars",
+        "_head_index_vars", "_initial",
+    )
 
-    def __init__(self, plan: ClausePlan, transducers: Optional[TransducerRegistry] = None):
+    def __init__(
+        self,
+        plan: ClausePlan,
+        transducers: Optional[TransducerRegistry] = None,
+        seed: Optional[Substitution] = None,
+    ):
         self.plan = plan
         self.transducers = transducers
         self._steps = plan.steps
         self._head_sequence_vars = plan.clause.head.sequence_variables()
         self._head_index_vars = plan.clause.head.index_variables()
+        self._initial = seed if seed is not None else Substitution()
 
     # ------------------------------------------------------------------
     # Public API
@@ -297,7 +493,7 @@ class PlanExecutor:
             if view is None or not len(view):
                 continue
             for substitution in self._run(
-                0, Substitution(), interpretation, step.atom_position, delta_views
+                0, self._initial, interpretation, step.atom_position, delta_views
             ):
                 yield from self._emit(substitution, interpretation)
 
@@ -309,7 +505,7 @@ class PlanExecutor:
         plan this way, so constant-bound argument positions go through the
         same composite-index ``AtomScan`` machinery as clause bodies.
         """
-        yield from self._run(0, Substitution(), interpretation, -1, None)
+        yield from self._run(0, self._initial, interpretation, -1, None)
 
     def _emit(
         self, substitution: Substitution, interpretation: Interpretation

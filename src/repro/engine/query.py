@@ -93,6 +93,18 @@ class QueryResult:
         return not self.rows
 
 
+def canonical_pattern(pattern: Union[str, Atom]) -> Tuple[Atom, str]:
+    """Parse a pattern (if textual) and return it with its canonical key.
+
+    Plan caches must key patterns by the canonical rendering of the parsed
+    atom — raw strings would give ``"out(X)"``, ``"out( X )"`` and the
+    equivalent :class:`~repro.language.atoms.Atom` three separate cache
+    entries, compiling three identical plans.
+    """
+    atom = parse_atom(pattern) if isinstance(pattern, str) else pattern
+    return atom, str(atom)
+
+
 class PreparedQuery:
     """A pattern atom compiled once into an index-aware scan plan.
 

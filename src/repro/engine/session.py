@@ -19,6 +19,20 @@ it keeps a materialised least fixpoint resident and supports
   (:class:`~repro.engine.query.PreparedQuery`) and keeps the compiled plans
   in a small LRU cache, so constant-bound argument positions hit the fact
   store's composite hash indexes on every execution;
+* **demand-driven queries** — :meth:`DatalogSession.query` with
+  ``demand=True`` answers a pattern from a *per-query slice* of the model
+  (:mod:`repro.engine.demand`: relevance restriction plus sideways constant
+  propagation) instead of the resident full fixpoint.  Slices are cached in
+  their own LRU, keyed by the canonical pattern, and invalidated whenever
+  :meth:`add_facts` changes the base data.  A session opened with
+  ``lazy=True`` skips the up-front full materialisation entirely and only
+  computes it if a non-demand query ever needs it — the serving mode for
+  workloads that are all selective queries;
+* **failure poisoning** — a maintenance run that hits a resource limit
+  leaves the resident model a *partial* fixpoint; the session poisons
+  itself and every later query or update raises
+  :class:`~repro.errors.SessionPoisonedError` instead of silently serving
+  incomplete answers;
 * **serving diagnostics** — :meth:`DatalogSession.stats` reports model and
   cache sizes plus the growth of the process-wide sequence intern table,
   the resource a long-lived session must watch.
@@ -31,20 +45,22 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.database.database import SequenceDatabase
 from repro.engine.bindings import TransducerRegistry
+from repro.engine.demand import DemandQuery, DemandResult
 from repro.engine.fixpoint import CompiledFixpoint
 from repro.engine.interpretation import Fact, Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import (
     PreparedQuery,
     QueryResult,
+    canonical_pattern,
     known_predicates,
     output_relation,
 )
-from repro.errors import ValidationError
+from repro.errors import FixpointNotReached, SessionPoisonedError, ValidationError
 from repro.language.atoms import Atom
 from repro.language.clauses import Program
 from repro.language.parser import parse_program
@@ -93,13 +109,35 @@ def _iter_facts(facts: FactsLike) -> Iterator[Fact]:
                 yield (predicate, _as_values(predicate, row))
         return
     for entry in facts:
+        # A stray string (or any other sequence-ish scalar) of length 2
+        # would silently unpack as a (predicate, values) pair below —
+        # ``add_facts(["xy"])`` used to insert the bogus fact ``x("y")``.
+        if not isinstance(entry, (tuple, list)):
+            raise ValidationError(
+                f"add_facts expects (predicate, values) pairs, got {entry!r}"
+            )
         try:
             predicate, values = entry
-        except (TypeError, ValueError):
+        except ValueError:
             raise ValidationError(
                 f"add_facts expects (predicate, values) pairs, got {entry!r}"
             ) from None
+        if not isinstance(predicate, str):
+            raise ValidationError(
+                f"add_facts expects a predicate name as the first element of "
+                f"a pair, got {predicate!r}"
+            )
         yield (predicate, _as_values(predicate, values))
+
+
+class _DemandEntry:
+    """A cached demand compilation plus its invalidatable slice."""
+
+    __slots__ = ("compiled", "slice")
+
+    def __init__(self, compiled: DemandQuery):
+        self.compiled = compiled
+        self.slice: Optional[DemandResult] = None
 
 
 @dataclass(frozen=True)
@@ -131,11 +169,22 @@ class DatalogSession:
     limits:
         Resource limits applied to every maintenance run.  Hitting one
         raises :class:`~repro.errors.FixpointNotReached`; the resident model
-        is then a partial fixpoint and the session should be discarded.
+        is then a partial fixpoint, the session poisons itself, and every
+        later query or update raises
+        :class:`~repro.errors.SessionPoisonedError` until the session is
+        discarded and rebuilt.  (Demand slices are evaluated on the side:
+        a limit hit *there* propagates but does not poison the session.)
     transducers:
         Optional registry for transducer terms (Transducer Datalog).
     prepared_cache_size:
         Capacity of the LRU cache of prepared patterns.
+    demand_cache_size:
+        Capacity of the LRU cache of demand-mode per-query slices.
+    lazy:
+        When True, the initial full fixpoint is *not* computed up front;
+        demand-mode queries materialise (and cache) only their slices, and
+        the full model is materialised on first need — a non-demand query,
+        ``output()`` or direct ``interpretation`` access after an update.
 
     Examples
     --------
@@ -156,10 +205,13 @@ class DatalogSession:
         limits: EvaluationLimits = DEFAULT_LIMITS,
         transducers: Optional[TransducerRegistry] = None,
         prepared_cache_size: int = 128,
+        demand_cache_size: int = 32,
+        lazy: bool = False,
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
         self.program.validate()
         self.limits = limits
+        self._transducers = transducers
         self._core = CompiledFixpoint(self.program, transducers)
         self._program_predicates = frozenset(self.program.predicates())
         self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
@@ -168,14 +220,61 @@ class DatalogSession:
         self._prepared_misses = 0
         self._maintenance_runs = 0
         self._queries_served = 0
+        # Demand-mode slices are materialised from the base facts alone, so
+        # the session keeps an append-only log of them (cheap: base facts
+        # are the input data, not the derived model).
+        self._base_facts: List[Fact] = []
+        self._demand: "OrderedDict[str, _DemandEntry]" = OrderedDict()
+        self._demand_cache_size = max(1, demand_cache_size)
+        self._demand_hits = 0
+        self._demand_misses = 0
+        self._lazy = lazy
+        self._materialized = False
+        self._poisoned: Optional[str] = None
         if database is not None and not isinstance(database, SequenceDatabase):
             database = SequenceDatabase.from_dict(dict(database))
         if database is not None:
-            self._core.load_database(database)
+            for relation in database:
+                for row in relation:
+                    if self._core.add_fact(relation.name, row):
+                        self._base_facts.append((relation.name, row))
         # Reach the initial fixpoint even on an empty database: bodyless
         # program clauses (e.g. ``trans("a", "u") :- true.``) derive facts
-        # regardless, and a session invariantly serves a *fixpoint*.
-        self._core.run(self.limits)
+        # regardless, and a session invariantly serves a *fixpoint*.  A
+        # lazy session defers this until the full model is first needed.
+        if not lazy:
+            self._materialize_model()
+
+    # ------------------------------------------------------------------
+    # Poisoning and lazy materialisation
+    # ------------------------------------------------------------------
+    def _require_usable(self) -> None:
+        if self._poisoned is not None:
+            raise SessionPoisonedError(
+                "this session served a maintenance run that failed "
+                f"({self._poisoned}); the resident model is a partial "
+                "fixpoint — discard the session and rebuild it"
+            )
+
+    def _run_maintenance(self) -> None:
+        """Run the core to its fixpoint, poisoning the session on failure."""
+        try:
+            self._core.run(self.limits)
+        except FixpointNotReached as error:
+            self._poisoned = str(error)
+            raise
+        self._materialized = True
+
+    def _materialize_model(self) -> None:
+        """Ensure the resident model is the full least fixpoint."""
+        self._require_usable()
+        if not self._materialized:
+            self._run_maintenance()
+
+    @property
+    def poisoned(self) -> bool:
+        """True when a failed maintenance run invalidated the session."""
+        return self._poisoned is not None
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -192,7 +291,14 @@ class DatalogSession:
         earlier facts of the batch stay — insertion is not transactional —
         but maintenance still runs before the error propagates, so the
         session keeps serving a genuine fixpoint of whatever was accepted.
+
+        A maintenance run that hits a resource limit poisons the session
+        (see the class docstring).  On a lazy session whose full model has
+        not been materialised yet, no maintenance runs at all: the call
+        only records the base facts (``sweeps`` is 0) and invalidates the
+        cached demand slices.
         """
+        self._require_usable()
         started = time.perf_counter()
         # Materialise first: a malformed entry must fail the whole call
         # before any state changes.
@@ -201,21 +307,29 @@ class DatalogSession:
         facts_before = interpretation.fact_count()
         sweeps_before = self._core.sweeps
         base_added = 0
+        added_predicates = set()
         try:
             try:
                 for predicate, values in pending:
                     if self._core.add_fact(predicate, values):
+                        self._base_facts.append((predicate, values))
+                        added_predicates.add(predicate)
                         base_added += 1
             except Exception as batch_error:
                 # Restore the fixpoint invariant for whatever was accepted,
                 # then let the batch error propagate.  If the recovery run
                 # itself trips a limit the model is NOT a fixpoint — that
-                # outranks the batch error, so it wins (chained).
-                self._core.run(self.limits)
+                # outranks the batch error, so it wins (chained) and the
+                # session is poisoned.
+                if self._materialized:
+                    self._run_maintenance()
                 raise batch_error
-            self._core.run(self.limits)
+            if self._materialized:
+                self._run_maintenance()
         finally:
             self._maintenance_runs += 1
+            if added_predicates:
+                self._invalidate_demand_slices(added_predicates)
         return MaintenanceReport(
             base_facts_added=base_added,
             facts_added=interpretation.fact_count() - facts_before,
@@ -227,45 +341,105 @@ class DatalogSession:
         """Convenience wrapper: add one fact and re-establish the fixpoint."""
         return self.add_facts([(predicate, values)])
 
+    def _invalidate_demand_slices(self, predicates: Iterable[str]) -> None:
+        """Drop exactly the cached demand slices the new base facts can touch.
+
+        A restricted slice loads and observes only its relevant predicates
+        (its plans are domain-insensitive by construction), so insertions
+        into other relations cannot change it; fallback slices observe the
+        whole model and are always dropped.  The compiled demand plans
+        survive either way — only the materialisation is discarded.
+        """
+        touched = set(predicates)
+        for entry in self._demand.values():
+            profile = entry.compiled.profile
+            if not profile.restricted or touched & profile.relevant:
+                entry.slice = None
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def prepare(self, pattern: Union[str, Atom]) -> PreparedQuery:
-        """The compiled plan for a pattern, served from the LRU cache."""
-        key = pattern if isinstance(pattern, str) else str(pattern)
+        """The compiled plan for a pattern, served from the LRU cache.
+
+        Cache keys are *canonical*: the pattern is parsed first and keyed by
+        its canonical rendering, so ``"out(X)"``, ``"out( X )"`` and the
+        equivalent :class:`~repro.language.atoms.Atom` all share one entry
+        instead of compiling three identical plans.
+        """
+        atom, key = canonical_pattern(pattern)
         prepared = self._prepared.get(key)
         if prepared is not None:
             self._prepared_hits += 1
             self._prepared.move_to_end(key)
             return prepared
         self._prepared_misses += 1
-        prepared = PreparedQuery(pattern)
+        prepared = PreparedQuery(atom)
         self._prepared[key] = prepared
         if len(self._prepared) > self._prepared_cache_size:
             self._prepared.popitem(last=False)
         return prepared
 
-    def query(self, pattern: Union[str, Atom], strict: bool = False) -> QueryResult:
+    def _demand_slice(self, pattern: Union[str, Atom]) -> Tuple[DemandQuery, DemandResult]:
+        """The (cached) demand compilation and materialised slice for a pattern."""
+        atom, key = canonical_pattern(pattern)
+        entry = self._demand.get(key)
+        if entry is None:
+            self._demand_misses += 1
+            entry = _DemandEntry(
+                DemandQuery(self.program, atom, self._transducers)
+            )
+            self._demand[key] = entry
+            if len(self._demand) > self._demand_cache_size:
+                self._demand.popitem(last=False)
+        else:
+            self._demand.move_to_end(key)
+            if entry.slice is not None:
+                self._demand_hits += 1
+            else:
+                self._demand_misses += 1
+        if entry.slice is None:
+            entry.slice = entry.compiled.materialize(self._base_facts, self.limits)
+        return entry.compiled, entry.slice
+
+    def query(
+        self,
+        pattern: Union[str, Atom],
+        strict: bool = False,
+        demand: bool = False,
+    ) -> QueryResult:
         """Match a pattern atom against the resident model.
 
         With ``strict=True``, a predicate that neither the program defines
         nor any base fact populates raises
         :class:`~repro.errors.UnknownPredicateError`; a known predicate that
         simply derived nothing returns an empty result.
+
+        With ``demand=True`` the pattern is answered from a demand-driven
+        per-query slice (see the class docstring) — answers are identical to
+        the resident-model answers, but only the slice of the model the
+        pattern can observe is materialised (and cached until the next
+        ``add_facts``).  On a lazy session this never computes the full
+        fixpoint.
         """
-        prepared = self.prepare(pattern)
+        self._require_usable()
         known = None
         if strict:
             known = known_predicates(
                 self._program_predicates, self._core.interpretation
             )
         self._queries_served += 1
-        return prepared.run(
+        if demand:
+            compiled, slice_result = self._demand_slice(pattern)
+            return compiled.query(slice_result, strict=strict, known_predicates=known)
+        self._materialize_model()
+        return self.prepare(pattern).run(
             self._core.interpretation, strict=strict, known_predicates=known
         )
 
     def output(self, predicate: str = "output") -> list:
         """The ``output`` relation as plain strings (Definition 5 queries)."""
+        self._materialize_model()
         return output_relation(self._core.interpretation, predicate)
 
     # ------------------------------------------------------------------
@@ -273,10 +447,16 @@ class DatalogSession:
     # ------------------------------------------------------------------
     @property
     def interpretation(self) -> Interpretation:
-        """The resident least fixpoint (do not mutate it directly)."""
+        """The resident least fixpoint (do not mutate it directly).
+
+        On a lazy session this materialises the full model first.
+        """
+        self._materialize_model()
         return self._core.interpretation
 
     def fact_count(self) -> int:
+        """Facts in the resident model (base facts only on an unmaterialised
+        lazy session)."""
         return self._core.interpretation.fact_count()
 
     def stats(self) -> Dict[str, object]:
@@ -284,16 +464,33 @@ class DatalogSession:
         interpretation = self._core.interpretation
         return {
             "facts": interpretation.fact_count(),
+            "base_facts": len(self._base_facts),
             "model_size": interpretation.size(),
             "predicates": len(interpretation.predicates()),
             "sweeps": self._core.sweeps,
             "maintenance_runs": self._maintenance_runs,
             "queries_served": self._queries_served,
+            "materialized": self._materialized,
+            "poisoned": self._poisoned is not None,
             "prepared_cache": {
                 "size": len(self._prepared),
                 "capacity": self._prepared_cache_size,
                 "hits": self._prepared_hits,
                 "misses": self._prepared_misses,
+            },
+            "demand_cache": {
+                "size": len(self._demand),
+                "live_slices": sum(
+                    1 for entry in self._demand.values() if entry.slice is not None
+                ),
+                "slice_facts": sum(
+                    entry.slice.fact_count
+                    for entry in self._demand.values()
+                    if entry.slice is not None
+                ),
+                "capacity": self._demand_cache_size,
+                "hits": self._demand_hits,
+                "misses": self._demand_misses,
             },
             "intern_table": Sequence.intern_stats(),
         }

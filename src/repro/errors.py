@@ -78,6 +78,17 @@ class UnknownPredicateError(EvaluationError):
     """A query referenced a predicate that no rule or fact defines."""
 
 
+class SessionPoisonedError(EvaluationError):
+    """A serving session was used after a failed maintenance run.
+
+    When :meth:`~repro.engine.session.DatalogSession.add_facts` hits a
+    resource limit, the resident model is a *partial* fixpoint: answering
+    queries from it would silently return incomplete results.  The session
+    is therefore poisoned and every subsequent query (or further update)
+    raises this error; the session must be discarded and rebuilt.
+    """
+
+
 class MultiValuedOutputError(EvaluationError):
     """A program used as a sequence function derived several ``output`` facts.
 

@@ -29,7 +29,7 @@ from conftest import print_table
 
 from repro import SequenceDatabase, compute_least_fixpoint
 from repro.baselines.alignment import accepts_anbncn
-from repro.baselines.rs_operations import Pattern, Extractor, literal, variable
+from repro.baselines.rs_operations import Pattern, Extractor, variable
 from repro.baselines.temporal import holds, sorted_blocks_formula
 from repro.core import paper_programs
 from repro.engine import evaluate_query

@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark --smoke runs against committed baselines.
+
+Each baseline under ``benchmarks/baselines/*.json`` records one benchmark's
+smoke report plus a comparison policy::
+
+    {
+      "benchmark": "demand",
+      "command": ["benchmarks/bench_demand.py", "--smoke"],
+      "exact_case_keys": ["case", "full_facts", ...],   # must match exactly
+      "bounded_case_keys": {"speedup_...": {"min": 0.05}},  # tolerance band
+      "cases": [...]
+    }
+
+The deterministic fields (fact counts, answer counts, restriction and
+identity flags) are the regression teeth: they change only when evaluation
+semantics change.  Timing-derived fields get loose one-sided bounds so a
+slow CI runner cannot produce flaky failures while a pathological slowdown
+(or a division blow-up) still trips.  Exit status is non-zero on any
+regression, which is how CI consumes this script.
+
+Usage::
+
+    python scripts/bench_compare.py                 # compare all baselines
+    python scripts/bench_compare.py demand          # compare one
+    python scripts/bench_compare.py --update        # regenerate baselines
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+
+
+def run_benchmark(command):
+    """Run a benchmark command and parse its JSON stdout."""
+    environment = dict(os.environ)
+    source_root = os.path.join(REPO_ROOT, "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        source_root if not existing else source_root + os.pathsep + existing
+    )
+    completed = subprocess.run(
+        [sys.executable] + command,
+        cwd=REPO_ROOT,
+        env=environment,
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"benchmark command {command} failed "
+            f"(exit {completed.returncode}):\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout)
+
+
+def compare_case(name, baseline_case, fresh_case, exact_keys, bounded_keys):
+    """Return a list of human-readable regression messages for one case."""
+    problems = []
+    for key in exact_keys:
+        if key not in baseline_case:
+            continue
+        if key not in fresh_case:
+            problems.append(f"{name}: fresh report lost key {key!r}")
+            continue
+        if fresh_case[key] != baseline_case[key]:
+            problems.append(
+                f"{name}: {key} changed from {baseline_case[key]!r} "
+                f"to {fresh_case[key]!r}"
+            )
+    for key, bounds in bounded_keys.items():
+        if key not in baseline_case and key not in fresh_case:
+            continue
+        if key not in fresh_case:
+            problems.append(f"{name}: fresh report lost key {key!r}")
+            continue
+        value = fresh_case[key]
+        if not isinstance(value, (int, float)):
+            problems.append(f"{name}: {key} is not numeric ({value!r})")
+            continue
+        low = bounds.get("min")
+        high = bounds.get("max")
+        if low is not None and value < low:
+            problems.append(f"{name}: {key} = {value} fell below the floor {low}")
+        if high is not None and value > high:
+            problems.append(f"{name}: {key} = {value} exceeded the ceiling {high}")
+    return problems
+
+
+def compare_baseline(baseline):
+    fresh = run_benchmark(baseline["command"])
+    problems = []
+    label = baseline["benchmark"]
+    for key in ("benchmark", "unit", "smoke"):
+        if fresh.get(key) != baseline["report_meta"].get(key):
+            problems.append(
+                f"{label}: report meta {key} changed from "
+                f"{baseline['report_meta'].get(key)!r} to {fresh.get(key)!r}"
+            )
+    fresh_cases = {case["case"]: case for case in fresh.get("cases", [])}
+    for baseline_case in baseline["cases"]:
+        name = f"{label}/{baseline_case['case']}"
+        fresh_case = fresh_cases.pop(baseline_case["case"], None)
+        if fresh_case is None:
+            problems.append(f"{name}: case disappeared from the fresh run")
+            continue
+        problems.extend(
+            compare_case(
+                name,
+                baseline_case,
+                fresh_case,
+                baseline["exact_case_keys"],
+                baseline.get("bounded_case_keys", {}),
+            )
+        )
+    for extra in fresh_cases:
+        # New cases are fine (a benchmark grew); report them informationally.
+        print(f"note: {label}/{extra} is new (not in the baseline)")
+    return problems
+
+
+#: Comparison policies used by ``--update`` when (re)generating baselines.
+POLICIES = {
+    "demand": {
+        "command": ["benchmarks/bench_demand.py", "--smoke"],
+        "exact_case_keys": [
+            "case", "pattern", "restricted", "relevant_predicates", "seeds",
+            "full_facts", "demand_facts", "answers",
+        ],
+        "bounded_case_keys": {
+            "speedup_demand_vs_full": {"min": 0.02},
+        },
+    },
+    "parallel": {
+        "command": ["benchmarks/bench_parallel.py", "--smoke"],
+        # ``workers`` and the timing fields vary with the host; the
+        # deterministic fields below must not.
+        "exact_case_keys": [
+            "case", "kind", "facts", "identical", "waves", "clients", "queries",
+        ],
+        "bounded_case_keys": {
+            "speedup_parallel_vs_compiled": {"min": 0.05},
+            "speedup_vs_single_client": {"min": 0.2},
+            "throughput_qps": {"min": 1.0},
+        },
+    },
+}
+
+
+def update_baselines(names):
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    for name in names:
+        policy = POLICIES[name]
+        report = run_benchmark(policy["command"])
+        baseline = {
+            "benchmark": name,
+            "command": policy["command"],
+            "exact_case_keys": policy["exact_case_keys"],
+            "bounded_case_keys": policy["bounded_case_keys"],
+            "report_meta": {
+                "benchmark": report["benchmark"],
+                "unit": report["unit"],
+                "smoke": report["smoke"],
+            },
+            "cases": report["cases"],
+        }
+        path = os.path.join(BASELINE_DIR, f"bench_{name}_smoke.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(path, REPO_ROOT)}")
+
+
+def load_baselines(names):
+    baselines = []
+    for entry in sorted(os.listdir(BASELINE_DIR)):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(BASELINE_DIR, entry)
+        with open(path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if names and baseline["benchmark"] not in names:
+            continue
+        baselines.append(baseline)
+    return baselines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names", nargs="*",
+        help="benchmark names to compare (default: every committed baseline)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the baseline files from fresh smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        update_baselines(args.names or sorted(POLICIES))
+        return 0
+    baselines = load_baselines(set(args.names))
+    if not baselines:
+        print("error: no baselines matched", file=sys.stderr)
+        return 2
+    problems = []
+    for baseline in baselines:
+        print(f"== comparing {baseline['benchmark']} against baseline ==")
+        problems.extend(compare_baseline(baseline))
+    if problems:
+        print(f"\n{len(problems)} regression(s) against committed baselines:")
+        for problem in problems:
+            print(f"  FAIL {problem}")
+        return 1
+    print("all baselines match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,32 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a benchmark smoke run, so the benchmark harness
-# cannot silently rot: the demand benchmark is executed on tiny workloads
-# and its JSON output shape is validated (bench_demand.validate_report).
+# The quality gate CI runs on every push: lint, tier-1 tests, and benchmark
+# smoke runs with JSON-shape validation, so neither the test suite nor the
+# benchmark harness can silently rot.
+#
+# Steps:
+#   1. ruff lint over src/tests/benchmarks/scripts (skipped with a notice
+#      when ruff is not installed — CI always installs it);
+#   2. tier-1 pytest;
+#   3. bench_demand --smoke  + shape validation (validate_report);
+#   4. bench_parallel --smoke + shape validation (validate_report).
+#
+# Baseline regression comparison lives in scripts/bench_compare.py and runs
+# as its own CI job.
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks scripts
+else
+    echo "ruff not installed; skipping lint (CI installs it from requirements-dev.txt)"
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
@@ -25,6 +44,24 @@ with open("/tmp/bench_demand_smoke.json", "r", encoding="utf-8") as handle:
     report = json.load(handle)
 validate_report(report)
 print(f"ok: {len(report['cases'])} cases, shape valid")
+EOF
+
+echo "== benchmark smoke (bench_parallel --smoke) =="
+python benchmarks/bench_parallel.py --smoke > /tmp/bench_parallel_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_parallel import validate_report
+
+with open("/tmp/bench_parallel_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+for case in report["cases"]:
+    if case["kind"] == "fixpoint":
+        assert case["identical"], f"{case['case']}: parallel model differs"
+print(f"ok: {len(report['cases'])} cases, shape valid, models identical")
 EOF
 
 echo "== all checks passed =="

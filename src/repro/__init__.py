@@ -22,7 +22,9 @@ from repro.database.database import SequenceDatabase
 from repro.engine.demand import DemandQuery, compile_demand, demand_query
 from repro.engine.fixpoint import FixpointResult, compute_least_fixpoint
 from repro.engine.limits import EvaluationLimits
+from repro.engine.parallel import ParallelFixpoint
 from repro.engine.query import PreparedQuery, evaluate_query
+from repro.engine.server import DatalogServer, ModelSnapshot
 from repro.engine.session import DatalogSession
 from repro.language.parser import parse_atom, parse_clause, parse_program
 from repro.sequences.sequence import Sequence
@@ -33,10 +35,13 @@ from repro.transducers.registry import TransducerCatalog
 __version__ = "1.0.0"
 
 __all__ = [
+    "DatalogServer",
     "DatalogSession",
     "DemandQuery",
     "EvaluationLimits",
     "FixpointResult",
+    "ModelSnapshot",
+    "ParallelFixpoint",
     "PreparedQuery",
     "Sequence",
     "SequenceDatabase",

@@ -28,7 +28,6 @@ from repro.analysis.dependency_graph import build_dependency_graph
 from repro.analysis.fragments import is_non_constructive
 from repro.analysis.safety import analyze_safety, program_order
 from repro.analysis.stratification import stratify_by_construction
-from repro.errors import SafetyError
 from repro.language.clauses import Program
 
 

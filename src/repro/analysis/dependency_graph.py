@@ -17,11 +17,11 @@ the proofs of Theorems 8 and 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, List
 
 import networkx as nx
 
-from repro.language.clauses import Clause, Program
+from repro.language.clauses import Program
 
 
 @dataclass(frozen=True)

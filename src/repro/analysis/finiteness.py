@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.analysis.fragments import is_non_constructive
 from repro.analysis.safety import SafetyReport, analyze_safety

@@ -16,7 +16,7 @@ Section 7.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import List, Mapping, Optional
 
 from repro.analysis.dependency_graph import DependencyGraph, build_dependency_graph
 from repro.errors import SafetyError

@@ -17,7 +17,7 @@ other programs it raises :class:`~repro.errors.SafetyError`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, List
 
 from repro.analysis.dependency_graph import build_dependency_graph
 from repro.errors import SafetyError

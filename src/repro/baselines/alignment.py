@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
 
 from repro.errors import TransducerDefinitionError, TransducerRuntimeError
 from repro.sequences import as_sequence

@@ -12,7 +12,9 @@ Five subcommands cover the typical workflow::
   relation names to lists of strings (unary relations) or lists of string
   lists (n-ary relations), then prints the answers to the query pattern.
   ``--strategy`` selects the evaluation core (``compiled`` by default;
-  ``naive`` and ``semi-naive`` are the interpreted references).
+  ``naive`` and ``semi-naive`` are the interpreted references;
+  ``parallel`` fires independent strata concurrently over a worker pool
+  sized by ``--workers``).
   ``--demand`` answers the query demand-driven: instead of materialising
   the full least fixpoint, only the slice of the model the query pattern
   transitively depends on is computed, with the pattern's constants pushed
@@ -26,7 +28,11 @@ Five subcommands cover the typical workflow::
   which leaves the resident model a partial fixpoint: the session is then
   poisoned and every later ``query`` is refused with a clear error.
   ``--demand`` serves queries from lazy, per-query demand slices without
-  ever materialising the full model.
+  ever materialising the full model.  ``--workers N`` serves through the
+  thread-safe :class:`~repro.engine.server.DatalogServer` instead:
+  queries answer from pinned, snapshot-isolated model views with a
+  per-snapshot result cache, and maintenance runs on a parallel fixpoint
+  pool of ``N`` workers.
 * ``analyze`` prints the strong-safety report and the finiteness verdict.
 * ``explain`` prints the compiled evaluation plan: the dependency strata,
   each clause's join order and the index columns every scan uses.
@@ -43,7 +49,7 @@ import argparse
 import json
 import shlex
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis import classify_finiteness
 from repro.core.engine_api import SequenceDatalogEngine
@@ -51,6 +57,7 @@ from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import DEFAULT_STRATEGY, STRATEGIES
 from repro.engine.limits import EvaluationLimits
 from repro.engine.planner import compile_program
+from repro.engine.server import DatalogServer
 from repro.engine.session import DatalogSession
 from repro.errors import ReproError
 from repro.language.parser import parse_program
@@ -93,6 +100,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bottom-up evaluation strategy",
     )
     run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for --strategy parallel (default: CPU count)",
+    )
+    run_parser.add_argument(
         "--demand", action="store_true",
         help="demand-driven evaluation: materialize only the slice of the "
              "model the query pattern can observe (magic-set-style relevance "
@@ -116,6 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--demand", action="store_true",
         help="serve queries from lazy, cached per-query demand slices; the "
              "full model is never materialized up front",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="serve through the thread-safe DatalogServer (snapshot-"
+             "isolated reads, cached/batched queries) with a parallel-"
+             "maintenance pool of this size; incompatible with --demand",
     )
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
@@ -153,7 +170,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
             file=out,
         )
         return 0
-    result = engine.evaluate(database, strategy=args.strategy)
+    result = engine.evaluate(database, strategy=args.strategy, workers=args.workers)
     answers = engine.query(result, args.query)
     for row in answers.texts():
         print("\t".join(row), file=out)
@@ -166,11 +183,19 @@ def _command_run(args: argparse.Namespace, out) -> int:
 
 
 def _serve_one(
-    session: DatalogSession, command: str, rest: str, out, demand: bool = False
+    session, command: str, rest: str, out, demand: bool = False
 ) -> bool:
-    """Execute one serve command; return False when the session should end."""
+    """Execute one serve command; return False when the session should end.
+
+    ``session`` is a :class:`DatalogSession` or (under ``--workers``) a
+    :class:`~repro.engine.server.DatalogServer`; both expose the same
+    ``query`` / ``add_facts`` / ``stats`` surface used here.
+    """
     if command in ("query", "?"):
-        result = session.query(rest.strip(), demand=demand)
+        if demand:
+            result = session.query(rest.strip(), demand=True)
+        else:
+            result = session.query(rest.strip())
         for row in result.texts():
             print("\t".join(row), file=out)
         print(f"% {len(result)} answers", file=out)
@@ -203,29 +228,46 @@ def _serve_one(
 def _command_serve(args: argparse.Namespace, out) -> int:
     limits = EvaluationLimits(max_iterations=args.max_iterations)
     database = load_database_json(args.db) if args.db else None
-    session = DatalogSession(
-        _load_program(args.program), database, limits=limits, lazy=args.demand
-    )
-    mode = " (demand mode: lazy per-query slices)" if args.demand else ""
-    print(f"% serving {session.fact_count()} facts{mode}", file=out)
+    if args.workers is not None and args.demand:
+        print("error: --workers serves full snapshots; drop --demand", file=out)
+        return 1
+    if args.workers is not None:
+        session = DatalogServer(
+            _load_program(args.program),
+            database,
+            limits=limits,
+            workers=args.workers,
+        )
+        mode = f" (server mode: {args.workers} workers, snapshot-isolated)"
+        fact_count = session.snapshot.fact_count()
+    else:
+        session = DatalogSession(
+            _load_program(args.program), database, limits=limits, lazy=args.demand
+        )
+        mode = " (demand mode: lazy per-query slices)" if args.demand else ""
+        fact_count = session.fact_count()
+    print(f"% serving {fact_count} facts{mode}", file=out)
     if args.script:
         with open(args.script, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
     else:
         lines = sys.stdin
-    for raw in lines:
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        command, _, rest = line.partition(" ")
-        try:
-            if not _serve_one(session, command, rest, out, demand=args.demand):
-                break
-        except ReproError as error:
-            # One bad command must not take the whole session down.  A
-            # poisoned session (failed maintenance run) keeps refusing
-            # queries through SessionPoisonedError, reported the same way.
-            print(f"error: {error}", file=out)
+    try:
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            command, _, rest = line.partition(" ")
+            try:
+                if not _serve_one(session, command, rest, out, demand=args.demand):
+                    break
+            except ReproError as error:
+                # One bad command must not take the whole session down.  A
+                # poisoned session (failed maintenance run) keeps refusing
+                # queries through SessionPoisonedError, reported the same way.
+                print(f"error: {error}", file=out)
+    finally:
+        session.close()
     return 0
 
 

@@ -10,7 +10,7 @@ analysis and query machinery so typical usage is three lines::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Iterable, Mapping, Optional, Union
 
 from repro.analysis.finiteness import FinitenessReport, classify_finiteness
 from repro.analysis.safety import SafetyReport, analyze_safety
@@ -26,6 +26,7 @@ from repro.engine.planner import compile_program
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import QueryResult, evaluate_query, known_predicates
+from repro.engine.server import DatalogServer
 from repro.engine.session import DatalogSession
 from repro.errors import MultiValuedOutputError, ValidationError
 from repro.language.clauses import Program
@@ -78,14 +79,20 @@ class SequenceDatalogEngine:
         database: DatabaseLike,
         strategy: str = DEFAULT_STRATEGY,
         limits: Optional[EvaluationLimits] = None,
+        workers: Optional[int] = None,
     ) -> FixpointResult:
-        """Compute the least fixpoint of the program over a database."""
+        """Compute the least fixpoint of the program over a database.
+
+        ``workers`` sizes the pool of the ``parallel`` strategy (see
+        :mod:`repro.engine.parallel`); the other strategies ignore it.
+        """
         return compute_least_fixpoint(
             self.program,
             _as_database(database),
             limits=limits or self.limits,
             strategy=strategy,
             transducers=self.transducers,
+            workers=workers,
         )
 
     def query(
@@ -180,6 +187,31 @@ class SequenceDatalogEngine:
             prepared_cache_size=prepared_cache_size,
             demand_cache_size=demand_cache_size,
             lazy=lazy,
+        )
+
+    def serve(
+        self,
+        database: Optional[DatabaseLike] = None,
+        limits: Optional[EvaluationLimits] = None,
+        workers: Optional[int] = None,
+        result_cache_size: int = 1024,
+    ) -> DatalogServer:
+        """Open a thread-safe, snapshot-isolated server over this program.
+
+        The server wraps an incremental session: concurrent ``query`` calls
+        pin immutable model snapshots (and are cached, coalesced and
+        batchable), while ``add_facts`` maintenance runs serialized and only
+        publishes fully-consistent snapshots.  ``workers`` additionally runs
+        maintenance on a parallel fixpoint pool
+        (:mod:`repro.engine.server` has the full contract).
+        """
+        return DatalogServer(
+            self.program,
+            database=None if database is None else _as_database(database),
+            limits=limits or self.limits,
+            transducers=self.transducers,
+            workers=workers,
+            result_cache_size=result_cache_size,
         )
 
     def compute_function(self, value, output_predicate: str = "output") -> Optional[str]:

@@ -16,7 +16,7 @@ from repro.errors import ValidationError
 from repro.language.atoms import Atom, ground_atom
 from repro.language.clauses import Clause
 from repro.language.terms import ConstantTerm
-from repro.sequences import ExtendedDomain, Sequence, as_sequence
+from repro.sequences import ExtendedDomain, Sequence
 
 
 class SequenceDatabase:

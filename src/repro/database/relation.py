@@ -22,7 +22,8 @@ materialised delta relation.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+import threading
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.sequences import Sequence, as_sequence
@@ -32,11 +33,20 @@ IdTuple = Tuple[int, ...]
 
 
 class SequenceRelation:
-    """A finite set of tuples of sequences with on-demand composite indexes."""
+    """A finite set of tuples of sequences with on-demand composite indexes.
+
+    Concurrency contract: one writer (the evaluation/maintenance thread)
+    and any number of lock-free readers.  Reads iterate the append-only
+    row store under captured bounds; the one structure a reader may
+    *create* — a composite index — is built and registered under
+    ``_lock``, and the writer maintains the registered indexes under the
+    same lock, so a half-built index can neither be observed nor miss a
+    row that raced its construction.
+    """
 
     __slots__ = (
-        "name", "arity", "_keys", "_rows", "_version", "_indexes",
-        "_snapshot", "_sorted",
+        "name", "arity", "_positions", "_rows", "_version", "_indexes",
+        "_snapshot", "_sorted", "_lock",
     )
 
     def __init__(self, name: str, arity: int, tuples: Iterable = ()):
@@ -44,8 +54,10 @@ class SequenceRelation:
             raise ValidationError(f"relation arity must be at least 1, got {arity}")
         self.name = name
         self.arity = arity
-        # Membership set of interned-id tuples.
-        self._keys: Set[IdTuple] = set()
+        # Membership map: interned-id tuple -> position in the row store.
+        # The positions make append-only windows cheap to intersect with
+        # the persistent indexes (see RelationDelta.lookup).
+        self._positions: Dict[IdTuple, int] = {}
         # Append-only insertion-order row store (decoded Sequence tuples).
         self._rows: List[SequenceTuple] = []
         # Monotonic mutation counter; never decremented, even by discard.
@@ -54,6 +66,9 @@ class SequenceRelation:
         self._indexes: Dict[Tuple[int, ...], Dict[IdTuple, List[SequenceTuple]]] = {}
         self._snapshot: Optional[FrozenSet[SequenceTuple]] = None
         self._sorted: Optional[List[SequenceTuple]] = None
+        # Guards _rows/_positions/_indexes against the build-vs-insert race
+        # (see the class docstring); plain reads never take it.
+        self._lock = threading.Lock()
         for row in tuples:
             self.add(row)
 
@@ -69,18 +84,19 @@ class SequenceRelation:
                 f"got a tuple of length {len(normalized)}"
             )
         key = tuple(value.intern_id for value in normalized)
-        if key in self._keys:
+        if key in self._positions:
             return False
-        self._keys.add(key)
-        self._rows.append(normalized)
-        self._version += 1
-        for columns, index in self._indexes.items():
-            index_key = tuple(key[column] for column in columns)
-            bucket = index.get(index_key)
-            if bucket is None:
-                index[index_key] = [normalized]
-            else:
-                bucket.append(normalized)
+        with self._lock:
+            self._positions[key] = len(self._rows)
+            self._rows.append(normalized)
+            self._version += 1
+            for columns, index in self._indexes.items():
+                index_key = tuple(key[column] for column in columns)
+                bucket = index.get(index_key)
+                if bucket is None:
+                    index[index_key] = [normalized]
+                else:
+                    bucket.append(normalized)
         self._snapshot = None
         self._sorted = None
         return True
@@ -103,14 +119,20 @@ class SequenceRelation:
         """
         normalized = tuple(as_sequence(value) for value in row)
         key = tuple(value.intern_id for value in normalized)
-        if key not in self._keys:
+        if key not in self._positions:
             return False
-        self._keys.discard(key)
-        self._rows = [existing for existing in self._rows if existing != normalized]
-        # A removal is still a change: the counter must keep moving forward
-        # so version-gated consumers re-examine the relation.
-        self._version += 1
-        self._indexes = {}
+        with self._lock:
+            self._rows = [
+                existing for existing in self._rows if existing != normalized
+            ]
+            self._positions = {
+                tuple(value.intern_id for value in existing): position
+                for position, existing in enumerate(self._rows)
+            }
+            # A removal is still a change: the counter must keep moving
+            # forward so version-gated consumers re-examine the relation.
+            self._version += 1
+            self._indexes = {}
         self._snapshot = None
         self._sorted = None
         return True
@@ -123,7 +145,7 @@ class SequenceRelation:
             key = tuple(as_sequence(value).intern_id for value in row)  # type: ignore[union-attr]
         except TypeError:
             return False
-        return key in self._keys
+        return key in self._positions
 
     def __iter__(self) -> Iterator[SequenceTuple]:
         return self._snapshot_iter()
@@ -137,7 +159,7 @@ class SequenceRelation:
         return (
             other.name == self.name
             and other.arity == self.arity
-            and other._keys == self._keys
+            and other._positions.keys() == self._positions.keys()
         )
 
     def __repr__(self) -> str:
@@ -184,23 +206,35 @@ class SequenceRelation:
         return list(self._sorted)
 
     def ensure_index(self, columns: Tuple[int, ...]) -> Dict[IdTuple, List[SequenceTuple]]:
-        """Build (once) and return the composite hash index for ``columns``."""
+        """Build (once) and return the composite hash index for ``columns``.
+
+        Thread-safe against the single writer: the build-and-register runs
+        under the relation lock, so it sees a consistent row store and the
+        writer's incremental maintenance can never miss (or double-insert)
+        a row that raced the construction.  Bucket lists hold rows in
+        insertion order, which window views rely on (see
+        :meth:`RelationDelta.lookup`).
+        """
         index = self._indexes.get(columns)
-        if index is None:
-            for column in columns:
-                if column < 0 or column >= self.arity:
-                    raise ValidationError(
-                        f"column {column} out of range for relation {self.name!r}"
-                    )
-            index = {}
-            for row in self._rows:
-                index_key = tuple(row[column].intern_id for column in columns)
-                bucket = index.get(index_key)
-                if bucket is None:
-                    index[index_key] = [row]
-                else:
-                    bucket.append(row)
-            self._indexes[columns] = index
+        if index is not None:
+            return index
+        for column in columns:
+            if column < 0 or column >= self.arity:
+                raise ValidationError(
+                    f"column {column} out of range for relation {self.name!r}"
+                )
+        with self._lock:
+            index = self._indexes.get(columns)
+            if index is None:
+                index = {}
+                for row in self._rows:
+                    index_key = tuple(row[column].intern_id for column in columns)
+                    bucket = index.get(index_key)
+                    if bucket is None:
+                        index[index_key] = [row]
+                    else:
+                        bucket.append(row)
+                self._indexes[columns] = index
         return index
 
     def lookup(self, bindings: Dict[int, Sequence]) -> Iterator[SequenceTuple]:
@@ -259,12 +293,25 @@ class SequenceRelation:
 class RelationDelta:
     """The rows of a relation appended within a version window.
 
-    Used by predicate-level semi-naive evaluation: a clause that last ran at
-    relation version ``v`` only needs to join against the rows appended
-    since ``v``.  The view shares the relation's append-only row list, so it
-    is zero-copy; when a lookup binds columns, a window-local hash index is
-    built once per column set (the view lives for a single clause firing, so
-    the index stays small and is never maintained incrementally).
+    Used by predicate-level semi-naive evaluation (a clause that last ran
+    at relation version ``v`` only needs to join against the rows appended
+    since ``v``) and by the serving layer's model snapshots (a pinned view
+    ``[0, n)`` of the whole store).  The view shares the relation's
+    append-only row list, so it is zero-copy.  Indexed lookups come in two
+    flavours:
+
+    * a *full-prefix* window (``start == 0``, the snapshot case) consults
+      the relation's persistent, incrementally-maintained composite index
+      and takes the insertion-ordered prefix of each bucket whose row
+      positions fall inside the window (binary search on the membership
+      map's positions) — no per-snapshot index rebuild, O(log bucket) to
+      bound;
+    * a mid-store window (the semi-naive delta case) builds a window-local
+      hash index once per column set — the view lives for a single clause
+      firing, so the index stays small.
+
+    Windows are invalidated by :meth:`SequenceRelation.discard` (positions
+    shift); the fixpoint engine and the serving layer never discard.
     """
 
     __slots__ = ("relation", "start", "stop", "_indexes")
@@ -298,6 +345,9 @@ class RelationDelta:
             yield from self.relation._snapshot_iter(self.start, self.stop)
             return
         columns = tuple(sorted(bindings))
+        if self.start == 0:
+            yield from self._prefix_lookup(columns, bindings)
+            return
         index = self._indexes.get(columns)
         if index is None:
             for column in columns:
@@ -317,3 +367,41 @@ class RelationDelta:
             self._indexes[columns] = index
         index_key = tuple(as_sequence(bindings[column]).intern_id for column in columns)
         yield from index.get(index_key, ())
+
+    def _prefix_lookup(
+        self, columns: Tuple[int, ...], bindings: Dict[int, Sequence]
+    ) -> Iterator[SequenceTuple]:
+        """Indexed lookup for a full-prefix window via the persistent index.
+
+        Bucket lists hold rows in insertion order, so the rows whose store
+        position lies below ``stop`` form a bucket *prefix*; binary search
+        on the membership map's positions finds its length.  Rows appended
+        after the window was pinned sit past that prefix and are never
+        yielded — this is what makes pinned snapshots repeatable while the
+        relation keeps growing behind them.
+        """
+        relation = self.relation
+        index = relation.ensure_index(columns)
+        index_key = tuple(
+            as_sequence(bindings[column]).intern_id for column in columns
+        )
+        bucket = index.get(index_key)
+        if not bucket:
+            return
+        positions = relation._positions
+        stop = self.stop
+
+        def position_of(row: SequenceTuple) -> int:
+            return positions[tuple(value.intern_id for value in row)]
+
+        low, high = 0, len(bucket)
+        if high and position_of(bucket[high - 1]) < stop:
+            low = high  # common case: the whole bucket is inside the window
+        while low < high:
+            mid = (low + high) // 2
+            if position_of(bucket[mid]) < stop:
+                low = mid + 1
+            else:
+                high = mid
+        for index_position in range(low):
+            yield bucket[index_position]

@@ -20,7 +20,11 @@ The engine implements:
   evaluation: relevance-restricted subprograms with the pattern's constants
   pushed sideways into clause plans;
 * :mod:`~repro.engine.session` -- :class:`~repro.engine.session.DatalogSession`,
-  the incremental query-serving layer over a resident fixpoint.
+  the incremental query-serving layer over a resident fixpoint;
+* :mod:`~repro.engine.parallel` -- :class:`~repro.engine.parallel.ParallelFixpoint`,
+  wave-scheduled, range-partitioned fixpoint evaluation over a worker pool;
+* :mod:`~repro.engine.server` -- :class:`~repro.engine.server.DatalogServer`,
+  the thread-safe snapshot-isolated multi-client serving layer.
 """
 
 from repro.engine.bindings import Substitution
@@ -43,10 +47,13 @@ from repro.engine.fixpoint import (
     DEFAULT_STRATEGY,
     FixpointResult,
     NAIVE,
+    PARALLEL,
     SEMI_NAIVE,
     compute_least_fixpoint,
 )
+from repro.engine.parallel import ParallelFixpoint
 from repro.engine.query import PreparedQuery, QueryResult, evaluate_query
+from repro.engine.server import DatalogServer, ModelSnapshot
 from repro.engine.session import DatalogSession, MaintenanceReport
 
 __all__ = [
@@ -54,6 +61,7 @@ __all__ = [
     "ClausePlan",
     "CompiledFixpoint",
     "DEFAULT_STRATEGY",
+    "DatalogServer",
     "DatalogSession",
     "DemandProfile",
     "DemandQuery",
@@ -62,7 +70,10 @@ __all__ = [
     "FixpointResult",
     "Interpretation",
     "MaintenanceReport",
+    "ModelSnapshot",
     "NAIVE",
+    "PARALLEL",
+    "ParallelFixpoint",
     "PlanExecutor",
     "PreparedQuery",
     "ProgramPlan",

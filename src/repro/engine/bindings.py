@@ -13,7 +13,7 @@ Datalog and Transducer Datalog.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import EvaluationError
 from repro.language.atoms import Atom, Comparison
@@ -30,7 +30,7 @@ from repro.language.terms import (
     SequenceVariable,
     TransducerTerm,
 )
-from repro.sequences import EMPTY, Sequence
+from repro.sequences import Sequence
 
 #: A transducer registry maps a transducer name to a callable taking
 #: ``Sequence`` arguments and returning a ``Sequence``.

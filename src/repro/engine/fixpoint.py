@@ -1,6 +1,6 @@
 """Bottom-up computation of the least fixpoint ``T_{P,db} ^ omega``.
 
-Three strategies are provided:
+Four strategies are provided:
 
 * **naive** -- every clause is re-evaluated against the full interpretation
   at every iteration.  This is the reference implementation of the
@@ -27,6 +27,11 @@ Three strategies are provided:
   up-to-date plan, handles domain growth flowing from higher strata back
   down, and keeps the partial interpretation of a limit-aborted
   evaluation representative of every predicate.
+* **parallel** -- the compiled strategy with each sweep's independent
+  strata fired concurrently and large firings range-partitioned across a
+  worker pool (:mod:`repro.engine.parallel`).  Scheduling only changes the
+  *order* in which monotone firings happen, so the computed model is
+  fact-for-fact identical to the compiled strategy's.
 
 All strategies produce exactly the least fixpoint; tests compare them on
 every paper program.
@@ -51,11 +56,12 @@ from repro.language.clauses import Program
 NAIVE = "naive"
 SEMI_NAIVE = "semi-naive"
 COMPILED = "compiled"
+PARALLEL = "parallel"
 
 #: The strategy used when callers do not ask for a specific one.
 DEFAULT_STRATEGY = COMPILED
 
-STRATEGIES = (NAIVE, SEMI_NAIVE, COMPILED)
+STRATEGIES = (NAIVE, SEMI_NAIVE, COMPILED, PARALLEL)
 
 
 @dataclass
@@ -105,8 +111,12 @@ def compute_least_fixpoint(
     limits: EvaluationLimits = DEFAULT_LIMITS,
     strategy: str = DEFAULT_STRATEGY,
     transducers: Optional[TransducerRegistry] = None,
+    workers: Optional[int] = None,
 ) -> FixpointResult:
     """Compute ``lfp(T_{P,db})`` bottom-up.
+
+    ``workers`` selects the pool size of the ``parallel`` strategy (defaults
+    to the machine's CPU count) and is ignored by the other strategies.
 
     Raises :class:`~repro.errors.FixpointNotReached` when a resource limit is
     exceeded before convergence (the exception carries the partial
@@ -116,7 +126,11 @@ def compute_least_fixpoint(
         raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
 
     start = time.perf_counter()
-    if strategy == COMPILED:
+    if strategy == PARALLEL:
+        interpretation, iterations, history = _compute_parallel(
+            program, database, limits, transducers, workers
+        )
+    elif strategy == COMPILED:
         interpretation, iterations, history = _compute_compiled(
             program, database, limits, transducers
         )
@@ -271,56 +285,60 @@ class CompiledFixpoint:
         """Insert the database facts; return the number inserted."""
         return _load_database(database, self.interpretation)
 
-    def _fire(self, plan_index: int, limits: EvaluationLimits, iteration: int) -> int:
-        """Fire one plan (full or delta-restricted); return new-fact count."""
+    def _firing_mode(self, plan_index: int) -> Optional[str]:
+        """How a plan must fire right now: ``"full"``, ``"delta"`` or ``None``.
+
+        ``None`` means the plan is up to date: no body relation gained rows
+        since its last firing and (for domain-sensitive plans) the domain did
+        not grow.  The parallel executor shares this gating logic.
+        """
         interpretation = self.interpretation
         plan = self.plans[plan_index]
-        executor = self.executors[plan_index]
-        body_predicates = plan.body_predicates()
         seen = self._last_versions[plan_index]
-
         if seen is None:
-            mode = "full"
-        else:
-            changed = {
-                predicate
-                for predicate in body_predicates
-                if interpretation.relation_version(predicate) > seen.get(predicate, 0)
-            }
-            if plan.delta_safe:
-                if not changed:
-                    return 0
-                mode = "delta"
-            else:
-                domain_grew = interpretation.domain_version > self._last_domain[plan_index]
-                if not changed and not domain_grew:
-                    return 0
-                mode = "full"
+            return "full"
+        changed = any(
+            interpretation.relation_version(predicate) > seen.get(predicate, 0)
+            for predicate in plan.body_predicates()
+        )
+        if plan.delta_safe:
+            return "delta" if changed else None
+        if changed or interpretation.domain_version > self._last_domain[plan_index]:
+            return "full"
+        return None
 
-        if mode == "delta":
-            assert seen is not None
-            views = {}
-            for predicate in body_predicates:
-                relation = interpretation.relation(predicate)
-                if relation is None:
-                    continue
-                views[predicate] = relation.delta_view(seen.get(predicate, 0))
-            derived = executor.derive_semi_naive(interpretation, views)
-        else:
-            derived = executor.derive(interpretation)
+    def _delta_views(self, plan_index: int) -> Dict[str, "RelationDelta"]:
+        """Zero-copy views of the rows each body relation gained since the
+        plan's last firing (for a delta-mode firing)."""
+        interpretation = self.interpretation
+        seen = self._last_versions[plan_index]
+        assert seen is not None
+        views = {}
+        for predicate in self.plans[plan_index].body_predicates():
+            relation = interpretation.relation(predicate)
+            if relation is None:
+                continue
+            views[predicate] = relation.delta_view(seen.get(predicate, 0))
+        return views
 
-        # Record the observation point *before* consuming the generator so
-        # facts the firing itself derives count as delta for the next round.
+    def _observe(self, plan_index: int) -> None:
+        """Record the plan's observation point at the *current* versions.
+
+        Must be called before the firing's derivations are merged so that
+        facts the firing itself derives count as delta for the next round.
+        """
+        interpretation = self.interpretation
         self._last_versions[plan_index] = {
             predicate: interpretation.relation_version(predicate)
-            for predicate in body_predicates
+            for predicate in self.plans[plan_index].body_predicates()
         }
         self._last_domain[plan_index] = interpretation.domain_version
 
+    def _merge(self, facts, limits: EvaluationLimits, iteration: int) -> int:
+        """Insert derived facts under the limits; return the new-fact count."""
+        interpretation = self.interpretation
         added = 0
-        # Materialise before inserting: inserting while the generator is
-        # live would mutate the fact store the matcher is iterating over.
-        for fact in list(derived):
+        for fact in facts:
             _, values = fact
             for value in values:
                 limits.check_sequence_length(len(value), interpretation, iteration)
@@ -328,6 +346,40 @@ class CompiledFixpoint:
                 added += 1
             limits.check_interpretation(interpretation, iteration)
         return added
+
+    def _fire(self, plan_index: int, limits: EvaluationLimits, iteration: int) -> int:
+        """Fire one plan (full or delta-restricted); return new-fact count."""
+        mode = self._firing_mode(plan_index)
+        if mode is None:
+            return 0
+        executor = self.executors[plan_index]
+        if mode == "delta":
+            derived = executor.derive_semi_naive(
+                self.interpretation, self._delta_views(plan_index)
+            )
+        else:
+            derived = executor.derive(self.interpretation)
+        self._observe(plan_index)
+        # Materialise before inserting: inserting while the generator is
+        # live would mutate the fact store the matcher is iterating over.
+        return self._merge(list(derived), limits, iteration)
+
+    def close(self) -> None:
+        """Release auxiliary resources (worker pools in subclasses)."""
+
+    def _sweep(self, limits: EvaluationLimits, iteration: int) -> int:
+        """Visit every plan once (bottom-up); return the new-fact count.
+
+        The parallel executor overrides this with wave-concurrent firing;
+        the surrounding :meth:`run` loop (limit accounting, history,
+        convergence test) stays shared so its semantics cannot drift
+        between strategies.
+        """
+        sweep_added = 0
+        for plan_indexes in self.program_plan.schedule:
+            for plan_index in plan_indexes:
+                sweep_added += self._fire(plan_index, limits, iteration)
+        return sweep_added
 
     def run(self, limits: EvaluationLimits = DEFAULT_LIMITS) -> List[int]:
         """Sweep until no plan derives anything new; return per-sweep counts.
@@ -360,10 +412,7 @@ class CompiledFixpoint:
             iteration += 1
             limits.check_iteration(iteration, partial=interpretation)
             limits.check_interpretation(interpretation, iteration)
-            sweep_added = 0
-            for plan_indexes in self.program_plan.schedule:
-                for plan_index in plan_indexes:
-                    sweep_added += self._fire(plan_index, limits, iteration)
+            sweep_added = self._sweep(limits, iteration)
             self.sweeps += 1
             history.append(sweep_added)
             if sweep_added == 0:
@@ -380,6 +429,25 @@ def _compute_compiled(
     engine = CompiledFixpoint(program, transducers)
     new_facts_history = [engine.load_database(database)]
     new_facts_history.extend(engine.run(limits))
+    return engine.interpretation, engine.sweeps + 1, new_facts_history
+
+
+def _compute_parallel(
+    program: Program,
+    database: SequenceDatabase,
+    limits: EvaluationLimits,
+    transducers: Optional[TransducerRegistry],
+    workers: Optional[int],
+) -> Tuple[Interpretation, int, List[int]]:
+    # Imported lazily: parallel.py imports CompiledFixpoint from this module.
+    from repro.engine.parallel import ParallelFixpoint
+
+    engine = ParallelFixpoint(program, transducers, workers=workers)
+    try:
+        new_facts_history = [engine.load_database(database)]
+        new_facts_history.extend(engine.run(limits))
+    finally:
+        engine.close()
     return engine.interpretation, engine.sweeps + 1, new_facts_history
 
 

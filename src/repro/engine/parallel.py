@@ -1,0 +1,551 @@
+"""Parallel fixpoint evaluation: wave-scheduled, range-partitioned firings.
+
+:class:`ParallelFixpoint` is the compiled strategy
+(:class:`~repro.engine.fixpoint.CompiledFixpoint`) with the work of each
+sweep spread over a worker pool:
+
+* **Wave scheduling.**  The dependency strata of the compiled program plan
+  form a DAG; strata at the same depth ("wave") cannot observe each other's
+  head predicates, so their plans fire concurrently against the wave-start
+  state.  Waves keep the bottom-up order between dependent strata, and the
+  outer sweep loop keeps recursive strata iterating to quiescence exactly
+  like the sequential engine.
+* **Range partitioning.**  A firing is expressed as "run the plan with one
+  atom position restricted to a window of its relation's append-only row
+  store" (:meth:`~repro.engine.planner.PlanExecutor.derive_delta`).  Every
+  solution of the plan goes through exactly one row at that position, so a
+  window can be split into disjoint sub-windows and fired independently —
+  the union of the partial derivations is exactly the full derivation.
+  Delta firings partition the :class:`~repro.database.relation.RelationDelta`
+  window of each changed body predicate; full firings partition the first
+  scan's whole relation.
+* **Worker pools.**  Large waves go to a pool of worker *processes*: each
+  worker holds a replica interpretation that the coordinator keeps in sync
+  by shipping the rows appended since the worker's last sync, serialized as
+  plain text tuples — re-interning on arrival makes the replica's
+  intern ids consistent with its own table, and the append-only discipline
+  makes coordinator row positions valid window coordinates on every
+  replica.  Small waves fall back to an in-process thread pool (or run
+  inline), avoiding the serialization round-trip when the delta is a
+  handful of rows.
+* **Determinism of the result.**  Scheduling only changes the *order* of
+  monotone, inflationary firings; the least fixpoint is unique, so the
+  computed model is fact-for-fact identical to the sequential strategies'
+  (randomized equivalence properties in ``tests/test_properties.py``).
+
+Derived facts are merged by the coordinator through the same
+version-gated bookkeeping as the sequential engine, so a
+:class:`ParallelFixpoint` can also sit inside a
+:class:`~repro.engine.session.DatalogSession` and do incremental
+maintenance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
+
+from repro.database.relation import RelationDelta
+from repro.engine.bindings import Substitution, TransducerRegistry
+from repro.engine.fixpoint import CompiledFixpoint
+from repro.engine.limits import EvaluationLimits
+from repro.engine.plan import AtomScan, ClausePlan, ProgramPlan
+from repro.errors import EvaluationError
+from repro.language.clauses import Program
+from repro.sequences.sequence import Sequence
+
+#: A unit of parallel work: ``(plan_index, atom_position, start, stop)``.
+#: ``atom_position is None`` means an unpartitioned full firing; otherwise
+#: the atom at that position is restricted to rows ``[start, stop)`` of its
+#: predicate's append-only store.
+FiringTask = Tuple[int, Optional[int], int, int]
+
+PARALLEL_MODES = ("auto", "thread", "process")
+
+
+def _scan_predicate(plan: ClausePlan, atom_position: int) -> Optional[str]:
+    """The predicate scanned at ``atom_position`` of a plan (None if absent)."""
+    for step in plan.steps:
+        if isinstance(step, AtomScan) and step.atom_position == atom_position:
+            return step.atom.predicate
+    return None
+
+
+def _first_scan_position(plan: ClausePlan) -> Optional[int]:
+    """The first atom scan in plan order — the outermost join loop."""
+    for step in plan.steps:
+        if isinstance(step, AtomScan):
+            return step.atom_position
+    return None
+
+
+def _worker_main(program_blob: bytes, task_queue, result_queue) -> None:
+    """Worker process loop: keep a replica in sync, fire plans on request.
+
+    The replica starts empty and is grown exclusively through ``sync``
+    messages, which ship rows in coordinator insertion order — so a row's
+    position in the replica's append-only store equals its position in the
+    coordinator's, and window coordinates transfer directly.
+    """
+    # Under the fork start method another coordinator thread may have held
+    # the intern-table lock at fork time; the replica is single-threaded
+    # here, so a fresh lock is always safe.
+    Sequence._lock = threading.Lock()
+    program = pickle.loads(program_blob)
+    core = CompiledFixpoint(program)
+    interpretation = core.interpretation
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "sync":
+            for predicate, rows in message[1]:
+                for row in rows:
+                    interpretation.add(predicate, row)
+            continue
+        _, task_id, plan_index, position, start, stop = message
+        try:
+            executor = core.executors[plan_index]
+            if position is None:
+                derived = executor.derive(interpretation)
+            else:
+                predicate = _scan_predicate(core.plans[plan_index], position)
+                relation = interpretation.relation(predicate)
+                if relation is None:
+                    derived = iter(())
+                else:
+                    view = RelationDelta(relation, start, stop)
+                    derived = executor.derive_delta(interpretation, position, view)
+            payload = [
+                (head, tuple(value.text for value in values))
+                for head, values in derived
+            ]
+            result_queue.put((task_id, payload, None))
+        except Exception as error:  # transported back to the coordinator
+            result_queue.put((task_id, None, f"{type(error).__name__}: {error}"))
+
+
+class _ProcessPool:
+    """A fixed pool of replica workers with incremental state shipping."""
+
+    def __init__(self, program_blob: bytes, workers: int, start_method: Optional[str]):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._result_queue = context.Queue()
+        self._workers = []
+        # Workers are created together and synced in lockstep, so one
+        # shared high-water mark per predicate describes every replica.
+        self._synced: Dict[str, int] = {}
+        self._next_task_id = 0
+        self.shipped_rows = 0
+        for _ in range(workers):
+            task_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(program_blob, task_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append((process, task_queue))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def _sync(self, interpretation) -> None:
+        """Ship every row the replicas have not seen yet (append-only
+        windows).  The text conversion happens once per predicate; the same
+        payload object goes to every worker queue."""
+        payload = []
+        for predicate in interpretation.predicates():
+            relation = interpretation.relation(predicate)
+            count = len(relation)
+            have = self._synced.get(predicate, 0)
+            if count > have:
+                rows = [
+                    tuple(value.text for value in row)
+                    for row in RelationDelta(relation, have, count)
+                ]
+                payload.append((predicate, rows))
+                self._synced[predicate] = count
+                self.shipped_rows += count - have
+        if payload:
+            for _, task_queue in self._workers:
+                task_queue.put(("sync", payload))
+
+    def dispatch(self, tasks: TypingSequence[FiringTask], interpretation) -> List[list]:
+        """Sync the replicas, round-robin the tasks, gather every result."""
+        self._sync(interpretation)
+        pending = set()
+        for position, task in enumerate(tasks):
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            _, task_queue = self._workers[position % len(self._workers)]
+            task_queue.put(("fire", task_id) + tuple(task))
+            pending.add(task_id)
+        batches: List[list] = []
+        errors: List[str] = []
+        while pending:
+            try:
+                task_id, payload, error = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                if any(not process.is_alive() for process, _ in self._workers):
+                    raise EvaluationError(
+                        "a parallel fixpoint worker process died unexpectedly"
+                    )
+                continue
+            pending.discard(task_id)
+            if error is not None:
+                errors.append(error)
+            else:
+                batches.append(payload)
+        if errors:
+            raise EvaluationError(f"parallel fixpoint worker failed: {errors[0]}")
+        return batches
+
+    def close(self) -> None:
+        for process, task_queue in self._workers:
+            if process.is_alive():
+                try:
+                    task_queue.put(("stop",))
+                except (OSError, ValueError):
+                    pass
+        for process, _ in self._workers:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._workers = []
+
+
+class ParallelFixpoint(CompiledFixpoint):
+    """Compiled fixpoint evaluation over a worker pool.
+
+    Parameters
+    ----------
+    program:
+        The Sequence Datalog program.
+    transducers:
+        Optional transducer registry.  Registries are not shipped to worker
+        processes, so providing one restricts the pool to threads.
+    workers:
+        Pool size; defaults to the machine's CPU count.  ``1`` runs every
+        task inline (sequential semantics at wave granularity).
+    mode:
+        ``"auto"`` (processes for large waves, threads for small ones),
+        ``"thread"`` or ``"process"``.
+    process_threshold:
+        Minimum number of partitionable rows in a wave before ``auto``
+        pays the serialization round-trip of the process pool.
+    min_partition_rows:
+        Smallest window worth splitting; below it a firing stays one task.
+    start_method:
+        ``multiprocessing`` start method (defaults to ``fork`` when the
+        platform offers it, else ``spawn``).
+    """
+
+    __slots__ = (
+        "workers", "mode", "process_threshold", "min_partition_rows",
+        "_start_method", "_program_blob", "_process_ok", "_waves",
+        "_thread_pool", "_process_pool", "counters",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        transducers: Optional[TransducerRegistry] = None,
+        workers: Optional[int] = None,
+        mode: str = "auto",
+        process_threshold: int = 256,
+        min_partition_rows: int = 8,
+        start_method: Optional[str] = None,
+        program_plan: Optional[ProgramPlan] = None,
+        seeds: Optional[Dict[int, Substitution]] = None,
+    ):
+        if mode not in PARALLEL_MODES:
+            raise EvaluationError(
+                f"unknown parallel mode {mode!r}; expected one of {PARALLEL_MODES}"
+            )
+        super().__init__(program, transducers, program_plan, seeds)
+        self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
+        self.mode = mode
+        self.process_threshold = process_threshold
+        self.min_partition_rows = max(1, min_partition_rows)
+        self._start_method = start_method
+        # Replica workers rebuild their state from (program, shipped rows)
+        # alone, so prebuilt plans, executor seeds and transducer registries
+        # all rule the process pool out; threads share the coordinator's
+        # objects and support everything.
+        self._program_blob: Optional[bytes] = None
+        self._process_ok = transducers is None and program_plan is None and not seeds
+        if self._process_ok:
+            try:
+                self._program_blob = pickle.dumps(program)
+            except Exception:
+                self._process_ok = False
+        if mode == "process" and not self._process_ok:
+            raise EvaluationError(
+                "process-mode parallel evaluation needs a picklable program "
+                "without transducers or prebuilt plans; use mode='thread'"
+            )
+        self._waves = self._compute_waves()
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[_ProcessPool] = None
+        self.counters = {
+            "waves_fired": 0,
+            "tasks": 0,
+            "inline_waves": 0,
+            "thread_waves": 0,
+            "process_waves": 0,
+            "shipped_rows": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _compute_waves(self) -> Tuple[Tuple[int, ...], ...]:
+        """Group the scheduled strata into waves of mutually independent ones.
+
+        Stratum ``s`` depends on stratum ``t`` when some plan headed in ``s``
+        reads a predicate of ``t``; the linearized component order guarantees
+        ``t <= s``.  ``level(s) = 1 + max(level(dependencies))`` puts two
+        strata in the same wave exactly when no dependency path connects
+        them, so their plans can only read relations no plan of the wave
+        writes — firing them concurrently against the wave-start state is
+        indistinguishable from any sequential order.
+        """
+        strata = self.program_plan.strata
+        schedule = self.program_plan.schedule
+        stratum_of = {
+            predicate: index
+            for index, component in enumerate(strata)
+            for predicate in component
+        }
+        levels: List[int] = []
+        for index, plan_indexes in enumerate(schedule):
+            depends_on = set()
+            for plan_index in plan_indexes:
+                for predicate in self.plans[plan_index].body_predicates():
+                    target = stratum_of.get(predicate)
+                    if target is not None and target != index:
+                        depends_on.add(target)
+            level = 0
+            for target in depends_on:
+                if target < len(levels):
+                    level = max(level, levels[target] + 1)
+            levels.append(level)
+        waves: Dict[int, List[int]] = {}
+        for index, plan_indexes in enumerate(schedule):
+            waves.setdefault(levels[index], []).extend(plan_indexes)
+        return tuple(
+            tuple(waves[level]) for level in sorted(waves) if waves[level]
+        )
+
+    @property
+    def waves(self) -> Tuple[Tuple[int, ...], ...]:
+        """The wave schedule (tuples of plan indexes), for tests and explain."""
+        return self._waves
+
+    # ------------------------------------------------------------------
+    # Task construction
+    # ------------------------------------------------------------------
+    def _partition(
+        self, plan_index: int, position: int, start: int, stop: int
+    ) -> List[FiringTask]:
+        rows = stop - start
+        if rows <= 0:
+            return []
+        parts = min(self.workers, max(1, rows // self.min_partition_rows))
+        chunk = (rows + parts - 1) // parts
+        tasks = []
+        cursor = start
+        while cursor < stop:
+            upper = min(cursor + chunk, stop)
+            tasks.append((plan_index, position, cursor, upper))
+            cursor = upper
+        return tasks
+
+    def _tasks_for(self, plan_index: int, mode: str) -> List[FiringTask]:
+        plan = self.plans[plan_index]
+        if mode == "full":
+            position = _first_scan_position(plan)
+            if position is None:
+                # Bodyless or scan-free plans: nothing to partition over.
+                return [(plan_index, None, 0, 0)]
+            predicate = _scan_predicate(plan, position)
+            relation = self.interpretation.relation(predicate)
+            if relation is None or len(relation) == 0:
+                # Every solution needs a row at this scan; there are none.
+                return []
+            return self._partition(plan_index, position, 0, len(relation))
+        tasks: List[FiringTask] = []
+        views = self._delta_views(plan_index)
+        for step in plan.steps:
+            if not isinstance(step, AtomScan):
+                continue
+            view = views.get(step.atom.predicate)
+            if view is None or not len(view):
+                continue
+            tasks.extend(
+                self._partition(plan_index, step.atom_position, view.start, view.stop)
+            )
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+    def _run_task_local(self, task: FiringTask) -> list:
+        plan_index, position, start, stop = task
+        executor = self.executors[plan_index]
+        if position is None:
+            return list(executor.derive(self.interpretation))
+        predicate = _scan_predicate(self.plans[plan_index], position)
+        relation = self.interpretation.relation(predicate)
+        if relation is None:
+            return []
+        view = RelationDelta(relation, start, stop)
+        return list(executor.derive_delta(self.interpretation, position, view))
+
+    def _choose_backend(self, total_rows: int, task_count: int) -> str:
+        if self.workers <= 1:
+            return "inline"
+        if self.mode == "thread":
+            return "thread"
+        if self.mode == "process":
+            return "process"
+        if task_count <= 1 or total_rows < self.min_partition_rows:
+            return "inline"
+        if self._process_ok and total_rows >= self.process_threshold:
+            return "process"
+        return "thread"
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-parallel",
+            )
+        return self._thread_pool
+
+    def _ensure_process_pool(self) -> _ProcessPool:
+        if self._process_pool is None:
+            assert self._program_blob is not None
+            self._process_pool = _ProcessPool(
+                self._program_blob, self.workers, self._start_method
+            )
+        return self._process_pool
+
+    # ------------------------------------------------------------------
+    # The sweep loop
+    # ------------------------------------------------------------------
+    def _fire_wave(
+        self, wave: Tuple[int, ...], limits: EvaluationLimits, iteration: int
+    ) -> int:
+        firing = []
+        for plan_index in wave:
+            mode = self._firing_mode(plan_index)
+            if mode is not None:
+                firing.append((plan_index, mode))
+        if not firing:
+            return 0
+        # Keep the pre-wave bookkeeping so a failed dispatch can roll back:
+        # without it, an executor failure (e.g. a dead worker process) would
+        # leave the plans marked up-to-date and a resident session would
+        # silently skip the windows they never actually fired over.
+        saved = [
+            (
+                plan_index,
+                self._last_versions[plan_index],
+                self._last_domain[plan_index],
+            )
+            for plan_index, _ in firing
+        ]
+        tasks: List[FiringTask] = []
+        for plan_index, mode in firing:
+            tasks.extend(self._tasks_for(plan_index, mode))
+            # The observation point is the wave-start state: everything the
+            # wave derives lands at higher versions and counts as delta for
+            # the next sweep.
+            self._observe(plan_index)
+        if not tasks:
+            return 0
+        total_rows = sum(
+            stop - start for _, position, start, stop in tasks if position is not None
+        )
+        backend = self._choose_backend(total_rows, len(tasks))
+        self.counters["waves_fired"] += 1
+        self.counters["tasks"] += len(tasks)
+        self.counters[f"{backend}_waves"] += 1
+        try:
+            if backend == "process":
+                batches = self._ensure_process_pool().dispatch(
+                    tasks, self.interpretation
+                )
+            elif backend == "thread":
+                batches = list(
+                    self._ensure_thread_pool().map(self._run_task_local, tasks)
+                )
+            else:
+                batches = [self._run_task_local(task) for task in tasks]
+            added = 0
+            for batch in batches:
+                added += self._merge(batch, limits, iteration)
+            return added
+        except BaseException:
+            # Re-arm the wave: replayed derivations deduplicate on merge, so
+            # restoring the older observation points is always safe.
+            for plan_index, versions, domain in saved:
+                self._last_versions[plan_index] = versions
+                self._last_domain[plan_index] = domain
+            raise
+
+    def _sweep(self, limits: EvaluationLimits, iteration: int) -> int:
+        """One wave-concurrent pass over every plan (see the module
+        docstring); the shared :meth:`CompiledFixpoint.run` loop drives it,
+        so limit accounting and history semantics cannot drift from the
+        sequential strategy's."""
+        sweep_added = 0
+        for wave in self._waves:
+            sweep_added += self._fire_wave(wave, limits, iteration)
+        return sweep_added
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def parallel_stats(self) -> Dict[str, int]:
+        """Execution counters plus pool facts (serving diagnostics)."""
+        stats = dict(self.counters)
+        if self._process_pool is not None:
+            stats["shipped_rows"] = self._process_pool.shipped_rows
+        stats["workers"] = self.workers
+        stats["process_pool_live"] = int(self._process_pool is not None)
+        return stats
+
+    def close(self) -> None:
+        """Shut the worker pools down (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self.counters["shipped_rows"] = self._process_pool.shipped_rows
+            self._process_pool.close()
+            self._process_pool = None
+
+    def __enter__(self) -> "ParallelFixpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # safety net; pools are daemonic anyway
+        try:
+            self.close()
+        except Exception:
+            pass

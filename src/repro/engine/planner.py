@@ -492,10 +492,35 @@ class PlanExecutor:
             view = delta_views.get(step.atom.predicate)
             if view is None or not len(view):
                 continue
-            for substitution in self._run(
-                0, self._initial, interpretation, step.atom_position, delta_views
-            ):
-                yield from self._emit(substitution, interpretation)
+            yield from self.derive_delta(interpretation, step.atom_position, view)
+
+    def derive_delta(
+        self,
+        interpretation: Interpretation,
+        atom_position: int,
+        view: ScanSource,
+    ) -> Iterator[Fact]:
+        """Fire once with the atom at ``atom_position`` restricted to ``view``.
+
+        Every other occurrence of the same predicate joins against the full
+        store.  This is the unit the parallel executor range-partitions: a
+        window ``[a, b)`` of a relation (or of a delta) can be split into
+        disjoint sub-windows and fired independently — the union of the
+        derivations over the sub-windows equals the derivation over the whole
+        window, because every solution goes through exactly one row at the
+        restricted position.
+        """
+        predicate = None
+        for step in self._steps:
+            if isinstance(step, AtomScan) and step.atom_position == atom_position:
+                predicate = step.atom.predicate
+                break
+        if predicate is None:
+            return
+        for substitution in self._run(
+            0, self._initial, interpretation, atom_position, {predicate: view}
+        ):
+            yield from self._emit(substitution, interpretation)
 
     def solutions(self, interpretation: Interpretation) -> Iterator[Substitution]:
         """Yield every substitution satisfying the body of the plan.

@@ -60,7 +60,7 @@ from repro.engine.query import (
     known_predicates,
     output_relation,
 )
-from repro.errors import FixpointNotReached, SessionPoisonedError, ValidationError
+from repro.errors import SessionPoisonedError, ValidationError
 from repro.language.atoms import Atom
 from repro.language.clauses import Program
 from repro.language.parser import parse_program
@@ -185,6 +185,16 @@ class DatalogSession:
         demand-mode queries materialise (and cache) only their slices, and
         the full model is materialised on first need — a non-demand query,
         ``output()`` or direct ``interpretation`` access after an update.
+    workers:
+        When given (and greater than 1), maintenance runs on a
+        :class:`~repro.engine.parallel.ParallelFixpoint` with a pool of
+        that many workers instead of the sequential compiled engine; the
+        resident model is fact-for-fact identical either way.  Call
+        :meth:`close` (or use the session as a context manager) to shut
+        the pool down.
+    parallel_mode:
+        Pool flavour for ``workers``: ``"auto"``, ``"thread"`` or
+        ``"process"`` (see :class:`~repro.engine.parallel.ParallelFixpoint`).
 
     Examples
     --------
@@ -207,12 +217,22 @@ class DatalogSession:
         prepared_cache_size: int = 128,
         demand_cache_size: int = 32,
         lazy: bool = False,
+        workers: Optional[int] = None,
+        parallel_mode: str = "auto",
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
         self.program.validate()
         self.limits = limits
         self._transducers = transducers
-        self._core = CompiledFixpoint(self.program, transducers)
+        if workers is not None and workers > 1:
+            # Imported lazily: parallel.py imports the fixpoint module.
+            from repro.engine.parallel import ParallelFixpoint
+
+            self._core: CompiledFixpoint = ParallelFixpoint(
+                self.program, transducers, workers=workers, mode=parallel_mode
+            )
+        else:
+            self._core = CompiledFixpoint(self.program, transducers)
         self._program_predicates = frozenset(self.program.predicates())
         self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
         self._prepared_cache_size = max(1, prepared_cache_size)
@@ -257,11 +277,17 @@ class DatalogSession:
             )
 
     def _run_maintenance(self) -> None:
-        """Run the core to its fixpoint, poisoning the session on failure."""
+        """Run the core to its fixpoint, poisoning the session on failure.
+
+        *Any* failure poisons: a resource limit (the classic case), but
+        also an executor failure such as a dead parallel worker — either
+        way the run stopped before convergence, so the resident model may
+        be a partial fixpoint and must not keep serving.
+        """
         try:
             self._core.run(self.limits)
-        except FixpointNotReached as error:
-            self._poisoned = str(error)
+        except Exception as error:
+            self._poisoned = f"{type(error).__name__}: {error}"
             raise
         self._materialized = True
 
@@ -462,7 +488,7 @@ class DatalogSession:
     def stats(self) -> Dict[str, object]:
         """Serving diagnostics: model, cache and intern-table growth."""
         interpretation = self._core.interpretation
-        return {
+        stats: Dict[str, object] = {
             "facts": interpretation.fact_count(),
             "base_facts": len(self._base_facts),
             "model_size": interpretation.size(),
@@ -494,6 +520,20 @@ class DatalogSession:
             },
             "intern_table": Sequence.intern_stats(),
         }
+        parallel_stats = getattr(self._core, "parallel_stats", None)
+        if parallel_stats is not None:
+            stats["parallel"] = parallel_stats()
+        return stats
+
+    def close(self) -> None:
+        """Release the evaluation core's resources (parallel worker pools)."""
+        self._core.close()
+
+    def __enter__(self) -> "DatalogSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -14,13 +14,13 @@ accumulating variant for efficiency, which computes the same least fixpoint.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from repro.database.database import SequenceDatabase
 from repro.engine.bindings import TransducerRegistry
 from repro.engine.evaluation import ClauseEvaluator
 from repro.engine.interpretation import Interpretation
-from repro.language.clauses import Clause, Program
+from repro.language.clauses import Program
 
 
 class TOperator:

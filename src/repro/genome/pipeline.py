@@ -16,7 +16,7 @@ that the sequence-only data model cannot express (documented per method).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import compute_least_fixpoint
@@ -24,14 +24,10 @@ from repro.engine.limits import EvaluationLimits
 from repro.engine.query import evaluate_query
 from repro.errors import ValidationError
 from repro.genome.machines import (
-    ACCEPTOR_MARK,
-    DONOR_MARK,
     complement_dna_transducer,
     splice_transducer,
 )
 from repro.genome.programs import (
-    START_CODON,
-    STOP_CODONS,
     orf_program,
     reading_frame_program,
     restriction_site_program,

@@ -15,11 +15,10 @@ base predicates, constructive clauses, transducers mentioned, guardedness).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
-from repro.language.terms import SequenceTerm
 
 
 class Clause:

@@ -64,6 +64,15 @@ class Sequence:
     _lock = threading.Lock()
     #: Total symbols held by the table (grows with every distinct sequence).
     _total_symbols: int = 0
+    # Contention diagnostics for the hot interning path.  Guaranteed-hit
+    # lookups in evaluation inner loops must never touch the lock; these
+    # counters prove it (and surface real contention in serving sessions).
+    # They are plain int attributes bumped without synchronisation: a lost
+    # update under a race skews a diagnostic, never an invariant.
+    _fast_hits: int = 0
+    _lock_acquisitions: int = 0
+    _contended_hits: int = 0
+    _inserts: int = 0
 
     def __new__(cls, symbols: SymbolLike = ""):
         if isinstance(symbols, Sequence):
@@ -76,6 +85,7 @@ class Sequence:
         # entry, once published, is never replaced.
         self = cls._intern_table.get(data)
         if self is None:
+            cls._lock_acquisitions += 1
             with cls._lock:
                 self = cls._intern_table.get(data)
                 if self is None:
@@ -84,9 +94,16 @@ class Sequence:
                     self._id = len(cls._by_id)
                     cls._by_id.append(self)
                     cls._total_symbols += len(data)
+                    cls._inserts += 1
                     # Publish last: a concurrent fast-path reader must never
                     # observe a half-initialised entry.
                     cls._intern_table[data] = self
+                else:
+                    # Another thread inserted between our miss and the lock:
+                    # genuine contention on the same value.
+                    cls._contended_hits += 1
+        else:
+            cls._fast_hits += 1
         return self
 
     def __init__(self, symbols: SymbolLike = ""):
@@ -116,14 +133,30 @@ class Sequence:
 
     @classmethod
     def intern_stats(cls) -> Dict[str, int]:
-        """Growth diagnostics of the process-wide intern table.
+        """Growth and contention diagnostics of the process-wide intern table.
 
         The table only ever grows (sequences are immutable and shared), so a
         long-running serving session should watch these numbers: ``size`` is
         the number of distinct sequences and ``total_symbols`` the sum of
         their lengths — together a proxy for the table's memory footprint.
+
+        The contention counters characterise the interning hot path:
+        ``fast_hits`` are lock-free lookups of already-interned values (the
+        guaranteed-hit case evaluation inner loops must stay on);
+        ``lock_acquisitions`` counts slow-path entries, of which ``inserts``
+        created a new sequence and ``contended_hits`` lost a race to another
+        thread interning the same value (the only genuinely contended case).
+        The counters themselves are updated without synchronisation, so
+        under heavy threading they are near-exact, not exact.
         """
-        return {"size": len(cls._by_id), "total_symbols": cls._total_symbols}
+        return {
+            "size": len(cls._by_id),
+            "total_symbols": cls._total_symbols,
+            "fast_hits": cls._fast_hits,
+            "lock_acquisitions": cls._lock_acquisitions,
+            "contended_hits": cls._contended_hits,
+            "inserts": cls._inserts,
+        }
 
     @classmethod
     def _reset_intern_table_for_tests(cls) -> int:
@@ -140,6 +173,10 @@ class Sequence:
             cls._intern_table.clear()
             cls._by_id.clear()
             cls._total_symbols = 0
+            cls._fast_hits = 0
+            cls._lock_acquisitions = 0
+            cls._contended_hits = 0
+            cls._inserts = 0
             # Keep the module-level EMPTY singleton valid across the reset.
             EMPTY._id = 0
             cls._by_id.append(EMPTY)

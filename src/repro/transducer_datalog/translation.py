@@ -28,7 +28,7 @@ tape and changes nothing else.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence as TypingSequence, Set, Tuple
+from typing import Dict, List, Sequence as TypingSequence, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.language.atoms import Atom, BodyLiteral

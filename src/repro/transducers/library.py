@@ -37,8 +37,7 @@ from repro.transducers.machine import (
     EPSILON_OUTPUT,
     GeneralizedTransducer,
     STAY,
-    Transition,
-)
+    )
 
 
 def _symbols(alphabet: Iterable[str]) -> tuple:

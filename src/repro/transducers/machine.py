@@ -26,7 +26,7 @@ subcalls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence as TypingSequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import TransducerDefinitionError, TransducerRuntimeError
 from repro.sequences import Sequence, as_sequence

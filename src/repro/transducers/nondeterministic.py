@@ -28,7 +28,7 @@ deterministic one (:meth:`NondeterministicTransducer.determinize_trivially`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple, Union
 
 from repro.errors import TransducerDefinitionError, TransducerRuntimeError
 from repro.sequences import Sequence, as_sequence

@@ -12,7 +12,7 @@ produces the two derived views the rest of the library needs:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional
+from typing import Callable, Dict, Iterable, Iterator, Optional
 
 from repro.errors import TransducerError
 from repro.sequences import Sequence

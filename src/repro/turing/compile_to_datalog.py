@@ -40,7 +40,7 @@ from repro.language.terms import (
     IndexedTerm,
     SequenceVariable,
 )
-from repro.turing.machine import LEFT, RIGHT, STAY_PUT, TuringMachine
+from repro.turing.machine import LEFT, STAY_PUT, TuringMachine
 
 
 def _left_var() -> SequenceVariable:

@@ -37,10 +37,9 @@ content):
 from __future__ import annotations
 
 from math import ceil, log2
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import TuringMachineError
-from repro.sequences import Sequence
 from repro.transducers.builder import TransducerBuilder
 from repro.transducers.library import mapping_transducer, square_transducer
 from repro.transducers.machine import (

@@ -12,7 +12,7 @@ The machine model follows the conventions of the Theorem 1 proof:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import TuringMachineError

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
 
-from repro.turing.machine import BLANK, LEFT, LEFT_END, RIGHT, STAY_PUT, TuringMachine
+from repro.turing.machine import BLANK, LEFT_END, RIGHT, STAY_PUT, TuringMachine
 
 TransitionTable = Dict[Tuple[str, str], Tuple[str, str, str]]
 

@@ -11,10 +11,10 @@ is what the benchmark harness feeds to the engine.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence as TypingSequence, Tuple
+from typing import Iterable, List, Optional, Sequence as TypingSequence, Tuple
 
 from repro.database.database import SequenceDatabase
-from repro.sequences.alphabet import Alphabet, DNA_ALPHABET
+from repro.sequences.alphabet import DNA_ALPHABET
 
 
 def _rng(seed: Optional[int]) -> random.Random:

@@ -15,7 +15,6 @@ from repro.analysis import (
 from repro.analysis.safety import require_strongly_safe
 from repro.core import paper_programs
 from repro.errors import SafetyError
-from repro.language.parser import parse_program
 
 
 @pytest.fixture

@@ -4,14 +4,12 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.language.atoms import Atom, Comparison, TrueLiteral, ground_atom
-from repro.language.clauses import Clause, Program, fact, rule
+from repro.language.clauses import Clause, fact
 from repro.language.parser import parse_clause, parse_program
 from repro.language.terms import (
     ConcatTerm,
-    ConstantTerm,
     IndexConstant,
     IndexedTerm,
-    SequenceVariable,
     TransducerTerm,
     constant,
     seq_var,

@@ -16,7 +16,6 @@ from repro.baselines.alignment import (
     LEFT_MARKER,
     RIGHT,
     RIGHT_MARKER,
-    STAY_PUT,
     AlignmentAutomaton,
     AlignmentBuilder,
     AlignmentTransition,

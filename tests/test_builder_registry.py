@@ -5,7 +5,6 @@ import pytest
 from repro.errors import TransducerError
 from repro.sequences import Sequence
 from repro.transducers import CONSUME, TransducerBuilder, TransducerCatalog, library
-from repro.transducers.machine import STAY
 
 
 class TestBuilder:

@@ -5,7 +5,7 @@ import pytest
 from repro.core import paper_programs
 from repro.database import SequenceDatabase
 from repro.engine import compute_least_fixpoint, evaluate_query
-from repro.engine.fixpoint import NAIVE, SEMI_NAIVE, clause_is_delta_safe, compute_both_strategies
+from repro.engine.fixpoint import clause_is_delta_safe, compute_both_strategies
 from repro.errors import EvaluationError
 from repro.language.parser import parse_clause, parse_program
 

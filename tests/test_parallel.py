@@ -1,0 +1,285 @@
+"""Tests for the parallel fixpoint executor (repro.engine.parallel).
+
+The contract under test: whatever the wave schedule, the partitioning and
+the pool backend, the computed model is fact-for-fact identical to the
+sequential compiled strategy's — scheduling only reorders monotone firings,
+and the least fixpoint is unique.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SequenceDatabase, compute_least_fixpoint
+from repro.engine.fixpoint import COMPILED, PARALLEL
+from repro.engine.limits import EvaluationLimits
+from repro.engine.parallel import ParallelFixpoint
+from repro.errors import EvaluationError, FixpointNotReached
+from repro.language.parser import parse_program
+from repro.transducers import TransducerCatalog, library
+
+GENOME = """
+rnaseq(D, R) :- dnaseq(D), transcribe(D, R).
+transcribe("", "") :- true.
+transcribe(D[1:N+1], R ++ T) :- dnaseq(D), transcribe(D[1:N], R), trans(D[N+1], T).
+trans("a", "u") :- true.
+trans("t", "a") :- true.
+trans("c", "g") :- true.
+trans("g", "c") :- true.
+site_at(R, R[N:end]) :- dnaseq(R), R[N:N+5] = "gaattc".
+suffix(X[N:end]) :- dnaseq(X).
+"""
+
+GENOME_DB = {"dnaseq": ["acgaattcgt", "ttacgg", "gaattcaa"]}
+
+RECURSIVE = """
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+"""
+
+EDGE_DB = {"edge": [["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"]]}
+
+
+def _models_equal(program_text, database_dict, **parallel_kwargs):
+    program = parse_program(program_text)
+    database = SequenceDatabase.from_dict(database_dict)
+    compiled = compute_least_fixpoint(program, database, strategy=COMPILED)
+    engine = ParallelFixpoint(program, **parallel_kwargs)
+    try:
+        engine.load_database(database)
+        engine.run()
+        assert engine.interpretation == compiled.interpretation
+    finally:
+        engine.close()
+    return engine
+
+
+class TestBackends:
+    def test_inline_single_worker(self):
+        engine = _models_equal(GENOME, GENOME_DB, workers=1)
+        assert engine.parallel_stats()["inline_waves"] > 0
+
+    def test_thread_pool(self):
+        engine = _models_equal(
+            GENOME, GENOME_DB, workers=3, mode="thread", min_partition_rows=1
+        )
+        stats = engine.parallel_stats()
+        assert stats["thread_waves"] > 0 and stats["process_waves"] == 0
+
+    def test_process_pool(self):
+        engine = _models_equal(
+            GENOME, GENOME_DB, workers=2, mode="process",
+            min_partition_rows=1, process_threshold=0,
+        )
+        stats = engine.parallel_stats()
+        assert stats["process_waves"] > 0
+        assert stats["shipped_rows"] > 0  # replicas were really synced
+
+    def test_auto_mode_small_work_stays_in_process(self):
+        engine = _models_equal(GENOME, GENOME_DB, workers=4)
+        stats = engine.parallel_stats()
+        # Tiny waves must not pay the serialization round-trip.
+        assert stats["process_waves"] == 0
+
+    def test_recursive_program_all_backends(self):
+        for kwargs in (
+            {"workers": 1},
+            {"workers": 3, "mode": "thread", "min_partition_rows": 1},
+            {"workers": 2, "mode": "process", "min_partition_rows": 1},
+        ):
+            _models_equal(RECURSIVE, EDGE_DB, **kwargs)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EvaluationError):
+            ParallelFixpoint(parse_program(RECURSIVE), mode="fleet")
+
+
+class TestStrategySurface:
+    def test_parallel_strategy_matches_compiled(self):
+        program = parse_program(GENOME)
+        database = SequenceDatabase.from_dict(GENOME_DB)
+        compiled = compute_least_fixpoint(program, database, strategy=COMPILED)
+        parallel = compute_least_fixpoint(
+            program, database, strategy=PARALLEL, workers=2
+        )
+        assert parallel.interpretation == compiled.interpretation
+        assert parallel.strategy == PARALLEL
+        assert parallel.fact_count == compiled.fact_count
+        assert parallel.new_facts_per_iteration[-1] == 0
+
+    def test_engine_api_workers_kwarg(self):
+        from repro import SequenceDatalogEngine
+
+        engine = SequenceDatalogEngine(GENOME)
+        compiled = engine.evaluate(GENOME_DB)
+        parallel = engine.evaluate(GENOME_DB, strategy=PARALLEL, workers=2)
+        assert parallel.interpretation == compiled.interpretation
+
+
+class TestWaves:
+    def test_independent_strata_share_a_wave(self):
+        engine = ParallelFixpoint(parse_program(GENOME))
+        try:
+            waves = engine.waves
+            plans = engine.plans
+            heads_by_wave = [
+                {plans[i].head_predicate for i in wave} for wave in waves
+            ]
+            # The four trans facts form the base wave; the independent
+            # transcribe recursion, site scan and suffix enumeration all sit
+            # in one middle wave; rnaseq joins on top.
+            assert heads_by_wave[0] == {"trans"}
+            assert {"transcribe", "site_at", "suffix"} <= heads_by_wave[1]
+            assert "rnaseq" in heads_by_wave[-1]
+        finally:
+            engine.close()
+
+    def test_waves_cover_every_plan_exactly_once(self):
+        engine = ParallelFixpoint(parse_program(GENOME))
+        try:
+            scheduled = [index for wave in engine.waves for index in wave]
+            assert sorted(scheduled) == list(range(len(engine.plans)))
+        finally:
+            engine.close()
+
+
+class TestIncrementalMaintenance:
+    def test_versions_survive_between_runs(self):
+        program = parse_program(RECURSIVE)
+        engine = ParallelFixpoint(
+            program, workers=2, mode="thread", min_partition_rows=1
+        )
+        try:
+            engine.load_database(SequenceDatabase.from_dict(EDGE_DB))
+            engine.run()
+            baseline_sweeps = engine.sweeps
+            engine.add_fact("edge", ("e", "f"))
+            engine.run()
+            # The delta run converges in a handful of extra sweeps instead
+            # of re-deriving from scratch.
+            assert engine.sweeps - baseline_sweeps <= 4
+
+            scratch = compute_least_fixpoint(
+                program,
+                SequenceDatabase.from_dict(
+                    {"edge": EDGE_DB["edge"] + [["e", "f"]]}
+                ),
+            )
+            assert engine.interpretation == scratch.interpretation
+        finally:
+            engine.close()
+
+    def test_session_with_workers_matches_sequential_session(self):
+        from repro.engine.session import DatalogSession
+
+        with DatalogSession(GENOME, GENOME_DB, workers=2) as parallel_session:
+            sequential = DatalogSession(GENOME, GENOME_DB)
+            assert (
+                parallel_session.interpretation == sequential.interpretation
+            )
+            parallel_session.add_facts({"dnaseq": ["ccgaattcc"]})
+            sequential.add_facts({"dnaseq": ["ccgaattcc"]})
+            assert (
+                parallel_session.interpretation == sequential.interpretation
+            )
+            assert "parallel" in parallel_session.stats()
+
+
+class TestLimitsAndErrors:
+    def test_limit_failure_carries_partial(self):
+        program = parse_program('echo(X ++ X) :- echo(X). echo("a") :- true.')
+        engine = ParallelFixpoint(program, workers=2, mode="thread")
+        try:
+            with pytest.raises(FixpointNotReached) as excinfo:
+                engine.run(EvaluationLimits(max_iterations=5))
+            assert excinfo.value.partial is not None
+            assert excinfo.value.partial.fact_count() > 0
+        finally:
+            engine.close()
+
+    def test_sequence_length_limit_enforced_in_process_mode(self):
+        program = parse_program('echo(X ++ X) :- echo(X). echo("ab") :- true.')
+        engine = ParallelFixpoint(
+            program, workers=2, mode="process", min_partition_rows=1
+        )
+        try:
+            with pytest.raises(FixpointNotReached):
+                engine.run(EvaluationLimits(max_sequence_length=16))
+        finally:
+            engine.close()
+
+    def test_transducers_disable_process_mode(self):
+        catalog = TransducerCatalog([library.transcribe_transducer()])
+        program = parse_program("out(@transcribe(X)) :- r(X).")
+        with pytest.raises(EvaluationError):
+            ParallelFixpoint(program, catalog.callables(), mode="process")
+        # auto mode silently uses threads instead.
+        engine = ParallelFixpoint(
+            program, catalog.callables(), workers=2, min_partition_rows=1
+        )
+        try:
+            engine.load_database(SequenceDatabase.from_dict({"r": ["acgt"]}))
+            engine.run()
+            compiled = compute_least_fixpoint(
+                program,
+                SequenceDatabase.from_dict({"r": ["acgt"]}),
+                transducers=catalog.callables(),
+            )
+            assert engine.interpretation == compiled.interpretation
+            assert engine.parallel_stats()["process_waves"] == 0
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent(self):
+        engine = ParallelFixpoint(parse_program(RECURSIVE), workers=2)
+        engine.close()
+        engine.close()
+
+    def test_failed_wave_rolls_back_observations(self):
+        """An executor failure must re-arm the wave's plans: a later run has
+        to re-fire the windows the failed wave never merged."""
+
+        class FlakyParallel(ParallelFixpoint):
+            __slots__ = ("fail_once",)
+
+            def _merge(self, facts, limits, iteration):
+                if self.fail_once:
+                    self.fail_once = False
+                    raise EvaluationError("simulated worker failure")
+                return super()._merge(facts, limits, iteration)
+
+        program = parse_program(RECURSIVE)
+        database = SequenceDatabase.from_dict(EDGE_DB)
+        engine = FlakyParallel(
+            program, workers=2, mode="thread", min_partition_rows=1
+        )
+        engine.fail_once = True
+        try:
+            engine.load_database(database)
+            with pytest.raises(EvaluationError):
+                engine.run()
+            # The failure re-armed the plans; resuming converges exactly.
+            engine.run()
+            compiled = compute_least_fixpoint(program, database)
+            assert engine.interpretation == compiled.interpretation
+        finally:
+            engine.close()
+
+    def test_executor_failure_poisons_session(self, monkeypatch):
+        """A non-limit maintenance failure (e.g. a dead worker) must poison
+        the session: the model may be a partial fixpoint."""
+        from repro.engine.session import DatalogSession
+        from repro.errors import SessionPoisonedError
+
+        with DatalogSession(
+            RECURSIVE, EDGE_DB, workers=2, parallel_mode="thread"
+        ) as session:
+            def dead_pool_sweep(self, limits, iteration):
+                raise EvaluationError("a parallel fixpoint worker process died")
+
+            monkeypatch.setattr(ParallelFixpoint, "_sweep", dead_pool_sweep)
+            with pytest.raises(EvaluationError):
+                session.add_facts({"edge": [("e", "f")]})
+            assert session.poisoned
+            with pytest.raises(SessionPoisonedError):
+                session.query("reach(X, Y)")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import paper_programs
 from repro.errors import ParseError
-from repro.language.atoms import Atom, Comparison
+from repro.language.atoms import Atom
 from repro.language.parser import parse_atom, parse_clause, parse_program, parse_term
 from repro.language.terms import (
     ConcatTerm,

@@ -245,6 +245,74 @@ def test_compiled_strategy_matches_naive_on_repeat_workloads(seed):
 
 
 # ----------------------------------------------------------------------
+# Parallel evaluation agrees with the sequential compiled strategy: wave
+# scheduling and range partitioning only reorder monotone firings, so the
+# least fixpoint (which is unique) must come out fact-for-fact identical.
+# ----------------------------------------------------------------------
+@SLOW
+@given(
+    st.lists(
+        st.sampled_from(_CLAUSE_TEMPLATES), min_size=1, max_size=4, unique=True
+    ),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+)
+def test_parallel_strategy_matches_compiled_on_random_programs(
+    templates, seed, count, length
+):
+    from repro.engine.parallel import ParallelFixpoint
+
+    sources = []
+    for source in templates:
+        try:
+            parse_program("".join(sources + [source])).signatures()
+        except Exception:
+            continue  # arity clash between templates (p/1 vs p/2): drop it
+        sources.append(source)
+    program = parse_program("".join(sources))
+    database = string_database(count, length, alphabet="ab", seed=seed)
+    compiled = compute_least_fixpoint(
+        program, database, limits=_EQUIVALENCE_LIMITS, strategy=COMPILED
+    )
+    # Thread backend with aggressive partitioning exercises the concurrent
+    # merge barrier on every example; hypothesis drives the program shapes.
+    engine = ParallelFixpoint(
+        program, workers=3, mode="thread", min_partition_rows=1
+    )
+    try:
+        engine.load_database(database)
+        engine.run(_EQUIVALENCE_LIMITS)
+        assert engine.interpretation == compiled.interpretation
+    finally:
+        engine.close()
+
+
+def test_parallel_process_pool_matches_compiled_on_sampled_programs():
+    """A non-hypothesis spot check of the process pool (worker startup is
+    too slow to fork per hypothesis example) over mixed clause shapes."""
+    from repro.engine.parallel import ParallelFixpoint
+
+    compatible = _CLAUSE_TEMPLATES[:3] + _CLAUSE_TEMPLATES[4:9]  # all p/1, q/1
+    program = parse_program("".join(compatible))
+    for seed in (1, 99, 4242):
+        database = string_database(3, 3, alphabet="ab", seed=seed)
+        compiled = compute_least_fixpoint(
+            program, database, limits=_EQUIVALENCE_LIMITS, strategy=COMPILED
+        )
+        engine = ParallelFixpoint(
+            program, workers=2, mode="process",
+            min_partition_rows=1, process_threshold=0,
+        )
+        try:
+            engine.load_database(database)
+            engine.run(_EQUIVALENCE_LIMITS)
+            assert engine.interpretation == compiled.interpretation
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
 # Demand-driven evaluation agrees with full materialisation
 # ----------------------------------------------------------------------
 @SLOW

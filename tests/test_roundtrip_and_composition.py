@@ -25,7 +25,7 @@ from repro.genome.programs import (
     reverse_complement_program,
 )
 from repro.language.atoms import Atom, Comparison
-from repro.language.clauses import Clause, Program
+from repro.language.clauses import Clause
 from repro.language.parser import parse_clause, parse_program
 from repro.language.terms import (
     ConcatTerm,

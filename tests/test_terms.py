@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ValidationError
 from repro.language.terms import (
     ConcatTerm,
-    ConstantTerm,
     End,
     IndexConstant,
     IndexSum,
@@ -14,7 +13,6 @@ from repro.language.terms import (
     SequenceVariable,
     TransducerTerm,
     constant,
-    index_var,
     seq_var,
 )
 

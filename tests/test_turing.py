@@ -10,7 +10,7 @@ from repro.errors import TuringMachineError
 from repro.turing import TuringMachine, machines
 from repro.turing.compile_to_datalog import compile_tm_to_sequence_datalog, strip_blanks
 from repro.turing.compile_to_network import compile_tm_to_network
-from repro.turing.machine import BLANK, LEFT, LEFT_END, RIGHT, STAY_PUT
+from repro.turing.machine import LEFT, LEFT_END, RIGHT
 
 TM_LIMITS = EvaluationLimits(
     max_iterations=400, max_facts=100_000, max_domain_size=100_000,

@@ -1,0 +1,346 @@
+"""Versioned-API benchmark: remote latency, TCP throughput, paged memory.
+
+Measures the three serving claims of :mod:`repro.api` and emits a JSON
+record:
+
+* **latency** — per-query wall-clock of a remote
+  :class:`~repro.api.client.DatalogClient` over live TCP vs the same
+  warm-cache query in-process on the shared
+  :class:`~repro.engine.server.DatalogServer` backend.  The ratio is the
+  pure wire overhead (framing + JSON codecs + loopback round-trip).
+* **tcp_serving** — aggregate query throughput under 1 vs 8 concurrent
+  TCP clients (own connections, overlapping genome workloads) against a
+  cold server.  The backend executes each distinct (generation, pattern)
+  once and serves the rest from the result cache, so aggregate throughput
+  must scale ≥4x with 8 clients (asserted in full runs, recorded in
+  smoke).
+* **paging** — client peak memory reassembling a large result
+  monolithically (``client.query``) vs streaming it page-by-page
+  (``client.query_iter``).  Paged consumption must stay strictly below
+  the monolithic peak (asserted always): the wire and the client hold one
+  page at a time, which is the bounded-memory contract for million-row
+  answers.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_api.py            # JSON on stdout
+    PYTHONPATH=src python benchmarks/bench_api.py --smoke    # tiny + shape check
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_demand import GENOME_PROGRAM  # noqa: E402  (same workload family)
+
+from repro import (  # noqa: E402
+    DatalogClient,
+    DatalogServer,
+    EvaluationLimits,
+    SequenceDatabase,
+    serve_tcp,
+)
+from repro.workloads import random_dna  # noqa: E402
+
+LIMITS = EvaluationLimits(
+    max_iterations=2_000, max_facts=5_000_000, max_domain_size=2_000_000,
+    max_sequence_length=4_000,
+)
+
+SUFFIX_PROGRAM = "suffix(X[N:end]) :- r(X)."
+
+
+def genome_database(strands, strand_length):
+    dna = [random_dna(strand_length, seed=900 + i) for i in range(strands)]
+    return dna, SequenceDatabase.from_dict({"dnaseq": dna})
+
+
+# ----------------------------------------------------------------------
+# Latency: remote vs in-process on one shared warm backend
+# ----------------------------------------------------------------------
+def bench_latency(smoke=False):
+    strands, length, queries = (3, 8, 40) if smoke else (8, 12, 300)
+    dna, database = genome_database(strands, length)
+    pattern = f'rnaseq("{dna[0]}", R)'
+    backend = DatalogServer(GENOME_PROGRAM, database, limits=LIMITS)
+    try:
+        with serve_tcp(backend, port=0) as transport:
+            backend.query(pattern)  # warm the result cache for both sides
+
+            started = time.perf_counter()
+            for _ in range(queries):
+                backend.query(pattern)
+            inprocess_seconds = time.perf_counter() - started
+
+            with DatalogClient(*transport.address) as client:
+                client.query(pattern)  # warm the connection
+                started = time.perf_counter()
+                for _ in range(queries):
+                    client.query(pattern)
+                remote_seconds = time.perf_counter() - started
+    finally:
+        backend.close()
+    return [{
+        "case": "latency-warm-query",
+        "kind": "latency",
+        "queries": queries,
+        "inprocess_seconds": round(inprocess_seconds, 6),
+        "remote_seconds": round(remote_seconds, 6),
+        "remote_microseconds_per_query": round(1e6 * remote_seconds / queries, 1),
+        "remote_over_inprocess": round(
+            remote_seconds / max(inprocess_seconds, 1e-9), 1
+        ),
+    }]
+
+
+# ----------------------------------------------------------------------
+# Throughput: aggregate TCP clients against a cold server
+# ----------------------------------------------------------------------
+def _client_workload(dna, repeats):
+    """Overlapping read mix: selective per-strand queries, whole-relation
+    analytics, and one expensive indexed-term pattern (prefix enumeration:
+    costly to execute, small to ship), repeated — clients re-ask the same
+    things, so the server executes each distinct pattern once per
+    generation and the rest of the aggregate load is cache hits."""
+    patterns = [f'rnaseq("{strand}", R)' for strand in dna[:6]]
+    patterns += [
+        "rnaseq(D, R)",
+        "revcomp(X, Y)",
+        "bisulfite(D, B)",
+        "site_at(R, S)",
+        "dnasuffix(X, S)",
+        "dnasuffix(X[1:N], S)",
+    ]
+    return patterns * repeats
+
+
+def _measure_tcp_clients(database, workload, clients):
+    """Aggregate seconds for ``clients`` TCP connections each running
+    ``workload`` against a cold server (fresh result cache)."""
+    with serve_tcp(GENOME_PROGRAM, database, port=0, limits=LIMITS) as transport:
+        host, port = transport.address
+        barrier = threading.Barrier(clients + 1)
+        errors = []
+
+        def run_client():
+            try:
+                with DatalogClient(host, port) as client:
+                    barrier.wait()
+                    for pattern in workload:
+                        client.query(pattern)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run_client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        stats = transport.backend.stats()["server"]
+        return elapsed, stats
+
+
+def bench_tcp_serving(smoke=False):
+    if smoke:
+        strands, length, repeats, many = 3, 6, 2, 4
+    else:
+        strands, length, repeats, many = 16, 14, 2, 8
+    dna, database = genome_database(strands, length)
+    workload = _client_workload(dna, repeats)
+    cases = []
+    throughput = {}
+    for clients in (1, many):
+        seconds, stats = _measure_tcp_clients(database, workload, clients)
+        queries = clients * len(workload)
+        qps = queries / max(seconds, 1e-9)
+        throughput[clients] = qps
+        cases.append({
+            "case": f"tcp-serving-{clients}-clients",
+            "kind": "tcp_serving",
+            "clients": clients,
+            "queries": queries,
+            "seconds": round(seconds, 4),
+            "throughput_qps": round(qps, 1),
+            "cache_hits": stats["result_cache"]["hits"],
+        })
+    cases.append({
+        "case": "tcp-aggregate-speedup",
+        "kind": "tcp_serving_speedup",
+        "clients": many,
+        "speedup_vs_single_client": round(throughput[many] / throughput[1], 2),
+    })
+    return cases
+
+
+# ----------------------------------------------------------------------
+# Paging: monolithic reassembly vs streamed cursor pages
+# ----------------------------------------------------------------------
+def bench_paging(smoke=False):
+    length, page_size = (400, 50) if smoke else (2000, 50)
+    strand = random_dna(length, seed=990)
+    limits = EvaluationLimits(
+        max_iterations=10_000, max_facts=5_000_000, max_domain_size=5_000_000,
+        max_sequence_length=max(4_000, length + 1),
+    )
+    with serve_tcp(SUFFIX_PROGRAM, {"r": [strand]}, port=0, limits=limits) as transport:
+        with DatalogClient(*transport.address) as client:
+            client.query("r(X)")  # settle connection buffers before measuring
+
+            tracemalloc.start()
+            monolithic = client.query("suffix(X)")
+            _, monolithic_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            rows = len(monolithic.rows)
+            del monolithic
+
+            tracemalloc.start()
+            streamed_rows = 0
+            for _ in client.query_iter("suffix(X)", page_size=page_size):
+                streamed_rows += 1
+            _, paged_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+    assert streamed_rows == rows, "paged stream lost rows"
+    bounded = paged_peak < monolithic_peak
+    assert bounded, (
+        f"paged peak {paged_peak} bytes must stay below monolithic "
+        f"{monolithic_peak} bytes"
+    )
+    return [{
+        "case": "paged-vs-monolithic",
+        "kind": "paging",
+        "rows": rows,
+        "page_size": page_size,
+        "monolithic_peak_kb": round(monolithic_peak / 1024, 1),
+        "paged_peak_kb": round(paged_peak / 1024, 1),
+        "memory_ratio": round(monolithic_peak / max(paged_peak, 1), 1),
+        "bounded_memory": bounded,
+    }]
+
+
+# ----------------------------------------------------------------------
+# Report assembly and validation
+# ----------------------------------------------------------------------
+def run_benchmarks(smoke=False):
+    cases = bench_latency(smoke) + bench_tcp_serving(smoke) + bench_paging(smoke)
+    report = {
+        "benchmark": "api",
+        "unit": "seconds",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count() or 1,
+        "cases": cases,
+    }
+    validate_report(report)
+    if not smoke:
+        for case in cases:
+            if case["kind"] == "tcp_serving_speedup":
+                case["asserted"] = True
+                assert case["speedup_vs_single_client"] >= 4.0, (
+                    "expected >=4x aggregate TCP throughput with "
+                    f"{case['clients']} clients, got "
+                    f"{case['speedup_vs_single_client']}x"
+                )
+    return report
+
+
+_CASE_SHAPES = {
+    "latency": {
+        "queries": int,
+        "inprocess_seconds": float,
+        "remote_seconds": float,
+        "remote_microseconds_per_query": float,
+        "remote_over_inprocess": float,
+    },
+    "tcp_serving": {
+        "clients": int,
+        "queries": int,
+        "seconds": float,
+        "throughput_qps": float,
+        "cache_hits": int,
+    },
+    "tcp_serving_speedup": {
+        "clients": int,
+        "speedup_vs_single_client": float,
+    },
+    "paging": {
+        "rows": int,
+        "page_size": int,
+        "monolithic_peak_kb": float,
+        "paged_peak_kb": float,
+        "memory_ratio": float,
+        "bounded_memory": bool,
+    },
+}
+
+
+def validate_report(report):
+    """Check the JSON output shape (used by scripts/check.sh --smoke runs)."""
+    assert report["benchmark"] == "api" and report["unit"] == "seconds"
+    assert isinstance(report["cpu_count"], int) and report["cpu_count"] >= 1
+    assert isinstance(report["cases"], list) and report["cases"]
+    kinds = set()
+    for case in report["cases"]:
+        assert isinstance(case.get("case"), str), "benchmark case missing 'case'"
+        kind = case.get("kind")
+        assert kind in _CASE_SHAPES, f"unknown benchmark case kind {kind!r}"
+        kinds.add(kind)
+        for key, expected in _CASE_SHAPES[kind].items():
+            assert key in case, f"{case['case']}: missing key {key!r}"
+            value = case[key]
+            if expected is float:
+                assert isinstance(value, (int, float)), (
+                    f"{case['case']}: key {key!r} should be numeric, got "
+                    f"{type(value).__name__}"
+                )
+            else:
+                assert isinstance(value, expected), (
+                    f"{case['case']}: key {key!r} should be "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+    assert kinds == set(_CASE_SHAPES), f"missing case kinds: {set(_CASE_SHAPES) - kinds}"
+    for case in report["cases"]:
+        if case["kind"] == "paging":
+            assert case["bounded_memory"], f"{case['case']}: memory not bounded"
+    json.dumps(report)  # must be serialisable as-is
+
+
+def test_api_benchmark(benchmark):
+    report = run_benchmarks(smoke=True)
+    print()
+    print(json.dumps(report, indent=2))
+    _, database = genome_database(3, 6)
+
+    def query_remote():
+        with serve_tcp(GENOME_PROGRAM, database, port=0, limits=LIMITS) as transport:
+            with DatalogClient(*transport.address) as client:
+                client.query("rnaseq(D, R)")
+
+    benchmark.pedantic(query_remote, rounds=3, iterations=1)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: validate behaviour and JSON shape, skip the "
+        "throughput assertion",
+    )
+    args = parser.parse_args(argv)
+    print(json.dumps(run_benchmarks(smoke=args.smoke), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

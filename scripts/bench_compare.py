@@ -136,6 +136,21 @@ POLICIES = {
             "speedup_demand_vs_full": {"min": 0.02},
         },
     },
+    "api": {
+        "command": ["benchmarks/bench_api.py", "--smoke"],
+        # Deterministic teeth: the paged row count and page size derive
+        # only from the workload, and paged memory must stay bounded.
+        "exact_case_keys": [
+            "case", "kind", "clients", "queries", "rows", "page_size",
+            "bounded_memory",
+        ],
+        "bounded_case_keys": {
+            "speedup_vs_single_client": {"min": 0.2},
+            "throughput_qps": {"min": 1.0},
+            "memory_ratio": {"min": 1.0},
+            "remote_microseconds_per_query": {"max": 200_000.0},
+        },
+    },
     "parallel": {
         "command": ["benchmarks/bench_parallel.py", "--smoke"],
         # ``workers`` and the timing fields vary with the host; the

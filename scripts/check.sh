@@ -8,7 +8,11 @@
 #      when ruff is not installed — CI always installs it);
 #   2. tier-1 pytest;
 #   3. bench_demand --smoke  + shape validation (validate_report);
-#   4. bench_parallel --smoke + shape validation (validate_report).
+#   4. bench_parallel --smoke + shape validation (validate_report);
+#   5. bench_api --smoke + shape validation (validate_report);
+#   6. end-to-end TCP smoke: bind a live server on a free port, drive it
+#      with a real DatalogClient and a raw socket, validate the versioned
+#      JSON envelopes (schema v1, typed results, structured errors).
 #
 # Baseline regression comparison lives in scripts/bench_compare.py and runs
 # as its own CI job.
@@ -62,6 +66,57 @@ for case in report["cases"]:
     if case["kind"] == "fixpoint":
         assert case["identical"], f"{case['case']}: parallel model differs"
 print(f"ok: {len(report['cases'])} cases, shape valid, models identical")
+EOF
+
+echo "== benchmark smoke (bench_api --smoke) =="
+python benchmarks/bench_api.py --smoke > /tmp/bench_api_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_api import validate_report
+
+with open("/tmp/bench_api_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+print(f"ok: {len(report['cases'])} cases, shape valid, paged memory bounded")
+EOF
+
+echo "== end-to-end TCP smoke (serve_tcp + DatalogClient) =="
+python - <<'EOF'
+import json
+
+from repro import DatalogClient, serve_tcp
+from repro.api.protocol import recv_json, send_json
+import socket
+
+with serve_tcp("suffix(X[N:end]) :- r(X).", {"r": ["acgt"]}, port=0) as server:
+    host, port = server.address
+    # 1. The typed client: query, maintain, stream, stats.
+    with DatalogClient(host, port) as client:
+        assert client.server_versions == (1,), client.server_versions
+        page = client.query("suffix(X)")
+        assert page.texts() == [("",), ("acgt",), ("cgt",), ("gt",), ("t",)]
+        report = client.add_fact("r", "gg")
+        assert report.base_facts_added == 1 and report.generation == 1
+        streamed = sorted(client.query_iter("suffix(X)", page_size=2))
+        assert ("gg",) in streamed and len(streamed) == 7
+        assert client.stats().generation == 1
+    # 2. Raw socket: validate the wire JSON shape end to end.
+    with socket.create_connection((host, port), timeout=10) as raw:
+        reader, writer = raw.makefile("rb"), raw.makefile("wb")
+        send_json(writer, {"v": 1, "op": "query", "pattern": "r(X)"})
+        reply = recv_json(reader)
+        assert reply["v"] == 1 and reply["ok"] is True
+        assert reply["kind"] == "query_result" and reply["complete"] is True
+        assert sorted(reply["rows"]) == [["acgt"], ["gg"]], reply["rows"]
+        send_json(writer, {"v": 99, "op": "ping"})
+        reply = recv_json(reader)
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "unsupported_version"
+        assert reply["error"]["details"]["supported"] == [1]
+print("ok: TCP round trip, streaming, maintenance and error envelopes valid")
 EOF
 
 echo "== all checks passed =="

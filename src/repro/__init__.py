@@ -17,6 +17,19 @@ Quickstart
 ['', 'abc', 'bc', 'c']
 """
 
+from repro.api.client import DatalogClient
+from repro.api.service import DatalogService
+from repro.api.transport import DatalogTCPServer, serve_tcp
+from repro.api.types import (
+    SCHEMA_VERSION,
+    AddFactsRequest,
+    ApiError,
+    BatchRequest,
+    ExplainRequest,
+    QueryRequest,
+    QueryResultPage,
+    ServerStats,
+)
 from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
 from repro.engine.demand import DemandQuery, compile_demand, demand_query
@@ -32,11 +45,22 @@ from repro.transducer_datalog.program import TransducerDatalogProgram
 from repro.transducer_datalog.translation import translate_to_sequence_datalog
 from repro.transducers.registry import TransducerCatalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AddFactsRequest",
+    "ApiError",
+    "BatchRequest",
+    "DatalogClient",
     "DatalogServer",
+    "DatalogService",
     "DatalogSession",
+    "DatalogTCPServer",
+    "ExplainRequest",
+    "QueryRequest",
+    "QueryResultPage",
+    "SCHEMA_VERSION",
+    "ServerStats",
     "DemandQuery",
     "EvaluationLimits",
     "FixpointResult",
@@ -55,6 +79,7 @@ __all__ = [
     "parse_atom",
     "parse_clause",
     "parse_program",
+    "serve_tcp",
     "translate_to_sequence_datalog",
     "__version__",
 ]

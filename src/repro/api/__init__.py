@@ -1,0 +1,87 @@
+"""The versioned public API of the Datalog service.
+
+This package is the single wire-stable surface over the serving engine:
+
+* :mod:`repro.api.types` — frozen request/response dataclasses, stable
+  error codes, JSON codecs and schema-version negotiation (``"v": 1``);
+* :mod:`repro.api.service` — typed dispatch over a
+  :class:`~repro.engine.server.DatalogServer` /
+  :class:`~repro.engine.session.DatalogSession` backend, with cursor-based
+  pagination and exception-to-:class:`ApiError` mapping;
+* :mod:`repro.api.protocol` — length-prefixed newline-JSON framing;
+* :mod:`repro.api.transport` — the threading TCP server
+  (``repro serve program.sdl --tcp :4321``);
+* :mod:`repro.api.client` — the blocking :class:`DatalogClient` with
+  streaming cursors and retries (``repro client :4321``).
+
+Everything older (``engine_api`` returns, ``DatalogSession`` /
+``DatalogServer`` methods, the CLI's free-text serve loop) keeps working,
+but new integrations should speak these types: they are the compatibility
+contract future transports (async clients, sharding, replicas) will honour.
+"""
+
+from repro.api.client import DatalogClient
+from repro.api.protocol import MAX_FRAME_BYTES, read_frame, recv_json, send_json, write_frame
+from repro.api.service import DatalogService
+from repro.api.transport import DatalogTCPServer, parse_address, serve_tcp
+from repro.api.types import (
+    AddFactsRequest,
+    AddFactsResponse,
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    ClosedResponse,
+    CloseCursorRequest,
+    ErrorCode,
+    ExplainRequest,
+    ExplainResponse,
+    FetchRequest,
+    PingRequest,
+    PongResponse,
+    QueryRequest,
+    QueryResultPage,
+    SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    ServerStats,
+    StatsRequest,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+__all__ = [
+    "AddFactsRequest",
+    "AddFactsResponse",
+    "ApiError",
+    "BatchRequest",
+    "BatchResponse",
+    "CloseCursorRequest",
+    "ClosedResponse",
+    "DatalogClient",
+    "DatalogService",
+    "DatalogTCPServer",
+    "ErrorCode",
+    "ExplainRequest",
+    "ExplainResponse",
+    "FetchRequest",
+    "MAX_FRAME_BYTES",
+    "PingRequest",
+    "PongResponse",
+    "QueryRequest",
+    "QueryResultPage",
+    "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ServerStats",
+    "StatsRequest",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "parse_address",
+    "read_frame",
+    "recv_json",
+    "send_json",
+    "serve_tcp",
+    "write_frame",
+]

@@ -1,0 +1,362 @@
+"""A blocking client for the versioned TCP API.
+
+:class:`DatalogClient` speaks the length-prefixed newline-JSON protocol of
+:mod:`repro.api.protocol` and exposes the typed surface of
+:mod:`repro.api.types`::
+
+    with DatalogClient("127.0.0.1", 4321) as client:
+        page = client.query('suffix("abc", X)')        # reassembled result
+        for row in client.query_iter("suffix(D, X)"):  # constant-memory stream
+            ...
+        client.add_fact("r", "acgt")
+
+Failure behaviour:
+
+* **Typed errors.**  An error reply re-raises the library exception its
+  code names (``UnknownPredicateError``, ``ParseError`` with location,
+  ``SessionPoisonedError``, ...) — remote callers catch exactly what
+  in-process callers catch.  Codes without a library exception raise
+  :class:`~repro.errors.RemoteApiError`.
+* **Retries.**  Connection-level failures (refused, reset, timed out,
+  broken frame) are retried with a fresh connection up to ``retries``
+  times.  Every request on this API is safe to retry: reads are
+  snapshot-pinned and ``add_facts`` is monotone set insertion, so a replay
+  is absorbed (the server publishes no new generation for already-present
+  facts).  Mid-stream cursor fetches are the exception — a cursor dies
+  with its connection — so :meth:`query_iter` surfaces the failure instead
+  of silently restarting the stream.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.api.protocol import MAX_FRAME_BYTES, recv_json, send_json
+from repro.api.types import (
+    AddFactsRequest,
+    AddFactsResponse,
+    ApiError,
+    ApiRequest,
+    ApiResponse,
+    BatchRequest,
+    BatchResponse,
+    CloseCursorRequest,
+    ExplainRequest,
+    ExplainResponse,
+    FetchRequest,
+    PingRequest,
+    PongResponse,
+    QueryRequest,
+    QueryResultPage,
+    SCHEMA_VERSION,
+    ServerStats,
+    StatsRequest,
+    decode_response,
+    encode_request,
+)
+from repro.engine.session import FactsLike, _iter_facts
+from repro.errors import ProtocolError
+from repro.sequences import Sequence
+
+
+def _normalize_facts(facts: FactsLike) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """Client-side normalisation to the wire shape, with typed rejections."""
+    normalized = []
+    for predicate, values in _iter_facts(facts):
+        normalized.append(
+            (
+                predicate,
+                tuple(
+                    value.text if isinstance(value, Sequence) else str(value)
+                    for value in values
+                ),
+            )
+        )
+    return tuple(normalized)
+
+
+class DatalogClient:
+    """A blocking, reconnecting client for one API server.
+
+    Parameters
+    ----------
+    host, port:
+        The server address (``DatalogTCPServer.address``).
+    timeout:
+        Socket timeout in seconds for connects and replies.
+    retries:
+        Extra attempts (each on a fresh connection) after a
+        connection-level failure; engine errors are never retried.
+    retry_backoff_seconds:
+        Sleep between attempts, doubled each time.
+    page_size:
+        Default page size for :meth:`query_iter` streams (the server clamps
+        it to its own cap either way).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4321,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        page_size: int = 1024,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.page_size = max(1, page_size)
+        self.max_frame_bytes = max_frame_bytes
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
+        self._writer = None
+        self.server_versions: Tuple[int, ...] = ()
+        self.server_version: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "DatalogClient":
+        """Connect and negotiate the schema version (idempotent)."""
+        if self._socket is None:
+            self._open()
+            pong = self.ping()
+            if SCHEMA_VERSION not in pong.versions:
+                versions = ", ".join(map(str, pong.versions)) or "none"
+                self.close()
+                raise ProtocolError(
+                    f"server speaks schema versions [{versions}], "
+                    f"this client needs v{SCHEMA_VERSION}"
+                )
+        return self
+
+    def _open(self) -> None:
+        self._socket = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        # Frames are small and latency-bound: Nagle + delayed ACK would
+        # add ~40ms per round trip.
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._socket.makefile("rb")
+        self._writer = self._socket.makefile("wb")
+
+    def close(self) -> None:
+        for stream in (self._reader, self._writer):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+        self._socket = None
+        self._reader = None
+        self._writer = None
+
+    def __enter__(self) -> "DatalogClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._socket is not None
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _roundtrip(self, request: ApiRequest) -> Union[ApiResponse, ApiError]:
+        if self._socket is None:
+            self._open()
+        send_json(self._writer, encode_request(request), self.max_frame_bytes)
+        message = recv_json(self._reader, self.max_frame_bytes)
+        if message is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return decode_response(message)
+
+    def _request(self, request: ApiRequest, retryable: bool = True) -> ApiResponse:
+        attempts = (self.retries if retryable else 0) + 1
+        backoff = self.retry_backoff_seconds
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(backoff)
+                backoff *= 2
+            try:
+                response = self._roundtrip(request)
+            except (OSError, ProtocolError) as error:
+                # The connection is in an unknown state: drop it so the
+                # next attempt (or the next call) starts fresh.
+                self.close()
+                last_error = error
+                continue
+            if isinstance(response, ApiError):
+                response.raise_()
+            return response
+        assert last_error is not None
+        raise last_error
+
+    def _expect(self, request: ApiRequest, response_type, retryable: bool = True):
+        response = self._request(request, retryable=retryable)
+        if not isinstance(response, response_type):
+            raise ProtocolError(
+                f"expected a {response_type.kind} reply to {request.op!r}, "
+                f"got {type(response).__name__}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Typed operations
+    # ------------------------------------------------------------------
+    def ping(self) -> PongResponse:
+        pong = self._expect(PingRequest(), PongResponse)
+        self.server_versions = pong.versions
+        self.server_version = pong.server_version
+        return pong
+
+    def query_pages(
+        self,
+        pattern: str,
+        strict: bool = False,
+        page_size: Optional[int] = None,
+        include_witnesses: bool = False,
+    ) -> Iterator[QueryResultPage]:
+        """Yield a result's pages as the server-side cursor is followed.
+
+        The one cursor-follow loop every higher-level call shares.  Cursor
+        fetches are never silently retried on a new connection — the
+        cursor died with the old one — so a mid-stream connection failure
+        surfaces instead of restarting the stream on different data.
+        """
+        request = QueryRequest(
+            pattern=pattern,
+            strict=strict,
+            page_size=page_size,
+            include_witnesses=include_witnesses,
+        )
+        page = self._expect(request, QueryResultPage)
+        yield page
+        while not page.complete:
+            if page.cursor is None:
+                raise ProtocolError("incomplete page arrived without a cursor")
+            page = self._expect(
+                FetchRequest(cursor=page.cursor), QueryResultPage, retryable=False
+            )
+            yield page
+
+    def query(
+        self,
+        pattern: str,
+        strict: bool = False,
+        witnesses: bool = False,
+        page_size: Optional[int] = None,
+    ) -> QueryResultPage:
+        """Answer one pattern, reassembling every page into one result.
+
+        The server still pages the wire transfer (its clamp applies even
+        with ``page_size=None``), so a huge answer arrives frame by frame;
+        only the client materialises the whole thing.  Use
+        :meth:`query_iter` to stay constant-memory end to end.
+        """
+        pages = list(
+            self.query_pages(
+                pattern, strict=strict, page_size=page_size,
+                include_witnesses=witnesses,
+            )
+        )
+        return QueryResultPage.merge(pages) if len(pages) > 1 else pages[0]
+
+    def query_iter(
+        self,
+        pattern: str,
+        strict: bool = False,
+        page_size: Optional[int] = None,
+    ) -> Iterator[Tuple[str, ...]]:
+        """Stream a result's rows page by page (constant client memory).
+
+        The stream is pinned to the snapshot the first page was answered
+        from: maintenance applied mid-stream does not change what this
+        iterator yields.  Closing the generator early releases the
+        server-side cursor.
+        """
+        page = None
+        try:
+            for page in self.query_pages(
+                pattern, strict=strict,
+                page_size=page_size if page_size is not None else self.page_size,
+            ):
+                for row in page.rows:
+                    yield tuple(row)
+        finally:
+            if (
+                page is not None and not page.complete
+                and page.cursor is not None and self.connected
+            ):
+                try:
+                    self._request(
+                        CloseCursorRequest(cursor=page.cursor), retryable=False
+                    )
+                except Exception:
+                    pass  # best-effort cleanup of an abandoned stream
+
+    def query_batch(
+        self, patterns: Iterable[str], strict: bool = False
+    ) -> List[QueryResultPage]:
+        """Answer many patterns against one consistent server snapshot."""
+        request = BatchRequest(patterns=tuple(patterns), strict=strict)
+        response = self._expect(request, BatchResponse)
+        return [self._finish_pages(page) for page in response.results]
+
+    def _finish_pages(self, first: QueryResultPage) -> QueryResultPage:
+        pages = [first]
+        while not pages[-1].complete and pages[-1].cursor is not None:
+            pages.append(
+                self._expect(
+                    FetchRequest(cursor=pages[-1].cursor), QueryResultPage,
+                    retryable=False,
+                )
+            )
+        return QueryResultPage.merge(pages) if len(pages) > 1 else first
+
+    def add_facts(self, facts: FactsLike) -> AddFactsResponse:
+        """Insert base facts; returns the typed maintenance report.
+
+        Safe to retry: insertion is monotone, so a replayed batch changes
+        nothing and publishes no new generation.
+        """
+        return self._expect(
+            AddFactsRequest(facts=_normalize_facts(facts)), AddFactsResponse
+        )
+
+    def add_fact(self, predicate: str, *values: str) -> AddFactsResponse:
+        return self.add_facts([(predicate, values)])
+
+    def stats(self) -> ServerStats:
+        return self._expect(StatsRequest(), ServerStats)
+
+    def explain(self) -> str:
+        return self._expect(ExplainRequest(), ExplainResponse).text
+
+    def raw_request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw wire object and return the raw reply (diagnostics)."""
+        if self._socket is None:
+            self._open()
+        send_json(self._writer, message, self.max_frame_bytes)
+        reply = recv_json(self._reader, self.max_frame_bytes)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return reply
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"DatalogClient({self.host}:{self.port}, {state})"

@@ -1,0 +1,112 @@
+"""Length-prefixed newline-JSON framing for the versioned API.
+
+One frame is::
+
+    <decimal byte length of payload>\\n
+    <payload: UTF-8 JSON object, no embedded newlines>\\n
+
+The explicit length makes reads exact (no scanning for a terminator inside
+the payload, no ambiguity about sequences containing ``\\n``), while the
+trailing newline keeps the stream greppable and lets ``nc``/telnet users
+eyeball it.  Frames are capped (:data:`MAX_FRAME_BYTES` by default) so a
+misbehaving peer cannot force an unbounded allocation; the serving layer
+stays under the cap by paginating large results instead of growing frames.
+
+Anything that violates the framing raises
+:class:`~repro.errors.ProtocolError`; the connection is unusable after that
+(the stream position is unknown) and must be closed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO, Dict, Optional
+
+from repro.errors import ProtocolError
+
+#: Upper bound on one frame's payload.  64 MiB is far above anything the
+#: paginating server emits (a page of 10k rows of 1 KiB sequences is ~10
+#: MiB) while still bounding a hostile peer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The length line is ASCII decimal digits; 20 digits already exceeds 2**63.
+_MAX_LENGTH_DIGITS = 20
+
+
+def write_frame(
+    stream: BinaryIO, payload: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Write one frame and flush (one flush per frame = per-page backpressure).
+
+    The cap is checked before anything is written, so a refused frame
+    leaves the stream in sync — the caller can still send a (smaller)
+    error frame on the same connection.
+    """
+    if len(payload) > max_bytes:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(cap {max_bytes}); paginate the result instead"
+        )
+    stream.write(b"%d\n" % len(payload))
+    stream.write(payload)
+    stream.write(b"\n")
+    stream.flush()
+
+
+def read_frame(
+    stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[bytes]:
+    """Read one frame's payload; ``None`` on a clean EOF between frames."""
+    header = stream.readline(_MAX_LENGTH_DIGITS + 2)
+    if not header:
+        return None  # clean EOF: the peer closed between frames
+    if not header.endswith(b"\n"):
+        raise ProtocolError(
+            f"frame length line too long or truncated: {header[:32]!r}"
+        )
+    line = header.strip()
+    if not line.isdigit():
+        raise ProtocolError(f"frame length must be decimal digits, got {line!r}")
+    length = int(line)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {max_bytes})"
+        )
+    payload = stream.read(length)
+    if payload is None or len(payload) != length:
+        raise ProtocolError(
+            f"connection closed mid-frame ({0 if payload is None else len(payload)}"
+            f" of {length} bytes)"
+        )
+    terminator = stream.read(1)
+    if terminator != b"\n":
+        raise ProtocolError(
+            f"frame not newline-terminated (got {terminator!r} after payload)"
+        )
+    return payload
+
+
+def send_json(
+    stream: BinaryIO, message: Dict[str, Any], max_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Encode a wire object and write it as one frame."""
+    payload = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    write_frame(stream, payload.encode("utf-8"), max_bytes)
+
+
+def recv_json(
+    stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Read one frame and decode it; ``None`` on clean EOF."""
+    payload = read_frame(stream, max_bytes)
+    if payload is None:
+        return None
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message

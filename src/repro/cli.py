@@ -1,9 +1,11 @@
 """Command-line interface for the Sequence Datalog engine.
 
-Five subcommands cover the typical workflow::
+Six subcommands cover the typical workflow::
 
     python -m repro.cli run program.sdl --db database.json --query "answer(X)"
     python -m repro.cli serve program.sdl --db database.json --script cmds.txt
+    python -m repro.cli serve program.sdl --db database.json --tcp :4321
+    python -m repro.cli client :4321 --script cmds.txt
     python -m repro.cli analyze program.sdl
     python -m repro.cli explain program.sdl
     python -m repro.cli parse program.sdl
@@ -33,6 +35,21 @@ Five subcommands cover the typical workflow::
   queries answer from pinned, snapshot-isolated model views with a
   per-snapshot result cache, and maintenance runs on a parallel fixpoint
   pool of ``N`` workers.
+
+  Every command is executed through the versioned typed API
+  (:mod:`repro.api`).  ``--json`` switches the reply stream to one
+  schema-versioned JSON object per line: results are
+  ``QueryResultPage``/``AddFactsResponse``/``ServerStats`` envelopes and
+  every failure is a structured ``ApiError`` (stable code, message, and
+  the offending input line number) — the process then exits non-zero when
+  any input line was malformed.  ``--tcp HOST:PORT`` serves the same API
+  over TCP (`docs/SERVING.md`); with ``--script`` the commands are run
+  through a loopback :class:`~repro.api.client.DatalogClient` against the
+  freshly-bound server (an end-to-end self-test), otherwise the server
+  runs in the foreground until interrupted.
+* ``client`` connects a :class:`~repro.api.client.DatalogClient` to a
+  running ``serve --tcp`` address and executes the same command loop
+  (large results stream page-by-page through server-side cursors).
 * ``analyze`` prints the strong-safety report and the finiteness verdict.
 * ``explain`` prints the compiled evaluation plan: the dependency strata,
   each clause's join order and the index columns every scan uses.
@@ -52,6 +69,19 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis import classify_finiteness
+from repro.api.client import DatalogClient
+from repro.api.service import DatalogService
+from repro.api.transport import parse_address, serve_tcp
+from repro.api.types import (
+    AddFactsRequest,
+    ApiError,
+    ErrorCode,
+    FetchRequest,
+    QueryRequest,
+    QueryResultPage,
+    StatsRequest,
+    encode_response,
+)
 from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import DEFAULT_STRATEGY, STRATEGIES
@@ -109,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "model the query pattern can observe (magic-set-style relevance "
              "restriction with constant pushing) instead of the full fixpoint",
     )
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the answers as one schema-versioned QueryResultPage "
+             "JSON object instead of tab-separated text",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="incremental query-serving session (batch or stdin)"
@@ -134,6 +169,39 @@ def _build_parser() -> argparse.ArgumentParser:
              "isolated reads, cached/batched queries) with a parallel-"
              "maintenance pool of this size; incompatible with --demand",
     )
+    serve_parser.add_argument(
+        "--json", action="store_true",
+        help="reply with one schema-versioned JSON object per line "
+             "(typed results; structured ApiError objects carrying the "
+             "offending line number; non-zero exit on malformed input)",
+    )
+    serve_parser.add_argument(
+        "--tcp", metavar="HOST:PORT",
+        help="serve the versioned API over TCP instead of the stdin loop "
+             "(port 0 picks a free port; with --script the commands run "
+             "through a loopback client against the bound server)",
+    )
+
+    client_parser = subparsers.add_parser(
+        "client", help="connect to a serve --tcp address and run commands"
+    )
+    client_parser.add_argument("address", help="server address (HOST:PORT or :PORT)")
+    client_parser.add_argument(
+        "--script",
+        help="command file (one command per line); reads stdin when omitted",
+    )
+    client_parser.add_argument(
+        "--json", action="store_true",
+        help="reply with one schema-versioned JSON object per line",
+    )
+    client_parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    client_parser.add_argument(
+        "--page-size", type=int, default=1024,
+        help="rows per streamed page for large results (default 1024)",
+    )
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
     analyze_parser.add_argument("program", help="path to the Sequence Datalog program")
@@ -150,13 +218,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace, out) -> int:
+    if args.json:
+        # JSON mode promises one JSON object per reply, errors included.
+        try:
+            return _run_once(args, out)
+        except ReproError as error:
+            _emit_json(out, ApiError.from_exception(error))
+            return 1
+    return _run_once(args, out)
+
+
+def _run_once(args: argparse.Namespace, out) -> int:
     limits = EvaluationLimits(max_iterations=args.max_iterations)
     engine = SequenceDatalogEngine(_load_program(args.program), limits=limits)
     database = load_database_json(args.db)
+    # Validate the pattern through the typed schema before evaluating
+    # anything: an empty/blank --query is a field-level error, not a crash.
+    QueryRequest(pattern=args.query).validate()
     if args.demand:
         compiled = engine.compile_demand(args.query)
         slice_result = compiled.materialize(database, limits)
         answers = compiled.query(slice_result)
+        if args.json:
+            _emit_json(out, _page_of(answers))
+            return 0
         for row in answers.texts():
             print("\t".join(row), file=out)
         mode = (
@@ -172,6 +257,9 @@ def _command_run(args: argparse.Namespace, out) -> int:
         return 0
     result = engine.evaluate(database, strategy=args.strategy, workers=args.workers)
     answers = engine.query(result, args.query)
+    if args.json:
+        _emit_json(out, _page_of(answers))
+        return 0
     for row in answers.texts():
         print("\t".join(row), file=out)
     print(
@@ -182,47 +270,162 @@ def _command_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _serve_one(
-    session, command: str, rest: str, out, demand: bool = False
-) -> bool:
-    """Execute one serve command; return False when the session should end.
+def _page_of(result) -> QueryResultPage:
+    """A monolithic typed page over an in-process QueryResult."""
+    return QueryResultPage.from_result(result, result.window(witnesses=True))
 
-    ``session`` is a :class:`DatalogSession` or (under ``--workers``) a
-    :class:`~repro.engine.server.DatalogServer`; both expose the same
-    ``query`` / ``add_facts`` / ``stats`` surface used here.
+
+def _emit_json(out, response, line_number: Optional[int] = None) -> None:
+    """Print one schema-versioned JSON envelope (with the input line number)."""
+    envelope = encode_response(response)
+    if line_number is not None:
+        envelope["line"] = line_number
+    print(json.dumps(envelope, sort_keys=True), file=out)
+
+
+def _parse_add_command(rest: str) -> AddFactsRequest:
+    """``add <relation> <values...>`` → a typed request.
+
+    shlex honours the quoted-constant syntax of query patterns:
+    ``add r "a b"`` stores the single two-symbol-with-space sequence.
     """
-    if command in ("query", "?"):
-        if demand:
-            result = session.query(rest.strip(), demand=True)
-        else:
-            result = session.query(rest.strip())
-        for row in result.texts():
-            print("\t".join(row), file=out)
-        print(f"% {len(result)} answers", file=out)
-    elif command in ("add", "+"):
-        # shlex honours the quoted-constant syntax of query patterns:
-        # ``add r "a b"`` stores the single two-symbol-with-space sequence.
+    try:
+        parts = shlex.split(rest)
+    except ValueError as error:
+        raise ApiErrorSignal(
+            ApiError(code=ErrorCode.BAD_REQUEST, message=str(error))
+        ) from None
+    if len(parts) < 2:
+        raise ApiErrorSignal(ApiError(
+            code=ErrorCode.BAD_REQUEST,
+            message="add needs a relation name and at least one value",
+        ))
+    return AddFactsRequest(facts=((parts[0], tuple(parts[1:])),))
+
+
+class ApiErrorSignal(Exception):
+    """Carries a typed ApiError through the command loop's control flow."""
+
+    def __init__(self, error: ApiError):
+        super().__init__(error.message)
+        self.error = error
+
+
+class _ServiceCommands:
+    """Execute serve-loop commands through an in-process DatalogService."""
+
+    def __init__(self, service: DatalogService):
+        self._service = service
+
+    def query_pages(self, pattern: str):
+        page = self._service.handle(QueryRequest(pattern=pattern))
+        yield page
+        while not page.complete and page.cursor is not None:
+            page = self._service.handle(FetchRequest(cursor=page.cursor))
+            yield page
+
+    def add(self, request: AddFactsRequest):
+        return self._service.handle(request)
+
+    def stats(self):
+        return self._service.handle(StatsRequest())
+
+
+class _ClientCommands:
+    """Execute the same commands through a remote DatalogClient."""
+
+    def __init__(self, client: DatalogClient, page_size: int):
+        self._client = client
+        self._page_size = page_size
+
+    def query_pages(self, pattern: str):
+        return self._client.query_pages(pattern, page_size=self._page_size)
+
+    def add(self, request: AddFactsRequest):
+        return self._client.add_facts(list(request.facts))
+
+    def stats(self):
+        return self._client.stats()
+
+
+def _command_loop(commands, lines, out, json_mode: bool) -> int:
+    """The shared serve/client command loop over a typed command executor.
+
+    Text mode keeps the historical free-text output (rows, ``% ...``
+    summaries, ``error: ...`` lines) and always exits 0 — one bad command
+    must not take the session down.  JSON mode emits one schema-versioned
+    envelope per reply, tags every envelope with the input line number,
+    and exits non-zero if any input line was malformed.
+    """
+    errors = 0
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        command, _, rest = line.partition(" ")
         try:
-            parts = shlex.split(rest)
-        except ValueError as error:
-            print(f"error: {error}", file=out)
-            return True
-        if len(parts) < 2:
-            print("error: add needs a relation name and at least one value", file=out)
-            return True
-        report = session.add_facts([(parts[0], tuple(parts[1:]))])
-        print(
-            f"% +{report.facts_added} facts ({report.base_facts_added} base) "
-            f"in {report.sweeps} sweeps",
-            file=out,
-        )
-    elif command == "stats":
-        print(json.dumps(session.stats(), sort_keys=True), file=out)
-    elif command in ("quit", "exit"):
-        return False
-    else:
-        print(f"error: unknown command {command!r}", file=out)
-    return True
+            if command in ("query", "?"):
+                rows = []
+                for page in commands.query_pages(rest.strip()):
+                    if json_mode:
+                        _emit_json(out, page, line_number)
+                    else:
+                        rows.extend(page.rows)
+                if not json_mode:
+                    # Historical output: rows sorted, like the old serve
+                    # loop's result.texts() (and like `run`).  JSON mode
+                    # streams pages instead and never collects.
+                    for row in sorted(rows):
+                        print("\t".join(row), file=out)
+                    print(f"% {len(rows)} answers", file=out)
+            elif command in ("add", "+"):
+                report = commands.add(_parse_add_command(rest))
+                if json_mode:
+                    _emit_json(out, report, line_number)
+                else:
+                    print(
+                        f"% +{report.facts_added} facts "
+                        f"({report.base_facts_added} base) "
+                        f"in {report.sweeps} sweeps",
+                        file=out,
+                    )
+            elif command == "stats":
+                stats = commands.stats()
+                if json_mode:
+                    _emit_json(out, stats, line_number)
+                else:
+                    print(json.dumps(stats.to_payload(), sort_keys=True), file=out)
+            elif command in ("quit", "exit"):
+                break
+            else:
+                raise ApiErrorSignal(ApiError(
+                    code=ErrorCode.BAD_REQUEST,
+                    message=f"unknown command {command!r}",
+                    details={"known_commands": ["query", "add", "stats", "quit"]},
+                ))
+        except ApiErrorSignal as signal:
+            errors += 1
+            if json_mode:
+                _emit_json(out, signal.error, line_number)
+            else:
+                print(f"error: {signal.error.message}", file=out)
+        except (ReproError, OSError) as error:
+            # One bad command must not take the whole session down.  A
+            # poisoned session (failed maintenance run) keeps refusing
+            # queries through SessionPoisonedError, reported the same way.
+            errors += 1
+            if json_mode:
+                _emit_json(out, ApiError.from_exception(error), line_number)
+            else:
+                print(f"error: {error}", file=out)
+    return 1 if json_mode and errors else 0
+
+
+def _read_lines(args):
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            return handle.readlines()
+    return sys.stdin
 
 
 def _command_serve(args: argparse.Namespace, out) -> int:
@@ -231,44 +434,79 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     if args.workers is not None and args.demand:
         print("error: --workers serves full snapshots; drop --demand", file=out)
         return 1
+    if args.tcp is not None:
+        if args.demand:
+            print("error: --tcp serves shared snapshots; drop --demand", file=out)
+            return 1
+        return _serve_over_tcp(args, database, limits, out)
     if args.workers is not None:
-        session = DatalogServer(
+        backend = DatalogServer(
             _load_program(args.program),
             database,
             limits=limits,
             workers=args.workers,
         )
         mode = f" (server mode: {args.workers} workers, snapshot-isolated)"
-        fact_count = session.snapshot.fact_count()
+        fact_count = backend.snapshot.fact_count()
     else:
-        session = DatalogSession(
+        backend = DatalogSession(
             _load_program(args.program), database, limits=limits, lazy=args.demand
         )
         mode = " (demand mode: lazy per-query slices)" if args.demand else ""
-        fact_count = session.fact_count()
-    print(f"% serving {fact_count} facts{mode}", file=out)
-    if args.script:
-        with open(args.script, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-    else:
-        lines = sys.stdin
+        fact_count = backend.fact_count()
+    if not args.json:
+        print(f"% serving {fact_count} facts{mode}", file=out)
+    commands = _ServiceCommands(DatalogService(backend, demand=args.demand))
     try:
-        for raw in lines:
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            command, _, rest = line.partition(" ")
-            try:
-                if not _serve_one(session, command, rest, out, demand=args.demand):
-                    break
-            except ReproError as error:
-                # One bad command must not take the whole session down.  A
-                # poisoned session (failed maintenance run) keeps refusing
-                # queries through SessionPoisonedError, reported the same way.
-                print(f"error: {error}", file=out)
+        return _command_loop(commands, _read_lines(args), out, args.json)
     finally:
-        session.close()
-    return 0
+        backend.close()
+
+
+def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
+    host, port = parse_address(args.tcp)
+    transport = serve_tcp(
+        _load_program(args.program),
+        database=database,
+        host=host,
+        port=port,
+        limits=limits,
+        workers=args.workers,
+        start=args.script is not None,
+    )
+    bound_host, bound_port = transport.address
+    facts = transport.backend.snapshot.fact_count()
+    # In script+JSON mode the output stream is machine-parsed (one
+    # envelope per reply), so the human banner is suppressed; the
+    # foreground server keeps it — it is how the operator learns a
+    # port-0 binding.
+    if not (args.json and args.script is not None):
+        print(
+            f"% serving {facts} facts on {bound_host}:{bound_port} (schema v1)",
+            file=out,
+        )
+    try:
+        if args.script is not None:
+            # End-to-end self-test mode: run the script through a loopback
+            # client against the live TCP server.
+            with DatalogClient(bound_host, bound_port) as client:
+                commands = _ClientCommands(client, page_size=1024)
+                return _command_loop(commands, _read_lines(args), out, args.json)
+        if hasattr(out, "flush"):
+            out.flush()
+        transport.serve_forever()
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+    finally:
+        transport.close()
+
+
+def _command_client(args: argparse.Namespace, out) -> int:
+    host, port = parse_address(args.address)
+    with DatalogClient(host, port, timeout=args.timeout) as client:
+        commands = _ClientCommands(client, page_size=max(1, args.page_size))
+        return _command_loop(commands, _read_lines(args), out, args.json)
 
 
 def _command_analyze(args: argparse.Namespace, out) -> int:
@@ -303,6 +541,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_run(args, out)
         if args.command == "serve":
             return _command_serve(args, out)
+        if args.command == "client":
+            return _command_client(args, out)
         if args.command == "analyze":
             return _command_analyze(args, out)
         if args.command == "explain":

@@ -214,6 +214,40 @@ class SequenceDatalogEngine:
             result_cache_size=result_cache_size,
         )
 
+    def serve_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        database: Optional[DatabaseLike] = None,
+        limits: Optional[EvaluationLimits] = None,
+        workers: Optional[int] = None,
+        result_cache_size: int = 1024,
+        start: bool = True,
+    ):
+        """Expose this program over the versioned TCP API (:mod:`repro.api`).
+
+        Builds the thread-safe :class:`DatalogServer` backend and binds a
+        :class:`~repro.api.transport.DatalogTCPServer` (port 0 picks a free
+        port; read it back from ``.address``).  Remote
+        :class:`~repro.api.client.DatalogClient` callers then get typed,
+        schema-versioned requests/responses with cursor-paged streaming of
+        large results — answers are fact-for-fact identical to
+        :meth:`query` in-process.
+        """
+        from repro.api.transport import serve_tcp
+
+        return serve_tcp(
+            self.program,
+            database=None if database is None else _as_database(database),
+            host=host,
+            port=port,
+            start=start,
+            limits=limits if limits is not None else self.limits,
+            transducers=self.transducers,
+            workers=workers,
+            result_cache_size=result_cache_size,
+        )
+
     def compute_function(self, value, output_predicate: str = "output") -> Optional[str]:
         """Treat the program as a sequence function (Definition 5).
 

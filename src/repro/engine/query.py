@@ -37,6 +37,24 @@ from repro.language.parser import parse_atom
 from repro.sequences import Sequence
 
 
+@dataclass(frozen=True)
+class ResultWindow:
+    """One page of a :class:`QueryResult` (the unit the network API ships).
+
+    Rows and witness substitutions are windowed *independently* — a row can
+    have several witnesses, so the two lists advance at different rates.
+    ``complete`` is True when both windows reached the end of the result.
+    """
+
+    rows: List[Tuple[Sequence, ...]]
+    witnesses: List[Substitution]
+    row_offset: int
+    witness_offset: int
+    total_rows: int
+    total_witnesses: int
+    complete: bool
+
+
 @dataclass
 class QueryResult:
     """The answers to a pattern query.
@@ -91,6 +109,44 @@ class QueryResult:
 
     def is_empty(self) -> bool:
         return not self.rows
+
+    def window(
+        self,
+        row_offset: int = 0,
+        witness_offset: int = 0,
+        limit: Optional[int] = None,
+        witnesses: bool = True,
+    ) -> ResultWindow:
+        """Slice one page out of the result (cursor-based pagination).
+
+        ``limit`` bounds rows and witnesses separately (a page carries at
+        most ``limit`` of each); ``None`` means everything from the offsets
+        on.  With ``witnesses=False`` the witness window is always empty and
+        only the row window decides completeness — the mode for callers that
+        ship answers, not bindings.
+        """
+        row_offset = max(0, row_offset)
+        witness_offset = max(0, witness_offset)
+        stop = None if limit is None else row_offset + max(0, limit)
+        rows = self.rows[row_offset:stop]
+        total_witnesses = len(self.substitutions) if witnesses else 0
+        if witnesses:
+            stop = None if limit is None else witness_offset + max(0, limit)
+            witness_page = self.substitutions[witness_offset:stop]
+        else:
+            witness_page = []
+        complete = row_offset + len(rows) >= len(self.rows) and (
+            witness_offset + len(witness_page) >= total_witnesses
+        )
+        return ResultWindow(
+            rows=rows,
+            witnesses=witness_page,
+            row_offset=row_offset,
+            witness_offset=witness_offset,
+            total_rows=len(self.rows),
+            total_witnesses=total_witnesses,
+            complete=complete,
+        )
 
 
 def canonical_pattern(pattern: Union[str, Atom]) -> Tuple[Atom, str]:

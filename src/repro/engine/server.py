@@ -245,6 +245,19 @@ class DatalogServer:
         publishes nothing either — the generation stays put, so the warm
         result cache survives replayed (at-least-once) ingestion.
         """
+        report, _ = self.add_facts_published(facts)
+        return report
+
+    def add_facts_published(
+        self, facts: FactsLike
+    ) -> Tuple[MaintenanceReport, int]:
+        """:meth:`add_facts` plus the generation observed under the lock.
+
+        The returned generation names a published snapshot that contains
+        this call's facts — read while still holding the writer lock, so a
+        concurrent writer cannot slip a newer generation in between (the
+        API layer labels its responses with it).
+        """
         with self._write_lock:
             try:
                 report = self._session.add_facts(facts)
@@ -252,7 +265,7 @@ class DatalogServer:
                 self._publish_if_advanced()
                 raise
             self._publish_if_advanced()
-            return report
+            return report, self._generation
 
     def _publish_if_advanced(self) -> None:
         """Publish the resident model iff it moved past the last published
@@ -420,6 +433,11 @@ class DatalogServer:
     def session(self) -> DatalogSession:
         """The wrapped session (single-caller API; do not race it)."""
         return self._session
+
+    @property
+    def program(self) -> Program:
+        """The served program (the API layer's ``explain`` reads it)."""
+        return self._session.program
 
     def stats(self) -> Dict[str, object]:
         """Session diagnostics plus the server's concurrency counters.

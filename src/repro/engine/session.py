@@ -77,16 +77,30 @@ FactsLike = Union[
 
 
 def _as_values(predicate: str, values) -> Tuple:
-    """Normalise one row to a tuple of values, rejecting malformed input."""
+    """Normalise one row to a tuple of values, rejecting malformed input.
+
+    Every value must already be a string (or interned ``Sequence``): a
+    number or ``None`` deep inside a batch used to leak a raw ``TypeError``
+    out of the interning layer mid-insertion; now the whole row is rejected
+    up front with the offending position named.
+    """
     if isinstance(values, (str, Sequence)):
         return (values,)
     try:
-        return tuple(values)
+        row = tuple(values)
     except TypeError:
         raise ValidationError(
             f"relation {predicate!r}: row {values!r} must be a string or an "
             "iterable of strings"
         ) from None
+    for position, value in enumerate(row):
+        if not isinstance(value, (str, Sequence)):
+            raise ValidationError(
+                f"relation {predicate!r}: row {row!r} holds a non-string "
+                f"value at position {position} "
+                f"({type(value).__name__} {value!r})"
+            )
+    return row
 
 
 def _iter_facts(facts: FactsLike) -> Iterator[Fact]:

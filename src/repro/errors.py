@@ -89,6 +89,33 @@ class SessionPoisonedError(EvaluationError):
     """
 
 
+class ProtocolError(ReproError):
+    """A malformed frame on the versioned network protocol.
+
+    Raised by :mod:`repro.api.protocol` when a peer sends bytes that are not
+    a well-formed length-prefixed JSON frame (bad length line, oversized
+    frame, truncated payload, or a payload that is not a JSON object).  The
+    connection is unusable afterwards and must be re-established.
+    """
+
+
+class RemoteApiError(ReproError):
+    """A typed error returned by the versioned API.
+
+    Servers never let raw exceptions cross the wire: every failure travels
+    as an :class:`repro.api.types.ApiError` with a stable ``code``.  Codes
+    that correspond to a concrete library exception are re-raised
+    client-side as that exception; everything else (bad requests,
+    unsupported schema versions, unknown cursors, internal errors) is
+    raised as this class, carrying the code and the field-level details.
+    """
+
+    def __init__(self, message: str, code: str = "internal_error", details=None):
+        super().__init__(message)
+        self.code = code
+        self.details = dict(details) if details else {}
+
+
 class MultiValuedOutputError(EvaluationError):
     """A program used as a sequence function derived several ``output`` facts.
 

@@ -1,0 +1,968 @@
+"""Tests for the versioned public API (:mod:`repro.api`).
+
+Covers the four layers bottom-up — typed schema and error mapping
+(``types``), wire framing (``protocol``), in-process dispatch with
+cursor pagination (``service``), and the live TCP transport + client —
+plus the CLI integration (``serve --json``, ``serve --tcp``, ``client``).
+
+The crown jewel is the randomized remote-equivalence property: a
+:class:`DatalogClient` talking to a live TCP server must return
+fact-for-fact identical answers (rows, witnesses, strict-mode behaviour,
+paged or monolithic) to in-process ``engine_api`` evaluation.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import SequenceDatalogEngine
+from repro.api import (
+    AddFactsRequest,
+    ApiError,
+    BatchRequest,
+    DatalogClient,
+    DatalogService,
+    ErrorCode,
+    ExplainRequest,
+    FetchRequest,
+    PingRequest,
+    QueryRequest,
+    QueryResultPage,
+    SCHEMA_VERSION,
+    ServerStats,
+    StatsRequest,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    parse_address,
+    recv_json,
+    send_json,
+    serve_tcp,
+)
+from repro.api.protocol import read_frame, write_frame
+from repro.cli import main
+from repro.engine.server import DatalogServer
+from repro.engine.session import DatalogSession
+from repro.errors import (
+    FixpointNotReached,
+    MultiValuedOutputError,
+    ParseError,
+    ProtocolError,
+    RemoteApiError,
+    SessionPoisonedError,
+    UnknownPredicateError,
+    ValidationError,
+)
+from repro.language.parser import parse_program
+from repro.workloads import random_strings
+
+SUFFIX_PROGRAM = "suffix(X[N:end]) :- r(X)."
+
+API_SETTINGS = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# A compatible subset of the equivalence templates used across the suite.
+CLAUSE_TEMPLATES = (
+    "p(X) :- r(X).",
+    "p(X[1:N]) :- r(X).",
+    "p(Y) :- r(X), Y = X[1:2].",
+    "q(X) :- p(X), r(X).",
+    'q(X) :- p(X), X != "a".',
+    "q(X[2:end]) :- q(X), r(X).",
+)
+
+
+@pytest.fixture
+def tcp():
+    """Factory for live TCP servers, all closed at teardown."""
+    servers = []
+
+    def start(program, database=None, **options):
+        server = serve_tcp(program, database, port=0, **options)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+def witness_keys(page):
+    """Canonical, order-insensitive view of a page's witnesses."""
+    return sorted(
+        (
+            tuple(sorted(witness["sequences"].items())),
+            tuple(sorted(witness["indexes"].items())),
+        )
+        for witness in page.witnesses
+    )
+
+
+def monolithic_page(result):
+    """In-process QueryResult -> the typed page the API would ship."""
+    return QueryResultPage.from_result(result, result.window(witnesses=True))
+
+
+# ----------------------------------------------------------------------
+# Typed error mapping
+# ----------------------------------------------------------------------
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "exception, code",
+        [
+            (UnknownPredicateError("nope"), ErrorCode.UNKNOWN_PREDICATE),
+            (SessionPoisonedError("poisoned"), ErrorCode.SESSION_POISONED),
+            (MultiValuedOutputError("two outputs"), ErrorCode.MULTI_VALUED_OUTPUT),
+            (FixpointNotReached("limit", iterations=7), ErrorCode.LIMIT_EXCEEDED),
+            (ParseError("bad atom", 3, 9), ErrorCode.PARSE),
+            (ValidationError("bad shape"), ErrorCode.VALIDATION),
+            (ProtocolError("bad frame"), ErrorCode.PROTOCOL),
+        ],
+    )
+    def test_library_exceptions_get_stable_codes(self, exception, code):
+        error = ApiError.from_exception(exception)
+        assert error.code == code
+        assert str(exception) in error.message
+
+    def test_parse_error_carries_location_details(self):
+        error = ApiError.from_exception(ParseError("bad atom", 3, 9))
+        assert error.details == {"line": 3, "column": 9}
+
+    def test_limit_error_carries_iterations(self):
+        error = ApiError.from_exception(FixpointNotReached("limit", iterations=7))
+        assert error.details == {"iterations": 7}
+
+    def test_raise_restores_structured_attributes(self):
+        parse = ApiError.from_exception(ParseError("bad atom", 3, 9))
+        with pytest.raises(ParseError) as excinfo:
+            ApiError.from_payload(parse.to_payload()).raise_()
+        assert (excinfo.value.line, excinfo.value.column) == (3, 9)
+        assert str(excinfo.value).count("line 3") == 1  # not re-appended
+        limit = ApiError.from_exception(FixpointNotReached("limit", iterations=7))
+        with pytest.raises(FixpointNotReached) as excinfo:
+            ApiError.from_payload(limit.to_payload()).raise_()
+        assert excinfo.value.iterations == 7
+
+    def test_internal_exceptions_never_leak_raw(self):
+        error = ApiError.from_exception(KeyError("secret_predicate"))
+        assert error.code == ErrorCode.INTERNAL
+        assert error.details["exception"] == "KeyError"
+        assert "Traceback" not in error.message
+
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            UnknownPredicateError,
+            SessionPoisonedError,
+            ValidationError,
+            MultiValuedOutputError,
+        ],
+    )
+    def test_raise_reraises_the_same_type(self, exception_type):
+        error = ApiError.from_exception(exception_type("boom"))
+        roundtripped = ApiError.from_payload(error.to_payload())
+        with pytest.raises(exception_type, match="boom"):
+            roundtripped.raise_()
+
+    def test_unknown_codes_raise_remote_api_error(self):
+        error = ApiError(code="from_the_future", message="??", details={"x": 1})
+        with pytest.raises(RemoteApiError) as excinfo:
+            error.raise_()
+        assert excinfo.value.code == "from_the_future"
+        assert excinfo.value.details == {"x": 1}
+
+    def test_remote_api_error_round_trips_its_code(self):
+        original = RemoteApiError("nope", code=ErrorCode.BAD_REQUEST, details={"field": "v"})
+        error = ApiError.from_exception(original)
+        assert error.code == ErrorCode.BAD_REQUEST
+        assert error.details == {"field": "v"}
+
+
+# ----------------------------------------------------------------------
+# Request/response codecs and validation
+# ----------------------------------------------------------------------
+class TestCodecs:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            QueryRequest(pattern="p(X)", strict=True, page_size=5, include_witnesses=True),
+            QueryRequest(pattern="p(X)"),
+            FetchRequest(cursor="c1"),
+            AddFactsRequest(facts=(("r", ("a", "b")), ("s", ("c",)))),
+            BatchRequest(patterns=("p(X)", "q(Y)"), strict=True),
+            ExplainRequest(),
+            StatsRequest(),
+            PingRequest(),
+        ],
+    )
+    def test_requests_round_trip(self, request_):
+        message = encode_request(request_)
+        assert message["v"] == SCHEMA_VERSION
+        assert json.loads(json.dumps(message)) == message
+        assert decode_request(message) == request_
+
+    def test_missing_version_is_a_bad_request(self):
+        with pytest.raises(RemoteApiError) as excinfo:
+            decode_request({"op": "ping"})
+        assert excinfo.value.code == ErrorCode.BAD_REQUEST
+
+    def test_future_version_is_rejected_with_supported_list(self):
+        with pytest.raises(RemoteApiError) as excinfo:
+            decode_request({"v": 99, "op": "ping"})
+        assert excinfo.value.code == ErrorCode.UNSUPPORTED_VERSION
+        assert excinfo.value.details == {"supported": [1]}
+
+    def test_unknown_op_lists_known_ops(self):
+        with pytest.raises(RemoteApiError) as excinfo:
+            decode_request({"v": 1, "op": "zap"})
+        assert excinfo.value.code == ErrorCode.BAD_REQUEST
+        assert "query" in excinfo.value.details["known_ops"]
+
+    @pytest.mark.parametrize(
+        "message, field",
+        [
+            ({"v": 1, "op": "query"}, "pattern"),
+            ({"v": 1, "op": "query", "pattern": "  "}, "pattern"),
+            ({"v": 1, "op": "query", "pattern": "p(X)", "page_size": 0}, "page_size"),
+            ({"v": 1, "op": "query", "pattern": "p(X)", "strict": "yes"}, "strict"),
+            ({"v": 1, "op": "add_facts", "facts": "r"}, "facts"),
+            ({"v": 1, "op": "add_facts", "facts": [["r"]]}, "facts[0]"),
+            ({"v": 1, "op": "add_facts", "facts": [[3, ["a"]]]}, "facts[0].predicate"),
+            ({"v": 1, "op": "add_facts", "facts": [["r", []]]}, "facts[0].values"),
+            (
+                {"v": 1, "op": "add_facts", "facts": [["r", ["a"]], ["r", ["a", 5]]]},
+                "facts[1].values[1]",
+            ),
+            ({"v": 1, "op": "batch", "patterns": "p(X)"}, "patterns"),
+            ({"v": 1, "op": "batch", "patterns": ["p(X)", ""]}, "patterns[1]"),
+        ],
+    )
+    def test_field_level_validation_messages(self, message, field):
+        with pytest.raises(RemoteApiError) as excinfo:
+            decode_request(message)
+        assert excinfo.value.code == ErrorCode.VALIDATION
+        assert str(excinfo.value).startswith(f"{field}:")
+        assert excinfo.value.details["field"] == field
+
+    def test_responses_round_trip(self):
+        page = QueryResultPage(
+            pattern="p(X)",
+            rows=(("a",), ("b",)),
+            witnesses=({"sequences": {"X": "a"}, "indexes": {}},),
+            row_offset=0,
+            witness_offset=0,
+            total_rows=10,
+            total_witnesses=12,
+            complete=False,
+            cursor="c3",
+            generation=4,
+        )
+        assert decode_response(encode_response(page)) == page
+        stats = ServerStats(
+            facts=3, base_facts=1, predicates=2, queries_served=5,
+            maintenance_runs=1, poisoned=False, generation=2, workers=None,
+            extra={"intern_table": {"size": 9}},
+        )
+        decoded = decode_response(encode_response(stats))
+        assert decoded.facts == 3 and decoded.generation == 2
+        assert decoded.extra["intern_table"] == {"size": 9}
+
+    def test_error_envelope_decodes_to_api_error(self):
+        envelope = encode_response(ApiError(code="parse_error", message="bad"))
+        decoded = decode_response(envelope)
+        assert isinstance(decoded, ApiError)
+        assert decoded.code == "parse_error"
+
+    def test_unknown_response_kind_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_response({"v": 1, "ok": True, "kind": "mystery"})
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"v": 1, "ok": True, "kind": "query_result", "rows": [1]},
+            {"v": 1, "ok": True, "kind": "query_result", "rows": [["a"]],
+             "witnesses": [7]},
+            {"v": 1, "ok": True, "kind": "query_result", "rows": [["a"]],
+             "total_rows": "many"},
+            {"v": 1, "ok": True, "kind": "batch", "results": [{"rows": [3]}]},
+            {"v": 1, "ok": True, "kind": "add_facts", "sweeps": "lots"},
+        ],
+    )
+    def test_garbage_inside_known_kinds_is_a_protocol_error(self, message):
+        # A known kind with malformed innards must not escape as a raw
+        # TypeError/ValueError — the client's typed-error contract.
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_response(message)
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+class TestProtocolFraming:
+    def roundtrip(self, *messages):
+        stream = io.BytesIO()
+        for message in messages:
+            send_json(stream, message)
+        stream.seek(0)
+        return [recv_json(stream) for _ in messages]
+
+    def test_frames_round_trip_in_order(self):
+        first, second = {"v": 1, "op": "ping"}, {"v": 1, "rows": [["a\nb", "c"]]}
+        assert self.roundtrip(first, second) == [first, second]
+
+    def test_clean_eof_returns_none(self):
+        assert recv_json(io.BytesIO(b"")) is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"xyz\n{}\n",            # non-decimal length
+            b"5\n{}\n",              # length larger than payload
+            b"2\n{}",                # missing terminator
+            b"2\n{}X",               # wrong terminator
+            b"7\nnotjson\n",         # not JSON
+            b"2\n[]\n",              # JSON but not an object
+            b"1" * 40,               # unterminated length line
+        ],
+    )
+    def test_malformed_frames_raise_protocol_error(self, raw):
+        with pytest.raises(ProtocolError):
+            recv_json(io.BytesIO(raw))
+
+    def test_announced_oversize_frame_is_refused(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            recv_json(io.BytesIO(b"999999\n" + b"x" * 999999 + b"\n"), max_bytes=1024)
+
+    def test_sending_oversize_frame_is_refused(self):
+        with pytest.raises(ProtocolError, match="paginate"):
+            write_frame(io.BytesIO(), b"x" * (64 * 1024 * 1024 + 1))
+
+    def test_read_frame_is_exact(self):
+        stream = io.BytesIO()
+        write_frame(stream, b'{"a":1}')
+        stream.seek(0)
+        assert read_frame(stream) == b'{"a":1}'
+        assert read_frame(stream) is None
+
+
+# ----------------------------------------------------------------------
+# In-process service dispatch
+# ----------------------------------------------------------------------
+class TestService:
+    def make(self, rows=("abc",), **options):
+        server = DatalogServer(SUFFIX_PROGRAM, {"r": list(rows)})
+        return server, DatalogService(server, **options)
+
+    def test_query_fetch_loop_reassembles_everything(self):
+        server, service = self.make(rows=("abcdefgh",))
+        try:
+            full = service.handle(QueryRequest(pattern="suffix(X)"))
+            pages = [service.handle(QueryRequest(pattern="suffix(X)", page_size=3))]
+            while not pages[-1].complete:
+                assert len(pages[-1].rows) <= 3
+                pages.append(service.handle(FetchRequest(cursor=pages[-1].cursor)))
+            merged = QueryResultPage.merge(pages)
+            assert merged.texts() == full.texts()
+            assert service.open_cursors() == 0  # exhausted cursors are dropped
+        finally:
+            server.close()
+
+    def test_unknown_cursor_has_a_stable_code(self):
+        server, service = self.make()
+        try:
+            reply = service.handle_raw({"v": 1, "op": "fetch", "cursor": "c99"})
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == ErrorCode.UNKNOWN_CURSOR
+        finally:
+            server.close()
+
+    def test_cursor_cap_is_enforced(self):
+        server, service = self.make(rows=("abcdefgh",), max_open_cursors=2)
+        try:
+            for _ in range(2):
+                page = service.handle(QueryRequest(pattern="suffix(X)", page_size=2))
+                assert page.cursor is not None
+            reply = service.handle_raw(
+                encode_request(QueryRequest(pattern="suffix(X)", page_size=2))
+            )
+            assert reply["error"]["code"] == ErrorCode.BAD_REQUEST
+            assert "cursors" in reply["error"]["message"]
+        finally:
+            server.close()
+
+    def test_batch_failure_releases_the_cursors_it_registered(self):
+        # Hitting the open-cursor cap mid-batch must free the cursors the
+        # earlier results of the same batch registered: only the error
+        # reply ships, so the client can never learn their ids.
+        program = "suffix(X[N:end]) :- r(X). prefix(X[1:N]) :- r(X)."
+        server = DatalogServer(program, {"r": ["abcdefgh"]})
+        try:
+            service = DatalogService(server, max_page_rows=2, max_open_cursors=1)
+            reply = service.handle_raw(
+                encode_request(BatchRequest(patterns=("suffix(X)", "prefix(X)")))
+            )
+            assert reply["ok"] is False
+            assert "cursors" in reply["error"]["message"]
+            assert service.open_cursors() == 0
+            # Paged queries still work on this service afterwards.
+            page = service.handle(QueryRequest(pattern="suffix(X)", page_size=2))
+            assert page.cursor is not None
+        finally:
+            server.close()
+
+    def test_handle_raw_never_raises(self):
+        server, service = self.make()
+        try:
+            for garbage in (None, [], "x", {}, {"v": 1}, {"v": 1, "op": "query"}):
+                reply = service.handle_raw(garbage)
+                assert reply["ok"] is False
+                assert "code" in reply["error"]
+        finally:
+            server.close()
+
+    def test_internal_backend_bugs_become_typed_internal_errors(self):
+        server, service = self.make()
+        try:
+            server_query = server.query
+
+            def exploding(*args, **kwargs):
+                raise KeyError("lost predicate")
+
+            server.query = exploding
+            reply = service.handle_raw(encode_request(QueryRequest(pattern="r(X)")))
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == ErrorCode.INTERNAL
+            assert reply["error"]["details"]["exception"] == "KeyError"
+            server.query = server_query
+        finally:
+            server.close()
+
+    def test_add_facts_value_types_are_validated_in_process_too(self):
+        # Satellite regression: a number deep in a batch used to escape as
+        # a raw TypeError out of the interning layer.
+        server, _ = self.make()
+        try:
+            with pytest.raises(ValidationError, match="position 1"):
+                server.add_facts([("r", ("ok", 5))])
+        finally:
+            server.close()
+
+    def test_session_backend_serves_demand_queries(self):
+        session = DatalogSession(SUFFIX_PROGRAM, {"r": ["ab"]}, lazy=True)
+        try:
+            service = DatalogService(session, demand=True)
+            page = service.handle(QueryRequest(pattern='suffix("b")'))
+            assert page.total_rows == 1
+            stats = service.handle(StatsRequest())
+            assert stats.generation is None  # sessions do not publish generations
+            assert stats.extra["materialized"] is False  # demand never materialises
+        finally:
+            session.close()
+
+    def test_explain_and_stats_are_typed(self):
+        server, service = self.make()
+        try:
+            assert "stratum" in service.handle(ExplainRequest()).text
+            stats = service.handle(StatsRequest())
+            assert isinstance(stats, ServerStats)
+            assert stats.generation == 0 and stats.facts > 0
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# Live TCP: remote answers == in-process answers
+# ----------------------------------------------------------------------
+class TestRemoteEquivalence:
+    @API_SETTINGS
+    @given(
+        st.lists(st.sampled_from(CLAUSE_TEMPLATES), min_size=1, max_size=4, unique=True),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_remote_matches_in_process_on_random_programs(
+        self, templates, seed, count, length
+    ):
+        program = parse_program("".join(templates))
+        database = {"r": random_strings(count, length, alphabet="ab", seed=seed)}
+        engine = SequenceDatalogEngine("".join(templates))
+        result = engine.evaluate(database)
+        with serve_tcp("".join(templates), database, port=0) as server:
+            with DatalogClient(*server.address) as client:
+                for predicate, arity in sorted(program.signatures().items()):
+                    variables = ", ".join(f"V{i}" for i in range(arity))
+                    pattern = f"{predicate}({variables})"
+                    local = engine.query(result, pattern)
+                    remote = client.query(pattern, witnesses=True)
+                    assert remote.texts() == local.texts(), pattern
+                    assert witness_keys(remote) == witness_keys(monolithic_page(local))
+
+    def test_pagination_reassembly_and_streaming_agree(self, tcp):
+        text = "ab" * 60
+        server = tcp(SUFFIX_PROGRAM, {"r": [text]})
+        engine = SequenceDatalogEngine(SUFFIX_PROGRAM)
+        local = engine.query(engine.evaluate({"r": [text]}), "suffix(X)")
+        with DatalogClient(*server.address) as client:
+            monolithic = client.query("suffix(X)")
+            paged = client.query("suffix(X)", page_size=7)
+            streamed = sorted(client.query_iter("suffix(X)", page_size=7))
+            assert monolithic.texts() == local.texts()
+            assert paged.texts() == local.texts()
+            assert streamed == local.texts()
+
+    def test_no_page_exceeds_the_requested_size(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abcdefghij"]})
+        with DatalogClient(*server.address) as client:
+            pages = [
+                client._expect(
+                    QueryRequest(pattern="suffix(X)", page_size=3), QueryResultPage
+                )
+            ]
+            while not pages[-1].complete:
+                pages.append(
+                    client._expect(FetchRequest(cursor=pages[-1].cursor), QueryResultPage)
+                )
+            assert all(len(page.rows) <= 3 for page in pages)
+            assert len(pages) >= 4  # 11 suffixes / 3 per page
+
+    def test_strict_mode_distinctions_survive_the_wire(self, tcp):
+        program = SUFFIX_PROGRAM + ' empty(X) :- r(X), X = "zz".'
+        server = tcp(program, {"r": ["abc"]})
+        with DatalogClient(*server.address) as client:
+            # Unknown predicate: raises the same type as in-process strict.
+            with pytest.raises(UnknownPredicateError, match="nosuch"):
+                client.query("nosuch(X)", strict=True)
+            # Known but empty: empty result, no error.
+            assert client.query("empty(X)", strict=True).is_empty()
+            # Non-strict unknown: empty result.
+            assert client.query("nosuch(X)").is_empty()
+
+    def test_parse_errors_come_back_typed_with_location(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        with DatalogClient(*server.address) as client:
+            with pytest.raises(ParseError, match="line 1") as excinfo:
+                client.query("suffix(")
+            # The structured attributes survive the wire, not just the
+            # rendered message.
+            assert excinfo.value.line == 1
+            assert excinfo.value.column > 0
+
+    def test_add_facts_round_trip_and_generations(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        with DatalogClient(*server.address) as client:
+            before = client.stats().generation
+            report = client.add_fact("r", "xy")
+            assert report.base_facts_added == 1
+            assert report.generation == before + 1
+            assert ("y",) in client.query("suffix(X)").rows
+            # Replaying the same facts is absorbed: no new generation.
+            replay = client.add_fact("r", "xy")
+            assert replay.base_facts_added == 0
+            assert replay.generation == report.generation
+
+    def test_add_facts_malformed_values_are_typed_remotely(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        with DatalogClient(*server.address) as client:
+            reply = client.raw_request(
+                {"v": 1, "op": "add_facts", "facts": [["r", ["a", None]]]}
+            )
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == ErrorCode.VALIDATION
+            assert "facts[0].values[1]" in reply["error"]["message"]
+
+    def test_batch_preserves_input_order_and_duplicates(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        engine = SequenceDatalogEngine(SUFFIX_PROGRAM)
+        result = engine.evaluate({"r": ["ab"]})
+        patterns = ["suffix(X)", "r(X)", "suffix(X)"]
+        with DatalogClient(*server.address) as client:
+            remote = client.query_batch(patterns)
+            assert [page.texts() for page in remote] == [
+                engine.query(result, pattern).texts() for pattern in patterns
+            ]
+
+    def test_mid_stream_add_facts_keeps_the_pinned_snapshot(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abcdef"]})
+        with DatalogClient(*server.address) as reader, \
+                DatalogClient(*server.address) as writer:
+            stream = reader.query_iter("suffix(X)", page_size=2)
+            first_rows = [next(stream), next(stream), next(stream)]
+            writer.add_fact("r", "wxwx")
+            rest = list(stream)
+            # The stream yields exactly the pre-update suffixes.
+            assert sorted(first_rows + rest) == sorted(
+                (suffix,) for suffix in
+                [""] + ["abcdef"[i:] for i in range(6)]
+            )
+            # A fresh query sees the new strand.
+            assert ("xwx",) in reader.query("suffix(X)").rows
+
+    def test_concurrent_clients_get_consistent_answers(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        host, port = server.address
+        errors = []
+        answer_sets = []
+
+        def worker():
+            try:
+                with DatalogClient(host, port) as client:
+                    for _ in range(5):
+                        answer_sets.append(frozenset(client.query("suffix(X)").rows))
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        def maintainer():
+            try:
+                with DatalogClient(host, port) as client:
+                    client.add_fact("r", "qr")
+                    client.add_fact("r", "st")
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads.append(threading.Thread(target=maintainer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every observed answer set must be one of the published states:
+        # suffixes of abc, +qr, +st (in either add order the end state is
+        # the union; intermediate sets are subsets of the final one).
+        base = {("",), ("abc",), ("bc",), ("c",)}
+        final = base | {("qr",), ("r",)} | {("st",), ("t",)}
+        for observed in answer_sets:
+            assert base <= set(observed) <= final
+
+    def test_client_send_cap_applies_to_outbound_frames(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        host, port = server.address
+        client = DatalogClient(host, port, max_frame_bytes=256, retries=0)
+        try:
+            with pytest.raises(ProtocolError, match="cap 256"):
+                client.add_facts([("r", ("x" * 500,))])
+        finally:
+            client.close()
+
+    def test_client_reconnects_after_close(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        client = DatalogClient(*server.address)
+        try:
+            assert client.query("r(X)").total_rows == 1
+            client.close()
+            assert not client.connected
+            assert client.query("r(X)").total_rows == 1  # auto-reopened
+        finally:
+            client.close()
+
+    def test_version_negotiation_over_the_wire(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        with DatalogClient(*server.address) as client:
+            assert SCHEMA_VERSION in client.server_versions
+            assert client.server_version
+            reply = client.raw_request({"v": 99, "op": "ping"})
+            assert reply["error"]["code"] == ErrorCode.UNSUPPORTED_VERSION
+            assert reply["error"]["details"]["supported"] == [1]
+
+    def test_explain_is_served_remotely(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        with DatalogClient(*server.address) as client:
+            assert "scan r(X)" in client.explain()
+
+    def test_pages_are_labeled_with_the_generation_they_read(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        with DatalogClient(*server.address) as client:
+            assert client.query("suffix(X)").generation == 0
+            client.add_fact("r", "mnp")
+            page = client.query("suffix(X)", page_size=2)
+            assert page.generation == 1
+            # Every page of a batch reads (and is labeled with) one snapshot.
+            results = client.query_batch(["r(X)", "suffix(X)"])
+            assert {result.generation for result in results} == {1}
+
+    def test_oversized_reply_becomes_a_typed_error_not_a_dead_connection(self):
+        # A page whose JSON exceeds the frame cap must come back as a
+        # protocol_error reply — and the connection must keep serving.
+        strand = "abcdefghijklmnopqrstuvwxyz012345"
+        with serve_tcp(
+            SUFFIX_PROGRAM, {"r": [strand]}, port=0, max_frame_bytes=512,
+        ) as server:
+            with DatalogClient(*server.address) as client:
+                with pytest.raises(ProtocolError, match="paginate"):
+                    client.query("suffix(X)")
+                # Same connection, small result: still alive.
+                assert client.query("r(X)").total_rows == 1
+                # Small pages fit under the cap, so streaming still works.
+                assert len(list(client.query_iter("suffix(X)", page_size=2))) == 33
+
+    def test_malformed_inbound_frame_gets_a_protocol_error_reply(self, tcp):
+        # A peer that breaks the framing must receive one typed
+        # protocol_error envelope before the connection is dropped.
+        import socket as socket_module
+
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        with socket_module.create_connection(server.address, timeout=10) as raw:
+            reader = raw.makefile("rb")
+            raw.sendall(b"notdigits\n")
+            reply = recv_json(reader)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == ErrorCode.PROTOCOL
+            # The stream position is unknowable after a bad frame: the
+            # server then closes the connection.
+            assert reader.readline() == b""
+
+    def test_undeliverable_replies_do_not_leak_cursors(self):
+        # Every oversized reply used to orphan its freshly-registered
+        # cursor; after max_open_cursors (64) failures the connection
+        # permanently rejected paged queries.
+        strand = "abcdefghijklmnopqrstuvwxyz012345"
+        with serve_tcp(
+            SUFFIX_PROGRAM, {"r": [strand]}, port=0, max_frame_bytes=512,
+        ) as server:
+            with DatalogClient(*server.address) as client:
+                for _ in range(70):
+                    with pytest.raises(ProtocolError):
+                        # page_size 20: paged (cursor registered) AND the
+                        # first page's frame still exceeds the 512-byte cap.
+                        client.query("suffix(X)", page_size=20)
+                # Paged queries must still work on this connection.
+                assert len(list(client.query_iter("suffix(X)", page_size=2))) == 33
+
+
+# ----------------------------------------------------------------------
+# serve_tcp plumbing
+# ----------------------------------------------------------------------
+class TestTransportPlumbing:
+    def test_parse_address_forms(self):
+        assert parse_address("127.0.0.1:4321") == ("127.0.0.1", 4321)
+        assert parse_address(":4321") == ("127.0.0.1", 4321)
+        assert parse_address("4321") == ("127.0.0.1", 4321)
+        with pytest.raises(ProtocolError):
+            parse_address("nope")
+        with pytest.raises(ProtocolError):
+            parse_address(":70000")
+
+    def test_serve_tcp_rejects_options_with_an_existing_server(self):
+        backend = DatalogServer(SUFFIX_PROGRAM, {"r": ["ab"]})
+        try:
+            with pytest.raises(ProtocolError):
+                serve_tcp(backend, {"r": ["cd"]})
+        finally:
+            backend.close()
+
+    def test_serve_tcp_does_not_close_a_handed_in_backend(self):
+        backend = DatalogServer(SUFFIX_PROGRAM, {"r": ["ab"]})
+        try:
+            with serve_tcp(backend, port=0) as server:
+                with DatalogClient(*server.address) as client:
+                    assert client.query("r(X)").total_rows == 1
+            # The transport is gone; the backend must still serve.
+            assert len(backend.query("r(X)")) == 1
+        finally:
+            backend.close()
+
+    def test_engine_facade_serves_tcp(self):
+        engine = SequenceDatalogEngine(SUFFIX_PROGRAM)
+        with engine.serve_tcp(database={"r": ["abc"]}) as server:
+            with DatalogClient(*server.address) as client:
+                assert ("bc",) in client.query("suffix(X)").rows
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliApi:
+    @pytest.fixture
+    def program_file(self, tmp_path):
+        path = tmp_path / "p.sdl"
+        path.write_text(SUFFIX_PROGRAM + "\n")
+        return str(path)
+
+    @pytest.fixture
+    def database_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps({"r": ["abc"]}))
+        return str(path)
+
+    def serve(self, program_file, database_file, tmp_path, script, *flags):
+        path = tmp_path / "commands.txt"
+        path.write_text(script)
+        out = io.StringIO()
+        code = main(
+            ["serve", program_file, "--db", database_file, "--script", str(path)]
+            + list(flags),
+            out=out,
+        )
+        return code, out.getvalue()
+
+    def test_json_mode_emits_structured_errors_with_line_numbers(
+        self, program_file, database_file, tmp_path
+    ):
+        script = "query suffix(X)\nbogus\nadd r\nquery suffix(\nquit\n"
+        code, output = self.serve(
+            program_file, database_file, tmp_path, script, "--json"
+        )
+        assert code == 1  # malformed input lines => non-zero exit
+        replies = [json.loads(line) for line in output.strip().splitlines()]
+        assert all(reply["v"] == 1 for reply in replies)
+        by_line = {reply["line"]: reply for reply in replies}
+        assert by_line[1]["kind"] == "query_result" and by_line[1]["total_rows"] == 4
+        assert by_line[2]["error"]["code"] == ErrorCode.BAD_REQUEST
+        assert "unknown command" in by_line[2]["error"]["message"]
+        assert by_line[3]["error"]["code"] == ErrorCode.BAD_REQUEST
+        assert by_line[4]["error"]["code"] == ErrorCode.PARSE
+
+    def test_json_mode_clean_run_exits_zero(
+        self, program_file, database_file, tmp_path
+    ):
+        script = "query suffix(X)\nadd r xyz\nstats\nquit\n"
+        code, output = self.serve(
+            program_file, database_file, tmp_path, script, "--json"
+        )
+        assert code == 0
+        kinds = [json.loads(line)["kind"] for line in output.strip().splitlines()]
+        assert kinds == ["query_result", "add_facts", "stats"]
+
+    def test_json_stats_is_schema_stable(
+        self, program_file, database_file, tmp_path
+    ):
+        code, output = self.serve(
+            program_file, database_file, tmp_path, "stats\n", "--json"
+        )
+        assert code == 0
+        stats = json.loads(output.strip().splitlines()[-1])
+        for key in (
+            "v", "kind", "facts", "base_facts", "predicates", "queries_served",
+            "maintenance_runs", "poisoned", "generation", "workers",
+        ):
+            assert key in stats, key
+
+    def test_tcp_script_mode_runs_end_to_end(
+        self, program_file, database_file, tmp_path
+    ):
+        script = 'query suffix(X)\nadd r xyz\nquery suffix("yz")\nquit\n'
+        code, output = self.serve(
+            program_file, database_file, tmp_path, script, "--tcp", ":0"
+        )
+        assert code == 0
+        assert "schema v1" in output
+        lines = output.splitlines()
+        assert "abc" in lines and "yz" in lines
+        assert "% +4 facts (1 base)" in output
+
+    def test_text_mode_prints_rows_sorted_like_the_old_loop(
+        self, tmp_path, database_file
+    ):
+        # Historical contract: the serve loop printed result.texts()
+        # (sorted); paged execution must not regress that.
+        program = tmp_path / "p2.sdl"
+        program.write_text(SUFFIX_PROGRAM + "\n")
+        db = tmp_path / "db2.json"
+        db.write_text(json.dumps({"r": ["cab"]}))
+        code, output = self.serve(str(program), str(db), tmp_path, "query suffix(X)\n")
+        assert code == 0
+        lines = output.splitlines()
+        assert lines[0].startswith("% serving")
+        assert lines[1:5] == ["", "ab", "b", "cab"]
+
+    def test_tcp_script_json_mode_is_pure_json(
+        self, program_file, database_file, tmp_path
+    ):
+        script = "query suffix(X)\nadd r xyz\nstats\nquit\n"
+        code, output = self.serve(
+            program_file, database_file, tmp_path, script, "--tcp", ":0", "--json"
+        )
+        assert code == 0
+        replies = [json.loads(line) for line in output.strip().splitlines()]
+        assert [reply["kind"] for reply in replies] == [
+            "query_result", "add_facts", "stats",
+        ]
+
+    def test_tcp_rejects_demand(self, program_file, database_file, tmp_path):
+        code, output = self.serve(
+            program_file, database_file, tmp_path, "quit\n", "--tcp", ":0", "--demand"
+        )
+        assert code == 1
+        assert "drop --demand" in output
+
+    def test_client_subcommand_against_live_server(
+        self, program_file, database_file, tmp_path, tcp
+    ):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        host, port = server.address
+        path = tmp_path / "commands.txt"
+        path.write_text("query suffix(X)\nadd r qq\nstats\nquit\n")
+        out = io.StringIO()
+        code = main(
+            ["client", f"{host}:{port}", "--script", str(path)], out=out
+        )
+        assert code == 0
+        lines = out.getvalue().splitlines()
+        assert "abc" in lines
+        assert "% 4 answers" in lines
+        assert "% +3 facts (1 base)" in out.getvalue()
+        stats = json.loads(out.getvalue().strip().splitlines()[-1])
+        assert stats["generation"] == 1
+
+    def test_client_subcommand_json_mode(
+        self, program_file, database_file, tmp_path, tcp
+    ):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
+        host, port = server.address
+        path = tmp_path / "commands.txt"
+        path.write_text("query suffix(X)\nbogus\nquit\n")
+        out = io.StringIO()
+        code = main(
+            ["client", f"{host}:{port}", "--script", str(path), "--json"], out=out
+        )
+        assert code == 1
+        replies = [json.loads(line) for line in out.getvalue().strip().splitlines()]
+        assert replies[0]["kind"] == "query_result"
+        assert replies[1]["error"]["code"] == ErrorCode.BAD_REQUEST
+
+    def test_client_connection_refused_is_reported(self, tmp_path):
+        out = io.StringIO()
+        code = main(["client", "127.0.0.1:1", "--timeout", "0.5"], out=out)
+        assert code == 1
+        assert "error:" in out.getvalue()
+
+    def test_run_json_emits_a_typed_page(self, program_file, database_file):
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", database_file, "--query", "suffix(X)",
+             "--json"],
+            out=out,
+        )
+        assert code == 0
+        page = json.loads(out.getvalue())
+        assert page["v"] == 1 and page["kind"] == "query_result"
+        assert sorted(row[0] for row in page["rows"]) == ["", "abc", "bc", "c"]
+
+    def test_run_rejects_blank_query_with_field_error(
+        self, program_file, database_file
+    ):
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", database_file, "--query", "   "], out=out
+        )
+        assert code == 1
+        assert "pattern" in out.getvalue()
+
+    def test_run_json_errors_are_structured(self, program_file, database_file):
+        out = io.StringIO()
+        code = main(
+            ["run", program_file, "--db", database_file, "--query", "bad((",
+             "--json"],
+            out=out,
+        )
+        assert code == 1
+        envelope = json.loads(out.getvalue())
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == ErrorCode.PARSE

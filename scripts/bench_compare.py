@@ -151,6 +151,18 @@ POLICIES = {
             "remote_microseconds_per_query": {"max": 200_000.0},
         },
     },
+    "kernels": {
+        "command": ["benchmarks/bench_kernels.py", "--smoke"],
+        # The fact counts, model identity and all-firings-batched flags are
+        # deterministic; only the timing ratio needs a loose floor.
+        "exact_case_keys": [
+            "case", "kind", "facts", "identical", "batch_used",
+            "batched_firings", "facts_emitted",
+        ],
+        "bounded_case_keys": {
+            "speedup_batch_vs_tuple": {"min": 0.05},
+        },
+    },
     "parallel": {
         "command": ["benchmarks/bench_parallel.py", "--smoke"],
         # ``workers`` and the timing fields vary with the host; the

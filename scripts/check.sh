@@ -10,7 +10,8 @@
 #   3. bench_demand --smoke  + shape validation (validate_report);
 #   4. bench_parallel --smoke + shape validation (validate_report);
 #   5. bench_api --smoke + shape validation (validate_report);
-#   6. end-to-end TCP smoke: bind a live server on a free port, drive it
+#   6. bench_kernels --smoke + shape validation (validate_report);
+#   7. end-to-end TCP smoke: bind a live server on a free port, drive it
 #      with a real DatalogClient and a raw socket, validate the versioned
 #      JSON envelopes (schema v1, typed results, structured errors).
 #
@@ -81,6 +82,24 @@ with open("/tmp/bench_api_smoke.json", "r", encoding="utf-8") as handle:
     report = json.load(handle)
 validate_report(report)
 print(f"ok: {len(report['cases'])} cases, shape valid, paged memory bounded")
+EOF
+
+echo "== benchmark smoke (bench_kernels --smoke) =="
+python benchmarks/bench_kernels.py --smoke > /tmp/bench_kernels_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_kernels import validate_report
+
+with open("/tmp/bench_kernels_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+for case in report["cases"]:
+    assert case["identical"], f"{case['case']}: kernel model differs"
+    assert case["batch_used"], f"{case['case']}: kernels were not used"
+print(f"ok: {len(report['cases'])} cases, shape valid, models identical")
 EOF
 
 echo "== end-to-end TCP smoke (serve_tcp + DatalogClient) =="

@@ -7,12 +7,19 @@ columnar layout:
 * every :class:`~repro.sequences.Sequence` is interned process-wide, so a
   row is represented internally as a tuple of small integer *intern ids* —
   membership tests hash a few ints instead of re-hashing strings;
+* each column additionally keeps a flat ``array('q')`` of intern ids,
+  appended in row order — the batch join kernels
+  (:mod:`repro.engine.kernels`) read whole row-ranges of these arrays
+  instead of constructing per-row ``Sequence`` tuples;
 * rows are also kept in an append-only insertion-order list, which gives
   iteration a **zero-copy snapshot**: capturing ``len(rows)`` before
   iterating makes concurrent inserts (the fixpoint engine inserts while a
   later clause still scans) invisible without copying the store;
 * hash indexes over any *combination* of columns are built on demand the
   first time a lookup binds that column set, then maintained incrementally.
+  Buckets hold row *positions* (ascending, append-only), so a version
+  window clips a bucket with one binary search and id-keyed probes return
+  positions straight into the column arrays.
 
 The append-only layout also yields cheap *delta views*
 (:class:`RelationDelta`): a view of the rows inserted after a version mark,
@@ -23,13 +30,29 @@ materialised delta relation.
 from __future__ import annotations
 
 import threading
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from array import array
+from bisect import bisect_left
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.sequences import Sequence, as_sequence
 
 SequenceTuple = Tuple[Sequence, ...]
 IdTuple = Tuple[int, ...]
+#: A composite hash index: id-key -> ascending row positions.
+PositionIndex = Dict[IdTuple, List[int]]
+
+
+def bucket_prefix_length(bucket: List[int], stop: int) -> int:
+    """How many leading positions of an ascending bucket lie below ``stop``.
+
+    Fast-paths the common case (the whole bucket inside the window) with a
+    single comparison before falling back to binary search.
+    """
+    length = len(bucket)
+    if not length or bucket[length - 1] < stop:
+        return length
+    return bisect_left(bucket, stop)
 
 
 class SequenceRelation:
@@ -45,8 +68,8 @@ class SequenceRelation:
     """
 
     __slots__ = (
-        "name", "arity", "_positions", "_rows", "_version", "_indexes",
-        "_snapshot", "_sorted", "_lock",
+        "name", "arity", "_positions", "_rows", "_columns", "_version",
+        "_indexes", "_snapshot", "_sorted", "_lock",
     )
 
     def __init__(self, name: str, arity: int, tuples: Iterable = ()):
@@ -60,10 +83,15 @@ class SequenceRelation:
         self._positions: Dict[IdTuple, int] = {}
         # Append-only insertion-order row store (decoded Sequence tuples).
         self._rows: List[SequenceTuple] = []
+        # Per-column intern-id arrays in row order: _columns[c][p] is the
+        # intern id of row p's value in column c.  The batch kernels slice
+        # these instead of touching _rows.
+        self._columns: Tuple[array, ...] = tuple(array("q") for _ in range(arity))
         # Monotonic mutation counter; never decremented, even by discard.
         self._version = 0
-        # _indexes[(c1, c2, ...)][(id1, id2, ...)] -> list of rows, built lazily.
-        self._indexes: Dict[Tuple[int, ...], Dict[IdTuple, List[SequenceTuple]]] = {}
+        # _indexes[(c1, c2, ...)][(id1, id2, ...)] -> ascending row
+        # positions, built lazily on first lookup over that column set.
+        self._indexes: Dict[Tuple[int, ...], PositionIndex] = {}
         self._snapshot: Optional[FrozenSet[SequenceTuple]] = None
         self._sorted: Optional[List[SequenceTuple]] = None
         # Guards _rows/_positions/_indexes against the build-vs-insert race
@@ -87,16 +115,22 @@ class SequenceRelation:
         if key in self._positions:
             return False
         with self._lock:
-            self._positions[key] = len(self._rows)
+            position = len(self._rows)
+            # Columns are appended before the row becomes visible in _rows,
+            # so a lock-free reader that sees row p always finds its ids in
+            # every column array.
+            for column, value_id in enumerate(key):
+                self._columns[column].append(value_id)
+            self._positions[key] = position
             self._rows.append(normalized)
             self._version += 1
             for columns, index in self._indexes.items():
                 index_key = tuple(key[column] for column in columns)
                 bucket = index.get(index_key)
                 if bucket is None:
-                    index[index_key] = [normalized]
+                    index[index_key] = [position]
                 else:
-                    bucket.append(normalized)
+                    bucket.append(position)
         self._snapshot = None
         self._sorted = None
         return True
@@ -129,6 +163,10 @@ class SequenceRelation:
                 tuple(value.intern_id for value in existing): position
                 for position, existing in enumerate(self._rows)
             }
+            self._columns = tuple(
+                array("q", (row[column].intern_id for row in self._rows))
+                for column in range(self.arity)
+            )
             # A removal is still a change: the counter must keep moving
             # forward so version-gated consumers re-examine the relation.
             self._version += 1
@@ -205,15 +243,15 @@ class SequenceRelation:
             )
         return list(self._sorted)
 
-    def ensure_index(self, columns: Tuple[int, ...]) -> Dict[IdTuple, List[SequenceTuple]]:
+    def ensure_index(self, columns: Tuple[int, ...]) -> PositionIndex:
         """Build (once) and return the composite hash index for ``columns``.
 
         Thread-safe against the single writer: the build-and-register runs
         under the relation lock, so it sees a consistent row store and the
         writer's incremental maintenance can never miss (or double-insert)
-        a row that raced the construction.  Bucket lists hold rows in
-        insertion order, which window views rely on (see
-        :meth:`RelationDelta.lookup`).
+        a row that raced the construction.  Buckets hold row *positions*
+        in ascending order, which window views clip with a binary search
+        (see :meth:`RelationDelta.lookup`).
         """
         index = self._indexes.get(columns)
         if index is not None:
@@ -227,13 +265,14 @@ class SequenceRelation:
             index = self._indexes.get(columns)
             if index is None:
                 index = {}
-                for row in self._rows:
-                    index_key = tuple(row[column].intern_id for column in columns)
+                column_arrays = [self._columns[column] for column in columns]
+                for position in range(len(self._rows)):
+                    index_key = tuple(ids[position] for ids in column_arrays)
                     bucket = index.get(index_key)
                     if bucket is None:
-                        index[index_key] = [row]
+                        index[index_key] = [position]
                     else:
-                        bucket.append(row)
+                        bucket.append(position)
                 self._indexes[columns] = index
         return index
 
@@ -255,9 +294,34 @@ class SequenceRelation:
         if not bucket:
             return
         # Snapshot bound: appends during iteration are not seen.
+        rows = self._rows
         stop = len(bucket)
-        for position in range(stop):
-            yield bucket[position]
+        for bucket_position in range(stop):
+            yield rows[bucket[bucket_position]]
+
+    def probe_positions(
+        self,
+        columns: Tuple[int, ...],
+        key: IdTuple,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> List[int]:
+        """Row positions in ``[start, stop)`` whose ``columns`` hold ``key``.
+
+        The batch kernels' join probe: both the key and the result are
+        plain ints (intern ids / row positions), so a probe never decodes
+        a :class:`~repro.sequences.Sequence`.  The bucket is clipped to
+        the window with binary searches on its ascending positions.
+        """
+        index = self.ensure_index(columns)
+        bucket = index.get(key)
+        if not bucket:
+            return []
+        if stop is None:
+            stop = len(self._rows)
+        high = bucket_prefix_length(bucket, stop)
+        low = bisect_left(bucket, start, 0, high) if start else 0
+        return bucket[low:high]
 
     def delta_view(self, start_version: int) -> "RelationDelta":
         """A live view of the rows inserted at or after ``start_version``.
@@ -274,9 +338,47 @@ class SequenceRelation:
         return RelationDelta(self, start, len(self._rows))
 
     def column_values(self, column: int) -> Set[Sequence]:
-        """The distinct values appearing in a column."""
-        index = self.ensure_index((column,))
-        return {bucket[0][column] for bucket in index.values() if bucket}
+        """The distinct values appearing in a column.
+
+        Reads the column's intern-id array directly — building (and
+        permanently retaining) a single-column hash index just to list
+        distinct values would bloat index memory for no lookup benefit.
+        """
+        if column < 0 or column >= self.arity:
+            raise ValidationError(
+                f"column {column} out of range for relation {self.name!r}"
+            )
+        stop = len(self._rows)
+        return {
+            Sequence.from_intern_id(value_id)
+            for value_id in set(self._columns[column][:stop])
+        }
+
+    def id_columns(self) -> Tuple[array, ...]:
+        """The per-column intern-id arrays in row order (read-only view).
+
+        ``id_columns()[c][p]`` is the intern id of row ``p``'s value in
+        column ``c``.  Callers must capture a row bound (``len(relation)``)
+        before slicing; ids past the bound belong to rows appended after
+        the snapshot was taken.
+        """
+        return self._columns
+
+    def id_column(self, column: int) -> array:
+        """The intern-id array for one column (see :meth:`id_columns`)."""
+        if column < 0 or column >= self.arity:
+            raise ValidationError(
+                f"column {column} out of range for relation {self.name!r}"
+            )
+        return self._columns[column]
+
+    def id_keys(self) -> Dict[IdTuple, int]:
+        """The membership map: full-row id tuple -> row position.
+
+        Treat as read-only; the batch head kernel dedups derived rows
+        against these keys without decoding sequences.
+        """
+        return self._positions
 
     def all_sequences(self) -> Set[Sequence]:
         """Every sequence appearing anywhere in the relation."""
@@ -320,7 +422,9 @@ class RelationDelta:
         self.relation = relation
         self.start = max(0, start)
         self.stop = stop
-        self._indexes: Dict[Tuple[int, ...], Dict[IdTuple, List[SequenceTuple]]] = {}
+        # Window-local indexes keyed like the persistent ones, but holding
+        # only the window's row positions (absolute store positions).
+        self._indexes: Dict[Tuple[int, ...], PositionIndex] = {}
 
     @property
     def name(self) -> str:
@@ -345,63 +449,47 @@ class RelationDelta:
             yield from self.relation._snapshot_iter(self.start, self.stop)
             return
         columns = tuple(sorted(bindings))
-        if self.start == 0:
-            yield from self._prefix_lookup(columns, bindings)
-            return
-        index = self._indexes.get(columns)
-        if index is None:
-            for column in columns:
-                if column < 0 or column >= self.relation.arity:
-                    raise ValidationError(
-                        f"column {column} out of range for relation "
-                        f"{self.relation.name!r}"
-                    )
-            index = {}
-            for row in self.relation._snapshot_iter(self.start, self.stop):
-                index_key = tuple(row[column].intern_id for column in columns)
-                bucket = index.get(index_key)
-                if bucket is None:
-                    index[index_key] = [row]
-                else:
-                    bucket.append(row)
-            self._indexes[columns] = index
-        index_key = tuple(as_sequence(bindings[column]).intern_id for column in columns)
-        yield from index.get(index_key, ())
-
-    def _prefix_lookup(
-        self, columns: Tuple[int, ...], bindings: Dict[int, Sequence]
-    ) -> Iterator[SequenceTuple]:
-        """Indexed lookup for a full-prefix window via the persistent index.
-
-        Bucket lists hold rows in insertion order, so the rows whose store
-        position lies below ``stop`` form a bucket *prefix*; binary search
-        on the membership map's positions finds its length.  Rows appended
-        after the window was pinned sit past that prefix and are never
-        yielded — this is what makes pinned snapshots repeatable while the
-        relation keeps growing behind them.
-        """
-        relation = self.relation
-        index = relation.ensure_index(columns)
         index_key = tuple(
             as_sequence(bindings[column]).intern_id for column in columns
         )
-        bucket = index.get(index_key)
-        if not bucket:
-            return
-        positions = relation._positions
-        stop = self.stop
+        rows = self.relation._rows
+        for position in self.probe_positions(columns, index_key):
+            yield rows[position]
 
-        def position_of(row: SequenceTuple) -> int:
-            return positions[tuple(value.intern_id for value in row)]
+    def probe_positions(self, columns: Tuple[int, ...], key: IdTuple) -> List[int]:
+        """Row positions inside the window whose ``columns`` hold ``key``.
 
-        low, high = 0, len(bucket)
-        if high and position_of(bucket[high - 1]) < stop:
-            low = high  # common case: the whole bucket is inside the window
-        while low < high:
-            mid = (low + high) // 2
-            if position_of(bucket[mid]) < stop:
-                low = mid + 1
-            else:
-                high = mid
-        for index_position in range(low):
-            yield bucket[index_position]
+        Three paths, cheapest first:
+
+        * a *full-prefix* window (``start == 0``) consults the relation's
+          persistent index and clips each ascending-position bucket to the
+          window with one binary search — no per-snapshot rebuild;
+        * a mid-store window whose column set already has a persistent
+          index reuses it, clipping the bucket at both ends (two binary
+          searches);
+        * otherwise a window-local position index is built once per column
+          set — the view lives for a single clause firing, so it stays
+          small.
+        """
+        relation = self.relation
+        if self.start == 0 or columns in relation._indexes:
+            return relation.probe_positions(columns, key, self.start, self.stop)
+        index = self._indexes.get(columns)
+        if index is None:
+            for column in columns:
+                if column < 0 or column >= relation.arity:
+                    raise ValidationError(
+                        f"column {column} out of range for relation "
+                        f"{relation.name!r}"
+                    )
+            index = {}
+            column_arrays = [relation._columns[column] for column in columns]
+            for position in range(self.start, min(self.stop, len(relation._rows))):
+                index_key = tuple(ids[position] for ids in column_arrays)
+                bucket = index.get(index_key)
+                if bucket is None:
+                    index[index_key] = [position]
+                else:
+                    bucket.append(position)
+            self._indexes[columns] = index
+        return index.get(key, [])

@@ -37,6 +37,14 @@ from repro.engine.demand import (
     demand_query,
 )
 from repro.engine.interpretation import Interpretation
+from repro.engine.kernels import (
+    BatchExecutor,
+    batch_classification,
+    batch_enabled,
+    kernel_stats,
+    reset_kernel_stats,
+    set_batch_enabled,
+)
 from repro.engine.limits import EvaluationLimits
 from repro.engine.plan import ClausePlan, ProgramPlan
 from repro.engine.planner import PlanExecutor, compile_clause, compile_program
@@ -57,6 +65,7 @@ from repro.engine.server import DatalogServer, ModelSnapshot
 from repro.engine.session import DatalogSession, MaintenanceReport
 
 __all__ = [
+    "BatchExecutor",
     "COMPILED",
     "ClausePlan",
     "CompiledFixpoint",
@@ -82,10 +91,15 @@ __all__ = [
     "Substitution",
     "TOperator",
     "adornment_of",
+    "batch_classification",
+    "batch_enabled",
     "compile_clause",
     "compile_demand",
     "compile_program",
     "compute_least_fixpoint",
     "demand_query",
     "evaluate_query",
+    "kernel_stats",
+    "reset_kernel_stats",
+    "set_batch_enabled",
 ]

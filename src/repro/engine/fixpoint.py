@@ -112,11 +112,14 @@ def compute_least_fixpoint(
     strategy: str = DEFAULT_STRATEGY,
     transducers: Optional[TransducerRegistry] = None,
     workers: Optional[int] = None,
+    use_kernels: Optional[bool] = None,
 ) -> FixpointResult:
     """Compute ``lfp(T_{P,db})`` bottom-up.
 
     ``workers`` selects the pool size of the ``parallel`` strategy (defaults
     to the machine's CPU count) and is ignored by the other strategies.
+    ``use_kernels`` overrides the batch-kernel default for the compiled and
+    parallel strategies (the interpreted strategies have no kernel path).
 
     Raises :class:`~repro.errors.FixpointNotReached` when a resource limit is
     exceeded before convergence (the exception carries the partial
@@ -128,11 +131,11 @@ def compute_least_fixpoint(
     start = time.perf_counter()
     if strategy == PARALLEL:
         interpretation, iterations, history = _compute_parallel(
-            program, database, limits, transducers, workers
+            program, database, limits, transducers, workers, use_kernels
         )
     elif strategy == COMPILED:
         interpretation, iterations, history = _compute_compiled(
-            program, database, limits, transducers
+            program, database, limits, transducers, use_kernels
         )
     else:
         interpretation, iterations, history = _compute_interpreted(
@@ -244,7 +247,7 @@ class CompiledFixpoint:
 
     __slots__ = (
         "program_plan", "plans", "executors", "interpretation", "sweeps",
-        "_last_versions", "_last_domain",
+        "use_kernels", "_last_versions", "_last_domain",
     )
 
     def __init__(
@@ -253,19 +256,23 @@ class CompiledFixpoint:
         transducers: Optional[TransducerRegistry] = None,
         program_plan: Optional[ProgramPlan] = None,
         seeds: Optional[Dict[int, Substitution]] = None,
+        use_kernels: Optional[bool] = None,
     ):
         """``program_plan`` lets a caller supply an already-compiled (and
         possibly restricted or adornment-seeded) plan set instead of
         compiling ``program`` afresh; ``seeds`` maps plan indexes to the
         initial substitutions their executors start from (demand-driven
-        evaluation pushes query constants into clause plans this way)."""
+        evaluation pushes query constants into clause plans this way).
+        ``use_kernels`` overrides the process-wide batch-kernel default for
+        this engine's executors (None = follow the default)."""
         self.program_plan = (
             program_plan if program_plan is not None else compile_program(program)
         )
         self.plans = self.program_plan.program_plans
+        self.use_kernels = use_kernels
         seeds = seeds or {}
         self.executors = [
-            PlanExecutor(plan, transducers, seed=seeds.get(index))
+            PlanExecutor(plan, transducers, seed=seeds.get(index), use_kernels=use_kernels)
             for index, plan in enumerate(self.plans)
         ]
         self.interpretation = Interpretation()
@@ -425,8 +432,9 @@ def _compute_compiled(
     database: SequenceDatabase,
     limits: EvaluationLimits,
     transducers: Optional[TransducerRegistry],
+    use_kernels: Optional[bool] = None,
 ) -> Tuple[Interpretation, int, List[int]]:
-    engine = CompiledFixpoint(program, transducers)
+    engine = CompiledFixpoint(program, transducers, use_kernels=use_kernels)
     new_facts_history = [engine.load_database(database)]
     new_facts_history.extend(engine.run(limits))
     return engine.interpretation, engine.sweeps + 1, new_facts_history
@@ -438,11 +446,14 @@ def _compute_parallel(
     limits: EvaluationLimits,
     transducers: Optional[TransducerRegistry],
     workers: Optional[int],
+    use_kernels: Optional[bool] = None,
 ) -> Tuple[Interpretation, int, List[int]]:
     # Imported lazily: parallel.py imports CompiledFixpoint from this module.
     from repro.engine.parallel import ParallelFixpoint
 
-    engine = ParallelFixpoint(program, transducers, workers=workers)
+    engine = ParallelFixpoint(
+        program, transducers, workers=workers, use_kernels=use_kernels
+    )
     try:
         new_facts_history = [engine.load_database(database)]
         new_facts_history.extend(engine.run(limits))

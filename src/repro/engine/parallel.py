@@ -84,20 +84,24 @@ def _first_scan_position(plan: ClausePlan) -> Optional[int]:
     return None
 
 
-def _worker_main(program_blob: bytes, task_queue, result_queue) -> None:
+def _worker_main(
+    program_blob: bytes, task_queue, result_queue, use_kernels: Optional[bool] = None
+) -> None:
     """Worker process loop: keep a replica in sync, fire plans on request.
 
     The replica starts empty and is grown exclusively through ``sync``
     messages, which ship rows in coordinator insertion order — so a row's
     position in the replica's append-only store equals its position in the
     coordinator's, and window coordinates transfer directly.
+    ``use_kernels`` mirrors the coordinator's batch-kernel override so both
+    sides of a partitioned firing take the same execution path.
     """
     # Under the fork start method another coordinator thread may have held
     # the intern-table lock at fork time; the replica is single-threaded
     # here, so a fresh lock is always safe.
     Sequence._lock = threading.Lock()
     program = pickle.loads(program_blob)
-    core = CompiledFixpoint(program)
+    core = CompiledFixpoint(program, use_kernels=use_kernels)
     interpretation = core.interpretation
     while True:
         message = task_queue.get()
@@ -134,7 +138,13 @@ def _worker_main(program_blob: bytes, task_queue, result_queue) -> None:
 class _ProcessPool:
     """A fixed pool of replica workers with incremental state shipping."""
 
-    def __init__(self, program_blob: bytes, workers: int, start_method: Optional[str]):
+    def __init__(
+        self,
+        program_blob: bytes,
+        workers: int,
+        start_method: Optional[str],
+        use_kernels: Optional[bool] = None,
+    ):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -150,7 +160,7 @@ class _ProcessPool:
             task_queue = context.Queue()
             process = context.Process(
                 target=_worker_main,
-                args=(program_blob, task_queue, self._result_queue),
+                args=(program_blob, task_queue, self._result_queue, use_kernels),
                 daemon=True,
             )
             process.start()
@@ -268,12 +278,13 @@ class ParallelFixpoint(CompiledFixpoint):
         start_method: Optional[str] = None,
         program_plan: Optional[ProgramPlan] = None,
         seeds: Optional[Dict[int, Substitution]] = None,
+        use_kernels: Optional[bool] = None,
     ):
         if mode not in PARALLEL_MODES:
             raise EvaluationError(
                 f"unknown parallel mode {mode!r}; expected one of {PARALLEL_MODES}"
             )
-        super().__init__(program, transducers, program_plan, seeds)
+        super().__init__(program, transducers, program_plan, seeds, use_kernels)
         self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
         self.mode = mode
         self.process_threshold = process_threshold
@@ -438,7 +449,7 @@ class ParallelFixpoint(CompiledFixpoint):
         if self._process_pool is None:
             assert self._program_blob is not None
             self._process_pool = _ProcessPool(
-                self._program_blob, self.workers, self._start_method
+                self._program_blob, self.workers, self._start_method, self.use_kernels
             )
         return self._process_pool
 

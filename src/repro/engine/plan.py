@@ -159,9 +159,17 @@ class ClausePlan:
 
     def explain(self) -> str:
         """A human-readable rendering of the plan."""
+        # Imported lazily: kernels.py imports this module for the step types.
+        from repro.engine.kernels import batch_classification
+
         lines = [f"clause: {self.clause}"]
         mode = "semi-naive (delta-restricted)" if self.delta_safe else "full re-evaluation"
         lines.append(f"  firing mode: {mode}")
+        batchable, reason = batch_classification(self)
+        if batchable:
+            lines.append("  execution: batch kernels")
+        else:
+            lines.append(f"  execution: per-tuple ({reason})")
         if self.seed_sequences:
             names = ", ".join(self.seed_sequences)
             lines.append(f"  given (adornment seed): {{{names}}}")

@@ -30,6 +30,7 @@ from itertools import product
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.analysis.dependency_graph import build_dependency_graph
+from repro.engine import kernels
 from repro.engine.bindings import Substitution, TransducerRegistry
 from repro.engine.evaluation import emit_heads, match_args
 from repro.engine.interpretation import Fact, Interpretation
@@ -444,11 +445,17 @@ class PlanExecutor:
     exactly those variables): every firing starts from that substitution
     instead of the empty one, which is how demand-driven evaluation pushes
     query constants into clause bodies.
+
+    Plans classified batchable (:func:`repro.engine.kernels
+    .batch_classification`) route ``derive``/``derive_delta`` through the
+    batch kernels unless ``use_kernels`` (or the process-wide default,
+    :func:`repro.engine.kernels.set_batch_enabled`) turns them off; the
+    firing semantics are identical either way.
     """
 
     __slots__ = (
         "plan", "transducers", "_steps", "_head_sequence_vars",
-        "_head_index_vars", "_initial",
+        "_head_index_vars", "_initial", "_batch", "_fallback_reason",
     )
 
     def __init__(
@@ -456,6 +463,7 @@ class PlanExecutor:
         plan: ClausePlan,
         transducers: Optional[TransducerRegistry] = None,
         seed: Optional[Substitution] = None,
+        use_kernels: Optional[bool] = None,
     ):
         self.plan = plan
         self.transducers = transducers
@@ -463,12 +471,59 @@ class PlanExecutor:
         self._head_sequence_vars = plan.clause.head.sequence_variables()
         self._head_index_vars = plan.clause.head.index_variables()
         self._initial = seed if seed is not None else Substitution()
+        enabled = kernels.batch_enabled() if use_kernels is None else use_kernels
+        batchable, reason = kernels.batch_classification(plan)
+        if batchable and not self._seed_matches_plan():
+            batchable, reason = False, kernels.REASON_SEED_MISMATCH
+        self._batch: Optional[kernels.BatchExecutor] = None
+        self._fallback_reason = reason
+        if batchable and enabled:
+            seed_row = tuple(
+                self._initial.sequence(name).intern_id
+                for name in plan.seed_sequences
+            )
+            self._batch = kernels.BatchExecutor(plan, seed_row)
+        elif batchable:
+            self._fallback_reason = kernels.REASON_DISABLED
+
+    def _seed_matches_plan(self) -> bool:
+        """Whether the seed binds exactly the plan's adornment variables.
+
+        The batch compilation assumes the initial substitution binds the
+        plan's ``seed_sequences`` and nothing else relevant to the clause;
+        any other seed (possible for hand-built executors) falls back to
+        the tuple path, whose matcher handles arbitrary pre-bindings.
+        """
+        plan = self.plan
+        clause_sequences = set(plan.clause.sequence_variables())
+        bound = set(self._initial.sequence_bindings) & clause_sequences
+        if bound != set(plan.seed_sequences):
+            return False
+        return not (
+            set(self._initial.index_bindings) & set(plan.clause.index_variables())
+        )
+
+    @property
+    def execution_mode(self) -> str:
+        """``"batch"`` or ``"tuple"`` — how firings of this executor run."""
+        return "batch" if self._batch is not None else "tuple"
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why firings take the tuple path (None on the batch path)."""
+        return None if self._batch is not None else self._fallback_reason
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def derive(self, interpretation: Interpretation) -> Iterator[Fact]:
-        """Yield every ground head fact derivable from the interpretation."""
+    def derive(self, interpretation: Interpretation) -> Iterable[Fact]:
+        """Every ground head fact derivable from the interpretation."""
+        if self._batch is not None:
+            return self._batch.derive(interpretation)
+        kernels.record_tuple_firing(self._fallback_reason)
+        return self._derive_tuple(interpretation)
+
+    def _derive_tuple(self, interpretation: Interpretation) -> Iterator[Fact]:
         for substitution in self.solutions(interpretation):
             yield from self._emit(substitution, interpretation)
 
@@ -499,7 +554,7 @@ class PlanExecutor:
         interpretation: Interpretation,
         atom_position: int,
         view: ScanSource,
-    ) -> Iterator[Fact]:
+    ) -> Iterable[Fact]:
         """Fire once with the atom at ``atom_position`` restricted to ``view``.
 
         Every other occurrence of the same predicate joins against the full
@@ -510,6 +565,17 @@ class PlanExecutor:
         window, because every solution goes through exactly one row at the
         restricted position.
         """
+        if self._batch is not None:
+            return self._batch.derive_delta(interpretation, atom_position, view)
+        kernels.record_tuple_firing(self._fallback_reason)
+        return self._derive_delta_tuple(interpretation, atom_position, view)
+
+    def _derive_delta_tuple(
+        self,
+        interpretation: Interpretation,
+        atom_position: int,
+        view: ScanSource,
+    ) -> Iterator[Fact]:
         predicate = None
         for step in self._steps:
             if isinstance(step, AtomScan) and step.atom_position == atom_position:

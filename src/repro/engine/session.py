@@ -52,6 +52,7 @@ from repro.engine.bindings import TransducerRegistry
 from repro.engine.demand import DemandQuery, DemandResult
 from repro.engine.fixpoint import CompiledFixpoint
 from repro.engine.interpretation import Fact, Interpretation
+from repro.engine.kernels import kernel_stats
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import (
     PreparedQuery,
@@ -209,6 +210,11 @@ class DatalogSession:
     parallel_mode:
         Pool flavour for ``workers``: ``"auto"``, ``"thread"`` or
         ``"process"`` (see :class:`~repro.engine.parallel.ParallelFixpoint`).
+    use_kernels:
+        Overrides the process-wide batch-kernel default for this session's
+        executors (None = follow :func:`repro.engine.kernels.batch_enabled`).
+        The computed model is identical either way; ``stats()["kernels"]``
+        reports which path firings took.
 
     Examples
     --------
@@ -233,6 +239,7 @@ class DatalogSession:
         lazy: bool = False,
         workers: Optional[int] = None,
         parallel_mode: str = "auto",
+        use_kernels: Optional[bool] = None,
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
         self.program.validate()
@@ -243,10 +250,16 @@ class DatalogSession:
             from repro.engine.parallel import ParallelFixpoint
 
             self._core: CompiledFixpoint = ParallelFixpoint(
-                self.program, transducers, workers=workers, mode=parallel_mode
+                self.program,
+                transducers,
+                workers=workers,
+                mode=parallel_mode,
+                use_kernels=use_kernels,
             )
         else:
-            self._core = CompiledFixpoint(self.program, transducers)
+            self._core = CompiledFixpoint(
+                self.program, transducers, use_kernels=use_kernels
+            )
         self._program_predicates = frozenset(self.program.predicates())
         self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
         self._prepared_cache_size = max(1, prepared_cache_size)
@@ -533,6 +546,7 @@ class DatalogSession:
                 "misses": self._demand_misses,
             },
             "intern_table": Sequence.intern_stats(),
+            "kernels": kernel_stats(),
         }
         parallel_stats = getattr(self._core, "parallel_stats", None)
         if parallel_stats is not None:

@@ -313,6 +313,163 @@ def test_parallel_process_pool_matches_compiled_on_sampled_programs():
 
 
 # ----------------------------------------------------------------------
+# Batch kernel execution agrees with the per-tuple path: a batchable plan
+# is a pure relational join over interned ids, so routing it through the
+# kernels must not change a single fact — across full firings, semi-naive
+# deltas, parallel windows, demand restriction and session maintenance.
+# ----------------------------------------------------------------------
+
+# Join-heavy templates: most are batchable (multi-atom joins, constant
+# probes, repeated variables, filters), while the last two force per-tuple
+# fallbacks so mixed programs exercise both paths in one fixpoint.  Every
+# predicate keeps one arity across templates, so any subset parses.
+_KERNEL_TEMPLATES = (
+    "e(X, Y) :- r(X), r(Y).",
+    "t(X, Y) :- e(X, Y).",
+    "t(X, Z) :- t(X, Y), e(Y, Z).",
+    't(X, Y) :- e(X, Y), X != "a".',
+    "s(X) :- e(X, X).",
+    "s(X) :- t(X, Y), s(Y).",
+    'c(Y) :- e("a", Y).',
+    'h("z", X) :- s(X).',
+    "u(X ++ X) :- r(X).",
+    "v(X[1:N]) :- r(X).",
+)
+
+
+@SLOW
+@given(
+    st.lists(
+        st.sampled_from(_KERNEL_TEMPLATES), min_size=1, max_size=5, unique=True
+    ),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+def test_batch_kernels_match_tuple_path_on_random_programs(
+    templates, seed, count, length
+):
+    program = parse_program("".join(templates))
+    database = string_database(count, length, alphabet="ab", seed=seed)
+    on = compute_least_fixpoint(
+        program, database, limits=_EQUIVALENCE_LIMITS,
+        strategy=COMPILED, use_kernels=True,
+    )
+    off = compute_least_fixpoint(
+        program, database, limits=_EQUIVALENCE_LIMITS,
+        strategy=COMPILED, use_kernels=False,
+    )
+    assert on.interpretation == off.interpretation
+    assert on.fact_count == off.fact_count
+
+
+@SLOW
+@given(
+    st.lists(
+        st.sampled_from(_KERNEL_TEMPLATES), min_size=1, max_size=5, unique=True
+    ),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+def test_batch_kernels_match_tuple_path_under_parallel_windows(
+    templates, seed, count, length
+):
+    """Partitioned delta windows hit the kernels' mid-store probe paths."""
+    from repro.engine.parallel import ParallelFixpoint
+
+    program = parse_program("".join(templates))
+    database = string_database(count, length, alphabet="ab", seed=seed)
+    reference = compute_least_fixpoint(
+        program, database, limits=_EQUIVALENCE_LIMITS,
+        strategy=COMPILED, use_kernels=False,
+    )
+    engine = ParallelFixpoint(
+        program, workers=3, mode="thread", min_partition_rows=1,
+        use_kernels=True,
+    )
+    try:
+        engine.load_database(database)
+        engine.run(_EQUIVALENCE_LIMITS)
+        assert engine.interpretation == reference.interpretation
+    finally:
+        engine.close()
+
+
+@SLOW
+@given(
+    st.lists(
+        st.sampled_from(_KERNEL_TEMPLATES), min_size=1, max_size=5, unique=True
+    ),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=3),
+    st.data(),
+)
+def test_batch_kernels_match_tuple_path_under_session_increments(
+    templates, seed, count, length, data
+):
+    """Incremental maintenance fires delta-restricted kernel firings."""
+    from repro.engine.session import DatalogSession
+
+    program = parse_program("".join(templates))
+    database = string_database(count, length, alphabet="ab", seed=seed)
+    rows = [row[0].text for row in database.relation("r")]
+    split = data.draw(st.integers(min_value=0, max_value=len(rows)), label="split")
+    sessions = {}
+    for use_kernels in (True, False):
+        session = DatalogSession(
+            program, {"r": rows[:split]},
+            limits=_EQUIVALENCE_LIMITS, use_kernels=use_kernels,
+        )
+        for row in rows[split:]:
+            session.add_facts({"r": [row]})
+        sessions[use_kernels] = session
+    assert sessions[True].interpretation == sessions[False].interpretation
+
+
+@SLOW
+@given(
+    st.lists(
+        st.sampled_from(_KERNEL_TEMPLATES), min_size=2, max_size=5, unique=True
+    ),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_batch_kernels_match_tuple_path_under_demand(templates, seed, count, data):
+    """Demand slices (adornment-seeded plans) agree with kernels on and off."""
+    from repro.engine.demand import compile_demand
+    from repro.engine.kernels import set_batch_enabled
+
+    program = parse_program("".join(templates))
+    database = string_database(count, 2, alphabet="ab", seed=seed)
+    predicate = data.draw(
+        st.sampled_from(sorted(program.head_predicates())), label="predicate"
+    )
+    arity = program.signatures()[predicate]
+    variables = [f"V{position}" for position in range(arity)]
+    patterns = [f"{predicate}({', '.join(variables)})"]
+    if arity:
+        # Constant-bound: the adornment seeds the defining plans, so the
+        # kernels run with a non-empty seed row.
+        rest = ", ".join(variables[1:])
+        patterns.append(f'{predicate}("a"{", " + rest if rest else ""})')
+    for pattern in patterns:
+        compiled = compile_demand(program, pattern)
+        on = compiled.materialize(database, _EQUIVALENCE_LIMITS)
+        previous = set_batch_enabled(False)
+        try:
+            off = compiled.materialize(database, _EQUIVALENCE_LIMITS)
+        finally:
+            set_batch_enabled(previous)
+        assert sorted(compiled.query(on).texts()) == sorted(
+            compiled.query(off).texts()
+        )
+        assert on.fact_count == off.fact_count
+
+
+# ----------------------------------------------------------------------
 # Demand-driven evaluation agrees with full materialisation
 # ----------------------------------------------------------------------
 @SLOW

@@ -209,7 +209,7 @@ def load_baselines(names):
         if not entry.endswith(".json"):
             continue
         path = os.path.join(BASELINE_DIR, entry)
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             baseline = json.load(handle)
         if names and baseline["benchmark"] not in names:
             continue

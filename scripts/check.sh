@@ -6,12 +6,17 @@
 # Steps:
 #   1. ruff lint over src/tests/benchmarks/scripts (skipped with a notice
 #      when ruff is not installed — CI always installs it);
-#   2. tier-1 pytest;
-#   3. bench_demand --smoke  + shape validation (validate_report);
-#   4. bench_parallel --smoke + shape validation (validate_report);
-#   5. bench_api --smoke + shape validation (validate_report);
-#   6. bench_kernels --smoke + shape validation (validate_report);
-#   7. end-to-end TCP smoke: bind a live server on a free port, drive it
+#   2. mypy over the strict-typed packages repro.analysis + repro.api
+#      (skipped with a notice when mypy is not installed);
+#   3. diagnostics over every shipped workload (scripts/lint_corpus.py):
+#      no program may raise an error-severity diagnostic beyond the
+#      allowlisted paper examples;
+#   4. tier-1 pytest;
+#   5. bench_demand --smoke  + shape validation (validate_report);
+#   6. bench_parallel --smoke + shape validation (validate_report);
+#   7. bench_api --smoke + shape validation (validate_report);
+#   8. bench_kernels --smoke + shape validation (validate_report);
+#   9. end-to-end TCP smoke: bind a live server on a free port, drive it
 #      with a real DatalogClient and a raw socket, validate the versioned
 #      JSON envelopes (schema v1, typed results, structured errors).
 #
@@ -32,6 +37,18 @@ elif python -c "import ruff" >/dev/null 2>&1; then
 else
     echo "ruff not installed; skipping lint (CI installs it from requirements-dev.txt)"
 fi
+
+echo "== types (mypy) =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy -p repro.analysis -p repro.api
+elif python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy -p repro.analysis -p repro.api
+else
+    echo "mypy not installed; skipping type check (CI installs it from requirements-dev.txt)"
+fi
+
+echo "== program diagnostics (lint corpus) =="
+python scripts/lint_corpus.py
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"

@@ -17,6 +17,7 @@ Quickstart
 ['', 'abc', 'bc', 'c']
 """
 
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, lint_program
 from repro.api.client import DatalogClient
 from repro.api.service import DatalogService
 from repro.api.transport import DatalogTCPServer, serve_tcp
@@ -26,6 +27,8 @@ from repro.api.types import (
     ApiError,
     BatchRequest,
     ExplainRequest,
+    LintRequest,
+    LintResponse,
     QueryRequest,
     QueryResultPage,
     ServerStats,
@@ -56,7 +59,11 @@ __all__ = [
     "DatalogService",
     "DatalogSession",
     "DatalogTCPServer",
+    "Diagnostic",
+    "DiagnosticReport",
     "ExplainRequest",
+    "LintRequest",
+    "LintResponse",
     "QueryRequest",
     "QueryResultPage",
     "SCHEMA_VERSION",
@@ -76,6 +83,7 @@ __all__ = [
     "compute_least_fixpoint",
     "demand_query",
     "evaluate_query",
+    "lint_program",
     "parse_atom",
     "parse_clause",
     "parse_program",

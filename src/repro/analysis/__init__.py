@@ -19,7 +19,11 @@ finite, safe fragments:
   Theorem 2);
 * :mod:`~repro.analysis.complexity` -- the Theorem 3/8/9 complexity
   guarantees as a static report, with model-size envelopes and the "levers"
-  that move a program into a cheaper class.
+  that move a program into a cheaper class;
+* :mod:`~repro.analysis.diagnostics` / :mod:`~repro.analysis.rules` -- the
+  program diagnostics engine: all of the above (plus semantic checks and
+  planner-aware performance lints) as one rule registry producing stable
+  codes with source spans, surfaced by ``repro lint`` and the TCP API.
 """
 
 from repro.analysis.complexity import (
@@ -42,6 +46,14 @@ from repro.analysis.stratification import (
 from repro.analysis.guardedness import guard_program, is_guarded, unguarded_clauses
 from repro.analysis.fragments import is_non_constructive, non_constructive_subset
 from repro.analysis.finiteness import FinitenessVerdict, classify_finiteness
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    SEVERITIES,
+    explain_with_diagnostics,
+    lint_program,
+)
+from repro.analysis.rules import LintContext, LintRule, all_rules, run_rules
 
 __all__ = [
     "ComplexityReport",
@@ -49,8 +61,17 @@ __all__ = [
     "DataComplexityClass",
     "DependencyEdge",
     "DependencyGraph",
+    "Diagnostic",
+    "DiagnosticReport",
     "FinitenessVerdict",
+    "LintContext",
+    "LintRule",
+    "SEVERITIES",
     "SafetyReport",
+    "all_rules",
+    "explain_with_diagnostics",
+    "lint_program",
+    "run_rules",
     "analyze_complexity",
     "analyze_safety",
     "build_dependency_graph",

@@ -41,7 +41,7 @@ class DependencyEdge:
 class DependencyGraph:
     """The predicate dependency graph of a program."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program) -> None:
         self.program = program
         self._graph = nx.DiGraph()
         for predicate in program.predicates():

@@ -1,0 +1,406 @@
+"""Program diagnostics: stable codes, source spans, severities, reports.
+
+The paper's central negative result (Theorem 2: finiteness of Sequence
+Datalog is fully undecidable) is why it develops *static sufficient
+conditions* — strong safety (Definition 10), stratification by
+construction (Section 5), guardedness (Appendix B).  The analysis package
+implements them as library functions; this module gives their findings —
+plus practical semantic checks and planner-aware performance lints — a
+stable identity so they can travel: through the CLI (``repro lint``), the
+versioned TCP API (``LintRequest``/``LintResponse``) and CI gates.
+
+A :class:`Diagnostic` is one finding: a stable code (``SDL-E101``), a
+severity (``error`` / ``warning`` / ``perf`` / ``hint``), a message, the
+predicate and clause concerned, a 1-based source span (threaded from the
+lexer through the AST by :mod:`repro.language.parser`) and an optional
+fix hint.  A :class:`DiagnosticReport` is the outcome of running the rule
+registry (:mod:`repro.analysis.rules`) over a program; it renders either
+as machine-readable payloads or as human output with caret-underlined
+source excerpts.
+
+The code space is partitioned by tier:
+
+* ``SDL-E1xx`` — semantic errors (broken programs);
+* ``SDL-W2xx`` — paper-theory warnings (legal but possibly non-terminating
+  or domain-sensitive programs);
+* ``SDL-H3xx`` — hygiene hints (suspicious but harmless constructs);
+* ``SDL-P4xx`` — performance lints read off the compiled plan.
+
+See ``docs/DIAGNOSTICS.md`` for the full code table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ParseError, ReproError
+from repro.language.atoms import Atom
+from repro.language.clauses import Program
+from repro.language.parser import parse_atom, parse_program
+from repro.language.spans import SourceSpan
+
+# ----------------------------------------------------------------------
+# Severities
+# ----------------------------------------------------------------------
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_PERF = "perf"
+SEVERITY_HINT = "hint"
+
+#: All severities, most severe first.
+SEVERITIES: Tuple[str, ...] = (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    SEVERITY_PERF,
+    SEVERITY_HINT,
+)
+
+_SEVERITY_RANK: Dict[str, int] = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: The code reserved for programs that do not parse at all.
+PARSE_ERROR_CODE = "SDL-E100"
+
+
+# ----------------------------------------------------------------------
+# Diagnostic
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the lint pass.
+
+    ``clause`` is the rendered text of the clause concerned (wire-friendly:
+    the AST itself never crosses the API).  ``span`` is ``None`` for
+    findings about programmatically built clauses or about the program as
+    a whole.
+    """
+
+    code: str
+    severity: str
+    message: str
+    predicate: Optional[str] = None
+    clause: Optional[str] = None
+    span: Optional[SourceSpan] = None
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def severity_rank(self) -> int:
+        """Position in :data:`SEVERITIES` (0 is most severe)."""
+        return _SEVERITY_RANK[self.severity]
+
+    def __str__(self) -> str:
+        location = f"{self.span.line}:{self.span.column}: " if self.span else ""
+        return f"{location}{self.code} {self.severity}: {self.message}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-friendly wire form of the diagnostic."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "predicate": self.predicate,
+            "clause": self.clause,
+            "span": self.span.to_payload() if self.span is not None else None,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> Diagnostic:
+        span_payload = payload.get("span")
+        return cls(
+            code=str(payload["code"]),
+            severity=str(payload["severity"]),
+            message=str(payload["message"]),
+            predicate=payload.get("predicate"),
+            clause=payload.get("clause"),
+            span=SourceSpan.from_payload(span_payload) if span_payload else None,
+            hint=payload.get("hint"),
+        )
+
+
+def _sort_key(diagnostic: Diagnostic) -> Tuple[int, int, int, str]:
+    span = diagnostic.span
+    line = span.line if span is not None else 1_000_000_000
+    column = span.column if span is not None else 0
+    return (diagnostic.severity_rank, line, column, diagnostic.code)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """The outcome of linting one program: an ordered set of diagnostics.
+
+    Diagnostics are ordered by severity, then source position, then code,
+    so reports are deterministic and the most urgent findings lead.
+    """
+
+    diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.diagnostics, key=_sort_key))
+        object.__setattr__(self, "diagnostics", ordered)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        """True when the lint pass found nothing at all."""
+        return not self.diagnostics
+
+    def with_severity(self, severity: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(SEVERITY_ERROR)
+
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(SEVERITY_WARNING)
+
+    def has_errors(self) -> bool:
+        return bool(self.errors())
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct codes present, in report order."""
+        seen: List[str] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.code not in seen:
+                seen.append(diagnostic.code)
+        return tuple(seen)
+
+    def counts(self) -> Dict[str, int]:
+        """Findings per severity (all severities present, possibly 0)."""
+        totals = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            totals[diagnostic.severity] += 1
+        return totals
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The process exit code ``repro lint`` maps this report to.
+
+        ``2`` when any error-severity diagnostic is present; ``1`` when
+        ``strict`` and any warning- or perf-severity diagnostic is present
+        (hints never gate); ``0`` otherwise.
+        """
+        if self.has_errors():
+            return 2
+        if strict and any(
+            d.severity in (SEVERITY_WARNING, SEVERITY_PERF) for d in self.diagnostics
+        ):
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One line: ``3 diagnostics: 1 error, 2 warnings`` or ``clean``."""
+        if self.clean:
+            return "clean: no diagnostics"
+        counts = self.counts()
+        parts = []
+        for severity in SEVERITIES:
+            count = counts[severity]
+            if count:
+                suffix = "" if count == 1 or severity == "perf" else "s"
+                parts.append(f"{count} {severity}{suffix}")
+        total = len(self.diagnostics)
+        noun = "diagnostic" if total == 1 else "diagnostics"
+        return f"{total} {noun}: " + ", ".join(parts)
+
+    def describe(self) -> str:
+        """A compact, excerpt-free rendering (used by ``explain()``)."""
+        lines = [str(diagnostic) for diagnostic in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def render(self, source: Optional[str] = None, filename: str = "<program>") -> str:
+        """Human output: one block per diagnostic with a caret-underlined
+        source excerpt when the program text is available."""
+        source_lines = source.splitlines() if source is not None else None
+        blocks: List[str] = []
+        for diagnostic in self.diagnostics:
+            blocks.append(_render_diagnostic(diagnostic, source_lines, filename))
+        blocks.append(self.summary())
+        return "\n".join(blocks)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_payload() for d in self.diagnostics],
+            "counts": self.counts(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> DiagnosticReport:
+        return cls(
+            diagnostics=tuple(
+                Diagnostic.from_payload(item) for item in payload.get("diagnostics", [])
+            )
+        )
+
+
+def _render_diagnostic(
+    diagnostic: Diagnostic,
+    source_lines: Optional[List[str]],
+    filename: str,
+) -> str:
+    span = diagnostic.span
+    if span is not None:
+        header = (
+            f"{filename}:{span.line}:{span.column}: "
+            f"{diagnostic.code} {diagnostic.severity}: {diagnostic.message}"
+        )
+    else:
+        header = f"{filename}: {diagnostic.code} {diagnostic.severity}: {diagnostic.message}"
+    lines = [header]
+    if span is not None and source_lines is not None and 1 <= span.line <= len(source_lines):
+        text = source_lines[span.line - 1]
+        gutter = f"{span.line:>5} | "
+        lines.append(f"{gutter}{text}")
+        if span.end_line == span.line:
+            width = max(1, span.end_column - span.column + 1)
+        else:
+            width = max(1, len(text) - span.column + 1)
+        underline = " " * (span.column - 1) + "^" * width
+        lines.append(" " * (len(gutter) - 2) + "| " + underline)
+    if diagnostic.hint:
+        lines.append(f"      = hint: {diagnostic.hint}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_program(
+    program: Union[str, Program],
+    *,
+    database: Optional[Any] = None,
+    patterns: Iterable[Union[str, Atom]] = (),
+    transducer_orders: Optional[Mapping[str, int]] = None,
+    source: Optional[str] = None,
+) -> DiagnosticReport:
+    """Run the full rule registry over a program and return the report.
+
+    ``program`` may be program text (a parse failure then becomes the
+    single diagnostic ``SDL-E100`` instead of an exception) or a parsed
+    :class:`~repro.language.clauses.Program`.  ``database`` (a
+    :class:`~repro.database.database.SequenceDatabase`) and ``patterns``
+    (query atoms, as text or parsed) are optional: some rules — undefined
+    predicates, arity conflicts against relations, dead clauses — see
+    more with them.  ``source`` overrides the program text used for
+    excerpt rendering (normally picked up from ``program.source``).
+    """
+    from repro.analysis.rules import LintContext, run_rules
+
+    if isinstance(program, str):
+        source = program if source is None else source
+        try:
+            parsed = parse_program(program)
+        except ParseError as error:
+            return DiagnosticReport(diagnostics=(_parse_error_diagnostic(error),))
+    else:
+        parsed = program
+        if source is None:
+            parsed_source = getattr(parsed, "source", None)
+            source = parsed_source if isinstance(parsed_source, str) else None
+
+    pattern_atoms: List[Atom] = []
+    pattern_diagnostics: List[Diagnostic] = []
+    for pattern in patterns:
+        if isinstance(pattern, Atom):
+            pattern_atoms.append(pattern)
+            continue
+        try:
+            pattern_atoms.append(parse_atom(pattern))
+        except (ParseError, ReproError) as error:
+            pattern_diagnostics.append(
+                Diagnostic(
+                    code=PARSE_ERROR_CODE,
+                    severity=SEVERITY_ERROR,
+                    message=f"query pattern {pattern!r} does not parse: {error}",
+                )
+            )
+
+    context = LintContext(
+        program=parsed,
+        source=source,
+        database=database,
+        patterns=tuple(pattern_atoms),
+        transducer_orders=dict(transducer_orders) if transducer_orders else None,
+    )
+    diagnostics = list(run_rules(context)) + pattern_diagnostics
+    return DiagnosticReport(diagnostics=tuple(diagnostics))
+
+
+def _parse_error_diagnostic(error: ParseError) -> Diagnostic:
+    line = getattr(error, "line", None)
+    column = getattr(error, "column", None)
+    span = None
+    if isinstance(line, int) and isinstance(column, int):
+        span = SourceSpan(line, column, line, column)
+    return Diagnostic(
+        code=PARSE_ERROR_CODE,
+        severity=SEVERITY_ERROR,
+        message=f"program does not parse: {error}",
+        span=span,
+        hint="fix the syntax error; nothing else can be checked until the program parses",
+    )
+
+
+def explain_with_diagnostics(
+    program: Program,
+    transducer_orders: Optional[Mapping[str, int]] = None,
+) -> str:
+    """The compiled plan explanation followed by a diagnostics section.
+
+    This is the shared backing of ``engine_api.explain()`` and the API
+    service's ``ExplainRequest`` so local and remote callers read the
+    same text.
+    """
+    from repro.engine.planner import compile_program
+
+    plan_text = compile_program(program).explain()
+    report = lint_program(program, transducer_orders=transducer_orders)
+    lines = [plan_text, "", "diagnostics:"]
+    if report.clean:
+        lines.append("  none")
+    else:
+        for diagnostic in report:
+            lines.append(f"  {diagnostic}")
+        lines.append(f"  ({report.summary()})")
+    return "\n".join(lines)
+
+
+def severity_rank(severity: str) -> int:
+    """Position of a severity in :data:`SEVERITIES` (0 is most severe)."""
+    try:
+        return _SEVERITY_RANK[severity]
+    except KeyError:
+        raise ValueError(f"unknown severity {severity!r}") from None
+
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "PARSE_ERROR_CODE",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_HINT",
+    "SEVERITY_PERF",
+    "SEVERITY_WARNING",
+    "explain_with_diagnostics",
+    "lint_program",
+    "severity_rank",
+]

@@ -1,0 +1,851 @@
+"""The lint rule registry: every diagnostic code and the check behind it.
+
+Rules are small functions from a :class:`LintContext` (the program plus
+optional database, query patterns and transducer orders, with lazily
+computed shared analyses) to an iterable of
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  They register
+themselves under a stable code with the :func:`lint_rule` decorator, in
+three tiers:
+
+* ``SDL-E1xx`` semantic errors: undefined predicates, arity conflicts,
+  range-restriction violations;
+* ``SDL-W2xx`` paper-theory warnings (possibly-infinite programs,
+  constructive cycles, unstratifiable construction, unguarded clauses)
+  and ``SDL-H3xx`` hygiene hints (singleton variables, duplicate and dead
+  clauses);
+* ``SDL-P4xx`` performance lints read off the compiled plan: per-clause
+  kernel-fallback reasons, cartesian-product joins, scans that cannot use
+  a composite index.
+
+The context computes *facts* (which predicates conflict, which scans are
+unkeyed); the rules only decide severity and wording.  That split keeps
+every rule independent of the order the registry runs them in.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_HINT,
+    SEVERITY_PERF,
+    SEVERITY_WARNING,
+)
+from repro.analysis.finiteness import FinitenessReport, FinitenessVerdict, classify_finiteness
+from repro.analysis.guardedness import unguarded_clauses
+from repro.analysis.safety import SafetyReport, analyze_safety
+from repro.errors import ReproError
+from repro.language.atoms import Atom, Comparison
+from repro.language.clauses import Clause, Program
+from repro.language.spans import SourceSpan, span_of
+from repro.language.terms import (
+    ConcatTerm,
+    IndexSum,
+    IndexTerm,
+    IndexVariable,
+    IndexedTerm,
+    SequenceTerm,
+    SequenceVariable,
+    TransducerTerm,
+)
+
+#: Occurrence roles used by :meth:`LintContext.atom_occurrences`.
+ROLE_HEAD = "head"
+ROLE_BODY = "body"
+ROLE_PATTERN = "query pattern"
+
+
+# ----------------------------------------------------------------------
+# Context
+# ----------------------------------------------------------------------
+class LintContext:
+    """Everything a rule may look at, with shared analyses computed once.
+
+    ``database`` is a :class:`~repro.database.database.SequenceDatabase`
+    or ``None``; rules must test ``is not None`` (an empty database is
+    falsy but still a schema).  ``plan()`` is ``None`` when the program
+    cannot be compiled (e.g. arity conflicts), in which case the
+    plan-reading rules simply do not fire.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        source: Optional[str] = None,
+        database: Optional[Any] = None,
+        patterns: Tuple[Atom, ...] = (),
+        transducer_orders: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.program = program
+        self.source = source
+        self.database = database
+        self.patterns = patterns
+        self.transducer_orders = transducer_orders
+        self._cache: Dict[str, Any] = {}
+
+    # -- shared structural facts ---------------------------------------
+    def atom_occurrences(self) -> List[Tuple[Atom, Optional[Clause], str]]:
+        """Every atom of the program and patterns with its clause and role."""
+        cached = self._cache.get("occurrences")
+        if cached is None:
+            cached = []
+            for clause in self.program:
+                cached.append((clause.head, clause, ROLE_HEAD))
+                for atom in clause.body_atoms():
+                    cached.append((atom, clause, ROLE_BODY))
+            for atom in self.patterns:
+                cached.append((atom, None, ROLE_PATTERN))
+            self._cache["occurrences"] = cached
+        return cached
+
+    def known_predicates(self) -> Set[str]:
+        """Predicates with a definition: clause heads plus database relations."""
+        known = set(self.program.head_predicates())
+        if self.database is not None:
+            known.update(self.database.predicates())
+        return known
+
+    def undefined_predicates(self) -> Set[str]:
+        """Body/pattern predicates with no defining clause and no relation.
+
+        Only meaningful when a database is given: without one, any unknown
+        predicate may legitimately be an EDB relation supplied later.
+        """
+        cached = self._cache.get("undefined")
+        if cached is None:
+            cached = set()
+            if self.database is not None:
+                known = self.known_predicates()
+                for atom, _clause, role in self.atom_occurrences():
+                    if role != ROLE_HEAD and atom.predicate not in known:
+                        cached.add(atom.predicate)
+            self._cache["undefined"] = cached
+        return cached
+
+    def arity_conflicts(self) -> List["ArityConflict"]:
+        """One record per predicate used with more than one arity."""
+        cached = self._cache.get("conflicts")
+        if cached is None:
+            cached = _find_arity_conflicts(self)
+            self._cache["conflicts"] = cached
+        return cached
+
+    def has_arity_conflicts(self) -> bool:
+        return bool(self.arity_conflicts())
+
+    # -- shared analyses ------------------------------------------------
+    def safety(self) -> SafetyReport:
+        cached = self._cache.get("safety")
+        if cached is None:
+            cached = analyze_safety(self.program, self.transducer_orders)
+            self._cache["safety"] = cached
+        return cached
+
+    def finiteness(self) -> FinitenessReport:
+        cached = self._cache.get("finiteness")
+        if cached is None:
+            cached = classify_finiteness(self.program, self.transducer_orders)
+            self._cache["finiteness"] = cached
+        return cached
+
+    def plan(self) -> Optional[Any]:
+        """The compiled :class:`~repro.engine.plan.ProgramPlan`, or ``None``."""
+        if "plan" not in self._cache:
+            plan: Optional[Any] = None
+            if not self.has_arity_conflicts():
+                from repro.engine.planner import compile_program
+
+                try:
+                    plan = compile_program(self.program)
+                except ReproError:
+                    plan = None
+            self._cache["plan"] = plan
+        return self._cache["plan"]
+
+    def potentially_nonempty(self) -> Set[str]:
+        """Predicates that can possibly hold a fact.
+
+        Base predicates are assumed nonempty unless a database is given
+        (then a base predicate is nonempty exactly when its relation
+        exists and has rows); the IDB part is the least fixpoint of "a
+        head is nonempty when every body atom's predicate is".
+        """
+        cached = self._cache.get("nonempty")
+        if cached is None:
+            if self.database is not None:
+                cached = {
+                    predicate
+                    for predicate in self.database.predicates()
+                    if len(self.database.relation(predicate)) > 0
+                }
+            else:
+                cached = set(self.program.base_predicates())
+            changed = True
+            while changed:
+                changed = False
+                for clause in self.program:
+                    head = clause.head.predicate
+                    if head in cached:
+                        continue
+                    if all(atom.predicate in cached for atom in clause.body_atoms()):
+                        cached.add(head)
+                        changed = True
+            self._cache["nonempty"] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class ArityConflict:
+    """A predicate used with two different arities (or against its relation)."""
+
+    predicate: str
+    first_arity: int
+    first_atom: Optional[Atom]  # None when the first use is the database relation
+    conflict_arity: int
+    conflict_atom: Optional[Atom]
+    conflict_role: str
+
+
+def _find_arity_conflicts(context: LintContext) -> List[ArityConflict]:
+    first: Dict[str, Tuple[int, Atom]] = {}
+    conflicts: List[ArityConflict] = []
+    reported: Set[str] = set()
+    for atom, _clause, role in context.atom_occurrences():
+        seen = first.get(atom.predicate)
+        if seen is None:
+            first[atom.predicate] = (atom.arity, atom)
+        elif seen[0] != atom.arity and atom.predicate not in reported:
+            reported.add(atom.predicate)
+            conflicts.append(
+                ArityConflict(
+                    predicate=atom.predicate,
+                    first_arity=seen[0],
+                    first_atom=seen[1],
+                    conflict_arity=atom.arity,
+                    conflict_atom=atom,
+                    conflict_role=role,
+                )
+            )
+    if context.database is not None:
+        for predicate in context.database.predicates():
+            seen = first.get(predicate)
+            if seen is None or predicate in reported:
+                continue
+            relation_arity = context.database.relation(predicate).arity
+            if relation_arity != seen[0]:
+                reported.add(predicate)
+                conflicts.append(
+                    ArityConflict(
+                        predicate=predicate,
+                        first_arity=relation_arity,
+                        first_atom=None,
+                        conflict_arity=seen[0],
+                        conflict_atom=seen[1],
+                        conflict_role="database relation",
+                    )
+                )
+    return conflicts
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+CheckFunction = Callable[[LintContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, severity, documentation, check."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+    check: CheckFunction
+    paper: Optional[str] = None
+
+
+#: Registration-ordered map from code to rule (codes are unique).
+RULES: Dict[str, LintRule] = {}
+
+
+def lint_rule(
+    code: str,
+    name: str,
+    severity: str,
+    summary: str,
+    paper: Optional[str] = None,
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register ``check`` under a stable code; returns it unchanged."""
+
+    def register(check: CheckFunction) -> CheckFunction:
+        if code in RULES:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        RULES[code] = LintRule(
+            code=code, name=name, severity=severity, summary=summary,
+            check=check, paper=paper,
+        )
+        return check
+
+    return register
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, in registration (documentation) order."""
+    return tuple(RULES.values())
+
+
+def run_rules(
+    context: LintContext, codes: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Run the registry (or a subset of codes) over a context."""
+    selected = set(codes) if codes is not None else None
+    diagnostics: List[Diagnostic] = []
+    for rule in RULES.values():
+        if selected is not None and rule.code not in selected:
+            continue
+        try:
+            diagnostics.extend(rule.check(context))
+        except ReproError:
+            # A rule must never turn an analyzable program into a crash;
+            # an engine-level refusal simply means the rule has nothing
+            # to say about this program.
+            continue
+    return diagnostics
+
+
+def _diag(
+    code: str,
+    message: str,
+    *,
+    clause: Optional[Clause] = None,
+    span: Optional[SourceSpan] = None,
+    predicate: Optional[str] = None,
+    hint: Optional[str] = None,
+) -> Diagnostic:
+    if span is None and clause is not None:
+        span = span_of(clause)
+    return Diagnostic(
+        code=code,
+        severity=RULES[code].severity,
+        message=message,
+        predicate=predicate,
+        clause=str(clause) if clause is not None else None,
+        span=span,
+        hint=hint,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tier 1: semantic errors
+# ----------------------------------------------------------------------
+@lint_rule(
+    "SDL-E101",
+    "undefined-predicate",
+    SEVERITY_ERROR,
+    "a body or query predicate has no defining clause and no database relation",
+)
+def _check_undefined_predicates(context: LintContext) -> Iterator[Diagnostic]:
+    if context.database is None:
+        return
+    undefined = context.undefined_predicates()
+    if not undefined:
+        return
+    known = sorted(context.known_predicates())
+    seen: Set[str] = set()
+    for atom, clause, role in context.atom_occurrences():
+        predicate = atom.predicate
+        if role == ROLE_HEAD or predicate not in undefined or predicate in seen:
+            continue
+        seen.add(predicate)
+        where = "a query pattern" if role == ROLE_PATTERN else "a rule body"
+        message = (
+            f"predicate '{predicate}' is used in {where} but is never defined "
+            "and has no database relation"
+        )
+        close = difflib.get_close_matches(predicate, known, n=1)
+        hint = (
+            f"did you mean '{close[0]}'?" if close
+            else f"define '{predicate}' with a rule or load facts for it"
+        )
+        yield _diag(
+            "SDL-E101",
+            message,
+            clause=clause,
+            span=span_of(atom) if role != ROLE_PATTERN else None,
+            predicate=predicate,
+            hint=hint,
+        )
+
+
+@lint_rule(
+    "SDL-E102",
+    "arity-conflict",
+    SEVERITY_ERROR,
+    "a predicate is used with two different arities (or disagrees with its relation)",
+)
+def _check_arity_conflicts(context: LintContext) -> Iterator[Diagnostic]:
+    for conflict in context.arity_conflicts():
+        predicate = conflict.predicate
+        if conflict.first_atom is None:
+            first_use = f"the database relation '{predicate}'"
+        else:
+            first_span = span_of(conflict.first_atom)
+            first_use = f"{predicate}/{conflict.first_arity}"
+            if first_span is not None:
+                first_use += f" (first used at line {first_span.line})"
+        message = (
+            f"predicate '{predicate}' is used with conflicting arities: "
+            f"{predicate}/{conflict.conflict_arity} here does not match {first_use}"
+        )
+        conflict_atom = conflict.conflict_atom
+        span = (
+            span_of(conflict_atom)
+            if conflict_atom is not None and conflict.conflict_role != ROLE_PATTERN
+            else None
+        )
+        yield _diag(
+            "SDL-E102",
+            message,
+            span=span,
+            predicate=predicate,
+            hint="every use of a predicate must have the same number of arguments",
+        )
+
+
+@lint_rule(
+    "SDL-E103",
+    "range-restriction",
+    SEVERITY_ERROR,
+    "a head sequence variable occurs in no body literal",
+    paper="Section 4 (declarative semantics enumerates it over the whole extended domain)",
+)
+def _check_range_restriction(context: LintContext) -> Iterator[Diagnostic]:
+    for clause in context.program:
+        bound: Set[str] = set()
+        for literal in clause.body:
+            bound |= literal.sequence_variables()
+        unbound = sorted(clause.head.sequence_variables() - bound)
+        if not unbound:
+            continue
+        names = ", ".join(unbound)
+        plural = "s" if len(unbound) > 1 else ""
+        yield _diag(
+            "SDL-E103",
+            f"head sequence variable{plural} {names} of "
+            f"'{clause.head.predicate}' occur{'' if plural else 's'} in no body literal: "
+            "the head is enumerated over the entire extended domain",
+            clause=clause,
+            span=span_of(clause.head),
+            predicate=clause.head.predicate,
+            hint=f"add a body atom that binds {names} (a guard such as dom({unbound[0]}))",
+        )
+
+
+# ----------------------------------------------------------------------
+# Tier 2a: paper-theory warnings
+# ----------------------------------------------------------------------
+def _cycle_witness(program: Program, cycle: List[str]) -> Optional[Clause]:
+    """A constructive clause that realizes an edge of the cycle."""
+    members = set(cycle)
+    for clause in program:
+        if (
+            clause.is_constructive()
+            and clause.head.predicate in members
+            and clause.body_predicates() & members
+        ):
+            return clause
+    for clause in program:
+        if clause.head.predicate in members:
+            return clause
+    return None
+
+
+@lint_rule(
+    "SDL-W201",
+    "possibly-infinite",
+    SEVERITY_WARNING,
+    "the static classifier cannot certify a finite least fixpoint",
+    paper="Theorem 2 (finiteness is fully undecidable); Corollary 2",
+)
+def _check_possibly_infinite(context: LintContext) -> Iterator[Diagnostic]:
+    report = context.finiteness()
+    if report.verdict is not FinitenessVerdict.POSSIBLY_INFINITE:
+        return
+    witness: Optional[Clause] = None
+    for cycle in report.safety.constructive_cycles:
+        witness = _cycle_witness(context.program, cycle)
+        if witness is not None:
+            break
+    yield _diag(
+        "SDL-W201",
+        "the program may have an infinite least fixpoint: constructive "
+        "recursion is present and finiteness is undecidable (Theorem 2)",
+        clause=witness,
+        predicate=witness.head.predicate if witness is not None else None,
+        hint="evaluate under EvaluationLimits, or restructure to be strongly safe",
+    )
+
+
+@lint_rule(
+    "SDL-W202",
+    "constructive-cycle",
+    SEVERITY_WARNING,
+    "recursion through sequence construction: the program is not strongly safe",
+    paper="Definition 10; Theorems 8-9 bound strongly safe programs",
+)
+def _check_constructive_cycles(context: LintContext) -> Iterator[Diagnostic]:
+    for cycle in context.safety().constructive_cycles:
+        rendered = " -> ".join(cycle + [cycle[0]])
+        witness = _cycle_witness(context.program, cycle)
+        yield _diag(
+            "SDL-W202",
+            f"constructive cycle {rendered}: recursion passes through "
+            "sequence construction, so the program is not strongly safe",
+            clause=witness,
+            predicate=cycle[0],
+            hint="move the constructive step out of the recursion, or bound it",
+        )
+
+
+@lint_rule(
+    "SDL-W203",
+    "unstratified-construction",
+    SEVERITY_WARNING,
+    "the program cannot be stratified with respect to construction",
+    paper="Section 5; proof of Theorem 8",
+)
+def _check_unstratified(context: LintContext) -> Iterator[Diagnostic]:
+    cycles = context.safety().constructive_cycles
+    if not cycles:
+        return
+    rendered = "; ".join(" -> ".join(cycle + [cycle[0]]) for cycle in cycles)
+    witness = _cycle_witness(context.program, cycles[0])
+    yield _diag(
+        "SDL-W203",
+        "the program cannot be stratified by construction: "
+        f"constructive cycle(s) {rendered}",
+        clause=witness,
+        hint="stratification by construction coincides with strong safety "
+        "(no constructive cycles)",
+    )
+
+
+@lint_rule(
+    "SDL-W204",
+    "unguarded-clause",
+    SEVERITY_WARNING,
+    "a sequence variable occurs only inside indexed terms or the head",
+    paper="Appendix B; Theorem 10 (the guarded transformation)",
+)
+def _check_unguarded(context: LintContext) -> Iterator[Diagnostic]:
+    for clause in unguarded_clauses(context.program):
+        names = ", ".join(sorted(clause.unguarded_sequence_variables()))
+        yield _diag(
+            "SDL-W204",
+            f"clause is not guarded: sequence variable(s) {names} never occur "
+            "as a bare argument of a body atom, so derivations are sensitive "
+            "to the extended active domain",
+            clause=clause,
+            predicate=clause.head.predicate,
+            hint="guard_program() adds dom(...) guards mechanically (Theorem 10)",
+        )
+
+
+# ----------------------------------------------------------------------
+# Tier 2b: hygiene hints
+# ----------------------------------------------------------------------
+def _count_index_occurrences(term: IndexTerm, counts: Dict[Tuple[str, str], int]) -> None:
+    if isinstance(term, IndexVariable):
+        key = ("index", term.name)
+        counts[key] = counts.get(key, 0) + 1
+    elif isinstance(term, IndexSum):
+        _count_index_occurrences(term.left, counts)
+        _count_index_occurrences(term.right, counts)
+
+
+def _count_term_occurrences(term: SequenceTerm, counts: Dict[Tuple[str, str], int]) -> None:
+    if isinstance(term, SequenceVariable):
+        key = ("sequence", term.name)
+        counts[key] = counts.get(key, 0) + 1
+    elif isinstance(term, IndexedTerm):
+        _count_term_occurrences(term.base, counts)
+        _count_index_occurrences(term.lo, counts)
+        if term.hi is not term.lo:  # the shorthand s[n] shares one index term
+            _count_index_occurrences(term.hi, counts)
+    elif isinstance(term, ConcatTerm):
+        for part in term.parts:
+            _count_term_occurrences(part, counts)
+    elif isinstance(term, TransducerTerm):
+        for arg in term.args:
+            _count_term_occurrences(arg, counts)
+
+
+def _variable_occurrences(
+    clause: Clause,
+) -> Tuple[Dict[Tuple[str, str], int], Dict[Tuple[str, str], int]]:
+    """Occurrence counts of every variable, split into head and body."""
+    head_counts: Dict[Tuple[str, str], int] = {}
+    body_counts: Dict[Tuple[str, str], int] = {}
+    for arg in clause.head.args:
+        _count_term_occurrences(arg, head_counts)
+    for literal in clause.body:
+        if isinstance(literal, Atom):
+            for arg in literal.args:
+                _count_term_occurrences(arg, body_counts)
+        elif isinstance(literal, Comparison):
+            _count_term_occurrences(literal.left, body_counts)
+            _count_term_occurrences(literal.right, body_counts)
+    return head_counts, body_counts
+
+
+@lint_rule(
+    "SDL-H301",
+    "singleton-variable",
+    SEVERITY_HINT,
+    "a variable occurs exactly once, in the body (often a typo)",
+)
+def _check_singletons(context: LintContext) -> Iterator[Diagnostic]:
+    for clause in context.program:
+        head_counts, body_counts = _variable_occurrences(clause)
+        singletons = sorted(
+            name
+            for (kind, name), count in body_counts.items()
+            if count == 1
+            and not name.startswith("_")
+            and head_counts.get((kind, name), 0) == 0
+        )
+        if not singletons:
+            continue
+        names = ", ".join(singletons)
+        plural = "s" if len(singletons) > 1 else ""
+        yield _diag(
+            "SDL-H301",
+            f"singleton variable{plural} {names}: each occurs exactly once "
+            "in the clause",
+            clause=clause,
+            predicate=clause.head.predicate,
+            hint=f"rename to _{singletons[0]} if the value is intentionally unused",
+        )
+
+
+@lint_rule(
+    "SDL-H302",
+    "duplicate-clause",
+    SEVERITY_HINT,
+    "a clause repeats an earlier clause verbatim",
+)
+def _check_duplicates(context: LintContext) -> Iterator[Diagnostic]:
+    seen: Dict[Clause, Clause] = {}
+    for clause in context.program:
+        original = seen.get(clause)
+        if original is None:
+            seen[clause] = clause
+            continue
+        original_span = span_of(original)
+        where = f" at line {original_span.line}" if original_span is not None else ""
+        yield _diag(
+            "SDL-H302",
+            f"duplicate clause: repeats the clause{where} verbatim",
+            clause=clause,
+            predicate=clause.head.predicate,
+            hint="remove the repeated clause; it cannot derive anything new",
+        )
+
+
+@lint_rule(
+    "SDL-H303",
+    "dead-clause",
+    SEVERITY_HINT,
+    "a body predicate can never hold a fact, so the clause can never fire",
+)
+def _check_dead_clauses(context: LintContext) -> Iterator[Diagnostic]:
+    nonempty = context.potentially_nonempty()
+    undefined = context.undefined_predicates()  # already SDL-E101
+    for clause in context.program:
+        dead = [
+            atom
+            for atom in clause.body_atoms()
+            if atom.predicate not in nonempty and atom.predicate not in undefined
+        ]
+        if not dead:
+            continue
+        atom = dead[0]
+        yield _diag(
+            "SDL-H303",
+            f"clause can never fire: predicate '{atom.predicate}' can never "
+            "contain a fact (it is unreachable from any EDB fact)",
+            clause=clause,
+            span=span_of(atom) or span_of(clause),
+            predicate=clause.head.predicate,
+            hint=f"load facts for '{atom.predicate}' or give it a non-circular rule",
+        )
+
+
+# ----------------------------------------------------------------------
+# Tier 3: performance lints (read off the compiled plan)
+# ----------------------------------------------------------------------
+_FALLBACK_HINTS: Dict[str, str] = {}
+
+
+def _fallback_hints() -> Dict[str, str]:
+    if not _FALLBACK_HINTS:
+        from repro.engine import kernels
+
+        _FALLBACK_HINTS.update(
+            {
+                kernels.REASON_ATOM_TERM: (
+                    "only bare variables and constants in body atoms batch-vectorize; "
+                    "indexed terms force the per-tuple path"
+                ),
+                kernels.REASON_HEAD_TERM: (
+                    "constructive or indexed head arguments are built per tuple"
+                ),
+                kernels.REASON_HEAD_ENUMERATION: (
+                    "bind every head variable in the body to avoid domain enumeration"
+                ),
+                kernels.REASON_COMPARE_TERM: (
+                    "comparisons over indexed terms are evaluated per tuple"
+                ),
+            }
+        )
+    return _FALLBACK_HINTS
+
+
+@lint_rule(
+    "SDL-P401",
+    "kernel-fallback",
+    SEVERITY_PERF,
+    "the clause cannot run on the batch kernels and fires per-tuple",
+)
+def _check_kernel_fallback(context: LintContext) -> Iterator[Diagnostic]:
+    plan = context.plan()
+    if plan is None:
+        return
+    from repro.engine.kernels import batch_classification
+
+    for clause_plan in plan.program_plans:
+        clause = clause_plan.clause
+        if not clause.body_atoms():
+            continue  # facts and pure-comparison rules have nothing to batch
+        batchable, reason = batch_classification(clause_plan)
+        if batchable:
+            continue
+        yield _diag(
+            "SDL-P401",
+            f"clause runs on the per-tuple path, not the batch kernels: {reason}",
+            clause=clause,
+            predicate=clause.head.predicate,
+            hint=_fallback_hints().get(reason or ""),
+        )
+
+
+@lint_rule(
+    "SDL-P402",
+    "cartesian-product",
+    SEVERITY_PERF,
+    "a join shares no bound variables with the preceding steps",
+)
+def _check_cartesian_products(context: LintContext) -> Iterator[Diagnostic]:
+    plan = context.plan()
+    if plan is None:
+        return
+    for clause_plan in plan.program_plans:
+        for atom, kind in _unkeyed_scans(clause_plan):
+            if kind != "cartesian":
+                continue
+            yield _diag(
+                "SDL-P402",
+                f"scan of {atom} shares no variable with the steps before it: "
+                "the join is a cartesian product",
+                clause=clause_plan.clause,
+                span=span_of(atom) or span_of(clause_plan.clause),
+                predicate=clause_plan.clause.head.predicate,
+                hint="join the atoms through a shared variable, or split the rule",
+            )
+
+
+@lint_rule(
+    "SDL-P403",
+    "unusable-index",
+    SEVERITY_PERF,
+    "a scan references bound variables but no argument is fully evaluable",
+)
+def _check_unusable_index(context: LintContext) -> Iterator[Diagnostic]:
+    plan = context.plan()
+    if plan is None:
+        return
+    for clause_plan in plan.program_plans:
+        for atom, kind in _unkeyed_scans(clause_plan):
+            if kind != "index-miss":
+                continue
+            yield _diag(
+                "SDL-P403",
+                f"full scan of {atom} although some of its variables are "
+                "already bound: no argument is fully evaluable, so the scan "
+                "can never use a composite index",
+                clause=clause_plan.clause,
+                span=span_of(atom) or span_of(clause_plan.clause),
+                predicate=clause_plan.clause.head.predicate,
+                hint="bind the indexed positions first (e.g. with an equality) "
+                "so at least one argument becomes a lookup key",
+            )
+
+
+def _unkeyed_scans(clause_plan: Any) -> List[Tuple[Atom, str]]:
+    """Classify each unkeyed (full) scan of a plan.
+
+    Replays the planner's static binding propagation over the plan steps:
+    a full scan after the first one is a ``cartesian`` join when the atom
+    shares no variable with everything bound so far, and an ``index-miss``
+    when it shares variables but none of its arguments was evaluable.
+    """
+    from repro.engine.plan import AtomScan, BindEquality, EnumerateComparison
+
+    findings: List[Tuple[Atom, str]] = []
+    bound: Set[str] = set(clause_plan.seed_sequences)
+    seen_scan = False
+    for step in clause_plan.steps:
+        if isinstance(step, AtomScan):
+            atom = step.atom
+            variables = set(atom.sequence_variables() | atom.index_variables())
+            if not step.bound_columns:
+                if seen_scan and not (variables & bound):
+                    findings.append((atom, "cartesian"))
+                elif variables & bound:
+                    findings.append((atom, "index-miss"))
+            seen_scan = True
+            bound |= variables
+        elif isinstance(step, BindEquality):
+            bound.add(step.variable)
+        elif isinstance(step, EnumerateComparison):
+            bound |= set(step.sequence_vars) | set(step.index_vars)
+    return findings
+
+
+__all__ = [
+    "ArityConflict",
+    "LintContext",
+    "LintRule",
+    "ROLE_BODY",
+    "ROLE_HEAD",
+    "ROLE_PATTERN",
+    "RULES",
+    "all_rules",
+    "lint_rule",
+    "run_rules",
+]

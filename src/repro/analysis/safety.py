@@ -103,15 +103,40 @@ def is_strongly_safe(
     return build_dependency_graph(program).has_constructive_cycle() is False
 
 
+def _cycle_location(program: Program, cycle: List[str]) -> str:
+    """Point at a constructive clause realizing one edge of the cycle.
+
+    Returns e.g. `` (clause at 3:1: p(X ++ "a") :- p(X).)`` when the
+    program was parsed from text, or a span-free rendering for
+    programmatically built clauses; empty when no witness is found.
+    """
+    members = set(cycle)
+    for clause in program.constructive_clauses():
+        if clause.head.predicate not in members:
+            continue
+        if not any(atom.predicate in members for atom in clause.body_atoms()):
+            continue
+        span = getattr(clause, "span", None)
+        if span is not None:
+            return f" (clause at {span.line}:{span.column}: {clause})"
+        return f" (clause: {clause})"
+    return ""
+
+
 def require_strongly_safe(
     program: Program,
     transducer_orders: Optional[Mapping[str, int]] = None,
 ) -> SafetyReport:
-    """Return the safety report, raising :class:`SafetyError` if unsafe."""
+    """Return the safety report, raising :class:`SafetyError` if unsafe.
+
+    The error names every constructive cycle and, when the program carries
+    source spans, the line and column of a clause realizing each cycle.
+    """
     report = analyze_safety(program, transducer_orders)
     if not report.strongly_safe:
         cycles = "; ".join(
-            " -> ".join(cycle + [cycle[0]]) for cycle in report.constructive_cycles
+            " -> ".join(cycle + [cycle[0]]) + _cycle_location(program, cycle)
+            for cycle in report.constructive_cycles
         )
         raise SafetyError(
             f"program is not strongly safe: constructive cycle(s) {cycles}"

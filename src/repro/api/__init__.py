@@ -36,6 +36,8 @@ from repro.api.types import (
     ExplainRequest,
     ExplainResponse,
     FetchRequest,
+    LintRequest,
+    LintResponse,
     PingRequest,
     PongResponse,
     QueryRequest,
@@ -65,6 +67,8 @@ __all__ = [
     "ExplainRequest",
     "ExplainResponse",
     "FetchRequest",
+    "LintRequest",
+    "LintResponse",
     "MAX_FRAME_BYTES",
     "PingRequest",
     "PongResponse",

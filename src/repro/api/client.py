@@ -31,8 +31,21 @@ from __future__ import annotations
 
 import socket
 import time
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    BinaryIO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
 
+from repro.analysis.diagnostics import DiagnosticReport
 from repro.api.protocol import MAX_FRAME_BYTES, recv_json, send_json
 from repro.api.types import (
     AddFactsRequest,
@@ -46,6 +59,8 @@ from repro.api.types import (
     ExplainRequest,
     ExplainResponse,
     FetchRequest,
+    LintRequest,
+    LintResponse,
     PingRequest,
     PongResponse,
     QueryRequest,
@@ -59,6 +74,8 @@ from repro.api.types import (
 from repro.engine.session import FactsLike, _iter_facts
 from repro.errors import ProtocolError
 from repro.sequences import Sequence
+
+R = TypeVar("R", bound=ApiResponse)
 
 
 def _normalize_facts(facts: FactsLike) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
@@ -105,7 +122,7 @@ class DatalogClient:
         retry_backoff_seconds: float = 0.05,
         page_size: int = 1024,
         max_frame_bytes: int = MAX_FRAME_BYTES,
-    ):
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -114,15 +131,15 @@ class DatalogClient:
         self.page_size = max(1, page_size)
         self.max_frame_bytes = max_frame_bytes
         self._socket: Optional[socket.socket] = None
-        self._reader = None
-        self._writer = None
+        self._reader: Optional[BinaryIO] = None
+        self._writer: Optional[BinaryIO] = None
         self.server_versions: Tuple[int, ...] = ()
         self.server_version: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
-    def connect(self) -> "DatalogClient":
+    def connect(self) -> DatalogClient:
         """Connect and negotiate the schema version (idempotent)."""
         if self._socket is None:
             self._open()
@@ -162,10 +179,10 @@ class DatalogClient:
         self._reader = None
         self._writer = None
 
-    def __enter__(self) -> "DatalogClient":
+    def __enter__(self) -> DatalogClient:
         return self.connect()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -178,6 +195,7 @@ class DatalogClient:
     def _roundtrip(self, request: ApiRequest) -> Union[ApiResponse, ApiError]:
         if self._socket is None:
             self._open()
+        assert self._writer is not None and self._reader is not None
         send_json(self._writer, encode_request(request), self.max_frame_bytes)
         message = recv_json(self._reader, self.max_frame_bytes)
         if message is None:
@@ -206,7 +224,9 @@ class DatalogClient:
         assert last_error is not None
         raise last_error
 
-    def _expect(self, request: ApiRequest, response_type, retryable: bool = True):
+    def _expect(
+        self, request: ApiRequest, response_type: Type[R], retryable: bool = True
+    ) -> R:
         response = self._request(request, retryable=retryable)
         if not isinstance(response, response_type):
             raise ProtocolError(
@@ -347,10 +367,23 @@ class DatalogClient:
     def explain(self) -> str:
         return self._expect(ExplainRequest(), ExplainResponse).text
 
+    def lint(self, patterns: Iterable[str] = ()) -> DiagnosticReport:
+        """The server's diagnostic report for its loaded program.
+
+        Diagnostics arrive with their stable codes, severities and 1-based
+        source spans intact — the same report ``engine.lint()`` returns
+        in-process.  ``patterns`` optionally checks query atoms against
+        the program's predicate signatures.
+        """
+        return self._expect(
+            LintRequest(patterns=tuple(patterns)), LintResponse
+        ).report
+
     def raw_request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one raw wire object and return the raw reply (diagnostics)."""
         if self._socket is None:
             self._open()
+        assert self._writer is not None and self._reader is not None
         send_json(self._writer, message, self.max_frame_bytes)
         reply = recv_json(self._reader, self.max_frame_bytes)
         if reply is None:

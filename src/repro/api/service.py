@@ -30,8 +30,13 @@ queries.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from repro.analysis.diagnostics import (
+    DiagnosticReport,
+    explain_with_diagnostics,
+    lint_program,
+)
 from repro.api.types import (
     AddFactsRequest,
     AddFactsResponse,
@@ -46,6 +51,8 @@ from repro.api.types import (
     ExplainRequest,
     ExplainResponse,
     FetchRequest,
+    LintRequest,
+    LintResponse,
     PingRequest,
     PongResponse,
     QueryRequest,
@@ -56,7 +63,6 @@ from repro.api.types import (
     decode_request,
     encode_response,
 )
-from repro.engine.planner import compile_program
 from repro.engine.query import QueryResult
 from repro.engine.server import DatalogServer
 from repro.engine.session import DatalogSession
@@ -85,7 +91,7 @@ class _Cursor:
         page_rows: int,
         include_witnesses: bool,
         generation: Optional[int],
-    ):
+    ) -> None:
         self.result = result
         self.row_offset = 0
         self.witness_offset = 0
@@ -122,7 +128,7 @@ class DatalogService:
         demand: bool = False,
         max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
         max_open_cursors: int = DEFAULT_MAX_CURSORS,
-    ):
+    ) -> None:
         self._backend = backend
         self._demand = demand and isinstance(backend, DatalogSession)
         self._max_page_rows = max(1, max_page_rows)
@@ -130,6 +136,7 @@ class DatalogService:
         self._cursors: Dict[str, _Cursor] = {}
         self._cursor_ids = itertools.count(1)
         self._explain_text: Optional[str] = None
+        self._lint_report: Optional[DiagnosticReport] = None
 
     # ------------------------------------------------------------------
     # Envelope boundary
@@ -167,10 +174,10 @@ class DatalogService:
             # The program is immutable for the backend's lifetime; compile
             # the report once per service, not once per request.
             if self._explain_text is None:
-                self._explain_text = compile_program(
-                    self._backend.program
-                ).explain()
+                self._explain_text = explain_with_diagnostics(self._backend.program)
             return ExplainResponse(text=self._explain_text)
+        if isinstance(request, LintRequest):
+            return self._lint(request)
         if isinstance(request, StatsRequest):
             return self._stats()
         if isinstance(request, PingRequest):
@@ -205,7 +212,9 @@ class DatalogService:
     def _generation(self) -> Optional[int]:
         return getattr(self._backend, "generation", None)
 
-    def _execute(self, pattern: str, strict: bool):
+    def _execute(
+        self, pattern: str, strict: bool
+    ) -> Tuple[QueryResult, Optional[int]]:
         """Run one pattern; returns ``(result, generation of the data read)``.
 
         Against a server the snapshot is pinned *before* execution and its
@@ -344,6 +353,18 @@ class DatalogService:
                     self.release_cursor(page.cursor)
             raise
         return BatchResponse(results=tuple(pages))
+
+    def _lint(self, request: LintRequest) -> LintResponse:
+        # The server holds the program but not the caller's source file, so
+        # diagnostics carry the spans the program was parsed with; patterns
+        # vary per request and bypass the cached pattern-free report.
+        if request.patterns:
+            return LintResponse(
+                report=lint_program(self._backend.program, patterns=request.patterns)
+            )
+        if self._lint_report is None:
+            self._lint_report = lint_program(self._backend.program)
+        return LintResponse(report=self._lint_report)
 
     def _stats(self) -> ServerStats:
         return ServerStats.from_raw(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import socketserver
 import threading
-from typing import Iterable, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.api.protocol import MAX_FRAME_BYTES, recv_json, send_json
 from repro.api.service import DEFAULT_MAX_PAGE_ROWS, DatalogService
@@ -45,7 +45,7 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
     disable_nagle_algorithm = True
 
     def handle(self) -> None:
-        server: "DatalogTCPServer" = self.server  # type: ignore[assignment]
+        server: DatalogTCPServer = self.server  # type: ignore[assignment]
         service = DatalogService(
             server.backend, max_page_rows=server.max_page_rows
         )
@@ -66,7 +66,7 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
                 return
 
     @staticmethod
-    def _drop_reply_cursors(service: DatalogService, message) -> None:
+    def _drop_reply_cursors(service: DatalogService, message: Dict[str, Any]) -> None:
         """Release cursors a reply registered but the client will never see.
 
         A reply that could not be shipped orphans its pagination state:
@@ -84,7 +84,9 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
             if isinstance(cursor, str):
                 service.release_cursor(cursor)
 
-    def _send_best_effort(self, service: DatalogService, message) -> bool:
+    def _send_best_effort(
+        self, service: DatalogService, message: Dict[str, Any]
+    ) -> bool:
         try:
             send_json(self.wfile, message, self.server.max_frame_bytes)
             return True
@@ -134,7 +136,7 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
         max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         owns_backend: bool = False,
-    ):
+    ) -> None:
         self.backend = backend
         self.max_page_rows = max_page_rows
         self.max_frame_bytes = max_frame_bytes
@@ -148,7 +150,7 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
         host, port = self.server_address[:2]
         return host, port
 
-    def start(self) -> "DatalogTCPServer":
+    def start(self) -> DatalogTCPServer:
         """Serve in a daemon thread (tests, benchmarks, embedded serving)."""
         if self._serve_thread is None:
             self._serve_thread = threading.Thread(
@@ -167,10 +169,10 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
         if self._owns_backend:
             self.backend.close()
 
-    def __enter__(self) -> "DatalogTCPServer":
+    def __enter__(self) -> DatalogTCPServer:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -202,7 +204,7 @@ def serve_tcp(
     start: bool = True,
     max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
     max_frame_bytes: int = MAX_FRAME_BYTES,
-    **server_options,
+    **server_options: Any,
 ) -> DatalogTCPServer:
     """Expose a program (or an existing :class:`DatalogServer`) over TCP.
 

@@ -39,6 +39,7 @@ from typing import (
     Any,
     ClassVar,
     Dict,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -47,6 +48,7 @@ from typing import (
     Union,
 )
 
+from repro.analysis.diagnostics import DiagnosticReport
 from repro.engine.query import QueryResult, ResultWindow
 from repro.errors import (
     AlphabetError,
@@ -147,7 +149,7 @@ class ApiError:
     details: Mapping[str, Any] = field(default_factory=dict)
 
     @classmethod
-    def from_exception(cls, error: BaseException) -> "ApiError":
+    def from_exception(cls, error: BaseException) -> ApiError:
         """Map any exception to its stable wire representation.
 
         Library exceptions get their dedicated code; anything else (a bug)
@@ -178,7 +180,7 @@ class ApiError:
         }
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "ApiError":
+    def from_payload(cls, payload: Mapping[str, Any]) -> ApiError:
         if not isinstance(payload, Mapping):
             raise ProtocolError(f"error payload must be an object, got {payload!r}")
         code = payload.get("code")
@@ -324,7 +326,7 @@ class QueryRequest:
         return payload
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "QueryRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> QueryRequest:
         return cls(
             pattern=_string_field(payload, "pattern"),
             strict=_bool_field(payload, "strict"),
@@ -345,7 +347,7 @@ class FetchRequest:
         return {"cursor": self.cursor}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "FetchRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> FetchRequest:
         return cls(cursor=_string_field(payload, "cursor"))
 
 
@@ -361,7 +363,7 @@ class CloseCursorRequest:
         return {"cursor": self.cursor}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "CloseCursorRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> CloseCursorRequest:
         return cls(cursor=_string_field(payload, "cursor"))
 
 
@@ -380,7 +382,7 @@ class AddFactsRequest:
         return {"facts": [[predicate, list(values)] for predicate, values in self.facts]}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "AddFactsRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> AddFactsRequest:
         return cls(facts=_decode_facts(payload))
 
 
@@ -397,7 +399,7 @@ class BatchRequest:
         return {"patterns": list(self.patterns), "strict": self.strict}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "BatchRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> BatchRequest:
         raw = payload.get("patterns")
         if not isinstance(raw, (list, tuple)):
             raise _bad("patterns", f"expected a list of strings, got {_type_name(raw)}")
@@ -419,8 +421,40 @@ class ExplainRequest:
         return {}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "ExplainRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> ExplainRequest:
         return cls()
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """Run the server's diagnostics engine over its loaded program.
+
+    ``patterns`` are optional query atoms (``"answer(X)"``) that sharpen
+    the arity-conflict and dead-clause rules with how the program is
+    actually queried.
+    """
+
+    op: ClassVar[str] = "lint"
+
+    patterns: Tuple[str, ...] = ()
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if self.patterns:
+            payload["patterns"] = list(self.patterns)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> LintRequest:
+        raw = payload.get("patterns", [])
+        if not isinstance(raw, (list, tuple)):
+            raise _bad("patterns", f"expected a list of strings, got {_type_name(raw)}")
+        patterns = []
+        for index, pattern in enumerate(raw):
+            if not isinstance(pattern, str) or not pattern.strip():
+                raise _bad(f"patterns[{index}]", "expected a non-empty string")
+            patterns.append(pattern)
+        return cls(patterns=tuple(patterns))
 
 
 @dataclass(frozen=True)
@@ -433,7 +467,7 @@ class StatsRequest:
         return {}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "StatsRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> StatsRequest:
         return cls()
 
 
@@ -447,7 +481,7 @@ class PingRequest:
         return {}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "PingRequest":
+    def from_payload(cls, payload: Mapping[str, Any]) -> PingRequest:
         return cls()
 
 
@@ -458,6 +492,7 @@ ApiRequest = Union[
     AddFactsRequest,
     BatchRequest,
     ExplainRequest,
+    LintRequest,
     StatsRequest,
     PingRequest,
 ]
@@ -471,6 +506,7 @@ REQUEST_TYPES: Dict[str, Any] = {
         AddFactsRequest,
         BatchRequest,
         ExplainRequest,
+        LintRequest,
         StatsRequest,
         PingRequest,
     )
@@ -480,7 +516,7 @@ REQUEST_TYPES: Dict[str, Any] = {
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
-def _serialize_witness(substitution) -> Dict[str, Any]:
+def _serialize_witness(substitution: Any) -> Dict[str, Any]:
     return {
         "sequences": {
             name: value.text
@@ -521,7 +557,7 @@ class QueryResultPage:
         window: ResultWindow,
         cursor: Optional[str] = None,
         generation: Optional[int] = None,
-    ) -> "QueryResultPage":
+    ) -> QueryResultPage:
         return cls(
             pattern=str(result.pattern),
             rows=tuple(
@@ -544,7 +580,7 @@ class QueryResultPage:
     def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[str, ...]]:
         return iter(self.rows)
 
     def texts(self) -> List[Tuple[str, ...]]:
@@ -578,7 +614,7 @@ class QueryResultPage:
         }
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "QueryResultPage":
+    def from_payload(cls, payload: Mapping[str, Any]) -> QueryResultPage:
         rows = payload.get("rows")
         if not isinstance(rows, list):
             raise ProtocolError("query_result payload: 'rows' must be a list")
@@ -599,7 +635,7 @@ class QueryResultPage:
         )
 
     @classmethod
-    def merge(cls, pages: List["QueryResultPage"]) -> "QueryResultPage":
+    def merge(cls, pages: List["QueryResultPage"]) -> QueryResultPage:
         """Reassemble a paged result into one complete page (client side)."""
         if not pages:
             raise ValidationError("cannot merge zero pages")
@@ -645,7 +681,7 @@ class AddFactsResponse:
         }
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "AddFactsResponse":
+    def from_payload(cls, payload: Mapping[str, Any]) -> AddFactsResponse:
         generation = payload.get("generation")
         return cls(
             base_facts_added=int(payload.get("base_facts_added", 0)),
@@ -668,7 +704,7 @@ class BatchResponse:
         return {"results": [page.to_payload() for page in self.results]}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "BatchResponse":
+    def from_payload(cls, payload: Mapping[str, Any]) -> BatchResponse:
         raw = payload.get("results")
         if not isinstance(raw, list):
             raise ProtocolError("batch payload: 'results' must be a list")
@@ -687,8 +723,32 @@ class ExplainResponse:
         return {"text": self.text}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "ExplainResponse":
+    def from_payload(cls, payload: Mapping[str, Any]) -> ExplainResponse:
         return cls(text=str(payload.get("text", "")))
+
+
+@dataclass(frozen=True)
+class LintResponse:
+    """The server's diagnostic report: stable codes, spans and counts.
+
+    The payload is the report's own wire form (``diagnostics`` +
+    ``counts``) flattened into the envelope; spans survive the round trip
+    1-based exactly as the parser assigned them.
+    """
+
+    kind: ClassVar[str] = "lint"
+
+    report: DiagnosticReport
+
+    def to_payload(self) -> Dict[str, Any]:
+        return self.report.to_payload()
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> LintResponse:
+        diagnostics = payload.get("diagnostics")
+        if not isinstance(diagnostics, list):
+            raise ProtocolError("lint payload: 'diagnostics' must be a list")
+        return cls(report=DiagnosticReport.from_payload(payload))
 
 
 @dataclass(frozen=True)
@@ -701,7 +761,7 @@ class ClosedResponse:
         return {"cursor": self.cursor}
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "ClosedResponse":
+    def from_payload(cls, payload: Mapping[str, Any]) -> ClosedResponse:
         return cls(cursor=str(payload.get("cursor", "")))
 
 
@@ -723,7 +783,7 @@ class PongResponse:
         }
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "PongResponse":
+    def from_payload(cls, payload: Mapping[str, Any]) -> PongResponse:
         versions = payload.get("versions", [])
         generation = payload.get("generation")
         return cls(
@@ -775,7 +835,7 @@ class ServerStats:
         stats: Mapping[str, Any],
         generation: Optional[int] = None,
         workers: Optional[int] = None,
-    ) -> "ServerStats":
+    ) -> ServerStats:
         """Wrap a raw ``DatalogSession.stats()``/``DatalogServer.stats()`` dict."""
         extra = {
             key: value for key, value in stats.items() if key not in _STATS_FIELDS
@@ -807,7 +867,7 @@ class ServerStats:
         return payload
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "ServerStats":
+    def from_payload(cls, payload: Mapping[str, Any]) -> ServerStats:
         generation = payload.get("generation")
         workers = payload.get("workers")
         extra = {
@@ -832,6 +892,7 @@ ApiResponse = Union[
     AddFactsResponse,
     BatchResponse,
     ExplainResponse,
+    LintResponse,
     ClosedResponse,
     PongResponse,
     ServerStats,
@@ -844,6 +905,7 @@ RESPONSE_TYPES: Dict[str, Any] = {
         AddFactsResponse,
         BatchResponse,
         ExplainResponse,
+        LintResponse,
         ClosedResponse,
         PongResponse,
         ServerStats,

@@ -217,14 +217,14 @@ class AlignmentBuilder:
         scanned: Iterable[str],
         next_state: str,
         moves: Iterable[str],
-    ) -> "AlignmentBuilder":
+    ) -> AlignmentBuilder:
         key = (state, tuple(scanned))
         self._transitions.setdefault(key, []).append(
             AlignmentTransition(next_state=next_state, moves=tuple(moves))
         )
         return self
 
-    def accept(self, *states: str) -> "AlignmentBuilder":
+    def accept(self, *states: str) -> AlignmentBuilder:
         self._accepting.update(states)
         return self
 

@@ -52,13 +52,13 @@ class TemporalFormula:
         raise NotImplementedError
 
     # Convenience combinators -------------------------------------------------
-    def __and__(self, other: "TemporalFormula") -> "TemporalFormula":
+    def __and__(self, other: TemporalFormula) -> TemporalFormula:
         return And(self, other)
 
-    def __or__(self, other: "TemporalFormula") -> "TemporalFormula":
+    def __or__(self, other: TemporalFormula) -> TemporalFormula:
         return Or(self, other)
 
-    def __invert__(self) -> "TemporalFormula":
+    def __invert__(self) -> TemporalFormula:
         return Not(self)
 
 

@@ -7,6 +7,7 @@ Six subcommands cover the typical workflow::
     python -m repro.cli serve program.sdl --db database.json --tcp :4321
     python -m repro.cli client :4321 --script cmds.txt
     python -m repro.cli analyze program.sdl
+    python -m repro.cli lint program.sdl --db database.json
     python -m repro.cli explain program.sdl
     python -m repro.cli parse program.sdl
 
@@ -50,9 +51,19 @@ Six subcommands cover the typical workflow::
 * ``client`` connects a :class:`~repro.api.client.DatalogClient` to a
   running ``serve --tcp`` address and executes the same command loop
   (large results stream page-by-page through server-side cursors).
-* ``analyze`` prints the strong-safety report and the finiteness verdict.
+* ``analyze`` prints the strong-safety report and the finiteness verdict
+  (``--json`` for a machine-readable object) and exits ``1`` when the
+  verdict is ``POSSIBLY_INFINITE``, so CI can gate on it.
+* ``lint`` runs the program diagnostics engine
+  (:mod:`repro.analysis.diagnostics`): semantic errors, the paper's static
+  theory with source locations, hygiene hints and planner-aware
+  performance lints, rendered with caret-underlined source excerpts
+  (``--json`` for the wire payload).  The exit code is ``2`` on errors,
+  ``1`` with ``--strict`` when warnings or perf lints are present, ``0``
+  otherwise — hints never gate.
 * ``explain`` prints the compiled evaluation plan: the dependency strata,
-  each clause's join order and the index columns every scan uses.
+  each clause's join order and the index columns every scan uses —
+  followed by the lint findings in compact form.
 * ``parse`` pretty-prints the parsed program (a syntax check).
 
 The CLI is intentionally thin: it only wires files and flags into the same
@@ -86,7 +97,6 @@ from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
 from repro.engine.fixpoint import DEFAULT_STRATEGY, STRATEGIES
 from repro.engine.limits import EvaluationLimits
-from repro.engine.planner import compile_program
 from repro.engine.server import DatalogServer
 from repro.engine.session import DatalogSession
 from repro.errors import ReproError
@@ -94,7 +104,7 @@ from repro.language.parser import parse_program
 
 
 def _load_program(path: str) -> str:
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return handle.read()
 
 
@@ -105,7 +115,7 @@ def load_database_json(path: str) -> SequenceDatabase:
     with the offending relation and row named, via
     :meth:`SequenceDatabase.from_json_dict`.
     """
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         raw = json.load(handle)
     return SequenceDatabase.from_json_dict(raw)
 
@@ -205,6 +215,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
     analyze_parser.add_argument("program", help="path to the Sequence Datalog program")
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the verdict and safety report as one JSON object",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="program diagnostics: errors, theory warnings, perf lints"
+    )
+    lint_parser.add_argument("program", help="path to the Sequence Datalog program")
+    lint_parser.add_argument(
+        "--db", help="optional JSON database; enables the database-dependent "
+                     "rules (undefined predicates, relation arity conflicts)",
+    )
+    lint_parser.add_argument(
+        "--query", action="append", default=[], metavar="PATTERN",
+        help="query pattern checked against the program's signatures "
+             "(repeatable)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostic report as one JSON object instead of "
+             "human-readable blocks",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="also exit 1 when warnings or perf lints are present "
+             "(errors always exit 2; hints never gate)",
+    )
 
     explain_parser = subparsers.add_parser(
         "explain", help="print the compiled evaluation plan"
@@ -423,7 +461,7 @@ def _command_loop(commands, lines, out, json_mode: bool) -> int:
 
 def _read_lines(args):
     if args.script:
-        with open(args.script, "r", encoding="utf-8") as handle:
+        with open(args.script, encoding="utf-8") as handle:
             return handle.readlines()
     return sys.stdin
 
@@ -512,14 +550,44 @@ def _command_client(args: argparse.Namespace, out) -> int:
 def _command_analyze(args: argparse.Namespace, out) -> int:
     program = parse_program(_load_program(args.program))
     report = classify_finiteness(program)
-    print(report.describe(), file=out)
-    return 0
+    if args.json:
+        payload = {
+            "verdict": report.verdict.name,
+            "finite": report.verdict.is_finite(),
+            "strongly_safe": report.safety.strongly_safe,
+            "order": report.safety.order,
+            "constructive_cycles": [list(c) for c in report.safety.constructive_cycles],
+            "constructive_predicates": list(report.safety.constructive_predicates),
+        }
+        print(json.dumps(payload, sort_keys=True), file=out)
+    else:
+        print(report.describe(), file=out)
+    # A possibly-infinite verdict exits non-zero so scripts and CI can gate
+    # on the static guarantee without parsing the output.
+    return 0 if report.verdict.is_finite() else 1
+
+
+def _command_lint(args: argparse.Namespace, out) -> int:
+    from repro.analysis.diagnostics import lint_program
+
+    source = _load_program(args.program)
+    database = load_database_json(args.db) if args.db else None
+    report = lint_program(source, database=database, patterns=args.query)
+    if args.json:
+        payload = report.to_payload()
+        payload["exit_code"] = report.exit_code(strict=args.strict)
+        print(json.dumps(payload, sort_keys=True), file=out)
+    else:
+        print(report.render(source, filename=args.program), file=out)
+    return report.exit_code(strict=args.strict)
 
 
 def _command_explain(args: argparse.Namespace, out) -> int:
+    from repro.analysis.diagnostics import explain_with_diagnostics
+
     program = parse_program(_load_program(args.program))
     program.validate()
-    print(compile_program(program).explain(), file=out)
+    print(explain_with_diagnostics(program), file=out)
     return 0
 
 
@@ -545,6 +613,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_client(args, out)
         if args.command == "analyze":
             return _command_analyze(args, out)
+        if args.command == "lint":
+            return _command_lint(args, out)
         if args.command == "explain":
             return _command_explain(args, out)
         return _command_parse(args, out)

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Union
 
+from repro.analysis.diagnostics import (
+    DiagnosticReport,
+    explain_with_diagnostics,
+    lint_program,
+)
 from repro.analysis.finiteness import FinitenessReport, classify_finiteness
 from repro.analysis.safety import SafetyReport, analyze_safety
 from repro.database.database import SequenceDatabase
@@ -22,7 +27,6 @@ from repro.engine.fixpoint import (
     FixpointResult,
     compute_least_fixpoint,
 )
-from repro.engine.planner import compile_program
 from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import QueryResult, evaluate_query, known_predicates
@@ -68,8 +72,32 @@ class SequenceDatalogEngine:
         return classify_finiteness(self.program)
 
     def explain(self) -> str:
-        """The compiled evaluation plan: strata, join orders, index columns."""
-        return compile_program(self.program).explain()
+        """The compiled evaluation plan plus a diagnostics section.
+
+        Strata, join orders and index columns from
+        :func:`~repro.engine.planner.compile_program`, followed by the
+        findings of :meth:`lint` in compact form.
+        """
+        return explain_with_diagnostics(self.program)
+
+    def lint(
+        self,
+        database: Optional[DatabaseLike] = None,
+        patterns: Iterable[str] = (),
+    ) -> DiagnosticReport:
+        """Run the program diagnostics engine (:mod:`repro.analysis.rules`).
+
+        Checks semantic errors (undefined predicates, arity conflicts,
+        range restriction), the paper's static theory with source spans
+        attached (finiteness, strong safety, stratification, guardedness),
+        hygiene, and plan-level performance lints.  ``database`` and
+        ``patterns`` (query atoms) sharpen the database-dependent rules.
+        """
+        return lint_program(
+            self.program,
+            database=None if database is None else _as_database(database),
+            patterns=patterns,
+        )
 
     # ------------------------------------------------------------------
     # Evaluation and queries

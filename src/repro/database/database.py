@@ -46,7 +46,7 @@ class SequenceDatabase:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_dict(cls, data: Dict[str, Iterable]) -> "SequenceDatabase":
+    def from_dict(cls, data: Dict[str, Iterable]) -> SequenceDatabase:
         """Build a database from ``{predicate: iterable of tuples/strings}``.
 
         Entries may be plain strings (unary relations) or tuples of strings.
@@ -65,7 +65,7 @@ class SequenceDatabase:
         return database
 
     @classmethod
-    def from_json_dict(cls, data) -> "SequenceDatabase":
+    def from_json_dict(cls, data) -> SequenceDatabase:
         """Build a database from decoded JSON, validating shape and types.
 
         The expected shape is ``{"relation": ["seq", ["a", "b"], ...]}``: a
@@ -111,7 +111,7 @@ class SequenceDatabase:
         return database
 
     @classmethod
-    def from_facts(cls, facts: Iterable[Atom]) -> "SequenceDatabase":
+    def from_facts(cls, facts: Iterable[Atom]) -> SequenceDatabase:
         """Build a database from ground atoms."""
         database = cls()
         for atom in facts:
@@ -126,7 +126,7 @@ class SequenceDatabase:
         return database
 
     @classmethod
-    def single_input(cls, value) -> "SequenceDatabase":
+    def single_input(cls, value) -> SequenceDatabase:
         """The database ``{input(sigma)}`` used for sequence functions (§2.2)."""
         database = cls()
         database.add_fact("input", value)
@@ -228,6 +228,6 @@ class SequenceDatabase:
         sequences in the extended active domain."""
         return len(self.extended_active_domain())
 
-    def copy(self) -> "SequenceDatabase":
+    def copy(self) -> SequenceDatabase:
         """An independent copy of the database."""
         return SequenceDatabase(relation.copy() for relation in self._relations.values())

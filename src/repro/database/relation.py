@@ -323,7 +323,7 @@ class SequenceRelation:
         low = bisect_left(bucket, start, 0, high) if start else 0
         return bucket[low:high]
 
-    def delta_view(self, start_version: int) -> "RelationDelta":
+    def delta_view(self, start_version: int) -> RelationDelta:
         """A live view of the rows inserted at or after ``start_version``.
 
         Versions double as row positions only while the relation is
@@ -387,7 +387,7 @@ class SequenceRelation:
             values.update(row)
         return values
 
-    def copy(self) -> "SequenceRelation":
+    def copy(self) -> SequenceRelation:
         """An independent copy of the relation."""
         return SequenceRelation(self.name, self.arity, self._rows)
 

@@ -130,13 +130,13 @@ class Substitution:
     # ------------------------------------------------------------------
     # Extension
     # ------------------------------------------------------------------
-    def bind_sequence(self, name: str, value: Sequence) -> "Substitution":
+    def bind_sequence(self, name: str, value: Sequence) -> Substitution:
         """Return a copy with ``name`` bound to ``value``."""
         extended = Substitution(self._sequences, self._indexes)
         extended._sequences[name] = value
         return extended
 
-    def bind_index(self, name: str, value: int) -> "Substitution":
+    def bind_index(self, name: str, value: int) -> Substitution:
         """Return a copy with ``name`` bound to integer ``value``."""
         extended = Substitution(self._sequences, self._indexes)
         extended._indexes[name] = value

@@ -177,7 +177,7 @@ def match_indexes(
 
 
 def emit_heads(
-    head: "Atom",
+    head: Atom,
     head_sequence_vars: Iterable[str],
     head_index_vars: Iterable[str],
     substitution: Substitution,
@@ -221,7 +221,7 @@ def emit_heads(
 
 
 def evaluate_head(
-    head: "Atom",
+    head: Atom,
     substitution: Substitution,
     transducers: Optional[TransducerRegistry],
 ) -> Optional[Fact]:

@@ -42,7 +42,7 @@ class Interpretation:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_database(cls, database: SequenceDatabase) -> "Interpretation":
+    def from_database(cls, database: SequenceDatabase) -> Interpretation:
         """The interpretation containing exactly the database facts."""
         interpretation = cls()
         for relation in database:
@@ -87,7 +87,7 @@ class Interpretation:
         predicate, values = fact
         return self.add(predicate, values)
 
-    def merge(self, other: "Interpretation") -> int:
+    def merge(self, other: Interpretation) -> int:
         """Add every fact of ``other``; return the number of new facts."""
         added = 0
         for predicate, values in other.facts():
@@ -192,7 +192,7 @@ class Interpretation:
     # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
-    def copy(self) -> "Interpretation":
+    def copy(self) -> Interpretation:
         clone = Interpretation()
         for predicate, relation in self._relations.items():
             clone._relations[predicate] = relation.copy()
@@ -208,7 +208,7 @@ class Interpretation:
                 database.add_fact(predicate, *row)
         return database
 
-    def restrict(self, predicates: Iterable[str]) -> "Interpretation":
+    def restrict(self, predicates: Iterable[str]) -> Interpretation:
         """The sub-interpretation containing only the given predicates.
 
         Relations are copied wholesale (reusing their snapshots) instead of

@@ -209,7 +209,7 @@ class _ProcessPool:
                 if any(not process.is_alive() for process, _ in self._workers):
                     raise EvaluationError(
                         "a parallel fixpoint worker process died unexpectedly"
-                    )
+                    ) from None
                 continue
             pending.discard(task_id)
             if error is not None:
@@ -549,7 +549,7 @@ class ParallelFixpoint(CompiledFixpoint):
             self._process_pool.close()
             self._process_pool = None
 
-    def __enter__(self) -> "ParallelFixpoint":
+    def __enter__(self) -> ParallelFixpoint:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -75,7 +75,7 @@ class ModelSnapshot:
         self._fact_count = fact_count
 
     @classmethod
-    def of(cls, generation: int, interpretation: Interpretation) -> "ModelSnapshot":
+    def of(cls, generation: int, interpretation: Interpretation) -> ModelSnapshot:
         """Pin the interpretation's current state.
 
         Must be called while no maintenance is mutating the interpretation
@@ -188,7 +188,7 @@ class DatalogServer:
         self.workers = workers
         self._write_lock = threading.Lock()
         self._cache_lock = threading.Lock()
-        self._results: "OrderedDict[Tuple[int, str, bool], QueryResult]" = OrderedDict()
+        self._results: OrderedDict[Tuple[int, str, bool], QueryResult] = OrderedDict()
         self._result_cache_size = max(1, result_cache_size)
         self._inflight: Dict[Tuple[int, str, bool], _InFlight] = {}
         # Raw pattern text -> (atom, canonical key).  Parsing is the most
@@ -467,7 +467,7 @@ class DatalogServer:
     def close(self) -> None:
         self._session.close()
 
-    def __enter__(self) -> "DatalogServer":
+    def __enter__(self) -> DatalogServer:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -261,7 +261,7 @@ class DatalogSession:
                 self.program, transducers, use_kernels=use_kernels
             )
         self._program_predicates = frozenset(self.program.predicates())
-        self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self._prepared: OrderedDict[str, PreparedQuery] = OrderedDict()
         self._prepared_cache_size = max(1, prepared_cache_size)
         self._prepared_hits = 0
         self._prepared_misses = 0
@@ -271,7 +271,7 @@ class DatalogSession:
         # the session keeps an append-only log of them (cheap: base facts
         # are the input data, not the derived model).
         self._base_facts: List[Fact] = []
-        self._demand: "OrderedDict[str, _DemandEntry]" = OrderedDict()
+        self._demand: OrderedDict[str, _DemandEntry] = OrderedDict()
         self._demand_cache_size = max(1, demand_cache_size)
         self._demand_hits = 0
         self._demand_misses = 0
@@ -557,7 +557,7 @@ class DatalogSession:
         """Release the evaluation core's resources (parallel worker pools)."""
         self._core.close()
 
-    def __enter__(self) -> "DatalogSession":
+    def __enter__(self) -> DatalogSession:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -15,9 +15,15 @@ from repro.language.terms import ConstantTerm, SequenceTerm
 
 
 class BodyLiteral:
-    """Base class for anything that may appear in a clause body."""
+    """Base class for anything that may appear in a clause body.
 
-    __slots__ = ()
+    Parsed literals carry a :class:`~repro.language.spans.SourceSpan` in
+    ``span``; programmatically built literals leave it ``None``.  Spans
+    are not part of literal identity (``__eq__``/``__hash__`` ignore
+    them), so fact interning and clause deduplication are unaffected.
+    """
+
+    __slots__ = ("span",)
 
     def sequence_variables(self) -> FrozenSet[str]:
         raise NotImplementedError
@@ -58,6 +64,7 @@ class Atom(BodyLiteral):
                 )
         self.predicate = predicate
         self.args: Tuple[SequenceTerm, ...] = args
+        self.span = None
 
     @property
     def arity(self) -> int:
@@ -138,6 +145,7 @@ class Comparison(BodyLiteral):
         self.left = left
         self.right = right
         self.operator = operator
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         return self.left.sequence_variables() | self.right.sequence_variables()
@@ -173,6 +181,9 @@ class TrueLiteral(BodyLiteral):
     """The constant body literal ``true`` used for facts written as rules."""
 
     __slots__ = ()
+
+    def __init__(self):
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         return frozenset()

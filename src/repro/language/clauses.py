@@ -28,7 +28,7 @@ class Clause:
     head is ground is a *fact*.
     """
 
-    __slots__ = ("head", "body")
+    __slots__ = ("head", "body", "span")
 
     def __init__(self, head: Atom, body: Iterable[BodyLiteral] = ()):
         if not isinstance(head, Atom):
@@ -49,6 +49,9 @@ class Clause:
         meaningful = tuple(lit for lit in body if not isinstance(lit, TrueLiteral))
         self.head = head
         self.body: Tuple[BodyLiteral, ...] = meaningful
+        # Where the clause was parsed from (None when built programmatically);
+        # never part of clause identity.
+        self.span = None
 
     # ------------------------------------------------------------------
     # Structural queries
@@ -146,7 +149,7 @@ class Program:
     evaluation traces.
     """
 
-    __slots__ = ("clauses",)
+    __slots__ = ("clauses", "source")
 
     def __init__(self, clauses: Iterable[Clause] = ()):
         clause_list: List[Clause] = []
@@ -155,6 +158,10 @@ class Program:
                 raise ValidationError(f"programs contain clauses, got {clause!r}")
             clause_list.append(clause)
         self.clauses: Tuple[Clause, ...] = tuple(clause_list)
+        # The program text this was parsed from (set by ``parse_program``,
+        # None when built programmatically); used by diagnostics to render
+        # source excerpts.  Never part of program identity.
+        self.source = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -173,7 +180,7 @@ class Program:
     def __hash__(self) -> int:
         return hash(frozenset(self.clauses))
 
-    def __add__(self, other: "Program") -> "Program":
+    def __add__(self, other: Program) -> Program:
         return Program(self.clauses + tuple(other.clauses))
 
     def __repr__(self) -> str:

@@ -26,7 +26,10 @@ Concrete syntax
 * rules use ``:-`` or ``<-``; every clause ends with a period.
 
 The parser is a hand-written recursive-descent parser over a small tokenizer;
-it reports 1-based line/column positions in :class:`~repro.errors.ParseError`.
+it reports 1-based line/column positions in :class:`~repro.errors.ParseError`
+and stamps a :class:`~repro.language.spans.SourceSpan` on every term, atom,
+comparison and clause it builds, so downstream analyses (most notably the
+diagnostics engine) can point back at the offending source text.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from typing import List, NamedTuple, Optional, Sequence as TypingSequence
 from repro.errors import ParseError
 from repro.language.atoms import Atom, BodyLiteral, Comparison, TrueLiteral
 from repro.language.clauses import Clause, Program
+from repro.language.spans import SourceSpan
 from repro.language.terms import (
     ConcatTerm,
     ConstantTerm,
@@ -56,6 +60,11 @@ class Token(NamedTuple):
     value: str
     line: int
     column: int
+    end_column: int = 0  # 1-based inclusive column of the token's last character
+
+    @property
+    def span(self) -> SourceSpan:
+        return SourceSpan(self.line, self.column, self.line, self.end_column)
 
 
 _PUNCTUATION = [
@@ -106,7 +115,7 @@ def tokenize(text: str) -> List[Token]:
             value = text[index + 1:end]
             if "\n" in value:
                 raise ParseError("string literals may not span lines", line, column)
-            tokens.append(Token("STRING", value, line, column))
+            tokens.append(Token("STRING", value, line, column, column + (end - index)))
             column += end - index + 1
             index = end + 1
             continue
@@ -114,7 +123,9 @@ def tokenize(text: str) -> List[Token]:
             start = index
             while index < length and text[index].isdigit():
                 index += 1
-            tokens.append(Token("INTEGER", text[start:index], line, column))
+            tokens.append(
+                Token("INTEGER", text[start:index], line, column, column + (index - start) - 1)
+            )
             column += index - start
             continue
         if char.isalpha() or char == "_":
@@ -132,20 +143,20 @@ def tokenize(text: str) -> List[Token]:
                 kind = "VARIABLE"
             else:
                 kind = "IDENT"
-            tokens.append(Token(kind, word, line, column))
+            tokens.append(Token(kind, word, line, column, column + len(word) - 1))
             column += index - start
             continue
         matched = False
         for literal, kind in _PUNCTUATION:
             if text.startswith(literal, index):
-                tokens.append(Token(kind, literal, line, column))
+                tokens.append(Token(kind, literal, line, column, column + len(literal) - 1))
                 index += len(literal)
                 column += len(literal)
                 matched = True
                 break
         if not matched:
             raise ParseError(f"unexpected character {char!r}", line, column)
-    tokens.append(Token("EOF", "", line, column))
+    tokens.append(Token("EOF", "", line, column, column))
     return tokens
 
 
@@ -155,6 +166,7 @@ class _Parser:
     def __init__(self, tokens: TypingSequence[Token]):
         self._tokens = tokens
         self._position = 0
+        self._last: Optional[Token] = None  # most recently consumed token
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -167,7 +179,13 @@ class _Parser:
         token = self._tokens[self._position]
         if token.kind != "EOF":
             self._position += 1
+            self._last = token
         return token
+
+    def _span_from(self, start: Token) -> SourceSpan:
+        """The span from ``start`` through the most recently consumed token."""
+        last = self._last if self._last is not None else start
+        return SourceSpan(start.line, start.column, last.line, last.end_column)
 
     def _expect(self, kind: str) -> Token:
         token = self._peek()
@@ -197,6 +215,7 @@ class _Parser:
         return Program(clauses)
 
     def parse_clause(self) -> Clause:
+        start = self._peek()
         head = self.parse_atom()
         body: List[BodyLiteral] = []
         if self._accept("ARROW"):
@@ -204,13 +223,17 @@ class _Parser:
             while self._accept("COMMA"):
                 body.append(self.parse_body_literal())
         self._expect("PERIOD")
-        return Clause(head, body)
+        clause = Clause(head, body)
+        clause.span = self._span_from(start)
+        return clause
 
     def parse_body_literal(self) -> BodyLiteral:
         token = self._peek()
         if token.kind == "TRUE":
             self._advance()
-            return TrueLiteral()
+            literal: BodyLiteral = TrueLiteral()
+            literal.span = token.span
+            return literal
         if token.kind == "IDENT":
             return self.parse_atom()
         left = self.parse_sequence_term()
@@ -218,16 +241,19 @@ class _Parser:
         if operator_token.kind == "EQ":
             self._advance()
             right = self.parse_sequence_term()
-            return Comparison(left, right, Comparison.EQ)
-        if operator_token.kind == "NEQ":
+            comparison = Comparison(left, right, Comparison.EQ)
+        elif operator_token.kind == "NEQ":
             self._advance()
             right = self.parse_sequence_term()
-            return Comparison(left, right, Comparison.NE)
-        raise ParseError(
-            "expected a comparison operator ('=' or '!=') after a term literal",
-            operator_token.line,
-            operator_token.column,
-        )
+            comparison = Comparison(left, right, Comparison.NE)
+        else:
+            raise ParseError(
+                "expected a comparison operator ('=' or '!=') after a term literal",
+                operator_token.line,
+                operator_token.column,
+            )
+        comparison.span = self._span_from(token)
+        return comparison
 
     def parse_atom(self) -> Atom:
         name = self._expect("IDENT")
@@ -238,29 +264,37 @@ class _Parser:
                 while self._accept("COMMA"):
                     args.append(self.parse_sequence_term())
             self._expect("RPAREN")
-        return Atom(name.value, args)
+        atom = Atom(name.value, args)
+        atom.span = self._span_from(name)
+        return atom
 
     def parse_sequence_term(self) -> SequenceTerm:
+        start = self._peek()
         parts = [self.parse_concat_part()]
         while self._accept("CONCAT"):
             parts.append(self.parse_concat_part())
         if len(parts) == 1:
             return parts[0]
-        return ConcatTerm(parts)
+        term = ConcatTerm(parts)
+        term.span = self._span_from(start)
+        return term
 
     def parse_concat_part(self) -> SequenceTerm:
         token = self._peek()
         if token.kind == "STRING":
             self._advance()
             base: SequenceTerm = ConstantTerm(token.value)
-            return self._maybe_indexed(base)
-        if token.kind == "EPS":
+            base.span = token.span
+            part = self._maybe_indexed(base)
+        elif token.kind == "EPS":
             self._advance()
-            return ConstantTerm("")
-        if token.kind == "VARIABLE":
+            part = ConstantTerm("")
+        elif token.kind == "VARIABLE":
             self._advance()
-            return self._maybe_indexed(SequenceVariable(token.value))
-        if token.kind == "AT":
+            base = SequenceVariable(token.value)
+            base.span = token.span
+            part = self._maybe_indexed(base)
+        elif token.kind == "AT":
             self._advance()
             name = self._expect("IDENT")
             self._expect("LPAREN")
@@ -268,12 +302,15 @@ class _Parser:
             while self._accept("COMMA"):
                 args.append(self.parse_sequence_term())
             self._expect("RPAREN")
-            return TransducerTerm(name.value, args)
-        raise ParseError(
-            f"expected a sequence term but found {token.kind} ({token.value!r})",
-            token.line,
-            token.column,
-        )
+            part = TransducerTerm(name.value, args)
+        else:
+            raise ParseError(
+                f"expected a sequence term but found {token.kind} ({token.value!r})",
+                token.line,
+                token.column,
+            )
+        part.span = self._span_from(token)
+        return part
 
     def _maybe_indexed(self, base: SequenceTerm) -> SequenceTerm:
         if not self._accept("LBRACKET"):
@@ -317,9 +354,16 @@ class _Parser:
 # Public entry points
 # ----------------------------------------------------------------------
 def parse_program(text: str) -> Program:
-    """Parse a whole program (a sequence of clauses)."""
+    """Parse a whole program (a sequence of clauses).
+
+    The returned program remembers its source text (``program.source``) so
+    diagnostics can render caret-underlined excerpts without re-reading the
+    file.
+    """
     parser = _Parser(tokenize(text))
-    return parser.parse_program()
+    program = parser.parse_program()
+    program.source = text
+    return program
 
 
 def parse_clause(text: str) -> Clause:

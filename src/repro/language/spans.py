@@ -1,0 +1,66 @@
+"""Source spans: where a parsed construct came from.
+
+The tokenizer has always reported 1-based line/column positions for
+errors; this module makes positions a first-class value so *successfully*
+parsed constructs remember where they came from too.  The parser stamps a
+:class:`SourceSpan` on every term, atom, comparison and clause it builds
+(see :mod:`repro.language.parser`), and the diagnostics engine
+(:mod:`repro.analysis.diagnostics`) uses the spans to point at offending
+source text.
+
+Spans are deliberately *not* part of the identity of AST nodes: two atoms
+parsed from different places still compare (and hash) equal, so fact
+interning, clause deduplication and all engine indexes are untouched.
+Programmatically constructed nodes simply have no span; use
+:func:`span_of` to read a node's span without caring how it was built.
+
+All coordinates are 1-based and inclusive: ``line``/``column`` address the
+first character of the construct, ``end_line``/``end_column`` the last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A contiguous region of program text (1-based, inclusive ends)."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        if self.line == self.end_line:
+            return f"{self.line}:{self.column}-{self.end_column}"
+        return f"{self.line}:{self.column}-{self.end_line}:{self.end_column}"
+
+    def to_payload(self) -> Dict[str, int]:
+        """The JSON-friendly wire form of the span."""
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> SourceSpan:
+        return cls(
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            end_line=int(payload["end_line"]),
+            end_column=int(payload["end_column"]),
+        )
+
+
+def span_of(node: Any) -> Optional[SourceSpan]:
+    """The source span of an AST node, or ``None`` if it has none.
+
+    Nodes built programmatically (rather than parsed) carry no span; this
+    accessor spares callers the ``getattr`` dance over ``__slots__``.
+    """
+    return getattr(node, "span", None)

@@ -180,9 +180,14 @@ class IndexSum(IndexTerm):
 # Sequence terms
 # ----------------------------------------------------------------------
 class SequenceTerm:
-    """Base class of sequence terms."""
+    """Base class of sequence terms.
 
-    __slots__ = ()
+    Parsed terms carry a :class:`~repro.language.spans.SourceSpan` in
+    ``span``; programmatically built terms leave it ``None``.  Spans are
+    not part of term identity (``__eq__``/``__hash__`` ignore them).
+    """
+
+    __slots__ = ("span",)
 
     def sequence_variables(self) -> FrozenSet[str]:
         """Names of the sequence variables occurring in the term."""
@@ -208,6 +213,7 @@ class ConstantTerm(SequenceTerm):
 
     def __init__(self, value):
         self.value: Sequence = as_sequence(value)
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         return frozenset()
@@ -242,6 +248,7 @@ class SequenceVariable(SequenceTerm):
                 f"sequence variable names must start with an upper-case letter, got {name!r}"
             )
         self.name = name
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         return frozenset({self.name})
@@ -298,6 +305,7 @@ class IndexedTerm(SequenceTerm):
         self.base = base
         self.lo = lo
         self.hi = hi
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         return self.base.sequence_variables()
@@ -358,6 +366,7 @@ class ConcatTerm(SequenceTerm):
         if len(flattened) < 2:
             raise ValidationError("a constructive term needs at least two parts")
         self.parts: Tuple[SequenceTerm, ...] = tuple(flattened)
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         names: FrozenSet[str] = frozenset()
@@ -421,6 +430,7 @@ class TransducerTerm(SequenceTerm):
                 )
         self.name = name
         self.args: Tuple[SequenceTerm, ...] = args
+        self.span = None
 
     def sequence_variables(self) -> FrozenSet[str]:
         names: FrozenSet[str] = frozenset()

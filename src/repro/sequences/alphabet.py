@@ -91,7 +91,7 @@ class Alphabet:
                     f"symbol {symbol!r} is not in the alphabet {self!r}"
                 )
 
-    def union(self, other: "Alphabet") -> "Alphabet":
+    def union(self, other: Alphabet) -> Alphabet:
         """Return the alphabet containing the symbols of both alphabets."""
         return Alphabet(tuple(self._symbols) + tuple(other._symbols))
 

@@ -125,7 +125,7 @@ class ExtendedDomain:
             f"lmax={self._max_length})"
         )
 
-    def copy(self) -> "ExtendedDomain":
+    def copy(self) -> ExtendedDomain:
         """An independent copy of the domain."""
         clone = ExtendedDomain()
         clone._sequences = set(self._sequences)

@@ -122,7 +122,7 @@ class Sequence:
         return self._id
 
     @classmethod
-    def from_intern_id(cls, intern_id: int) -> "Sequence":
+    def from_intern_id(cls, intern_id: int) -> Sequence:
         """The interned sequence with the given id."""
         return cls._by_id[intern_id]
 
@@ -213,20 +213,20 @@ class Sequence:
     def __str__(self) -> str:
         return self._data
 
-    def __lt__(self, other: "Sequence") -> bool:
+    def __lt__(self, other: Sequence) -> bool:
         return self._data < as_sequence(other)._data
 
-    def __le__(self, other: "Sequence") -> bool:
+    def __le__(self, other: Sequence) -> bool:
         return self._data <= as_sequence(other)._data
 
-    def __add__(self, other: SymbolLike) -> "Sequence":
+    def __add__(self, other: SymbolLike) -> Sequence:
         """Concatenation (the paper's ``s1 . s2`` constructive operation)."""
         return Sequence(self._data + as_sequence(other)._data)
 
-    def __radd__(self, other: SymbolLike) -> "Sequence":
+    def __radd__(self, other: SymbolLike) -> Sequence:
         return Sequence(as_sequence(other)._data + self._data)
 
-    def __mul__(self, count: int) -> "Sequence":
+    def __mul__(self, count: int) -> Sequence:
         return Sequence(self._data * count)
 
     # ------------------------------------------------------------------
@@ -273,11 +273,11 @@ class Sequence:
         """The suffix starting at ``start`` (``self[start : end]``)."""
         return self.subsequence(start, len(self._data))
 
-    def reverse(self) -> "Sequence":
+    def reverse(self) -> Sequence:
         """The reversal of the sequence (Example 1.4)."""
         return Sequence(self._data[::-1])
 
-    def is_subsequence_of(self, other: "Sequence") -> bool:
+    def is_subsequence_of(self, other: Sequence) -> bool:
         """True if ``self`` is a *contiguous* subsequence of ``other``."""
         return self._data in as_sequence(other)._data
 

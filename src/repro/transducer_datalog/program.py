@@ -63,9 +63,14 @@ class TransducerDatalogProgram:
                 machine = self.catalog.get(name)
                 for term in _transducer_terms_of(clause):
                     if term.name == name and len(term.args) != machine.num_inputs:
+                        span = getattr(term, "span", None) or getattr(
+                            clause, "span", None
+                        )
+                        at = f" at {span.line}:{span.column}" if span else ""
                         raise ValidationError(
                             f"transducer {name!r} takes {machine.num_inputs} inputs "
-                            f"but is used with {len(term.args)} in clause: {clause}"
+                            f"but is used with {len(term.args)}{at} "
+                            f"in clause: {clause}"
                         )
 
     # ------------------------------------------------------------------

@@ -54,7 +54,7 @@ class TransducerBuilder:
         next_state: str,
         moves: TypingSequence[str],
         output: Union[str, GeneralizedTransducer] = EPSILON_OUTPUT,
-    ) -> "TransducerBuilder":
+    ) -> TransducerBuilder:
         """Add a single transition; duplicate keys are rejected."""
         key = (state, tuple(scanned))
         if key in self._transitions:
@@ -74,7 +74,7 @@ class TransducerBuilder:
         output_of,
         symbols: Optional[Iterable[str]] = None,
         other_heads: str = "any",
-    ) -> "TransducerBuilder":
+    ) -> TransducerBuilder:
         """Add transitions that consume one symbol on a designated head.
 
         For every symbol ``a`` of ``symbols`` (default: the alphabet) and
@@ -113,7 +113,7 @@ class TransducerBuilder:
         next_state: str,
         moves: TypingSequence[str],
         output: Union[str, GeneralizedTransducer] = EPSILON_OUTPUT,
-    ) -> "TransducerBuilder":
+    ) -> TransducerBuilder:
         """Add a compact wildcard transition (see ``machine.WILDCARD``).
 
         Wildcard entries are tried after exact entries, in the order they

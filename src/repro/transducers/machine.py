@@ -211,8 +211,7 @@ class GeneralizedTransducer:
                     )
 
     def _all_transitions(self) -> Iterable[Transition]:
-        for transition in self.transitions.values():
-            yield transition
+        yield from self.transitions.values()
         for entries in self.wildcard_transitions.values():
             for _, transition in entries:
                 yield transition
@@ -239,7 +238,7 @@ class GeneralizedTransducer:
         """This machine and every machine reachable through subcalls."""
         collected: Dict[str, GeneralizedTransducer] = {}
 
-        def visit(machine: "GeneralizedTransducer") -> None:
+        def visit(machine: GeneralizedTransducer) -> None:
             if machine.name in collected:
                 return
             collected[machine.name] = machine

@@ -381,7 +381,7 @@ class NondeterministicBuilder:
         next_state: str,
         moves: Iterable[str],
         output: Union[str, SubMachine] = EPSILON_OUTPUT,
-    ) -> "NondeterministicBuilder":
+    ) -> NondeterministicBuilder:
         """Add one transition choice for the given key."""
         key = (state, tuple(scanned))
         self._transitions.setdefault(key, []).append(

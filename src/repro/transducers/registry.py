@@ -32,7 +32,7 @@ class TransducerCatalog:
     # ------------------------------------------------------------------
     def register(
         self, machine: GeneralizedTransducer, name: Optional[str] = None
-    ) -> "TransducerCatalog":
+    ) -> TransducerCatalog:
         """Register a machine (optionally under an alias)."""
         key = name or machine.name
         existing = self._machines.get(key)
@@ -77,7 +77,7 @@ class TransducerCatalog:
         """The maximum order among the registered machines (0 when empty)."""
         return max((machine.order for machine in self._machines.values()), default=0)
 
-    def copy(self) -> "TransducerCatalog":
+    def copy(self) -> TransducerCatalog:
         clone = TransducerCatalog()
         clone._machines = dict(self._machines)
         return clone

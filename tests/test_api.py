@@ -676,6 +676,46 @@ class TestRemoteEquivalence:
         with DatalogClient(*server.address) as client:
             assert "scan r(X)" in client.explain()
 
+    def test_lint_spans_survive_the_wire_one_based(self, tcp):
+        program = "bad(X) :- r(Y).\nsuffix(X[N:end]) :- r(X).\n"
+        server = tcp(program, {"r": ["ab"]})
+        local = SequenceDatalogEngine(program).lint()
+        with DatalogClient(*server.address) as client:
+            remote = client.lint()
+            # The full report — codes, severities, messages, hints AND
+            # 1-based spans — is exactly what lint() returns in-process.
+            assert remote == local
+            spans = [d.span for d in remote if d.span is not None]
+            assert spans and all(
+                span.line >= 1 and span.column >= 1 for span in spans
+            )
+            first = remote.by_code("SDL-E103")[0]
+            assert (first.span.line, first.span.column) == (1, 1)
+            assert (first.span.end_line, first.span.end_column) == (1, 6)
+
+    def test_lint_patterns_are_checked_remotely(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})
+        with DatalogClient(*server.address) as client:
+            clean = client.lint()
+            assert not clean.has_errors()
+            report = client.lint(patterns=["suffix(X, Y)"])
+            conflict = report.by_code("SDL-E102")
+            assert len(conflict) == 1 and conflict[0].predicate == "suffix"
+            report = client.lint(patterns=["suffix(X"])
+            assert report.by_code("SDL-E100")
+
+    def test_lint_wire_payload_shape(self, tcp):
+        server = tcp("bad(X) :- r(Y).", {"r": ["ab"]})
+        with DatalogClient(*server.address) as client:
+            reply = client.raw_request({"v": 1, "op": "lint"})
+            assert reply["ok"] is True and reply["kind"] == "lint"
+            assert reply["counts"]["error"] == 1
+            first = reply["diagnostics"][0]
+            assert first["code"] == "SDL-E103"
+            assert first["span"] == {
+                "line": 1, "column": 1, "end_line": 1, "end_column": 6,
+            }
+
     def test_pages_are_labeled_with_the_generation_they_read(self, tcp):
         server = tcp(SUFFIX_PROGRAM, {"r": ["abc"]})
         with DatalogClient(*server.address) as client:

@@ -284,3 +284,107 @@ class TestParallelAndServerFlags:
         )
         assert code == 1
         assert "drop --demand" in out.getvalue()
+
+
+class TestLintCommand:
+    @pytest.fixture
+    def bad_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.sdl").write_text("bad(X) :- r(Y).\n")
+        return "bad.sdl"
+
+    def test_human_output_has_caret_excerpts_and_exit_2(self, bad_file):
+        out = io.StringIO()
+        code = main(["lint", bad_file], out=out)
+        assert code == 2
+        text = out.getvalue()
+        assert "bad.sdl:1:1: SDL-E103 error:" in text
+        assert "    1 | bad(X) :- r(Y).\n      | ^^^^^^" in text
+        assert "= hint: add a body atom that binds X" in text
+        assert text.rstrip().endswith("4 diagnostics: 1 error, 1 warning, 1 perf, 1 hint")
+
+    def test_json_output_carries_spans_and_exit_code(self, bad_file):
+        out = io.StringIO()
+        code = main(["lint", bad_file, "--json"], out=out)
+        assert code == 2
+        payload = json.loads(out.getvalue())
+        assert payload["exit_code"] == 2
+        assert payload["counts"] == {"error": 1, "warning": 1, "perf": 1, "hint": 1}
+        first = payload["diagnostics"][0]
+        assert first["code"] == "SDL-E103"
+        assert first["span"] == {"line": 1, "column": 1, "end_line": 1, "end_column": 6}
+
+    def test_clean_program_exits_zero(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "ok.sdl").write_text("p(X) :- r(X).\n")
+        out = io.StringIO()
+        assert main(["lint", "ok.sdl"], out=out) == 0
+        assert "clean: no diagnostics" in out.getvalue()
+
+    def test_strict_gates_on_warnings_but_not_hints(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "warn.sdl").write_text("suffix(X[N:end]) :- r(X).\n")
+        (tmp_path / "hint.sdl").write_text("p(X) :- r(X).\np(X) :- r(X).\n")
+        assert main(["lint", "warn.sdl"], out=io.StringIO()) == 0
+        assert main(["lint", "warn.sdl", "--strict"], out=io.StringIO()) == 1
+        assert main(["lint", "hint.sdl", "--strict"], out=io.StringIO()) == 0
+
+    def test_database_and_query_sharpen_the_rules(
+        self, tmp_path, monkeypatch, database_file
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "undef.sdl").write_text("p(X) :- q(X).\n")
+        out = io.StringIO()
+        code = main(
+            ["lint", "undef.sdl", "--db", database_file, "--query", "p(X, Y)"],
+            out=out,
+        )
+        assert code == 2
+        text = out.getvalue()
+        assert "SDL-E101" in text and "'q'" in text
+        assert "SDL-E102" in text  # p/2 pattern against p/1
+
+    def test_unparsable_program_is_a_diagnostic_not_a_crash(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "broken.sdl").write_text("p(X :- q(X).\n")
+        out = io.StringIO()
+        assert main(["lint", "broken.sdl"], out=out) == 2
+        assert "SDL-E100" in out.getvalue()
+
+
+class TestAnalyzeJson:
+    def test_json_payload_is_schema_stable(self, program_file):
+        out = io.StringIO()
+        code = main(["analyze", program_file, "--json"], out=out)
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["verdict"] == "FINITE_NON_CONSTRUCTIVE"
+        assert payload["finite"] is True
+        assert payload["strongly_safe"] is True
+        assert payload["constructive_cycles"] == []
+
+    def test_possibly_infinite_exits_nonzero(self, tmp_path):
+        path = tmp_path / "rep2.sdl"
+        path.write_text("rep2(X, X) :- true.\nrep2(X ++ Y, Y) :- rep2(X, Y).\n")
+        out = io.StringIO()
+        code = main(["analyze", str(path), "--json"], out=out)
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert payload["verdict"] == "POSSIBLY_INFINITE"
+        assert payload["finite"] is False
+        assert payload["constructive_cycles"] == [["rep2"]]
+        assert main(["analyze", str(path)], out=io.StringIO()) == 1
+
+
+class TestExplainDiagnostics:
+    def test_explain_appends_the_diagnostics_section(self, tmp_path):
+        path = tmp_path / "bad.sdl"
+        path.write_text("bad(X) :- r(Y).\n")
+        out = io.StringIO()
+        assert main(["explain", str(path)], out=out) == 0
+        text = out.getvalue()
+        assert "diagnostics:" in text
+        assert "SDL-E103" in text
+        assert text.index("stratum") < text.index("diagnostics:")

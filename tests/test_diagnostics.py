@@ -1,0 +1,586 @@
+"""Tests for the program diagnostics engine (repro.analysis.diagnostics).
+
+Every stable code gets at least one firing test (the rule reports, with
+the exact code and 1-based span asserted) and one non-firing test (a
+nearby legal program stays silent).  The report container, the payload
+round-trip, the human renderer and the rule registry are covered
+separately.
+"""
+
+import pytest
+
+from repro import SequenceDatalogEngine
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    PARSE_ERROR_CODE,
+    SEVERITIES,
+    lint_program,
+    severity_rank,
+)
+from repro.analysis.rules import RULES, LintContext, all_rules, run_rules
+from repro.database.database import SequenceDatabase
+from repro.language.parser import parse_atom, parse_clause, parse_program
+from repro.language.spans import SourceSpan, span_of
+
+
+def db(mapping):
+    return SequenceDatabase.from_json_dict(mapping)
+
+
+def codes_of(report):
+    return {d.code for d in report}
+
+
+def only(report, code):
+    found = report.by_code(code)
+    assert len(found) == 1, f"expected exactly one {code}, got {report.describe()}"
+    return found[0]
+
+
+# ----------------------------------------------------------------------
+# Source spans
+# ----------------------------------------------------------------------
+class TestSourceSpans:
+    def test_parser_stamps_clause_and_atom_spans(self):
+        program = parse_program("p(X) :- q(X).\n\nr(Y) :- s(Y).\n")
+        first, second = program
+        assert span_of(first) == SourceSpan(1, 1, 1, 13)
+        assert span_of(first.head) == SourceSpan(1, 1, 1, 4)
+        assert span_of(first.body[0]) == SourceSpan(1, 9, 1, 12)
+        assert span_of(second).line == 3
+
+    def test_spans_are_one_based_and_inclusive(self):
+        clause = parse_clause("p(X) :- q(X).")
+        body_span = span_of(clause.body[0])
+        assert (body_span.line, body_span.column) == (1, 9)
+        assert (body_span.end_line, body_span.end_column) == (1, 12)
+
+    def test_spans_do_not_affect_ast_identity(self):
+        here = parse_atom("p(X)")
+        there = list(parse_program("q(Y) :- true.\np(X) :- true."))[1].head
+        assert span_of(here) != span_of(there)
+        assert here == there
+        assert hash(here) == hash(there)
+
+    def test_programmatic_nodes_have_no_span(self):
+        from repro.language.atoms import Atom
+        from repro.language.terms import SequenceVariable
+
+        assert span_of(Atom("p", (SequenceVariable("X"),))) is None
+
+    def test_str_and_payload_round_trip(self):
+        span = SourceSpan(3, 1, 3, 9)
+        assert str(span) == "3:1-9"
+        assert str(SourceSpan(1, 2, 4, 5)) == "1:2-4:5"
+        assert SourceSpan.from_payload(span.to_payload()) == span
+
+
+# ----------------------------------------------------------------------
+# Diagnostic and report containers
+# ----------------------------------------------------------------------
+class TestDiagnostic:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="SDL-E999", severity="fatal", message="boom")
+
+    def test_str_includes_location_code_and_severity(self):
+        diagnostic = Diagnostic(
+            code="SDL-E103",
+            severity="error",
+            message="unbound head variable",
+            span=SourceSpan(2, 5, 2, 9),
+        )
+        assert str(diagnostic) == "2:5: SDL-E103 error: unbound head variable"
+
+    def test_payload_round_trip_preserves_everything(self):
+        diagnostic = Diagnostic(
+            code="SDL-W202",
+            severity="warning",
+            message="constructive cycle",
+            predicate="rep2",
+            clause="rep2(X ++ Y, Y) :- rep2(X, Y).",
+            span=SourceSpan(2, 1, 2, 30),
+            hint="bound it",
+        )
+        assert Diagnostic.from_payload(diagnostic.to_payload()) == diagnostic
+
+    def test_payload_of_spanless_diagnostic_round_trips(self):
+        diagnostic = Diagnostic(code="SDL-E100", severity="error", message="nope")
+        payload = diagnostic.to_payload()
+        assert payload["span"] is None
+        assert Diagnostic.from_payload(payload) == diagnostic
+
+    def test_severity_rank_orders_most_severe_first(self):
+        assert [severity_rank(s) for s in SEVERITIES] == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            severity_rank("mild")
+
+
+class TestDiagnosticReport:
+    def test_orders_by_severity_then_position(self):
+        report = DiagnosticReport(
+            diagnostics=(
+                Diagnostic(code="SDL-H301", severity="hint", message="late",
+                           span=SourceSpan(1, 1, 1, 2)),
+                Diagnostic(code="SDL-E103", severity="error", message="first",
+                           span=SourceSpan(9, 1, 9, 2)),
+                Diagnostic(code="SDL-W204", severity="warning", message="mid",
+                           span=SourceSpan(2, 1, 2, 2)),
+            )
+        )
+        assert [d.code for d in report] == ["SDL-E103", "SDL-W204", "SDL-H301"]
+
+    def test_spanless_diagnostics_sort_after_spanned_ones(self):
+        report = DiagnosticReport(
+            diagnostics=(
+                Diagnostic(code="SDL-W203", severity="warning", message="global"),
+                Diagnostic(code="SDL-W204", severity="warning", message="local",
+                           span=SourceSpan(7, 1, 7, 2)),
+            )
+        )
+        assert [d.code for d in report] == ["SDL-W204", "SDL-W203"]
+
+    def test_counts_cover_every_severity(self):
+        report = lint_program("bad(X) :- r(Y).")
+        assert report.counts() == {"error": 1, "warning": 1, "perf": 1, "hint": 1}
+        assert len(report) == 4
+
+    def test_exit_codes(self):
+        erroring = lint_program("bad(X) :- r(Y).")
+        assert erroring.exit_code() == 2
+        assert erroring.exit_code(strict=True) == 2
+        warning_only = lint_program("suffix(X[N:end]) :- r(X).")
+        assert warning_only.errors() == ()
+        assert warning_only.exit_code() == 0
+        assert warning_only.exit_code(strict=True) == 1
+        hint_only = lint_program("p(X) :- r(X).\np(X) :- r(X).")
+        assert hint_only.codes() == ("SDL-H302",)
+        assert hint_only.exit_code() == 0
+        assert hint_only.exit_code(strict=True) == 0  # hints never gate
+        clean = lint_program("p(X) :- r(X).")
+        assert clean.clean and clean.exit_code(strict=True) == 0
+
+    def test_summary_wording(self):
+        assert lint_program("p(X) :- r(X).").summary() == "clean: no diagnostics"
+        assert (
+            lint_program("p(X) :- r(X).\np(X) :- r(X).").summary()
+            == "1 diagnostic: 1 hint"
+        )
+        assert (
+            lint_program("bad(X) :- r(Y).").summary()
+            == "4 diagnostics: 1 error, 1 warning, 1 perf, 1 hint"
+        )
+
+    def test_report_payload_round_trip(self):
+        report = lint_program("bad(X) :- r(Y).")
+        payload = report.to_payload()
+        assert payload["counts"]["error"] == 1
+        restored = DiagnosticReport.from_payload(payload)
+        assert restored == report
+        assert [d.span for d in restored] == [d.span for d in report]
+
+
+# ----------------------------------------------------------------------
+# SDL-E100: parse errors
+# ----------------------------------------------------------------------
+class TestParseError:
+    def test_fires_with_the_error_location(self):
+        report = lint_program("p(X :- q(X).")
+        diagnostic = only(report, PARSE_ERROR_CODE)
+        assert report.codes() == (PARSE_ERROR_CODE,)
+        assert diagnostic.severity == "error"
+        assert diagnostic.span is not None and diagnostic.span.line == 1
+        assert report.exit_code() == 2
+
+    def test_fires_for_an_unparsable_query_pattern(self):
+        report = lint_program("p(X) :- r(X).", patterns=["p(X"])
+        diagnostic = only(report, PARSE_ERROR_CODE)
+        assert "query pattern" in diagnostic.message
+
+    def test_silent_on_a_parsable_program(self):
+        assert PARSE_ERROR_CODE not in codes_of(lint_program("p(X) :- r(X)."))
+
+
+# ----------------------------------------------------------------------
+# SDL-E101: undefined predicates
+# ----------------------------------------------------------------------
+class TestUndefinedPredicate:
+    def test_fires_with_the_atom_span(self):
+        report = lint_program("p(X) :- q(X).", database=db({"r": ["a"]}))
+        diagnostic = only(report, "SDL-E101")
+        assert diagnostic.predicate == "q"
+        assert diagnostic.span == SourceSpan(1, 9, 1, 12)
+        assert "never defined" in diagnostic.message
+
+    def test_suggests_a_close_match(self):
+        report = lint_program(
+            "p(X) :- suffixes(X).", database=db({"suffixes_of": ["a"]})
+        )
+        diagnostic = only(report, "SDL-E101")
+        assert "did you mean 'suffixes_of'" in diagnostic.hint
+
+    def test_fires_for_query_patterns_without_a_span(self):
+        report = lint_program(
+            "p(X) :- r(X).", database=db({"r": ["a"]}), patterns=["missing(X)"]
+        )
+        diagnostic = only(report, "SDL-E101")
+        assert diagnostic.predicate == "missing"
+        assert diagnostic.span is None  # patterns are not program text
+
+    def test_silent_without_a_database(self):
+        # Any unknown predicate may be an EDB relation supplied later.
+        assert "SDL-E101" not in codes_of(lint_program("p(X) :- q(X)."))
+
+    def test_silent_when_the_relation_exists(self):
+        report = lint_program("p(X) :- q(X).", database=db({"q": ["a"]}))
+        assert "SDL-E101" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# SDL-E102: arity conflicts
+# ----------------------------------------------------------------------
+class TestArityConflict:
+    def test_fires_on_conflicting_uses(self):
+        report = lint_program("p(X) :- r(X).\np(X, Y) :- r(X), r(Y).")
+        diagnostic = only(report, "SDL-E102")
+        assert diagnostic.predicate == "p"
+        assert diagnostic.span == SourceSpan(2, 1, 2, 7)
+        assert "p/2" in diagnostic.message and "p/1" in diagnostic.message
+        assert "first used at line 1" in diagnostic.message
+
+    def test_fires_against_the_database_relation(self):
+        report = lint_program("p(X) :- r(X, Y).", database=db({"r": ["a"]}))
+        diagnostic = only(report, "SDL-E102")
+        assert diagnostic.predicate == "r"
+        assert "database relation" in diagnostic.message
+
+    def test_silent_on_consistent_arities(self):
+        report = lint_program(
+            "p(X, Y) :- r(X, Y).", database=db({"r": [["a", "b"]]})
+        )
+        assert "SDL-E102" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# SDL-E103: range restriction
+# ----------------------------------------------------------------------
+class TestRangeRestriction:
+    def test_fires_with_the_head_span(self):
+        report = lint_program("bad(X) :- r(Y).")
+        diagnostic = only(report, "SDL-E103")
+        assert diagnostic.predicate == "bad"
+        assert diagnostic.span == SourceSpan(1, 1, 1, 6)
+        assert "entire extended domain" in diagnostic.message
+        assert "dom(X)" in diagnostic.hint
+
+    def test_fires_on_the_paper_rep1_head(self):
+        # Example 1.5's rep1(X, X) :- true. deliberately enumerates X.
+        from repro.core.paper_programs import EXAMPLE_1_5_REP1
+
+        report = lint_program(EXAMPLE_1_5_REP1)
+        assert any(d.predicate == "rep1" for d in report.by_code("SDL-E103"))
+
+    def test_silent_when_every_head_variable_is_bound(self):
+        assert "SDL-E103" not in codes_of(lint_program("p(X) :- r(X)."))
+
+
+# ----------------------------------------------------------------------
+# SDL-W201 / W202 / W203: finiteness and strong safety
+# ----------------------------------------------------------------------
+REP2 = "rep2(X, X) :- true.\nrep2(X ++ Y, Y) :- rep2(X, Y).\n"
+
+
+class TestPaperTheoryWarnings:
+    def test_w201_fires_on_constructive_recursion(self):
+        diagnostic = only(lint_program(REP2), "SDL-W201")
+        assert diagnostic.severity == "warning"
+        assert "Theorem 2" in diagnostic.message
+        assert diagnostic.span is not None and diagnostic.span.line == 2
+
+    def test_w202_names_the_cycle(self):
+        diagnostic = only(lint_program(REP2), "SDL-W202")
+        assert "rep2 -> rep2" in diagnostic.message
+        assert "not strongly safe" in diagnostic.message
+        assert diagnostic.span is not None and diagnostic.span.line == 2
+
+    def test_w203_reports_unstratifiable_construction(self):
+        diagnostic = only(lint_program(REP2), "SDL-W203")
+        assert "cannot be stratified" in diagnostic.message
+
+    def test_silent_on_stratified_construction(self):
+        # Example 5.1: construction, but no constructive cycle.
+        report = lint_program("double(X ++ X) :- r(X).\nquadruple(X ++ X) :- double(X).")
+        assert codes_of(report) & {"SDL-W201", "SDL-W202", "SDL-W203"} == set()
+
+    def test_silent_on_structural_recursion(self):
+        # rep1 recurses by *inspection* (indexing), not construction.
+        report = lint_program("rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).")
+        assert codes_of(report) & {"SDL-W201", "SDL-W202", "SDL-W203"} == set()
+
+
+# ----------------------------------------------------------------------
+# SDL-W204: guardedness
+# ----------------------------------------------------------------------
+class TestUnguardedClause:
+    def test_fires_when_a_variable_only_occurs_indexed(self):
+        report = lint_program("p(X[1:N]) :- q(X[2:end]).")
+        diagnostic = only(report, "SDL-W204")
+        assert diagnostic.predicate == "p"
+        assert "X" in diagnostic.message
+        assert diagnostic.span == SourceSpan(1, 1, 1, 25)
+
+    def test_silent_when_every_variable_is_guarded(self):
+        report = lint_program("p(X[1:N]) :- q(X).")
+        assert "SDL-W204" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# SDL-H301 / H302 / H303: hygiene
+# ----------------------------------------------------------------------
+class TestHygieneHints:
+    def test_h301_fires_on_a_singleton_body_variable(self):
+        report = lint_program("p(X) :- r(X), s(Y).")
+        diagnostic = only(report, "SDL-H301")
+        assert "singleton variable Y" in diagnostic.message
+        assert "_Y" in diagnostic.hint
+
+    def test_h301_silent_on_underscore_and_used_variables(self):
+        assert "SDL-H301" not in codes_of(lint_program("p(X) :- r(X), s(_Y)."))
+        assert "SDL-H301" not in codes_of(lint_program("p(X, Y) :- r(X), s(Y)."))
+
+    def test_h302_fires_on_a_verbatim_duplicate(self):
+        report = lint_program("p(X) :- r(X).\np(X) :- r(X).")
+        diagnostic = only(report, "SDL-H302")
+        assert diagnostic.span == SourceSpan(2, 1, 2, 13)
+        assert "at line 1" in diagnostic.message
+
+    def test_h302_silent_on_distinct_clauses(self):
+        report = lint_program("p(X) :- r(X).\np(X) :- s(X).")
+        assert "SDL-H302" not in codes_of(report)
+
+    def test_h303_fires_on_an_unreachable_body_predicate(self):
+        report = lint_program("p(X) :- p(X).")
+        diagnostic = only(report, "SDL-H303")
+        assert "can never fire" in diagnostic.message
+        assert diagnostic.span == SourceSpan(1, 9, 1, 12)  # the body atom
+
+    def test_h303_emptiness_propagates_through_idb_chains(self):
+        # q is defined (a head predicate), but can never hold a fact
+        # because its own body predicate has no relation — the clause
+        # depending on q is dead, and the span points at the q atom.
+        report = lint_program(
+            "p(X) :- q(X).\nq(X) :- r(X).", database=db({"t": ["a"]})
+        )
+        diagnostic = only(report, "SDL-H303")
+        assert diagnostic.predicate == "p"
+        assert diagnostic.span == SourceSpan(1, 9, 1, 12)
+
+    def test_h303_does_not_double_report_undefined_predicates(self):
+        report = lint_program("p(X) :- q(X).", database=db({"r": ["a"]}))
+        assert "SDL-E101" in codes_of(report)
+        assert "SDL-H303" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# SDL-P401 / P402 / P403: planner-aware performance lints
+# ----------------------------------------------------------------------
+class TestPerformanceLints:
+    def test_p401_fires_on_a_per_tuple_clause(self):
+        report = lint_program("suffix(X[N:end]) :- r(X).")
+        diagnostic = only(report, "SDL-P401")
+        assert diagnostic.predicate == "suffix"
+        assert "per-tuple path" in diagnostic.message
+
+    def test_p401_silent_on_a_batchable_clause(self):
+        assert "SDL-P401" not in codes_of(lint_program("p(X) :- r(X)."))
+
+    def test_p402_fires_on_a_cartesian_join_with_the_atom_span(self):
+        report = lint_program("p(X, Y) :- r(X), s(Y).")
+        diagnostic = only(report, "SDL-P402")
+        assert "cartesian product" in diagnostic.message
+        assert diagnostic.span == SourceSpan(1, 18, 1, 21)  # the s(Y) atom
+
+    def test_p402_silent_when_the_join_shares_a_variable(self):
+        report = lint_program("p(X, Y) :- r(X), s(X, Y).")
+        assert "SDL-P402" not in codes_of(report)
+
+    def test_p403_fires_on_an_unusable_index(self):
+        report = lint_program("p(X) :- r(X), s(X[N:end]).")
+        diagnostic = only(report, "SDL-P403")
+        assert "composite index" in diagnostic.message
+        assert diagnostic.span == SourceSpan(1, 15, 1, 25)  # the s(...) atom
+
+    def test_p403_silent_when_the_scan_is_keyed(self):
+        report = lint_program("p(X) :- r(X), s(X).")
+        assert "SDL-P403" not in codes_of(report)
+
+    def test_plan_lints_do_not_fire_on_uncompilable_programs(self):
+        # Arity conflicts null the plan; the plan-reading rules stay
+        # silent instead of crashing.
+        report = lint_program(
+            "suffix(X[N:end]) :- r(X).\nsuffix(X, Y) :- r(X), r(Y)."
+        )
+        assert "SDL-E102" in codes_of(report)
+        assert codes_of(report) & {"SDL-P401", "SDL-P402", "SDL-P403"} == set()
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class TestRuleRegistry:
+    def test_codes_are_unique_and_well_formed(self):
+        codes = [rule.code for rule in all_rules()]
+        assert len(codes) == len(set(codes))
+        for code in codes:
+            assert code.startswith("SDL-")
+            assert code[4] in "EWHP" and code[5:].isdigit()
+
+    def test_tier_prefixes_match_severities(self):
+        tiers = {"E": "error", "W": "warning", "H": "hint", "P": "perf"}
+        for rule in all_rules():
+            assert rule.severity == tiers[rule.code[4]], rule.code
+
+    def test_run_rules_can_select_a_subset(self):
+        context = LintContext(program=parse_program("bad(X) :- r(Y)."))
+        selected = run_rules(context, codes=["SDL-E103"])
+        assert [d.code for d in selected] == ["SDL-E103"]
+
+    def test_every_rule_is_documented(self):
+        from pathlib import Path
+
+        table = Path(__file__).parent.parent / "docs" / "DIAGNOSTICS.md"
+        text = table.read_text(encoding="utf-8")
+        for rule in all_rules():
+            assert rule.code in text, f"{rule.code} missing from docs/DIAGNOSTICS.md"
+        assert PARSE_ERROR_CODE in text
+
+    def test_registry_is_importable_by_code(self):
+        assert RULES["SDL-E103"].name == "range-restriction"
+        assert RULES["SDL-W202"].paper is not None
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+class TestEntryPoints:
+    def test_engine_facade_lint_matches_lint_program(self):
+        engine = SequenceDatalogEngine("bad(X) :- r(Y).")
+        assert engine.lint() == lint_program(engine.program)
+
+    def test_engine_lint_accepts_mapping_databases(self):
+        engine = SequenceDatalogEngine("p(X) :- q(X).")
+        report = engine.lint(database={"r": ["a"]})
+        assert "SDL-E101" in codes_of(report)
+
+    def test_patterns_are_checked_against_signatures(self):
+        report = lint_program("p(X) :- r(X).", patterns=["p(X, Y)"])
+        diagnostic = only(report, "SDL-E102")
+        assert diagnostic.predicate == "p"
+        assert diagnostic.span is None
+
+    def test_parsed_programs_keep_their_source_for_rendering(self):
+        program = parse_program("bad(X) :- r(Y).")
+        report = lint_program(program)
+        assert "SDL-E103" in codes_of(report)
+
+    def test_explain_with_diagnostics_appends_the_findings(self):
+        engine = SequenceDatalogEngine("bad(X) :- r(Y).")
+        text = engine.explain()
+        assert "diagnostics:" in text
+        assert "SDL-E103" in text
+        clean = SequenceDatalogEngine("p(X) :- r(X).").explain()
+        assert clean.rstrip().endswith("none")
+
+    def test_lint_accepts_parsed_pattern_atoms(self):
+        report = lint_program("p(X) :- r(X).", patterns=[parse_atom("p(X)")])
+        assert "SDL-E102" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# The human renderer
+# ----------------------------------------------------------------------
+class TestRendering:
+    def test_render_golden_output(self):
+        source = "bad(X) :- r(Y).\n"
+        report = lint_program(source)
+        expected = (
+            "demo.sdl:1:1: SDL-E103 error: head sequence variable X of 'bad' "
+            "occurs in no body literal: the head is enumerated over the entire "
+            "extended domain\n"
+            "    1 | bad(X) :- r(Y).\n"
+            "      | ^^^^^^\n"
+            "      = hint: add a body atom that binds X (a guard such as dom(X))\n"
+            "demo.sdl:1:1: SDL-W204 warning: clause is not guarded: sequence "
+            "variable(s) X never occur as a bare argument of a body atom, so "
+            "derivations are sensitive to the extended active domain\n"
+            "    1 | bad(X) :- r(Y).\n"
+            "      | ^^^^^^^^^^^^^^^\n"
+            "      = hint: guard_program() adds dom(...) guards mechanically "
+            "(Theorem 10)\n"
+            "demo.sdl:1:1: SDL-P401 perf: clause runs on the per-tuple path, "
+            "not the batch kernels: head enumerates unbound variables\n"
+            "    1 | bad(X) :- r(Y).\n"
+            "      | ^^^^^^^^^^^^^^^\n"
+            "      = hint: bind every head variable in the body to avoid "
+            "domain enumeration\n"
+            "demo.sdl:1:1: SDL-H301 hint: singleton variable Y: each occurs "
+            "exactly once in the clause\n"
+            "    1 | bad(X) :- r(Y).\n"
+            "      | ^^^^^^^^^^^^^^^\n"
+            "      = hint: rename to _Y if the value is intentionally unused\n"
+            "4 diagnostics: 1 error, 1 warning, 1 perf, 1 hint"
+        )
+        assert report.render(source, filename="demo.sdl") == expected
+
+    def test_render_survives_missing_source(self):
+        report = lint_program(parse_program("bad(X) :- r(Y)."))
+        rendered = report.render(None)
+        assert "SDL-E103" in rendered and "^" not in rendered.split("\n")[1]
+
+    def test_caret_width_matches_the_span(self):
+        source = "bad(X) :- r(Y).\n"
+        rendered = lint_program(source).render(source)
+        caret_lines = [line for line in rendered.splitlines() if "^" in line]
+        assert caret_lines[0].count("^") == 6  # bad(X) is six characters
+
+    def test_describe_is_excerpt_free(self):
+        described = lint_program("bad(X) :- r(Y).").describe()
+        assert "^" not in described
+        assert described.splitlines()[0].startswith("1:1: SDL-E103 error:")
+
+
+# ----------------------------------------------------------------------
+# The CI corpus gate
+# ----------------------------------------------------------------------
+class TestLintCorpusGate:
+    @pytest.fixture(autouse=True)
+    def _scripts_on_path(self, monkeypatch):
+        from pathlib import Path
+        import sys
+
+        scripts = str(Path(__file__).parent.parent / "scripts")
+        monkeypatch.syspath_prepend(scripts)
+        yield
+        sys.modules.pop("lint_corpus", None)
+
+    def test_every_shipped_workload_passes_the_gate(self, capsys):
+        import lint_corpus
+
+        assert lint_corpus.main([]) == 0
+        assert "lint corpus clean" in capsys.readouterr().out
+
+    def test_the_gate_fails_on_unexpected_errors(self):
+        import lint_corpus
+
+        program = parse_program("bad(X) :- r(Y).")
+        _report, failures = lint_corpus.check_program("synthetic/bad", program)
+        assert failures and "SDL-E103" in failures[0]
+
+    def test_the_gate_fails_when_an_allowlisted_code_stops_firing(self):
+        import lint_corpus
+
+        clean = parse_program("p(X) :- r(X).")
+        name = sorted(lint_corpus.EXPECTED_ERRORS)[0]
+        _report, failures = lint_corpus.check_program(name, clean)
+        assert failures and "no longer fires" in failures[0]

@@ -11,7 +11,7 @@ small synthetic strands.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ValidationError
+from repro.errors import AlphabetError, ValidationError
 from repro.genome.machines import (
     ACCEPTOR_MARK,
     DONOR_MARK,
@@ -155,7 +155,7 @@ class TestGenomePrograms:
 # ----------------------------------------------------------------------
 class TestGenomeAnalyzer:
     def test_rejects_non_dna_strands(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AlphabetError):
             GenomeAnalyzer(["acgx"])
 
     def test_transcripts_match_example_7_1(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import paper_programs
-from repro.errors import ParseError
+from repro.errors import ParseError, ValidationError
 from repro.language.atoms import Atom
 from repro.language.parser import parse_atom, parse_clause, parse_program, parse_term
 from repro.language.terms import (
@@ -168,5 +168,5 @@ class TestProgramParsing:
         assert parse_program(str(program)) == program
 
     def test_constructive_terms_rejected_in_bodies_by_parser_pipeline(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             parse_program("p(X) :- q(X ++ Y).")

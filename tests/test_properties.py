@@ -621,3 +621,77 @@ def test_theorem_5_network_agrees_with_the_machine(word):
     machine = machines.complement_machine()
     network = compile_tm_to_network(machine, time_exponent=1)
     assert network.compute_function(word) == machine.compute(word)
+
+
+# ----------------------------------------------------------------------
+# Program diagnostics (repro.analysis.diagnostics)
+# ----------------------------------------------------------------------
+# A deliberately hostile template pool: broken syntax, undefined and
+# arity-conflicting predicates, unbound heads, constructive recursion,
+# cartesian joins, duplicates.  Linting any combination must produce a
+# report, never an exception.
+LINT_TEMPLATES = (
+    "p(X) :- r(X).",
+    "p(X :- r(X).",                      # does not parse
+    "p(X, Y) :- r(X), r(Y).",            # arity conflict with p/1
+    "bad(X) :- r(Y).",                   # unbound head variable
+    "rep(X ++ Y, Y) :- rep(X, Y).",      # constructive recursion
+    "q(X[1:N]) :- r(X[2:end]).",         # unguarded
+    "p(X) :- r(X).",                     # duplicate of the first
+    "dead(X) :- ghost(X).",              # unreachable body predicate
+    "j(X, Y) :- r(X), s(Y).",            # cartesian join
+    'c(X) :- r(X), X != "a".',
+)
+
+
+@FAST
+@given(
+    st.lists(st.sampled_from(LINT_TEMPLATES), min_size=1, max_size=6),
+    st.lists(
+        st.sampled_from(["p(X)", "p(X, Y)", "p(X", "ghost(Z)"]), max_size=2
+    ),
+)
+def test_lint_never_raises(templates, patterns):
+    """lint_program is total: any input yields a report, never an exception."""
+    from repro.analysis.diagnostics import DiagnosticReport, lint_program
+    from repro.database import SequenceDatabase
+
+    source = "\n".join(templates)
+    database = SequenceDatabase.from_json_dict({"r": ["ab"], "s": ["ba"]})
+    for kwargs in ({}, {"database": database}, {"patterns": patterns}):
+        report = lint_program(source, **kwargs)
+        assert isinstance(report, DiagnosticReport)
+        # The payload round-trips losslessly whatever the findings.
+        assert DiagnosticReport.from_payload(report.to_payload()) == report
+
+
+@SLOW
+@given(
+    st.lists(
+        st.sampled_from(
+            (
+                "p(X) :- r(X).",
+                "p(X[1:N]) :- r(X).",
+                "q(X) :- p(X), r(X).",
+                "q(X[2:end]) :- q(X), r(X).",
+                "s(X, Y) :- r(X), r(Y).",
+            )
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    st.lists(st.text(alphabet="ab", min_size=1, max_size=4), min_size=1, max_size=3),
+)
+def test_error_free_finite_programs_evaluate_cleanly(templates, rows):
+    """A program the linter passes without errors (and the classifier
+    certifies finite) evaluates to a fixpoint without raising."""
+    from repro.core.engine_api import SequenceDatalogEngine
+
+    from hypothesis import assume
+
+    engine = SequenceDatalogEngine("\n".join(dict.fromkeys(templates)))
+    report = engine.lint(database={"r": rows})
+    assume(not report.has_errors())  # e.g. E101 when q's rule samples alone
+    assert engine.finiteness().verdict.is_finite()
+    result = engine.evaluate({"r": rows})
+    assert result.interpretation is not None

@@ -163,6 +163,20 @@ POLICIES = {
             "speedup_batch_vs_tuple": {"min": 0.05},
         },
     },
+    "recovery": {
+        "command": ["benchmarks/bench_recovery.py", "--smoke"],
+        # The fact/edge counts, replay accounting and the identity/snapshot
+        # flags are deterministic (seeded workload, fixed tail split); the
+        # recovery-vs-cold ratio is meaningless at smoke scale, so it only
+        # gets a divide-blow-up floor.
+        "exact_case_keys": [
+            "case", "kind", "facts", "edges", "replayed_batches",
+            "dropped_batches", "identical", "used_snapshot",
+        ],
+        "bounded_case_keys": {
+            "speedup_recovery_vs_cold": {"min": 0.02},
+        },
+    },
     "parallel": {
         "command": ["benchmarks/bench_parallel.py", "--smoke"],
         # ``workers`` and the timing fields vary with the host; the

@@ -16,7 +16,8 @@
 #   6. bench_parallel --smoke + shape validation (validate_report);
 #   7. bench_api --smoke + shape validation (validate_report);
 #   8. bench_kernels --smoke + shape validation (validate_report);
-#   9. end-to-end TCP smoke: bind a live server on a free port, drive it
+#   9. bench_recovery --smoke + shape validation (validate_report);
+#  10. end-to-end TCP smoke: bind a live server on a free port, drive it
 #      with a real DatalogClient and a raw socket, validate the versioned
 #      JSON envelopes (schema v1, typed results, structured errors).
 #
@@ -117,6 +118,25 @@ for case in report["cases"]:
     assert case["identical"], f"{case['case']}: kernel model differs"
     assert case["batch_used"], f"{case['case']}: kernels were not used"
 print(f"ok: {len(report['cases'])} cases, shape valid, models identical")
+EOF
+
+echo "== benchmark smoke (bench_recovery --smoke) =="
+python benchmarks/bench_recovery.py --smoke > /tmp/bench_recovery_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_recovery import validate_report
+
+with open("/tmp/bench_recovery_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+for case in report["cases"]:
+    assert case["identical"], f"{case['case']}: recovered model differs"
+    assert case["used_snapshot"], f"{case['case']}: recovery skipped the snapshot"
+    assert case["dropped_batches"] == 0, f"{case['case']}: committed batches lost"
+print(f"ok: {len(report['cases'])} cases, shape valid, recovered models identical")
 EOF
 
 echo "== end-to-end TCP smoke (serve_tcp + DatalogClient) =="

@@ -42,18 +42,22 @@ from repro.engine.parallel import ParallelFixpoint
 from repro.engine.query import PreparedQuery, evaluate_query
 from repro.engine.server import DatalogServer, ModelSnapshot
 from repro.engine.session import DatalogSession
+from repro.errors import CorruptLogError, CorruptSnapshotError, StorageError
 from repro.language.parser import parse_atom, parse_clause, parse_program
 from repro.sequences.sequence import Sequence
+from repro.storage import DurableStore, open_session
 from repro.transducer_datalog.program import TransducerDatalogProgram
 from repro.transducer_datalog.translation import translate_to_sequence_datalog
 from repro.transducers.registry import TransducerCatalog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AddFactsRequest",
     "ApiError",
     "BatchRequest",
+    "CorruptLogError",
+    "CorruptSnapshotError",
     "DatalogClient",
     "DatalogServer",
     "DatalogService",
@@ -69,6 +73,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ServerStats",
     "DemandQuery",
+    "DurableStore",
     "EvaluationLimits",
     "FixpointResult",
     "ModelSnapshot",
@@ -77,6 +82,7 @@ __all__ = [
     "Sequence",
     "SequenceDatabase",
     "SequenceDatalogEngine",
+    "StorageError",
     "TransducerCatalog",
     "TransducerDatalogProgram",
     "compile_demand",
@@ -84,6 +90,7 @@ __all__ = [
     "demand_query",
     "evaluate_query",
     "lint_program",
+    "open_session",
     "parse_atom",
     "parse_clause",
     "parse_program",

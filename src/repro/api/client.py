@@ -38,6 +38,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Tuple,
     Type,
@@ -363,6 +364,15 @@ class DatalogClient:
 
     def stats(self) -> ServerStats:
         return self._expect(StatsRequest(), ServerStats)
+
+    def durability(self) -> Optional[Mapping[str, Any]]:
+        """The server's durable-storage counters, or ``None`` if in-memory.
+
+        A durable backend (one built with ``data_dir=``) reports its WAL
+        segment/record counts, last snapshot generation and the recovery
+        report of its most recent restart.
+        """
+        return self.stats().durability
 
     def explain(self) -> str:
         return self._expect(ExplainRequest(), ExplainResponse).text

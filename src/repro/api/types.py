@@ -52,6 +52,8 @@ from repro.analysis.diagnostics import DiagnosticReport
 from repro.engine.query import QueryResult, ResultWindow
 from repro.errors import (
     AlphabetError,
+    CorruptLogError,
+    CorruptSnapshotError,
     EvaluationError,
     FixpointNotReached,
     MultiValuedOutputError,
@@ -63,6 +65,7 @@ from repro.errors import (
     SafetyError,
     SequenceIndexError,
     SessionPoisonedError,
+    StorageError,
     TransducerError,
     TuringMachineError,
     UnknownPredicateError,
@@ -97,6 +100,9 @@ class ErrorCode:
     TRANSDUCER = "transducer_error"
     TURING = "turing_machine_error"
     EVALUATION = "evaluation_error"
+    STORAGE = "storage_error"
+    CORRUPT_LOG = "corrupt_log"
+    CORRUPT_SNAPSHOT = "corrupt_snapshot"
     PROTOCOL = "protocol_error"
     BAD_REQUEST = "bad_request"
     UNSUPPORTED_VERSION = "unsupported_version"
@@ -118,6 +124,9 @@ _EXCEPTION_CODES: Tuple[Tuple[type, str], ...] = (
     (NetworkError, ErrorCode.NETWORK),
     (TransducerError, ErrorCode.TRANSDUCER),
     (TuringMachineError, ErrorCode.TURING),
+    (CorruptLogError, ErrorCode.CORRUPT_LOG),
+    (CorruptSnapshotError, ErrorCode.CORRUPT_SNAPSHOT),
+    (StorageError, ErrorCode.STORAGE),
     (ProtocolError, ErrorCode.PROTOCOL),
     (EvaluationError, ErrorCode.EVALUATION),
     (ReproError, ErrorCode.INTERNAL),
@@ -805,6 +814,7 @@ _STATS_FIELDS = (
     "poisoned",
     "generation",
     "workers",
+    "durability",
 )
 
 
@@ -827,6 +837,9 @@ class ServerStats:
     poisoned: bool
     generation: Optional[int] = None
     workers: Optional[int] = None
+    #: Durable-storage counters (``DurableStore.stats()``) when the backend
+    #: runs on a data directory; ``None`` for in-memory servers.
+    durability: Optional[Mapping[str, Any]] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -840,6 +853,7 @@ class ServerStats:
         extra = {
             key: value for key, value in stats.items() if key not in _STATS_FIELDS
         }
+        durability = stats.get("durability")
         return cls(
             facts=int(stats.get("facts", 0)),
             base_facts=int(stats.get("base_facts", 0)),
@@ -849,6 +863,7 @@ class ServerStats:
             poisoned=bool(stats.get("poisoned", False)),
             generation=generation,
             workers=workers,
+            durability=durability if isinstance(durability, Mapping) else None,
             extra=extra,
         )
 
@@ -864,12 +879,15 @@ class ServerStats:
             generation=self.generation,
             workers=self.workers,
         )
+        if self.durability is not None:
+            payload["durability"] = dict(self.durability)
         return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> ServerStats:
         generation = payload.get("generation")
         workers = payload.get("workers")
+        durability = payload.get("durability")
         extra = {
             key: value for key, value in payload.items()
             if key not in _STATS_FIELDS and key not in ("v", "ok", "kind")
@@ -883,6 +901,7 @@ class ServerStats:
             poisoned=bool(payload.get("poisoned", False)),
             generation=generation if isinstance(generation, int) else None,
             workers=workers if isinstance(workers, int) else None,
+            durability=durability if isinstance(durability, Mapping) else None,
             extra=extra,
         )
 

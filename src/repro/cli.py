@@ -1,11 +1,13 @@
 """Command-line interface for the Sequence Datalog engine.
 
-Six subcommands cover the typical workflow::
+The subcommands cover the typical workflow::
 
     python -m repro.cli run program.sdl --db database.json --query "answer(X)"
     python -m repro.cli serve program.sdl --db database.json --script cmds.txt
-    python -m repro.cli serve program.sdl --db database.json --tcp :4321
+    python -m repro.cli serve program.sdl --data-dir state/ --tcp :4321
     python -m repro.cli client :4321 --script cmds.txt
+    python -m repro.cli snapshot program.sdl --data-dir state/
+    python -m repro.cli restore program.sdl --data-dir state/ --out db.json
     python -m repro.cli analyze program.sdl
     python -m repro.cli lint program.sdl --db database.json
     python -m repro.cli explain program.sdl
@@ -51,6 +53,17 @@ Six subcommands cover the typical workflow::
 * ``client`` connects a :class:`~repro.api.client.DatalogClient` to a
   running ``serve --tcp`` address and executes the same command loop
   (large results stream page-by-page through server-side cursors).
+
+  ``serve --data-dir DIR`` makes the backend durable (:mod:`repro.storage`):
+  prior state is recovered from ``DIR`` before serving, every batch is
+  write-ahead logged, and shutdown — including SIGTERM/SIGINT on the
+  foreground server — flushes the log and writes a final snapshot.
+* ``snapshot`` opens a data directory (running recovery) and forces a
+  synchronous checkpoint, so the next restart is a pure snapshot load.
+* ``restore`` opens a data directory and reports what recovery did
+  (snapshot used, WAL batches replayed, uncommitted batches dropped);
+  ``--out db.json`` additionally exports the recovered base facts as a
+  JSON database loadable through ``--db``.
 * ``analyze`` prints the strong-safety report and the finiteness verdict
   (``--json`` for a machine-readable object) and exits ``1`` when the
   verdict is ``POSSIBLY_INFINITE``, so CI can gate on it.
@@ -74,9 +87,12 @@ any subprocess machinery.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import shlex
+import signal
 import sys
+import threading
 from typing import Optional, Sequence
 
 from repro.analysis import classify_finiteness
@@ -191,6 +207,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "(port 0 picks a free port; with --script the commands run "
              "through a loopback client against the bound server)",
     )
+    serve_parser.add_argument(
+        "--data-dir", metavar="DIR",
+        help="durable serving: recover prior state from DIR (snapshot plus "
+             "WAL-tail replay), write-ahead log every later batch, and on "
+             "shutdown (including SIGTERM/SIGINT) flush the log and write "
+             "a final snapshot",
+    )
 
     client_parser = subparsers.add_parser(
         "client", help="connect to a serve --tcp address and run commands"
@@ -242,6 +265,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="also exit 1 when warnings or perf lints are present "
              "(errors always exit 2; hints never gate)",
+    )
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="force a durability checkpoint of a data directory"
+    )
+    snapshot_parser.add_argument("program", help="path to the Sequence Datalog program")
+    snapshot_parser.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="data directory to recover and checkpoint",
+    )
+    snapshot_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the durability counters as one JSON object",
+    )
+
+    restore_parser = subparsers.add_parser(
+        "restore", help="recover a data directory and report what was restored"
+    )
+    restore_parser.add_argument("program", help="path to the Sequence Datalog program")
+    restore_parser.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="data directory to recover (snapshot plus WAL-tail replay)",
+    )
+    restore_parser.add_argument(
+        "--out", metavar="FILE",
+        help="also export the recovered base facts as a JSON database "
+             "(loadable back through --db)",
+    )
+    restore_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the recovery report as one JSON object",
     )
 
     explain_parser = subparsers.add_parser(
@@ -466,6 +520,34 @@ def _read_lines(args):
     return sys.stdin
 
 
+@contextlib.contextmanager
+def _graceful_shutdown():
+    """Turn SIGTERM into KeyboardInterrupt for the duration of serving.
+
+    The serve paths all run inside try/finally blocks whose ``finally``
+    closes the backend — for a durable backend that flushes the WAL and
+    writes a final snapshot, and for TCP it also closes client
+    connections.  SIGINT already raises KeyboardInterrupt; routing
+    SIGTERM through the same exception makes ``kill <pid>`` a graceful
+    shutdown too.  Installing a handler only works on the main thread —
+    elsewhere (tests driving main() from a worker) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _command_serve(args: argparse.Namespace, out) -> int:
     limits = EvaluationLimits(max_iterations=args.max_iterations)
     database = load_database_json(args.db) if args.db else None
@@ -483,9 +565,22 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             database,
             limits=limits,
             workers=args.workers,
+            data_dir=args.data_dir,
         )
         mode = f" (server mode: {args.workers} workers, snapshot-isolated)"
         fact_count = backend.snapshot.fact_count()
+    elif args.data_dir is not None:
+        from repro.storage import open_session
+
+        backend = open_session(
+            _load_program(args.program),
+            args.data_dir,
+            database=database,
+            limits=limits,
+            lazy=args.demand,
+        )
+        mode = " (durable: write-ahead logged)"
+        fact_count = backend.fact_count()
     else:
         backend = DatalogSession(
             _load_program(args.program), database, limits=limits, lazy=args.demand
@@ -496,7 +591,10 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         print(f"% serving {fact_count} facts{mode}", file=out)
     commands = _ServiceCommands(DatalogService(backend, demand=args.demand))
     try:
-        return _command_loop(commands, _read_lines(args), out, args.json)
+        with _graceful_shutdown():
+            return _command_loop(commands, _read_lines(args), out, args.json)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
     finally:
         backend.close()
 
@@ -511,6 +609,7 @@ def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
         limits=limits,
         workers=args.workers,
         start=args.script is not None,
+        data_dir=args.data_dir,
     )
     bound_host, bound_port = transport.address
     facts = transport.backend.snapshot.fact_count()
@@ -532,11 +631,14 @@ def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
                 return _command_loop(commands, _read_lines(args), out, args.json)
         if hasattr(out, "flush"):
             out.flush()
-        transport.serve_forever()
+        with _graceful_shutdown():
+            transport.serve_forever()
         return 0
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         return 0
     finally:
+        # Closes listening + client sockets, then the backend; a durable
+        # backend flushes its WAL and writes a final snapshot here.
         transport.close()
 
 
@@ -582,6 +684,92 @@ def _command_lint(args: argparse.Namespace, out) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _open_durable(args: argparse.Namespace):
+    from repro.storage import open_session
+
+    return open_session(_load_program(args.program), args.data_dir)
+
+
+def _command_snapshot(args: argparse.Namespace, out) -> int:
+    session = _open_durable(args)
+    try:
+        path = session.storage.checkpoint()
+        durability = session.storage.stats()
+        if args.json:
+            print(json.dumps(durability, sort_keys=True), file=out)
+        else:
+            snap = durability["snapshot"]
+            print(
+                f"% snapshot written: {path}\n"
+                f"% generation {durability['generation']}, "
+                f"{session.fact_count()} facts, "
+                f"{snap['count']} snapshot(s) retained, "
+                f"{durability['wal']['segments']} WAL segment(s)",
+                file=out,
+            )
+        return 0
+    finally:
+        # The forced checkpoint above is current; skip the close-time one.
+        session.storage.close(final_snapshot=False)
+        session.close()
+
+
+def _command_restore(args: argparse.Namespace, out) -> int:
+    session = _open_durable(args)
+    try:
+        report = session.storage.recovery
+        payload = report.as_dict() if report is not None else {}
+        payload["facts"] = session.fact_count()
+        payload["generation"] = session.generation
+        if args.out:
+            database: dict = {}
+            for predicate, values in session.base_facts():
+                database.setdefault(predicate, []).append(
+                    [str(value) for value in values]
+                )
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(database, handle, sort_keys=True, indent=2)
+            payload["exported"] = args.out
+        if args.json:
+            print(json.dumps(payload, sort_keys=True), file=out)
+            return 0
+        if report is None or report.cold_start:
+            print("% cold start: no snapshot and no WAL tail to replay", file=out)
+        else:
+            source = (
+                f"snapshot generation {report.snapshot_generation} "
+                f"({report.snapshot_facts} facts)"
+                if report.snapshot_path
+                else "no snapshot"
+            )
+            print(
+                f"% recovered from {source} + {report.replayed_batches} "
+                f"replayed batch(es) ({report.replayed_facts} facts) "
+                f"in {report.elapsed_seconds:.3f}s",
+                file=out,
+            )
+            if report.dropped_batches:
+                print(
+                    f"% dropped {report.dropped_batches} uncommitted "
+                    "batch(es) (crash mid-commit; callers were never "
+                    "acknowledged)",
+                    file=out,
+                )
+            for warning in report.warnings:
+                print(f"% warning: {warning}", file=out)
+        print(
+            f"% model: {payload['facts']} facts at generation "
+            f"{payload['generation']}",
+            file=out,
+        )
+        if args.out:
+            print(f"% base facts exported to {args.out}", file=out)
+        return 0
+    finally:
+        session.storage.close(final_snapshot=False)
+        session.close()
+
+
 def _command_explain(args: argparse.Namespace, out) -> int:
     from repro.analysis.diagnostics import explain_with_diagnostics
 
@@ -615,6 +803,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_analyze(args, out)
         if args.command == "lint":
             return _command_lint(args, out)
+        if args.command == "snapshot":
+            return _command_snapshot(args, out)
+        if args.command == "restore":
+            return _command_restore(args, out)
         if args.command == "explain":
             return _command_explain(args, out)
         return _command_parse(args, out)

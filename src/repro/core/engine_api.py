@@ -197,6 +197,7 @@ class SequenceDatalogEngine:
         prepared_cache_size: int = 128,
         demand_cache_size: int = 32,
         lazy: bool = False,
+        data_dir: Optional[str] = None,
     ) -> DatalogSession:
         """Open an incremental query-serving session over this program.
 
@@ -206,7 +207,26 @@ class SequenceDatalogEngine:
         With ``lazy=True`` the full fixpoint is only computed when a
         non-demand query needs it; ``query(..., demand=True)`` serves
         cached per-query slices either way.
+
+        With ``data_dir``, the session is durable: prior state is
+        recovered from the directory (snapshot plus WAL-tail replay) and
+        every later batch runs the write-ahead commit protocol of
+        :mod:`repro.storage`.  ``database`` is then ingested as an
+        ordinary durable batch — already-present facts are absorbed.
         """
+        if data_dir is not None:
+            from repro.storage import open_session
+
+            return open_session(
+                self.program,
+                data_dir,
+                database=None if database is None else _as_database(database),
+                limits=limits or self.limits,
+                transducers=self.transducers,
+                prepared_cache_size=prepared_cache_size,
+                demand_cache_size=demand_cache_size,
+                lazy=lazy,
+            )
         return DatalogSession(
             self.program,
             database=None if database is None else _as_database(database),
@@ -223,6 +243,7 @@ class SequenceDatalogEngine:
         limits: Optional[EvaluationLimits] = None,
         workers: Optional[int] = None,
         result_cache_size: int = 1024,
+        data_dir: Optional[str] = None,
     ) -> DatalogServer:
         """Open a thread-safe, snapshot-isolated server over this program.
 
@@ -231,7 +252,9 @@ class SequenceDatalogEngine:
         batchable), while ``add_facts`` maintenance runs serialized and only
         publishes fully-consistent snapshots.  ``workers`` additionally runs
         maintenance on a parallel fixpoint pool
-        (:mod:`repro.engine.server` has the full contract).
+        (:mod:`repro.engine.server` has the full contract).  With
+        ``data_dir`` the backing session is durable (see :meth:`session`)
+        and the server's generation counter survives restarts.
         """
         return DatalogServer(
             self.program,
@@ -240,6 +263,7 @@ class SequenceDatalogEngine:
             transducers=self.transducers,
             workers=workers,
             result_cache_size=result_cache_size,
+            data_dir=data_dir,
         )
 
     def serve_tcp(
@@ -251,6 +275,7 @@ class SequenceDatalogEngine:
         workers: Optional[int] = None,
         result_cache_size: int = 1024,
         start: bool = True,
+        data_dir: Optional[str] = None,
     ):
         """Expose this program over the versioned TCP API (:mod:`repro.api`).
 
@@ -260,7 +285,9 @@ class SequenceDatalogEngine:
         :class:`~repro.api.client.DatalogClient` callers then get typed,
         schema-versioned requests/responses with cursor-paged streaming of
         large results — answers are fact-for-fact identical to
-        :meth:`query` in-process.
+        :meth:`query` in-process.  With ``data_dir`` the backend is
+        durable (see :meth:`serve`) and ``close()`` flushes the WAL and
+        writes a final snapshot.
         """
         from repro.api.transport import serve_tcp
 
@@ -274,6 +301,7 @@ class SequenceDatalogEngine:
             transducers=self.transducers,
             workers=workers,
             result_cache_size=result_cache_size,
+            data_dir=data_dir,
         )
 
     def compute_function(self, value, output_predicate: str = "output") -> Optional[str]:

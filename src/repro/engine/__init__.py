@@ -63,6 +63,20 @@ from repro.engine.parallel import ParallelFixpoint
 from repro.engine.query import PreparedQuery, QueryResult, evaluate_query
 from repro.engine.server import DatalogServer, ModelSnapshot
 from repro.engine.session import DatalogSession, MaintenanceReport
+from repro.errors import StorageError
+
+
+def __getattr__(name: str):
+    # ``open_session`` lives in repro.storage, which imports the session
+    # module from this package — a module-level import here would be
+    # circular when ``repro.storage`` is imported first, so the re-export
+    # resolves lazily.
+    if name == "open_session":
+        from repro.storage import open_session
+
+        return open_session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BatchExecutor",
@@ -88,9 +102,11 @@ __all__ = [
     "ProgramPlan",
     "QueryResult",
     "SEMI_NAIVE",
+    "StorageError",
     "Substitution",
     "TOperator",
     "adornment_of",
+    "open_session",
     "batch_classification",
     "batch_enabled",
     "compile_clause",

@@ -292,6 +292,23 @@ class CompiledFixpoint:
         """Insert the database facts; return the number inserted."""
         return _load_database(database, self.interpretation)
 
+    def assume_converged(self) -> None:
+        """Mark every plan observed at the current relation/domain versions.
+
+        The storage recovery path (:mod:`repro.storage`) loads a snapshot
+        that was written at a *published fixpoint* — the resident
+        interpretation already satisfies every rule, so instead of
+        re-deriving anything the loader inserts the rows and calls this to
+        re-establish the incremental bookkeeping: the next :meth:`run` is
+        a single zero-firing confirming sweep, and later deltas fire
+        against the restored versions exactly as if the engine had
+        computed the model itself.  Calling this on a non-fixpoint
+        interpretation silently under-derives; only snapshot recovery may
+        use it.
+        """
+        for plan_index in range(len(self.plans)):
+            self._observe(plan_index)
+
     def _firing_mode(self, plan_index: int) -> Optional[str]:
         """How a plan must fire right now: ``"full"``, ``"delta"`` or ``None``.
 

@@ -26,6 +26,20 @@ from repro.sequences import ExtendedDomain, Sequence, as_sequence
 Fact = Tuple[str, Tuple[Sequence, ...]]
 
 
+class _NormalizeMemo(dict):
+    """value -> Sequence cache; misses intern through :func:`as_sequence`.
+
+    ``dict.__missing__`` keeps the hit path (the overwhelmingly common
+    case when bulk-loading a serialized model, whose cells repeat a small
+    vocabulary) entirely in C.
+    """
+
+    def __missing__(self, value):
+        sequence = as_sequence(value)
+        self[value] = sequence
+        return sequence
+
+
 class Interpretation:
     """A mutable set of ground atoms together with its extended domain."""
 
@@ -71,6 +85,37 @@ class Interpretation:
                 self._domain.add(value)
             return True
         return False
+
+    def bulk_load(self, predicate: str, rows: Iterable[Iterable]) -> int:
+        """Add many facts of one predicate at once; return how many were new.
+
+        Equivalent to calling :meth:`add` per row but built for
+        recovery-sized insertions (snapshot restore): values are interned
+        through a per-call memo so each distinct string is normalized
+        once, the relation appends under a single lock, and the domain is
+        extended once per distinct sequence rather than once per cell.
+        """
+        memo = _NormalizeMemo()
+        lookup = memo.__getitem__
+        normalized_rows = [tuple(map(lookup, values)) for values in rows]
+        if not normalized_rows:
+            return 0
+        arity = len(normalized_rows[0])
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = SequenceRelation(predicate, arity)
+            self._relations[predicate] = relation
+        elif relation.arity != arity:
+            raise ValidationError(
+                f"predicate {predicate!r} used with arities {relation.arity} "
+                f"and {arity}"
+            )
+        inserted = relation.extend_rows(normalized_rows)
+        self._fact_count += inserted
+        if inserted:
+            for sequence in memo.values():
+                self._domain.add(sequence)
+        return inserted
 
     def add_atom(self, atom: Atom) -> bool:
         """Add a ground atom (its arguments must all be constants)."""

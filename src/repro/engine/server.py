@@ -46,7 +46,7 @@ from repro.engine.interpretation import Interpretation
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import QueryResult, canonical_pattern, output_relation
 from repro.engine.session import DatalogSession, FactsLike, MaintenanceReport
-from repro.errors import UnknownPredicateError, ValidationError
+from repro.errors import StorageError, UnknownPredicateError, ValidationError
 from repro.language.atoms import Atom
 from repro.language.clauses import Program
 from repro.sequences import ExtendedDomain
@@ -148,6 +148,19 @@ class DatalogServer:
         fixpoint maintenance); also recorded in :meth:`stats`.
     result_cache_size:
         Capacity of the per-snapshot query-result LRU.
+    data_dir:
+        When given (and the server builds the session), the session is
+        opened through :func:`repro.storage.open_session`: state is
+        recovered from the directory, every batch runs the durable
+        write-ahead commit protocol, background checkpoints fire on the
+        store's row/segment thresholds, and the server's generation
+        counter *resumes from the recovered one* — generations are
+        monotone across restarts.  Wrapping an already-durable session
+        works too (its store is picked up); passing ``data_dir``
+        alongside a session is rejected like the other build options.
+    storage_options:
+        Forwarded to :class:`repro.storage.DurableStore` (thresholds,
+        segment size, fsync policy) when ``data_dir`` is given.
     """
 
     def __init__(
@@ -158,6 +171,8 @@ class DatalogServer:
         transducers: Optional[TransducerRegistry] = None,
         workers: Optional[int] = None,
         result_cache_size: int = 1024,
+        data_dir: Optional[str] = None,
+        storage_options: Optional[Dict[str, object]] = None,
     ):
         if isinstance(program, DatalogSession):
             ignored = [
@@ -165,6 +180,8 @@ class DatalogServer:
                 for name, value in (
                     ("database", database), ("limits", limits),
                     ("transducers", transducers), ("workers", workers),
+                    ("data_dir", data_dir),
+                    ("storage_options", storage_options),
                 )
                 if value is not None
             ]
@@ -177,6 +194,19 @@ class DatalogServer:
             self._session = program
             # Report the wrapped session's actual maintenance pool, if any.
             workers = getattr(self._session._core, "workers", None)
+        elif data_dir is not None:
+            # Imported lazily: repro.storage imports this module's sibling.
+            from repro.storage import open_session
+
+            self._session = open_session(
+                program,
+                data_dir,
+                database=database,
+                limits=limits if limits is not None else DEFAULT_LIMITS,
+                transducers=transducers,
+                workers=workers,
+                storage_options=storage_options,
+            )
         else:
             self._session = DatalogSession(
                 program,
@@ -196,7 +226,12 @@ class DatalogServer:
         # are lock-free dict lookups (atomic under the GIL), inserts go
         # through the cache lock.  Bounded by eviction below.
         self._patterns: Dict[str, Tuple[Atom, str]] = {}
-        self._generation = 0
+        # A durable session resumes the persisted generation counter: it
+        # advances on exactly the condition _publish_if_advanced does (a
+        # batch that grew the model), so the two stay in lockstep and a
+        # restarted server publishes generations the old one never used.
+        store = self._session.storage
+        self._generation = store.generation if store is not None else 0
         self._queries_served = 0
         self._cache_hits = 0
         self._coalesced = 0
@@ -438,6 +473,30 @@ class DatalogServer:
     def program(self) -> Program:
         """The served program (the API layer's ``explain`` reads it)."""
         return self._session.program
+
+    @property
+    def storage(self):
+        """The session's :class:`~repro.storage.DurableStore`, if any."""
+        return self._session.storage
+
+    @property
+    def durable(self) -> bool:
+        return self._session.storage is not None
+
+    def checkpoint(self) -> str:
+        """Write a snapshot of the current published model, synchronously.
+
+        Takes the writer lock so the capture cannot race maintenance;
+        readers are unaffected (they keep pinning published snapshots).
+        """
+        store = self._session.storage
+        if store is None:
+            raise StorageError(
+                "this server has no durable storage attached "
+                "(build it with data_dir=...)"
+            )
+        with self._write_lock:
+            return store.checkpoint()
 
     def stats(self) -> Dict[str, object]:
         """Session diagnostics plus the server's concurrency counters.

@@ -61,7 +61,7 @@ from repro.engine.query import (
     known_predicates,
     output_relation,
 )
-from repro.errors import SessionPoisonedError, ValidationError
+from repro.errors import SessionPoisonedError, StorageError, ValidationError
 from repro.language.atoms import Atom
 from repro.language.clauses import Program
 from repro.language.parser import parse_program
@@ -278,6 +278,10 @@ class DatalogSession:
         self._lazy = lazy
         self._materialized = False
         self._poisoned: Optional[str] = None
+        # Durable storage hook (repro.storage.DurableStore, duck-typed):
+        # when attached, add_facts writes an intent record before touching
+        # the model and a commit record only after maintenance converged.
+        self._storage = None
         if database is not None and not isinstance(database, SequenceDatabase):
             database = SequenceDatabase.from_dict(dict(database))
         if database is not None:
@@ -324,10 +328,94 @@ class DatalogSession:
         if not self._materialized:
             self._run_maintenance()
 
+    def materialize(self) -> None:
+        """Materialise the full least fixpoint now (no-op when resident)."""
+        self._materialize_model()
+
     @property
     def poisoned(self) -> bool:
         """True when a failed maintenance run invalidated the session."""
         return self._poisoned is not None
+
+    # ------------------------------------------------------------------
+    # Durable storage (repro.storage)
+    # ------------------------------------------------------------------
+    @property
+    def storage(self):
+        """The attached :class:`~repro.storage.DurableStore`, if any."""
+        return self._storage
+
+    @property
+    def generation(self) -> Optional[int]:
+        """The durable generation counter (None without attached storage).
+
+        Advances on exactly the condition a wrapping
+        :class:`~repro.engine.server.DatalogServer` publishes a new
+        snapshot — a committed batch that actually grew the model — so
+        the two counters agree and a restarted server resumes from it.
+        """
+        return self._storage.generation if self._storage is not None else None
+
+    def attach_storage(self, store) -> None:
+        """Attach a durable store; from now on every batch is logged.
+
+        Called by :func:`repro.storage.open_session` after recovery
+        (attaching *after* replay is what keeps the replay itself from
+        being re-logged).
+        """
+        if self._storage is not None:
+            raise ValidationError("this session already has a durable store")
+        self._storage = store
+
+    def restore_state(self, facts, base_facts) -> None:
+        """Install a previously-converged model (snapshot recovery path).
+
+        ``facts`` is every ``(predicate, row)`` of a serialized
+        interpretation, ``base_facts`` the base-fact log it was built
+        from.  Valid only on a pristine session; the restored model is
+        marked converged (see
+        :meth:`~repro.engine.fixpoint.CompiledFixpoint.assume_converged`),
+        which is sound because snapshots are written exclusively at
+        published fixpoints of this very program.
+        """
+        if (
+            self._materialized
+            or self._base_facts
+            or self._core.interpretation.fact_count()
+        ):
+            raise StorageError(
+                "restore_state needs a pristine session (no facts inserted, "
+                "model not materialised)"
+            )
+        grouped: Dict[str, List[Tuple[str, ...]]] = {}
+        for predicate, values in facts:
+            grouped.setdefault(predicate, []).append(tuple(values))
+        for predicate, rows in grouped.items():
+            self._core.interpretation.bulk_load(predicate, rows)
+        self._base_facts = [
+            (predicate, tuple(values)) for predicate, values in base_facts
+        ]
+        self._core.assume_converged()
+        self._materialized = True
+
+    def _commit_durable(self, batch_token, applied: int, facts_added: int) -> None:
+        """Write the batch's commit record; a failure poisons the session.
+
+        After a commit failure the in-memory model holds facts the WAL
+        never acknowledged — serving them would break the durable-commit
+        contract ("ingested" means durable, then converged), so the
+        session refuses further use just as it does for a partial
+        fixpoint.
+        """
+        if batch_token is None or self._storage is None:
+            return
+        try:
+            self._storage.commit_batch(
+                batch_token, applied=applied, facts_added=facts_added
+            )
+        except Exception as error:
+            self._poisoned = f"{type(error).__name__}: {error}"
+            raise
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -350,6 +438,14 @@ class DatalogSession:
         not been materialised yet, no maintenance runs at all: the call
         only records the base facts (``sweeps`` is 0) and invalidates the
         cached demand slices.
+
+        With a durable store attached the batch runs the write-ahead
+        commit protocol: its intent record is made durable *before* the
+        first fact is inserted, and its commit record is written (and
+        fsynced) only after maintenance converged — on a mid-batch
+        rejection, for exactly the accepted prefix.  A batch whose
+        maintenance run failed is never committed, so a crash-recovered
+        session will not replay a batch that poisoned this one.
         """
         self._require_usable()
         started = time.perf_counter()
@@ -360,7 +456,11 @@ class DatalogSession:
         facts_before = interpretation.fact_count()
         sweeps_before = self._core.sweeps
         base_added = 0
+        applied = 0
         added_predicates = set()
+        batch_token = None
+        if self._storage is not None:
+            batch_token = self._storage.begin_batch(pending)
         try:
             try:
                 for predicate, values in pending:
@@ -368,17 +468,25 @@ class DatalogSession:
                         self._base_facts.append((predicate, values))
                         added_predicates.add(predicate)
                         base_added += 1
+                    applied += 1
             except Exception as batch_error:
                 # Restore the fixpoint invariant for whatever was accepted,
                 # then let the batch error propagate.  If the recovery run
                 # itself trips a limit the model is NOT a fixpoint — that
-                # outranks the batch error, so it wins (chained) and the
-                # session is poisoned.
+                # outranks the batch error, so it wins (chained), the
+                # session is poisoned, and the batch is never committed.
                 if self._materialized:
                     self._run_maintenance()
+                self._commit_durable(
+                    batch_token, applied,
+                    interpretation.fact_count() - facts_before,
+                )
                 raise batch_error
             if self._materialized:
                 self._run_maintenance()
+            self._commit_durable(
+                batch_token, applied, interpretation.fact_count() - facts_before
+            )
         finally:
             self._maintenance_runs += 1
             if added_predicates:
@@ -512,6 +620,14 @@ class DatalogSession:
         lazy session)."""
         return self._core.interpretation.fact_count()
 
+    def base_facts(self) -> List[Fact]:
+        """The extensional facts inserted so far (insertion order).
+
+        This is the session's durable input — the derived model is a pure
+        function of it — which is what ``repro restore --out`` exports.
+        """
+        return list(self._base_facts)
+
     def stats(self) -> Dict[str, object]:
         """Serving diagnostics: model, cache and intern-table growth."""
         interpretation = self._core.interpretation
@@ -551,11 +667,19 @@ class DatalogSession:
         parallel_stats = getattr(self._core, "parallel_stats", None)
         if parallel_stats is not None:
             stats["parallel"] = parallel_stats()
+        if self._storage is not None:
+            stats["durability"] = self._storage.stats()
         return stats
 
     def close(self) -> None:
-        """Release the evaluation core's resources (parallel worker pools)."""
-        self._core.close()
+        """Release resources: flush durable storage (writing a final
+        snapshot when one is attached and dirty), then shut down the
+        evaluation core (parallel worker pools)."""
+        try:
+            if self._storage is not None:
+                self._storage.close()
+        finally:
+            self._core.close()
 
     def __enter__(self) -> DatalogSession:
         return self

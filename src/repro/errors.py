@@ -89,6 +89,38 @@ class SessionPoisonedError(EvaluationError):
     """
 
 
+class StorageError(ReproError):
+    """A failure in the durable storage engine (:mod:`repro.storage`).
+
+    Covers everything from an unwritable data directory to a snapshot
+    written by an incompatible format version or a different program.
+    Storage failures are always raised as this typed hierarchy naming the
+    offending file (and, for frame-level damage, the byte offset) — a
+    corrupt file must never surface as a raw decode traceback.
+    """
+
+
+class CorruptLogError(StorageError):
+    """The write-ahead log is damaged somewhere recovery cannot repair.
+
+    A torn or CRC-mismatching frame at the very *tail* of the final
+    segment is the expected signature of a crash mid-append and is
+    silently truncated (with a warning in the recovery report).  The same
+    damage anywhere else — mid-segment, or in a non-final segment — means
+    committed history is gone, and recovery refuses to guess: this error
+    names the segment file and byte offset.
+    """
+
+
+class CorruptSnapshotError(StorageError):
+    """A snapshot file failed its checksum or structural validation.
+
+    Recovery falls back to the next-older snapshot when one exists (the
+    retained WAL segments still cover the gap); with no usable fallback
+    the error propagates, naming the file and byte offset.
+    """
+
+
 class ProtocolError(ReproError):
     """A malformed frame on the versioned network protocol.
 

@@ -1,0 +1,53 @@
+"""Durable storage: write-ahead fact log, snapshots, crash recovery.
+
+The engine is log-structured end to end — relations append, sessions keep
+a base-fact log, the server publishes atomic generations — and this
+package makes that structure durable.  :func:`open_session` is the entry
+point::
+
+    from repro import open_session
+
+    session = open_session(program, data_dir="./state")
+    session.add_facts({"r": ["acgt"]})   # durable before acknowledged
+    session.close()                      # flush + final snapshot
+
+    session = open_session(program, data_dir="./state")  # instant restart
+
+See ``docs/DURABILITY.md`` for the operational guide and
+ARCHITECTURE.md §11 for the WAL format, the commit protocol and the
+recovery sequence.
+"""
+
+from repro.errors import CorruptLogError, CorruptSnapshotError, StorageError
+from repro.storage.snapshot import (
+    SNAPSHOT_FORMAT,
+    list_snapshots,
+    load_snapshot,
+    read_header,
+    write_snapshot,
+)
+from repro.storage.store import (
+    DurableStore,
+    RecoveryReport,
+    STORE_FORMAT,
+    open_session,
+    program_fingerprint,
+)
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "CorruptLogError",
+    "CorruptSnapshotError",
+    "DurableStore",
+    "RecoveryReport",
+    "SNAPSHOT_FORMAT",
+    "STORE_FORMAT",
+    "StorageError",
+    "WriteAheadLog",
+    "list_snapshots",
+    "load_snapshot",
+    "open_session",
+    "program_fingerprint",
+    "read_header",
+    "write_snapshot",
+]

@@ -1,0 +1,290 @@
+"""Generation-keyed snapshots of a converged resident model.
+
+A snapshot file (``snapshot-<generation 12 digits>.snap``) is a sequence
+of the same CRC-checked frames the WAL uses (:mod:`repro.storage.wal`):
+
+1. a **header** frame — ``format`` (:data:`SNAPSHOT_FORMAT`), the
+   publishing ``generation``, the last committed WAL ``batch`` it covers,
+   the ``program`` fingerprint (SHA-256 of the canonical program text),
+   and row/fact counts for validation;
+2. one or more **relation** frames — ``{"relation": name, "rows": [...]}``
+   chunks of the interpretation's rows in insertion order (values as
+   plain strings; the loader re-interns them);
+3. one or more **base** frames — the session's base-fact log, the part of
+   the model that is input rather than derivation (demand-mode slices
+   re-materialise from it);
+4. an **end** frame — ``{"end": true}``; its absence means the writer
+   died mid-snapshot and the file is invalid.
+
+Snapshots are written to a temp file and atomically renamed into place,
+so a crash mid-checkpoint leaves at most a stray ``*.tmp``.  Loading
+applies strict validation: any CRC/structure failure raises
+:class:`~repro.errors.CorruptSnapshotError` naming the file and byte
+offset; a future format version or a different program raises
+:class:`~repro.errors.StorageError` — never a raw decode traceback.
+
+Because a snapshot is only ever written at a *published fixpoint*, the
+loader's output needs no evaluation: recovery inserts the rows and marks
+every plan's version bookkeeping current (see
+:meth:`repro.engine.fixpoint.CompiledFixpoint.assume_converged`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CorruptSnapshotError, StorageError
+from repro.storage.wal import FrameDamage, encode_frame, iter_frames
+
+#: Bumped whenever the frame layout or header contract changes; a loader
+#: only accepts files whose header declares a version it knows.
+SNAPSHOT_FORMAT = 1
+
+_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{12})\.snap$")
+
+#: Rows per relation/base frame: bounds frame size without materialising
+#: the whole model in one JSON payload.
+_CHUNK_ROWS = 25_000
+
+
+def snapshot_path(directory: str, generation: int) -> str:
+    return os.path.join(directory, f"snapshot-{generation:012d}.snap")
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(generation, path)`` for every snapshot file, newest first."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    found = []
+    for name in names:
+        match = _SNAPSHOT_PATTERN.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found, reverse=True)
+
+
+def _chunks(rows: List[Any], size: int) -> Iterator[List[Any]]:
+    for start in range(0, len(rows), size):
+        yield rows[start:start + size]
+
+
+def write_snapshot(
+    directory: str,
+    generation: int,
+    batch: int,
+    program_fingerprint: str,
+    relation_rows: Dict[str, List[Tuple[str, ...]]],
+    base_facts: List[Tuple[str, Tuple[str, ...]]],
+    fact_count: int,
+) -> str:
+    """Serialize one converged model; returns the final path.
+
+    ``relation_rows`` maps predicate -> rows (tuples of plain strings) in
+    insertion order; ``fact_count`` is the interpretation's own count and
+    is revalidated on load.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = snapshot_path(directory, generation)
+    tmp_path = path + ".tmp"
+    header = {
+        "format": SNAPSHOT_FORMAT,
+        "generation": generation,
+        "batch": batch,
+        "program": program_fingerprint,
+        "facts": fact_count,
+        "base_facts": len(base_facts),
+        "relations": {name: len(rows) for name, rows in relation_rows.items()},
+    }
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(_frame(header))
+            for name in sorted(relation_rows):
+                for chunk in _chunks(relation_rows[name], _CHUNK_ROWS):
+                    handle.write(
+                        _frame({"relation": name, "rows": [list(row) for row in chunk]})
+                    )
+            for chunk in _chunks(base_facts, _CHUNK_ROWS):
+                handle.write(
+                    _frame(
+                        {
+                            "base": [
+                                [predicate, list(values)]
+                                for predicate, values in chunk
+                            ]
+                        }
+                    )
+                )
+            handle.write(_frame({"end": True}))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as error:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise StorageError(f"cannot write snapshot {path}: {error}") from error
+    return path
+
+
+def _frame(record: Dict[str, Any]) -> bytes:
+    return encode_frame(
+        json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    )
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """The header frame alone (cheap: snapshot selection and retention)."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read(4 * 1024 * 1024)
+    except OSError as error:
+        raise StorageError(f"cannot read snapshot {path}: {error}") from error
+    try:
+        for _offset, record in iter_frames(data):
+            return _validated_header(path, record)
+    except FrameDamage as damage:
+        raise CorruptSnapshotError(
+            f"snapshot {path} is corrupt at byte {damage.offset}: {damage.detail}"
+        ) from None
+    raise CorruptSnapshotError(f"snapshot {path} is empty (no header frame)")
+
+
+def _validated_header(path: str, record: Dict[str, Any]) -> Dict[str, Any]:
+    declared = record.get("format")
+    if declared != SNAPSHOT_FORMAT:
+        raise StorageError(
+            f"snapshot {path} declares format version {declared!r}; this "
+            f"build reads only version {SNAPSHOT_FORMAT} — it was likely "
+            "written by a newer library"
+        )
+    for field in ("generation", "batch", "facts", "base_facts"):
+        if not isinstance(record.get(field), int):
+            raise CorruptSnapshotError(
+                f"snapshot {path} header lacks an integer {field!r} field"
+            )
+    if not isinstance(record.get("program"), str):
+        raise CorruptSnapshotError(
+            f"snapshot {path} header lacks a program fingerprint"
+        )
+    return record
+
+
+def load_snapshot(
+    path: str, program_fingerprint: Optional[str] = None
+) -> Tuple[Dict[str, Any], List[Tuple[str, List[str]]], List[Tuple[str, List[str]]]]:
+    """Fully load and validate one snapshot.
+
+    Returns ``(header, facts, base_facts)`` where ``facts`` is every
+    ``(predicate, row)`` of the serialized interpretation in insertion
+    order and ``base_facts`` is the base-fact log.  Raises
+    :class:`~repro.errors.CorruptSnapshotError` on structural damage and
+    :class:`~repro.errors.StorageError` on a format-version or program
+    mismatch, always naming the file.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise StorageError(f"cannot read snapshot {path}: {error}") from error
+    header: Optional[Dict[str, Any]] = None
+    facts: List[Tuple[str, List[str]]] = []
+    base_facts: List[Tuple[str, List[str]]] = []
+    complete = False
+    try:
+        for offset, record in iter_frames(data):
+            if header is None:
+                header = _validated_header(path, record)
+                if (
+                    program_fingerprint is not None
+                    and header["program"] != program_fingerprint
+                ):
+                    raise StorageError(
+                        f"snapshot {path} was written for a different program "
+                        f"(fingerprint {header['program'][:12]}..., expected "
+                        f"{program_fingerprint[:12]}...); wipe the data "
+                        "directory or load it with the original program"
+                    )
+                continue
+            if complete:
+                raise CorruptSnapshotError(
+                    f"snapshot {path} holds frames after its end marker "
+                    f"(byte {offset})"
+                )
+            if "relation" in record:
+                name = record["relation"]
+                rows = record.get("rows")
+                if not isinstance(name, str) or not isinstance(rows, list):
+                    raise CorruptSnapshotError(
+                        f"snapshot {path} has a malformed relation frame "
+                        f"at byte {offset}"
+                    )
+                for row in rows:
+                    facts.append((name, row))
+            elif "base" in record:
+                entries = record["base"]
+                if not isinstance(entries, list):
+                    raise CorruptSnapshotError(
+                        f"snapshot {path} has a malformed base-fact frame "
+                        f"at byte {offset}"
+                    )
+                for entry in entries:
+                    base_facts.append((entry[0], entry[1]))
+            elif record.get("end") is True:
+                complete = True
+            else:
+                raise CorruptSnapshotError(
+                    f"snapshot {path} has an unrecognised frame at byte {offset}"
+                )
+    except FrameDamage as damage:
+        raise CorruptSnapshotError(
+            f"snapshot {path} is corrupt at byte {damage.offset}: {damage.detail}"
+        ) from None
+    except (IndexError, TypeError) as error:
+        raise CorruptSnapshotError(
+            f"snapshot {path} holds a structurally invalid frame: {error}"
+        ) from None
+    if header is None:
+        raise CorruptSnapshotError(f"snapshot {path} is empty (no header frame)")
+    if not complete:
+        raise CorruptSnapshotError(
+            f"snapshot {path} is truncated (missing end marker) — the "
+            "checkpoint writer died mid-file"
+        )
+    if len(facts) != header["facts"]:
+        raise CorruptSnapshotError(
+            f"snapshot {path} holds {len(facts)} facts but its header "
+            f"declares {header['facts']}"
+        )
+    if len(base_facts) != header["base_facts"]:
+        raise CorruptSnapshotError(
+            f"snapshot {path} holds {len(base_facts)} base facts but its "
+            f"header declares {header['base_facts']}"
+        )
+    return header, facts, base_facts
+
+
+def prune_snapshots(directory: str, keep: int) -> List[str]:
+    """Delete all but the ``keep`` newest snapshot files (plus stray tmps)."""
+    removed = []
+    for _generation, path in list_snapshots(directory)[max(1, keep):]:
+        try:
+            os.remove(path)
+        except OSError:
+            continue
+        removed.append(path)
+    try:
+        for name in os.listdir(directory):
+            if name.endswith(".snap.tmp"):
+                try:
+                    os.remove(os.path.join(directory, name))
+                except OSError:
+                    pass
+    except FileNotFoundError:
+        pass
+    return removed

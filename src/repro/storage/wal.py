@@ -1,0 +1,323 @@
+"""Write-ahead fact log: CRC-framed JSON records in rotating segments.
+
+The WAL is the durability primitive under :class:`repro.storage.DurableStore`.
+Every record travels in one *frame*::
+
+    +----------------+----------------+------------------------+
+    | length (u32 BE)| CRC32 (u32 BE) | payload (length bytes) |
+    +----------------+----------------+------------------------+
+
+where the payload is compact UTF-8 JSON and the CRC covers the payload
+bytes.  Records are appended sequentially to numbered segment files
+(``wal-00000001.log``, ``wal-00000002.log``, ...); a segment is rotated
+once it crosses ``segment_max_bytes``, and retention (driven by the store
+after a checkpoint) deletes whole closed segments, never parts of one.
+
+Two record types exist (see ARCHITECTURE.md §11 for the commit protocol):
+
+``{"t": "intent", "batch": N, "facts": [[pred, [v, ...]], ...]}``
+    Appended *before* a batch touches the resident model.
+``{"t": "commit", "batch": N, "applied": K, "generation": G}``
+    Appended (and fsynced) only after incremental maintenance converged.
+    ``applied`` counts how many of the intent's facts were actually
+    inserted — smaller than the intent length exactly when a fact was
+    rejected mid-batch and the accepted prefix was kept.
+
+Damage policy on read (:func:`scan_segments`): a torn or CRC-mismatching
+frame at the very tail of the *final* segment is the signature of a crash
+mid-append — it is physically truncated away and reported as a warning.
+The same damage anywhere else destroys committed history and raises
+:class:`~repro.errors.CorruptLogError` naming the file and byte offset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple
+
+from repro.errors import CorruptLogError, StorageError
+
+_FRAME_HEADER = struct.Struct(">II")
+
+#: Frames above this are rejected on read as structurally impossible (the
+#: writer chunks far below it); it turns a corrupted length field into a
+#: clean typed error instead of a giant allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_SEGMENT_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
+
+DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One length-prefixed, CRC32-checked frame around ``payload``."""
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    return encode_frame(
+        json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    )
+
+
+class FrameDamage(Exception):
+    """Internal: a frame could not be read (torn tail or corruption).
+
+    ``kind`` is ``"torn"`` (the file ends mid-frame) or ``"corrupt"``
+    (full-length frame whose CRC or JSON does not check out); ``at_tail``
+    says whether nothing follows the bad frame — the only position where
+    damage is repairable by truncation.
+    """
+
+    def __init__(self, kind: str, offset: int, at_tail: bool, detail: str):
+        super().__init__(detail)
+        self.kind = kind
+        self.offset = offset
+        self.at_tail = at_tail
+        self.detail = detail
+
+
+def iter_frames(data: bytes):
+    """Yield ``(offset, payload_dict)`` for every frame in ``data``.
+
+    Raises :class:`FrameDamage` at the first unreadable frame; everything
+    yielded before it is intact.
+    """
+    offset, size = 0, len(data)
+    while offset < size:
+        if size - offset < _FRAME_HEADER.size:
+            raise FrameDamage(
+                "torn", offset, True,
+                f"{size - offset} trailing bytes are shorter than a frame header",
+            )
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            raise FrameDamage(
+                "corrupt", offset, False,
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap "
+                "(corrupted length field)",
+            )
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            raise FrameDamage(
+                "torn", offset, True,
+                f"frame claims {length} payload bytes but only "
+                f"{size - start} remain",
+            )
+        payload = data[start:end]
+        at_tail = end == size
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise FrameDamage(
+                "corrupt", offset, at_tail, "payload CRC mismatch"
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise FrameDamage(
+                "corrupt", offset, at_tail,
+                "payload is not valid JSON despite a matching CRC",
+            ) from None
+        if not isinstance(record, dict):
+            raise FrameDamage(
+                "corrupt", offset, at_tail, "payload is not a JSON object"
+            )
+        yield offset, record
+        offset = end
+
+
+def segment_paths(directory: str) -> List[str]:
+    """The directory's WAL segments, oldest first."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    matched = [name for name in names if _SEGMENT_PATTERN.match(name)]
+    return [os.path.join(directory, name) for name in sorted(matched)]
+
+
+def _segment_index(path: str) -> int:
+    match = _SEGMENT_PATTERN.match(os.path.basename(path))
+    assert match is not None
+    return int(match.group(1))
+
+
+def scan_segments(
+    directory: str,
+    on_record: Callable[[str, int, Dict[str, Any]], None],
+    warnings: Optional[List[str]] = None,
+) -> Dict[str, int]:
+    """Read every record in every segment, applying the damage policy.
+
+    ``on_record(path, offset, record)`` is called for each intact record
+    in log order.  A torn/corrupt tail of the final segment is physically
+    truncated (crash mid-append); damage anywhere else raises
+    :class:`~repro.errors.CorruptLogError`.  Returns ``{path: last batch
+    id}`` for segments that contain batch-stamped records (the retention
+    bookkeeping the store needs).
+    """
+    paths = segment_paths(directory)
+    last_batch: Dict[str, int] = {}
+    for position, path in enumerate(paths):
+        final_segment = position == len(paths) - 1
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as error:
+            raise StorageError(f"cannot read WAL segment {path}: {error}") from error
+        try:
+            for offset, record in iter_frames(data):
+                batch = record.get("batch")
+                if isinstance(batch, int):
+                    last_batch[path] = batch
+                on_record(path, offset, record)
+        except FrameDamage as damage:
+            if not (final_segment and damage.at_tail):
+                raise CorruptLogError(
+                    f"WAL segment {path} is corrupt at byte {damage.offset}: "
+                    f"{damage.detail} (not at the log tail — committed "
+                    "history may be lost; refusing to recover)"
+                ) from None
+            dropped = len(data) - damage.offset
+            try:
+                with open(path, "r+b") as handle:
+                    handle.truncate(damage.offset)
+            except OSError as error:
+                raise StorageError(
+                    f"cannot truncate damaged tail of WAL segment {path} "
+                    f"at byte {damage.offset}: {error}"
+                ) from error
+            if warnings is not None:
+                warnings.append(
+                    f"truncated {dropped} damaged trailing bytes "
+                    f"({damage.kind} frame) from {os.path.basename(path)} "
+                    f"at byte {damage.offset} — crash mid-append"
+                )
+    return last_batch
+
+
+class WriteAheadLog:
+    """Appender over a directory of rotating CRC-framed segments.
+
+    Not thread-safe: the store serializes appends behind the session's
+    single-writer discipline.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        fsync: bool = True,
+    ):
+        self.directory = directory
+        self.segment_max_bytes = max(1024, int(segment_max_bytes))
+        self.fsync = fsync
+        os.makedirs(directory, exist_ok=True)
+        existing = segment_paths(directory)
+        self._next_index = (_segment_index(existing[-1]) + 1) if existing else 1
+        self._handle: Optional[IO[bytes]] = None
+        self._current_path: Optional[str] = None
+        self._current_size = 0
+        self.segment_last_batch: Dict[str, int] = {}
+        self.records_appended = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _open_segment(self) -> None:
+        path = os.path.join(self.directory, f"wal-{self._next_index:08d}.log")
+        self._next_index += 1
+        try:
+            self._handle = open(path, "ab")
+        except OSError as error:
+            raise StorageError(f"cannot open WAL segment {path}: {error}") from error
+        self._current_path = path
+        self._current_size = 0
+
+    def rotate(self) -> None:
+        """Close the current segment; the next append opens a fresh one."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._current_path = None
+            self._current_size = 0
+
+    def append(self, record: Dict[str, Any], sync: bool = False) -> None:
+        """Append one record; with ``sync``, fsync it (and all before it)."""
+        frame = encode_record(record)
+        if self._handle is None or (
+            self._current_size > 0
+            and self._current_size + len(frame) > self.segment_max_bytes
+        ):
+            self.rotate()
+            self._open_segment()
+        assert self._handle is not None and self._current_path is not None
+        try:
+            self._handle.write(frame)
+            self._handle.flush()
+            if sync and self.fsync:
+                os.fsync(self._handle.fileno())
+                self.syncs += 1
+        except OSError as error:
+            raise StorageError(
+                f"cannot append to WAL segment {self._current_path}: {error}"
+            ) from error
+        self._current_size += len(frame)
+        self.records_appended += 1
+        batch = record.get("batch")
+        if isinstance(batch, int):
+            self.segment_last_batch[self._current_path] = batch
+
+    # ------------------------------------------------------------------
+    # Introspection and retention
+    # ------------------------------------------------------------------
+    @property
+    def current_path(self) -> Optional[str]:
+        return self._current_path
+
+    def segments(self) -> List[str]:
+        return segment_paths(self.directory)
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.segments():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def closed_segments(self) -> List[str]:
+        return [path for path in self.segments() if path != self._current_path]
+
+    def prune(self, up_to_batch: int) -> List[str]:
+        """Delete closed segments whose every record is ``<= up_to_batch``.
+
+        Segments with unknown bookkeeping (no batch-stamped record seen)
+        are kept — retention never guesses.
+        """
+        removed = []
+        for path in self.closed_segments():
+            last = self.segment_last_batch.get(path)
+            if last is not None and last <= up_to_batch:
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                self.segment_last_batch.pop(path, None)
+                removed.append(path)
+        return removed
+
+    def close(self) -> None:
+        self.rotate()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.directory!r}, {len(self.segments())} segments, "
+            f"{self.records_appended} records appended)"
+        )

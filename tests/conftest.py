@@ -34,6 +34,14 @@ def dna_db() -> SequenceDatabase:
 
 
 @pytest.fixture
+def data_dir(tmp_path) -> str:
+    """A fresh durable-storage data directory (tmp-dir hygiene: pytest
+    removes it with the test's tmp_path, so crash-simulation leftovers —
+    abandoned WAL handles, half-written snapshots — never escape)."""
+    return str(tmp_path / "data")
+
+
+@pytest.fixture
 def test_limits() -> EvaluationLimits:
     """Limits small enough to terminate quickly on infinite programs."""
     return EvaluationLimits(

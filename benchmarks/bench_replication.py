@@ -1,0 +1,407 @@
+"""Replication benchmark: follower identity and aggregate read scaling.
+
+Measures the two claims of :mod:`repro.replication` and emits a JSON
+record:
+
+* **identity** — a leader and two followers after a stream of write
+  batches hold *fact-for-fact identical* models at equal generations
+  (every relation compared row-by-row, asserted always).  Generation
+  lockstep plus the per-frame fact-count check is the mechanism; this
+  case is the end-to-end proof.
+* **read_scaling** — aggregate query throughput of client threads spread
+  across a leader plus three follower *processes* (each a real
+  ``repro serve --tcp ... --follow`` subprocess found via the
+  machine-parsable ``listening`` envelope) vs the same client load pinned
+  to the single leader process.  Follower replicas each burn their own
+  CPU answering queries, so the fleet must clear >=2x the single-node
+  throughput (asserted in full runs on >=4 cores, recorded in smoke).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py           # JSON on stdout
+    PYTHONPATH=src python benchmarks/bench_replication.py --smoke   # tiny + shape check
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro import (  # noqa: E402
+    DatalogClient,
+    EvaluationLimits,
+    FollowerServer,
+    serve_tcp,
+)
+
+PROGRAM = """\
+pair(X, Y) :- base(X), base(Y).
+prefix(X[0:N]) :- base(X).
+"""
+
+LIMITS = EvaluationLimits(
+    max_iterations=2_000,
+    max_facts=5_000_000,
+    max_domain_size=2_000_000,
+    max_sequence_length=4_000,
+)
+
+
+def _wait(predicate, timeout=30.0, what="replication progress"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# Identity: leader and followers fact-for-fact at equal generations
+# ----------------------------------------------------------------------
+def bench_identity(smoke=False):
+    batches, batch_size = (4, 3) if smoke else (12, 8)
+    transport = serve_tcp(PROGRAM, {"base": ["a0", "b0"]}, port=0, limits=LIMITS)
+    followers = [
+        FollowerServer(
+            PROGRAM,
+            transport.address,
+            limits=LIMITS,
+            reconnect_min_seconds=0.01,
+        )
+        for _ in range(2)
+    ]
+    started = time.perf_counter()
+    try:
+        with DatalogClient(*transport.address) as client:
+            generation = 0
+            for batch in range(batches):
+                facts = [
+                    ("base", (f"v{batch}_{i}",)) for i in range(batch_size)
+                ]
+                generation = client.add_facts(facts).generation
+        for follower in followers:
+            _wait(
+                lambda f=follower: f.generation >= generation,
+                what="followers catching up",
+            )
+        replicate_seconds = time.perf_counter() - started
+
+        leader = transport.backend
+        patterns = ["base(X)", "pair(X, Y)", "prefix(X)"]
+        identical = True
+        compared_rows = 0
+        for pattern in patterns:
+            want = sorted(tuple(r) for r in leader.query(pattern).rows)
+            compared_rows += len(want)
+            for follower in followers:
+                got = sorted(tuple(r) for r in follower.query(pattern).rows)
+                identical = identical and got == want
+        generations_equal = all(
+            follower.generation == leader.generation for follower in followers
+        )
+        counts_equal = all(
+            follower.snapshot.fact_count() == leader.snapshot.fact_count()
+            for follower in followers
+        )
+        identical = identical and generations_equal and counts_equal
+        assert identical, "follower diverged from the leader"
+        bootstraps = sum(
+            follower.stats()["replication"]["bootstraps"]
+            for follower in followers
+        )
+    finally:
+        for follower in followers:
+            follower.close()
+        transport.close()
+    return [{
+        "case": "follower-identity",
+        "kind": "identity",
+        "followers": len(followers),
+        "batches": batches,
+        "generation": generation,
+        "compared_rows": compared_rows,
+        "bootstraps": bootstraps,
+        "replicate_seconds": round(replicate_seconds, 4),
+        "identical": identical,
+    }]
+
+
+# ----------------------------------------------------------------------
+# Read scaling: a real multi-process fleet vs the single leader
+# ----------------------------------------------------------------------
+def _spawn_node(program_path, follow=None):
+    """Start one ``repro serve`` process; return (process, 'host:port').
+
+    The ``listening`` envelope on stdout reports the actually-bound port
+    (the port-0 contract), which is exactly what a process supervisor —
+    or this benchmark — needs to wire a fleet together.
+    """
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve", program_path,
+        "--tcp", "127.0.0.1:0", "--json",
+    ]
+    if follow is not None:
+        argv += ["--follow", follow]
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+        text=True,
+    )
+    line = process.stdout.readline()
+    envelope = json.loads(line)
+    assert envelope["kind"] == "listening" and envelope["port"] != 0
+    return process, f"{envelope['host']}:{envelope['port']}"
+
+
+def _aggregate_throughput(endpoints, patterns, threads_per_endpoint, repeats):
+    """Total queries/second with client threads pinned across endpoints."""
+    barrier = threading.Barrier(len(endpoints) * threads_per_endpoint + 1)
+    errors = []
+
+    def run_client(endpoint):
+        host, _, port = endpoint.rpartition(":")
+        try:
+            with DatalogClient(host, int(port)) as client:
+                barrier.wait()
+                for _ in range(repeats):
+                    for pattern in patterns:
+                        client.query(pattern)
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    workers = [
+        threading.Thread(target=run_client, args=(endpoint,))
+        for endpoint in endpoints
+        for _ in range(threads_per_endpoint)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    queries = len(workers) * repeats * len(patterns)
+    return queries / max(elapsed, 1e-9), queries, elapsed
+
+
+def bench_read_scaling(smoke=False):
+    if smoke:
+        base_values, follower_count, threads, repeats = 6, 3, 1, 3
+    else:
+        base_values, follower_count, threads, repeats = 24, 3, 2, 12
+    patterns = ["pair(X, Y)", "prefix(X)", "base(X)"]
+    with tempfile.TemporaryDirectory(prefix="bench-replication-") as tmpdir:
+        program_path = os.path.join(tmpdir, "program.sdl")
+        with open(program_path, "w", encoding="utf-8") as handle:
+            handle.write(PROGRAM)
+        processes = []
+        try:
+            leader_process, leader_endpoint = _spawn_node(program_path)
+            processes.append(leader_process)
+            follower_endpoints = []
+            for _ in range(follower_count):
+                process, endpoint = _spawn_node(
+                    program_path, follow=leader_endpoint
+                )
+                processes.append(process)
+                follower_endpoints.append(endpoint)
+
+            host, _, port = leader_endpoint.rpartition(":")
+            with DatalogClient(host, int(port)) as client:
+                generation = client.add_facts(
+                    [("base", (f"s{i}",)) for i in range(base_values)]
+                ).generation
+
+            def caught_up(endpoint):
+                host, _, port = endpoint.rpartition(":")
+                try:
+                    with DatalogClient(host, int(port)) as probe:
+                        return probe.stats().generation >= generation
+                except OSError:
+                    return False
+
+            for endpoint in follower_endpoints:
+                _wait(
+                    lambda e=endpoint: caught_up(e),
+                    what=f"follower {endpoint} catching up",
+                )
+
+            single_qps, queries, single_seconds = _aggregate_throughput(
+                [leader_endpoint] * (1 + follower_count),
+                patterns, threads, repeats,
+            )
+            fleet_qps, _, fleet_seconds = _aggregate_throughput(
+                [leader_endpoint] + follower_endpoints,
+                patterns, threads, repeats,
+            )
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+    speedup = fleet_qps / max(single_qps, 1e-9)
+    return [
+        {
+            "case": "read-throughput-leader-only",
+            "kind": "read_throughput",
+            "nodes": 1,
+            "client_threads": (1 + follower_count) * threads,
+            "queries": queries,
+            "seconds": round(single_seconds, 4),
+            "throughput_qps": round(single_qps, 1),
+        },
+        {
+            "case": f"read-throughput-{follower_count}-followers",
+            "kind": "read_throughput",
+            "nodes": 1 + follower_count,
+            "client_threads": (1 + follower_count) * threads,
+            "queries": queries,
+            "seconds": round(fleet_seconds, 4),
+            "throughput_qps": round(fleet_qps, 1),
+        },
+        {
+            "case": "fleet-read-speedup",
+            "kind": "read_speedup",
+            "followers": follower_count,
+            "speedup_vs_leader_only": round(speedup, 2),
+        },
+    ]
+
+
+# ----------------------------------------------------------------------
+# Report assembly and validation
+# ----------------------------------------------------------------------
+def run_benchmarks(smoke=False):
+    cases = bench_identity(smoke) + bench_read_scaling(smoke)
+    report = {
+        "benchmark": "replication",
+        "unit": "seconds",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count() or 1,
+        "cases": cases,
+    }
+    validate_report(report)
+    if not smoke and (os.cpu_count() or 1) >= 4:
+        for case in cases:
+            if case["kind"] == "read_speedup":
+                case["asserted"] = True
+                assert case["speedup_vs_leader_only"] >= 2.0, (
+                    f"expected >=2x aggregate read throughput with "
+                    f"{case['followers']} follower processes, got "
+                    f"{case['speedup_vs_leader_only']}x"
+                )
+    return report
+
+
+_CASE_SHAPES = {
+    "identity": {
+        "followers": int,
+        "batches": int,
+        "generation": int,
+        "compared_rows": int,
+        "bootstraps": int,
+        "replicate_seconds": float,
+        "identical": bool,
+    },
+    "read_throughput": {
+        "nodes": int,
+        "client_threads": int,
+        "queries": int,
+        "seconds": float,
+        "throughput_qps": float,
+    },
+    "read_speedup": {
+        "followers": int,
+        "speedup_vs_leader_only": float,
+    },
+}
+
+
+def validate_report(report):
+    """Check the JSON output shape (used by scripts/check.sh --smoke runs)."""
+    assert report["benchmark"] == "replication" and report["unit"] == "seconds"
+    assert isinstance(report["cpu_count"], int) and report["cpu_count"] >= 1
+    assert isinstance(report["cases"], list) and report["cases"]
+    kinds = set()
+    for case in report["cases"]:
+        assert isinstance(case.get("case"), str), "benchmark case missing 'case'"
+        kind = case.get("kind")
+        assert kind in _CASE_SHAPES, f"unknown benchmark case kind {kind!r}"
+        kinds.add(kind)
+        for key, expected in _CASE_SHAPES[kind].items():
+            assert key in case, f"{case['case']}: missing key {key!r}"
+            value = case[key]
+            if expected is float:
+                assert isinstance(value, (int, float)), (
+                    f"{case['case']}: key {key!r} should be numeric, got "
+                    f"{type(value).__name__}"
+                )
+            else:
+                assert isinstance(value, expected), (
+                    f"{case['case']}: key {key!r} should be "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+    assert kinds == set(_CASE_SHAPES), (
+        f"missing case kinds: {set(_CASE_SHAPES) - kinds}"
+    )
+    for case in report["cases"]:
+        if case["kind"] == "identity":
+            assert case["identical"], f"{case['case']}: followers diverged"
+    json.dumps(report)  # must be serialisable as-is
+
+
+def test_replication_benchmark(benchmark):
+    report = run_benchmarks(smoke=True)
+    print()
+    print(json.dumps(report, indent=2))
+
+    def replicate_once():
+        transport = serve_tcp(PROGRAM, {"base": ["a", "b"]}, port=0, limits=LIMITS)
+        follower = FollowerServer(
+            PROGRAM, transport.address, limits=LIMITS,
+            reconnect_min_seconds=0.01,
+        )
+        try:
+            with DatalogClient(*transport.address) as client:
+                generation = client.add_facts([("base", ("c",))]).generation
+            _wait(lambda: follower.generation >= generation)
+        finally:
+            follower.close()
+            transport.close()
+
+    benchmark.pedantic(replicate_once, rounds=3, iterations=1)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: validate behaviour and JSON shape, skip the "
+        "throughput assertion",
+    )
+    args = parser.parse_args(argv)
+    print(json.dumps(run_benchmarks(smoke=args.smoke), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

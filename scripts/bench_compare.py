@@ -177,6 +177,22 @@ POLICIES = {
             "speedup_recovery_vs_cold": {"min": 0.02},
         },
     },
+    "replication": {
+        "command": ["benchmarks/bench_replication.py", "--smoke"],
+        # The generation count, compared row count, bootstrap count and the
+        # fact-for-fact identity flag are deterministic; throughput and the
+        # fleet speedup vary with the host, so they only get divide-blow-up
+        # floors (the >=2x claim is asserted by full runs on >=4 cores).
+        "exact_case_keys": [
+            "case", "kind", "followers", "batches", "generation",
+            "compared_rows", "bootstraps", "identical", "nodes",
+            "client_threads", "queries",
+        ],
+        "bounded_case_keys": {
+            "throughput_qps": {"min": 1.0},
+            "speedup_vs_leader_only": {"min": 0.05},
+        },
+    },
     "parallel": {
         "command": ["benchmarks/bench_parallel.py", "--smoke"],
         # ``workers`` and the timing fields vary with the host; the

@@ -17,9 +17,14 @@
 #   7. bench_api --smoke + shape validation (validate_report);
 #   8. bench_kernels --smoke + shape validation (validate_report);
 #   9. bench_recovery --smoke + shape validation (validate_report);
-#  10. end-to-end TCP smoke: bind a live server on a free port, drive it
+#  10. bench_replication --smoke + shape validation (validate_report);
+#  11. end-to-end TCP smoke: bind a live server on a free port, drive it
 #      with a real DatalogClient and a raw socket, validate the versioned
-#      JSON envelopes (schema v1, typed results, structured errors).
+#      JSON envelopes (schema v1, typed results, structured errors);
+#  12. end-to-end replication smoke: a leader and a follower as two real
+#      processes wired through the --json listening envelopes, a write on
+#      the leader read back from the follower, and the not_leader
+#      redirect validated over the wire.
 #
 # Baseline regression comparison lives in scripts/bench_compare.py and runs
 # as its own CI job.
@@ -139,6 +144,21 @@ for case in report["cases"]:
 print(f"ok: {len(report['cases'])} cases, shape valid, recovered models identical")
 EOF
 
+echo "== benchmark smoke (bench_replication --smoke) =="
+python benchmarks/bench_replication.py --smoke > /tmp/bench_replication_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_replication import validate_report
+
+with open("/tmp/bench_replication_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+print(f"ok: {len(report['cases'])} cases, shape valid, followers identical")
+EOF
+
 echo "== end-to-end TCP smoke (serve_tcp + DatalogClient) =="
 python - <<'EOF'
 import json
@@ -173,6 +193,72 @@ with serve_tcp("suffix(X[N:end]) :- r(X).", {"r": ["acgt"]}, port=0) as server:
         assert reply["error"]["code"] == "unsupported_version"
         assert reply["error"]["details"]["supported"] == [1]
 print("ok: TCP round trip, streaming, maintenance and error envelopes valid")
+EOF
+
+echo "== end-to-end replication smoke (leader + follower processes) =="
+python - <<'EOF'
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import DatalogClient, NotLeaderError
+
+PROGRAM = "pair(X, Y) :- base(X), base(Y).\n"
+
+
+def spawn(program_path, *extra):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", program_path,
+         "--tcp", "127.0.0.1:0", "--json", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    envelope = json.loads(process.stdout.readline())
+    assert envelope["kind"] == "listening" and envelope["port"] != 0, envelope
+    return process, envelope
+
+
+with tempfile.TemporaryDirectory(prefix="repro-replication-smoke-") as tmpdir:
+    program_path = os.path.join(tmpdir, "program.sdl")
+    with open(program_path, "w", encoding="utf-8") as handle:
+        handle.write(PROGRAM)
+    leader, leader_env = spawn(program_path)
+    follower = None
+    try:
+        leader_at = f"{leader_env['host']}:{leader_env['port']}"
+        follower, follower_env = spawn(program_path, "--follow", leader_at)
+        assert leader_env["role"] == "leader" and follower_env["role"] == "follower"
+
+        with DatalogClient(leader_env["host"], leader_env["port"]) as writer:
+            generation = writer.add_facts(
+                [("base", ("a",)), ("base", ("b",))]
+            ).generation
+
+        with DatalogClient(
+            follower_env["host"], follower_env["port"], follow_redirects=False
+        ) as reader:
+            page = reader.query(
+                "pair(X, Y)", min_generation=generation,
+                min_generation_timeout=30.0,
+            )
+            assert len(page.rows) == 4, page.rows
+            replication = reader.stats().replication
+            assert replication["role"] == "follower", replication
+            assert replication["leader"] == leader_at, replication
+            try:
+                reader.add_facts([("base", ("nope",))])
+            except NotLeaderError as error:
+                assert error.leader == leader_at, error.leader
+            else:
+                raise AssertionError("follower accepted a write")
+    finally:
+        for process in (leader, follower):
+            if process is not None:
+                process.terminate()
+                process.wait(timeout=10)
+print("ok: leader/follower fleet, bounded read, not_leader redirect valid")
 EOF
 
 echo "== all checks passed =="

@@ -42,15 +42,23 @@ from repro.engine.parallel import ParallelFixpoint
 from repro.engine.query import PreparedQuery, evaluate_query
 from repro.engine.server import DatalogServer, ModelSnapshot
 from repro.engine.session import DatalogSession
-from repro.errors import CorruptLogError, CorruptSnapshotError, StorageError
+from repro.errors import (
+    CorruptLogError,
+    CorruptSnapshotError,
+    LagTimeoutError,
+    NotLeaderError,
+    ReplicationError,
+    StorageError,
+)
 from repro.language.parser import parse_atom, parse_clause, parse_program
+from repro.replication import FollowerServer, ReplicationHub, RoutingClient
 from repro.sequences.sequence import Sequence
 from repro.storage import DurableStore, open_session
 from repro.transducer_datalog.program import TransducerDatalogProgram
 from repro.transducer_datalog.translation import translate_to_sequence_datalog
 from repro.transducers.registry import TransducerCatalog
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AddFactsRequest",
@@ -66,8 +74,11 @@ __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "ExplainRequest",
+    "FollowerServer",
+    "LagTimeoutError",
     "LintRequest",
     "LintResponse",
+    "NotLeaderError",
     "QueryRequest",
     "QueryResultPage",
     "SCHEMA_VERSION",
@@ -79,6 +90,9 @@ __all__ = [
     "ModelSnapshot",
     "ParallelFixpoint",
     "PreparedQuery",
+    "ReplicationError",
+    "ReplicationHub",
+    "RoutingClient",
     "Sequence",
     "SequenceDatabase",
     "SequenceDatalogEngine",

@@ -73,7 +73,7 @@ from repro.api.types import (
     encode_request,
 )
 from repro.engine.session import FactsLike, _iter_facts
-from repro.errors import ProtocolError
+from repro.errors import NotLeaderError, ProtocolError
 from repro.sequences import Sequence
 
 R = TypeVar("R", bound=ApiResponse)
@@ -112,6 +112,10 @@ class DatalogClient:
     page_size:
         Default page size for :meth:`query_iter` streams (the server clamps
         it to its own cap either way).
+    follow_redirects:
+        When a write lands on a read-only follower, re-send it once to the
+        leader the ``not_leader`` error names (the redirect connection is
+        cached).  Off, the :class:`~repro.errors.NotLeaderError` surfaces.
     """
 
     def __init__(
@@ -123,6 +127,7 @@ class DatalogClient:
         retry_backoff_seconds: float = 0.05,
         page_size: int = 1024,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        follow_redirects: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -131,9 +136,11 @@ class DatalogClient:
         self.retry_backoff_seconds = retry_backoff_seconds
         self.page_size = max(1, page_size)
         self.max_frame_bytes = max_frame_bytes
+        self.follow_redirects = follow_redirects
         self._socket: Optional[socket.socket] = None
         self._reader: Optional[BinaryIO] = None
         self._writer: Optional[BinaryIO] = None
+        self._redirect_client: Optional[DatalogClient] = None
         self.server_versions: Tuple[int, ...] = ()
         self.server_version: Optional[str] = None
 
@@ -179,6 +186,9 @@ class DatalogClient:
         self._socket = None
         self._reader = None
         self._writer = None
+        if self._redirect_client is not None:
+            redirect, self._redirect_client = self._redirect_client, None
+            redirect.close()
 
     def __enter__(self) -> DatalogClient:
         return self.connect()
@@ -251,6 +261,8 @@ class DatalogClient:
         strict: bool = False,
         page_size: Optional[int] = None,
         include_witnesses: bool = False,
+        min_generation: Optional[int] = None,
+        min_generation_timeout: Optional[float] = None,
     ) -> Iterator[QueryResultPage]:
         """Yield a result's pages as the server-side cursor is followed.
 
@@ -258,12 +270,19 @@ class DatalogClient:
         fetches are never silently retried on a new connection — the
         cursor died with the old one — so a mid-stream connection failure
         surfaces instead of restarting the stream on different data.
+
+        ``min_generation`` bounds staleness on a replicated reader: the
+        server holds the query until its model reaches that generation,
+        raising :class:`~repro.errors.LagTimeoutError` after
+        ``min_generation_timeout`` seconds if it never does.
         """
         request = QueryRequest(
             pattern=pattern,
             strict=strict,
             page_size=page_size,
             include_witnesses=include_witnesses,
+            min_generation=min_generation,
+            min_generation_timeout=min_generation_timeout,
         )
         page = self._expect(request, QueryResultPage)
         yield page
@@ -281,6 +300,8 @@ class DatalogClient:
         strict: bool = False,
         witnesses: bool = False,
         page_size: Optional[int] = None,
+        min_generation: Optional[int] = None,
+        min_generation_timeout: Optional[float] = None,
     ) -> QueryResultPage:
         """Answer one pattern, reassembling every page into one result.
 
@@ -293,6 +314,8 @@ class DatalogClient:
             self.query_pages(
                 pattern, strict=strict, page_size=page_size,
                 include_witnesses=witnesses,
+                min_generation=min_generation,
+                min_generation_timeout=min_generation_timeout,
             )
         )
         return QueryResultPage.merge(pages) if len(pages) > 1 else pages[0]
@@ -353,11 +376,41 @@ class DatalogClient:
         """Insert base facts; returns the typed maintenance report.
 
         Safe to retry: insertion is monotone, so a replayed batch changes
-        nothing and publishes no new generation.
+        nothing and publishes no new generation.  On a read-only follower
+        the write is re-sent to the leader the redirect names (see
+        ``follow_redirects``).
         """
-        return self._expect(
-            AddFactsRequest(facts=_normalize_facts(facts)), AddFactsResponse
-        )
+        request = AddFactsRequest(facts=_normalize_facts(facts))
+        try:
+            return self._expect(request, AddFactsResponse)
+        except NotLeaderError as error:
+            if not self.follow_redirects or not error.leader:
+                raise
+            return self._redirect(error.leader)._expect(request, AddFactsResponse)
+
+    def _redirect(self, leader: str) -> DatalogClient:
+        """The cached connection to the leader a follower redirected us to."""
+        from repro.api.transport import parse_address
+
+        host, port = parse_address(leader)
+        client = self._redirect_client
+        if client is None or (client.host, client.port) != (host, port):
+            if client is not None:
+                client.close()
+            client = DatalogClient(
+                host,
+                port,
+                timeout=self.timeout,
+                retries=self.retries,
+                retry_backoff_seconds=self.retry_backoff_seconds,
+                page_size=self.page_size,
+                max_frame_bytes=self.max_frame_bytes,
+                # One hop only: a leader redirecting elsewhere means the
+                # fleet disagrees about its topology — surface that.
+                follow_redirects=False,
+            )
+            self._redirect_client = client
+        return client
 
     def add_fact(self, predicate: str, *values: str) -> AddFactsResponse:
         return self.add_facts([(predicate, values)])

@@ -30,7 +30,7 @@ queries.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.analysis.diagnostics import (
     DiagnosticReport,
@@ -51,6 +51,8 @@ from repro.api.types import (
     ExplainRequest,
     ExplainResponse,
     FetchRequest,
+    HeartbeatFrame,
+    HelloResponse,
     LintRequest,
     LintResponse,
     PingRequest,
@@ -58,7 +60,9 @@ from repro.api.types import (
     QueryRequest,
     QueryResultPage,
     ServerStats,
+    SnapshotFrame,
     StatsRequest,
+    SubscribeRequest,
     SUPPORTED_VERSIONS,
     decode_request,
     encode_response,
@@ -66,7 +70,10 @@ from repro.api.types import (
 from repro.engine.query import QueryResult
 from repro.engine.server import DatalogServer
 from repro.engine.session import DatalogSession
-from repro.errors import RemoteApiError
+from repro.errors import LagTimeoutError, RemoteApiError, ReplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hub imports types)
+    from repro.replication.hub import ReplicationHub
 
 #: Hard ceiling on rows (and witnesses) per page.  Monolithic requests are
 #: clamped to this too: the wire never carries more than one page per frame.
@@ -75,6 +82,10 @@ DEFAULT_MAX_PAGE_ROWS = 10_000
 #: Open cursors per service (= per connection).  A leaky client that never
 #: fetches or closes its streams is cut off instead of growing the server.
 DEFAULT_MAX_CURSORS = 64
+
+#: How long a ``min_generation``-bounded query waits for the backend to
+#: catch up when the request names no timeout of its own.
+DEFAULT_MIN_GENERATION_TIMEOUT = 5.0
 
 
 class _Cursor:
@@ -117,6 +128,11 @@ class DatalogService:
         than this, whatever the request asked for.
     max_open_cursors:
         Concurrent unfinished streams allowed on this service instance.
+    hub:
+        The server's :class:`~repro.replication.hub.ReplicationHub`, when
+        it acts as a replication leader.  Enables ``subscribe`` streams
+        (on transports that support server-push) and folds the hub's
+        counters into ``stats`` replies.
 
     The instance is *not* thread-safe (cursors are plain state); give each
     connection its own service over the shared, thread-safe server.
@@ -128,8 +144,10 @@ class DatalogService:
         demand: bool = False,
         max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
         max_open_cursors: int = DEFAULT_MAX_CURSORS,
+        hub: Optional["ReplicationHub"] = None,
     ) -> None:
         self._backend = backend
+        self._hub = hub
         self._demand = demand and isinstance(backend, DatalogSession)
         self._max_page_rows = max(1, max_page_rows)
         self._max_open_cursors = max(1, max_open_cursors)
@@ -182,6 +200,14 @@ class DatalogService:
             return self._stats()
         if isinstance(request, PingRequest):
             return self._pong()
+        if isinstance(request, SubscribeRequest):
+            # Subscriptions flip the connection to server-push, which only
+            # a streaming transport can carry; the TCP handler intercepts
+            # the op before dispatch and drives stream_subscription.
+            raise RemoteApiError(
+                "subscribe requires a streaming transport (connect over TCP)",
+                code=ErrorCode.BAD_REQUEST,
+            )
         raise RemoteApiError(
             f"unhandled request type {type(request).__name__}",
             code=ErrorCode.BAD_REQUEST,
@@ -260,8 +286,36 @@ class DatalogService:
             result, window, cursor=cursor_id, generation=generation
         )
 
+    def _await_generation(self, generation: int, timeout: Optional[float]) -> None:
+        """Block until the backend has published ``generation`` (or fail).
+
+        The read-your-writes half of replication: a follower holds the
+        query until it has caught up to the bound, then answers from a
+        snapshot at least that new.  Backends that publish no generations
+        (plain sessions) reject the bound outright.
+        """
+        waiter = getattr(self._backend, "wait_for_generation", None)
+        if waiter is None:
+            raise RemoteApiError(
+                "min_generation requires a generation-publishing server "
+                "backend (this endpoint serves an unversioned session)",
+                code=ErrorCode.BAD_REQUEST,
+                details={"field": "min_generation"},
+            )
+        timeout = timeout if timeout is not None else DEFAULT_MIN_GENERATION_TIMEOUT
+        if not waiter(generation, timeout):
+            current = getattr(self._backend, "generation", 0)
+            raise LagTimeoutError(
+                f"generation {generation} not reached within {timeout:g}s "
+                f"(still at {current})"
+            )
+
     def _query(self, request: QueryRequest) -> QueryResultPage:
         request.validate()
+        if request.min_generation is not None:
+            self._await_generation(
+                request.min_generation, request.min_generation_timeout
+            )
         result, generation = self._execute(request.pattern, request.strict)
         return self._paged(
             result, request.page_size, request.include_witnesses, generation
@@ -367,11 +421,97 @@ class DatalogService:
         return LintResponse(report=self._lint_report)
 
     def _stats(self) -> ServerStats:
+        raw = self._backend.stats()
+        if self._hub is not None and "replication" not in raw:
+            # The leader's replication block comes from the hub; a backend
+            # that already reports one (a follower) keeps its own.
+            raw = dict(raw)
+            raw["replication"] = self._hub.stats()
         return ServerStats.from_raw(
-            self._backend.stats(),
+            raw,
             generation=self._generation(),
             workers=getattr(self._backend, "workers", None),
         )
+
+    # ------------------------------------------------------------------
+    # Replication streaming (driven by the transport, not handle())
+    # ------------------------------------------------------------------
+    def stream_subscription(
+        self, request: SubscribeRequest
+    ) -> Iterator[ApiResponse]:
+        """Yield the replication stream for one subscriber, forever.
+
+        The transport sends each yielded response as its own frame and
+        closes the connection when the generator returns (or the socket
+        dies, which closes the generator).  Shape: one
+        :class:`HelloResponse`; :class:`SnapshotFrame` records when the
+        subscriber needs a bootstrap; then :class:`GenerationFrame` per
+        publish with :class:`HeartbeatFrame` while idle.  A subscriber
+        that falls behind the hub's retention floor mid-stream gets a
+        final :data:`ErrorCode.REPLICATION` error with
+        ``details.bootstrap_required`` and the stream ends.
+        """
+        hub = self._hub
+        if hub is None:
+            raise RemoteApiError(
+                "this server does not publish a replication stream",
+                code=ErrorCode.BAD_REQUEST,
+            )
+        if request.fingerprint is not None and request.fingerprint != hub.fingerprint:
+            raise ReplicationError(
+                "program fingerprint mismatch: this leader serves a "
+                "different program than the subscriber expects"
+            )
+        heartbeat = hub.heartbeat_seconds
+        backend = self._backend
+        assert isinstance(backend, DatalogServer)
+        bootstrap = request.from_generation is None or not hub.covers(
+            request.from_generation
+        )
+        hub.subscriber_opened()
+        try:
+            if bootstrap:
+                capture = hub.capture_bootstrap()
+                yield HelloResponse(
+                    generation=capture.generation,
+                    facts=capture.fact_count,
+                    bootstrap=True,
+                    fingerprint=hub.fingerprint,
+                    heartbeat_seconds=heartbeat,
+                )
+                for record in capture.records:
+                    yield SnapshotFrame(record=record)
+                last = capture.generation
+            else:
+                snapshot = backend.snapshot
+                yield HelloResponse(
+                    generation=snapshot.generation,
+                    facts=snapshot.fact_count(),
+                    bootstrap=False,
+                    fingerprint=hub.fingerprint,
+                    heartbeat_seconds=heartbeat,
+                )
+                last = request.from_generation
+            while True:
+                frames = hub.frames_since(last)
+                if frames is None:
+                    yield ApiError(
+                        code=ErrorCode.REPLICATION,
+                        message=(
+                            f"generation {last} fell behind the replication "
+                            "window; subscribe again for a snapshot bootstrap"
+                        ),
+                        details={"bootstrap_required": True},
+                    )
+                    return
+                if frames:
+                    for frame in frames:
+                        yield frame
+                    last = frames[-1].generation
+                elif not backend.wait_for_generation(last + 1, heartbeat):
+                    yield HeartbeatFrame(generation=hub.latest)
+        finally:
+            hub.subscriber_closed()
 
     def _pong(self) -> PongResponse:
         from repro import __version__  # runtime import: repro re-exports this package

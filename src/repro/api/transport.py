@@ -26,15 +26,19 @@ use::
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.api.protocol import MAX_FRAME_BYTES, recv_json, send_json
 from repro.api.service import DEFAULT_MAX_PAGE_ROWS, DatalogService
-from repro.api.types import ApiError, encode_response
+from repro.api.types import ApiError, decode_request, encode_response
 from repro.engine.server import DatalogServer
 from repro.errors import ProtocolError
+
+# The hub module imports only types/engine/storage — no cycle back here.
+from repro.replication.hub import DEFAULT_HEARTBEAT_SECONDS, ReplicationHub
 
 
 class _ApiConnectionHandler(socketserver.StreamRequestHandler):
@@ -47,7 +51,7 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: DatalogTCPServer = self.server  # type: ignore[assignment]
         service = DatalogService(
-            server.backend, max_page_rows=server.max_page_rows
+            server.backend, max_page_rows=server.max_page_rows, hub=server.hub
         )
         while True:
             try:
@@ -61,9 +65,45 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
                 return
             if message is None:
                 return  # clean EOF
+            if isinstance(message, dict) and message.get("op") == "subscribe":
+                # Subscriptions flip this connection to server-push for the
+                # rest of its life: no further requests are read.
+                self._serve_subscription(service, message)
+                return
             reply = service.handle_raw(message)
             if not self._send_best_effort(service, reply):
                 return
+
+    def _serve_subscription(
+        self, service: DatalogService, message: Dict[str, Any]
+    ) -> None:
+        """Drive one replication stream until either side drops it."""
+        server: DatalogTCPServer = self.server  # type: ignore[assignment]
+        try:
+            request = decode_request(message)
+        except Exception as error:
+            self._send_best_effort(
+                service, encode_response(ApiError.from_exception(error))
+            )
+            return
+        stream = service.stream_subscription(request)  # type: ignore[arg-type]
+        server.register_subscriber(self.connection)
+        try:
+            for response in stream:
+                send_json(
+                    self.wfile, encode_response(response), server.max_frame_bytes
+                )
+        except (OSError, ValueError, ProtocolError):
+            return  # subscriber went away (or a frame broke); just drop it
+        except Exception as error:
+            # A pre-stream refusal (no hub, fingerprint mismatch) or a bug
+            # mid-stream: ship the typed error so the follower can react.
+            self._send_best_effort(
+                service, encode_response(ApiError.from_exception(error))
+            )
+        finally:
+            server.unregister_subscriber(self.connection)
+            stream.close()
 
     @staticmethod
     def _drop_reply_cursors(service: DatalogService, message: Dict[str, Any]) -> None:
@@ -124,6 +164,14 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
     owns_backend:
         When True (the :func:`serve_tcp` path), :meth:`close` also closes
         the backend.
+    heartbeat_seconds:
+        Cadence of keep-alive frames on idle replication streams.
+
+    Every TCP-served backend is automatically a replication leader: a
+    :class:`~repro.replication.hub.ReplicationHub` is attached at
+    construction, so followers can subscribe on the same port queries
+    use (recording a publish is a few machine words, costing the write
+    path nothing measurable when nobody subscribes).
     """
 
     allow_reuse_address = True
@@ -136,12 +184,20 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
         max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         owns_backend: bool = False,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
     ) -> None:
         self.backend = backend
         self.max_page_rows = max_page_rows
         self.max_frame_bytes = max_frame_bytes
         self._owns_backend = owns_backend
         self._serve_thread: Optional[threading.Thread] = None
+        self._subscriber_sockets: set = set()
+        self._subscriber_lock = threading.Lock()
+        self.hub = (
+            ReplicationHub(backend, heartbeat_seconds=heartbeat_seconds)
+            if isinstance(backend, DatalogServer)
+            else None
+        )
         super().__init__(address, _ApiConnectionHandler)
 
     @property
@@ -159,12 +215,38 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
             self._serve_thread.start()
         return self
 
+    def register_subscriber(self, connection) -> None:
+        with self._subscriber_lock:
+            self._subscriber_sockets.add(connection)
+
+    def unregister_subscriber(self, connection) -> None:
+        with self._subscriber_lock:
+            self._subscriber_sockets.discard(connection)
+
+    def _drop_subscribers(self) -> None:
+        """Sever live replication streams so followers notice the restart.
+
+        Handler threads are daemons parked in heartbeat waits; without the
+        shutdown they would keep streaming to followers long after the
+        listener is gone, and a restarted leader's followers would never
+        reconnect to it.
+        """
+        with self._subscriber_lock:
+            sockets = list(self._subscriber_sockets)
+            self._subscriber_sockets.clear()
+        for connection in sockets:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
     def close(self) -> None:
         """Stop serving, release the socket, and close an owned backend."""
         if self._serve_thread is not None:
             self.shutdown()
             self._serve_thread.join(timeout=5)
             self._serve_thread = None
+        self._drop_subscribers()
         self.server_close()
         if self._owns_backend:
             self.backend.close()

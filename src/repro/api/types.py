@@ -56,11 +56,14 @@ from repro.errors import (
     CorruptSnapshotError,
     EvaluationError,
     FixpointNotReached,
+    LagTimeoutError,
     MultiValuedOutputError,
     NetworkError,
+    NotLeaderError,
     ParseError,
     ProtocolError,
     RemoteApiError,
+    ReplicationError,
     ReproError,
     SafetyError,
     SequenceIndexError,
@@ -107,6 +110,9 @@ class ErrorCode:
     BAD_REQUEST = "bad_request"
     UNSUPPORTED_VERSION = "unsupported_version"
     UNKNOWN_CURSOR = "unknown_cursor"
+    NOT_LEADER = "not_leader"
+    LAG_TIMEOUT = "lag_timeout"
+    REPLICATION = "replication_error"
     INTERNAL = "internal_error"
 
 
@@ -127,6 +133,9 @@ _EXCEPTION_CODES: Tuple[Tuple[type, str], ...] = (
     (CorruptLogError, ErrorCode.CORRUPT_LOG),
     (CorruptSnapshotError, ErrorCode.CORRUPT_SNAPSHOT),
     (StorageError, ErrorCode.STORAGE),
+    (NotLeaderError, ErrorCode.NOT_LEADER),
+    (LagTimeoutError, ErrorCode.LAG_TIMEOUT),
+    (ReplicationError, ErrorCode.REPLICATION),
     (ProtocolError, ErrorCode.PROTOCOL),
     (EvaluationError, ErrorCode.EVALUATION),
     (ReproError, ErrorCode.INTERNAL),
@@ -172,6 +181,9 @@ class ApiError:
             details = {"line": error.line, "column": error.column}
         elif isinstance(error, FixpointNotReached):
             details = {"iterations": error.iterations}
+        elif isinstance(error, NotLeaderError):
+            # The redirect target: clients re-send the write there.
+            details = {"leader": error.leader}
         for exception_type, code in _EXCEPTION_CODES:
             if isinstance(error, exception_type):
                 return cls(code=code, message=str(error), details=details)
@@ -223,6 +235,10 @@ class ApiError:
             raise FixpointNotReached(
                 self.message,
                 iterations=int(self.details.get("iterations", 0) or 0),
+            )
+        if exception is NotLeaderError:
+            raise NotLeaderError(
+                self.message, leader=str(self.details.get("leader", "") or "")
             )
         if exception is not None:
             raise exception(self.message)
@@ -307,7 +323,14 @@ def _decode_facts(payload: Mapping[str, Any]) -> Tuple[Tuple[str, Tuple[str, ...
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class QueryRequest:
-    """Answer one pattern, optionally paged through a server-side cursor."""
+    """Answer one pattern, optionally paged through a server-side cursor.
+
+    ``min_generation`` opts into read-your-writes on a replicated fleet:
+    the serving node blocks (up to ``min_generation_timeout`` seconds,
+    server default when ``None``) until its published generation reaches
+    the bound, answering with :data:`ErrorCode.LAG_TIMEOUT` instead of
+    stale data if it cannot catch up in time.
+    """
 
     op: ClassVar[str] = "query"
 
@@ -315,6 +338,8 @@ class QueryRequest:
     strict: bool = False
     page_size: Optional[int] = None
     include_witnesses: bool = False
+    min_generation: Optional[int] = None
+    min_generation_timeout: Optional[float] = None
 
     def validate(self) -> None:
         if not isinstance(self.pattern, str) or not self.pattern.strip():
@@ -325,6 +350,21 @@ class QueryRequest:
             or self.page_size < 1
         ):
             raise _bad("page_size", "must be a positive integer or None")
+        if self.min_generation is not None and (
+            isinstance(self.min_generation, bool)
+            or not isinstance(self.min_generation, int)
+            or self.min_generation < 0
+        ):
+            raise _bad("min_generation", "must be a non-negative integer or None")
+        if self.min_generation_timeout is not None and (
+            isinstance(self.min_generation_timeout, bool)
+            or not isinstance(self.min_generation_timeout, (int, float))
+            or self.min_generation_timeout < 0
+        ):
+            raise _bad(
+                "min_generation_timeout",
+                "must be a non-negative number or None",
+            )
 
     def to_payload(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"pattern": self.pattern, "strict": self.strict}
@@ -332,15 +372,41 @@ class QueryRequest:
             payload["page_size"] = self.page_size
         if self.include_witnesses:
             payload["include_witnesses"] = True
+        if self.min_generation is not None:
+            payload["min_generation"] = self.min_generation
+        if self.min_generation_timeout is not None:
+            payload["min_generation_timeout"] = self.min_generation_timeout
         return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> QueryRequest:
+        min_generation = payload.get("min_generation")
+        if min_generation is not None and (
+            isinstance(min_generation, bool)
+            or not isinstance(min_generation, int)
+            or min_generation < 0
+        ):
+            raise _bad(
+                "min_generation",
+                f"expected a non-negative integer or null, got {min_generation!r}",
+            )
+        timeout = payload.get("min_generation_timeout")
+        if timeout is not None and (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or timeout < 0
+        ):
+            raise _bad(
+                "min_generation_timeout",
+                f"expected a non-negative number or null, got {timeout!r}",
+            )
         return cls(
             pattern=_string_field(payload, "pattern"),
             strict=_bool_field(payload, "strict"),
             page_size=_page_size_field(payload),
             include_witnesses=_bool_field(payload, "include_witnesses"),
+            min_generation=min_generation,
+            min_generation_timeout=timeout,
         )
 
 
@@ -494,6 +560,68 @@ class PingRequest:
         return cls()
 
 
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Enter the replication stream: the connection switches to server-push.
+
+    A follower opens a dedicated connection and subscribes once; the
+    server replies with a :class:`HelloResponse` and then pushes frames
+    for as long as the connection lives — :class:`SnapshotFrame` chunks
+    for a bootstrap, :class:`GenerationFrame` per published generation,
+    :class:`HeartbeatFrame` while idle.  ``from_generation=None`` asks
+    for a full snapshot bootstrap; an integer asks for incremental
+    catch-up from that generation (the server answers with the stable
+    code :data:`ErrorCode.REPLICATION` and ``details.bootstrap_required``
+    when its log no longer covers it).  ``fingerprint`` optionally
+    pins the program identity (SHA-256 of the canonical program text);
+    a mismatch is refused before any state ships.
+    """
+
+    op: ClassVar[str] = "subscribe"
+
+    from_generation: Optional[int] = None
+    fingerprint: Optional[str] = None
+    follower_id: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if self.from_generation is not None:
+            payload["from_generation"] = self.from_generation
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
+        if self.follower_id is not None:
+            payload["follower_id"] = self.follower_id
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> SubscribeRequest:
+        from_generation = payload.get("from_generation")
+        if from_generation is not None and (
+            isinstance(from_generation, bool)
+            or not isinstance(from_generation, int)
+            or from_generation < 0
+        ):
+            raise _bad(
+                "from_generation",
+                f"expected a non-negative integer or null, got {from_generation!r}",
+            )
+        fingerprint = payload.get("fingerprint")
+        if fingerprint is not None and not isinstance(fingerprint, str):
+            raise _bad(
+                "fingerprint", f"expected a string or null, got {_type_name(fingerprint)}"
+            )
+        follower_id = payload.get("follower_id")
+        if follower_id is not None and not isinstance(follower_id, str):
+            raise _bad(
+                "follower_id", f"expected a string or null, got {_type_name(follower_id)}"
+            )
+        return cls(
+            from_generation=from_generation,
+            fingerprint=fingerprint,
+            follower_id=follower_id,
+        )
+
+
 ApiRequest = Union[
     QueryRequest,
     FetchRequest,
@@ -504,6 +632,7 @@ ApiRequest = Union[
     LintRequest,
     StatsRequest,
     PingRequest,
+    SubscribeRequest,
 ]
 
 REQUEST_TYPES: Dict[str, Any] = {
@@ -518,6 +647,7 @@ REQUEST_TYPES: Dict[str, Any] = {
         LintRequest,
         StatsRequest,
         PingRequest,
+        SubscribeRequest,
     )
 }
 
@@ -802,6 +932,126 @@ class PongResponse:
         )
 
 
+# ----------------------------------------------------------------------
+# Replication stream responses (see repro.replication)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HelloResponse:
+    """The leader's greeting to a new subscriber.
+
+    ``generation`` is the leader's published generation at subscribe
+    time — the follower is caught up once it has applied through it.
+    ``bootstrap`` says whether snapshot frames follow before the first
+    generation frame; ``fingerprint`` names the program identity the
+    stream replicates.
+    """
+
+    kind: ClassVar[str] = "hello"
+
+    generation: int
+    facts: int
+    bootstrap: bool
+    fingerprint: str
+    heartbeat_seconds: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "facts": self.facts,
+            "bootstrap": self.bootstrap,
+            "fingerprint": self.fingerprint,
+            "heartbeat_seconds": self.heartbeat_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> HelloResponse:
+        return cls(
+            generation=int(payload.get("generation", 0)),
+            facts=int(payload.get("facts", 0)),
+            bootstrap=bool(payload.get("bootstrap", False)),
+            fingerprint=str(payload.get("fingerprint", "")),
+            heartbeat_seconds=float(payload.get("heartbeat_seconds", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotFrame:
+    """One bootstrap chunk: a :mod:`repro.storage.snapshot` record on the wire.
+
+    ``record`` is exactly one frame of the on-disk snapshot format
+    (header / relation chunk / base-fact chunk / end marker), so the
+    bootstrap stream and a snapshot file carry the same structure — the
+    follower assembles them with the same validation the loader applies.
+    """
+
+    kind: ClassVar[str] = "snapshot_frame"
+
+    record: Mapping[str, Any]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"record": dict(self.record)}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> SnapshotFrame:
+        record = payload.get("record")
+        if not isinstance(record, Mapping):
+            raise ProtocolError("snapshot_frame payload: 'record' must be an object")
+        return cls(record=dict(record))
+
+
+@dataclass(frozen=True)
+class GenerationFrame:
+    """One published generation as an incremental replication step.
+
+    ``facts`` is the batch of base-fact text tuples whose insertion
+    produced the generation (the same row shape ``add_facts`` carries);
+    ``fact_count`` is the leader's total model size at this generation —
+    the follower verifies it after applying, so silent divergence cannot
+    accumulate.
+    """
+
+    kind: ClassVar[str] = "generation_frame"
+
+    generation: int
+    facts: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    fact_count: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "facts": [[predicate, list(values)] for predicate, values in self.facts],
+            "fact_count": self.fact_count,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> GenerationFrame:
+        return cls(
+            generation=int(payload.get("generation", 0)),
+            facts=_decode_facts(payload),
+            fact_count=int(payload.get("fact_count", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class HeartbeatFrame:
+    """A keep-alive on an idle replication stream.
+
+    Carries the leader's current generation, so a quiet follower still
+    tracks lag (and liveness) without any data moving.
+    """
+
+    kind: ClassVar[str] = "heartbeat"
+
+    generation: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"generation": self.generation}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> HeartbeatFrame:
+        return cls(generation=int(payload.get("generation", 0)))
+
+
 #: The schema-stable subset of the stats payload.  These keys are part of
 #: the wire contract; everything else travels in ``extra`` (flattened into
 #: the JSON object) and may evolve freely.
@@ -815,6 +1065,7 @@ _STATS_FIELDS = (
     "generation",
     "workers",
     "durability",
+    "replication",
 )
 
 
@@ -840,6 +1091,10 @@ class ServerStats:
     #: Durable-storage counters (``DurableStore.stats()``) when the backend
     #: runs on a data directory; ``None`` for in-memory servers.
     durability: Optional[Mapping[str, Any]] = None
+    #: Replication role and lag: ``{"role": "leader", "subscribers": ...}``
+    #: or ``{"role": "follower", "leader": "host:port", "lag": ...}``;
+    #: ``None`` for an unreplicated server.
+    replication: Optional[Mapping[str, Any]] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -854,6 +1109,7 @@ class ServerStats:
             key: value for key, value in stats.items() if key not in _STATS_FIELDS
         }
         durability = stats.get("durability")
+        replication = stats.get("replication")
         return cls(
             facts=int(stats.get("facts", 0)),
             base_facts=int(stats.get("base_facts", 0)),
@@ -864,6 +1120,7 @@ class ServerStats:
             generation=generation,
             workers=workers,
             durability=durability if isinstance(durability, Mapping) else None,
+            replication=replication if isinstance(replication, Mapping) else None,
             extra=extra,
         )
 
@@ -881,6 +1138,8 @@ class ServerStats:
         )
         if self.durability is not None:
             payload["durability"] = dict(self.durability)
+        if self.replication is not None:
+            payload["replication"] = dict(self.replication)
         return payload
 
     @classmethod
@@ -888,6 +1147,7 @@ class ServerStats:
         generation = payload.get("generation")
         workers = payload.get("workers")
         durability = payload.get("durability")
+        replication = payload.get("replication")
         extra = {
             key: value for key, value in payload.items()
             if key not in _STATS_FIELDS and key not in ("v", "ok", "kind")
@@ -902,6 +1162,7 @@ class ServerStats:
             generation=generation if isinstance(generation, int) else None,
             workers=workers if isinstance(workers, int) else None,
             durability=durability if isinstance(durability, Mapping) else None,
+            replication=replication if isinstance(replication, Mapping) else None,
             extra=extra,
         )
 
@@ -915,6 +1176,10 @@ ApiResponse = Union[
     ClosedResponse,
     PongResponse,
     ServerStats,
+    HelloResponse,
+    SnapshotFrame,
+    GenerationFrame,
+    HeartbeatFrame,
 ]
 
 RESPONSE_TYPES: Dict[str, Any] = {
@@ -928,6 +1193,10 @@ RESPONSE_TYPES: Dict[str, Any] = {
         ClosedResponse,
         PongResponse,
         ServerStats,
+        HelloResponse,
+        SnapshotFrame,
+        GenerationFrame,
+        HeartbeatFrame,
     )
 }
 

@@ -5,7 +5,9 @@ The subcommands cover the typical workflow::
     python -m repro.cli run program.sdl --db database.json --query "answer(X)"
     python -m repro.cli serve program.sdl --db database.json --script cmds.txt
     python -m repro.cli serve program.sdl --data-dir state/ --tcp :4321
+    python -m repro.cli serve program.sdl --tcp :4322 --follow :4321
     python -m repro.cli client :4321 --script cmds.txt
+    python -m repro.cli route :4321 :4322 :4323 --script cmds.txt
     python -m repro.cli snapshot program.sdl --data-dir state/
     python -m repro.cli restore program.sdl --data-dir state/ --out db.json
     python -m repro.cli analyze program.sdl
@@ -53,6 +55,17 @@ The subcommands cover the typical workflow::
 * ``client`` connects a :class:`~repro.api.client.DatalogClient` to a
   running ``serve --tcp`` address and executes the same command loop
   (large results stream page-by-page through server-side cursors).
+
+  ``serve --tcp ... --follow LEADER:PORT`` serves the same program as a
+  read-only replica of a running leader (`docs/REPLICATION.md`): it
+  bootstraps from the leader's snapshot stream, applies every published
+  generation through incremental maintenance, and answers writes with a
+  ``not_leader`` redirect carrying the leader's address.
+* ``route`` runs the command loop against a whole replicated fleet:
+  queries rotate across live followers, ``add`` goes to the discovered
+  leader, and the extra ``topology`` command prints the role map.
+  ``--read-your-writes`` bounds staleness: each query waits until the
+  serving follower has caught up to this client's last write.
 
   ``serve --data-dir DIR`` makes the backend durable (:mod:`repro.storage`):
   prior state is recovered from ``DIR`` before serving, every batch is
@@ -115,7 +128,7 @@ from repro.engine.fixpoint import DEFAULT_STRATEGY, STRATEGIES
 from repro.engine.limits import EvaluationLimits
 from repro.engine.server import DatalogServer
 from repro.engine.session import DatalogSession
-from repro.errors import ReproError
+from repro.errors import ProtocolError, ReproError
 from repro.language.parser import parse_program
 
 
@@ -214,6 +227,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "shutdown (including SIGTERM/SIGINT) flush the log and write "
              "a final snapshot",
     )
+    serve_parser.add_argument(
+        "--follow", metavar="HOST:PORT",
+        help="serve as a read-only replica of the leader at HOST:PORT: "
+             "bootstrap from its snapshot stream, apply every published "
+             "generation incrementally, answer writes with a not_leader "
+             "redirect (requires --tcp; the leader holds the data, so "
+             "--db/--data-dir/--demand do not apply)",
+    )
 
     client_parser = subparsers.add_parser(
         "client", help="connect to a serve --tcp address and run commands"
@@ -234,6 +255,38 @@ def _build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument(
         "--page-size", type=int, default=1024,
         help="rows per streamed page for large results (default 1024)",
+    )
+
+    route_parser = subparsers.add_parser(
+        "route",
+        help="fleet client: reads across followers, writes to the leader",
+    )
+    route_parser.add_argument(
+        "endpoints", nargs="+", metavar="HOST:PORT",
+        help="fleet addresses in any order; roles (leader/follower) are "
+             "discovered from each endpoint's stats",
+    )
+    route_parser.add_argument(
+        "--script",
+        help="command file (one command per line); reads stdin when omitted",
+    )
+    route_parser.add_argument(
+        "--json", action="store_true",
+        help="reply with one schema-versioned JSON object per line",
+    )
+    route_parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    route_parser.add_argument(
+        "--page-size", type=int, default=1024,
+        help="rows per streamed page for large results (default 1024)",
+    )
+    route_parser.add_argument(
+        "--read-your-writes", action="store_true",
+        help="stamp every query with the generation of the last write "
+             "through this client, so a lagging follower holds the read "
+             "until it has caught up",
     )
 
     analyze_parser = subparsers.add_parser("analyze", help="safety and finiteness analysis")
@@ -440,6 +493,40 @@ class _ClientCommands:
         return self._client.stats()
 
 
+class _RouterCommands:
+    """Execute the same commands across a replicated fleet.
+
+    Reads rotate over followers, writes go to the leader (following
+    ``not_leader`` redirects); the extra ``topology`` command prints the
+    discovered role map.
+    """
+
+    def __init__(self, router, page_size: int):
+        self._router = router
+        self._page_size = page_size
+
+    def query_pages(self, pattern: str):
+        # The router reassembles pages internally (failover mid-cursor on
+        # a different node would splice two snapshots), so one page comes
+        # back per query.
+        yield self._router.query(pattern, page_size=self._page_size)
+
+    def add(self, request: AddFactsRequest):
+        return self._router.add_facts(list(request.facts))
+
+    def stats(self):
+        stats_map = self._router.stats()
+        leader = self._router.leader
+        if leader is not None and leader in stats_map:
+            return stats_map[leader]
+        for stats in stats_map.values():
+            return stats
+        raise ProtocolError("no fleet endpoint reachable")
+
+    def topology(self):
+        return self._router.refresh()
+
+
 def _command_loop(commands, lines, out, json_mode: bool) -> int:
     """The shared serve/client command loop over a typed command executor.
 
@@ -487,13 +574,39 @@ def _command_loop(commands, lines, out, json_mode: bool) -> int:
                     _emit_json(out, stats, line_number)
                 else:
                     print(json.dumps(stats.to_payload(), sort_keys=True), file=out)
+            elif command == "topology" and hasattr(commands, "topology"):
+                # Fleet-aware executors only (repro route): the discovered
+                # role map, as a CLI-local envelope in JSON mode.
+                topology = commands.topology()
+                if json_mode:
+                    envelope = {
+                        "v": 1, "ok": True, "kind": "topology",
+                        "topology": topology, "line": line_number,
+                    }
+                    print(json.dumps(envelope, sort_keys=True), file=out)
+                else:
+                    for endpoint in sorted(topology):
+                        info = topology[endpoint]
+                        extras = ", ".join(
+                            f"{key}={info[key]}"
+                            for key in ("generation", "lag", "leader")
+                            if key in info
+                        )
+                        print(
+                            f"% {endpoint}: {info['role']}"
+                            + (f" ({extras})" if extras else ""),
+                            file=out,
+                        )
             elif command in ("quit", "exit"):
                 break
             else:
+                known = ["query", "add", "stats", "quit"]
+                if hasattr(commands, "topology"):
+                    known.insert(3, "topology")
                 raise ApiErrorSignal(ApiError(
                     code=ErrorCode.BAD_REQUEST,
                     message=f"unknown command {command!r}",
-                    details={"known_commands": ["query", "add", "stats", "quit"]},
+                    details={"known_commands": known},
                 ))
         except ApiErrorSignal as signal:
             errors += 1
@@ -550,10 +663,21 @@ def _graceful_shutdown():
 
 def _command_serve(args: argparse.Namespace, out) -> int:
     limits = EvaluationLimits(max_iterations=args.max_iterations)
-    database = load_database_json(args.db) if args.db else None
     if args.workers is not None and args.demand:
         print("error: --workers serves full snapshots; drop --demand", file=out)
         return 1
+    if args.follow is not None:
+        if args.tcp is None:
+            print("error: --follow replicates over TCP; add --tcp HOST:PORT", file=out)
+            return 1
+        if args.db or args.data_dir or args.demand:
+            print(
+                "error: a follower's data comes from its leader; drop "
+                "--db/--data-dir/--demand",
+                file=out,
+            )
+            return 1
+    database = load_database_json(args.db) if args.db else None
     if args.tcp is not None:
         if args.demand:
             print("error: --tcp serves shared snapshots; drop --demand", file=out)
@@ -601,25 +725,60 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
 def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
     host, port = parse_address(args.tcp)
-    transport = serve_tcp(
-        _load_program(args.program),
-        database=database,
-        host=host,
-        port=port,
-        limits=limits,
-        workers=args.workers,
-        start=args.script is not None,
-        data_dir=args.data_dir,
-    )
+    follower = None
+    if args.follow is not None:
+        from repro.replication import FollowerServer
+
+        follower = FollowerServer(
+            _load_program(args.program),
+            args.follow,
+            limits=limits,
+            workers=args.workers,
+        )
+        try:
+            transport = serve_tcp(
+                follower, host=host, port=port, start=args.script is not None
+            )
+        except BaseException:
+            follower.close()
+            raise
+    else:
+        transport = serve_tcp(
+            _load_program(args.program),
+            database=database,
+            host=host,
+            port=port,
+            limits=limits,
+            workers=args.workers,
+            start=args.script is not None,
+            data_dir=args.data_dir,
+        )
     bound_host, bound_port = transport.address
     facts = transport.backend.snapshot.fact_count()
-    # In script+JSON mode the output stream is machine-parsed (one
-    # envelope per reply), so the human banner is suppressed; the
-    # foreground server keeps it — it is how the operator learns a
-    # port-0 binding.
-    if not (args.json and args.script is not None):
+    role = "follower" if follower is not None else "leader"
+    # The bound address must reach the operator even for port 0.  JSON
+    # mode promises one machine-parsable JSON object per line, so the
+    # foreground server announces it as a CLI-level "listening" envelope
+    # (script+JSON mode stays silent: its stream carries only command
+    # replies); text mode keeps the human banner.
+    if args.json:
+        if args.script is None:
+            print(
+                json.dumps(
+                    {
+                        "v": 1, "ok": True, "kind": "listening",
+                        "host": bound_host, "port": bound_port,
+                        "facts": facts, "role": role,
+                    },
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+    else:
+        suffix = f", following {follower.leader_address}" if follower else ""
         print(
-            f"% serving {facts} facts on {bound_host}:{bound_port} (schema v1)",
+            f"% serving {facts} facts on {bound_host}:{bound_port} "
+            f"(schema v1{suffix})",
             file=out,
         )
     try:
@@ -640,6 +799,10 @@ def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
         # Closes listening + client sockets, then the backend; a durable
         # backend flushes its WAL and writes a final snapshot here.
         transport.close()
+        if follower is not None:
+            # serve_tcp was handed the follower, so it does not own it:
+            # stop the replication thread and its subscription explicitly.
+            follower.close()
 
 
 def _command_client(args: argparse.Namespace, out) -> int:
@@ -647,6 +810,29 @@ def _command_client(args: argparse.Namespace, out) -> int:
     with DatalogClient(host, port, timeout=args.timeout) as client:
         commands = _ClientCommands(client, page_size=max(1, args.page_size))
         return _command_loop(commands, _read_lines(args), out, args.json)
+
+
+def _command_route(args: argparse.Namespace, out) -> int:
+    from repro.replication import RoutingClient
+
+    router = RoutingClient(
+        args.endpoints,
+        read_your_writes=args.read_your_writes,
+        timeout=args.timeout,
+    )
+    try:
+        topology = router.refresh()
+        if not args.json:
+            leader = router.leader or "none"
+            print(
+                f"% routing over {len(topology)} endpoint(s): "
+                f"leader {leader}, {len(router.followers)} follower(s)",
+                file=out,
+            )
+        commands = _RouterCommands(router, page_size=max(1, args.page_size))
+        return _command_loop(commands, _read_lines(args), out, args.json)
+    finally:
+        router.close()
 
 
 def _command_analyze(args: argparse.Namespace, out) -> int:
@@ -799,6 +985,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_serve(args, out)
         if args.command == "client":
             return _command_client(args, out)
+        if args.command == "route":
+            return _command_route(args, out)
         if args.command == "analyze":
             return _command_analyze(args, out)
         if args.command == "lint":

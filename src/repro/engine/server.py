@@ -36,8 +36,9 @@ the programmatic surface is :meth:`repro.SequenceDatalogEngine.serve`.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.database.database import SequenceDatabase
 from repro.database.relation import RelationDelta
@@ -218,6 +219,12 @@ class DatalogServer:
         self.workers = workers
         self._write_lock = threading.Lock()
         self._cache_lock = threading.Lock()
+        # Publication signal: every snapshot publish notifies this
+        # condition (read-your-writes waits) and calls the registered
+        # listeners under the writer lock (the replication hub records
+        # per-generation base-fact offsets there).
+        self._publish_condition = threading.Condition()
+        self._publish_listeners: List[Callable[[int, DatalogSession], None]] = []
         self._results: OrderedDict[Tuple[int, str, bool], QueryResult] = OrderedDict()
         self._result_cache_size = max(1, result_cache_size)
         self._inflight: Dict[Tuple[int, str, bool], _InFlight] = {}
@@ -317,6 +324,113 @@ class DatalogServer:
         if interpretation.fact_count() != self._snapshot.fact_count():
             self._generation += 1
             self._snapshot = ModelSnapshot.of(self._generation, interpretation)
+            self._announce_publish()
+
+    def _announce_publish(self) -> None:
+        """Run publish listeners and wake generation waiters (writer lock held)."""
+        for listener in self._publish_listeners:
+            listener(self._generation, self._session)
+        with self._publish_condition:
+            self._publish_condition.notify_all()
+
+    def add_publish_listener(
+        self, listener: Callable[[int, DatalogSession], None]
+    ) -> None:
+        """Register a callback fired on every publish, under the writer lock.
+
+        The callback receives ``(generation, session)`` with the session
+        quiescent — it may read (not mutate) session state consistently
+        with the just-published snapshot.  It is fired once synchronously
+        with the *current* state before registration takes effect: the one
+        atomic point where the caller can anchor its bookkeeping
+        (generation floor, base-fact offsets) exactly where the future
+        callbacks will continue.
+        """
+        with self._write_lock:
+            listener(self._generation, self._session)
+            self._publish_listeners.append(listener)
+
+    def wait_for_generation(self, generation: int, timeout: float) -> bool:
+        """Block until the published generation reaches ``generation``.
+
+        Returns True as soon as the bound is met (immediately when it
+        already is), False when ``timeout`` seconds pass first.  This is
+        the read-your-writes primitive: a client that wrote at generation
+        G on the leader waits for G here before reading from a follower.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._publish_condition:
+            while self._snapshot.generation < generation:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._publish_condition.wait(remaining)
+        return True
+
+    def apply_replicated(
+        self,
+        facts: FactsLike,
+        generation: int,
+        expected_facts: Optional[int] = None,
+    ) -> MaintenanceReport:
+        """Apply one replicated generation and publish it *as* ``generation``.
+
+        The replication path for followers: the batch runs through the
+        session's ordinary incremental maintenance, but the published
+        snapshot takes the leader's generation number instead of the local
+        counter, keeping leader and follower generations in lockstep.
+        ``expected_facts`` (the leader's model size at that generation)
+        is verified after the maintenance run — a mismatch means the
+        streams diverged and raises :class:`~repro.errors.StorageError`'s
+        sibling :class:`~repro.errors.ReplicationError` rather than
+        serving wrong data quietly.
+        """
+        from repro.errors import ReplicationError
+
+        with self._write_lock:
+            if generation <= self._generation:
+                raise ReplicationError(
+                    f"replicated generation {generation} is not ahead of the "
+                    f"published generation {self._generation}"
+                )
+            report = self._session.add_facts(facts)
+            interpretation = self._session._core.interpretation
+            if (
+                expected_facts is not None
+                and interpretation.fact_count() != expected_facts
+            ):
+                raise ReplicationError(
+                    f"generation {generation} applied to {interpretation.fact_count()} "
+                    f"facts but the leader published {expected_facts} — the "
+                    "replica has diverged and must re-bootstrap"
+                )
+            self._generation = generation
+            self._snapshot = ModelSnapshot.of(generation, interpretation)
+            self._announce_publish()
+            return report
+
+    def capture_model(
+        self,
+    ) -> Tuple[int, Dict[str, RelationDelta], List, int]:
+        """Pin ``(generation, relation views, base facts, fact count)`` atomically.
+
+        Taken under the writer lock so the four pieces describe one
+        consistent published model; the views are zero-copy append-only
+        windows, safe to serialize off-thread afterwards (the same capture
+        discipline the storage checkpointer uses).
+        """
+        with self._write_lock:
+            interpretation = self._session._core.interpretation
+            views = {}
+            for predicate in interpretation.predicates():
+                relation = interpretation.relation(predicate)
+                views[predicate] = RelationDelta(relation, 0, len(relation))
+            return (
+                self._generation,
+                views,
+                list(self._session._base_facts),
+                interpretation.fact_count(),
+            )
 
     def add_fact(self, predicate: str, *values) -> MaintenanceReport:
         return self.add_facts([(predicate, values)])

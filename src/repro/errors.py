@@ -121,6 +121,40 @@ class CorruptSnapshotError(StorageError):
     """
 
 
+class ReplicationError(ReproError):
+    """A failure in the leader/follower replication layer.
+
+    Covers stream-level problems (a generation frame that does not apply
+    cleanly, a program-fingerprint mismatch between leader and follower,
+    a follower ahead of its leader) as opposed to transport failures,
+    which surface as :class:`ProtocolError`/``OSError`` and are retried.
+    """
+
+
+class NotLeaderError(ReplicationError):
+    """A write was sent to a read-only follower.
+
+    Carries the leader's address (``"host:port"``) so clients can redirect
+    the write; :class:`~repro.api.client.DatalogClient` follows the
+    redirect automatically unless told not to.
+    """
+
+    def __init__(self, message: str, leader: str = ""):
+        super().__init__(message)
+        self.leader = leader
+
+
+class LagTimeoutError(ReplicationError):
+    """A read-your-writes query timed out waiting for a minimum generation.
+
+    Raised when a query carrying ``min_generation`` was not satisfiable
+    within its wait budget — the serving node (typically a follower) had
+    not caught up to the requested generation in time.  The read was not
+    answered from stale data; retry, lengthen the timeout, or query the
+    leader.
+    """
+
+
 class ProtocolError(ReproError):
     """A malformed frame on the versioned network protocol.
 

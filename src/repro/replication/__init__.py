@@ -1,0 +1,33 @@
+"""Leader/follower replication by generation shipping (ARCHITECTURE.md §12).
+
+A :class:`~repro.engine.server.DatalogServer` is a *leader* the moment a
+:class:`ReplicationHub` is attached to it (the TCP transport attaches one
+automatically): every published generation is recorded as a base-fact
+batch, and subscribers receive the stream over the ordinary v1 protocol —
+a snapshot bootstrap first when they are new or too far behind (the same
+record structure :mod:`repro.storage.snapshot` writes to disk), then one
+``generation_frame`` per publish, with heartbeats while idle.
+
+:class:`FollowerServer` is the read replica: a :class:`DatalogServer`
+subclass that applies the stream through the session's incremental
+maintenance, publishes the *leader's* generation numbers (leader and
+follower agree fact-for-fact at equal generations), serves ``query`` /
+``stats`` locally, and answers every write with the stable ``not_leader``
+error carrying the leader's address.
+
+:class:`RoutingClient` is the fleet-aware client: reads round-robin
+across live followers, writes pinned to the leader (following
+``not_leader`` redirects), optional read-your-writes via the query
+``min_generation`` bound.  The CLI exposes it as ``repro route``.
+"""
+
+from repro.replication.follower import FollowerServer
+from repro.replication.hub import DEFAULT_HEARTBEAT_SECONDS, ReplicationHub
+from repro.replication.router import RoutingClient
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_SECONDS",
+    "FollowerServer",
+    "ReplicationHub",
+    "RoutingClient",
+]

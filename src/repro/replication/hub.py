@@ -1,0 +1,249 @@
+"""The leader side of generation shipping: record publishes, serve streams.
+
+A :class:`ReplicationHub` registers itself as a publish listener on one
+:class:`~repro.engine.server.DatalogServer` and, for every published
+generation, records *which slice of the session's base-fact log produced
+it*.  Relations (and the base-fact log) are append-only, so an entry is
+just ``(generation, start, end, fact_count)`` — offsets into the log,
+recorded under the writer lock, costing no copies on the write path.
+Replaying those slices through another session's incremental maintenance
+reproduces the leader's model exactly (the engine is deterministic and
+monotone), which is the whole replication protocol:
+
+* a subscriber the log still covers gets one ``generation_frame`` per
+  recorded entry (its slice as text tuples, plus the leader's total fact
+  count at that generation for divergence detection);
+* a new subscriber — or one behind the retention floor — gets a snapshot
+  bootstrap first: the current model captured atomically and shipped as
+  the same record structure :mod:`repro.storage.snapshot` writes to disk.
+
+The hub keeps at most ``max_entries`` recorded generations; older ones
+fall off and the floor advances (a follower further behind than that is
+told to re-bootstrap via ``details.bootstrap_required``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.api.types import GenerationFrame
+from repro.engine.session import DatalogSession
+from repro.sequences import Sequence
+from repro.storage.snapshot import snapshot_records
+from repro.storage.store import program_fingerprint
+
+#: How often an idle replication stream emits a heartbeat (and therefore
+#: the follower's lag-tracking resolution while no data moves).
+DEFAULT_HEARTBEAT_SECONDS = 1.0
+
+#: Recorded generations kept for incremental catch-up.  Entries are a few
+#: machine words each (offsets into the live base-fact log, no row copies),
+#: so the window can be generous; beyond it a follower re-bootstraps.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+def _wire_row(values) -> tuple:
+    return tuple(
+        value.text if isinstance(value, Sequence) else str(value)
+        for value in values
+    )
+
+
+class _Entry:
+    """One published generation: a window into the base-fact log."""
+
+    __slots__ = ("generation", "base_list", "start", "end", "fact_count")
+
+    def __init__(self, generation, base_list, start, end, fact_count):
+        self.generation = generation
+        self.base_list = base_list
+        self.start = start
+        self.end = end
+        self.fact_count = fact_count
+
+    def frame(self) -> GenerationFrame:
+        # Slicing an append-only list the writer only ever appends to is
+        # safe under the GIL; the slice is the exact batch this publish
+        # inserted, already deduplicated by the session.
+        batch = self.base_list[self.start:self.end]
+        return GenerationFrame(
+            generation=self.generation,
+            facts=tuple(
+                (predicate, _wire_row(values)) for predicate, values in batch
+            ),
+            fact_count=self.fact_count,
+        )
+
+
+class _Bootstrap:
+    """An atomically captured model, ready to serialize off-thread."""
+
+    __slots__ = ("generation", "fact_count", "records")
+
+    def __init__(self, generation: int, fact_count: int, records: Iterator[Dict[str, Any]]):
+        self.generation = generation
+        self.fact_count = fact_count
+        self.records = records
+
+
+class ReplicationHub:
+    """Publish one server's generation stream to replication subscribers.
+
+    Thread-safety: :meth:`_on_publish` runs under the server's writer
+    lock; everything else runs on connection threads.  The hub's own lock
+    covers the entry window and counters.
+    """
+
+    def __init__(
+        self,
+        server,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        self._server = server
+        self.heartbeat_seconds = max(0.05, float(heartbeat_seconds))
+        self._max_entries = max(1, int(max_entries))
+        self.fingerprint = program_fingerprint(server.program)
+        self._lock = threading.Lock()
+        self._entries: Deque[_Entry] = deque()
+        self._floor: Optional[int] = None
+        self._latest: Optional[int] = None
+        self._base_ref: Optional[list] = None
+        self._last_end = 0
+        self._subscribers = 0
+        self._subscriptions_total = 0
+        self._bootstraps_served = 0
+        # The priming fire inside add_publish_listener anchors the floor
+        # at the server's current generation, atomically with registration.
+        server.add_publish_listener(self._on_publish)
+
+    # ------------------------------------------------------------------
+    # The write path (server writer lock held)
+    # ------------------------------------------------------------------
+    def _on_publish(self, generation: int, session: DatalogSession) -> None:
+        base = session._base_facts
+        with self._lock:
+            if self._floor is None or self._base_ref is not base:
+                # First fire (registration priming), or the session was
+                # swapped underneath us (a follower re-bootstrapping):
+                # earlier offsets are meaningless, so re-anchor here and
+                # drop the window — stale subscribers will re-bootstrap.
+                self._entries.clear()
+                self._floor = generation
+                self._latest = generation
+                self._base_ref = base
+                self._last_end = len(base)
+                return
+            end = len(base)
+            self._entries.append(
+                _Entry(
+                    generation,
+                    base,
+                    self._last_end,
+                    end,
+                    session._core.interpretation.fact_count(),
+                )
+            )
+            self._latest = generation
+            self._last_end = end
+            while len(self._entries) > self._max_entries:
+                dropped = self._entries.popleft()
+                self._floor = dropped.generation
+
+    # ------------------------------------------------------------------
+    # The read path (subscriber connection threads)
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> int:
+        with self._lock:
+            return self._latest if self._latest is not None else 0
+
+    def covers(self, from_generation: int) -> bool:
+        """Can a subscriber at ``from_generation`` catch up incrementally?"""
+        with self._lock:
+            return (
+                self._floor is not None
+                and self._floor <= from_generation <= (self._latest or 0)
+            )
+
+    def frames_since(self, from_generation: int) -> Optional[List[GenerationFrame]]:
+        """Every recorded generation after ``from_generation``, as frames.
+
+        Returns ``None`` when the window no longer covers that position
+        (the subscriber must re-bootstrap); an empty list means caught up.
+        """
+        with self._lock:
+            if self._floor is None or from_generation < self._floor:
+                return None
+            entries = [
+                entry
+                for entry in self._entries
+                if entry.generation > from_generation
+            ]
+        return [entry.frame() for entry in entries]
+
+    def capture_bootstrap(self) -> _Bootstrap:
+        """Capture the current model for a snapshot bootstrap.
+
+        The capture itself is atomic (the server pins it under its writer
+        lock); serialization to snapshot records happens lazily on the
+        subscriber's connection thread, off every lock.
+        """
+        generation, views, base_facts, fact_count = self._server.capture_model()
+        with self._lock:
+            self._bootstraps_served += 1
+
+        def records() -> Iterator[Dict[str, Any]]:
+            relation_rows = {
+                predicate: [_wire_row(row) for row in view]
+                for predicate, view in views.items()
+            }
+            wire_base = [
+                (predicate, _wire_row(values))
+                for predicate, values in base_facts
+            ]
+            # batch=0: the WAL batch counter is a durability-local notion;
+            # a wire bootstrap is not tied to any log file.
+            yield from snapshot_records(
+                generation=generation,
+                batch=0,
+                program_fingerprint=self.fingerprint,
+                relation_rows=relation_rows,
+                base_facts=wire_base,
+                fact_count=fact_count,
+            )
+
+        return _Bootstrap(generation, fact_count, records())
+
+    # ------------------------------------------------------------------
+    # Subscriber accounting and introspection
+    # ------------------------------------------------------------------
+    def subscriber_opened(self) -> None:
+        with self._lock:
+            self._subscribers += 1
+            self._subscriptions_total += 1
+
+    def subscriber_closed(self) -> None:
+        with self._lock:
+            self._subscribers = max(0, self._subscribers - 1)
+
+    def stats(self) -> Dict[str, Any]:
+        """The leader's ``stats()["replication"]`` block."""
+        with self._lock:
+            return {
+                "role": "leader",
+                "generation": self._latest if self._latest is not None else 0,
+                "floor": self._floor if self._floor is not None else 0,
+                "window": len(self._entries),
+                "subscribers": self._subscribers,
+                "subscriptions_total": self._subscriptions_total,
+                "bootstraps_served": self._bootstraps_served,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationHub(generation={self.latest}, "
+            f"{self._subscribers} subscribers)"
+        )

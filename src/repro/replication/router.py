@@ -1,0 +1,330 @@
+"""A fleet-aware client: reads across followers, writes to the leader.
+
+:class:`RoutingClient` wraps one :class:`~repro.api.client.DatalogClient`
+per endpoint and adds the routing policy a replicated fleet needs:
+
+* **Topology discovery.**  Each endpoint's ``stats().replication`` block
+  names its role; followers also name their leader, so handing the router
+  only follower addresses still finds the write path.
+* **Read load-balancing.**  Queries rotate round-robin across live
+  followers (the leader serves reads only when no follower is up); an
+  endpoint that fails at the connection level is skipped for the rest of
+  the pass and retried on the next :meth:`refresh`.
+* **Write pinning.**  ``add_facts`` goes to the discovered leader; a
+  stable ``not_leader`` redirect (topology learned stale) is followed to
+  the address it carries.
+* **Read-your-writes.**  With ``read_your_writes=True`` the router
+  remembers the generation each write published and stamps every later
+  query with ``min_generation``, so a follower blocks until it has caught
+  up (or the leader answers after a :class:`~repro.errors.LagTimeoutError`).
+
+The CLI front-end is ``repro route HOST:PORT [HOST:PORT ...]``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.client import DatalogClient
+from repro.api.types import AddFactsResponse, QueryResultPage, ServerStats
+from repro.engine.session import FactsLike
+from repro.errors import LagTimeoutError, NotLeaderError, ProtocolError
+
+#: Hops a write may follow ``not_leader`` redirects before giving up
+#: (more than one redirect means the fleet disagrees about its leader).
+_MAX_REDIRECTS = 3
+
+
+def _endpoint_text(endpoint: Union[str, Tuple[str, int]]) -> str:
+    if isinstance(endpoint, str):
+        from repro.api.transport import parse_address
+
+        host, port = parse_address(endpoint)
+    else:
+        host, port = endpoint
+    return f"{host}:{int(port)}"
+
+
+class RoutingClient:
+    """Route queries and writes across one replicated fleet.
+
+    Parameters
+    ----------
+    endpoints:
+        The fleet: ``"host:port"`` strings or ``(host, port)`` tuples, in
+        any mix of leader and followers (roles are discovered, not
+        declared).
+    read_your_writes:
+        Stamp queries with the last write's generation as a
+        ``min_generation`` bound (see the module docstring).
+    min_generation_timeout:
+        Seconds a bounded read may wait on a lagging follower before the
+        router falls back to the leader.
+    client_options:
+        Forwarded to every per-endpoint :class:`DatalogClient`
+        (``timeout``, ``retries``, ``page_size``, ...).
+
+    Thread-safety: the topology bookkeeping is locked, but the underlying
+    clients are blocking single-connection objects — share a router across
+    threads only for its thread-safe bookkeeping, not concurrent calls.
+    """
+
+    def __init__(
+        self,
+        endpoints: Iterable[Union[str, Tuple[str, int]]],
+        read_your_writes: bool = False,
+        min_generation_timeout: float = 5.0,
+        **client_options: Any,
+    ) -> None:
+        self._endpoints: List[str] = [_endpoint_text(e) for e in endpoints]
+        if not self._endpoints:
+            raise ProtocolError("RoutingClient needs at least one endpoint")
+        self._client_options = client_options
+        self._clients: Dict[str, DatalogClient] = {}
+        self._lock = threading.Lock()
+        self._leader: Optional[str] = None
+        self._followers: List[str] = []
+        self._dead: set = set()
+        self._read_index = 0
+        self.read_your_writes = read_your_writes
+        self.min_generation_timeout = min_generation_timeout
+        self._last_write_generation = 0
+
+    # ------------------------------------------------------------------
+    # Connection and topology plumbing
+    # ------------------------------------------------------------------
+    def _client(self, endpoint: str) -> DatalogClient:
+        with self._lock:
+            client = self._clients.get(endpoint)
+            if client is None:
+                host, _, port = endpoint.rpartition(":")
+                options = dict(self._client_options)
+                # The router owns redirect handling (it learns the leader
+                # from them); a client silently following its own would
+                # hide the topology.
+                options.setdefault("follow_redirects", False)
+                client = DatalogClient(host, int(port), **options)
+                self._clients[endpoint] = client
+            return client
+
+    def refresh(self) -> Dict[str, Dict[str, Any]]:
+        """Probe every endpoint and rebuild the role map.
+
+        Returns ``{endpoint: {"role", "generation", "lag", ...}}`` with
+        unreachable endpoints reported as ``{"role": "unreachable"}``.
+        Called lazily on first use; call it again after fleet changes.
+        """
+        topology: Dict[str, Dict[str, Any]] = {}
+        leader: Optional[str] = None
+        followers: List[str] = []
+        pending = list(self._endpoints)
+        seen = set(pending)
+        while pending:
+            endpoint = pending.pop(0)
+            try:
+                stats = self._client(endpoint).stats()
+            except (OSError, ProtocolError) as error:
+                topology[endpoint] = {
+                    "role": "unreachable",
+                    "error": f"{type(error).__name__}: {error}",
+                }
+                continue
+            replication = dict(stats.replication or {})
+            role = replication.get("role", "leader")
+            info = {"role": role, "generation": stats.generation}
+            info.update(
+                {
+                    key: replication[key]
+                    for key in ("lag", "leader", "connected", "subscribers")
+                    if key in replication
+                }
+            )
+            topology[endpoint] = info
+            if role == "follower":
+                followers.append(endpoint)
+                # A follower names its leader: reach it even when the
+                # caller only listed read replicas.
+                named = replication.get("leader")
+                if isinstance(named, str) and named and named not in seen:
+                    seen.add(named)
+                    pending.append(named)
+            else:
+                leader = endpoint
+        with self._lock:
+            self._leader = leader
+            self._followers = followers
+            self._dead = set()
+            self._read_index = 0
+        return topology
+
+    def _ensure_topology(self) -> None:
+        with self._lock:
+            known = self._leader is not None or bool(self._followers)
+        if not known:
+            self.refresh()
+
+    def _read_rotation(self) -> List[str]:
+        """Followers round-robin, the leader last as the fallback."""
+        with self._lock:
+            readers = [f for f in self._followers if f not in self._dead]
+            if readers:
+                start = self._read_index % len(readers)
+                self._read_index += 1
+                readers = readers[start:] + readers[:start]
+            rotation = list(readers)
+            if self._leader is not None and self._leader not in rotation:
+                rotation.append(self._leader)
+        return rotation or list(self._endpoints)
+
+    def _mark_dead(self, endpoint: str) -> None:
+        with self._lock:
+            self._dead.add(endpoint)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        pattern: str,
+        strict: bool = False,
+        witnesses: bool = False,
+        page_size: Optional[int] = None,
+    ) -> QueryResultPage:
+        """Answer one pattern on some live reader (follower-first)."""
+        self._ensure_topology()
+        min_generation: Optional[int] = None
+        if self.read_your_writes and self._last_write_generation > 0:
+            min_generation = self._last_write_generation
+        last_error: Optional[Exception] = None
+        for endpoint in self._read_rotation():
+            client = self._client(endpoint)
+            try:
+                return client.query(
+                    pattern,
+                    strict=strict,
+                    witnesses=witnesses,
+                    page_size=page_size,
+                    min_generation=min_generation,
+                    min_generation_timeout=(
+                        self.min_generation_timeout
+                        if min_generation is not None
+                        else None
+                    ),
+                )
+            except LagTimeoutError as error:
+                # This reader is too far behind the bound; the next one —
+                # ultimately the leader, which satisfies any bound its own
+                # writes set — gets a chance.
+                last_error = error
+                continue
+            except (OSError, ProtocolError) as error:
+                self._mark_dead(endpoint)
+                last_error = error
+                continue
+        assert last_error is not None
+        raise last_error
+
+    def query_batch(
+        self, patterns: Iterable[str], strict: bool = False
+    ) -> List[QueryResultPage]:
+        """Answer a batch on one reader (one consistent snapshot)."""
+        self._ensure_topology()
+        patterns = list(patterns)
+        last_error: Optional[Exception] = None
+        for endpoint in self._read_rotation():
+            try:
+                return self._client(endpoint).query_batch(patterns, strict=strict)
+            except (OSError, ProtocolError) as error:
+                self._mark_dead(endpoint)
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add_facts(self, facts: FactsLike) -> AddFactsResponse:
+        """Insert facts on the leader, following ``not_leader`` redirects."""
+        self._ensure_topology()
+        with self._lock:
+            endpoint = self._leader or self._endpoints[0]
+        for _hop in range(_MAX_REDIRECTS):
+            try:
+                response = self._client(endpoint).add_facts(facts)
+            except NotLeaderError as error:
+                if not error.leader or error.leader == endpoint:
+                    raise
+                endpoint = _endpoint_text(error.leader)
+                continue
+            with self._lock:
+                self._leader = endpoint
+                if response.generation is not None:
+                    self._last_write_generation = max(
+                        self._last_write_generation, response.generation
+                    )
+            return response
+        raise ProtocolError(
+            f"write followed {_MAX_REDIRECTS} not_leader redirects without "
+            "reaching a leader; the fleet disagrees about its topology"
+        )
+
+    def add_fact(self, predicate: str, *values: str) -> AddFactsResponse:
+        return self.add_facts([(predicate, values)])
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def leader(self) -> Optional[str]:
+        with self._lock:
+            return self._leader
+
+    @property
+    def followers(self) -> List[str]:
+        with self._lock:
+            return list(self._followers)
+
+    @property
+    def last_write_generation(self) -> int:
+        return self._last_write_generation
+
+    def stats(self) -> Dict[str, ServerStats]:
+        """Per-endpoint :class:`ServerStats` for every reachable node."""
+        self._ensure_topology()
+        results: Dict[str, ServerStats] = {}
+        with self._lock:
+            endpoints = list(
+                dict.fromkeys(
+                    self._endpoints
+                    + self._followers
+                    + ([self._leader] if self._leader else [])
+                )
+            )
+        for endpoint in endpoints:
+            try:
+                results[endpoint] = self._client(endpoint).stats()
+            except (OSError, ProtocolError):
+                continue
+        return results
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> RoutingClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"RoutingClient(leader={self._leader}, "
+                f"followers={self._followers}, "
+                f"last_write_generation={self._last_write_generation})"
+            )

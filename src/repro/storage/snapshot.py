@@ -73,6 +73,41 @@ def _chunks(rows: List[Any], size: int) -> Iterator[List[Any]]:
         yield rows[start:start + size]
 
 
+def snapshot_records(
+    generation: int,
+    batch: int,
+    program_fingerprint: str,
+    relation_rows: Dict[str, List[Tuple[str, ...]]],
+    base_facts: List[Tuple[str, Tuple[str, ...]]],
+    fact_count: int,
+) -> Iterator[Dict[str, Any]]:
+    """Yield the records of one snapshot, in file order.
+
+    This is the single source of the snapshot record structure.  Two
+    consumers frame the same records differently: :func:`write_snapshot`
+    CRC-frames them to disk, and the replication leader ships them as
+    ``snapshot_frame`` messages when bootstrapping a follower over the
+    wire.  Either way they are reassembled by :class:`SnapshotAssembler`.
+    """
+    yield {
+        "format": SNAPSHOT_FORMAT,
+        "generation": generation,
+        "batch": batch,
+        "program": program_fingerprint,
+        "facts": fact_count,
+        "base_facts": len(base_facts),
+        "relations": {name: len(rows) for name, rows in relation_rows.items()},
+    }
+    for name in sorted(relation_rows):
+        for chunk in _chunks(relation_rows[name], _CHUNK_ROWS):
+            yield {"relation": name, "rows": [list(row) for row in chunk]}
+    for chunk in _chunks(base_facts, _CHUNK_ROWS):
+        yield {
+            "base": [[predicate, list(values)] for predicate, values in chunk]
+        }
+    yield {"end": True}
+
+
 def write_snapshot(
     directory: str,
     generation: int,
@@ -91,35 +126,18 @@ def write_snapshot(
     os.makedirs(directory, exist_ok=True)
     path = snapshot_path(directory, generation)
     tmp_path = path + ".tmp"
-    header = {
-        "format": SNAPSHOT_FORMAT,
-        "generation": generation,
-        "batch": batch,
-        "program": program_fingerprint,
-        "facts": fact_count,
-        "base_facts": len(base_facts),
-        "relations": {name: len(rows) for name, rows in relation_rows.items()},
-    }
+    records = snapshot_records(
+        generation,
+        batch,
+        program_fingerprint,
+        relation_rows,
+        base_facts,
+        fact_count,
+    )
     try:
         with open(tmp_path, "wb") as handle:
-            handle.write(_frame(header))
-            for name in sorted(relation_rows):
-                for chunk in _chunks(relation_rows[name], _CHUNK_ROWS):
-                    handle.write(
-                        _frame({"relation": name, "rows": [list(row) for row in chunk]})
-                    )
-            for chunk in _chunks(base_facts, _CHUNK_ROWS):
-                handle.write(
-                    _frame(
-                        {
-                            "base": [
-                                [predicate, list(values)]
-                                for predicate, values in chunk
-                            ]
-                        }
-                    )
-                )
-            handle.write(_frame({"end": True}))
+            for record in records:
+                handle.write(_frame(record))
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -175,6 +193,111 @@ def _validated_header(path: str, record: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+class SnapshotAssembler:
+    """Incrementally rebuild a model from snapshot records.
+
+    The inverse of :func:`snapshot_records`, shared by the two transports
+    of the snapshot structure: :func:`load_snapshot` feeds it records
+    decoded from CRC frames on disk, and a replication follower feeds it
+    records arriving as ``snapshot_frame`` messages during bootstrap.
+    Every record passes through :meth:`feed`; :meth:`finish` validates
+    completeness and the header's declared counts.  ``source`` names the
+    artifact (a file path, or a leader address) in error messages, and
+    ``where`` on :meth:`feed` localises damage (``"byte 512"`` on disk,
+    ``"frame 7"`` on the wire).
+    """
+
+    def __init__(self, source: str, program_fingerprint: Optional[str] = None):
+        self.source = source
+        self._expected_fingerprint = program_fingerprint
+        self.header: Optional[Dict[str, Any]] = None
+        self.facts: List[Tuple[str, List[str]]] = []
+        self.base_facts: List[Tuple[str, List[str]]] = []
+        self.complete = False
+
+    def feed(self, record: Dict[str, Any], where: str = "") -> None:
+        at = f" at {where}" if where else ""
+        if not isinstance(record, dict):
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} has a non-object frame{at}"
+            )
+        if self.header is None:
+            header = _validated_header(self.source, record)
+            if (
+                self._expected_fingerprint is not None
+                and header["program"] != self._expected_fingerprint
+            ):
+                raise StorageError(
+                    f"snapshot {self.source} was written for a different "
+                    f"program (fingerprint {header['program'][:12]}..., "
+                    f"expected {self._expected_fingerprint[:12]}...); wipe "
+                    "the data directory or load it with the original program"
+                )
+            self.header = header
+            return
+        if self.complete:
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} holds frames after its end marker"
+                f"{f' ({where})' if where else ''}"
+            )
+        try:
+            if "relation" in record:
+                name = record["relation"]
+                rows = record.get("rows")
+                if not isinstance(name, str) or not isinstance(rows, list):
+                    raise CorruptSnapshotError(
+                        f"snapshot {self.source} has a malformed relation "
+                        f"frame{at}"
+                    )
+                for row in rows:
+                    self.facts.append((name, row))
+            elif "base" in record:
+                entries = record["base"]
+                if not isinstance(entries, list):
+                    raise CorruptSnapshotError(
+                        f"snapshot {self.source} has a malformed base-fact "
+                        f"frame{at}"
+                    )
+                for entry in entries:
+                    self.base_facts.append((entry[0], entry[1]))
+            elif record.get("end") is True:
+                self.complete = True
+            else:
+                raise CorruptSnapshotError(
+                    f"snapshot {self.source} has an unrecognised frame{at}"
+                )
+        except (IndexError, TypeError) as error:
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} holds a structurally invalid "
+                f"frame: {error}"
+            ) from None
+
+    def finish(
+        self,
+    ) -> Tuple[Dict[str, Any], List[Tuple[str, List[str]]], List[Tuple[str, List[str]]]]:
+        """Validate completeness and counts; return the assembled model."""
+        if self.header is None:
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} is empty (no header frame)"
+            )
+        if not self.complete:
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} is truncated (missing end marker) — "
+                "the checkpoint writer died mid-file"
+            )
+        if len(self.facts) != self.header["facts"]:
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} holds {len(self.facts)} facts but "
+                f"its header declares {self.header['facts']}"
+            )
+        if len(self.base_facts) != self.header["base_facts"]:
+            raise CorruptSnapshotError(
+                f"snapshot {self.source} holds {len(self.base_facts)} base "
+                f"facts but its header declares {self.header['base_facts']}"
+            )
+        return self.header, self.facts, self.base_facts
+
+
 def load_snapshot(
     path: str, program_fingerprint: Optional[str] = None
 ) -> Tuple[Dict[str, Any], List[Tuple[str, List[str]]], List[Tuple[str, List[str]]]]:
@@ -192,81 +315,15 @@ def load_snapshot(
             data = handle.read()
     except OSError as error:
         raise StorageError(f"cannot read snapshot {path}: {error}") from error
-    header: Optional[Dict[str, Any]] = None
-    facts: List[Tuple[str, List[str]]] = []
-    base_facts: List[Tuple[str, List[str]]] = []
-    complete = False
+    assembler = SnapshotAssembler(path, program_fingerprint)
     try:
         for offset, record in iter_frames(data):
-            if header is None:
-                header = _validated_header(path, record)
-                if (
-                    program_fingerprint is not None
-                    and header["program"] != program_fingerprint
-                ):
-                    raise StorageError(
-                        f"snapshot {path} was written for a different program "
-                        f"(fingerprint {header['program'][:12]}..., expected "
-                        f"{program_fingerprint[:12]}...); wipe the data "
-                        "directory or load it with the original program"
-                    )
-                continue
-            if complete:
-                raise CorruptSnapshotError(
-                    f"snapshot {path} holds frames after its end marker "
-                    f"(byte {offset})"
-                )
-            if "relation" in record:
-                name = record["relation"]
-                rows = record.get("rows")
-                if not isinstance(name, str) or not isinstance(rows, list):
-                    raise CorruptSnapshotError(
-                        f"snapshot {path} has a malformed relation frame "
-                        f"at byte {offset}"
-                    )
-                for row in rows:
-                    facts.append((name, row))
-            elif "base" in record:
-                entries = record["base"]
-                if not isinstance(entries, list):
-                    raise CorruptSnapshotError(
-                        f"snapshot {path} has a malformed base-fact frame "
-                        f"at byte {offset}"
-                    )
-                for entry in entries:
-                    base_facts.append((entry[0], entry[1]))
-            elif record.get("end") is True:
-                complete = True
-            else:
-                raise CorruptSnapshotError(
-                    f"snapshot {path} has an unrecognised frame at byte {offset}"
-                )
+            assembler.feed(record, where=f"byte {offset}")
     except FrameDamage as damage:
         raise CorruptSnapshotError(
             f"snapshot {path} is corrupt at byte {damage.offset}: {damage.detail}"
         ) from None
-    except (IndexError, TypeError) as error:
-        raise CorruptSnapshotError(
-            f"snapshot {path} holds a structurally invalid frame: {error}"
-        ) from None
-    if header is None:
-        raise CorruptSnapshotError(f"snapshot {path} is empty (no header frame)")
-    if not complete:
-        raise CorruptSnapshotError(
-            f"snapshot {path} is truncated (missing end marker) — the "
-            "checkpoint writer died mid-file"
-        )
-    if len(facts) != header["facts"]:
-        raise CorruptSnapshotError(
-            f"snapshot {path} holds {len(facts)} facts but its header "
-            f"declares {header['facts']}"
-        )
-    if len(base_facts) != header["base_facts"]:
-        raise CorruptSnapshotError(
-            f"snapshot {path} holds {len(base_facts)} base facts but its "
-            f"header declares {header['base_facts']}"
-        )
-    return header, facts, base_facts
+    return assembler.finish()
 
 
 def prune_snapshots(directory: str, keep: int) -> List[str]:

@@ -1,0 +1,781 @@
+"""Tests for leader/follower replication (:mod:`repro.replication`).
+
+Covers the stack bottom-up: the hub's generation window (offsets, floor,
+trimming), the follower's bootstrap/catch-up/divergence behaviour over a
+live TCP leader, fault injection (connections cut mid-bootstrap, leader
+restarts), the ``not_leader`` write redirect at both the server and wire
+level, lag-bounded read-your-writes, the fleet-aware ``RoutingClient``,
+and the CLI surface (``serve --follow``, ``repro route``, the ``listening``
+envelope that fixes port-0 reporting in ``--json`` mode).
+"""
+
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.client import DatalogClient
+from repro.api.protocol import recv_json, send_json
+from repro.api.service import DatalogService
+from repro.api.transport import serve_tcp
+from repro.api.types import SubscribeRequest, encode_request
+from repro.cli import main
+from repro.engine.server import DatalogServer
+from repro.engine.session import DatalogSession
+from repro.errors import (
+    LagTimeoutError,
+    NotLeaderError,
+    RemoteApiError,
+    ReplicationError,
+)
+from repro.replication import FollowerServer, ReplicationHub, RoutingClient
+from repro.storage.snapshot import SnapshotAssembler
+
+PROGRAM = "pair(X, Y) :- base(X), base(Y).\n"
+SUFFIX_PROGRAM = "suffix(X[N:end]) :- r(X).\n"
+
+
+def wait_until(predicate, timeout=10.0, message="condition never became true"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(message)
+        time.sleep(0.005)
+
+
+def model_rows(backend, patterns):
+    """Canonical sorted rows per pattern (fact-for-fact comparisons)."""
+    return {
+        pattern: sorted(tuple(row) for row in backend.query(pattern).rows)
+        for pattern in patterns
+    }
+
+
+@pytest.fixture
+def leader():
+    """A live TCP leader over PROGRAM with two base facts."""
+    transport = serve_tcp(PROGRAM, {"base": ["a", "b"]}, port=0)
+    yield transport
+    transport.close()
+
+
+@pytest.fixture
+def follower_of():
+    """Factory for followers, all closed at teardown."""
+    followers = []
+
+    def start(transport, program=PROGRAM, **options):
+        options.setdefault("reconnect_min_seconds", 0.01)
+        options.setdefault("reconnect_max_seconds", 0.1)
+        follower = FollowerServer(program, transport.address, **options)
+        followers.append(follower)
+        return follower
+
+    yield start
+    for follower in followers:
+        follower.close()
+
+
+class FlakyProxy:
+    """A TCP proxy that cuts the first connection after N upstream bytes.
+
+    Deterministic fault injection for mid-bootstrap kills: the follower
+    dials the proxy, the proxy pipes to the real leader, and the first
+    connection dies once ``cut_after_bytes`` of leader->follower data
+    have flowed.  Later connections pass through untouched.
+    """
+
+    def __init__(self, upstream, cut_after_bytes):
+        self._upstream = upstream
+        self._cut_after = cut_after_bytes
+        self._cut_done = threading.Event()
+        self.connections = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()[:2]
+        self._closed = False
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            threading.Thread(
+                target=self._pipe_connection, args=(downstream,), daemon=True
+            ).start()
+
+    def _pipe_connection(self, downstream):
+        limit = None if self._cut_done.is_set() else self._cut_after
+        self._cut_done.set()
+        try:
+            upstream = socket.create_connection(self._upstream, timeout=5)
+        except OSError:
+            downstream.close()
+            return
+
+        def pump(source, sink, budget):
+            moved = 0
+            try:
+                while True:
+                    chunk = source.recv(65536)
+                    if not chunk:
+                        break
+                    if budget is not None and moved + len(chunk) > budget:
+                        chunk = chunk[: budget - moved]
+                        sink.sendall(chunk)
+                        break
+                    sink.sendall(chunk)
+                    moved += len(chunk)
+            except OSError:
+                pass
+            finally:
+                for sock in (source, sink):
+                    # shutdown() pushes the FIN out even while the twin
+                    # pump thread still blocks in recv() on the same fd
+                    # (a bare close() defers it until that recv returns).
+                    for closer in (
+                        lambda s=sock: s.shutdown(socket.SHUT_RDWR),
+                        lambda s=sock: s.close(),
+                    ):
+                        try:
+                            closer()
+                        except OSError:
+                            pass
+
+        threading.Thread(
+            target=pump, args=(downstream, upstream, None), daemon=True
+        ).start()
+        pump(upstream, downstream, limit)
+
+    def close(self):
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# The hub's generation window
+# ----------------------------------------------------------------------
+class TestReplicationHub:
+    def test_floor_anchors_at_attach_and_window_grows(self):
+        server = DatalogServer(PROGRAM, {"base": ["a"]})
+        try:
+            hub = ReplicationHub(server)
+            anchor = server.generation
+            assert hub.latest == anchor
+            assert hub.covers(anchor)
+            assert hub.frames_since(anchor) == []
+            server.add_facts([("base", ("b",))])
+            server.add_facts([("base", ("c",))])
+            frames = hub.frames_since(anchor)
+            assert [frame.generation for frame in frames] == [
+                anchor + 1,
+                anchor + 2,
+            ]
+            # Each frame carries exactly its publish's base batch and the
+            # leader's total fact count at that generation.
+            assert frames[0].facts == (("base", ("b",)),)
+            assert frames[1].facts == (("base", ("c",)),)
+            assert frames[1].fact_count == server.snapshot.fact_count()
+            assert hub.frames_since(anchor + 2) == []
+        finally:
+            server.close()
+
+    def test_window_trims_and_floor_advances(self):
+        server = DatalogServer(PROGRAM, {"base": ["a"]})
+        try:
+            hub = ReplicationHub(server, max_entries=2)
+            anchor = server.generation
+            for value in ("b", "c", "d", "e"):
+                server.add_facts([("base", (value,))])
+            assert hub.latest == anchor + 4
+            # Only the last two publishes are retained.
+            assert hub.frames_since(anchor) is None, "below the floor"
+            assert not hub.covers(anchor + 1)
+            frames = hub.frames_since(anchor + 2)
+            assert [frame.generation for frame in frames] == [
+                anchor + 3,
+                anchor + 4,
+            ]
+        finally:
+            server.close()
+
+    def test_bootstrap_records_assemble_into_the_leader_model(self):
+        server = DatalogServer(PROGRAM, {"base": ["a", "b"]})
+        try:
+            server.add_facts([("base", ("c",))])
+            hub = ReplicationHub(server)
+            capture = hub.capture_bootstrap()
+            assembler = SnapshotAssembler("test capture", hub.fingerprint)
+            for index, record in enumerate(capture.records):
+                assembler.feed(record, where=f"record {index}")
+            header, facts, base_facts = assembler.finish()
+            assert header["generation"] == server.generation
+            assert len(facts) == server.snapshot.fact_count()
+            _, _, leader_base, _ = server.capture_model()
+            assert len(base_facts) == len(leader_base)
+        finally:
+            server.close()
+
+    def test_fingerprint_mismatch_refused_during_assembly(self):
+        server = DatalogServer(PROGRAM, {"base": ["a"]})
+        try:
+            hub = ReplicationHub(server)
+            capture = hub.capture_bootstrap()
+            assembler = SnapshotAssembler("test capture", "0" * 64)
+            with pytest.raises(Exception, match="fingerprint"):
+                for record in capture.records:
+                    assembler.feed(record)
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# Follower: bootstrap, catch-up, identity
+# ----------------------------------------------------------------------
+class TestFollowerReplication:
+    def test_fresh_follower_bootstraps_once_then_streams(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        wait_until(lambda: follower.generation >= leader.backend.generation)
+        with DatalogClient(*leader.address) as client:
+            for value in ("c", "d", "e"):
+                generation = client.add_facts([("base", (value,))]).generation
+                wait_until(lambda: follower.generation >= generation)
+        stats = follower.stats()["replication"]
+        assert stats["bootstraps"] == 1
+        assert stats["frames_applied"] == 3
+        assert stats["connects"] == 1
+        assert stats["lag"] == 0
+
+    def test_identical_fact_for_fact_at_equal_generations(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        with DatalogClient(*leader.address) as client:
+            generation = client.add_facts(
+                [("base", ("c",)), ("base", ("d",))]
+            ).generation
+        wait_until(lambda: follower.generation >= generation)
+        assert follower.generation == leader.backend.generation
+        patterns = ["base(X)", "pair(X, Y)"]
+        assert model_rows(follower, patterns) == model_rows(
+            leader.backend, patterns
+        )
+        assert (
+            follower.snapshot.fact_count()
+            == leader.backend.snapshot.fact_count()
+        )
+
+    def test_late_joiner_bootstraps_to_current_state(self, leader, follower_of):
+        with DatalogClient(*leader.address) as client:
+            client.add_facts([("base", ("c",))])
+            generation = client.add_facts([("base", ("d",))]).generation
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        wait_until(lambda: follower.generation >= generation)
+        stats = follower.stats()["replication"]
+        assert stats["bootstraps"] == 1
+        assert stats["frames_applied"] == 0, "the bootstrap carried everything"
+        assert model_rows(follower, ["pair(X, Y)"]) == model_rows(
+            leader.backend, ["pair(X, Y)"]
+        )
+
+    def test_follower_refuses_writes_with_redirect(self, leader, follower_of):
+        follower = follower_of(leader)
+        with pytest.raises(NotLeaderError) as excinfo:
+            follower.add_facts([("base", ("x",))])
+        assert excinfo.value.leader == "%s:%d" % leader.address
+        with pytest.raises(NotLeaderError):
+            follower.add_facts_published([("base", ("x",))])
+
+    def test_program_fingerprint_mismatch_is_fatal_not_applied(
+        self, leader, follower_of
+    ):
+        follower = follower_of(leader, program=SUFFIX_PROGRAM)
+        # The subscription is refused before any state ships; the
+        # follower keeps retrying (the operator may fix the leader), but
+        # never reports connected and never applies anything.
+        time.sleep(0.3)
+        stats = follower.stats()["replication"]
+        assert not stats["connected"]
+        assert stats["bootstraps"] == 0
+        assert "fingerprint" in (stats["last_error"] or "")
+
+    def test_divergence_detection_forces_rebootstrap(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        wait_until(
+            lambda: follower.stats()["replication"]["bootstraps"] == 1
+            and follower.generation >= leader.backend.generation
+        )
+        # Corrupt the replica out-of-band: inject a fact the leader never
+        # shipped, bypassing the read-only guard.
+        DatalogServer.add_facts_published(follower, [("base", ("rogue",))])
+        with DatalogClient(*leader.address) as client:
+            generation = client.add_facts([("base", ("c",))]).generation
+        # The next frame's fact-count check trips, the follower wipes and
+        # re-bootstraps, and the rogue fact is gone.
+        wait_until(
+            lambda: follower.stats()["replication"]["bootstraps"] >= 2
+            and follower.generation >= generation
+        )
+        assert model_rows(follower, ["base(X)"]) == model_rows(
+            leader.backend, ["base(X)"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_connection_cut_mid_bootstrap_resumes_cleanly(
+        self, leader, follower_of
+    ):
+        with DatalogClient(*leader.address) as client:
+            # Enough state that the bootstrap stream is well past 400
+            # bytes, so the proxy cuts inside the snapshot transfer.
+            client.add_facts([("base", (f"s{i}",)) for i in range(20)])
+        proxy = FlakyProxy(leader.address, cut_after_bytes=400)
+        try:
+
+            class _Proxy:
+                address = proxy.address
+
+            follower = follower_of(_Proxy)
+            wait_until(
+                lambda: follower.generation >= leader.backend.generation
+                and follower.lag == 0,
+                message=str(follower.stats()["replication"]),
+            )
+            stats = follower.stats()["replication"]
+            assert proxy.connections >= 2, "first bootstrap attempt was cut"
+            assert stats["bootstraps"] == 1, "only the complete transfer applied"
+            assert model_rows(follower, ["pair(X, Y)"]) == model_rows(
+                leader.backend, ["pair(X, Y)"]
+            )
+        finally:
+            proxy.close()
+
+    def test_leader_restart_preserves_generation_continuity(
+        self, tmp_path, follower_of
+    ):
+        data_dir = str(tmp_path / "state")
+        first = serve_tcp(
+            PROGRAM, {"base": ["a", "b"]}, port=0, data_dir=data_dir
+        )
+        host, port = first.address
+        follower = follower_of(first)
+        assert follower.wait_connected(10)
+        with DatalogClient(host, port) as client:
+            generation = client.add_facts([("base", ("c",))]).generation
+        wait_until(lambda: follower.generation >= generation)
+        first.close()  # durable shutdown: final snapshot at `generation`
+        wait_until(lambda: not follower.connected)
+
+        second = serve_tcp(PROGRAM, port=port, data_dir=data_dir)
+        try:
+            assert second.backend.generation == generation, "recovered in place"
+            with DatalogClient(host, port) as client:
+                next_generation = client.add_facts(
+                    [("base", ("d",))]
+                ).generation
+            wait_until(
+                lambda: follower.generation >= next_generation,
+                message=str(follower.stats()["replication"]),
+            )
+            stats = follower.stats()["replication"]
+            # The recovered hub covers the follower's generation, so the
+            # reconnect resumed incrementally: one bootstrap ever.
+            assert stats["bootstraps"] == 1
+            assert stats["connects"] >= 2
+            assert model_rows(follower, ["pair(X, Y)"]) == model_rows(
+                second.backend, ["pair(X, Y)"]
+            )
+        finally:
+            second.close()
+
+    def test_in_memory_leader_restart_forces_rebootstrap(
+        self, leader, follower_of
+    ):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        host, port = leader.address
+        with DatalogClient(host, port) as client:
+            generation = client.add_facts([("base", ("c",))]).generation
+        wait_until(lambda: follower.generation >= generation)
+        leader.close()
+        wait_until(lambda: not follower.connected)
+        # The replacement leader lost everything and serves other data at
+        # low generations: the follower must converge to it, not keep the
+        # old model.
+        replacement = serve_tcp(PROGRAM, {"base": ["z"]}, port=port)
+        try:
+            wait_until(
+                lambda: follower.stats()["replication"]["bootstraps"] >= 2,
+                message=str(follower.stats()["replication"]),
+            )
+            wait_until(lambda: follower.lag == 0)
+            assert model_rows(follower, ["base(X)"]) == model_rows(
+                replacement.backend, ["base(X)"]
+            )
+        finally:
+            replacement.close()
+
+
+# ----------------------------------------------------------------------
+# not_leader over the wire, read-your-writes
+# ----------------------------------------------------------------------
+class TestWriteRedirectAndBoundedReads:
+    def test_not_leader_surfaces_through_the_wire(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        transport = serve_tcp(follower)
+        try:
+            client = DatalogClient(*transport.address, follow_redirects=False)
+            with pytest.raises(NotLeaderError) as excinfo:
+                client.add_facts([("base", ("x",))])
+            assert excinfo.value.leader == "%s:%d" % leader.address
+            client.close()
+        finally:
+            transport.close()
+
+    def test_client_follows_redirect_to_the_leader(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        transport = serve_tcp(follower)
+        try:
+            with DatalogClient(*transport.address) as client:
+                response = client.add_facts([("base", ("via-redirect",))])
+                assert response.generation is not None
+            wait_until(lambda: follower.generation >= response.generation)
+            assert ("via-redirect",) in {
+                tuple(row) for row in follower.query("base(X)").rows
+            }
+        finally:
+            transport.close()
+
+    def test_read_your_writes_waits_for_the_generation(
+        self, leader, follower_of
+    ):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        transport = serve_tcp(follower)
+        try:
+            with DatalogClient(*leader.address) as writer:
+                generation = writer.add_facts([("base", ("w",))]).generation
+            with DatalogClient(*transport.address) as reader:
+                page = reader.query(
+                    'pair("w", X)', min_generation=generation,
+                    min_generation_timeout=10.0,
+                )
+            assert page.generation >= generation
+            assert len(page.rows) >= 3
+        finally:
+            transport.close()
+
+    def test_lag_timeout_raises_typed_error(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        transport = serve_tcp(follower)
+        try:
+            with DatalogClient(*transport.address) as reader:
+                with pytest.raises(LagTimeoutError, match="not reached"):
+                    reader.query(
+                        "base(X)",
+                        min_generation=follower.generation + 1000,
+                        min_generation_timeout=0.05,
+                    )
+        finally:
+            transport.close()
+
+    def test_min_generation_rejected_on_session_backends(self):
+        session = DatalogSession(PROGRAM, {"base": ["a"]})
+        try:
+            service = DatalogService(session)
+            reply = service.handle_raw(
+                {
+                    "v": 1,
+                    "op": "query",
+                    "pattern": "base(X)",
+                    "min_generation": 1,
+                }
+            )
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "bad_request"
+        finally:
+            session.close()
+
+    def test_subscribe_rejected_without_streaming_transport(self):
+        server = DatalogServer(PROGRAM, {"base": ["a"]})
+        try:
+            service = DatalogService(server)
+            reply = service.handle_raw({"v": 1, "op": "subscribe"})
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "bad_request"
+            assert "streaming" in reply["error"]["message"]
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# Raw wire shapes of the subscription stream
+# ----------------------------------------------------------------------
+class TestSubscriptionWire:
+    def _subscribe_raw(self, address, **fields):
+        sock = socket.create_connection(address, timeout=10)
+        reader = sock.makefile("rb")
+        writer = sock.makefile("wb")
+        send_json(writer, encode_request(SubscribeRequest(**fields)))
+        return sock, reader
+
+    def test_bootstrap_stream_shape(self, leader):
+        sock, reader = self._subscribe_raw(leader.address)
+        try:
+            hello = recv_json(reader)
+            assert hello["v"] == 1 and hello["ok"] is True
+            assert hello["kind"] == "hello"
+            assert hello["bootstrap"] is True
+            assert hello["generation"] == leader.backend.generation
+            kinds = []
+            record_kinds = []
+            while True:
+                frame = recv_json(reader)
+                kinds.append(frame["kind"])
+                if frame["kind"] != "snapshot_frame":
+                    break
+                record = frame["record"]
+                for marker in ("generation", "relation", "base", "end"):
+                    if marker in record:
+                        record_kinds.append(marker)
+                        break
+                if "end" in record:
+                    # After the end marker the stream idles; the next
+                    # frame is a heartbeat or a generation frame.
+                    frame = recv_json(reader)
+                    kinds.append(frame["kind"])
+                    break
+            assert record_kinds[0] == "generation", "header first"
+            assert record_kinds[-1] == "end"
+            assert kinds[-1] in ("heartbeat", "generation_frame")
+        finally:
+            sock.close()
+
+    def test_stale_subscriber_told_to_rebootstrap(self):
+        transport = serve_tcp(PROGRAM, {"base": ["a"]}, port=0)
+        try:
+            # Shrink the window so generation 1 falls off immediately.
+            transport.hub._max_entries = 1
+            with DatalogClient(*transport.address) as client:
+                for value in ("b", "c", "d"):
+                    client.add_facts([("base", (value,))])
+            sock, reader = self._subscribe_raw(transport.address)
+            try:
+                hello = recv_json(reader)
+                assert hello["kind"] == "hello"
+                assert hello["bootstrap"] is True, "below the floor: bootstrap"
+            finally:
+                sock.close()
+        finally:
+            transport.close()
+
+    def test_incremental_resume_skips_bootstrap(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        wait_until(lambda: follower.lag == 0)
+        # A subscriber that already holds the leader's current generation
+        # (and fact count) resumes without snapshot frames.
+        sock, reader = self._subscribe_raw(
+            leader.address, from_generation=leader.backend.generation
+        )
+        try:
+            hello = recv_json(reader)
+            assert hello["kind"] == "hello"
+            assert hello["bootstrap"] is False
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# RoutingClient
+# ----------------------------------------------------------------------
+class TestRoutingClient:
+    @pytest.fixture
+    def fleet(self, leader, follower_of):
+        """Leader + two TCP-served followers; yields all three addresses."""
+        transports = []
+        for _ in range(2):
+            follower = follower_of(leader)
+            assert follower.wait_connected(10)
+            transports.append(serve_tcp(follower))
+        wait_until(
+            lambda: all(
+                t.backend.generation >= leader.backend.generation
+                for t in transports
+            )
+        )
+        yield [leader.address] + [t.address for t in transports]
+        for transport in transports:
+            transport.close()
+
+    def test_discovers_roles_and_routes_reads_to_followers(self, fleet):
+        with RoutingClient(fleet) as router:
+            topology = router.refresh()
+            roles = sorted(info["role"] for info in topology.values())
+            assert roles == ["follower", "follower", "leader"]
+            assert router.leader == "%s:%d" % tuple(fleet[0])
+            assert len(router.followers) == 2
+            before = [
+                DatalogClient(*address).stats().extra["server"]["queries_served"]
+                for address in fleet
+            ]
+            for _ in range(4):
+                router.query("base(X)")
+            after = [
+                DatalogClient(*address).stats().extra["server"]["queries_served"]
+                for address in fleet
+            ]
+            assert after[0] == before[0], "leader served no routed reads"
+            assert after[1] > before[1] and after[2] > before[2], (
+                "reads rotated across both followers"
+            )
+
+    def test_leader_discovered_from_followers_only(self, fleet):
+        with RoutingClient(fleet[1:]) as router:
+            router.refresh()
+            assert router.leader == "%s:%d" % tuple(fleet[0])
+            response = router.add_facts([("base", ("routed",))])
+            assert response.generation is not None
+
+    def test_writes_update_last_write_generation(self, fleet):
+        with RoutingClient(fleet, read_your_writes=True) as router:
+            response = router.add_facts([("base", ("ryw",))])
+            assert router.last_write_generation == response.generation
+            page = router.query('pair("ryw", X)')
+            assert page.generation >= response.generation
+            assert len(page.rows) >= 1
+
+    def test_failover_skips_dead_follower(self, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        transport = serve_tcp(follower)
+        router = RoutingClient([leader.address, transport.address])
+        try:
+            router.refresh()
+            assert len(router.followers) == 1
+            transport.close()
+            # The dead follower is skipped and the leader answers.
+            page = router.query("base(X)")
+            assert len(page.rows) >= 2
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestReplicationCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_follow_requires_tcp(self, tmp_path):
+        program = tmp_path / "p.sdl"
+        program.write_text(PROGRAM, encoding="utf-8")
+        code, output = self.run_cli(
+            "serve", str(program), "--follow", "127.0.0.1:1"
+        )
+        assert code == 1 and "--tcp" in output
+
+    def test_follow_rejects_local_data_sources(self, tmp_path):
+        program = tmp_path / "p.sdl"
+        program.write_text(PROGRAM, encoding="utf-8")
+        for extra in (
+            ["--db", "x.json"],
+            ["--data-dir", str(tmp_path)],
+            ["--demand"],
+        ):
+            code, output = self.run_cli(
+                "serve", str(program), "--tcp", ":0",
+                "--follow", "127.0.0.1:1", *extra,
+            )
+            assert code == 1 and "leader" in output
+
+    def test_script_mode_banner_reports_bound_port(self, tmp_path, leader):
+        program = tmp_path / "p.sdl"
+        program.write_text(PROGRAM, encoding="utf-8")
+        script = tmp_path / "cmds.txt"
+        script.write_text("stats\n", encoding="utf-8")
+        code, output = self.run_cli(
+            "serve", str(program), "--tcp", ":0", "--script", str(script),
+        )
+        assert code == 0
+        banner = output.splitlines()[0]
+        assert banner.startswith("% serving 0 facts on 127.0.0.1:")
+        port = int(banner.split(":")[1].split(" ")[0])
+        assert port != 0, "the banner reports the actually-bound port"
+
+    def test_follow_script_round_trip(self, tmp_path, leader):
+        program = tmp_path / "p.sdl"
+        program.write_text(PROGRAM, encoding="utf-8")
+        script = tmp_path / "cmds.txt"
+        script.write_text("query base(X)\nstats\n", encoding="utf-8")
+        code, output = self.run_cli(
+            "serve", str(program), "--tcp", ":0",
+            "--follow", "%s:%d" % leader.address,
+            "--script", str(script), "--json",
+        )
+        assert code == 0
+        replies = [json.loads(line) for line in output.splitlines()]
+        assert replies[0]["kind"] == "query_result"
+        assert sorted(row[0] for row in replies[0]["rows"]) == ["a", "b"]
+        assert replies[1]["kind"] == "stats"
+        assert replies[1]["replication"]["role"] == "follower"
+
+    def test_route_command_loop(self, tmp_path, leader, follower_of):
+        follower = follower_of(leader)
+        assert follower.wait_connected(10)
+        transport = serve_tcp(follower)
+        try:
+            script = tmp_path / "cmds.txt"
+            script.write_text(
+                "topology\nadd base zz\nquery base(X)\nquit\n",
+                encoding="utf-8",
+            )
+            code, output = self.run_cli(
+                "route", "%s:%d" % leader.address,
+                "%s:%d" % transport.address,
+                "--read-your-writes", "--script", str(script), "--json",
+            )
+            assert code == 0
+            replies = [json.loads(line) for line in output.splitlines()]
+            assert replies[0]["kind"] == "topology"
+            roles = sorted(
+                info["role"] for info in replies[0]["topology"].values()
+            )
+            assert roles == ["follower", "leader"]
+            assert replies[1]["kind"] == "add_facts"
+            assert replies[2]["kind"] == "query_result"
+            assert ["zz"] in replies[2]["rows"]
+        finally:
+            transport.close()
+
+    def test_route_text_mode_reports_topology(self, tmp_path, leader):
+        script = tmp_path / "cmds.txt"
+        script.write_text("topology\n", encoding="utf-8")
+        code, output = self.run_cli(
+            "route", "%s:%d" % leader.address, "--script", str(script),
+        )
+        assert code == 0
+        assert "leader" in output

@@ -1,0 +1,356 @@
+"""Live-query benchmark: idle-connection density and push-vs-poll throughput.
+
+Measures the two claims of :mod:`repro.live` and emits a JSON record:
+
+* **idle_density** — how many concurrent idle connections one server
+  process holds while staying responsive.  The asyncio front-end pays an
+  event-loop registration per connection instead of a thread, so it must
+  hold >=5,000 idle connections in full runs (asserted; smoke holds a
+  few hundred and checks the shape).  The threaded transport is measured
+  at thread-friendly counts for comparison.
+* **delta_throughput** — N clients that need to see every published
+  generation: continuous-query subscribers (one ``watch`` each, exact
+  per-generation deltas pushed) vs the same N clients polling the full
+  query in a loop.  Subscribers observe every generation by contract and
+  ship only the changed rows; pollers burn full-query round-trips and
+  miss generations they poll past.  Full runs on >=2 cores assert >=2x
+  the notification throughput of 8 polling clients (smoke records the
+  ratio without asserting, matching the other serving benchmarks).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_live.py           # JSON on stdout
+    PYTHONPATH=src python benchmarks/bench_live.py --smoke   # tiny + shape check
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro import DatalogClient, serve_tcp  # noqa: E402
+from repro.live import serve_tcp_async  # noqa: E402
+
+PROGRAM = "suffix(X[N:end]) :- r(X)."
+PATTERN = "suffix(X)"
+
+
+def _wait(predicate, timeout=30.0, what="live progress"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# Idle-connection density
+# ----------------------------------------------------------------------
+def _hold_idle_connections(factory, transport_name, target):
+    """Open ``target`` idle connections; probe responsiveness under them."""
+    server = factory(PROGRAM, {"r": ["acgtacgt"]}, port=0)
+    connections = []
+    try:
+        started = time.perf_counter()
+        for _ in range(target):
+            connections.append(
+                socket.create_connection(server.address, timeout=10)
+            )
+        connect_seconds = time.perf_counter() - started
+        _wait(
+            lambda: server.live.stats()["open_connections"] >= target,
+            what=f"{transport_name} server registering {target} connections",
+        )
+        with DatalogClient(*server.address) as probe:
+            probe.ping()  # warm the connection
+            probe_started = time.perf_counter()
+            stats = probe.stats()
+            probe_ms = (time.perf_counter() - probe_started) * 1e3
+            held = stats.live["open_connections"] >= target
+    finally:
+        for connection in connections:
+            connection.close()
+        server.close()
+    return {
+        "case": f"idle-density-{transport_name}",
+        "kind": "idle_density",
+        "transport": transport_name,
+        "connections": target,
+        "connect_seconds": round(connect_seconds, 4),
+        "probe_ms": round(probe_ms, 2),
+        "held": held,
+    }
+
+
+def bench_idle_density(smoke=False):
+    async_target, threaded_target = (200, 50) if smoke else (5_000, 500)
+    return [
+        _hold_idle_connections(serve_tcp_async, "async", async_target),
+        _hold_idle_connections(serve_tcp, "threaded", threaded_target),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Delta-notification throughput: subscribers vs pollers
+# ----------------------------------------------------------------------
+def _publish_generations(address, generations, pace_seconds):
+    """Publish ``generations`` one-fact batches; return the final generation."""
+    with DatalogClient(*address) as writer:
+        generation = writer.ping().generation
+        for index in range(generations):
+            generation = writer.add_facts(
+                [("r", (f"g{index:04d}",))]
+            ).generation
+            time.sleep(pace_seconds)
+    return generation
+
+
+def _run_consumers(address, consumers, generations, pace_seconds, consume):
+    """Drive N consumer threads against a fresh writer workload.
+
+    ``consume(address, final_generation, barrier, out)`` sets up its
+    client, waits at ``barrier`` (so every consumer is anchored before
+    the writer starts), then observes generations until it has seen
+    ``final_generation``, appending ``(observations, rows)``.  Returns
+    (total_observations, total_rows, elapsed_seconds).
+    """
+    with DatalogClient(*address) as probe:
+        start_generation = probe.ping().generation
+    final_generation = start_generation + generations
+    barrier = threading.Barrier(consumers + 1)
+    results = []
+    errors = []
+
+    def run_consumer():
+        try:
+            consume(address, final_generation, barrier, results)
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+            barrier.abort()
+
+    workers = [
+        threading.Thread(target=run_consumer) for _ in range(consumers)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    _publish_generations(address, generations, pace_seconds)
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    observations = sum(item[0] for item in results)
+    rows = sum(item[1] for item in results)
+    return observations, rows, elapsed
+
+
+def _subscribe_consumer(address, final_generation, barrier, out):
+    observations = rows = 0
+    with DatalogClient(*address) as client:
+        with client.watch(PATTERN) as watch:
+            barrier.wait()  # anchored: no generation can land in the initial
+            for frame in watch:
+                # A coalesced frame is the exact union of several
+                # generations: each one counts as observed.
+                observations += frame.coalesced + (0 if frame.initial else 1)
+                rows += len(frame.rows)
+                if frame.generation >= final_generation:
+                    break
+    out.append((observations, rows))
+
+
+def _poll_consumer(address, final_generation, barrier, out):
+    observations = rows = 0
+    with DatalogClient(*address) as client:
+        last_generation = client.query(PATTERN).generation
+        barrier.wait()
+        while True:
+            page = client.query(PATTERN)
+            rows += len(page.rows)
+            if page.generation != last_generation:
+                # Generations polled past are simply missed.
+                observations += 1
+                last_generation = page.generation
+            if page.generation >= final_generation:
+                break
+    out.append((observations, rows))
+
+
+def bench_delta_throughput(smoke=False):
+    consumers, generations, pace = (3, 6, 0.02) if smoke else (8, 40, 0.01)
+    cases = []
+    throughput = {}
+    for mode, consume in (
+        ("subscribers", _subscribe_consumer),
+        ("polling", _poll_consumer),
+    ):
+        server = serve_tcp_async(PROGRAM, {"r": ["seed"]}, port=0)
+        try:
+            observations, rows, elapsed = _run_consumers(
+                server.address, consumers, generations, pace, consume
+            )
+        finally:
+            server.close()
+        throughput[mode] = observations / max(elapsed, 1e-9)
+        cases.append({
+            "case": f"delta-throughput-{mode}",
+            "kind": "delta_throughput",
+            "mode": mode,
+            "consumers": consumers,
+            "generations": generations,
+            "observations": observations,
+            "rows_transferred": rows,
+            "seconds": round(elapsed, 4),
+            "throughput_notifications_per_second": round(
+                throughput[mode], 1
+            ),
+        })
+    cases.append({
+        "case": "subscriber-notify-speedup",
+        "kind": "notify_speedup",
+        "consumers": consumers,
+        "speedup_vs_polling": round(
+            throughput["subscribers"] / max(throughput["polling"], 1e-9), 2
+        ),
+    })
+    return cases
+
+
+# ----------------------------------------------------------------------
+# Report assembly and validation
+# ----------------------------------------------------------------------
+def run_benchmarks(smoke=False):
+    cases = bench_idle_density(smoke) + bench_delta_throughput(smoke)
+    report = {
+        "benchmark": "live",
+        "unit": "seconds",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count() or 1,
+        "cases": cases,
+    }
+    validate_report(report)
+    if not smoke:
+        for case in cases:
+            if case["kind"] == "idle_density" and case["transport"] == "async":
+                case["asserted"] = True
+                assert case["connections"] >= 5_000 and case["held"], (
+                    f"expected the asyncio front-end to hold >=5000 idle "
+                    f"connections, held {case['connections']} "
+                    f"(held={case['held']})"
+                )
+            if case["kind"] == "notify_speedup" and (os.cpu_count() or 1) >= 2:
+                case["asserted"] = True
+                assert case["speedup_vs_polling"] >= 2.0, (
+                    f"expected >=2x delta-notification throughput vs "
+                    f"{case['consumers']} polling clients, got "
+                    f"{case['speedup_vs_polling']}x"
+                )
+    return report
+
+
+_CASE_SHAPES = {
+    "idle_density": {
+        "transport": str,
+        "connections": int,
+        "connect_seconds": float,
+        "probe_ms": float,
+        "held": bool,
+    },
+    "delta_throughput": {
+        "mode": str,
+        "consumers": int,
+        "generations": int,
+        "observations": int,
+        "rows_transferred": int,
+        "seconds": float,
+        "throughput_notifications_per_second": float,
+    },
+    "notify_speedup": {
+        "consumers": int,
+        "speedup_vs_polling": float,
+    },
+}
+
+
+def validate_report(report):
+    """Check the JSON output shape (used by scripts/check.sh --smoke runs)."""
+    assert report["benchmark"] == "live" and report["unit"] == "seconds"
+    assert isinstance(report["cpu_count"], int) and report["cpu_count"] >= 1
+    assert isinstance(report["cases"], list) and report["cases"]
+    kinds = set()
+    for case in report["cases"]:
+        assert isinstance(case.get("case"), str), "benchmark case missing 'case'"
+        kind = case.get("kind")
+        assert kind in _CASE_SHAPES, f"unknown benchmark case kind {kind!r}"
+        kinds.add(kind)
+        for key, expected in _CASE_SHAPES[kind].items():
+            assert key in case, f"{case['case']}: missing key {key!r}"
+            value = case[key]
+            if expected is float:
+                assert isinstance(value, (int, float)), (
+                    f"{case['case']}: key {key!r} should be numeric, got "
+                    f"{type(value).__name__}"
+                )
+            else:
+                assert isinstance(value, expected), (
+                    f"{case['case']}: key {key!r} should be "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+    assert kinds == set(_CASE_SHAPES), (
+        f"missing case kinds: {set(_CASE_SHAPES) - kinds}"
+    )
+    for case in report["cases"]:
+        if case["kind"] == "idle_density":
+            assert case["held"], (
+                f"{case['case']}: server dropped idle connections"
+            )
+        if case["kind"] == "delta_throughput" and case["mode"] == "subscribers":
+            # The delta contract: every consumer observes every generation.
+            assert case["observations"] == (
+                case["consumers"] * case["generations"]
+            ), f"{case['case']}: subscribers missed generations"
+    json.dumps(report)  # must be serialisable as-is
+
+
+def test_live_benchmark(benchmark):
+    report = run_benchmarks(smoke=True)
+    print()
+    print(json.dumps(report, indent=2))
+
+    def watch_one_generation():
+        server = serve_tcp_async(PROGRAM, {"r": ["ab"]}, port=0)
+        try:
+            with DatalogClient(*server.address) as client:
+                with client.watch(PATTERN) as watch:
+                    stream = iter(watch)
+                    next(stream)  # initial
+                    client.add_facts([("r", ("xy",))])
+                    next(stream)  # the pushed delta
+        finally:
+            server.close()
+
+    benchmark.pedantic(watch_one_generation, rounds=3, iterations=1)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: validate behaviour and JSON shape, skip the "
+        "density and throughput assertions",
+    )
+    args = parser.parse_args(argv)
+    print(json.dumps(run_benchmarks(smoke=args.smoke), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

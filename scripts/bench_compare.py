@@ -193,6 +193,24 @@ POLICIES = {
             "speedup_vs_leader_only": {"min": 0.05},
         },
     },
+    "live": {
+        "command": ["benchmarks/bench_live.py", "--smoke"],
+        # Connection counts, consumer counts and the subscriber
+        # observation total (= consumers x generations, the exact-delta
+        # contract) are deterministic; poller observations, timings and
+        # the push-vs-poll ratio vary with the host, so they only get
+        # divide-blow-up floors (the >=5000-connection and >=2x claims
+        # are asserted by full runs).
+        "exact_case_keys": [
+            "case", "kind", "transport", "connections", "held", "mode",
+            "consumers", "generations",
+        ],
+        "bounded_case_keys": {
+            "throughput_notifications_per_second": {"min": 1.0},
+            "speedup_vs_polling": {"min": 0.05},
+            "probe_ms": {"max": 30_000.0},
+        },
+    },
     "parallel": {
         "command": ["benchmarks/bench_parallel.py", "--smoke"],
         # ``workers`` and the timing fields vary with the host; the

@@ -18,13 +18,17 @@
 #   8. bench_kernels --smoke + shape validation (validate_report);
 #   9. bench_recovery --smoke + shape validation (validate_report);
 #  10. bench_replication --smoke + shape validation (validate_report);
-#  11. end-to-end TCP smoke: bind a live server on a free port, drive it
+#  11. bench_live --smoke + shape validation (validate_report);
+#  12. end-to-end TCP smoke: bind a live server on a free port, drive it
 #      with a real DatalogClient and a raw socket, validate the versioned
 #      JSON envelopes (schema v1, typed results, structured errors);
-#  12. end-to-end replication smoke: a leader and a follower as two real
+#  13. end-to-end replication smoke: a leader and a follower as two real
 #      processes wired through the --json listening envelopes, a write on
 #      the leader read back from the follower, and the not_leader
-#      redirect validated over the wire.
+#      redirect validated over the wire;
+#  14. end-to-end live-watch smoke: an asyncio server watched by the
+#      typed client and by a raw socket, one published generation, the
+#      watching/subscription_delta envelopes validated on the wire.
 #
 # Baseline regression comparison lives in scripts/bench_compare.py and runs
 # as its own CI job.
@@ -159,6 +163,21 @@ validate_report(report)
 print(f"ok: {len(report['cases'])} cases, shape valid, followers identical")
 EOF
 
+echo "== benchmark smoke (bench_live --smoke) =="
+python benchmarks/bench_live.py --smoke > /tmp/bench_live_smoke.json
+python - <<'EOF'
+import json
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_live import validate_report
+
+with open("/tmp/bench_live_smoke.json", "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+validate_report(report)
+print(f"ok: {len(report['cases'])} cases, shape valid, idle connections held")
+EOF
+
 echo "== end-to-end TCP smoke (serve_tcp + DatalogClient) =="
 python - <<'EOF'
 import json
@@ -259,6 +278,54 @@ with tempfile.TemporaryDirectory(prefix="repro-replication-smoke-") as tmpdir:
                 process.terminate()
                 process.wait(timeout=10)
 print("ok: leader/follower fleet, bounded read, not_leader redirect valid")
+EOF
+
+echo "== end-to-end live-watch smoke (serve_tcp_async + watch) =="
+python - <<'EOF'
+import socket
+
+from repro import DatalogClient
+from repro.api.protocol import recv_json, send_json
+from repro.live import serve_tcp_async
+
+with serve_tcp_async("suffix(X[N:end]) :- r(X).", {"r": ["acgt"]}, port=0) as server:
+    host, port = server.address
+    # 1. The typed client: watch, see the initial set, see one exact delta.
+    with DatalogClient(host, port) as client:
+        with client.watch("suffix(X)") as watch:
+            stream = iter(watch)
+            initial = next(stream)
+            assert initial.initial and initial.generation == 0
+            assert sorted(initial.rows) == [
+                ("",), ("acgt",), ("cgt",), ("gt",), ("t",)
+            ], initial.rows
+            client.add_fact("r", "gg")
+            delta = next(stream)
+            assert not delta.initial and delta.generation == 1
+            assert sorted(delta.rows) == [("g",), ("gg",)], delta.rows
+        assert client.stats().live["v"] == 1
+    # 2. Raw socket: validate the watch envelopes on the wire.
+    with socket.create_connection((host, port), timeout=10) as raw:
+        reader, writer = raw.makefile("rb"), raw.makefile("wb")
+        send_json(writer, {"v": 1, "op": "watch", "pattern": "suffix(X)"})
+        ack = recv_json(reader)
+        assert ack["ok"] is True and ack["kind"] == "watching", ack
+        subscription = ack["subscription"]
+        frame = recv_json(reader)
+        assert frame["kind"] == "subscription_delta", frame
+        assert frame["subscription"] == subscription and frame["initial"] is True
+        with DatalogClient(host, port) as pusher:
+            pusher.add_fact("r", "ttaa")
+        while True:  # heartbeats may interleave with the pushed delta
+            frame = recv_json(reader)
+            if frame["kind"] == "subscription_delta":
+                break
+            assert frame["kind"] == "heartbeat", frame
+        assert not frame.get("initial") and frame["generation"] == 2, frame
+        assert sorted(frame["rows"]) == [
+            ["a"], ["aa"], ["taa"], ["ttaa"]
+        ], frame["rows"]
+print("ok: watch streams, exact deltas and live stats valid on both paths")
 EOF
 
 echo "== all checks passed =="

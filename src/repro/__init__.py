@@ -32,6 +32,8 @@ from repro.api.types import (
     QueryRequest,
     QueryResultPage,
     ServerStats,
+    SubscriptionDelta,
+    WatchRequest,
 )
 from repro.core.engine_api import SequenceDatalogEngine
 from repro.database.database import SequenceDatabase
@@ -48,9 +50,16 @@ from repro.errors import (
     LagTimeoutError,
     NotLeaderError,
     ReplicationError,
+    SlowConsumerError,
     StorageError,
 )
 from repro.language.parser import parse_atom, parse_clause, parse_program
+from repro.live import (
+    AsyncDatalogClient,
+    AsyncDatalogServer,
+    SubscriptionManager,
+    serve_tcp_async,
+)
 from repro.replication import FollowerServer, ReplicationHub, RoutingClient
 from repro.sequences.sequence import Sequence
 from repro.storage import DurableStore, open_session
@@ -58,11 +67,13 @@ from repro.transducer_datalog.program import TransducerDatalogProgram
 from repro.transducer_datalog.translation import translate_to_sequence_datalog
 from repro.transducers.registry import TransducerCatalog
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AddFactsRequest",
     "ApiError",
+    "AsyncDatalogClient",
+    "AsyncDatalogServer",
     "BatchRequest",
     "CorruptLogError",
     "CorruptSnapshotError",
@@ -96,7 +107,10 @@ __all__ = [
     "Sequence",
     "SequenceDatabase",
     "SequenceDatalogEngine",
+    "SlowConsumerError",
     "StorageError",
+    "SubscriptionDelta",
+    "SubscriptionManager",
     "TransducerCatalog",
     "TransducerDatalogProgram",
     "compile_demand",
@@ -109,6 +123,8 @@ __all__ = [
     "parse_clause",
     "parse_program",
     "serve_tcp",
+    "serve_tcp_async",
     "translate_to_sequence_datalog",
+    "WatchRequest",
     "__version__",
 ]

@@ -12,15 +12,17 @@ This package is the single wire-stable surface over the serving engine:
 * :mod:`repro.api.transport` — the threading TCP server
   (``repro serve program.sdl --tcp :4321``);
 * :mod:`repro.api.client` — the blocking :class:`DatalogClient` with
-  streaming cursors and retries (``repro client :4321``).
+  streaming cursors, retries and live-query :meth:`~DatalogClient.watch`
+  streams (``repro client :4321``, ``repro watch :4321 'p(X)'``).
 
 Everything older (``engine_api`` returns, ``DatalogSession`` /
 ``DatalogServer`` methods, the CLI's free-text serve loop) keeps working,
 but new integrations should speak these types: they are the compatibility
-contract future transports (async clients, sharding, replicas) will honour.
+contract every transport — including the asyncio front-end and async
+client in :mod:`repro.live` — honours.
 """
 
-from repro.api.client import DatalogClient
+from repro.api.client import DatalogClient, Watch
 from repro.api.protocol import MAX_FRAME_BYTES, read_frame, recv_json, send_json, write_frame
 from repro.api.service import DatalogService
 from repro.api.transport import DatalogTCPServer, parse_address, serve_tcp
@@ -46,6 +48,11 @@ from repro.api.types import (
     SUPPORTED_VERSIONS,
     ServerStats,
     StatsRequest,
+    SubscriptionDelta,
+    UnwatchedResponse,
+    UnwatchRequest,
+    WatchingResponse,
+    WatchRequest,
     decode_request,
     decode_response,
     encode_request,
@@ -78,6 +85,12 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "ServerStats",
     "StatsRequest",
+    "SubscriptionDelta",
+    "UnwatchRequest",
+    "UnwatchedResponse",
+    "Watch",
+    "WatchRequest",
+    "WatchingResponse",
     "decode_request",
     "decode_response",
     "encode_request",

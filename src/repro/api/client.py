@@ -62,6 +62,7 @@ from repro.api.types import (
     FetchRequest,
     LintRequest,
     LintResponse,
+    HeartbeatFrame,
     PingRequest,
     PongResponse,
     QueryRequest,
@@ -69,6 +70,9 @@ from repro.api.types import (
     SCHEMA_VERSION,
     ServerStats,
     StatsRequest,
+    SubscriptionDelta,
+    WatchingResponse,
+    WatchRequest,
     decode_response,
     encode_request,
 )
@@ -285,14 +289,23 @@ class DatalogClient:
             min_generation_timeout=min_generation_timeout,
         )
         page = self._expect(request, QueryResultPage)
-        yield page
-        while not page.complete:
-            if page.cursor is None:
-                raise ProtocolError("incomplete page arrived without a cursor")
-            page = self._expect(
-                FetchRequest(cursor=page.cursor), QueryResultPage, retryable=False
-            )
+        try:
             yield page
+            while not page.complete:
+                if page.cursor is None:
+                    raise ProtocolError("incomplete page arrived without a cursor")
+                page = self._expect(
+                    FetchRequest(cursor=page.cursor), QueryResultPage,
+                    retryable=False,
+                )
+                yield page
+        finally:
+            # A consumer that stops early (break, exception, garbage
+            # collection of the generator) must not strand the server-side
+            # cursor: until this connection closes it would keep pinning a
+            # fully-evaluated result and counting against the per-
+            # connection cursor cap.
+            self._abandon_cursor(page)
 
     def query(
         self,
@@ -331,27 +344,33 @@ class DatalogClient:
         The stream is pinned to the snapshot the first page was answered
         from: maintenance applied mid-stream does not change what this
         iterator yields.  Closing the generator early releases the
-        server-side cursor.
+        server-side cursor (:meth:`query_pages` guarantees it).
         """
-        page = None
+        pages = self.query_pages(
+            pattern, strict=strict,
+            page_size=page_size if page_size is not None else self.page_size,
+        )
         try:
-            for page in self.query_pages(
-                pattern, strict=strict,
-                page_size=page_size if page_size is not None else self.page_size,
-            ):
+            for page in pages:
                 for row in page.rows:
                     yield tuple(row)
         finally:
-            if (
-                page is not None and not page.complete
-                and page.cursor is not None and self.connected
-            ):
-                try:
-                    self._request(
-                        CloseCursorRequest(cursor=page.cursor), retryable=False
-                    )
-                except Exception:
-                    pass  # best-effort cleanup of an abandoned stream
+            # Deterministic, not refcount-dependent: closing the page
+            # generator runs its cursor cleanup even on early break.
+            pages.close()
+
+    def _abandon_cursor(self, page: Optional[QueryResultPage]) -> None:
+        """Best-effort close of a stream abandoned before exhaustion."""
+        if (
+            page is not None and not page.complete
+            and page.cursor is not None and self.connected
+        ):
+            try:
+                self._request(
+                    CloseCursorRequest(cursor=page.cursor), retryable=False
+                )
+            except Exception:
+                pass  # the connection (and with it the cursor) may be gone
 
     def query_batch(
         self, patterns: Iterable[str], strict: bool = False
@@ -359,17 +378,33 @@ class DatalogClient:
         """Answer many patterns against one consistent server snapshot."""
         request = BatchRequest(patterns=tuple(patterns), strict=strict)
         response = self._expect(request, BatchResponse)
-        return [self._finish_pages(page) for page in response.results]
+        finished: List[QueryResultPage] = []
+        try:
+            for page in response.results:
+                finished.append(self._finish_pages(page))
+        except BaseException:
+            # A failure while finishing result k must not strand the
+            # cursors the batch reply opened for results k+1..n — the
+            # caller never sees those pages, so nothing else would ever
+            # close them.  (_finish_pages cleans up result k itself.)
+            for page in response.results[len(finished) + 1:]:
+                self._abandon_cursor(page)
+            raise
+        return finished
 
     def _finish_pages(self, first: QueryResultPage) -> QueryResultPage:
         pages = [first]
-        while not pages[-1].complete and pages[-1].cursor is not None:
-            pages.append(
-                self._expect(
-                    FetchRequest(cursor=pages[-1].cursor), QueryResultPage,
-                    retryable=False,
+        try:
+            while not pages[-1].complete and pages[-1].cursor is not None:
+                pages.append(
+                    self._expect(
+                        FetchRequest(cursor=pages[-1].cursor), QueryResultPage,
+                        retryable=False,
+                    )
                 )
-            )
+        except BaseException:
+            self._abandon_cursor(pages[-1])
+            raise
         return QueryResultPage.merge(pages) if len(pages) > 1 else first
 
     def add_facts(self, facts: FactsLike) -> AddFactsResponse:
@@ -442,6 +477,61 @@ class DatalogClient:
             LintRequest(patterns=tuple(patterns)), LintResponse
         ).report
 
+    def watch(
+        self,
+        pattern: str,
+        strict: bool = False,
+        initial: bool = True,
+        heartbeats: bool = False,
+    ) -> Watch:
+        """Open a continuous query; returns an iterator of exact deltas.
+
+        Opens a *dedicated* connection (on the threaded transport a watch
+        flips its connection to server-push for good, so it cannot share
+        this client's request connection) and sends one ``watch`` frame.
+        The returned :class:`Watch` yields
+        :class:`~repro.api.types.SubscriptionDelta` frames — the initial
+        result set first (``initial=True``) unless ``initial=False`` was
+        passed — and raises the typed library exception when the server
+        terminates the stream (e.g.
+        :class:`~repro.errors.SlowConsumerError` after falling behind).
+        Closing the watch (or its connection) cancels the subscription
+        server-side::
+
+            with client.watch("pair(X, Y)") as watch:
+                for delta in watch:
+                    handle(delta.rows)
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # A push stream blocks until the server has something to say;
+            # heartbeats bound the silence, not the client's socket timeout.
+            sock.settimeout(None)
+            reader = sock.makefile("rb")
+            writer = sock.makefile("wb")
+            request = WatchRequest(pattern=pattern, strict=strict, initial=initial)
+            send_json(writer, encode_request(request), self.max_frame_bytes)
+            message = recv_json(reader, self.max_frame_bytes)
+            if message is None:
+                raise ProtocolError("server closed the connection mid-watch")
+            response = decode_response(message)
+            if isinstance(response, ApiError):
+                response.raise_()
+            if not isinstance(response, WatchingResponse):
+                raise ProtocolError(
+                    f"expected a watching reply to 'watch', "
+                    f"got {type(response).__name__}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        return Watch(
+            sock, reader, writer, response, heartbeats, self.max_frame_bytes
+        )
+
     def raw_request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one raw wire object and return the raw reply (diagnostics)."""
         if self._socket is None:
@@ -456,3 +546,98 @@ class DatalogClient:
     def __repr__(self) -> str:
         state = "connected" if self.connected else "disconnected"
         return f"DatalogClient({self.host}:{self.port}, {state})"
+
+
+class Watch:
+    """One live watch stream over its own blocking connection.
+
+    Iterating yields :class:`~repro.api.types.SubscriptionDelta` frames
+    exactly as the server pushes them; heartbeat frames are swallowed
+    unless the watch was opened with ``heartbeats=True`` (then they are
+    yielded too, as :class:`~repro.api.types.HeartbeatFrame` — useful for
+    liveness checks).  A server-side termination (slow consumer, shutdown)
+    raises the typed library exception its error code names and the
+    iterator ends.  :meth:`close` — or leaving the ``with`` block — drops
+    the connection, which cancels the subscription server-side.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        reader: BinaryIO,
+        writer: BinaryIO,
+        ack: WatchingResponse,
+        heartbeats: bool,
+        max_frame_bytes: int,
+    ) -> None:
+        self._socket: Optional[socket.socket] = sock
+        self._reader = reader
+        self._writer = writer
+        self._heartbeats = heartbeats
+        self._max_frame_bytes = max_frame_bytes
+        #: The server-assigned subscription id.
+        self.subscription = ack.subscription
+        #: The canonical pattern the server registered.
+        self.pattern = ack.pattern
+        #: Generation the initial result set was anchored on.
+        self.generation = ack.generation
+        #: The server's idle keep-alive cadence, in seconds.
+        self.heartbeat_seconds = ack.heartbeat_seconds
+
+    def __iter__(self) -> Watch:
+        return self
+
+    def __next__(self) -> Union[SubscriptionDelta, HeartbeatFrame]:
+        while True:
+            if self._socket is None:
+                raise StopIteration
+            try:
+                message = recv_json(self._reader, self._max_frame_bytes)
+            except (OSError, ValueError):
+                self.close()
+                raise StopIteration from None
+            if message is None:
+                self.close()
+                raise StopIteration
+            response = decode_response(message)
+            if isinstance(response, ApiError):
+                self.close()
+                response.raise_()
+            if isinstance(response, HeartbeatFrame):
+                if self._heartbeats:
+                    return response
+                continue
+            if isinstance(response, SubscriptionDelta):
+                return response
+            raise ProtocolError(
+                f"unexpected {type(response).__name__} frame on a watch stream"
+            )
+
+    def close(self) -> None:
+        """Drop the stream; the server unsubscribes on disconnect."""
+        sock, self._socket = self._socket, None
+        if sock is None:
+            return
+        for stream in (self._reader, self._writer):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> Watch:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "open" if self._socket is not None else "closed"
+        return f"Watch({self.subscription}, {self.pattern!r}, {state})"

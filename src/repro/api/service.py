@@ -64,6 +64,8 @@ from repro.api.types import (
     StatsRequest,
     SubscribeRequest,
     SUPPORTED_VERSIONS,
+    UnwatchRequest,
+    WatchRequest,
     decode_request,
     encode_response,
 )
@@ -73,6 +75,7 @@ from repro.engine.session import DatalogSession
 from repro.errors import LagTimeoutError, RemoteApiError, ReplicationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hub imports types)
+    from repro.live.subscriptions import SubscriptionManager
     from repro.replication.hub import ReplicationHub
 
 #: Hard ceiling on rows (and witnesses) per page.  Monolithic requests are
@@ -133,6 +136,11 @@ class DatalogService:
         it acts as a replication leader.  Enables ``subscribe`` streams
         (on transports that support server-push) and folds the hub's
         counters into ``stats`` replies.
+    live:
+        The server's :class:`~repro.live.subscriptions.SubscriptionManager`,
+        when a transport serves live queries.  Folds the versioned
+        ``live`` section into ``stats`` replies and counts this service's
+        cursors on the serving-wide open-cursor gauge.
 
     The instance is *not* thread-safe (cursors are plain state); give each
     connection its own service over the shared, thread-safe server.
@@ -145,9 +153,11 @@ class DatalogService:
         max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
         max_open_cursors: int = DEFAULT_MAX_CURSORS,
         hub: Optional["ReplicationHub"] = None,
+        live: Optional["SubscriptionManager"] = None,
     ) -> None:
         self._backend = backend
         self._hub = hub
+        self._live = live
         self._demand = demand and isinstance(backend, DatalogSession)
         self._max_page_rows = max(1, max_page_rows)
         self._max_open_cursors = max(1, max_open_cursors)
@@ -208,6 +218,14 @@ class DatalogService:
                 "subscribe requires a streaming transport (connect over TCP)",
                 code=ErrorCode.BAD_REQUEST,
             )
+        if isinstance(request, (WatchRequest, UnwatchRequest)):
+            # Live queries need server-push too: both TCP transports
+            # intercept these ops before dispatch and drive the
+            # subscription manager themselves.
+            raise RemoteApiError(
+                "watch requires a streaming transport (connect over TCP)",
+                code=ErrorCode.BAD_REQUEST,
+            )
         raise RemoteApiError(
             f"unhandled request type {type(request).__name__}",
             code=ErrorCode.BAD_REQUEST,
@@ -223,6 +241,15 @@ class DatalogService:
     def open_cursors(self) -> int:
         return len(self._cursors)
 
+    def _register_cursor(self, cursor_id: str, cursor: _Cursor) -> None:
+        self._cursors[cursor_id] = cursor
+        if self._live is not None:
+            self._live.cursor_opened()
+
+    def _drop_cursor(self, cursor_id: str) -> None:
+        if self._cursors.pop(cursor_id, None) is not None and self._live is not None:
+            self._live.cursor_released()
+
     def release_cursor(self, cursor_id: str) -> None:
         """Drop one cursor's pagination state (unknown ids are a no-op).
 
@@ -230,7 +257,13 @@ class DatalogService:
         to deliver — the client never learned the id, so nothing else
         would ever free it.
         """
-        self._cursors.pop(cursor_id, None)
+        self._drop_cursor(cursor_id)
+
+    def close(self) -> None:
+        """Release every cursor (transports call this when the connection
+        drops, keeping the serving-wide open-cursor gauge honest)."""
+        for cursor_id in list(self._cursors):
+            self._drop_cursor(cursor_id)
 
     # ------------------------------------------------------------------
     # Operations
@@ -281,7 +314,7 @@ class DatalogService:
             cursor = _Cursor(result, page_rows, include_witnesses, generation)
             cursor.row_offset = window.row_offset + len(window.rows)
             cursor.witness_offset = window.witness_offset + len(window.witnesses)
-            self._cursors[cursor_id] = cursor
+            self._register_cursor(cursor_id, cursor)
         return QueryResultPage.from_result(
             result, window, cursor=cursor_id, generation=generation
         )
@@ -337,7 +370,7 @@ class DatalogService:
             witnesses=cursor.include_witnesses,
         )
         if window.complete:
-            del self._cursors[request.cursor]
+            self._drop_cursor(request.cursor)
             cursor_id = None
         else:
             cursor.row_offset = window.row_offset + len(window.rows)
@@ -350,7 +383,7 @@ class DatalogService:
     def _close_cursor(self, request: CloseCursorRequest) -> ClosedResponse:
         # Closing an unknown cursor is not an error: the natural race is a
         # client closing a stream whose last fetch already exhausted it.
-        self._cursors.pop(request.cursor, None)
+        self._drop_cursor(request.cursor)
         return ClosedResponse(cursor=request.cursor)
 
     def _add_facts(self, request: AddFactsRequest) -> AddFactsResponse:
@@ -427,6 +460,9 @@ class DatalogService:
             # that already reports one (a follower) keeps its own.
             raw = dict(raw)
             raw["replication"] = self._hub.stats()
+        if self._live is not None and "live" not in raw:
+            raw = dict(raw)
+            raw["live"] = self._live.stats()
         return ServerStats.from_raw(
             raw,
             generation=self._generation(),

@@ -33,11 +33,22 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.api.protocol import MAX_FRAME_BYTES, recv_json, send_json
 from repro.api.service import DEFAULT_MAX_PAGE_ROWS, DatalogService
-from repro.api.types import ApiError, decode_request, encode_response
+from repro.api.types import (
+    ApiError,
+    ErrorCode,
+    HeartbeatFrame,
+    WatchRequest,
+    WatchingResponse,
+    decode_request,
+    encode_response,
+)
 from repro.engine.server import DatalogServer
 from repro.errors import ProtocolError
 
 # The hub module imports only types/engine/storage — no cycle back here.
+# (The live-subscription manager is imported lazily in the constructor:
+# its package pulls in the asyncio front-end, which imports this module's
+# siblings.)
 from repro.replication.hub import DEFAULT_HEARTBEAT_SECONDS, ReplicationHub
 
 
@@ -51,8 +62,19 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: DatalogTCPServer = self.server  # type: ignore[assignment]
         service = DatalogService(
-            server.backend, max_page_rows=server.max_page_rows, hub=server.hub
+            server.backend, max_page_rows=server.max_page_rows, hub=server.hub,
+            live=server.live,
         )
+        if server.live is not None:
+            server.live.connection_opened()
+        try:
+            self._serve(server, service)
+        finally:
+            if server.live is not None:
+                server.live.connection_closed()
+            service.close()
+
+    def _serve(self, server: DatalogTCPServer, service: DatalogService) -> None:
         while True:
             try:
                 message = recv_json(self.rfile, server.max_frame_bytes)
@@ -69,6 +91,12 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
                 # Subscriptions flip this connection to server-push for the
                 # rest of its life: no further requests are read.
                 self._serve_subscription(service, message)
+                return
+            if isinstance(message, dict) and message.get("op") == "watch":
+                # Same story for live queries on this transport: the
+                # connection becomes the subscription's push stream (the
+                # asyncio front-end serves watches duplex instead).
+                self._serve_watch(service, message)
                 return
             reply = service.handle_raw(message)
             if not self._send_best_effort(service, reply):
@@ -104,6 +132,83 @@ class _ApiConnectionHandler(socketserver.StreamRequestHandler):
         finally:
             server.unregister_subscriber(self.connection)
             stream.close()
+
+    def _serve_watch(
+        self, service: DatalogService, message: Dict[str, Any]
+    ) -> None:
+        """Drive one live-query push stream until either side drops it."""
+        server: DatalogTCPServer = self.server  # type: ignore[assignment]
+        live = server.live
+        try:
+            request = decode_request(message)
+        except Exception as error:
+            self._send_best_effort(
+                service, encode_response(ApiError.from_exception(error))
+            )
+            return
+        if live is None or not isinstance(request, WatchRequest):
+            self._send_best_effort(
+                service,
+                encode_response(
+                    ApiError(
+                        code=ErrorCode.BAD_REQUEST,
+                        message="live queries are not enabled on this server",
+                    )
+                ),
+            )
+            return
+        try:
+            subscription = live.subscribe(
+                request.pattern, strict=request.strict, initial=request.initial
+            )
+        except Exception as error:
+            # Parse/validation/unknown-predicate refusals, typed.
+            self._send_best_effort(
+                service, encode_response(ApiError.from_exception(error))
+            )
+            return
+        server.register_subscriber(self.connection)
+        try:
+            send_json(
+                self.wfile,
+                encode_response(
+                    WatchingResponse(
+                        subscription=subscription.id,
+                        pattern=subscription.pattern,
+                        generation=subscription.started_generation,
+                        heartbeat_seconds=live.heartbeat_seconds,
+                    )
+                ),
+                server.max_frame_bytes,
+            )
+            while True:
+                frame = subscription.pop(live.heartbeat_seconds)
+                if frame is None:
+                    if subscription.closed:
+                        return  # server shutting down / unsubscribed
+                    send_json(
+                        self.wfile,
+                        encode_response(
+                            HeartbeatFrame(
+                                generation=server.backend.generation,
+                                subscription=subscription.id,
+                            )
+                        ),
+                        server.max_frame_bytes,
+                    )
+                    continue
+                if isinstance(frame, ApiError):
+                    # Terminal (slow consumer): ship the typed error, drop.
+                    self._send_best_effort(service, encode_response(frame))
+                    return
+                send_json(
+                    self.wfile, encode_response(frame), server.max_frame_bytes
+                )
+        except (OSError, ValueError, ProtocolError):
+            return  # watcher went away (or a frame broke); just drop it
+        finally:
+            live.unsubscribe(subscription.id)
+            server.unregister_subscriber(self.connection)
 
     @staticmethod
     def _drop_reply_cursors(service: DatalogService, message: Dict[str, Any]) -> None:
@@ -171,7 +276,10 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
     :class:`~repro.replication.hub.ReplicationHub` is attached at
     construction, so followers can subscribe on the same port queries
     use (recording a publish is a few machine words, costing the write
-    path nothing measurable when nobody subscribes).
+    path nothing measurable when nobody subscribes).  A
+    :class:`~repro.live.subscriptions.SubscriptionManager` is attached
+    the same way, so clients can ``watch`` continuous queries — on a
+    follower too (fan-out of fan-out).
     """
 
     allow_reuse_address = True
@@ -186,6 +294,10 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
         owns_backend: bool = False,
         heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
     ) -> None:
+        # Runtime import: the live package pulls in the asyncio front-end,
+        # which imports this module's siblings at module scope.
+        from repro.live.subscriptions import SubscriptionManager
+
         self.backend = backend
         self.max_page_rows = max_page_rows
         self.max_frame_bytes = max_frame_bytes
@@ -195,6 +307,11 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
         self._subscriber_lock = threading.Lock()
         self.hub = (
             ReplicationHub(backend, heartbeat_seconds=heartbeat_seconds)
+            if isinstance(backend, DatalogServer)
+            else None
+        )
+        self.live = (
+            SubscriptionManager(backend, heartbeat_seconds=heartbeat_seconds)
             if isinstance(backend, DatalogServer)
             else None
         )
@@ -246,6 +363,8 @@ class DatalogTCPServer(socketserver.ThreadingTCPServer):
             self.shutdown()
             self._serve_thread.join(timeout=5)
             self._serve_thread = None
+        if self.live is not None:
+            self.live.close()  # wakes handler threads parked in pop()
         self._drop_subscribers()
         self.server_close()
         if self._owns_backend:

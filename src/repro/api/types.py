@@ -68,6 +68,7 @@ from repro.errors import (
     SafetyError,
     SequenceIndexError,
     SessionPoisonedError,
+    SlowConsumerError,
     StorageError,
     TransducerError,
     TuringMachineError,
@@ -113,6 +114,7 @@ class ErrorCode:
     NOT_LEADER = "not_leader"
     LAG_TIMEOUT = "lag_timeout"
     REPLICATION = "replication_error"
+    SLOW_CONSUMER = "slow_consumer"
     INTERNAL = "internal_error"
 
 
@@ -136,6 +138,7 @@ _EXCEPTION_CODES: Tuple[Tuple[type, str], ...] = (
     (NotLeaderError, ErrorCode.NOT_LEADER),
     (LagTimeoutError, ErrorCode.LAG_TIMEOUT),
     (ReplicationError, ErrorCode.REPLICATION),
+    (SlowConsumerError, ErrorCode.SLOW_CONSUMER),
     (ProtocolError, ErrorCode.PROTOCOL),
     (EvaluationError, ErrorCode.EVALUATION),
     (ReproError, ErrorCode.INTERNAL),
@@ -622,6 +625,69 @@ class SubscribeRequest:
         )
 
 
+@dataclass(frozen=True)
+class WatchRequest:
+    """Register a continuous query: push result deltas, generation by generation.
+
+    The server answers with a :class:`WatchingResponse` naming the
+    subscription, then pushes one :class:`SubscriptionDelta` per published
+    generation whose changes produced new answers for the pattern (plus
+    :class:`HeartbeatFrame` while idle).  ``initial=True`` (the default)
+    asks for a first delta carrying every currently-matching row, so the
+    union of all received deltas is always the full current result set.
+    ``strict`` mirrors the query flag: an unknown predicate is refused at
+    watch time instead of matching nothing forever.
+
+    On the threaded TCP transport the connection flips to server-push, the
+    same way the replication ``subscribe`` op does; the asyncio transport
+    stays duplex, so one connection can hold many watches and interleave
+    ordinary requests (see :class:`UnwatchRequest`).
+    """
+
+    op: ClassVar[str] = "watch"
+
+    pattern: str
+    strict: bool = False
+    initial: bool = True
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"pattern": self.pattern}
+        if self.strict:
+            payload["strict"] = True
+        if not self.initial:
+            payload["initial"] = False
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> WatchRequest:
+        return cls(
+            pattern=_string_field(payload, "pattern"),
+            strict=_bool_field(payload, "strict"),
+            initial=_bool_field(payload, "initial", default=True),
+        )
+
+
+@dataclass(frozen=True)
+class UnwatchRequest:
+    """Cancel one subscription opened by :class:`WatchRequest`.
+
+    Only meaningful on a duplex transport (the asyncio front-end); on the
+    threaded transport a watching connection is push-only, so the
+    subscription ends when the connection closes.
+    """
+
+    op: ClassVar[str] = "unwatch"
+
+    subscription: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"subscription": self.subscription}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> UnwatchRequest:
+        return cls(subscription=_string_field(payload, "subscription"))
+
+
 ApiRequest = Union[
     QueryRequest,
     FetchRequest,
@@ -633,6 +699,8 @@ ApiRequest = Union[
     StatsRequest,
     PingRequest,
     SubscribeRequest,
+    WatchRequest,
+    UnwatchRequest,
 ]
 
 REQUEST_TYPES: Dict[str, Any] = {
@@ -648,6 +716,8 @@ REQUEST_TYPES: Dict[str, Any] = {
         StatsRequest,
         PingRequest,
         SubscribeRequest,
+        WatchRequest,
+        UnwatchRequest,
     )
 }
 
@@ -1034,22 +1104,139 @@ class GenerationFrame:
 
 @dataclass(frozen=True)
 class HeartbeatFrame:
-    """A keep-alive on an idle replication stream.
+    """A keep-alive on an idle push stream (replication or live queries).
 
-    Carries the leader's current generation, so a quiet follower still
-    tracks lag (and liveness) without any data moving.
+    Carries the server's current generation, so a quiet follower (or
+    watcher) still tracks lag and liveness without any data moving.  On a
+    live-query stream ``subscription`` names the subscription the beat
+    belongs to, so a duplex connection holding several watches can route
+    it; replication heartbeats leave it ``None``.
     """
 
     kind: ClassVar[str] = "heartbeat"
 
     generation: int
+    subscription: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
-        return {"generation": self.generation}
+        payload: Dict[str, Any] = {"generation": self.generation}
+        if self.subscription is not None:
+            payload["subscription"] = self.subscription
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> HeartbeatFrame:
-        return cls(generation=int(payload.get("generation", 0)))
+        subscription = payload.get("subscription")
+        return cls(
+            generation=int(payload.get("generation", 0)),
+            subscription=subscription if isinstance(subscription, str) else None,
+        )
+
+
+@dataclass(frozen=True)
+class WatchingResponse:
+    """Acknowledgement of a :class:`WatchRequest`.
+
+    ``subscription`` is the server-assigned identifier every subsequent
+    :class:`SubscriptionDelta` (and targeted heartbeat) carries;
+    ``generation`` is the published generation the subscription started
+    at — the initial delta, when requested, snapshots exactly this
+    generation, and every later delta has a strictly greater generation.
+    """
+
+    kind: ClassVar[str] = "watching"
+
+    subscription: str
+    pattern: str
+    generation: int
+    heartbeat_seconds: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "subscription": self.subscription,
+            "pattern": self.pattern,
+            "generation": self.generation,
+            "heartbeat_seconds": self.heartbeat_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> WatchingResponse:
+        return cls(
+            subscription=str(payload.get("subscription", "")),
+            pattern=str(payload.get("pattern", "")),
+            generation=int(payload.get("generation", 0)),
+            heartbeat_seconds=float(payload.get("heartbeat_seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class SubscriptionDelta:
+    """Newly-added answers for one subscription at one published generation.
+
+    ``rows`` carries only rows not previously delivered on this
+    subscription (the model is append-only, so there are no retractions);
+    the union of all deltas received so far — including the ``initial``
+    frame when requested — equals a from-scratch query of the model at
+    ``generation``, fact for fact.  ``coalesced`` counts *extra*
+    generations merged into this frame under backpressure: ``0`` means
+    the frame maps one-to-one onto a published generation.
+    """
+
+    kind: ClassVar[str] = "subscription_delta"
+
+    subscription: str
+    generation: int
+    rows: Tuple[Tuple[str, ...], ...]
+    initial: bool = False
+    coalesced: int = 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "subscription": self.subscription,
+            "generation": self.generation,
+            "rows": [list(row) for row in self.rows],
+        }
+        if self.initial:
+            payload["initial"] = True
+        if self.coalesced:
+            payload["coalesced"] = self.coalesced
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> SubscriptionDelta:
+        raw_rows = payload.get("rows")
+        if not isinstance(raw_rows, (list, tuple)):
+            raise ProtocolError("subscription_delta payload: 'rows' must be a list")
+        rows: List[Tuple[str, ...]] = []
+        for row in raw_rows:
+            if not isinstance(row, (list, tuple)):
+                raise ProtocolError(
+                    "subscription_delta payload: every row must be a list"
+                )
+            rows.append(tuple(str(value) for value in row))
+        return cls(
+            subscription=str(payload.get("subscription", "")),
+            generation=int(payload.get("generation", 0)),
+            rows=tuple(rows),
+            initial=bool(payload.get("initial", False)),
+            coalesced=int(payload.get("coalesced", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class UnwatchedResponse:
+    """Acknowledgement of an :class:`UnwatchRequest`: the subscription ended."""
+
+    kind: ClassVar[str] = "unwatched"
+
+    subscription: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"subscription": self.subscription}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> UnwatchedResponse:
+        return cls(subscription=str(payload.get("subscription", "")))
 
 
 #: The schema-stable subset of the stats payload.  These keys are part of
@@ -1066,6 +1253,7 @@ _STATS_FIELDS = (
     "workers",
     "durability",
     "replication",
+    "live",
 )
 
 
@@ -1095,6 +1283,11 @@ class ServerStats:
     #: or ``{"role": "follower", "leader": "host:port", "lag": ...}``;
     #: ``None`` for an unreplicated server.
     replication: Optional[Mapping[str, Any]] = None
+    #: Live-query counters (``SubscriptionManager.stats()``): open
+    #: connections, active subscriptions, deltas pushed, coalesced
+    #: generations, slow-consumer disconnects, open cursors; ``None``
+    #: when the serving path has no subscription manager attached.
+    live: Optional[Mapping[str, Any]] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -1110,6 +1303,7 @@ class ServerStats:
         }
         durability = stats.get("durability")
         replication = stats.get("replication")
+        live = stats.get("live")
         return cls(
             facts=int(stats.get("facts", 0)),
             base_facts=int(stats.get("base_facts", 0)),
@@ -1121,6 +1315,7 @@ class ServerStats:
             workers=workers,
             durability=durability if isinstance(durability, Mapping) else None,
             replication=replication if isinstance(replication, Mapping) else None,
+            live=live if isinstance(live, Mapping) else None,
             extra=extra,
         )
 
@@ -1140,6 +1335,8 @@ class ServerStats:
             payload["durability"] = dict(self.durability)
         if self.replication is not None:
             payload["replication"] = dict(self.replication)
+        if self.live is not None:
+            payload["live"] = dict(self.live)
         return payload
 
     @classmethod
@@ -1148,6 +1345,7 @@ class ServerStats:
         workers = payload.get("workers")
         durability = payload.get("durability")
         replication = payload.get("replication")
+        live = payload.get("live")
         extra = {
             key: value for key, value in payload.items()
             if key not in _STATS_FIELDS and key not in ("v", "ok", "kind")
@@ -1163,6 +1361,7 @@ class ServerStats:
             workers=workers if isinstance(workers, int) else None,
             durability=durability if isinstance(durability, Mapping) else None,
             replication=replication if isinstance(replication, Mapping) else None,
+            live=live if isinstance(live, Mapping) else None,
             extra=extra,
         )
 
@@ -1180,6 +1379,9 @@ ApiResponse = Union[
     SnapshotFrame,
     GenerationFrame,
     HeartbeatFrame,
+    WatchingResponse,
+    SubscriptionDelta,
+    UnwatchedResponse,
 ]
 
 RESPONSE_TYPES: Dict[str, Any] = {
@@ -1197,6 +1399,9 @@ RESPONSE_TYPES: Dict[str, Any] = {
         SnapshotFrame,
         GenerationFrame,
         HeartbeatFrame,
+        WatchingResponse,
+        SubscriptionDelta,
+        UnwatchedResponse,
     )
 }
 

@@ -221,6 +221,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "through a loopback client against the bound server)",
     )
     serve_parser.add_argument(
+        "--async", dest="async_", action="store_true",
+        help="with --tcp: serve on the asyncio front-end (event-loop "
+             "connection handling on a small thread pool — tens of "
+             "thousands of idle connections or live-query watches — and "
+             "duplex connections: watches and requests multiplex on one "
+             "socket)",
+    )
+    serve_parser.add_argument(
         "--data-dir", metavar="DIR",
         help="durable serving: recover prior state from DIR (snapshot plus "
              "WAL-tail replay), write-ahead log every later batch, and on "
@@ -255,6 +263,39 @@ def _build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument(
         "--page-size", type=int, default=1024,
         help="rows per streamed page for large results (default 1024)",
+    )
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="subscribe to a continuous query on a serve --tcp address and "
+             "stream its exact result deltas",
+    )
+    watch_parser.add_argument("address", help="server address (HOST:PORT or :PORT)")
+    watch_parser.add_argument(
+        "pattern", help="query pattern to watch, e.g. 'path(X, Y)'"
+    )
+    watch_parser.add_argument(
+        "--json", action="store_true",
+        help="emit one schema-versioned subscription_delta JSON object per "
+             "generation instead of tab-separated rows",
+    )
+    watch_parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="exit successfully after N delta frames (default: stream "
+             "until interrupted or the server terminates the watch)",
+    )
+    watch_parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="connect timeout in seconds (default 30)",
+    )
+    watch_parser.add_argument(
+        "--no-initial", action="store_true",
+        help="skip the initial result set; stream only changes published "
+             "after the subscription anchors",
+    )
+    watch_parser.add_argument(
+        "--strict", action="store_true",
+        help="refuse patterns over predicates the program does not define",
     )
 
     route_parser = subparsers.add_parser(
@@ -677,6 +718,9 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 file=out,
             )
             return 1
+    if args.async_ and args.tcp is None:
+        print("error: --async is the asyncio TCP front-end; add --tcp HOST:PORT", file=out)
+        return 1
     database = load_database_json(args.db) if args.db else None
     if args.tcp is not None:
         if args.demand:
@@ -725,6 +769,12 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
 def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
     host, port = parse_address(args.tcp)
+    if args.async_:
+        # Same arguments, same ownership semantics, different transport:
+        # an event loop instead of a thread per connection.
+        from repro.live import serve_tcp_async as serve_transport
+    else:
+        serve_transport = serve_tcp
     follower = None
     if args.follow is not None:
         from repro.replication import FollowerServer
@@ -736,14 +786,14 @@ def _serve_over_tcp(args: argparse.Namespace, database, limits, out) -> int:
             workers=args.workers,
         )
         try:
-            transport = serve_tcp(
+            transport = serve_transport(
                 follower, host=host, port=port, start=args.script is not None
             )
         except BaseException:
             follower.close()
             raise
     else:
-        transport = serve_tcp(
+        transport = serve_transport(
             _load_program(args.program),
             database=database,
             host=host,
@@ -810,6 +860,60 @@ def _command_client(args: argparse.Namespace, out) -> int:
     with DatalogClient(host, port, timeout=args.timeout) as client:
         commands = _ClientCommands(client, page_size=max(1, args.page_size))
         return _command_loop(commands, _read_lines(args), out, args.json)
+
+
+def _command_watch(args: argparse.Namespace, out) -> int:
+    """Stream one continuous query's deltas to stdout until stopped."""
+    from repro.api.types import encode_response
+
+    host, port = parse_address(args.address)
+    client = DatalogClient(host, port, timeout=args.timeout)
+    delivered = 0
+    try:
+        with client.watch(
+            args.pattern, strict=args.strict, initial=not args.no_initial
+        ) as watch:
+            if not args.json:
+                print(
+                    f"% watching {watch.pattern} "
+                    f"(subscription {watch.subscription}, "
+                    f"generation {watch.generation})",
+                    file=out,
+                )
+            if hasattr(out, "flush"):
+                out.flush()
+            with _graceful_shutdown():
+                for delta in watch:
+                    if args.json:
+                        print(
+                            json.dumps(encode_response(delta), sort_keys=True),
+                            file=out,
+                        )
+                    else:
+                        label = "initial" if delta.initial else "delta"
+                        coalesced = (
+                            f", {delta.coalesced} generations coalesced"
+                            if delta.coalesced
+                            else ""
+                        )
+                        print(
+                            f"% {label}: generation {delta.generation}, "
+                            f"{len(delta.rows)} row(s){coalesced}",
+                            file=out,
+                        )
+                        for row in sorted(delta.rows):
+                            print("\t".join(row), file=out)
+                    if hasattr(out, "flush"):
+                        out.flush()
+                    delivered += 1
+                    if args.count is not None and delivered >= args.count:
+                        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+    finally:
+        client.close()
+    # The server ended the stream (shutdown); that is not a client error.
+    return 0
 
 
 def _command_route(args: argparse.Namespace, out) -> int:
@@ -985,6 +1089,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_serve(args, out)
         if args.command == "client":
             return _command_client(args, out)
+        if args.command == "watch":
+            return _command_watch(args, out)
         if args.command == "route":
             return _command_route(args, out)
         if args.command == "analyze":

@@ -155,6 +155,18 @@ class LagTimeoutError(ReplicationError):
     """
 
 
+class SlowConsumerError(ReproError):
+    """A live-query subscriber fell too far behind the publish stream.
+
+    The serving side buffers a bounded number of delta frames per
+    subscription and coalesces bursts into a single latest-generation
+    frame; when even the coalesced backlog exceeds the configured bound,
+    the subscription is terminated with this error rather than letting
+    one stalled reader hold generation history (and memory) for everyone
+    else.  Re-subscribe and start from a fresh initial result set.
+    """
+
+
 class ProtocolError(ReproError):
     """A malformed frame on the versioned network protocol.
 

@@ -1,0 +1,41 @@
+"""Live queries: continuous-query subscriptions and the asyncio front-end.
+
+The engine answers point-in-time queries against published snapshots;
+this package turns it into a continuous-query system:
+
+* :mod:`repro.live.subscriptions` — a :class:`SubscriptionManager` that
+  rides the same publish-listener hook replication uses and evaluates
+  per-subscription result *deltas* against each generation's changed
+  facts, with bounded per-subscriber queues and an explicit
+  slow-consumer policy (coalesce to the latest generation, then
+  disconnect with a typed error).
+* :mod:`repro.live.aserver` — an asyncio TCP front-end speaking the
+  same length-prefixed newline-JSON v1 frames as the threaded server,
+  built to hold tens of thousands of idle connections on a handful of
+  threads, fully duplex (many watches plus ordinary requests on one
+  connection).
+* :mod:`repro.live.aclient` — an :class:`AsyncDatalogClient` for
+  asyncio applications, with an ``async for`` watch iterator.
+
+The sync entry points are :func:`repro.live.aserver.serve_tcp_async`
+and :meth:`repro.api.client.DatalogClient.watch`.
+"""
+
+from repro.live.aclient import AsyncDatalogClient
+from repro.live.aserver import AsyncDatalogServer, serve_tcp_async
+from repro.live.subscriptions import (
+    DEFAULT_MAX_PENDING_ROWS,
+    DEFAULT_MAX_QUEUE_FRAMES,
+    Subscription,
+    SubscriptionManager,
+)
+
+__all__ = [
+    "AsyncDatalogClient",
+    "AsyncDatalogServer",
+    "DEFAULT_MAX_PENDING_ROWS",
+    "DEFAULT_MAX_QUEUE_FRAMES",
+    "Subscription",
+    "SubscriptionManager",
+    "serve_tcp_async",
+]

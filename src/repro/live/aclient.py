@@ -1,0 +1,388 @@
+"""An asyncio client for the versioned TCP API, with live-query watches.
+
+:class:`AsyncDatalogClient` is the event-loop sibling of
+:class:`~repro.api.client.DatalogClient`: same framing, same typed
+requests and errors, but non-blocking — and, because the asyncio
+front-end serves connections duplex, one client connection can hold many
+concurrent watches while still issuing ordinary requests::
+
+    async with AsyncDatalogClient(*server.address) as client:
+        watch = await client.watch("pair(X, Y)")
+        await client.add_fact("base", "acgt")        # same connection
+        async for delta in watch:
+            handle(delta.rows)                       # typed, exact deltas
+
+A background reader task is the only consumer of the socket: it routes
+``subscription_delta`` frames (and per-subscription heartbeats and
+terminal errors) to their watch's queue, and everything else to the
+pending-reply queue in request order.  Request/response calls are
+serialized with a lock, so replies cannot interleave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple, Type, TypeVar, Union
+
+from repro.api.protocol import MAX_FRAME_BYTES
+from repro.api.types import (
+    AddFactsRequest,
+    AddFactsResponse,
+    ApiError,
+    ApiRequest,
+    ApiResponse,
+    HeartbeatFrame,
+    PingRequest,
+    PongResponse,
+    QueryRequest,
+    QueryResultPage,
+    FetchRequest,
+    SCHEMA_VERSION,
+    ServerStats,
+    StatsRequest,
+    SubscriptionDelta,
+    UnwatchedResponse,
+    UnwatchRequest,
+    WatchingResponse,
+    WatchRequest,
+    decode_response,
+    encode_request,
+)
+from repro.engine.session import FactsLike
+from repro.errors import ProtocolError
+from repro.live.aframing import encode_frame, read_message
+
+R = TypeVar("R", bound=ApiResponse)
+
+_RouteItem = Union[ApiResponse, ApiError, BaseException]
+
+
+class AsyncWatch:
+    """One live watch: an async iterator of typed, exact deltas.
+
+    Yields :class:`~repro.api.types.SubscriptionDelta` frames (the
+    initial result set arrives first, flagged ``initial=True``, unless
+    the watch was opened with ``initial=False``).  Heartbeats are
+    swallowed unless ``heartbeats=True`` was requested.  A terminal
+    error — the server's slow-consumer disconnect, a dropped connection —
+    is raised as the library exception its code names
+    (:class:`~repro.errors.SlowConsumerError`, ...).  :meth:`unwatch`
+    ends the stream cleanly; so does ``break`` + ``await watch.unwatch()``.
+    """
+
+    def __init__(
+        self,
+        client: AsyncDatalogClient,
+        subscription: str,
+        pattern: str,
+        generation: int,
+        queue: "asyncio.Queue[_RouteItem]",
+        heartbeats: bool,
+    ) -> None:
+        self._client = client
+        self.subscription = subscription
+        self.pattern = pattern
+        #: Generation the initial result set was anchored on.
+        self.generation = generation
+        self._queue = queue
+        self._heartbeats = heartbeats
+        self._done = False
+
+    def __aiter__(self) -> AsyncWatch:
+        return self
+
+    async def __anext__(self) -> Union[SubscriptionDelta, HeartbeatFrame]:
+        while True:
+            if self._done:
+                raise StopAsyncIteration
+            item = await self._queue.get()
+            if isinstance(item, BaseException):
+                self._done = True
+                raise item
+            if isinstance(item, ApiError):
+                self._done = True
+                item.raise_()
+            if isinstance(item, HeartbeatFrame):
+                if self._heartbeats:
+                    return item
+                continue
+            if isinstance(item, SubscriptionDelta):
+                return item
+            # UnwatchedResponse routed here after an unwatch race.
+            self._done = True
+            raise StopAsyncIteration
+
+    async def unwatch(self) -> None:
+        """Cancel the watch server-side and end the iterator."""
+        if not self._done:
+            self._done = True
+            await self._client.unwatch(self.subscription)
+
+
+class AsyncDatalogClient:
+    """A non-blocking client for one API server (asyncio or threaded).
+
+    Ordinary requests (``ping``/``query``/``add_facts``/``stats``) work
+    against either transport.  :meth:`watch` needs the duplex asyncio
+    front-end to multiplex on one connection; against the threaded
+    transport, use one client per watch (the connection flips to
+    push-only there) or the sync :meth:`DatalogClient.watch`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4321,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._replies: "asyncio.Queue[_RouteItem]" = asyncio.Queue()
+        self._watch_queues: Dict[str, "asyncio.Queue[_RouteItem]"] = {}
+        #: Frames for a subscription whose queue is not registered yet
+        #: (the ack and the first deltas can race the registration).
+        self._orphans: Dict[str, List[_RouteItem]] = {}
+        self._lock = asyncio.Lock()
+        self._closed = False
+        self.server_versions: Tuple[int, ...] = ()
+        self.server_version: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    async def connect(self) -> AsyncDatalogClient:
+        """Connect and negotiate the schema version (idempotent)."""
+        if self._writer is None:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            self._reader, self._writer = reader, writer
+            self._closed = False
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+            pong = await self.ping()
+            if SCHEMA_VERSION not in pong.versions:
+                versions = ", ".join(map(str, pong.versions)) or "none"
+                await self.close()
+                raise ProtocolError(
+                    f"server speaks schema versions [{versions}], "
+                    f"this client needs v{SCHEMA_VERSION}"
+                )
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_pending(ProtocolError("client closed"))
+
+    async def __aenter__(self) -> AsyncDatalogClient:
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    # ------------------------------------------------------------------
+    # Reader task: the only consumer of the socket
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                message = await read_message(self._reader, self.max_frame_bytes)
+                if message is None:
+                    raise ProtocolError(
+                        "server closed the connection"
+                    )
+                self._route(decode_response(message))
+        except asyncio.CancelledError:
+            raise
+        except (OSError, ConnectionError, ProtocolError) as error:
+            self._fail_pending(error)
+
+    def _route(self, response: Union[ApiResponse, ApiError]) -> None:
+        subscription: Optional[str] = None
+        if isinstance(response, SubscriptionDelta):
+            subscription = response.subscription
+        elif isinstance(response, HeartbeatFrame) and response.subscription:
+            subscription = response.subscription
+        elif isinstance(response, ApiError):
+            target = response.details.get("subscription")
+            if isinstance(target, str) and (
+                target in self._watch_queues or target in self._orphans
+            ):
+                subscription = target
+        if subscription is None:
+            self._replies.put_nowait(response)
+            return
+        queue = self._watch_queues.get(subscription)
+        if queue is None:
+            # The registration in watch() has not run yet; buffer.
+            self._orphans.setdefault(subscription, []).append(response)
+        else:
+            queue.put_nowait(response)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        self._replies.put_nowait(error)
+        for queue in self._watch_queues.values():
+            queue.put_nowait(error)
+        self._watch_queues.clear()
+        self._orphans.clear()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    async def _request(self, request: ApiRequest) -> ApiResponse:
+        async with self._lock:
+            if self._writer is None:
+                await self.connect()
+            assert self._writer is not None
+            self._writer.write(
+                encode_frame(encode_request(request), self.max_frame_bytes)
+            )
+            await self._writer.drain()
+            item = await self._replies.get()
+        if isinstance(item, BaseException):
+            raise item
+        if isinstance(item, ApiError):
+            item.raise_()
+        return item
+
+    async def _expect(self, request: ApiRequest, response_type: Type[R]) -> R:
+        response = await self._request(request)
+        if not isinstance(response, response_type):
+            raise ProtocolError(
+                f"expected a {response_type.kind} reply to {request.op!r}, "
+                f"got {type(response).__name__}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Typed operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> PongResponse:
+        pong = await self._expect(PingRequest(), PongResponse)
+        self.server_versions = pong.versions
+        self.server_version = pong.server_version
+        return pong
+
+    async def query(
+        self,
+        pattern: str,
+        strict: bool = False,
+        witnesses: bool = False,
+        page_size: Optional[int] = None,
+        min_generation: Optional[int] = None,
+        min_generation_timeout: Optional[float] = None,
+    ) -> QueryResultPage:
+        """Answer one pattern, reassembling every page into one result."""
+        page = await self._expect(
+            QueryRequest(
+                pattern=pattern,
+                strict=strict,
+                page_size=page_size,
+                include_witnesses=witnesses,
+                min_generation=min_generation,
+                min_generation_timeout=min_generation_timeout,
+            ),
+            QueryResultPage,
+        )
+        pages = [page]
+        while not page.complete:
+            if page.cursor is None:
+                raise ProtocolError("incomplete page arrived without a cursor")
+            page = await self._expect(
+                FetchRequest(cursor=page.cursor), QueryResultPage
+            )
+            pages.append(page)
+        return QueryResultPage.merge(pages) if len(pages) > 1 else pages[0]
+
+    async def add_facts(self, facts: FactsLike) -> AddFactsResponse:
+        from repro.api.client import _normalize_facts
+
+        return await self._expect(
+            AddFactsRequest(facts=_normalize_facts(facts)), AddFactsResponse
+        )
+
+    async def add_fact(self, predicate: str, *values: str) -> AddFactsResponse:
+        return await self.add_facts([(predicate, values)])
+
+    async def stats(self) -> ServerStats:
+        return await self._expect(StatsRequest(), ServerStats)
+
+    async def raw_request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw wire object; the raw reply dict (diagnostics)."""
+        async with self._lock:
+            if self._writer is None:
+                await self.connect()
+            assert self._writer is not None
+            self._writer.write(encode_frame(message, self.max_frame_bytes))
+            await self._writer.drain()
+            item = await self._replies.get()
+        if isinstance(item, BaseException):
+            raise item
+        from repro.api.types import encode_response
+
+        return encode_response(item)
+
+    # ------------------------------------------------------------------
+    # Live queries
+    # ------------------------------------------------------------------
+    async def watch(
+        self,
+        pattern: str,
+        strict: bool = False,
+        initial: bool = True,
+        heartbeats: bool = False,
+    ) -> AsyncWatch:
+        """Open a continuous query; returns the :class:`AsyncWatch` stream.
+
+        The server acknowledges with the subscription id and the
+        generation the initial result set is anchored on; every
+        subsequent published generation that changes the answer arrives
+        as one exact :class:`~repro.api.types.SubscriptionDelta`.
+        """
+        ack = await self._expect(
+            WatchRequest(pattern=pattern, strict=strict, initial=initial),
+            WatchingResponse,
+        )
+        queue: "asyncio.Queue[_RouteItem]" = asyncio.Queue()
+        self._watch_queues[ack.subscription] = queue
+        for item in self._orphans.pop(ack.subscription, ()):
+            queue.put_nowait(item)
+        return AsyncWatch(
+            self, ack.subscription, ack.pattern, ack.generation, queue,
+            heartbeats,
+        )
+
+    async def unwatch(self, subscription: str) -> None:
+        """Cancel one subscription server-side and drop its queue."""
+        try:
+            await self._expect(
+                UnwatchRequest(subscription=subscription), UnwatchedResponse
+            )
+        finally:
+            self._watch_queues.pop(subscription, None)
+            self._orphans.pop(subscription, None)
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"AsyncDatalogClient({self.host}:{self.port}, {state})"

@@ -1,0 +1,88 @@
+"""Asyncio-side helpers for the length-prefixed newline-JSON framing.
+
+The byte format is exactly :mod:`repro.api.protocol` — these helpers only
+adapt it to :class:`asyncio.StreamReader` / pre-encoded outbound bytes so
+the asyncio server and client never block a thread on I/O.  Violations
+raise the same :class:`~repro.errors.ProtocolError` the blocking codec
+raises, with the same "connection is unusable afterwards" contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.api.protocol import MAX_FRAME_BYTES
+from repro.errors import ProtocolError
+
+#: The length line is ASCII decimal digits; 20 digits already exceeds 2**63.
+_MAX_LENGTH_DIGITS = 20
+
+
+def encode_frame(
+    message: Dict[str, Any], max_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """One wire object as one complete frame (length line + payload + LF).
+
+    The cap is checked before anything is written, so a refused frame
+    leaves the stream in sync — the caller can still send a (smaller)
+    error frame on the same connection.
+    """
+    payload = json.dumps(message, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    if len(payload) > max_bytes:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(cap {max_bytes}); paginate the result instead"
+        )
+    return b"%d\n%s\n" % (len(payload), payload)
+
+
+async def read_message(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Read and decode one frame; ``None`` on a clean EOF between frames."""
+    try:
+        header = await reader.readline()
+    except ValueError:
+        # The reader's line limit tripped: a length line is at most a few
+        # dozen bytes, so the peer is not speaking the protocol.
+        raise ProtocolError(
+            "frame length line too long or truncated"
+        ) from None
+    if not header:
+        return None  # clean EOF: the peer closed between frames
+    if not header.endswith(b"\n"):
+        raise ProtocolError(
+            f"frame length line too long or truncated: {header[:32]!r}"
+        )
+    line = header.strip()
+    if not line.isdigit() or len(line) > _MAX_LENGTH_DIGITS:
+        raise ProtocolError(f"frame length must be decimal digits, got {line!r}")
+    length = int(line)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {max_bytes})"
+        )
+    try:
+        payload = await reader.readexactly(length + 1)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)}"
+            f" of {length} bytes)"
+        ) from None
+    if payload[-1:] != b"\n":
+        raise ProtocolError(
+            f"frame not newline-terminated (got {payload[-1:]!r} after payload)"
+        )
+    try:
+        message = json.loads(payload[:-1].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message

@@ -1,0 +1,695 @@
+"""Asyncio TCP front-end for the versioned API.
+
+:class:`AsyncDatalogServer` serves the same length-prefixed newline-JSON
+v1 frames as :class:`~repro.api.transport.DatalogTCPServer`, against the
+same shared :class:`~repro.engine.server.DatalogServer` backend — but
+holds every connection as asyncio state instead of a dedicated thread.
+The threaded transport costs one thread (~8 MiB of stack address space
+plus scheduler load) per connection whether or not it is doing anything;
+here tens of thousands of idle connections or watch streams cost a few
+kilobytes each, on a handful of threads total:
+
+* the event-loop thread owns every socket — reads, writes, timeouts,
+  heartbeats;
+* a small :class:`~concurrent.futures.ThreadPoolExecutor` runs the
+  blocking engine work (:meth:`DatalogService.handle_raw`) so a heavy
+  query never stalls the loop — per-connection request/response lockstep
+  is preserved by awaiting each dispatch before reading the next frame;
+* replication streams (the blocking generator
+  :meth:`~repro.api.service.DatalogService.stream_subscription`) each get
+  a dedicated thread, bridged back into the connection's outbound queue.
+
+Unlike the threaded transport — where ``watch``/``subscribe`` flip the
+whole connection to server-push — this front-end is **duplex**: one
+connection can hold many live-query watches *and* keep issuing ordinary
+requests.  Each watch gets a pump task that bridges the subscription's
+queue into the connection's bounded outbound queue; ``await drain()`` on
+the socket is the backpressure chain that ultimately trips the
+subscription manager's coalesce/slow-consumer policy when a reader
+stalls.
+
+``serve_tcp_async`` mirrors :func:`~repro.api.transport.serve_tcp`: same
+arguments, same ``.address`` / context-manager / ``serve_forever`` shape,
+so callers (CLI, tests, benchmarks) swap transports with one flag.
+
+This module must not import :mod:`repro.api.transport` (the threaded
+transport imports this package's subscription manager).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple, Union
+
+from repro.api.protocol import MAX_FRAME_BYTES
+from repro.api.service import DEFAULT_MAX_PAGE_ROWS, DatalogService
+from repro.api.types import (
+    ApiError,
+    ErrorCode,
+    HeartbeatFrame,
+    SubscribeRequest,
+    UnwatchedResponse,
+    UnwatchRequest,
+    WatchingResponse,
+    WatchRequest,
+    decode_request,
+    encode_response,
+)
+from repro.engine.server import DatalogServer
+from repro.errors import ProtocolError
+from repro.live.aframing import encode_frame, read_message
+from repro.live.subscriptions import Subscription, SubscriptionManager
+from repro.replication.hub import DEFAULT_HEARTBEAT_SECONDS, ReplicationHub
+
+#: Frames buffered per connection between the dispatching side and the
+#: socket writer.  Small on purpose: once it fills, producers (request
+#: replies, watch pumps) await, and watch backpressure moves into the
+#: subscription manager's coalescing queue where the slow-consumer
+#: policy lives.
+OUTBOUND_QUEUE_FRAMES = 32
+
+#: Threads for blocking engine work.  The backend serializes writers and
+#: snapshots reads, so a handful is enough to keep queries flowing
+#: without turning back into thread-per-connection.
+DEFAULT_EXECUTOR_THREADS = 4
+
+#: Writer-task sentinel: flush what is queued, then close the connection
+#: (the slow-consumer disconnect ships its terminal error first).
+_CLOSE = object()
+
+
+class _Connection:
+    """Asyncio-side state for one client connection."""
+
+    __slots__ = (
+        "reader", "writer", "outbound", "service", "watches",
+        "writer_task", "dead",
+    )
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        service: DatalogService,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.outbound: asyncio.Queue = asyncio.Queue(maxsize=OUTBOUND_QUEUE_FRAMES)
+        self.service = service
+        #: subscription id -> (subscription, pump task)
+        self.watches: Dict[str, Tuple[Subscription, asyncio.Task]] = {}
+        self.writer_task: Optional[asyncio.Task] = None
+        #: Set at teardown; unblocks replication-stream threads parked on
+        #: the outbound queue.
+        self.dead = threading.Event()
+
+
+class AsyncDatalogServer:
+    """Serve one :class:`DatalogServer` backend over asyncio TCP.
+
+    Parameters mirror :class:`~repro.api.transport.DatalogTCPServer`
+    (``address``, ``backend``, ``max_page_rows``, ``max_frame_bytes``,
+    ``owns_backend``, ``heartbeat_seconds``) plus ``executor_threads``,
+    the size of the shared pool blocking engine work runs on.
+
+    The listening socket is bound in the constructor — ``.address``
+    resolves port 0 immediately, before :meth:`start` — and the event
+    loop runs on a dedicated daemon thread, so the blocking entry points
+    (:meth:`start`, :meth:`serve_forever`, :meth:`close`, the context
+    manager) look exactly like the threaded transport's.
+
+    Like the threaded transport, every asyncio-served backend is
+    automatically a replication leader (a
+    :class:`~repro.replication.hub.ReplicationHub` is attached at
+    construction) and carries a
+    :class:`~repro.live.subscriptions.SubscriptionManager` for ``watch``
+    streams.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        backend: DatalogServer,
+        max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        owns_backend: bool = False,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+        executor_threads: int = DEFAULT_EXECUTOR_THREADS,
+    ) -> None:
+        self.backend = backend
+        self.max_page_rows = max_page_rows
+        self.max_frame_bytes = max_frame_bytes
+        self._owns_backend = owns_backend
+        self.hub = (
+            ReplicationHub(backend, heartbeat_seconds=heartbeat_seconds)
+            if isinstance(backend, DatalogServer)
+            else None
+        )
+        self.live = (
+            SubscriptionManager(backend, heartbeat_seconds=heartbeat_seconds)
+            if isinstance(backend, DatalogServer)
+            else None
+        )
+        # Bind now so `.address` answers (and port 0 resolves) before the
+        # loop thread exists — same contract as the threaded transport.
+        self._socket = socket.create_server(address, backlog=512)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, executor_threads), thread_name_prefix="repro-aio"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (blocking surface, thread-safe)
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound ``(host, port)`` (resolves port 0)."""
+        host, port = self._socket.getsockname()[:2]
+        return host, port
+
+    def start(self) -> AsyncDatalogServer:
+        """Run the event loop on a daemon thread and begin accepting."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run_loop, name="repro-api-aio", daemon=True
+            )
+            self._thread.start()
+            self._started.wait()
+            if self._startup_error is not None:
+                raise self._startup_error
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`close` (interruptible by KeyboardInterrupt).
+
+        Polls a half-second tick instead of joining the loop thread so
+        the CLI's signal translation (SIGTERM -> KeyboardInterrupt) can
+        interrupt it — the same graceful-shutdown story the threaded
+        transport's ``serve_forever`` has.
+        """
+        self.start()
+        while not self._stopped.wait(0.5):
+            pass
+
+    def close(self) -> None:
+        """Stop accepting, unwind every connection, release everything."""
+        if self._closed:
+            return
+        self._closed = True
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and loop.is_running():
+            loop.call_soon_threadsafe(shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if self.live is not None:
+            self.live.close()
+        try:
+            self._socket.close()  # idempotent; the loop normally owns it
+        except OSError:
+            pass
+        self._executor.shutdown(wait=False)
+        if self._owns_backend:
+            self.backend.close()
+        self._stopped.set()
+
+    def __enter__(self) -> AsyncDatalogServer:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"AsyncDatalogServer({host}:{port}, backend={self.backend!r})"
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - startup failure
+            self._startup_error = error
+            self._started.set()
+        finally:
+            self._stopped.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._on_connection, sock=self._socket, backlog=512
+        )
+        self._started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections, return_exceptions=True)
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    # ------------------------------------------------------------------
+    # Per-connection protocol loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                # Frames are small and latency-bound: Nagle + delayed ACK
+                # would add ~40ms per round trip on loopback.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - exotic socket types
+                pass
+        service = DatalogService(
+            self.backend, max_page_rows=self.max_page_rows, hub=self.hub,
+            live=self.live,
+        )
+        connection = _Connection(reader, writer, service)
+        connection.writer_task = asyncio.ensure_future(
+            self._write_loop(connection)
+        )
+        if self.live is not None:
+            self.live.connection_opened()
+        try:
+            await self._serve(connection)
+        except asyncio.CancelledError:
+            pass  # server shutdown unwinds the connection below
+        finally:
+            connection.dead.set()
+            for subscription, pump in connection.watches.values():
+                if self.live is not None:
+                    self.live.unsubscribe(subscription.id)
+                pump.cancel()
+            connection.watches.clear()
+            writer_task = connection.writer_task
+            if writer_task is not None and not writer_task.done():
+                # Flush what is already queued (a best-effort protocol
+                # error, a terminal watch frame) before dropping the
+                # socket; fall back to cancellation if the peer stalls.
+                try:
+                    connection.outbound.put_nowait(_CLOSE)
+                    await asyncio.wait_for(asyncio.shield(writer_task), 5)
+                except BaseException:
+                    writer_task.cancel()
+            if self.live is not None:
+                self.live.connection_closed()
+            service.close()
+
+    async def _serve(self, connection: _Connection) -> None:
+        while True:
+            try:
+                message = await read_message(
+                    connection.reader, self.max_frame_bytes
+                )
+            except ProtocolError as error:
+                # One best-effort typed reply, then drop: the stream
+                # position is unknown after a framing violation.
+                await self._send(
+                    connection, encode_response(ApiError.from_exception(error))
+                )
+                return
+            except (OSError, ConnectionError):
+                return
+            if message is None:
+                return  # clean EOF
+            op = message.get("op")
+            if op == "watch":
+                await self._handle_watch(connection, message)
+                continue
+            if op == "unwatch":
+                await self._handle_unwatch(connection, message)
+                continue
+            if op == "subscribe":
+                # A replication stream joins the duplex connection: the
+                # blocking generator runs on its own thread and funnels
+                # frames into this connection's outbound queue.
+                self._start_replication(connection, message)
+                continue
+            # Ordinary request/response: run the blocking dispatch on the
+            # executor and await it before reading the next frame — the
+            # per-connection lockstep is the pagination backpressure.
+            assert self._loop is not None
+            reply = await self._loop.run_in_executor(
+                self._executor, connection.service.handle_raw, message
+            )
+            await self._send(connection, reply)
+
+    async def _send(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        """Encode and enqueue one reply, degrading oversized frames.
+
+        A reply that blows the frame cap (a page of huge sequences: the
+        row clamp bounds rows, not bytes) is replaced by a small typed
+        error — after releasing any cursors it registered, which the
+        client would otherwise never learn about.
+        """
+        try:
+            data = encode_frame(message, self.max_frame_bytes)
+        except ProtocolError as error:
+            self._drop_reply_cursors(connection.service, message)
+            data = encode_frame(
+                encode_response(ApiError.from_exception(error)),
+                self.max_frame_bytes,
+            )
+        await connection.outbound.put(data)
+
+    @staticmethod
+    def _drop_reply_cursors(
+        service: DatalogService, message: Dict[str, Any]
+    ) -> None:
+        cursors = [message.get("cursor")]
+        cursors.extend(
+            entry.get("cursor")
+            for entry in message.get("results", ())
+            if isinstance(entry, dict)
+        )
+        for cursor in cursors:
+            if isinstance(cursor, str):
+                service.release_cursor(cursor)
+
+    async def _write_loop(self, connection: _Connection) -> None:
+        """The only writer of this connection's socket.
+
+        ``await drain()`` per frame is the real backpressure: when the
+        kernel buffer fills, this task parks, the bounded outbound queue
+        fills behind it, producers await, and watch deltas pile into the
+        subscription manager's coalescing queue where the slow-consumer
+        policy decides.
+        """
+        writer = connection.writer
+        try:
+            while True:
+                data = await connection.outbound.get()
+                if data is _CLOSE:
+                    return
+                writer.write(data)
+                await writer.drain()
+        except (OSError, ConnectionError):
+            return  # peer went away mid-write; the reader will notice
+        finally:
+            connection.dead.set()
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Live queries (duplex watch/unwatch)
+    # ------------------------------------------------------------------
+    async def _handle_watch(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        live = self.live
+        try:
+            request = decode_request(message)
+        except Exception as error:
+            await self._send(
+                connection, encode_response(ApiError.from_exception(error))
+            )
+            return
+        if live is None or not isinstance(request, WatchRequest):
+            await self._send(
+                connection,
+                encode_response(
+                    ApiError(
+                        code=ErrorCode.BAD_REQUEST,
+                        message="live queries are not enabled on this server",
+                    )
+                ),
+            )
+            return
+        assert self._loop is not None
+        try:
+            subscription = await self._loop.run_in_executor(
+                self._executor,
+                lambda: live.subscribe(
+                    request.pattern, strict=request.strict, initial=request.initial
+                ),
+            )
+        except Exception as error:
+            # Parse/validation/unknown-predicate refusals, typed.
+            await self._send(
+                connection, encode_response(ApiError.from_exception(error))
+            )
+            return
+        # The ack goes into the same FIFO queue before the pump starts,
+        # so the client always sees `watching` before any delta.
+        await self._send(
+            connection,
+            encode_response(
+                WatchingResponse(
+                    subscription=subscription.id,
+                    pattern=subscription.pattern,
+                    generation=subscription.started_generation,
+                    heartbeat_seconds=live.heartbeat_seconds,
+                )
+            ),
+        )
+        event = asyncio.Event()
+        loop = self._loop
+
+        def _notify() -> None:
+            # Fired from the dispatcher thread; the loop may already be
+            # gone during shutdown.
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass
+
+        subscription.set_notifier(_notify)
+        pump = asyncio.ensure_future(
+            self._pump_watch(connection, subscription, event)
+        )
+        connection.watches[subscription.id] = (subscription, pump)
+
+    async def _handle_unwatch(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        try:
+            request = decode_request(message)
+        except Exception as error:
+            await self._send(
+                connection, encode_response(ApiError.from_exception(error))
+            )
+            return
+        assert isinstance(request, UnwatchRequest)
+        entry = connection.watches.pop(request.subscription, None)
+        if entry is None:
+            await self._send(
+                connection,
+                encode_response(
+                    ApiError(
+                        code=ErrorCode.BAD_REQUEST,
+                        message=(
+                            f"unknown subscription {request.subscription!r} "
+                            "(not active on this connection)"
+                        ),
+                        details={"subscription": request.subscription},
+                    )
+                ),
+            )
+            return
+        subscription, pump = entry
+        if self.live is not None:
+            self.live.unsubscribe(subscription.id)
+        pump.cancel()
+        await self._send(
+            connection,
+            encode_response(UnwatchedResponse(subscription=subscription.id)),
+        )
+
+    async def _pump_watch(
+        self,
+        connection: _Connection,
+        subscription: Subscription,
+        event: asyncio.Event,
+    ) -> None:
+        """Bridge one subscription's queue onto the connection.
+
+        Parked on an :class:`asyncio.Event` the manager's dispatcher
+        pokes via ``call_soon_threadsafe`` — an idle watch costs no
+        thread and no polling, just a heartbeat frame per cadence tick.
+        """
+        heartbeat = (
+            self.live.heartbeat_seconds if self.live is not None else 1.0
+        )
+        try:
+            while True:
+                try:
+                    await asyncio.wait_for(event.wait(), heartbeat)
+                except asyncio.TimeoutError:
+                    if subscription.closed:
+                        return
+                    await self._send(
+                        connection,
+                        encode_response(
+                            HeartbeatFrame(
+                                generation=self.backend.generation,
+                                subscription=subscription.id,
+                            )
+                        ),
+                    )
+                    continue
+                event.clear()
+                frames = subscription.pop_all()
+                for frame in frames:
+                    if isinstance(frame, ApiError):
+                        # Terminal (slow consumer): ship the typed error,
+                        # then flush and drop the whole connection — the
+                        # stream's delta contract is broken.
+                        await self._send(connection, encode_response(frame))
+                        connection.watches.pop(subscription.id, None)
+                        await connection.outbound.put(_CLOSE)
+                        return
+                    await self._send(connection, encode_response(frame))
+                if subscription.closed and not frames:
+                    return  # server shutdown / unsubscribed
+        except asyncio.CancelledError:
+            raise
+        except (OSError, ConnectionError):  # pragma: no cover - writer races
+            return
+
+    # ------------------------------------------------------------------
+    # Replication streams (bridged threads)
+    # ------------------------------------------------------------------
+    def _start_replication(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        thread = threading.Thread(
+            target=self._stream_replication,
+            args=(connection, message),
+            name="repro-aio-repl",
+            daemon=True,
+        )
+        thread.start()
+
+    def _stream_replication(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        """Drive one blocking replication generator onto the connection.
+
+        Runs on a dedicated thread (one per replication subscriber —
+        followers are few, unlike watch subscribers).  Each frame is
+        handed to the event loop and *waited for*, so the hub's stream
+        sees the same per-frame backpressure the threaded transport's
+        blocking writes provide.
+        """
+        service = connection.service
+        try:
+            request = decode_request(message)
+        except Exception as error:
+            self._enqueue_threadsafe(
+                connection, encode_response(ApiError.from_exception(error))
+            )
+            return
+        assert isinstance(request, SubscribeRequest)
+        stream = service.stream_subscription(request)
+        try:
+            for response in stream:
+                if not self._enqueue_threadsafe(
+                    connection, encode_response(response)
+                ):
+                    return  # connection died; stop streaming
+        except Exception as error:
+            # A pre-stream refusal (no hub, fingerprint mismatch) or a
+            # bug mid-stream: ship the typed error so the follower reacts.
+            self._enqueue_threadsafe(
+                connection, encode_response(ApiError.from_exception(error))
+            )
+        finally:
+            stream.close()
+
+    def _enqueue_threadsafe(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> bool:
+        """Queue one frame from a non-loop thread; False once the
+        connection is gone (so streaming threads stop promptly)."""
+        loop = self._loop
+        if loop is None or connection.dead.is_set():
+            return False
+        try:
+            data = encode_frame(message, self.max_frame_bytes)
+        except ProtocolError:  # pragma: no cover - replication frames are small
+            return False
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                connection.outbound.put(data), loop
+            )
+        except RuntimeError:  # loop already closed
+            return False
+        while True:
+            try:
+                future.result(timeout=0.5)
+                return True
+            except TimeoutError:
+                if connection.dead.is_set() or not loop.is_running():
+                    future.cancel()
+                    return False
+            except Exception:
+                return False
+
+
+def serve_tcp_async(
+    program: Union[str, DatalogServer, object],
+    database: Optional[Union[Mapping[str, Iterable], object]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start: bool = True,
+    max_page_rows: int = DEFAULT_MAX_PAGE_ROWS,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    executor_threads: int = DEFAULT_EXECUTOR_THREADS,
+    **server_options: Any,
+) -> AsyncDatalogServer:
+    """Expose a program (or an existing server) over asyncio TCP.
+
+    The drop-in sibling of :func:`~repro.api.transport.serve_tcp`: same
+    arguments, same backend-building rules, same ownership semantics —
+    only the transport differs (event loop instead of thread-per-
+    connection, duplex watches instead of push-only).
+    """
+    if isinstance(program, DatalogServer):
+        if database is not None or server_options:
+            raise ProtocolError(
+                "serve_tcp_async(server) uses the server as configured; pass "
+                "database/server options only with a program"
+            )
+        backend, owns = program, False
+    else:
+        backend, owns = DatalogServer(program, database, **server_options), True
+    try:
+        transport = AsyncDatalogServer(
+            (host, port), backend, max_page_rows=max_page_rows,
+            max_frame_bytes=max_frame_bytes, owns_backend=owns,
+            executor_threads=executor_threads,
+        )
+    except BaseException:
+        if owns:
+            backend.close()
+        raise
+    if start:
+        transport.start()
+    return transport

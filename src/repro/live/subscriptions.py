@@ -1,0 +1,553 @@
+"""Continuous-query subscriptions over the server's publish stream.
+
+A :class:`SubscriptionManager` registers prepared query patterns and, on
+every generation a :class:`~repro.engine.server.DatalogServer` publishes
+(riding the same publish-listener hook :class:`~repro.replication.hub.ReplicationHub`
+uses), evaluates per-subscription result **deltas** and hands typed
+:class:`~repro.api.types.SubscriptionDelta` frames to whatever transport
+is pumping the subscriber.
+
+Delta evaluation is where the economics live.  The listener — fired under
+the writer lock, with the session quiescent — records, per predicate, the
+append-only window of rows the generation added (relations only ever
+grow).  The dispatcher thread then runs each subscription's compiled plan
+against a view exposing *only those windows*: for plans that match rows
+structurally this yields exactly the newly-matching rows, at cost
+proportional to the change, not the model.  Plans the planner marks
+:attr:`~repro.engine.planner.ClausePlan.domain_sensitive` (their matching
+observes the ambient domain, so an unchanged relation can gain answers)
+fall back to a full query on the new snapshot — served from the server's
+per-generation result cache — diffed against a per-subscription seen-set.
+Either way the contract is the same: the union of all deltas delivered on
+a subscription equals a from-scratch query of the current model, fact for
+fact.
+
+Backpressure is explicit.  Each subscription owns a bounded frame queue;
+when the transport cannot drain it, new generations are *coalesced* into
+the newest queued frame (rows are disjoint across generations, so the
+union stays exact and the frame takes the latest generation number).
+When even the coalesced backlog exceeds the row bound, the subscription
+is terminated with the stable code
+:data:`~repro.api.types.ErrorCode.SLOW_CONSUMER` rather than letting one
+stalled reader hold memory for everyone else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, Union
+
+from repro.api.types import ApiError, ErrorCode, SubscriptionDelta
+from repro.database.relation import RelationDelta
+from repro.engine.query import PreparedQuery, canonical_pattern
+from repro.engine.server import DatalogServer, ModelSnapshot
+from repro.errors import ReproError
+
+#: Per-subscription bound on queued delta frames before coalescing starts.
+DEFAULT_MAX_QUEUE_FRAMES = 32
+
+#: Per-subscription bound on queued rows; past it the subscriber is
+#: disconnected with :data:`~repro.api.types.ErrorCode.SLOW_CONSUMER`.
+DEFAULT_MAX_PENDING_ROWS = 100_000
+
+#: Idle-stream keep-alive cadence (seconds) transports should use.
+DEFAULT_HEARTBEAT_SECONDS = 1.0
+
+WireRow = Tuple[str, ...]
+
+
+class _PendingGeneration:
+    """One published generation queued for delta evaluation.
+
+    ``changed`` maps predicate -> ``(relation, start, stop)``: the
+    append-only window of rows this generation added.  ``snapshot`` pins
+    the published model the windows belong to (and supplies the domain
+    delta evaluation must observe).
+    """
+
+    __slots__ = ("generation", "snapshot", "changed")
+
+    def __init__(
+        self,
+        generation: int,
+        snapshot: ModelSnapshot,
+        changed: Dict[str, Tuple[Any, int, int]],
+    ):
+        self.generation = generation
+        self.snapshot = snapshot
+        self.changed = changed
+
+
+class _DeltaView:
+    """The read surface a prepared plan needs, windowed to one generation.
+
+    ``relation()`` answers only for predicates the generation changed —
+    and then only with the appended window — so a plan run against this
+    view matches exactly the rows the generation added.  The domain is
+    the *new* snapshot's: sequences introduced by the change are visible.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, pending: _PendingGeneration):
+        self._pending = pending
+
+    def relation(self, predicate: str) -> Optional[RelationDelta]:
+        entry = self._pending.changed.get(predicate)
+        if entry is None:
+            return None
+        relation, start, stop = entry
+        return RelationDelta(relation, start, stop)
+
+    @property
+    def domain(self):
+        return self._pending.snapshot.domain
+
+
+def _wire_rows(rows) -> Tuple[WireRow, ...]:
+    return tuple(tuple(value.text for value in row) for row in rows)
+
+
+class Subscription:
+    """One registered continuous query and its bounded outbound queue.
+
+    Created by :meth:`SubscriptionManager.subscribe`; transports consume
+    frames with :meth:`pop` (blocking, for the threaded server) or
+    :meth:`pop_all` plus :meth:`set_notifier` (for the asyncio pump).  A
+    popped frame is either a :class:`~repro.api.types.SubscriptionDelta`
+    or a terminal :class:`~repro.api.types.ApiError`; ``None`` from
+    :meth:`pop` means the timeout elapsed (send a heartbeat) unless
+    :attr:`closed` went true (stop pumping).
+    """
+
+    def __init__(
+        self,
+        manager: SubscriptionManager,
+        subscription_id: str,
+        pattern: str,
+        prepared: PreparedQuery,
+        max_queue_frames: int,
+        max_pending_rows: int,
+    ):
+        self._manager = manager
+        self.id = subscription_id
+        self.pattern = pattern
+        self.prepared = prepared
+        #: Domain-sensitive plans cannot be answered from change windows
+        #: alone; they re-run the full query per generation and diff.
+        self.full_diff = prepared.plan.domain_sensitive
+        self.started_generation = -1
+        self._max_queue_frames = max(1, max_queue_frames)
+        self._max_pending_rows = max(1, max_pending_rows)
+        self._lock = threading.Lock()
+        self._frames: Deque[Union[SubscriptionDelta, ApiError]] = deque()
+        self._event = threading.Event()
+        self._notifier: Optional[Callable[[], None]] = None
+        self._ready = False
+        self._staged: List[_PendingGeneration] = []
+        self._seen: Optional[Set[WireRow]] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- transport side ------------------------------------------------
+    def set_notifier(self, notifier: Optional[Callable[[], None]]) -> None:
+        """Register a callback fired (from the pushing thread) whenever a
+        frame becomes available or the subscription closes — the asyncio
+        bridge hangs a ``loop.call_soon_threadsafe`` here."""
+        with self._lock:
+            self._notifier = notifier
+            pending = bool(self._frames) or self._closed
+        if pending and notifier is not None:
+            notifier()
+
+    def pop(self, timeout: float) -> Optional[Union[SubscriptionDelta, ApiError]]:
+        """Blocking fetch of the next frame; ``None`` after ``timeout``."""
+        if not self._event.wait(timeout):
+            return None
+        with self._lock:
+            if self._frames:
+                frame = self._frames.popleft()
+            else:
+                frame = None
+            if not self._frames and not self._closed:
+                self._event.clear()
+            return frame
+
+    def pop_all(self) -> List[Union[SubscriptionDelta, ApiError]]:
+        """Drain every queued frame without blocking."""
+        with self._lock:
+            frames = list(self._frames)
+            self._frames.clear()
+            if not self._closed:
+                self._event.clear()
+            return frames
+
+    # -- manager side --------------------------------------------------
+    def _signal_locked(self) -> Optional[Callable[[], None]]:
+        self._event.set()
+        return self._notifier
+
+    def offer(self, pending: _PendingGeneration) -> None:
+        """Feed one published generation to this subscription (dispatcher
+        thread).  Stages it while the subscription is still anchoring its
+        initial result set; afterwards evaluates and enqueues the delta."""
+        notifier = None
+        with self._lock:
+            if self._closed:
+                return
+            if not self._ready:
+                self._staged.append(pending)
+                return
+            notifier = self._offer_locked(pending)
+        if notifier is not None:
+            notifier()
+
+    def _offer_locked(self, pending: _PendingGeneration) -> Optional[Callable[[], None]]:
+        # Generations at or below the anchor are covered by the initial
+        # result set — delivering them again would duplicate rows.
+        if pending.generation <= self.started_generation:
+            return None
+        rows = self._manager._rows_for(self, pending)
+        if not rows:
+            return None
+        return self._enqueue_locked(pending.generation, rows)
+
+    def activate(
+        self,
+        started_generation: int,
+        initial_rows: Optional[Tuple[WireRow, ...]],
+        seen: Optional[Set[WireRow]],
+    ) -> None:
+        """Anchor the subscription: enqueue the initial frame (when asked
+        for), replay staged generations past the anchor, go live."""
+        notifiers: List[Callable[[], None]] = []
+        with self._lock:
+            self.started_generation = started_generation
+            self._seen = seen
+            if initial_rows is not None:
+                self._frames.append(
+                    SubscriptionDelta(
+                        subscription=self.id,
+                        generation=started_generation,
+                        rows=initial_rows,
+                        initial=True,
+                    )
+                )
+                self._manager._count("deltas_pushed", 1)
+                self._manager._count("rows_pushed", len(initial_rows))
+                notifiers.append(self._signal_locked())
+            staged, self._staged = self._staged, []
+            self._ready = True
+            for pending in staged:
+                notifiers.append(self._offer_locked(pending))
+                if self._closed:
+                    break
+        for notifier in notifiers:
+            if notifier is not None:
+                notifier()
+
+    def _enqueue_locked(
+        self, generation: int, rows: Tuple[WireRow, ...]
+    ) -> Optional[Callable[[], None]]:
+        manager = self._manager
+        if len(self._frames) >= self._max_queue_frames and self._frames:
+            newest = self._frames[-1]
+            if isinstance(newest, SubscriptionDelta):
+                # Coalesce: rows are disjoint across generations, so the
+                # union is exact and the frame takes the newest generation.
+                self._frames[-1] = SubscriptionDelta(
+                    subscription=self.id,
+                    generation=max(newest.generation, generation),
+                    rows=newest.rows + rows,
+                    initial=newest.initial,
+                    coalesced=newest.coalesced + 1,
+                )
+                manager._count("coalesced_generations", 1)
+                manager._count("rows_pushed", len(rows))
+        else:
+            self._frames.append(
+                SubscriptionDelta(
+                    subscription=self.id, generation=generation, rows=rows
+                )
+            )
+            manager._count("deltas_pushed", 1)
+            manager._count("rows_pushed", len(rows))
+        pending_rows = sum(
+            len(frame.rows)
+            for frame in self._frames
+            if isinstance(frame, SubscriptionDelta)
+        )
+        if pending_rows > self._max_pending_rows:
+            self._frames.clear()
+            self._frames.append(
+                ApiError(
+                    code=ErrorCode.SLOW_CONSUMER,
+                    message=(
+                        f"subscription {self.id} fell behind: more than "
+                        f"{self._max_pending_rows} undelivered rows queued "
+                        "after coalescing; re-subscribe for a fresh "
+                        "initial result set"
+                    ),
+                    details={"subscription": self.id},
+                )
+            )
+            self._closed = True
+            manager._count("slow_consumer_disconnects", 1)
+            manager._discard(self.id)
+        return self._signal_locked()
+
+    def close(self) -> None:
+        """Mark the subscription dead and wake any pumping transport."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            notifier = self._signal_locked()
+        if notifier is not None:
+            notifier()
+
+
+class SubscriptionManager:
+    """Evaluates and fans out per-subscription deltas for one server.
+
+    One manager serves every transport in front of a
+    :class:`~repro.engine.server.DatalogServer` (the threaded TCP server
+    and the asyncio front-end each attach one, the way they attach a
+    :class:`~repro.replication.hub.ReplicationHub`).  It also carries the
+    serving-wide live gauges (open connections, open cursors) so the
+    versioned ``live`` stats section has one home.
+
+    Thread-safe.  The publish listener runs under the server's writer
+    lock and only records change windows; evaluation happens on a single
+    daemon dispatcher thread, started lazily with the first subscription.
+    """
+
+    def __init__(
+        self,
+        server: DatalogServer,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+        max_queue_frames: int = DEFAULT_MAX_QUEUE_FRAMES,
+        max_pending_rows: int = DEFAULT_MAX_PENDING_ROWS,
+    ):
+        self._server = server
+        self.heartbeat_seconds = heartbeat_seconds
+        self._max_queue_frames = max_queue_frames
+        self._max_pending_rows = max_pending_rows
+        self._lock = threading.RLock()
+        self._condition = threading.Condition(self._lock)
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._pending: Deque[_PendingGeneration] = deque()
+        self._lengths: Dict[str, int] = {}
+        self._primed = False
+        self._closed = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._ids = itertools.count(1)
+        self._counts: Dict[str, int] = {
+            "subscriptions_total": 0,
+            "deltas_pushed": 0,
+            "rows_pushed": 0,
+            "coalesced_generations": 0,
+            "slow_consumer_disconnects": 0,
+            "full_diff_evaluations": 0,
+            "generations_seen": 0,
+            "connections_total": 0,
+        }
+        self._open_connections = 0
+        self._open_cursors = 0
+        server.add_publish_listener(self._on_publish)
+
+    @property
+    def server(self) -> DatalogServer:
+        return self._server
+
+    # -- publish side (writer lock held) -------------------------------
+    def _on_publish(self, generation: int, session) -> None:
+        interpretation = session._core.interpretation
+        changed: Dict[str, Tuple[Any, int, int]] = {}
+        for predicate in interpretation.predicates():
+            relation = interpretation.relation(predicate)
+            length = len(relation)
+            previous = self._lengths.get(predicate, 0)
+            if length > previous:
+                changed[predicate] = (relation, previous, length)
+            self._lengths[predicate] = length
+        if not self._primed:
+            # The priming call add_publish_listener fires before
+            # registration: anchor the length bookkeeping, enqueue nothing.
+            self._primed = True
+            return
+        with self._condition:
+            self._counts["generations_seen"] += 1
+            if not self._subscriptions or self._closed:
+                return
+            self._pending.append(
+                _PendingGeneration(generation, self._server.snapshot, changed)
+            )
+            self._condition.notify_all()
+
+    # -- subscriber side ------------------------------------------------
+    def subscribe(
+        self, pattern: str, strict: bool = False, initial: bool = True
+    ) -> Subscription:
+        """Register a continuous query and anchor its initial result set.
+
+        Parses and compiles the pattern (raising the same errors a query
+        would), registers the subscription so no generation published
+        from here on can be missed, then evaluates the pattern once
+        against the current snapshot: as the initial delta when
+        ``initial=True``, and — for domain-sensitive plans — as the
+        seen-set the per-generation diff starts from.  ``strict`` refuses
+        unknown predicates at watch time.
+        """
+        atom, canonical = canonical_pattern(pattern)
+        prepared = PreparedQuery(atom)
+        with self._lock:
+            if self._closed:
+                raise ReproError("the subscription manager is shut down")
+            subscription = Subscription(
+                self,
+                f"s{next(self._ids)}",
+                canonical,
+                prepared,
+                self._max_queue_frames,
+                self._max_pending_rows,
+            )
+            self._subscriptions[subscription.id] = subscription
+            self._counts["subscriptions_total"] += 1
+            self._ensure_dispatcher_locked()
+        try:
+            snapshot = self._server.snapshot
+            rows: Optional[Tuple[WireRow, ...]] = None
+            if initial or subscription.full_diff or strict:
+                result = self._server.query(atom, strict=strict, snapshot=snapshot)
+                rows = _wire_rows(result.rows)
+        except BaseException:
+            with self._lock:
+                self._subscriptions.pop(subscription.id, None)
+            raise
+        subscription.activate(
+            snapshot.generation,
+            rows if initial else None,
+            set(rows) if subscription.full_diff and rows is not None else None,
+        )
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Cancel a subscription; True when it was still registered."""
+        with self._lock:
+            subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is None:
+            return False
+        subscription.close()
+        return True
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        with self._lock:
+            return self._subscriptions.get(subscription_id)
+
+    def _discard(self, subscription_id: str) -> None:
+        # Called with the subscription's own lock held (slow-consumer
+        # termination); the manager lock nests safely inside it.
+        with self._lock:
+            self._subscriptions.pop(subscription_id, None)
+
+    # -- delta evaluation (dispatcher thread) ---------------------------
+    def _ensure_dispatcher_locked(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-live-dispatch", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._pending and not self._closed:
+                    self._condition.wait()
+                if self._closed and not self._pending:
+                    return
+                pending = self._pending.popleft()
+                subscriptions = list(self._subscriptions.values())
+            for subscription in subscriptions:
+                subscription.offer(pending)
+
+    def _rows_for(
+        self, subscription: Subscription, pending: _PendingGeneration
+    ) -> Tuple[WireRow, ...]:
+        """The rows ``pending`` adds to ``subscription``'s result set.
+
+        Called with the subscription's lock held; evaluation is read-only
+        against pinned snapshots/windows, so it never blocks writers.
+        """
+        if subscription.full_diff:
+            # Domain-sensitive plan: full query on the new snapshot (the
+            # server's per-generation result cache makes the second
+            # subscriber on a pattern free), diffed against the seen-set.
+            self._count("full_diff_evaluations", 1)
+            result = self._server.query(
+                subscription.prepared.atom, snapshot=pending.snapshot
+            )
+            seen = subscription._seen
+            assert seen is not None
+            rows = tuple(
+                row for row in _wire_rows(result.rows) if row not in seen
+            )
+            seen.update(rows)
+            return rows
+        if subscription.prepared.atom.predicate not in pending.changed:
+            return ()
+        result = subscription.prepared.run(_DeltaView(pending))
+        return _wire_rows(result.rows)
+
+    # -- gauges and stats ----------------------------------------------
+    def _count(self, key: str, amount: int) -> None:
+        with self._lock:
+            self._counts[key] += amount
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._open_connections += 1
+            self._counts["connections_total"] += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._open_connections -= 1
+
+    def cursor_opened(self) -> None:
+        with self._lock:
+            self._open_cursors += 1
+
+    def cursor_released(self) -> None:
+        with self._lock:
+            self._open_cursors -= 1
+
+    def stats(self) -> Dict[str, Any]:
+        """The versioned ``live`` section of :class:`~repro.api.types.ServerStats`."""
+        with self._lock:
+            stats: Dict[str, Any] = {"v": 1}
+            stats["open_connections"] = self._open_connections
+            stats["open_cursors"] = self._open_cursors
+            stats["active_subscriptions"] = len(self._subscriptions)
+            stats.update(self._counts)
+            stats["heartbeat_seconds"] = self.heartbeat_seconds
+            return stats
+
+    def close(self) -> None:
+        """Stop the dispatcher and terminate every subscription."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            subscriptions = list(self._subscriptions.values())
+            self._subscriptions.clear()
+            self._condition.notify_all()
+            dispatcher = self._dispatcher
+        for subscription in subscriptions:
+            subscription.close()
+        if dispatcher is not None and dispatcher.is_alive():
+            dispatcher.join(timeout=5.0)

@@ -58,6 +58,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.language.parser import parse_program
+from repro.live import serve_tcp_async
 from repro.workloads import random_strings
 
 SUFFIX_PROGRAM = "suffix(X[N:end]) :- r(X)."
@@ -77,13 +78,20 @@ CLAUSE_TEMPLATES = (
 )
 
 
-@pytest.fixture
-def tcp():
-    """Factory for live TCP servers, all closed at teardown."""
+@pytest.fixture(params=["threaded", "async"])
+def tcp(request):
+    """Factory for live TCP servers, all closed at teardown.
+
+    Parametrized over both transports — every test taking this fixture
+    runs against the thread-per-connection server *and* the asyncio
+    front-end, which must be wire-identical for the whole request
+    surface.
+    """
+    factory = serve_tcp if request.param == "threaded" else serve_tcp_async
     servers = []
 
     def start(program, database=None, **options):
-        server = serve_tcp(program, database, port=0, **options)
+        server = factory(program, database, port=0, **options)
         servers.append(server)
         return server
 
@@ -480,6 +488,9 @@ class TestService:
 # Live TCP: remote answers == in-process answers
 # ----------------------------------------------------------------------
 class TestRemoteEquivalence:
+    @pytest.mark.parametrize(
+        "transport", [serve_tcp, serve_tcp_async], ids=["threaded", "async"]
+    )
     @API_SETTINGS
     @given(
         st.lists(st.sampled_from(CLAUSE_TEMPLATES), min_size=1, max_size=4, unique=True),
@@ -488,13 +499,13 @@ class TestRemoteEquivalence:
         st.integers(min_value=1, max_value=4),
     )
     def test_remote_matches_in_process_on_random_programs(
-        self, templates, seed, count, length
+        self, transport, templates, seed, count, length
     ):
         program = parse_program("".join(templates))
         database = {"r": random_strings(count, length, alphabet="ab", seed=seed)}
         engine = SequenceDatalogEngine("".join(templates))
         result = engine.evaluate(database)
-        with serve_tcp("".join(templates), database, port=0) as server:
+        with transport("".join(templates), database, port=0) as server:
             with DatalogClient(*server.address) as client:
                 for predicate, arity in sorted(program.signatures().items()):
                     variables = ", ".join(f"V{i}" for i in range(arity))
@@ -640,6 +651,50 @@ class TestRemoteEquivalence:
         final = base | {("qr",), ("r",)} | {("st",), ("t",)}
         for observed in answer_sets:
             assert base <= set(observed) <= final
+
+    def test_query_iter_early_break_releases_the_cursor(self, tcp):
+        # Regression: breaking out of a streamed result used to strand the
+        # server-side cursor until the connection closed, pinning the
+        # fully-evaluated result and eating into the per-connection cap.
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abcdefghij"]})
+        with DatalogClient(*server.address) as client:
+            for count, _row in enumerate(client.query_iter("suffix(X)", page_size=2)):
+                if count == 2:
+                    break  # mid-stream: the cursor is still open server-side
+            live = client.stats().live
+            assert live is not None and live["open_cursors"] == 0
+
+    def test_query_pages_closed_generator_releases_the_cursor(self, tcp):
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abcdefghij"]})
+        with DatalogClient(*server.address) as client:
+            pages = client.query_pages("suffix(X)", page_size=2)
+            first = next(pages)
+            assert not first.complete and first.cursor is not None
+            pages.close()
+            assert client.stats().live["open_cursors"] == 0
+
+    def test_query_batch_failure_releases_unfinished_cursors(
+        self, tcp, monkeypatch
+    ):
+        # A failure while finishing result k must not strand the cursors
+        # the batch reply opened for the results after it.
+        server = tcp(SUFFIX_PROGRAM, {"r": ["abcdefghij"]}, max_page_rows=2)
+        with DatalogClient(*server.address) as client:
+            original = DatalogClient._finish_pages
+            finished = []
+
+            def flaky(self, page):
+                merged = original(self, page)
+                finished.append(merged)
+                if len(finished) == 2:
+                    raise RuntimeError("boom after result 1")
+                return merged
+
+            monkeypatch.setattr(DatalogClient, "_finish_pages", flaky)
+            with pytest.raises(RuntimeError, match="boom"):
+                client.query_batch(["suffix(X)"] * 3)
+            monkeypatch.setattr(DatalogClient, "_finish_pages", original)
+            assert client.stats().live["open_cursors"] == 0
 
     def test_client_send_cap_applies_to_outbound_frames(self, tcp):
         server = tcp(SUFFIX_PROGRAM, {"r": ["ab"]})

@@ -388,3 +388,63 @@ class TestExplainDiagnostics:
         assert "diagnostics:" in text
         assert "SDL-E103" in text
         assert text.index("stratum") < text.index("diagnostics:")
+
+
+class TestWatchCommand:
+    @pytest.fixture
+    def live_server(self):
+        from repro.live import serve_tcp_async
+
+        server = serve_tcp_async(
+            "suffix(X[N:end]) :- r(X).", {"r": ["abc"]}, port=0
+        )
+        try:
+            yield server
+        finally:
+            server.close()
+
+    def test_watch_count_streams_initial_then_delta(self, live_server):
+        import threading
+        import time
+
+        from repro import DatalogClient
+
+        def publish_once_anchored():
+            deadline = time.monotonic() + 10
+            while not live_server.live.stats()["active_subscriptions"]:
+                assert time.monotonic() < deadline, "watch never anchored"
+                time.sleep(0.01)
+            with DatalogClient(*live_server.address) as writer:
+                writer.add_facts([("r", ("xy",))])
+
+        writer = threading.Thread(target=publish_once_anchored)
+        writer.start()
+        out = io.StringIO()
+        address = f":{live_server.address[1]}"
+        try:
+            assert main(["watch", address, "suffix(X)", "--count", "2"], out=out) == 0
+        finally:
+            writer.join()
+        text = out.getvalue()
+        assert "% watching suffix(X)" in text
+        assert "% initial: generation 0, 4 row(s)" in text
+        assert "% delta: generation 1, 2 row(s)" in text
+        body = [line for line in text.splitlines() if not line.startswith("%")]
+        assert body == ["", "abc", "bc", "c", "xy", "y"]
+
+    def test_watch_json_emits_versioned_delta_frames(self, live_server):
+        out = io.StringIO()
+        address = f":{live_server.address[1]}"
+        assert main(["watch", address, "suffix(X)", "--json", "--count", "1"], out=out) == 0
+        frame = json.loads(out.getvalue())
+        assert frame["v"] == 1
+        assert frame["kind"] == "subscription_delta"
+        assert frame["initial"] is True
+        assert sorted(frame["rows"]) == [[""], ["abc"], ["bc"], ["c"]]
+
+    def test_watch_strict_refuses_unknown_predicates(self, live_server):
+        out = io.StringIO()
+        address = f":{live_server.address[1]}"
+        code = main(["watch", address, "nosuch(X)", "--strict"], out=out)
+        assert code == 1
+        assert "nosuch" in out.getvalue()

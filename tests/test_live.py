@@ -1,0 +1,442 @@
+"""Tests for live queries (:mod:`repro.live`).
+
+Covers the continuous-query subsystem bottom-up: the
+:class:`SubscriptionManager` delta contract (windowed evaluation,
+domain-sensitive full-diff fallback, coalescing, the slow-consumer
+policy), the asyncio front-end end-to-end (duplex watches plus ordinary
+requests on one connection, both clients), and fault injection
+(mid-stream disconnects, slow consumers disconnected with a typed
+error).
+
+The crown jewel is the randomized delta-exactness property: the union of
+every delta pushed on a subscription over a random ``add_facts`` sequence
+must equal a from-scratch query of the final model, fact for fact, with
+no duplicates along the way.
+"""
+
+import asyncio
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import ApiError, DatalogClient, ErrorCode, SubscriptionDelta
+from repro.api.transport import DatalogTCPServer, serve_tcp
+from repro.api.types import HeartbeatFrame
+from repro.engine.query import canonical_pattern
+from repro.engine.server import DatalogServer
+from repro.errors import ReproError, SlowConsumerError, UnknownPredicateError
+from repro.live import (
+    AsyncDatalogClient,
+    AsyncDatalogServer,
+    SubscriptionManager,
+    serve_tcp_async,
+)
+
+SUFFIX_PROGRAM = "suffix(X[N:end]) :- r(X)."
+
+#: A pattern whose plan the planner marks domain-sensitive (the indexed
+#: term's matching observes the ambient domain), forcing the manager's
+#: full-query-and-diff fallback instead of the windowed delta path.
+FULL_DIFF_PATTERN = "suffix(X[1:N])"
+
+LIVE_SETTINGS = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+TRANSPORTS = pytest.mark.parametrize(
+    "factory", [serve_tcp, serve_tcp_async], ids=["threaded", "async"]
+)
+
+
+def wire_rows(result):
+    """In-process QueryResult -> the sorted wire rows a delta would ship."""
+    return sorted(tuple(value.text for value in row) for row in result.rows)
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+@pytest.fixture
+def live():
+    """Factory for (DatalogServer, SubscriptionManager) pairs, closed at teardown."""
+    created = []
+
+    def build(program=SUFFIX_PROGRAM, database=None, **options):
+        server = DatalogServer(program, database)
+        manager = SubscriptionManager(server, **options)
+        created.append((manager, server))
+        return server, manager
+
+    yield build
+    for manager, server in created:
+        manager.close()
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# SubscriptionManager: the delta contract
+# ----------------------------------------------------------------------
+class TestSubscriptionManager:
+    def test_initial_frame_then_windowed_deltas(self, live):
+        server, manager = live(database={"r": ["ab"]})
+        subscription = manager.subscribe("suffix(X)")
+        assert not subscription.full_diff
+
+        first = subscription.pop(5)
+        assert isinstance(first, SubscriptionDelta)
+        assert first.initial
+        assert first.generation == server.generation
+        assert sorted(first.rows) == [("",), ("ab",), ("b",)]
+
+        server.add_facts({"r": ["xy"]})
+        delta = subscription.pop(5)
+        assert isinstance(delta, SubscriptionDelta)
+        assert not delta.initial
+        assert delta.generation == server.generation
+        # Only the newly-derived suffixes; "" is already in the result set.
+        assert sorted(delta.rows) == [("xy",), ("y",)]
+
+        atom, _ = canonical_pattern("suffix(X)")
+        assert sorted(set(first.rows) | set(delta.rows)) == wire_rows(
+            server.query(atom)
+        )
+
+    def test_initial_false_skips_the_anchor_frame(self, live):
+        server, manager = live(database={"r": ["ab"]})
+        subscription = manager.subscribe("suffix(X)", initial=False)
+        server.add_facts({"r": ["xy"]})
+        delta = subscription.pop(5)
+        assert isinstance(delta, SubscriptionDelta)
+        assert not delta.initial
+        assert sorted(delta.rows) == [("xy",), ("y",)]
+
+    def test_unchanged_answers_produce_no_frames(self, live):
+        server, manager = live(database={"r": ["ab"], "s": ["zz"]})
+        subscription = manager.subscribe("suffix(X)")
+        subscription.pop(5)  # initial
+
+        # A generation that changes an unrelated predicate ...
+        server.add_facts({"s": ["qq"]})
+        # ... and one that adds only already-derived suffixes.
+        server.add_facts({"r": ["b"]})
+        assert wait_until(lambda: manager.stats()["generations_seen"] == 2)
+        assert subscription.pop(0.3) is None
+        assert manager.stats()["deltas_pushed"] == 1  # just the initial
+
+    def test_full_diff_path_for_domain_sensitive_patterns(self, live):
+        server, manager = live(database={"r": ["ab"]})
+        subscription = manager.subscribe(FULL_DIFF_PATTERN)
+        assert subscription.full_diff
+
+        first = subscription.pop(5)
+        atom, _ = canonical_pattern(FULL_DIFF_PATTERN)
+        assert sorted(first.rows) == wire_rows(server.query(atom))
+
+        server.add_facts({"r": ["xy"]})
+        delta = subscription.pop(5)
+        assert not set(delta.rows) & set(first.rows)
+        assert sorted(set(first.rows) | set(delta.rows)) == wire_rows(
+            server.query(atom)
+        )
+        assert manager.stats()["full_diff_evaluations"] >= 1
+
+    def test_coalescing_keeps_the_union_exact(self, live):
+        server, manager = live(database={"r": ["ab"]}, max_queue_frames=1)
+        subscription = manager.subscribe("suffix(X)")
+        # Do not pop: with a one-frame queue every subsequent generation
+        # must coalesce into the newest queued frame.
+        for text in ("cd", "ef", "gh"):
+            server.add_facts({"r": [text]})
+        assert wait_until(
+            lambda: manager.stats()["coalesced_generations"] == 3
+        ), manager.stats()
+
+        frame = subscription.pop(5)
+        assert isinstance(frame, SubscriptionDelta)
+        assert frame.initial  # coalesced into the initial frame
+        assert frame.coalesced == 3
+        assert frame.generation == server.generation
+        atom, _ = canonical_pattern("suffix(X)")
+        assert sorted(frame.rows) == wire_rows(server.query(atom))
+        assert subscription.pop(0.2) is None
+
+    def test_slow_consumer_gets_a_typed_disconnect(self, live):
+        server, manager = live(
+            database={"r": ["ab"]}, max_queue_frames=1, max_pending_rows=4
+        )
+        subscription = manager.subscribe("suffix(X)")
+        server.add_facts({"r": ["cdefg"]})  # five fresh rows > the bound
+        assert wait_until(
+            lambda: manager.stats()["slow_consumer_disconnects"] == 1
+        )
+
+        frame = subscription.pop(5)
+        assert isinstance(frame, ApiError)
+        assert frame.code == ErrorCode.SLOW_CONSUMER
+        assert frame.details == {"subscription": subscription.id}
+        with pytest.raises(SlowConsumerError):
+            frame.raise_()
+        assert subscription.closed
+        assert manager.get(subscription.id) is None
+        assert manager.stats()["active_subscriptions"] == 0
+
+    def test_unsubscribe_and_close_semantics(self, live):
+        server, manager = live(database={"r": ["ab"]})
+        subscription = manager.subscribe("suffix(X)")
+        assert manager.stats()["subscriptions_total"] == 1
+        assert manager.unsubscribe(subscription.id)
+        assert subscription.closed
+        assert not manager.unsubscribe(subscription.id)
+
+        # Closed subscriptions never see later generations.
+        server.add_facts({"r": ["xy"]})
+        frame = subscription.pop(5)
+        assert frame is None or frame.initial
+
+        manager.close()
+        with pytest.raises(ReproError):
+            manager.subscribe("suffix(X)")
+
+    def test_strict_watch_refuses_unknown_predicates(self, live):
+        server, manager = live(database={"r": ["ab"]})
+        with pytest.raises(UnknownPredicateError):
+            manager.subscribe("nosuch(X)", strict=True)
+        assert manager.stats()["active_subscriptions"] == 0
+        # Non-strict mirrors query semantics: empty result, deltas later.
+        subscription = manager.subscribe("nosuch(X)")
+        assert subscription.pop(5).rows == ()
+
+
+# ----------------------------------------------------------------------
+# The randomized delta-exactness property
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pattern", ["suffix(X)", FULL_DIFF_PATTERN])
+@LIVE_SETTINGS
+@given(
+    initial=st.lists(st.text(alphabet="ab", max_size=3), max_size=3),
+    batches=st.lists(
+        st.lists(st.text(alphabet="ab", min_size=1, max_size=4), max_size=3),
+        max_size=4,
+    ),
+)
+def test_delta_union_matches_a_from_scratch_query(pattern, initial, batches):
+    """Union of pushed deltas == from-scratch query of the final model.
+
+    Both delta paths (windowed and full-diff) must deliver every row the
+    final model answers exactly once: frames are pairwise disjoint and
+    their union equals the from-scratch result, fact for fact.
+    """
+    server = DatalogServer(SUFFIX_PROGRAM, {"r": initial})
+    manager = SubscriptionManager(server)
+    try:
+        subscription = manager.subscribe(pattern)
+        first = subscription.pop(5)
+        union = set(first.rows)
+        assert len(first.rows) == len(union)  # no duplicates within a frame
+
+        for batch in batches:
+            server.add_facts({"r": batch})
+        atom, _ = canonical_pattern(pattern)
+        expected = set(
+            tuple(value.text for value in row) for row in server.query(atom).rows
+        )
+        assert union <= expected
+
+        deadline = time.monotonic() + 10
+        while union != expected:
+            frame = subscription.pop(0.2)
+            if frame is None:
+                assert time.monotonic() < deadline, (union, expected)
+                continue
+            assert isinstance(frame, SubscriptionDelta)
+            assert len(frame.rows) == len(set(frame.rows))
+            assert not set(frame.rows) & union, "duplicate rows across deltas"
+            union |= set(frame.rows)
+        assert union == expected
+        assert subscription.pop(0.1) is None  # and then the stream is quiet
+    finally:
+        manager.close()
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# The asyncio front-end, end to end
+# ----------------------------------------------------------------------
+class TestAsyncServing:
+    def test_duplex_watches_and_requests_share_a_connection(self):
+        with serve_tcp_async(SUFFIX_PROGRAM, {"r": ["ab"]}) as server:
+            asyncio.run(self._duplex_scenario(server.address))
+
+    @staticmethod
+    async def _duplex_scenario(address):
+        async with AsyncDatalogClient(*address) as client:
+            watch_all = await client.watch("suffix(X)")
+            watch_diff = await client.watch(FULL_DIFF_PATTERN)
+            first = await asyncio.wait_for(watch_all.__anext__(), 5)
+            assert first.initial
+            assert sorted(first.rows) == [("",), ("ab",), ("b",)]
+            await asyncio.wait_for(watch_diff.__anext__(), 5)
+
+            # Ordinary requests interleave with live watches on the same
+            # connection.
+            page = await client.query("suffix(X)")
+            assert sorted(tuple(row) for row in page.rows) == sorted(first.rows)
+
+            await client.add_fact("r", "xyz")
+            delta = await asyncio.wait_for(watch_all.__anext__(), 5)
+            assert not delta.initial
+            assert sorted(delta.rows) == [("xyz",), ("yz",), ("z",)]
+            delta_diff = await asyncio.wait_for(watch_diff.__anext__(), 5)
+            assert delta_diff.subscription == watch_diff.subscription
+
+            # Unwatch one stream; the other keeps flowing.
+            await watch_diff.unwatch()
+            await client.add_fact("r", "q")
+            delta = await asyncio.wait_for(watch_all.__anext__(), 5)
+            assert ("q",) in delta.rows
+            with pytest.raises(StopAsyncIteration):
+                await watch_diff.__anext__()
+
+            stats = await client.stats()
+            assert stats.live["active_subscriptions"] == 1
+
+    def test_watch_heartbeats_keep_idle_streams_alive(self):
+        backend = DatalogServer(SUFFIX_PROGRAM, {"r": ["ab"]})
+        with AsyncDatalogServer(
+            ("127.0.0.1", 0), backend, owns_backend=True, heartbeat_seconds=0.1
+        ) as server:
+            server.start()
+            asyncio.run(self._heartbeat_scenario(server.address))
+
+    @staticmethod
+    async def _heartbeat_scenario(address):
+        async with AsyncDatalogClient(*address) as client:
+            watch = await client.watch("suffix(X)", heartbeats=True)
+            first = await asyncio.wait_for(watch.__anext__(), 5)
+            assert isinstance(first, SubscriptionDelta)
+            beat = await asyncio.wait_for(watch.__anext__(), 5)
+            assert isinstance(beat, HeartbeatFrame)
+            assert beat.subscription == watch.subscription
+
+    def test_async_client_initial_false(self):
+        with serve_tcp_async(SUFFIX_PROGRAM, {"r": ["ab"]}) as server:
+            asyncio.run(self._initial_false_scenario(server.address))
+
+    @staticmethod
+    async def _initial_false_scenario(address):
+        async with AsyncDatalogClient(*address) as client:
+            watch = await client.watch("suffix(X)", initial=False)
+            await client.add_fact("r", "xy")
+            delta = await asyncio.wait_for(watch.__anext__(), 5)
+            assert not delta.initial
+            assert sorted(delta.rows) == [("xy",), ("y",)]
+
+
+# ----------------------------------------------------------------------
+# The sync client against both transports
+# ----------------------------------------------------------------------
+@TRANSPORTS
+def test_sync_client_watch_streams_deltas(factory):
+    with factory(SUFFIX_PROGRAM, {"r": ["ab"]}, port=0) as server:
+        with DatalogClient(*server.address) as client:
+            with client.watch("suffix(X)") as watch:
+                stream = iter(watch)
+                first = next(stream)
+                assert first.initial
+                assert sorted(first.rows) == [("",), ("ab",), ("b",)]
+                assert watch.subscription == first.subscription
+                client.add_facts({"r": ["xyz"]})
+                delta = next(stream)
+                assert sorted(delta.rows) == [("xyz",), ("yz",), ("z",)]
+            # The watch rides its own socket: the client still works.
+            assert client.ping().generation == server.backend.generation
+
+
+@TRANSPORTS
+def test_stats_surface_the_versioned_live_section(factory):
+    with factory(SUFFIX_PROGRAM, {"r": ["ab"]}, port=0) as server:
+        with DatalogClient(*server.address) as client:
+            stats = client.stats()
+            assert stats.live["v"] == 1
+            assert stats.live["open_connections"] >= 1
+            assert stats.live["active_subscriptions"] == 0
+            with client.watch("suffix(X)"):
+                assert wait_until(
+                    lambda: client.stats().live["active_subscriptions"] == 1
+                )
+            assert wait_until(
+                lambda: client.stats().live["active_subscriptions"] == 0
+            )
+            assert client.stats().live["subscriptions_total"] == 1
+
+
+# ----------------------------------------------------------------------
+# Fault injection: disconnects and slow consumers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "transport_cls", [DatalogTCPServer, AsyncDatalogServer], ids=["threaded", "async"]
+)
+def test_midstream_disconnect_cleans_up_the_subscription(transport_cls):
+    backend = DatalogServer(SUFFIX_PROGRAM, {"r": ["ab"]})
+    server = transport_cls(
+        ("127.0.0.1", 0), backend, owns_backend=True, heartbeat_seconds=0.2
+    )
+    server.start()
+    try:
+        with DatalogClient(*server.address) as client:
+            watch = client.watch("suffix(X)")
+            next(iter(watch))
+            assert server.live.stats()["active_subscriptions"] == 1
+            # Kill the socket without an unwatch; the server must notice
+            # (EOF on the async transport, a failed heartbeat write on
+            # the threaded one) and release the subscription.
+            watch.close()
+            assert wait_until(
+                lambda: server.live.stats()["active_subscriptions"] == 0
+            ), server.live.stats()
+    finally:
+        server.close()
+
+
+@TRANSPORTS
+def test_slow_consumer_disconnect_reaches_the_client(factory):
+    with factory(SUFFIX_PROGRAM, {"r": ["ab"]}, port=0) as server:
+        with DatalogClient(*server.address) as client:
+            watch = client.watch("suffix(X)")
+            stream = iter(watch)
+            next(stream)  # initial
+            # Shrink the bound server-side so the very next delta trips
+            # the slow-consumer policy before any pump can drain it.
+            server.live.get(watch.subscription)._max_pending_rows = 1
+            client.add_facts({"r": ["wxyz"]})
+            with pytest.raises(SlowConsumerError):
+                for _ in stream:
+                    pass
+            assert server.live.stats()["slow_consumer_disconnects"] == 1
+            assert wait_until(
+                lambda: server.live.stats()["active_subscriptions"] == 0
+            )
+
+
+def test_async_client_abrupt_close_cleans_up():
+    with serve_tcp_async(SUFFIX_PROGRAM, {"r": ["ab"]}) as server:
+
+        async def scenario():
+            client = AsyncDatalogClient(*server.address)
+            await client.connect()
+            watch = await client.watch("suffix(X)")
+            await asyncio.wait_for(watch.__anext__(), 5)
+            await client.close()  # no unwatch: the connection just drops
+
+        asyncio.run(scenario())
+        assert wait_until(
+            lambda: server.live.stats()["active_subscriptions"] == 0
+        ), server.live.stats()
+        assert wait_until(lambda: server.live.stats()["open_connections"] == 0)

@@ -538,7 +538,7 @@ def test_public_exports():
     import repro
     import repro.engine
 
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
     assert repro.open_session is open_session
     assert repro.StorageError is StorageError
     assert repro.engine.open_session is open_session
